@@ -1,0 +1,37 @@
+//! B2: end-to-end audit latency versus query-log size, with and without the
+//! static candidate filter (the Agrawal et al. pruning step).
+//!
+//! Expected shape: both scale roughly linearly in the log, but the filtered
+//! variant wins by a growing factor because pruned queries skip semantic
+//! evaluation entirely (~95% of a 5%-suspicious log is prunable).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use audex_bench::{all_time, scenario};
+use audex_core::EngineOptions;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("audit_scaling");
+    g.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+
+    for queries in [100usize, 400, 1600] {
+        let s = scenario(400, queries, 0.05, 11);
+        let expr = all_time(s.audit.clone());
+
+        for (label, static_filter) in [("with_static_filter", true), ("no_static_filter", false)] {
+            let engine = s.engine(EngineOptions { static_filter, ..Default::default() });
+            g.bench_with_input(BenchmarkId::new(label, queries), &queries, |b, _| {
+                b.iter(|| {
+                    let r = engine.audit_at(&expr, s.now).unwrap();
+                    assert!(r.verdict.suspicious);
+                    r.verdict.accessed_granules
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! B5: batch suspicion evaluation cost versus batch size (Motwani et al.
+//! Definition 4 via the granule model), on a prepared audit — isolates the
+//! per-query semantic evaluation from target-view construction.
+//!
+//! Expected shape: linear in the batch once the audit is prepared.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use audex_bench::{all_time, scenario};
+use audex_core::{BatchEvaluator, EngineOptions};
+use audex_storage::JoinStrategy;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("batch");
+    g.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+
+    let s = scenario(400, 1600, 0.05, 23);
+    let mut expr = s.audit.clone();
+    expr = all_time(expr);
+    let engine = s.engine(EngineOptions::default());
+    let prepared = engine.prepare(&expr, s.now).unwrap();
+    let evaluator = BatchEvaluator::new(
+        &s.db,
+        &prepared.scope,
+        &prepared.model,
+        &prepared.view,
+        JoinStrategy::Auto,
+    );
+    let full = s.log.snapshot();
+
+    for size in [100usize, 400, 1600] {
+        let batch = &full[..size];
+        g.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| {
+                let v = evaluator.evaluate(batch).unwrap();
+                v.accessed_granules
+            })
+        });
+    }
+
+    // Also: the prepared-audit reuse advantage (prepare once vs every time).
+    g.bench_function("prepare_only", |b| {
+        b.iter(|| engine.prepare(&expr, s.now).unwrap().view.len())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

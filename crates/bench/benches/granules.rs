@@ -1,0 +1,53 @@
+//! B1: granule counting and enumeration cost versus |U| and THRESHOLD.
+//!
+//! Expected shape: counting is O(schemes) regardless of C(n,k) (closed
+//! form), enumeration grows combinatorially with k, and THRESHOLD ALL is a
+//! single granule per scheme.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use audex_bench::{all_time, scenario};
+use audex_core::{EngineOptions, GranuleModel};
+use audex_sql::ast::Threshold;
+use audex_sql::parse_audit;
+use audex_workload::querygen::standard_audit_text;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("granules");
+    g.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300));
+
+    // Vary |U| through the number of patients (zone 0 holds ~1/20th).
+    for patients in [200usize, 800, 3200] {
+        let s = scenario(patients, 1, 0.0, 5);
+        let engine = s.engine(EngineOptions::default());
+        let expr = all_time(parse_audit(&standard_audit_text()).unwrap());
+        let prepared = engine.prepare(&expr, s.now).unwrap();
+        let n = prepared.view.len();
+
+        for threshold in [Threshold::Count(1), Threshold::Count(2), Threshold::All] {
+            let model = GranuleModel {
+                spec: prepared.spec.clone(),
+                threshold,
+                indispensable: true,
+            };
+            let label = match threshold {
+                Threshold::Count(k) => format!("n{n}/k{k}"),
+                Threshold::All => format!("n{n}/kALL"),
+            };
+            g.bench_with_input(BenchmarkId::new("count", &label), &model, |b, m| {
+                b.iter(|| m.count(std::hint::black_box(n)))
+            });
+            // Enumeration is guarded: only enumerate when feasible.
+            if model.count(n) <= 200_000 {
+                g.bench_with_input(BenchmarkId::new("enumerate", &label), &model, |b, m| {
+                    b.iter(|| m.enumerate(&prepared.view).count())
+                });
+            }
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! B6 (ablation): hash join versus nested-loop cross product inside the
+//! semantic evaluation — the executor design choice DESIGN.md calls out.
+//!
+//! Expected shape: hash join wins on the equi-join audit workload by a
+//! factor that grows with table size (nested loop is O(n²) on the join).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use audex_bench::{all_time, scenario};
+use audex_core::EngineOptions;
+use audex_storage::JoinStrategy;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("join_ablation");
+    g.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+
+    for patients in [100usize, 400, 1600] {
+        let s = scenario(patients, 100, 0.1, 31);
+        let expr = all_time(s.audit.clone());
+        for (label, strategy) in
+            [("hash", JoinStrategy::Auto), ("nested_loop", JoinStrategy::NestedLoop)]
+        {
+            let engine = s.engine(EngineOptions { strategy, ..Default::default() });
+            g.bench_with_input(BenchmarkId::new(label, patients), &patients, |b, _| {
+                b.iter(|| {
+                    let r = engine.audit_at(&expr, s.now).unwrap();
+                    r.verdict.accessed_granules
+                })
+            });
+        }
+
+        // Verdicts must agree regardless of strategy.
+        let hash = s
+            .engine(EngineOptions { strategy: JoinStrategy::Auto, ..Default::default() })
+            .audit_at(&expr, s.now)
+            .unwrap();
+        let nested = s
+            .engine(EngineOptions { strategy: JoinStrategy::NestedLoop, ..Default::default() })
+            .audit_at(&expr, s.now)
+            .unwrap();
+        assert_eq!(hash.verdict.accessed_granules, nested.verdict.accessed_granules);
+        assert_eq!(hash.verdict.contributing, nested.verdict.contributing);
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

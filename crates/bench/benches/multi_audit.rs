@@ -1,0 +1,74 @@
+//! B8: many audits over one log — direct evaluation (re-running each logged
+//! query per audit) versus the touch index (§4 "efficient algorithms",
+//! running each query once).
+//!
+//! Expected shape: direct cost ≈ audits × per-audit cost; indexed cost =
+//! one build + cheap per-audit set matching, so the index wins from a small
+//! number of audits onward and the gap grows linearly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+use audex_bench::{all_time, scenario};
+use audex_core::{EngineOptions, TouchIndex};
+use audex_log::QueryId;
+use audex_sql::parse_audit;
+use audex_storage::JoinStrategy;
+use audex_workload::datagen::zip_of_zone;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("multi_audit");
+    g.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+
+    let s = scenario(300, 300, 0.1, 41);
+    let engine = s.engine(EngineOptions { static_filter: false, ..Default::default() });
+    let batch = s.log.snapshot();
+    let admitted: BTreeSet<QueryId> = batch.iter().map(|e| e.id).collect();
+
+    for audits in [1usize, 4, 16] {
+        let prepared: Vec<_> = (0..audits)
+            .map(|i| {
+                let text = format!(
+                    "AUDIT disease FROM Patients, Health \
+                     WHERE Patients.pid = Health.pid AND Patients.zipcode = '{}'",
+                    zip_of_zone(i % 20)
+                );
+                engine.prepare(&all_time(parse_audit(&text).unwrap()), s.now).unwrap()
+            })
+            .collect();
+
+        g.bench_with_input(BenchmarkId::new("direct", audits), &audits, |b, _| {
+            b.iter(|| {
+                let mut hits = 0u128;
+                for p in &prepared {
+                    hits += engine.run(p).unwrap().verdict.accessed_granules;
+                }
+                hits
+            })
+        });
+
+        g.bench_with_input(BenchmarkId::new("indexed", audits), &audits, |b, _| {
+            b.iter(|| {
+                let index = TouchIndex::build(&s.db, &batch, JoinStrategy::Auto);
+                let mut hits = 0u128;
+                for p in &prepared {
+                    hits += index.evaluate(p, &admitted).unwrap().accessed_granules;
+                }
+                hits
+            })
+        });
+
+        // Sanity: both paths agree.
+        let index = TouchIndex::build(&s.db, &batch, JoinStrategy::Auto);
+        for p in &prepared {
+            let direct = engine.run(p).unwrap();
+            let indexed = index.evaluate(p, &admitted).unwrap();
+            assert_eq!(direct.verdict.accessed_granules, indexed.accessed_granules);
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! B4: the three classic suspicion notions (expressed in the granule model)
+//! on the same planted workload — detection counts and evaluation cost.
+//!
+//! Expected shape: perfect privacy flags the most queries and weak syntactic
+//! nearly as many; the semantic (indispensable-tuple) notion is the most
+//! selective. Costs are of the same order because all three share the
+//! target view and lineage machinery; perfect privacy pays extra for its
+//! wider target view ([*] pulls every column into U).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use audex_bench::{all_time, scenario};
+use audex_core::notions::{perfect_privacy, semantic_indispensable, weak_syntactic};
+use audex_core::EngineOptions;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("notions");
+    g.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+
+    let s = scenario(400, 400, 0.05, 17);
+    let base = all_time(s.audit.clone());
+    let engine = s.engine(EngineOptions::default());
+
+    let notions = [
+        ("perfect_privacy", perfect_privacy(base.clone())),
+        ("weak_syntactic", weak_syntactic(base.clone()).unwrap()),
+        ("semantic_indispensable", semantic_indispensable(base.clone())),
+    ];
+
+    // Print detection counts once (the "who wins" row of EXPERIMENTS.md B4).
+    for (name, expr) in &notions {
+        let r = engine.audit_at(expr, s.now).unwrap();
+        println!(
+            "B4 {name}: suspicious={} contributors={} granules={}/{}",
+            r.verdict.suspicious,
+            r.verdict.contributing.len(),
+            r.verdict.accessed_granules,
+            r.verdict.total_granules
+        );
+    }
+
+    for (name, expr) in &notions {
+        g.bench_function(*name, |b| {
+            b.iter(|| {
+                let r = engine.audit_at(expr, s.now).unwrap();
+                r.verdict.contributing.len()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! E3–E8: the cost of regenerating each paper artifact (Tables 4–6,
+//! Figures 4–6 granule sets) on the paper's own dataset.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use audex_core::{normalize_with, AuditEngine, AuditScope};
+use audex_log::QueryLog;
+use audex_sql::ast::{TableRef, TimeInterval, TsSpec};
+use audex_sql::parse_audit;
+use audex_workload::paper::*;
+
+fn prepared(text: &str) -> (audex_storage::Database, audex_core::PreparedAudit) {
+    let db = paper_database();
+    let log = QueryLog::new();
+    let engine = AuditEngine::new(&db, &log);
+    let mut expr = parse_audit(text).unwrap();
+    expr.data_interval = Some(TimeInterval {
+        start: TsSpec::At(paper_epoch()),
+        end: TsSpec::At(paper_now()),
+    });
+    let p = engine.prepare(&expr, paper_now()).unwrap();
+    (db, p)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("paper_artifacts");
+    g.sample_size(20).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300));
+
+    // E3 / Table 4: target view of Audit Expression-1.
+    let db = paper_database();
+    let log = QueryLog::new();
+    let engine = AuditEngine::new(&db, &log);
+    let fig2 = {
+        let mut e = parse_audit(FIG2_AUDIT_EXPRESSION_1).unwrap();
+        e.data_interval = Some(TimeInterval {
+            start: TsSpec::At(paper_epoch()),
+            end: TsSpec::At(paper_now()),
+        });
+        e
+    };
+    g.bench_function("table4_target_view", |b| {
+        b.iter(|| {
+            let p = engine.prepare(&fig2, paper_now()).unwrap();
+            assert_eq!(p.view.len(), 3);
+        })
+    });
+
+    // E4 / Table 5.
+    let fig3 = {
+        let mut e = parse_audit(FIG3_AUDIT_EXPRESSION_2).unwrap();
+        e.data_interval = Some(TimeInterval {
+            start: TsSpec::At(paper_epoch()),
+            end: TsSpec::At(paper_now()),
+        });
+        e
+    };
+    g.bench_function("table5_target_view", |b| {
+        b.iter(|| {
+            let p = engine.prepare(&fig3, paper_now()).unwrap();
+            assert_eq!(p.view.len(), 2);
+        })
+    });
+
+    // E5 / Table 6: normalization of every rule's left-hand side.
+    let scope = AuditScope::resolve(&db, &[TableRef::named("P-Personal")]).unwrap();
+    let rule_specs: Vec<audex_sql::ast::AttrSpec> = [
+        "[name]", "(name)(age)", "(name, age)", "[name][age]",
+        "[name, age][sex, address]", "[(name, age)]", "([name, age])", "(name, age)[sex]",
+    ]
+    .iter()
+    .map(|l| parse_audit(&format!("AUDIT {l} FROM P-Personal")).unwrap().audit)
+    .collect();
+    g.bench_function("table6_normalization", |b| {
+        b.iter(|| {
+            for spec in &rule_specs {
+                normalize_with(spec, &scope).unwrap();
+            }
+        })
+    });
+
+    // E6–E8: granule-set materialization + paper rendering.
+    for (name, text, expected_len) in [
+        ("fig4_perfect_privacy", FIG4_PERFECT_PRIVACY, 14usize),
+        ("fig5_weak_syntactic", FIG5_WEAK_SYNTACTIC, 16),
+        ("fig6_semantic", FIG6_SEMANTIC, 2),
+    ] {
+        let (_db, p) = prepared(text);
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let gs = p.model.materialize(&p.view, 10_000).unwrap();
+                assert_eq!(gs.len(), expected_len);
+                gs.iter().map(|gr| p.model.render(gr, &p.view).len()).sum::<usize>()
+            })
+        });
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! B7: online suspicion-ranking throughput (paper §4 future work): queries
+//! per second scored against 1, 4, and 16 standing audit expressions.
+//!
+//! Expected shape: per-query cost linear in the number of standing audits
+//! whose limiting parameters admit the query.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+
+use audex_bench::{all_time, scenario};
+use audex_core::{EngineOptions, OnlineAuditor};
+use audex_sql::parse_audit;
+use audex_workload::datagen::zip_of_zone;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ranking");
+    g.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+
+    let s = scenario(400, 200, 0.1, 37);
+    let engine = s.engine(EngineOptions::default());
+    let batch = s.log.snapshot();
+    g.throughput(Throughput::Elements(batch.len() as u64));
+
+    for audits in [1usize, 4, 16] {
+        let prepared: Vec<_> = (0..audits)
+            .map(|i| {
+                let text = format!(
+                    "AUDIT disease FROM Patients, Health \
+                     WHERE Patients.pid = Health.pid AND Patients.zipcode = '{}'",
+                    zip_of_zone(i % 20)
+                );
+                let expr = all_time(parse_audit(&text).unwrap());
+                engine.prepare(&expr, s.now).unwrap()
+            })
+            .collect();
+
+        g.bench_with_input(BenchmarkId::from_parameter(audits), &audits, |b, _| {
+            b.iter_batched(
+                || OnlineAuditor::new(&s.db, prepared.clone()),
+                |mut oa| {
+                    let mut hits = 0usize;
+                    for q in &batch {
+                        hits += oa.observe(q).unwrap().len();
+                    }
+                    hits
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

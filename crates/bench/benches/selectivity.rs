@@ -1,0 +1,51 @@
+//! B9: audit cost and target-view size versus audit selectivity — the
+//! audited zone covers ≈ 1/zones of the patients, so more zones = more
+//! selective audit.
+//!
+//! Expected shape: |U| shrinks ∝ 1/zones; end-to-end cost falls with
+//! selectivity but is floored by the per-query semantic evaluation of the
+//! candidates that survive pruning.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use audex_core::{AuditEngine, EngineOptions};
+use audex_sql::{parse_audit, Timestamp};
+use audex_workload::{
+    generate_hospital, generate_queries, load_log, standard_audit_text, HospitalConfig,
+    QueryMixConfig,
+};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("selectivity");
+    g.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+
+    for zones in [5usize, 20, 80] {
+        let hospital = HospitalConfig { patients: 800, zip_zones: zones, diseases: 10, seed: 61 };
+        let db = generate_hospital(&hospital, Timestamp(0));
+        let mix =
+            QueryMixConfig { queries: 200, suspicious_rate: 0.05, start: Timestamp(1_000), seed: 62 };
+        let (log, _) = load_log(&generate_queries(&hospital, &mix));
+        let engine = AuditEngine::with_options(&db, &log, EngineOptions::default());
+        let expr = audex_bench::all_time(parse_audit(&standard_audit_text()).unwrap());
+        let now = Timestamp(1_000_000);
+
+        // One-line shape report per configuration.
+        let r = engine.audit_at(&expr, now).unwrap();
+        println!(
+            "B9 zones={zones}: |U|={} accessed={} candidates={} pruned={}",
+            r.target_size,
+            r.verdict.accessed_granules,
+            r.candidates.len(),
+            r.pruned.len()
+        );
+
+        g.bench_with_input(BenchmarkId::from_parameter(zones), &zones, |b, _| {
+            b.iter(|| engine.audit_at(&expr, now).unwrap().verdict.accessed_granules)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

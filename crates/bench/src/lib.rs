@@ -1,0 +1,78 @@
+//! `audex-bench` — shared fixtures for the Criterion benchmark suite.
+//!
+//! One bench target exists per experiment row of DESIGN.md §3:
+//! `paper_artifacts` (E3–E8 as microbenches), `granules` (B1),
+//! `audit_scaling` (B2), `versioning` (B3), `notions` (B4), `batch` (B5),
+//! `join_ablation` (B6), and `ranking` (B7).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use audex_core::PreparedAudit;
+use audex_core::{AuditEngine, EngineOptions};
+use audex_log::QueryLog;
+use audex_sql::ast::{AuditExpr, TimeInterval, TsSpec};
+use audex_sql::{parse_audit, Timestamp};
+use audex_storage::Database;
+use audex_workload::{
+    generate_hospital, generate_queries, load_log, standard_audit_text, HospitalConfig,
+    QueryMixConfig,
+};
+
+/// A ready-to-audit scenario: hospital, log with planted violations, audit.
+pub struct Scenario {
+    /// The database.
+    pub db: Database,
+    /// The query log.
+    pub log: QueryLog,
+    /// The standard audit expression (disease of zone-0 patients).
+    pub audit: AuditExpr,
+    /// Reference "now" (after every logged query).
+    pub now: Timestamp,
+}
+
+/// Pins an expression's `DURING`/`DATA-INTERVAL` to all time.
+pub fn all_time(mut expr: AuditExpr) -> AuditExpr {
+    let iv = TimeInterval { start: TsSpec::At(Timestamp(0)), end: TsSpec::Now };
+    expr.during = Some(iv);
+    expr.data_interval = Some(iv);
+    expr
+}
+
+/// Builds a scenario of the given size, deterministic in its parameters.
+pub fn scenario(patients: usize, queries: usize, suspicious_rate: f64, seed: u64) -> Scenario {
+    let hospital = HospitalConfig { patients, zip_zones: 20, diseases: 12, seed };
+    let db = generate_hospital(&hospital, Timestamp(0));
+    let mix = QueryMixConfig { queries, suspicious_rate, start: Timestamp(1_000), seed: seed ^ 0x5eed };
+    let generated = generate_queries(&hospital, &mix);
+    let (log, _planted) = load_log(&generated);
+    let audit = parse_audit(&standard_audit_text()).expect("standard audit parses");
+    let now = Timestamp(1_000 + queries as i64 + 10);
+    Scenario { db, log, audit, now }
+}
+
+impl Scenario {
+    /// An engine over this scenario with the given options.
+    pub fn engine(&self, options: EngineOptions) -> AuditEngine<'_> {
+        AuditEngine::with_options(&self.db, &self.log, options)
+    }
+
+    /// Prepares the standard audit (target view + granule model).
+    pub fn prepared(&self, options: EngineOptions) -> PreparedAudit {
+        self.engine(options).prepare(&self.audit, self.now).expect("audit prepares")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_builds_and_audits() {
+        let s = scenario(100, 50, 0.2, 3);
+        let engine = s.engine(EngineOptions::default());
+        let r = engine.audit_at(&s.audit, s.now).unwrap();
+        assert!(r.verdict.suspicious);
+        assert!(!r.pruned.is_empty());
+    }
+}

@@ -1,0 +1,355 @@
+//! The audit-attribute specification algebra (paper §3.2, Table 6).
+//!
+//! An audit list is a sequence of mandatory `(…)` and optional `[…]` groups.
+//! Semantically it is a monotone boolean formula over attribute accesses:
+//! a mandatory group is a conjunction, an optional group a disjunction, and
+//! the top-level sequence a conjunction. Normalization expands the formula
+//! into its **antichain of minimal satisfying attribute sets** — the paper's
+//! *granule schemes*. Because access is monotone (touching more columns
+//! never un-trips a granule), the minimal sets characterize the notion
+//! completely, and all seven structural rules of Table 6 fall out as
+//! antichain equalities (each is a unit test below; confluence is
+//! property-tested).
+
+use audex_sql::ast::{AttrGroup, AttrItem, AttrNode, AttrSpec};
+use audex_sql::Ident;
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::error::AuditError;
+
+/// A fully resolved column: base table plus column name.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ResolvedColumn {
+    /// The table (as named in the audit's `FROM`).
+    pub table: Ident,
+    /// The column.
+    pub column: Ident,
+}
+
+impl ResolvedColumn {
+    /// Convenience constructor.
+    pub fn new(table: impl Into<Ident>, column: impl Into<Ident>) -> Self {
+        ResolvedColumn { table: table.into(), column: column.into() }
+    }
+}
+
+impl fmt::Display for ResolvedColumn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.table, self.column)
+    }
+}
+
+/// One granule scheme: a minimal set of columns whose joint access (within
+/// one granule's tuples) makes a batch suspicious.
+pub type Scheme = BTreeSet<ResolvedColumn>;
+
+/// The normalized attribute specification: an antichain of minimal schemes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NormalizedSpec {
+    schemes: Vec<Scheme>,
+}
+
+impl NormalizedSpec {
+    /// The minimal schemes, in deterministic (lexicographic) order.
+    pub fn schemes(&self) -> &[Scheme] {
+        &self.schemes
+    }
+
+    /// Number of schemes.
+    pub fn len(&self) -> usize {
+        self.schemes.len()
+    }
+
+    /// True when the specification admits no scheme (empty audit list).
+    pub fn is_empty(&self) -> bool {
+        self.schemes.is_empty()
+    }
+
+    /// Every column mentioned by any scheme.
+    pub fn all_columns(&self) -> BTreeSet<ResolvedColumn> {
+        self.schemes.iter().flatten().cloned().collect()
+    }
+
+    /// True when a set of accessed columns satisfies at least one scheme.
+    pub fn satisfied_by(&self, accessed: &BTreeSet<ResolvedColumn>) -> bool {
+        self.schemes.iter().any(|s| s.is_subset(accessed))
+    }
+}
+
+impl fmt::Display for NormalizedSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, s) in self.schemes.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" | ")?;
+            }
+            f.write_str("{")?;
+            for (j, c) in s.iter().enumerate() {
+                if j > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{c}")?;
+            }
+            f.write_str("}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Resolves attribute names against the audit's `FROM` tables and expands
+/// the specification into its normalized scheme antichain.
+///
+/// `resolver` maps an [`AttrItem`] to concrete columns: it must resolve
+/// unqualified names (erroring on ambiguity) and expand `*` to every column
+/// of every `FROM` table. [`crate::catalog::AuditScope`] provides the
+/// standard implementation backed by table schemas.
+pub fn normalize_with(
+    spec: &AttrSpec,
+    resolver: &impl ColumnResolver,
+) -> Result<NormalizedSpec, AuditError> {
+    // The top-level sequence is a conjunction (Table 6 rule 2).
+    let alts = expand_conjunction(&spec.nodes, resolver)?;
+    Ok(NormalizedSpec { schemes: minimal_antichain(alts) })
+}
+
+/// Maps attribute items to resolved columns.
+pub trait ColumnResolver {
+    /// Resolves one (possibly qualified) column name.
+    fn resolve(&self, col: &audex_sql::ColumnRef) -> Result<ResolvedColumn, AuditError>;
+    /// Every column of every table in scope, for `*`.
+    fn all_columns(&self) -> Vec<ResolvedColumn>;
+}
+
+fn expand_node(node: &AttrNode, resolver: &impl ColumnResolver) -> Result<Vec<Scheme>, AuditError> {
+    match node {
+        AttrNode::Item(AttrItem::Column(c)) => {
+            let rc = resolver.resolve(c)?;
+            Ok(vec![Scheme::from([rc])])
+        }
+        // A bare `*` (mandatory position): every column required.
+        AttrNode::Item(AttrItem::Star) => {
+            Ok(vec![resolver.all_columns().into_iter().collect::<Scheme>()])
+        }
+        AttrNode::Group(AttrGroup::Mandatory(members)) => expand_conjunction(members, resolver),
+        AttrNode::Group(AttrGroup::Optional(members)) => {
+            // Disjunction: union of member alternatives; `*` inside an
+            // optional group contributes one alternative per column
+            // (Fig. 4's `AUDIT [*]`).
+            let mut alts = Vec::new();
+            for m in members {
+                match m {
+                    AttrNode::Item(AttrItem::Star) => {
+                        alts.extend(resolver.all_columns().into_iter().map(|c| Scheme::from([c])));
+                    }
+                    other => alts.extend(expand_node(other, resolver)?),
+                }
+            }
+            Ok(alts)
+        }
+    }
+}
+
+fn expand_conjunction(
+    nodes: &[AttrNode],
+    resolver: &impl ColumnResolver,
+) -> Result<Vec<Scheme>, AuditError> {
+    let mut acc: Vec<Scheme> = vec![Scheme::new()];
+    for node in nodes {
+        // `*` directly inside a mandatory context spreads element-wise only
+        // when it *is* the group; as a member it means "all columns".
+        let alts = expand_node(node, resolver)?;
+        if alts.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut next = Vec::with_capacity(acc.len() * alts.len());
+        for a in &acc {
+            for b in &alts {
+                let mut u = a.clone();
+                u.extend(b.iter().cloned());
+                next.push(u);
+            }
+        }
+        acc = next;
+    }
+    // The empty conjunction (no nodes) yields one empty scheme; callers
+    // treat an empty *audit list* as an error upstream.
+    if nodes.is_empty() {
+        return Ok(Vec::new());
+    }
+    Ok(acc)
+}
+
+/// Keeps only minimal sets, deduplicated, in deterministic order.
+fn minimal_antichain(mut sets: Vec<Scheme>) -> Vec<Scheme> {
+    sets.sort_by(|a, b| a.len().cmp(&b.len()).then_with(|| a.cmp(b)));
+    sets.dedup();
+    let mut out: Vec<Scheme> = Vec::new();
+    for s in sets {
+        if !out.iter().any(|m| m.is_subset(&s)) {
+            out.push(s);
+        }
+    }
+    out.sort();
+    out
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use audex_sql::parse_audit;
+
+    /// A resolver over a fixed single-table universe `t.{a,b,c,d}`.
+    pub(crate) struct FixedResolver(pub Vec<&'static str>);
+
+    impl ColumnResolver for FixedResolver {
+        fn resolve(&self, col: &audex_sql::ColumnRef) -> Result<ResolvedColumn, AuditError> {
+            if self.0.iter().any(|c| Ident::new(*c) == col.column) {
+                Ok(ResolvedColumn::new("t", col.column.clone()))
+            } else {
+                Err(AuditError::UnknownAuditColumn(col.column.value.clone()))
+            }
+        }
+        fn all_columns(&self) -> Vec<ResolvedColumn> {
+            self.0.iter().map(|c| ResolvedColumn::new("t", *c)).collect()
+        }
+    }
+
+    fn norm(audit_list: &str) -> NormalizedSpec {
+        let a = parse_audit(&format!("AUDIT {audit_list} FROM t")).unwrap();
+        normalize_with(&a.audit, &FixedResolver(vec!["a", "b", "c", "d"])).unwrap()
+    }
+
+    fn schemes(audit_list: &str) -> Vec<Vec<&'static str>> {
+        let n = norm(audit_list);
+        let names = ["a", "b", "c", "d"];
+        n.schemes()
+            .iter()
+            .map(|s| {
+                let mut v: Vec<&'static str> = s
+                    .iter()
+                    .map(|c| *names.iter().find(|n| Ident::new(**n) == c.column).unwrap())
+                    .collect();
+                v.sort_unstable();
+                v
+            })
+            .collect()
+    }
+
+    #[test]
+    fn rule1_singleton_optional_equals_mandatory() {
+        assert_eq!(norm("[a]"), norm("(a)"));
+        assert_eq!(schemes("[a]"), vec![vec!["a"]]);
+    }
+
+    #[test]
+    fn rule2_mandatory_sequence_merges() {
+        assert_eq!(norm("(a)(b)"), norm("(a, b)"));
+        assert_eq!(norm("(a, b)(c)"), norm("(a, b, c)"));
+    }
+
+    #[test]
+    fn rule3_set_commutativity() {
+        assert_eq!(norm("(a, b)"), norm("(b, a)"));
+        assert_eq!(norm("[a, b]"), norm("[b, a]"));
+    }
+
+    #[test]
+    fn rule4_two_singleton_optionals_compose() {
+        assert_eq!(norm("[a][b]"), norm("(a, b)"));
+    }
+
+    #[test]
+    fn rule5_sequence_commutativity() {
+        assert_eq!(norm("[a, b][c, d]"), norm("[c, d][a, b]"));
+        assert_eq!(norm("(a)(b)"), norm("(b)(a)"));
+        assert_eq!(norm("(a)[b, c]"), norm("[b, c](a)"));
+    }
+
+    #[test]
+    fn rule6_nesting_collapses() {
+        assert_eq!(norm("[(a, b)]"), norm("(a, b)"));
+        assert_eq!(norm("([a, b])"), norm("[a, b]"));
+    }
+
+    #[test]
+    fn rule7_composition() {
+        assert_eq!(norm("(a, b)[c]"), norm("(a, b, c)"));
+    }
+
+    #[test]
+    fn paper_example_mixed_spec() {
+        // §3.2: (a,b),[c,d] trips on {a,b,c} or {a,b,d}.
+        assert_eq!(schemes("(a, b), [c, d]"), vec![vec!["a", "b", "c"], vec!["a", "b", "d"]]);
+    }
+
+    #[test]
+    fn all_optional_is_one_scheme_per_attr() {
+        assert_eq!(schemes("[a, b, c, d]"), vec![vec!["a"], vec!["b"], vec!["c"], vec!["d"]]);
+    }
+
+    #[test]
+    fn all_mandatory_is_single_scheme() {
+        assert_eq!(schemes("(a, b, c, d)"), vec![vec!["a", "b", "c", "d"]]);
+    }
+
+    #[test]
+    fn bare_columns_are_mandatory() {
+        // The Fig. 1 / Fig. 2 classic form.
+        assert_eq!(schemes("a, b, c"), vec![vec!["a", "b", "c"]]);
+    }
+
+    #[test]
+    fn optional_star_expands_per_column() {
+        assert_eq!(schemes("[*]"), vec![vec!["a"], vec!["b"], vec!["c"], vec!["d"]]);
+    }
+
+    #[test]
+    fn mandatory_star_requires_everything() {
+        assert_eq!(schemes("*"), vec![vec!["a", "b", "c", "d"]]);
+        assert_eq!(schemes("(*)"), vec![vec!["a", "b", "c", "d"]]);
+    }
+
+    #[test]
+    fn two_optional_groups_cross() {
+        assert_eq!(
+            schemes("[a, b][c, d]"),
+            vec![vec!["a", "c"], vec!["a", "d"], vec!["b", "c"], vec!["b", "d"]]
+        );
+    }
+
+    #[test]
+    fn redundant_supersets_are_pruned() {
+        // [a, (a,b)] — the {a,b} alternative is subsumed by {a}.
+        assert_eq!(schemes("[a, (a, b)]"), vec![vec!["a"]]);
+    }
+
+    #[test]
+    fn duplicate_attrs_collapse() {
+        assert_eq!(norm("(a, a)"), norm("(a)"));
+        assert_eq!(norm("[a, a, b]"), norm("[a, b]"));
+    }
+
+    #[test]
+    fn satisfied_by_checks_any_scheme() {
+        let n = norm("(a, b), [c, d]");
+        let acc = |cols: &[&str]| -> BTreeSet<ResolvedColumn> {
+            cols.iter().map(|c| ResolvedColumn::new("t", *c)).collect()
+        };
+        assert!(n.satisfied_by(&acc(&["a", "b", "c"])));
+        assert!(n.satisfied_by(&acc(&["a", "b", "d", "c"])));
+        assert!(!n.satisfied_by(&acc(&["a", "b"])));
+        assert!(!n.satisfied_by(&acc(&["c", "d"])));
+    }
+
+    #[test]
+    fn unknown_column_errors() {
+        let a = parse_audit("AUDIT nosuch FROM t").unwrap();
+        assert!(normalize_with(&a.audit, &FixedResolver(vec!["a"])).is_err());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let n = norm("(a, b)");
+        assert_eq!(n.to_string(), "{t.a, t.b}");
+    }
+}

@@ -1,0 +1,216 @@
+//! Resolution of an audit expression's `FROM` scope against the database.
+
+use audex_sql::ast::TableRef;
+use audex_sql::{ColumnRef, Ident};
+use audex_storage::{Database, Schema};
+
+use crate::attrspec::{ColumnResolver, ResolvedColumn};
+use crate::error::AuditError;
+
+/// One `FROM` entry of an audit expression (or of a logged query), resolved.
+#[derive(Debug, Clone)]
+pub struct ScopeEntry {
+    /// The name this table binds in the expression (alias if given).
+    pub binding: Ident,
+    /// The relation name as written (`P-Personal` or `b-P-Personal`).
+    pub relation: Ident,
+    /// The *base* table name (`b-` prefix stripped): the identity used when
+    /// matching tuples between queries and audit expressions, since a query
+    /// over `Patients` and an audit over `b-Patients` inspect versions of
+    /// the same tuples.
+    pub base: Ident,
+    /// The table schema.
+    pub schema: Schema,
+}
+
+/// A resolved audit (or query) `FROM` scope.
+#[derive(Debug, Clone)]
+pub struct AuditScope {
+    entries: Vec<ScopeEntry>,
+}
+
+/// Strips the backlog prefix: `b-T` → `T`, anything else unchanged.
+pub fn base_name(name: &Ident) -> Ident {
+    let lower = name.normalized();
+    match lower.strip_prefix("b-") {
+        Some(rest) => Ident::new(rest.to_string()),
+        None => name.clone(),
+    }
+}
+
+impl AuditScope {
+    /// Resolves `from` against the database catalog. Backlog names (`b-T`)
+    /// resolve to the base table's schema.
+    pub fn resolve(db: &Database, from: &[TableRef]) -> Result<Self, AuditError> {
+        let mut entries = Vec::with_capacity(from.len());
+        for tref in from {
+            let base = base_name(&tref.name);
+            let history = db
+                .history(&base)
+                .ok_or_else(|| AuditError::UnknownTable(tref.name.clone()))?;
+            let binding = tref.binding().clone();
+            if entries.iter().any(|e: &ScopeEntry| e.binding == binding) {
+                return Err(AuditError::Storage(audex_storage::StorageError::DuplicateBinding(binding)));
+            }
+            entries.push(ScopeEntry {
+                binding,
+                relation: tref.name.clone(),
+                base,
+                schema: history.schema().clone(),
+            });
+        }
+        Ok(AuditScope { entries })
+    }
+
+    /// The resolved entries, in `FROM` order.
+    pub fn entries(&self) -> &[ScopeEntry] {
+        &self.entries
+    }
+
+    /// The entry bound under `binding`.
+    pub fn entry(&self, binding: &Ident) -> Option<&ScopeEntry> {
+        self.entries.iter().find(|e| &e.binding == binding)
+    }
+
+    /// The base table names, in `FROM` order.
+    pub fn bases(&self) -> Vec<Ident> {
+        self.entries.iter().map(|e| e.base.clone()).collect()
+    }
+
+    /// Maps a resolved column (keyed by binding) to its `(base, column)`
+    /// identity for cross-expression matching.
+    pub fn base_of_column(&self, col: &ResolvedColumn) -> Option<(Ident, Ident)> {
+        self.entry(&col.table).map(|e| (e.base.clone(), col.column.clone()))
+    }
+}
+
+impl ColumnResolver for AuditScope {
+    fn resolve(&self, col: &ColumnRef) -> Result<ResolvedColumn, AuditError> {
+        match &col.table {
+            Some(t) => {
+                let entry = self
+                    .entry(t)
+                    .ok_or_else(|| AuditError::UnknownAuditColumn(format!("{t}.{}", col.column)))?;
+                if entry.schema.position(&col.column).is_none() {
+                    return Err(AuditError::UnknownAuditColumn(format!("{t}.{}", col.column)));
+                }
+                Ok(ResolvedColumn { table: entry.binding.clone(), column: col.column.clone() })
+            }
+            None => {
+                let mut found: Option<ResolvedColumn> = None;
+                for e in &self.entries {
+                    if e.schema.position(&col.column).is_some() {
+                        if found.is_some() {
+                            return Err(AuditError::AmbiguousAuditColumn(col.column.value.clone()));
+                        }
+                        found = Some(ResolvedColumn { table: e.binding.clone(), column: col.column.clone() });
+                    }
+                }
+                found.ok_or_else(|| AuditError::UnknownAuditColumn(col.column.value.clone()))
+            }
+        }
+    }
+
+    fn all_columns(&self) -> Vec<ResolvedColumn> {
+        let mut out = Vec::new();
+        for e in &self.entries {
+            for (name, _) in e.schema.iter() {
+                out.push(ResolvedColumn { table: e.binding.clone(), column: name.clone() });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use audex_sql::ast::TypeName;
+    use audex_sql::Timestamp;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            Ident::new("P-Personal"),
+            Schema::of(&[("pid", TypeName::Text), ("name", TypeName::Text)]),
+            Timestamp(0),
+        )
+        .unwrap();
+        db.create_table(
+            Ident::new("P-Health"),
+            Schema::of(&[("pid", TypeName::Text), ("disease", TypeName::Text)]),
+            Timestamp(0),
+        )
+        .unwrap();
+        db
+    }
+
+    fn scope(from: &[&str]) -> AuditScope {
+        let refs: Vec<TableRef> = from.iter().map(|n| TableRef::named(*n)).collect();
+        AuditScope::resolve(&db(), &refs).unwrap()
+    }
+
+    #[test]
+    fn base_name_strips_backlog_prefix() {
+        assert_eq!(base_name(&Ident::new("b-P-Personal")), Ident::new("P-Personal"));
+        assert_eq!(base_name(&Ident::new("P-Personal")), Ident::new("P-Personal"));
+        assert_eq!(base_name(&Ident::new("B-X")), Ident::new("x"));
+    }
+
+    #[test]
+    fn backlog_names_resolve_to_base_schema() {
+        let s = scope(&["b-P-Personal"]);
+        assert_eq!(s.entries()[0].base, Ident::new("P-Personal"));
+        assert_eq!(s.entries()[0].relation, Ident::new("b-P-Personal"));
+        assert!(s.entries()[0].schema.position(&Ident::new("name")).is_some());
+    }
+
+    #[test]
+    fn unqualified_unique_column_resolves() {
+        let s = scope(&["P-Personal", "P-Health"]);
+        let rc = s.resolve(&ColumnRef::bare("disease")).unwrap();
+        assert_eq!(rc.table, Ident::new("P-Health"));
+    }
+
+    #[test]
+    fn ambiguous_column_rejected() {
+        let s = scope(&["P-Personal", "P-Health"]);
+        assert!(matches!(
+            s.resolve(&ColumnRef::bare("pid")),
+            Err(AuditError::AmbiguousAuditColumn(_))
+        ));
+    }
+
+    #[test]
+    fn qualified_resolution_uses_binding() {
+        let s = scope(&["P-Personal", "P-Health"]);
+        let rc = s.resolve(&ColumnRef::qualified("P-Health", "pid")).unwrap();
+        assert_eq!(rc.table, Ident::new("P-Health"));
+        assert!(s.resolve(&ColumnRef::qualified("P-Health", "name")).is_err());
+        assert!(s.resolve(&ColumnRef::qualified("NoTable", "pid")).is_err());
+    }
+
+    #[test]
+    fn unknown_from_table_errors() {
+        let refs = vec![TableRef::named("Nope")];
+        assert!(matches!(AuditScope::resolve(&db(), &refs), Err(AuditError::UnknownTable(_))));
+    }
+
+    #[test]
+    fn all_columns_in_from_order() {
+        let s = scope(&["P-Personal", "P-Health"]);
+        let cols = s.all_columns();
+        assert_eq!(cols.len(), 4);
+        assert_eq!(cols[0].column, Ident::new("pid"));
+        assert_eq!(cols[3].column, Ident::new("disease"));
+    }
+
+    #[test]
+    fn base_of_column_maps_backlog_binding() {
+        let s = scope(&["b-P-Personal"]);
+        let rc = s.resolve(&ColumnRef::bare("name")).unwrap();
+        let (base, col) = s.base_of_column(&rc).unwrap();
+        assert_eq!(base, Ident::new("P-Personal"));
+        assert_eq!(col, Ident::new("name"));
+    }
+}

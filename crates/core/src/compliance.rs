@@ -1,0 +1,232 @@
+//! Policy-aware assessment of audit findings.
+//!
+//! The paper's limiting parameters are "the authorization parameters given
+//! in the privacy policy which allow access to the target data view"
+//! (§3.3). This module closes that loop in both directions:
+//!
+//! * [`suggest_limits`] derives `Pos-Role-Purpose` patterns from the policy:
+//!   the channels through which the audited data could legitimately flow —
+//!   what an administrator would plug into the audit expression.
+//! * [`assess`] classifies each suspicious query found by an audit as a
+//!   **policy violation** (its annotations never authorized those column
+//!   reads) or an **authorized disclosure** (policy-compliant, but it still
+//!   reached the protected view — a policy-specification loophole, the
+//!   paper's outcome (c): "locating and fixing the specification or
+//!   implementation loopholes").
+
+use audex_log::{LoggedQuery, QueryId, QueryLog};
+use audex_policy::{Denial, PrivacyPolicy};
+use audex_sql::ast::RolePurposePattern;
+use audex_sql::Ident;
+
+use crate::candidate::accessed_base_columns;
+use crate::catalog::AuditScope;
+use crate::engine::AuditReport;
+use audex_storage::Database;
+
+/// The classification of one suspicious query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AccessClass {
+    /// The access broke the policy: these denials explain how.
+    PolicyViolation(Vec<Denial>),
+    /// The access was policy-compliant — the disclosure is a policy
+    /// loophole, not a rogue user.
+    AuthorizedDisclosure,
+    /// The query could not be resolved against the catalog.
+    Unresolvable,
+}
+
+/// One assessed finding.
+#[derive(Debug, Clone)]
+pub struct Assessment {
+    /// The suspicious query.
+    pub id: QueryId,
+    /// Who ran it (user, role, purpose).
+    pub context: (Ident, Ident, Ident),
+    /// The classification.
+    pub class: AccessClass,
+}
+
+/// Classifies every contributing query of a report against the policy.
+pub fn assess(
+    report: &AuditReport,
+    db: &Database,
+    log: &QueryLog,
+    policy: &PrivacyPolicy,
+) -> Vec<Assessment> {
+    report
+        .verdict
+        .contributing
+        .iter()
+        .filter_map(|id| log.get(*id).map(|e| (*id, e)))
+        .map(|(id, entry)| Assessment {
+            id,
+            context: (
+                entry.context.user.clone(),
+                entry.context.role.clone(),
+                entry.context.purpose.clone(),
+            ),
+            class: classify(&entry, db, policy),
+        })
+        .collect()
+}
+
+fn classify(entry: &LoggedQuery, db: &Database, policy: &PrivacyPolicy) -> AccessClass {
+    let Ok(scope) = AuditScope::resolve(db, &entry.query.from) else {
+        return AccessClass::Unresolvable;
+    };
+    let reads: Vec<(Ident, Ident)> = accessed_base_columns(entry, &scope).into_iter().collect();
+    let denials = policy.check_access(
+        &entry.context.user,
+        &entry.context.role,
+        &entry.context.purpose,
+        &reads,
+    );
+    if denials.is_empty() {
+        AccessClass::AuthorizedDisclosure
+    } else {
+        AccessClass::PolicyViolation(denials)
+    }
+}
+
+/// Derives positive limiting parameters from the policy: every
+/// `(role, purpose)` pair authorized to read **all** of the given
+/// `(table, column)` targets. An auditor investigating a leak of exactly
+/// that data restricts the audit to these channels (plus, typically, a
+/// `Neg-…` clause for channels already ruled out).
+pub fn suggest_limits(policy: &PrivacyPolicy, targets: &[(Ident, Ident)]) -> Vec<RolePurposePattern> {
+    policy
+        .channels_to(targets)
+        .into_iter()
+        .map(|(role, purpose)| RolePurposePattern { role: Some(role), purpose: Some(purpose) })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::AuditEngine;
+    use audex_log::AccessContext;
+    use audex_policy::ColumnScope;
+    use audex_sql::ast::TypeName;
+    use audex_sql::{parse_audit, Timestamp};
+    use audex_storage::Schema;
+
+    fn fixture() -> (Database, QueryLog, PrivacyPolicy) {
+        let mut db = Database::new();
+        db.create_table(
+            Ident::new("Patients"),
+            Schema::of(&[("pid", TypeName::Text), ("zipcode", TypeName::Text), ("disease", TypeName::Text)]),
+            Timestamp(0),
+        )
+        .unwrap();
+        db.insert(&Ident::new("Patients"), vec!["p1".into(), "120016".into(), "cancer".into()], Timestamp(1))
+            .unwrap();
+
+        let log = QueryLog::new();
+        // A doctor, fully authorized.
+        log.record_text(
+            "SELECT disease FROM Patients WHERE zipcode = '120016'",
+            Timestamp(10),
+            AccessContext::new("doc1", "doctor", "treatment"),
+        )
+        .unwrap();
+        // A clerk with no business reading disease.
+        log.record_text(
+            "SELECT disease FROM Patients WHERE zipcode = '120016'",
+            Timestamp(20),
+            AccessContext::new("clerk1", "clerk", "billing"),
+        )
+        .unwrap();
+
+        let mut policy = PrivacyPolicy::new();
+        policy.purposes.declare("healthcare");
+        policy.purposes.declare_under("treatment", "healthcare");
+        policy.purposes.declare("billing");
+        policy.users.register("doc1", vec![Ident::new("doctor")]);
+        policy.users.register("clerk1", vec![Ident::new("clerk")]);
+        policy.allow("doctor", "healthcare", "Patients", ColumnScope::All);
+        policy.allow("clerk", "billing", "Patients", ColumnScope::only(["pid", "zipcode"]));
+        (db, log, policy)
+    }
+
+    fn report(db: &Database, log: &QueryLog) -> AuditReport {
+        let engine = AuditEngine::new(db, log);
+        let expr = parse_audit(
+            "DURING 1/1/1970 TO now() AUDIT disease FROM Patients WHERE zipcode='120016'",
+        )
+        .unwrap();
+        engine.audit_at(&expr, Timestamp(1_000)).unwrap()
+    }
+
+    #[test]
+    fn violations_and_authorized_disclosures_split() {
+        let (db, log, policy) = fixture();
+        let r = report(&db, &log);
+        assert_eq!(r.verdict.contributing.len(), 2);
+        let assessments = assess(&r, &db, &log, &policy);
+        assert_eq!(assessments.len(), 2);
+        assert_eq!(assessments[0].class, AccessClass::AuthorizedDisclosure);
+        match &assessments[1].class {
+            AccessClass::PolicyViolation(denials) => {
+                assert!(denials
+                    .iter()
+                    .any(|d| matches!(d, Denial::ColumnNotAuthorized { column, .. } if column == &Ident::new("disease"))));
+            }
+            other => panic!("expected violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn suggest_limits_matches_policy_channels() {
+        let (_db, _log, policy) = fixture();
+        let limits = suggest_limits(&policy, &[(Ident::new("Patients"), Ident::new("disease"))]);
+        assert_eq!(limits.len(), 1);
+        assert_eq!(limits[0].role, Some(Ident::new("doctor")));
+        assert_eq!(limits[0].purpose, Some(Ident::new("healthcare")));
+    }
+
+    #[test]
+    fn suggested_limits_restrict_the_audit() {
+        // Plugging the suggested channels into Pos-Role-Purpose audits only
+        // the legitimate channel — the paper's intended workflow when the
+        // leak must have used an authorized path.
+        let (db, log, policy) = fixture();
+        let mut expr = parse_audit(
+            "DURING 1/1/1970 TO now() AUDIT disease FROM Patients WHERE zipcode='120016'",
+        )
+        .unwrap();
+        expr.pos_role_purpose =
+            suggest_limits(&policy, &[(Ident::new("Patients"), Ident::new("disease"))])
+                .into_iter()
+                .map(|mut p| {
+                    // Policy grants 'healthcare'; the log annotates the
+                    // descendant 'treatment'. Pattern matching is exact, so
+                    // widen to role-only here.
+                    p.purpose = None;
+                    p
+                })
+                .collect();
+        let engine = AuditEngine::new(&db, &log);
+        let r = engine.audit_at(&expr, Timestamp(1_000)).unwrap();
+        assert_eq!(r.admitted.len(), 1);
+        assert_eq!(r.verdict.contributing, vec![QueryId(1)]);
+    }
+
+    #[test]
+    fn unresolvable_queries_classified() {
+        let (db, log, policy) = fixture();
+        log.record_text(
+            "SELECT x FROM Ghost",
+            Timestamp(30),
+            AccessContext::new("doc1", "doctor", "treatment"),
+        )
+        .unwrap();
+        let mut r = report(&db, &log);
+        // Force the ghost query into the contributing list to exercise the
+        // classifier directly.
+        r.verdict.contributing.push(QueryId(3));
+        let assessments = assess(&r, &db, &log, &policy);
+        assert_eq!(assessments.last().unwrap().class, AccessClass::Unresolvable);
+    }
+}

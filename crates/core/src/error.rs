@@ -1,0 +1,90 @@
+//! Audit-layer errors.
+
+use std::fmt;
+
+/// Errors raised while interpreting or evaluating an audit expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AuditError {
+    /// An attribute in the `AUDIT` clause does not resolve.
+    UnknownAuditColumn(String),
+    /// An unqualified attribute matches several `FROM` tables.
+    AmbiguousAuditColumn(String),
+    /// A `FROM` table in the audit expression does not exist.
+    UnknownTable(audex_sql::Ident),
+    /// The audit list normalized to nothing.
+    EmptyAuditList,
+    /// `DATA-INTERVAL` (or `DURING`) start lies after its end.
+    EmptyInterval {
+        /// Interval start.
+        start: audex_sql::Timestamp,
+        /// Interval end.
+        end: audex_sql::Timestamp,
+    },
+    /// The granule set is too large to materialize.
+    GranuleSetTooLarge {
+        /// The number of granules that would be produced.
+        count: u128,
+        /// The configured materialization limit.
+        limit: u64,
+    },
+    /// An error bubbled up from the storage/executor substrate.
+    Storage(audex_storage::StorageError),
+    /// An error bubbled up from SQL parsing.
+    Parse(audex_sql::ParseError),
+}
+
+impl fmt::Display for AuditError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AuditError::UnknownAuditColumn(c) => write!(f, "unknown audit attribute {c}"),
+            AuditError::AmbiguousAuditColumn(c) => {
+                write!(f, "audit attribute {c} is ambiguous; qualify it with a table name")
+            }
+            AuditError::UnknownTable(t) => write!(f, "unknown table {t} in audit FROM"),
+            AuditError::EmptyAuditList => f.write_str("audit list resolves to no attributes"),
+            AuditError::EmptyInterval { start, end } => {
+                write!(f, "interval start {start} is after end {end}")
+            }
+            AuditError::GranuleSetTooLarge { count, limit } => {
+                write!(f, "granule set has {count} granules, over the materialization limit {limit}")
+            }
+            AuditError::Storage(e) => write!(f, "storage: {e}"),
+            AuditError::Parse(e) => write!(f, "parse: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AuditError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AuditError::Storage(e) => Some(e),
+            AuditError::Parse(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<audex_storage::StorageError> for AuditError {
+    fn from(e: audex_storage::StorageError) -> Self {
+        AuditError::Storage(e)
+    }
+}
+
+impl From<audex_sql::ParseError> for AuditError {
+    fn from(e: audex_sql::ParseError) -> Self {
+        AuditError::Parse(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = AuditError::Storage(audex_storage::StorageError::DivisionByZero);
+        assert!(e.to_string().contains("storage"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(std::error::Error::source(&AuditError::EmptyAuditList).is_none());
+    }
+}

@@ -1,0 +1,292 @@
+//! Suspicion granules (paper §3.2).
+//!
+//! A suspicion notion "defines a set of suspicion granules G ... such that
+//! if a batch of queries Q accesses any granule o ∈ G, Q is marked
+//! suspicious". A granule is determined by (i) a *scheme* (which columns),
+//! (ii) a THRESHOLD-sized subset of the target view's tuples, and (iii) the
+//! INDISPENSABLE flag (whether tuple ids — and hence predicate consistency —
+//! are part of the granule).
+//!
+//! For a target view with `n` facts and threshold `k` there are
+//! `|schemes| · C(n,k)` granules; counting is exact ([`GranuleModel::count`])
+//! and enumeration is lazy, with a guarded materializer for display.
+
+use audex_sql::ast::Threshold;
+
+use crate::attrspec::{NormalizedSpec, ResolvedColumn, Scheme};
+use crate::error::AuditError;
+use crate::target::TargetView;
+
+/// The granule-generating part of a suspicion notion.
+#[derive(Debug, Clone)]
+pub struct GranuleModel {
+    /// The scheme antichain from the AUDIT clause.
+    pub spec: NormalizedSpec,
+    /// Tuples per granule.
+    pub threshold: Threshold,
+    /// Whether granules carry tuple ids (access-by-indispensability) or only
+    /// values (access-by-content).
+    pub indispensable: bool,
+}
+
+/// One materialized granule: a scheme plus the indices (into
+/// [`TargetView::facts`]) of its tuples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Granule {
+    /// Index of the scheme in the model's antichain.
+    pub scheme_idx: usize,
+    /// Fact indices, ascending.
+    pub facts: Vec<usize>,
+}
+
+/// `C(n, k)` without overflow (saturating at `u128::MAX`).
+pub fn binomial(n: u64, k: u64) -> u128 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut acc: u128 = 1;
+    for i in 0..k {
+        acc = acc.saturating_mul((n - i) as u128) / (i as u128 + 1);
+    }
+    acc
+}
+
+impl GranuleModel {
+    /// Effective tuples-per-granule for a view of `n` facts.
+    pub fn k_for(&self, n: usize) -> u64 {
+        match self.threshold {
+            Threshold::Count(k) => k,
+            Threshold::All => n as u64,
+        }
+    }
+
+    /// Exact granule count for a view of `n` facts.
+    pub fn count(&self, n: usize) -> u128 {
+        (self.spec.len() as u128).saturating_mul(binomial(n as u64, self.k_for(n)))
+    }
+
+    /// Lazily enumerates all granules of `view`.
+    pub fn enumerate<'a>(&'a self, view: &'a TargetView) -> impl Iterator<Item = Granule> + 'a {
+        let n = view.len();
+        let k = self.k_for(n) as usize;
+        self.spec
+            .schemes()
+            .iter()
+            .enumerate()
+            .flat_map(move |(si, _)| KSubsets::new(n, k).map(move |facts| Granule { scheme_idx: si, facts }))
+    }
+
+    /// Materializes all granules, refusing when there are more than `limit`.
+    pub fn materialize(&self, view: &TargetView, limit: u64) -> Result<Vec<Granule>, AuditError> {
+        let count = self.count(view.len());
+        if count > limit as u128 {
+            return Err(AuditError::GranuleSetTooLarge { count, limit });
+        }
+        Ok(self.enumerate(view).collect())
+    }
+
+    /// The scheme of a granule.
+    pub fn scheme_of(&self, g: &Granule) -> &Scheme {
+        &self.spec.schemes()[g.scheme_idx]
+    }
+
+    /// Renders a granule the way the paper writes them: the tuple ids of the
+    /// tables contributing the scheme's columns (when INDISPENSABLE), then
+    /// the scheme's values, e.g. `(t12,t22,Reku,diabetic,A2)` (Fig. 6).
+    /// Multi-tuple granules (THRESHOLD > 1) join their tuples with `;`.
+    pub fn render(&self, g: &Granule, view: &TargetView) -> String {
+        let scheme = self.scheme_of(g);
+        // Column display order: the view's order restricted to the scheme.
+        let ordered: Vec<&ResolvedColumn> =
+            view.columns.iter().filter(|c| scheme.contains(*c)).collect();
+        let mut parts: Vec<String> = Vec::new();
+        for &fi in &g.facts {
+            let fact = &view.facts[fi];
+            let mut cells: Vec<String> = Vec::new();
+            if self.indispensable {
+                // Tids of bindings contributing at least one scheme column,
+                // in FROM order.
+                for (binding, tid) in &fact.tids {
+                    if ordered.iter().any(|c| &c.table == binding) {
+                        cells.push(tid.to_string());
+                    }
+                }
+            }
+            for c in &ordered {
+                if let Some(v) = fact.values.get(*c) {
+                    cells.push(v.to_string());
+                }
+            }
+            parts.push(format!("({})", cells.join(",")));
+        }
+        parts.join(";")
+    }
+
+    /// Renders the full granule set `G = {…}` (paper Figs. 4–6). Intended
+    /// for paper-scale views; guarded by `limit`.
+    pub fn render_set(&self, view: &TargetView, limit: u64) -> Result<String, AuditError> {
+        let granules = self.materialize(view, limit)?;
+        let mut items: Vec<String> = granules.iter().map(|g| self.render(g, view)).collect();
+        // Deduplicate renderings (two schemes can render identically when a
+        // value column repeats).
+        items.dedup();
+        Ok(format!("{{{}}}", items.join(", ")))
+    }
+}
+
+/// Iterator over all k-subsets of `0..n` in lexicographic order.
+struct KSubsets {
+    n: usize,
+    k: usize,
+    cur: Option<Vec<usize>>,
+}
+
+impl KSubsets {
+    fn new(n: usize, k: usize) -> Self {
+        let cur = if k <= n { Some((0..k).collect()) } else { None };
+        KSubsets { n, k, cur }
+    }
+}
+
+impl Iterator for KSubsets {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        let cur = self.cur.as_mut()?;
+        let out = cur.clone();
+        // Advance to the next combination.
+        if self.k == 0 {
+            self.cur = None;
+            return Some(out);
+        }
+        let mut i = self.k;
+        loop {
+            if i == 0 {
+                self.cur = None;
+                break;
+            }
+            i -= 1;
+            if cur[i] < self.n - self.k + i {
+                cur[i] += 1;
+                for j in i + 1..self.k {
+                    cur[j] = cur[j - 1] + 1;
+                }
+                break;
+            }
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrspec::{normalize_with, tests::FixedResolver};
+    use audex_sql::parse_audit;
+    use audex_sql::{Ident, Timestamp};
+    use audex_storage::{Tid, Value};
+    use std::collections::BTreeMap;
+
+    fn spec(audit_list: &str) -> NormalizedSpec {
+        let a = parse_audit(&format!("AUDIT {audit_list} FROM t")).unwrap();
+        normalize_with(&a.audit, &FixedResolver(vec!["a", "b", "c", "d"])).unwrap()
+    }
+
+    fn view(n: usize) -> TargetView {
+        let col = ResolvedColumn::new("t", "a");
+        let facts = (0..n)
+            .map(|i| crate::target::UFact {
+                tids: vec![(Ident::new("t"), Tid(i as u64 + 1))],
+                values: BTreeMap::from([(col.clone(), Value::Int(i as i64))]),
+                first_seen: Timestamp(0),
+            })
+            .collect();
+        TargetView { columns: vec![col], facts, versions: vec![Timestamp(0)] }
+    }
+
+    #[test]
+    fn binomial_values() {
+        assert_eq!(binomial(4, 2), 6);
+        assert_eq!(binomial(10, 0), 1);
+        assert_eq!(binomial(10, 10), 1);
+        assert_eq!(binomial(3, 5), 0);
+        assert_eq!(binomial(52, 5), 2_598_960);
+        // Saturation, not overflow.
+        assert!(binomial(200, 100) > 0);
+    }
+
+    #[test]
+    fn count_is_schemes_times_choose() {
+        let m = GranuleModel { spec: spec("[a, b]"), threshold: Threshold::Count(2), indispensable: true };
+        assert_eq!(m.count(4), 2 * 6);
+        let all = GranuleModel { spec: spec("(a)"), threshold: Threshold::All, indispensable: true };
+        assert_eq!(all.count(4), 1);
+    }
+
+    #[test]
+    fn enumerate_matches_count() {
+        let m = GranuleModel { spec: spec("[a, b, c]"), threshold: Threshold::Count(2), indispensable: true };
+        let v = view(5);
+        assert_eq!(m.enumerate(&v).count() as u128, m.count(5));
+    }
+
+    #[test]
+    fn k_subsets_lexicographic() {
+        let subs: Vec<Vec<usize>> = KSubsets::new(4, 2).collect();
+        assert_eq!(subs, vec![
+            vec![0, 1], vec![0, 2], vec![0, 3],
+            vec![1, 2], vec![1, 3], vec![2, 3],
+        ]);
+    }
+
+    #[test]
+    fn k_equals_n_single_granule() {
+        let subs: Vec<Vec<usize>> = KSubsets::new(3, 3).collect();
+        assert_eq!(subs, vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn k_greater_than_n_is_empty() {
+        assert_eq!(KSubsets::new(2, 3).count(), 0);
+    }
+
+    #[test]
+    fn k_zero_yields_empty_set_once() {
+        let subs: Vec<Vec<usize>> = KSubsets::new(3, 0).collect();
+        assert_eq!(subs, vec![Vec::<usize>::new()]);
+    }
+
+    #[test]
+    fn materialize_guards_size() {
+        let m = GranuleModel { spec: spec("[a, b]"), threshold: Threshold::Count(2), indispensable: true };
+        let v = view(30);
+        assert!(m.materialize(&v, 10).is_err());
+        assert_eq!(m.materialize(&v, 10_000).unwrap().len(), 2 * 435);
+    }
+
+    #[test]
+    fn render_includes_tid_when_indispensable() {
+        let m = GranuleModel { spec: spec("(a)"), threshold: Threshold::Count(1), indispensable: true };
+        let v = view(2);
+        let gs = m.materialize(&v, 100).unwrap();
+        assert_eq!(m.render(&gs[0], &v), "(t1,0)");
+        let m2 = GranuleModel { spec: spec("(a)"), threshold: Threshold::Count(1), indispensable: false };
+        assert_eq!(m2.render(&gs[0], &v), "(0)");
+    }
+
+    #[test]
+    fn render_set_braces() {
+        let m = GranuleModel { spec: spec("(a)"), threshold: Threshold::Count(1), indispensable: true };
+        let v = view(2);
+        assert_eq!(m.render_set(&v, 100).unwrap(), "{(t1,0), (t2,1)}");
+    }
+
+    #[test]
+    fn multi_tuple_granule_renders_with_semicolons() {
+        let m = GranuleModel { spec: spec("(a)"), threshold: Threshold::Count(2), indispensable: true };
+        let v = view(2);
+        let gs = m.materialize(&v, 100).unwrap();
+        assert_eq!(m.render(&gs[0], &v), "(t1,0);(t2,1)");
+    }
+}

@@ -1,0 +1,319 @@
+//! The touch index — the paper's §4 second future-work item, implemented:
+//! "designing efficient algorithms to map an audit expression to a set of
+//! suspicious batch of queries for a given database instance".
+//!
+//! Semantic evaluation is dominated by running each logged query against the
+//! backlog. When an auditor investigates *many* audit expressions over the
+//! same log (the common case: one expression per complaint, per protected
+//! view, per suspicion notion), that work repeats identically. The
+//! [`TouchIndex`] runs every query **once**, storing for each query its
+//! satisfying tuple combinations (grouped by base table) and its accessed
+//! columns; any number of prepared audits can then be evaluated against the
+//! index with no further query execution.
+//!
+//! The index is exact, not approximate: [`TouchIndex::evaluate`] produces
+//! verdicts identical to [`crate::suspicion::BatchEvaluator::evaluate`]
+//! (asserted in tests and in the B8 benchmark).
+
+use audex_sql::Ident;
+use audex_storage::{Database, JoinStrategy, Tid};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use crate::attrspec::ResolvedColumn;
+use crate::candidate::{accessed_base_columns, BaseColumn};
+use crate::catalog::{base_name, AuditScope};
+use crate::engine::PreparedAudit;
+use crate::error::AuditError;
+use crate::granule::binomial;
+use crate::suspicion::BatchVerdict;
+use audex_log::{LoggedQuery, QueryId};
+
+/// Per-query execution footprint.
+struct QueryFootprint {
+    id: QueryId,
+    /// Base tables in the query's `FROM`.
+    bases: BTreeSet<Ident>,
+    /// Accessed columns (`C_Q`), in base identity.
+    covered: BTreeSet<BaseColumn>,
+    /// Satisfying combinations: per combination, tids grouped by base table.
+    combos: Vec<BTreeMap<Ident, BTreeSet<Tid>>>,
+    /// Result rows as (base column → value) maps per output row, for
+    /// value-mode (INDISPENSABLE false) audits. Only plain-column
+    /// projections are recorded.
+    value_rows: Vec<Vec<(BaseColumn, audex_storage::Value)>>,
+}
+
+/// An index of every logged query's data footprint.
+pub struct TouchIndex {
+    footprints: Vec<QueryFootprint>,
+    /// Queries that could not be executed (unknown tables, runtime errors).
+    skipped: Vec<QueryId>,
+}
+
+impl TouchIndex {
+    /// Builds the index by executing every query once at its own execution
+    /// time.
+    pub fn build(
+        db: &Database,
+        queries: &[Arc<LoggedQuery>],
+        strategy: JoinStrategy,
+    ) -> TouchIndex {
+        let mut footprints = Vec::with_capacity(queries.len());
+        let mut skipped = Vec::new();
+        for q in queries {
+            match Self::footprint(db, q, strategy) {
+                Some(fp) => footprints.push(fp),
+                None => skipped.push(q.id),
+            }
+        }
+        TouchIndex { footprints, skipped }
+    }
+
+    fn footprint(db: &Database, q: &LoggedQuery, strategy: JoinStrategy) -> Option<QueryFootprint> {
+        let q_scope = AuditScope::resolve(db, &q.query.from).ok()?;
+        let rs = db.at(q.executed_at).query_with(&q.query, strategy).ok()?;
+
+        let combos = rs
+            .lineage
+            .iter()
+            .map(|lin| {
+                let mut m: BTreeMap<Ident, BTreeSet<Tid>> = BTreeMap::new();
+                for e in lin {
+                    m.entry(base_name(&e.table)).or_default().insert(e.tid);
+                }
+                m
+            })
+            .collect();
+
+        // Record plain-column output positions for value-mode matching.
+        let mut out_cols: Vec<(usize, BaseColumn)> = Vec::new();
+        let mut idx = 0usize;
+        for item in &q.query.projection {
+            match item {
+                audex_sql::ast::SelectItem::Wildcard => {
+                    for e in q_scope.entries() {
+                        for (name, _) in e.schema.iter() {
+                            out_cols.push((idx, (e.base.clone(), name.clone())));
+                            idx += 1;
+                        }
+                    }
+                }
+                audex_sql::ast::SelectItem::QualifiedWildcard(t) => {
+                    if let Some(e) = q_scope.entry(t) {
+                        for (name, _) in e.schema.iter() {
+                            out_cols.push((idx, (e.base.clone(), name.clone())));
+                            idx += 1;
+                        }
+                    }
+                }
+                audex_sql::ast::SelectItem::Expr { expr, .. } => {
+                    if let audex_sql::ast::Expr::Column(c) = expr {
+                        if let Ok(rc) = crate::attrspec::ColumnResolver::resolve(&q_scope, c) {
+                            if let Some(e) = q_scope.entry(&rc.table) {
+                                out_cols.push((idx, (e.base.clone(), rc.column.clone())));
+                            }
+                        }
+                    }
+                    idx += 1;
+                }
+            }
+        }
+        let value_rows = rs
+            .rows
+            .iter()
+            .map(|row| {
+                out_cols
+                    .iter()
+                    .filter_map(|(ri, bc)| row.get(*ri).map(|v| (bc.clone(), v.clone())))
+                    .collect()
+            })
+            .collect();
+
+        Some(QueryFootprint {
+            id: q.id,
+            bases: q_scope.entries().iter().map(|e| e.base.clone()).collect(),
+            covered: accessed_base_columns(q, &q_scope),
+            combos,
+            value_rows,
+        })
+    }
+
+    /// Number of indexed queries.
+    pub fn len(&self) -> usize {
+        self.footprints.len()
+    }
+
+    /// True when nothing was indexed.
+    pub fn is_empty(&self) -> bool {
+        self.footprints.is_empty()
+    }
+
+    /// Evaluates a prepared audit against the index. Only queries in
+    /// `admitted` (the limiting-parameter survivors) participate; pass the
+    /// full id set to audit everything.
+    pub fn evaluate(
+        &self,
+        prepared: &PreparedAudit,
+        admitted: &BTreeSet<QueryId>,
+    ) -> Result<BatchVerdict, AuditError> {
+        let scope = &prepared.scope;
+        let model = &prepared.model;
+        let view = &prepared.view;
+
+        let relevant: BTreeSet<BaseColumn> = model
+            .spec
+            .all_columns()
+            .iter()
+            .filter_map(|c| scope.base_of_column(c))
+            .collect();
+
+        // View-column lookup for value mode.
+        let mut columns_by_base: BTreeMap<BaseColumn, Vec<ResolvedColumn>> = BTreeMap::new();
+        for c in &view.columns {
+            if let Some(bc) = scope.base_of_column(c) {
+                columns_by_base.entry(bc).or_default().push(c.clone());
+            }
+        }
+
+        let mut contributing = Vec::new();
+        let mut witnesses = Vec::new();
+        let mut touched_union: BTreeSet<usize> = BTreeSet::new();
+        let mut covered_union: BTreeSet<BaseColumn> = BTreeSet::new();
+        let mut exposure: BTreeMap<usize, BTreeSet<ResolvedColumn>> = BTreeMap::new();
+
+        for fp in &self.footprints {
+            if !admitted.contains(&fp.id) {
+                continue;
+            }
+            let shared_bindings: Vec<&Ident> = scope
+                .entries()
+                .iter()
+                .filter(|e| fp.bases.contains(&e.base))
+                .map(|e| &e.binding)
+                .collect();
+
+            if model.indispensable {
+                if shared_bindings.is_empty() {
+                    continue;
+                }
+                let mut touched = BTreeSet::new();
+                for (fi, fact) in view.facts.iter().enumerate() {
+                    let hit = fp.combos.iter().any(|combo| {
+                        shared_bindings.iter().all(|b| {
+                            let base = &scope.entry(b).expect("binding in scope").base;
+                            match (fact.tid_of(b), combo.get(base)) {
+                                (Some(tid), Some(tids)) => tids.contains(&tid),
+                                _ => false,
+                            }
+                        })
+                    });
+                    if hit {
+                        touched.insert(fi);
+                    }
+                }
+                if !touched.is_empty() {
+                    touched_union.extend(touched.iter().copied());
+                    covered_union.extend(fp.covered.iter().cloned());
+                    if fp.covered.iter().any(|bc| relevant.contains(bc)) {
+                        contributing.push(fp.id);
+                    } else {
+                        witnesses.push(fp.id);
+                    }
+                }
+            } else {
+                let mut exposed_any = false;
+                for row in &fp.value_rows {
+                    for (bc, v) in row {
+                        let Some(audit_cols) = columns_by_base.get(bc) else { continue };
+                        for (fi, fact) in view.facts.iter().enumerate() {
+                            for ac in audit_cols {
+                                if let Some(fv) = fact.values.get(ac) {
+                                    if v.grouping_eq(fv) {
+                                        exposure.entry(fi).or_default().insert(ac.clone());
+                                        exposed_any = true;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                if exposed_any {
+                    contributing.push(fp.id);
+                }
+            }
+        }
+
+        // Identical counting to BatchEvaluator::evaluate.
+        let n = view.len();
+        let k = model.k_for(n);
+        let mut per_scheme_accessed = Vec::with_capacity(model.spec.len());
+        let mut accessed: u128 = 0;
+        for scheme in model.spec.schemes() {
+            let m = if model.indispensable {
+                let covered = scheme
+                    .iter()
+                    .all(|c| scope.base_of_column(c).is_some_and(|bc| covered_union.contains(&bc)));
+                if covered {
+                    touched_union.len() as u64
+                } else {
+                    0
+                }
+            } else {
+                view.facts
+                    .iter()
+                    .enumerate()
+                    .filter(|(fi, _)| {
+                        exposure.get(fi).is_some_and(|cols| scheme.iter().all(|c| cols.contains(c)))
+                    })
+                    .count() as u64
+            };
+            let a = binomial(m, k);
+            per_scheme_accessed.push(a);
+            accessed = accessed.saturating_add(a);
+        }
+        let total = model.count(n);
+        Ok(BatchVerdict {
+            suspicious: accessed > 0,
+            accessed_granules: accessed,
+            total_granules: total,
+            degree: if total == 0 { 0.0 } else { accessed as f64 / total as f64 },
+            per_scheme_accessed,
+            contributing,
+            witnesses,
+            skipped: self
+                .skipped
+                .iter()
+                .filter(|id| admitted.contains(id))
+                .copied()
+                .collect(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use audex_log::QueryLog;
+    use audex_sql::Timestamp;
+
+    #[test]
+    fn unexecutable_queries_are_skipped() {
+        let mut db = Database::new();
+        db.create_table(
+            Ident::new("t"),
+            audex_storage::Schema::of(&[("a", audex_sql::ast::TypeName::Int)]),
+            Timestamp(0),
+        )
+        .unwrap();
+        let log = QueryLog::new();
+        log.record_text("SELECT a FROM t", Timestamp(1), audex_log::AccessContext::new("u", "r", "p"))
+            .unwrap();
+        log.record_text("SELECT x FROM ghost", Timestamp(2), audex_log::AccessContext::new("u", "r", "p"))
+            .unwrap();
+        let batch = log.snapshot();
+        let index = TouchIndex::build(&db, &batch, JoinStrategy::Auto);
+        assert_eq!(index.len(), 1);
+        assert_eq!(index.skipped, vec![QueryId(2)]);
+    }
+}

@@ -1,0 +1,107 @@
+//! Resolution of the audit expression's limiting parameters (paper §3.3)
+//! into a concrete [`AccessFilter`], and of its time clauses into intervals.
+
+use audex_sql::ast::{AuditExpr, RolePurposePattern, TimeInterval};
+use audex_sql::Timestamp;
+use audex_log::AccessFilter;
+
+use crate::error::AuditError;
+
+/// Resolves a clause interval (or the paper's default, "the current day":
+/// `current date:00-00-00` to the current timestamp) against `now`.
+pub fn resolve_interval(
+    interval: Option<&TimeInterval>,
+    now: Timestamp,
+) -> Result<(Timestamp, Timestamp), AuditError> {
+    let (start, end) = match interval {
+        Some(iv) => iv.resolve(now),
+        None => (now.start_of_day(), now),
+    };
+    if start > end {
+        return Err(AuditError::EmptyInterval { start, end });
+    }
+    Ok((start, end))
+}
+
+/// Builds the access filter: the four role/purpose/user clauses, the
+/// `DURING` interval, and the Fig. 1 `OTHERTHAN PURPOSE` clause folded in as
+/// negative `(-, purpose)` patterns (identical semantics: accesses with
+/// those purposes are exempt from auditing).
+pub fn build_filter(audit: &AuditExpr, now: Timestamp) -> Result<AccessFilter, AuditError> {
+    let during = resolve_interval(audit.during.as_ref(), now)?;
+    let mut neg = audit.neg_role_purpose.clone();
+    for p in &audit.otherthan_purposes {
+        neg.push(RolePurposePattern { role: None, purpose: Some(p.clone()) });
+    }
+    Ok(AccessFilter {
+        neg_role_purpose: neg,
+        pos_role_purpose: audit.pos_role_purpose.clone(),
+        neg_users: audit.neg_users.clone(),
+        pos_users: audit.pos_users.clone(),
+        during: Some(during),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use audex_sql::{parse_audit, Ident};
+
+    fn now() -> Timestamp {
+        Timestamp::from_ymd_hms(2008, 4, 7, 15, 30, 0).unwrap()
+    }
+
+    #[test]
+    fn default_during_is_current_day() {
+        let a = parse_audit("AUDIT a FROM t").unwrap();
+        let f = build_filter(&a, now()).unwrap();
+        let (s, e) = f.during.unwrap();
+        assert_eq!(s, Timestamp::from_ymd(2008, 4, 7).unwrap());
+        assert_eq!(e, now());
+    }
+
+    #[test]
+    fn explicit_during_resolves_now() {
+        let a = parse_audit("DURING 1/1/2008 TO now() AUDIT a FROM t").unwrap();
+        let f = build_filter(&a, now()).unwrap();
+        let (s, e) = f.during.unwrap();
+        assert_eq!(s, Timestamp::from_ymd(2008, 1, 1).unwrap());
+        assert_eq!(e, now());
+    }
+
+    #[test]
+    fn inverted_interval_rejected() {
+        let a = parse_audit("DURING 2/1/2008 TO 1/1/2008 AUDIT a FROM t").unwrap();
+        assert!(matches!(build_filter(&a, now()), Err(AuditError::EmptyInterval { .. })));
+    }
+
+    #[test]
+    fn otherthan_purpose_folds_to_negative_patterns() {
+        let a = parse_audit("OTHERTHAN PURPOSE marketing, billing AUDIT a FROM t").unwrap();
+        let f = build_filter(&a, now()).unwrap();
+        assert_eq!(f.neg_role_purpose.len(), 2);
+        assert_eq!(f.neg_role_purpose[0].purpose, Some(Ident::new("marketing")));
+        assert!(f.neg_role_purpose[0].role.is_none());
+        // An access for 'marketing' is exempt; others are audited.
+        assert!(!f.admits_parts(&Ident::new("u"), &Ident::new("r"), &Ident::new("marketing"), now()));
+        assert!(f.admits_parts(&Ident::new("u"), &Ident::new("r"), &Ident::new("treatment"), now()));
+    }
+
+    #[test]
+    fn clauses_carried_verbatim() {
+        let a = parse_audit(
+            "Neg-User-Identity u-9 Pos-Role-Purpose (doctor, treatment) AUDIT a FROM t",
+        )
+        .unwrap();
+        let f = build_filter(&a, now()).unwrap();
+        assert_eq!(f.neg_users, vec![Ident::new("u-9")]);
+        assert_eq!(f.pos_role_purpose.len(), 1);
+    }
+
+    #[test]
+    fn resolve_interval_data_interval_default() {
+        let (s, e) = resolve_interval(None, now()).unwrap();
+        assert_eq!(s, now().start_of_day());
+        assert_eq!(e, now());
+    }
+}

@@ -1,0 +1,324 @@
+//! The prior-work suspicion notions (paper §2), both as **granule-model
+//! encodings** (the paper's §3.2 expressibility claim) and as **direct
+//! implementations** of their original definitions. The integration suite
+//! checks the two agree on generated workloads — the reproduction of the
+//! paper's central argument.
+
+use audex_sql::ast::{AttrSpec, AuditExpr, Threshold};
+use audex_sql::Timestamp;
+use audex_storage::{Database, JoinStrategy};
+use std::collections::BTreeSet;
+
+use crate::attrspec::normalize_with;
+use crate::candidate::accessed_base_columns;
+use crate::catalog::{base_name, AuditScope};
+use crate::error::AuditError;
+use audex_log::{AccessedColumn, LoggedQuery};
+
+/// Rewrites an audit expression into the **perfect-privacy** notion of
+/// Miklau–Suciu \[17\] (paper Fig. 4): every cell of every `FROM` column is
+/// its own granule — `AUDIT [*]`, `INDISPENSABLE true`, `THRESHOLD 1`.
+pub fn perfect_privacy(mut audit: AuditExpr) -> AuditExpr {
+    audit.audit = AttrSpec::optional_star();
+    audit.indispensable = true;
+    audit.threshold = Threshold::Count(1);
+    audit
+}
+
+/// Rewrites into **weak syntactic suspicion** of Motwani et al. \[13\]
+/// (paper Fig. 5): one singleton scheme per attribute of the audit list
+/// *and* the `WHERE` clause — accessing any one of them (with consistent
+/// predicates) suffices.
+pub fn weak_syntactic(mut audit: AuditExpr) -> Result<AuditExpr, AuditError> {
+    use audex_sql::ast::{AttrGroup, AttrItem, AttrNode};
+    let mut items: Vec<AttrNode> = Vec::new();
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    let push = |c: audex_sql::ColumnRef, items: &mut Vec<AttrNode>, seen: &mut BTreeSet<String>| {
+        let key = format!(
+            "{}.{}",
+            c.table.as_ref().map(|t| t.normalized()).unwrap_or_default(),
+            c.column.normalized()
+        );
+        if seen.insert(key) {
+            items.push(AttrNode::Item(AttrItem::Column(c)));
+        }
+    };
+    // Existing audit attributes...
+    fn walk(
+        nodes: &[AttrNode],
+        push: &mut impl FnMut(audex_sql::ColumnRef),
+    ) {
+        for n in nodes {
+            match n {
+                AttrNode::Item(AttrItem::Column(c)) => push(c.clone()),
+                AttrNode::Item(AttrItem::Star) => {}
+                AttrNode::Group(AttrGroup::Mandatory(m) | AttrGroup::Optional(m)) => walk(m, push),
+            }
+        }
+    }
+    let has_star = audit.audit.nodes.iter().any(|n| {
+        fn star(n: &AttrNode) -> bool {
+            match n {
+                AttrNode::Item(AttrItem::Star) => true,
+                AttrNode::Item(_) => false,
+                AttrNode::Group(AttrGroup::Mandatory(m) | AttrGroup::Optional(m)) => m.iter().any(star),
+            }
+        }
+        star(n)
+    });
+    walk(&audit.audit.nodes, &mut |c| push(c, &mut items, &mut seen));
+    // ...plus every WHERE attribute (Definition 7 counts the audit list; the
+    // paper's own Fig. 5 includes the predicate columns, which we follow).
+    if let Some(pred) = &audit.selection {
+        pred.walk_columns(&mut |c| push(c.clone(), &mut items, &mut seen));
+    }
+    if has_star {
+        items.push(AttrNode::Item(AttrItem::Star));
+    }
+    if items.is_empty() {
+        return Err(AuditError::EmptyAuditList);
+    }
+    audit.audit = AttrSpec { nodes: vec![AttrNode::Group(AttrGroup::Optional(items))] };
+    audit.indispensable = true;
+    audit.threshold = Threshold::Count(1);
+    Ok(audit)
+}
+
+/// Rewrites into the **indispensable-tuple / strong semantic** notion of
+/// Agrawal et al. \[12\] / Motwani et al. \[13\] (paper Fig. 6): all audit-list
+/// attributes jointly mandatory.
+pub fn semantic_indispensable(mut audit: AuditExpr) -> AuditExpr {
+    use audex_sql::ast::{AttrGroup, AttrNode};
+    // Wrap the existing list into one mandatory group (bare items already
+    // are mandatory; groups keep their meaning under rule 6).
+    let members = std::mem::take(&mut audit.audit.nodes);
+    audit.audit = AttrSpec { nodes: vec![AttrNode::Group(AttrGroup::Mandatory(members))] };
+    audit.indispensable = true;
+    audit.threshold = Threshold::Count(1);
+    audit
+}
+
+// ---------------------------------------------------------------------------
+// Direct implementations of the original definitions (baselines).
+// ---------------------------------------------------------------------------
+
+/// Shared-indispensable-tuple test: do `q` and the audit keep a common
+/// tuple of their common base tables? `q` is evaluated at its own execution
+/// time; the audit tuples are the target view's (already computed over the
+/// `DATA-INTERVAL` versions). This is the semantic core of Definitions 3/4/6.
+pub fn shares_indispensable_tuple(
+    db: &Database,
+    q: &LoggedQuery,
+    audit_scope: &AuditScope,
+    view: &crate::target::TargetView,
+) -> Result<bool, AuditError> {
+    let q_bases: BTreeSet<audex_sql::Ident> =
+        q.query.from.iter().map(|t| base_name(&t.name)).collect();
+    let shared: Vec<&crate::catalog::ScopeEntry> =
+        audit_scope.entries().iter().filter(|e| q_bases.contains(&e.base)).collect();
+    if shared.is_empty() {
+        return Ok(false);
+    }
+    let rs = match db.at(q.executed_at).query_with(&q.query, JoinStrategy::Auto) {
+        Ok(rs) => rs,
+        Err(_) => return Ok(false),
+    };
+    for lin in &rs.lineage {
+        for fact in &view.facts {
+            let all = shared.iter().all(|e| {
+                let Some(tid) = fact.tid_of(&e.binding) else { return false };
+                lin.iter().any(|le| base_name(&le.table) == e.base && le.tid == tid)
+            });
+            if all {
+                return Ok(true);
+            }
+        }
+    }
+    Ok(false)
+}
+
+/// Definition 3 (Agrawal et al.): a single query is suspicious iff it is a
+/// candidate (`C_Q ⊇ C_A`) and shares an indispensable tuple with the audit.
+pub fn direct_semantic_single(
+    db: &Database,
+    q: &LoggedQuery,
+    audit: &AuditExpr,
+    now: Timestamp,
+) -> Result<bool, AuditError> {
+    let audit_scope = AuditScope::resolve(db, &audit.from)?;
+    let spec = normalize_with(&audit.audit, &audit_scope)?;
+    let q_scope = match AuditScope::resolve(db, &q.query.from) {
+        Ok(s) => s,
+        Err(_) => return Ok(false),
+    };
+    // C_Q ⊇ C_A: the audit-list columns (all schemes' union here — for the
+    // classic form the list is a single mandatory scheme).
+    let accessed = accessed_base_columns(q, &q_scope);
+    let needed: BTreeSet<_> = spec
+        .all_columns()
+        .iter()
+        .filter_map(|c| audit_scope.base_of_column(c))
+        .collect();
+    if !needed.is_subset(&accessed) {
+        return Ok(false);
+    }
+    let (ds, de) = crate::limits::resolve_interval(audit.data_interval.as_ref(), now)?;
+    let versions = db.versions_in(&audit_scope.bases(), ds, de);
+    let view =
+        crate::target::compute_target_view(db, audit, &audit_scope, &spec, &versions, JoinStrategy::Auto)?;
+    shares_indispensable_tuple(db, q, &audit_scope, &view)
+}
+
+/// Definition 4 (Motwani et al.): a batch is semantically suspicious iff the
+/// queries sharing an indispensable tuple with the audit jointly access all
+/// audit-list columns.
+pub fn direct_semantic_batch(
+    db: &Database,
+    batch: &[std::sync::Arc<LoggedQuery>],
+    audit: &AuditExpr,
+    now: Timestamp,
+) -> Result<bool, AuditError> {
+    let audit_scope = AuditScope::resolve(db, &audit.from)?;
+    let spec = normalize_with(&audit.audit, &audit_scope)?;
+    let (ds, de) = crate::limits::resolve_interval(audit.data_interval.as_ref(), now)?;
+    let versions = db.versions_in(&audit_scope.bases(), ds, de);
+    let view =
+        crate::target::compute_target_view(db, audit, &audit_scope, &spec, &versions, JoinStrategy::Auto)?;
+
+    let mut covered: BTreeSet<(audex_sql::Ident, audex_sql::Ident)> = BTreeSet::new();
+    for q in batch {
+        if shares_indispensable_tuple(db, q, &audit_scope, &view)? {
+            if let Ok(q_scope) = AuditScope::resolve(db, &q.query.from) {
+                covered.extend(accessed_base_columns(q, &q_scope));
+            }
+        }
+    }
+    let needed: BTreeSet<_> = spec
+        .all_columns()
+        .iter()
+        .filter_map(|c| audit_scope.base_of_column(c))
+        .collect();
+    Ok(!needed.is_empty() && needed.is_subset(&covered))
+}
+
+/// Definition 7 (weak syntactic, instantiated on the actual database): the
+/// batch contains a query sharing an indispensable tuple with the audit that
+/// accesses at least one audit-list column.
+pub fn direct_weak_syntactic(
+    db: &Database,
+    batch: &[std::sync::Arc<LoggedQuery>],
+    audit: &AuditExpr,
+    now: Timestamp,
+) -> Result<bool, AuditError> {
+    let audit_scope = AuditScope::resolve(db, &audit.from)?;
+    let weak = weak_syntactic(audit.clone())?;
+    let spec = normalize_with(&weak.audit, &audit_scope)?;
+    let (ds, de) = crate::limits::resolve_interval(audit.data_interval.as_ref(), now)?;
+    let versions = db.versions_in(&audit_scope.bases(), ds, de);
+    let view =
+        crate::target::compute_target_view(db, audit, &audit_scope, &spec, &versions, JoinStrategy::Auto)?;
+    let needed: BTreeSet<_> = spec
+        .all_columns()
+        .iter()
+        .filter_map(|c| audit_scope.base_of_column(c))
+        .collect();
+    for q in batch {
+        if shares_indispensable_tuple(db, q, &audit_scope, &view)? {
+            if let Ok(q_scope) = AuditScope::resolve(db, &q.query.from) {
+                let accessed = accessed_base_columns(q, &q_scope);
+                if accessed.iter().any(|c| needed.contains(c)) {
+                    return Ok(true);
+                }
+            }
+        }
+    }
+    Ok(false)
+}
+
+/// Definition 6 (perfect privacy, instantiated): the batch contains a query
+/// sharing *any* tuple with the audit (no column requirement beyond the
+/// query referencing the tuple at all).
+pub fn direct_perfect_privacy(
+    db: &Database,
+    batch: &[std::sync::Arc<LoggedQuery>],
+    audit: &AuditExpr,
+    now: Timestamp,
+) -> Result<bool, AuditError> {
+    let audit_scope = AuditScope::resolve(db, &audit.from)?;
+    let pp = perfect_privacy(audit.clone());
+    let spec = normalize_with(&pp.audit, &audit_scope)?;
+    let (ds, de) = crate::limits::resolve_interval(audit.data_interval.as_ref(), now)?;
+    let versions = db.versions_in(&audit_scope.bases(), ds, de);
+    let view =
+        crate::target::compute_target_view(db, audit, &audit_scope, &spec, &versions, JoinStrategy::Auto)?;
+    for q in batch {
+        if shares_indispensable_tuple(db, q, &audit_scope, &view)? {
+            // Any query keeping a tuple necessarily references some column
+            // of it (or selects it wholesale) — Definition 6 needs no more.
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+/// Expands a query's accessed columns for display purposes.
+pub fn describe_accessed(q: &LoggedQuery) -> Vec<String> {
+    q.accessed_columns()
+        .into_iter()
+        .map(|c| match c {
+            AccessedColumn::Column(r) => r.to_string(),
+            AccessedColumn::AllColumns => "*".to_string(),
+            AccessedColumn::AllOf(t) => format!("{t}.*"),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use audex_sql::parse_audit;
+
+    #[test]
+    fn perfect_privacy_rewrite() {
+        let a = parse_audit("THRESHOLD 3 INDISPENSABLE false AUDIT (x, y) FROM t WHERE x = 1").unwrap();
+        let pp = perfect_privacy(a);
+        assert_eq!(pp.audit, AttrSpec::optional_star());
+        assert!(pp.indispensable);
+        assert_eq!(pp.threshold, Threshold::Count(1));
+        assert!(pp.selection.is_some(), "WHERE is preserved");
+    }
+
+    #[test]
+    fn weak_syntactic_rewrite_collects_audit_and_where_columns() {
+        let a = parse_audit("AUDIT name, disease FROM t WHERE zipcode = '1' AND salary > 2").unwrap();
+        let w = weak_syntactic(a).unwrap();
+        match &w.audit.nodes[0] {
+            audex_sql::ast::AttrNode::Group(audex_sql::ast::AttrGroup::Optional(m)) => {
+                assert_eq!(m.len(), 4); // name, disease, zipcode, salary
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn weak_syntactic_dedupes() {
+        let a = parse_audit("AUDIT name FROM t WHERE name = 'x'").unwrap();
+        let w = weak_syntactic(a).unwrap();
+        match &w.audit.nodes[0] {
+            audex_sql::ast::AttrNode::Group(audex_sql::ast::AttrGroup::Optional(m)) => {
+                assert_eq!(m.len(), 1);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn semantic_rewrite_wraps_mandatory() {
+        let a = parse_audit("AUDIT name, disease FROM t").unwrap();
+        let s = semantic_indispensable(a);
+        assert!(matches!(
+            &s.audit.nodes[0],
+            audex_sql::ast::AttrNode::Group(audex_sql::ast::AttrGroup::Mandatory(m)) if m.len() == 2
+        ));
+    }
+}

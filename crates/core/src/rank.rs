@@ -1,0 +1,337 @@
+//! Online suspicion ranking — the paper's §4 future work, implemented.
+//!
+//! "In case of on line auditing, there is a need to determine the suspicion
+//! rank, closeness value, of a queries batch for a given set of audit
+//! expressions." The [`OnlineAuditor`] holds a set of prepared audit
+//! expressions; every incoming query is scored against each of them without
+//! re-deriving the target views, and running batch state is maintained so
+//! the *batch* degree is always current.
+
+use audex_storage::{Database, JoinStrategy};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use crate::attrspec::ResolvedColumn;
+use crate::candidate::BaseColumn;
+use crate::engine::PreparedAudit;
+use crate::error::AuditError;
+use crate::granule::binomial;
+use crate::suspicion::BatchEvaluator;
+use audex_log::{LoggedQuery, QueryId};
+
+/// A per-query, per-audit score.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryScore {
+    /// Which prepared audit this score is against.
+    pub audit_idx: usize,
+    /// Fraction of `U`'s facts the query shares a tuple with (0..=1).
+    pub fact_coverage: f64,
+    /// Fraction of the audit's relevant columns the query accessed (0..=1).
+    pub column_coverage: f64,
+    /// The combined closeness value: `fact_coverage · column_coverage`.
+    pub closeness: f64,
+}
+
+/// Running batch state for one audit.
+struct AuditState {
+    touched: BTreeSet<usize>,
+    covered: BTreeSet<BaseColumn>,
+    exposure: BTreeMap<usize, BTreeSet<ResolvedColumn>>,
+    contributing: Vec<QueryId>,
+}
+
+/// Scores queries online against a fixed set of prepared audits.
+pub struct OnlineAuditor<'a> {
+    db: &'a Database,
+    audits: Vec<PreparedAudit>,
+    states: Vec<AuditState>,
+    strategy: JoinStrategy,
+}
+
+impl<'a> OnlineAuditor<'a> {
+    /// Builds an online auditor over prepared audits.
+    pub fn new(db: &'a Database, audits: Vec<PreparedAudit>) -> Self {
+        let states = audits
+            .iter()
+            .map(|_| AuditState {
+                touched: BTreeSet::new(),
+                covered: BTreeSet::new(),
+                exposure: BTreeMap::new(),
+                contributing: Vec::new(),
+            })
+            .collect();
+        OnlineAuditor { db, audits, states, strategy: JoinStrategy::Auto }
+    }
+
+    /// Number of audits being watched.
+    pub fn audit_count(&self) -> usize {
+        self.audits.len()
+    }
+
+    /// Observes one query: updates batch state and returns its scores
+    /// against every audit (only audits it contributed to are listed).
+    pub fn observe(&mut self, q: &Arc<LoggedQuery>) -> Result<Vec<QueryScore>, AuditError> {
+        let mut scores = Vec::new();
+        for (i, prepared) in self.audits.iter().enumerate() {
+            if !prepared.filter.admits(q) {
+                continue;
+            }
+            let evaluator = BatchEvaluator::new(
+                self.db,
+                &prepared.scope,
+                &prepared.model,
+                &prepared.view,
+                self.strategy,
+            );
+            let Some(contrib) = evaluator.contribution(q) else { continue };
+            if contrib.is_empty() {
+                continue;
+            }
+
+            let n = prepared.view.len().max(1);
+            let relevant: BTreeSet<BaseColumn> = prepared
+                .spec
+                .all_columns()
+                .iter()
+                .filter_map(|c| prepared.scope.base_of_column(c))
+                .collect();
+            let covered_relevant =
+                contrib.covered_columns.intersection(&relevant).count() as f64;
+            let fact_coverage = if prepared.model.indispensable {
+                contrib.touched_facts.len() as f64 / n as f64
+            } else {
+                contrib.exposed.len() as f64 / n as f64
+            };
+            let column_coverage = if relevant.is_empty() {
+                0.0
+            } else {
+                covered_relevant / relevant.len() as f64
+            };
+
+            let state = &mut self.states[i];
+            state.touched.extend(contrib.touched_facts.iter().copied());
+            state.covered.extend(contrib.covered_columns.iter().cloned());
+            for (fi, cols) in &contrib.exposed {
+                state.exposure.entry(*fi).or_default().extend(cols.iter().cloned());
+            }
+            // Pure tuple-witnesses (no audited column) still feed the batch
+            // state above but are not listed as contributors.
+            if covered_relevant > 0.0 || !contrib.exposed.is_empty() {
+                state.contributing.push(q.id);
+            }
+
+            scores.push(QueryScore {
+                audit_idx: i,
+                fact_coverage,
+                column_coverage,
+                closeness: fact_coverage * column_coverage,
+            });
+        }
+        Ok(scores)
+    }
+
+    /// The current batch degree for audit `i` (same counting rule as
+    /// [`BatchEvaluator::evaluate`]).
+    pub fn degree(&self, i: usize) -> f64 {
+        let prepared = &self.audits[i];
+        let state = &self.states[i];
+        let n = prepared.view.len();
+        let k = prepared.model.k_for(n);
+        let mut accessed: u128 = 0;
+        for scheme in prepared.model.spec.schemes() {
+            let m = if prepared.model.indispensable {
+                let covered = scheme.iter().all(|c| {
+                    prepared.scope.base_of_column(c).is_some_and(|bc| state.covered.contains(&bc))
+                });
+                if covered {
+                    state.touched.len() as u64
+                } else {
+                    0
+                }
+            } else {
+                prepared
+                    .view
+                    .facts
+                    .iter()
+                    .enumerate()
+                    .filter(|(fi, _)| {
+                        state.exposure.get(fi).is_some_and(|cols| scheme.iter().all(|c| cols.contains(c)))
+                    })
+                    .count() as u64
+            };
+            accessed = accessed.saturating_add(binomial(m, k));
+        }
+        let total = prepared.model.count(n);
+        if total == 0 {
+            0.0
+        } else {
+            accessed as f64 / total as f64
+        }
+    }
+
+    /// True when audit `i`'s batch has turned suspicious.
+    pub fn is_suspicious(&self, i: usize) -> bool {
+        self.degree(i) > 0.0
+    }
+
+    /// Ids that contributed to audit `i`, in arrival order.
+    pub fn contributing(&self, i: usize) -> &[QueryId] {
+        &self.states[i].contributing
+    }
+
+    /// Queries ranked by total closeness across all audits (descending):
+    /// the paper's "degree of suspiciousness for user queries on line".
+    pub fn ranking(&mut self, batch: &[Arc<LoggedQuery>]) -> Result<Vec<(QueryId, f64)>, AuditError> {
+        let mut totals: BTreeMap<QueryId, f64> = BTreeMap::new();
+        for q in batch {
+            let scores = self.observe(q)?;
+            let sum: f64 = scores.iter().map(|s| s.closeness).sum();
+            *totals.entry(q.id).or_insert(0.0) += sum;
+        }
+        let mut out: Vec<(QueryId, f64)> = totals.into_iter().collect();
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::AuditEngine;
+    use audex_log::{AccessContext, QueryLog};
+    use audex_sql::ast::TypeName;
+    use audex_sql::{parse_audit, parse_query, Ident, Timestamp};
+    use audex_storage::Schema;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        let p = Ident::new("Patients");
+        db.create_table(
+            p.clone(),
+            Schema::of(&[
+                ("pid", TypeName::Text),
+                ("name", TypeName::Text),
+                ("zipcode", TypeName::Text),
+                ("disease", TypeName::Text),
+            ]),
+            Timestamp(0),
+        )
+        .unwrap();
+        for (pid, name, zip, dis) in [
+            ("p1", "Jane", "120016", "cancer"),
+            ("p2", "Reku", "145568", "diabetic"),
+            ("p3", "Lucy", "120016", "flu"),
+        ] {
+            db.insert(&p, vec![pid.into(), name.into(), zip.into(), dis.into()], Timestamp(10))
+                .unwrap();
+        }
+        db
+    }
+
+    fn q(id: u64, sql: &str) -> Arc<LoggedQuery> {
+        Arc::new(LoggedQuery {
+            id: QueryId(id),
+            query: parse_query(sql).unwrap(),
+            text: sql.into(),
+            executed_at: Timestamp(100),
+            context: AccessContext::new("u", "r", "p"),
+        })
+    }
+
+    fn auditor<'a>(db: &'a Database, exprs: &[&str]) -> OnlineAuditor<'a> {
+        let log = QueryLog::new();
+        let engine = AuditEngine::new(db, &log);
+        let prepared: Vec<PreparedAudit> = exprs
+            .iter()
+            .map(|t| {
+                let mut e = parse_audit(t).unwrap();
+                // Watch all times.
+                e.during = Some(audex_sql::ast::TimeInterval {
+                    start: audex_sql::ast::TsSpec::At(Timestamp(0)),
+                    end: audex_sql::ast::TsSpec::At(Timestamp(10_000)),
+                });
+                engine.prepare(&e, Timestamp(1000)).unwrap()
+            })
+            .collect();
+        OnlineAuditor::new(db, prepared)
+    }
+
+    #[test]
+    fn observe_scores_contributing_query() {
+        let db = db();
+        let mut oa = auditor(&db, &["AUDIT disease FROM Patients WHERE zipcode='120016'"]);
+        let scores = oa.observe(&q(1, "SELECT disease FROM Patients WHERE zipcode='120016'")).unwrap();
+        assert_eq!(scores.len(), 1);
+        assert!((scores[0].fact_coverage - 1.0).abs() < 1e-9);
+        assert!(scores[0].closeness > 0.9);
+        assert!(oa.is_suspicious(0));
+    }
+
+    #[test]
+    fn innocent_query_scores_nothing() {
+        let db = db();
+        let mut oa = auditor(&db, &["AUDIT disease FROM Patients WHERE zipcode='120016'"]);
+        let scores = oa.observe(&q(1, "SELECT name FROM Patients WHERE zipcode='145568'")).unwrap();
+        assert!(scores.is_empty());
+        assert!(!oa.is_suspicious(0));
+    }
+
+    #[test]
+    fn batch_accumulates_across_observations() {
+        let db = db();
+        let mut oa = auditor(&db, &["AUDIT (name, disease) FROM Patients WHERE zipcode='120016'"]);
+        oa.observe(&q(1, "SELECT name FROM Patients WHERE zipcode='120016'")).unwrap();
+        assert!(!oa.is_suspicious(0), "name alone is not enough");
+        oa.observe(&q(2, "SELECT disease FROM Patients WHERE zipcode='120016'")).unwrap();
+        assert!(oa.is_suspicious(0), "together they cover the scheme");
+        assert_eq!(oa.contributing(0), &[QueryId(1), QueryId(2)]);
+    }
+
+    #[test]
+    fn ranking_orders_by_closeness() {
+        let db = db();
+        let mut oa = auditor(&db, &["AUDIT disease FROM Patients WHERE zipcode='120016'"]);
+        let ranked = oa
+            .ranking(&[
+                q(1, "SELECT pid FROM Patients WHERE zipcode='145568'"), // innocent
+                q(2, "SELECT disease FROM Patients WHERE pid='p1'"),     // partial
+                q(3, "SELECT disease FROM Patients WHERE zipcode='120016'"), // full
+            ])
+            .unwrap();
+        assert_eq!(ranked[0].0, QueryId(3));
+        assert_eq!(ranked[1].0, QueryId(2));
+        assert!(ranked[0].1 > ranked[1].1);
+        assert_eq!(ranked[2].1, 0.0);
+    }
+
+    #[test]
+    fn multiple_audits_scored_independently() {
+        let db = db();
+        let mut oa = auditor(
+            &db,
+            &[
+                "AUDIT disease FROM Patients WHERE zipcode='120016'",
+                "AUDIT name FROM Patients WHERE zipcode='145568'",
+            ],
+        );
+        assert_eq!(oa.audit_count(), 2);
+        let s = oa.observe(&q(1, "SELECT name FROM Patients WHERE zipcode='145568'")).unwrap();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].audit_idx, 1);
+        assert!(!oa.is_suspicious(0));
+        assert!(oa.is_suspicious(1));
+    }
+
+    #[test]
+    fn during_filter_applies_online() {
+        let db = db();
+        let log = QueryLog::new();
+        let engine = AuditEngine::new(&db, &log);
+        let e = parse_audit("DURING 1/1/1970 TO 1/1/1970 AUDIT disease FROM Patients").unwrap();
+        let prepared = engine.prepare(&e, Timestamp(1000)).unwrap();
+        let mut oa = OnlineAuditor::new(&db, vec![prepared]);
+        // Query executed outside DURING: ignored.
+        let s = oa.observe(&q(1, "SELECT disease FROM Patients")).unwrap();
+        assert!(s.is_empty());
+    }
+}

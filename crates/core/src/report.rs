@@ -1,0 +1,192 @@
+//! Human-readable and machine-readable rendering of audit reports.
+
+use crate::engine::AuditReport;
+use audex_log::QueryLog;
+use std::fmt::Write as _;
+
+/// Escapes one CSV field (RFC 4180 quoting).
+fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+impl AuditReport {
+    /// Renders the report as a text summary for the auditor's console.
+    pub fn render_text(&self, log: &QueryLog) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "AUDIT REPORT");
+        let _ = writeln!(out, "expression : {}", self.expr_text);
+        let _ = writeln!(
+            out,
+            "pipeline   : {} admitted -> {} candidates ({} statically pruned)",
+            self.admitted.len(),
+            self.candidates.len(),
+            self.pruned.len()
+        );
+        let _ = writeln!(
+            out,
+            "target     : |U| = {} over {} data version(s)",
+            self.target_size,
+            self.versions.len()
+        );
+        let _ = writeln!(
+            out,
+            "verdict    : {} — {}/{} granules accessed (degree {:.4})",
+            if self.verdict.suspicious { "SUSPICIOUS" } else { "clean" },
+            self.verdict.accessed_granules,
+            self.verdict.total_granules,
+            self.verdict.degree
+        );
+        if !self.verdict.skipped.is_empty() {
+            let _ = writeln!(out, "skipped    : {} unevaluable queries {:?}", self.verdict.skipped.len(), self.verdict.skipped);
+        }
+        if !self.verdict.witnesses.is_empty() {
+            let _ = writeln!(
+                out,
+                "witnesses  : {} tuple-witnessing queries (no audited column) {:?}",
+                self.verdict.witnesses.len(),
+                self.verdict.witnesses
+            );
+        }
+        if !self.verdict.contributing.is_empty() {
+            let _ = writeln!(out, "suspicious queries:");
+            for id in &self.verdict.contributing {
+                match log.get(*id) {
+                    Some(e) => {
+                        let _ = writeln!(
+                            out,
+                            "  {id} @{} user={} role={} purpose={} :: {}",
+                            e.executed_at,
+                            e.context.user.value,
+                            e.context.role.value,
+                            e.context.purpose.value,
+                            e.text
+                        );
+                    }
+                    None => {
+                        let _ = writeln!(out, "  {id} (no longer in log)");
+                    }
+                }
+            }
+        }
+        if !self.per_query_suspicious.is_empty() {
+            let _ = writeln!(
+                out,
+                "individually suspicious (Definition 3): {:?}",
+                self.per_query_suspicious
+            );
+        }
+        out
+    }
+
+    /// Renders the contributing queries as CSV
+    /// (`query_id,executed_at,user,role,purpose,individually_suspicious,text`).
+    pub fn render_csv(&self, log: &QueryLog) -> String {
+        let mut out = String::from("query_id,executed_at,user,role,purpose,individually_suspicious,text\n");
+        for id in &self.verdict.contributing {
+            if let Some(e) = log.get(*id) {
+                let _ = writeln!(
+                    out,
+                    "{},{},{},{},{},{},{}",
+                    id,
+                    e.executed_at,
+                    csv_field(&e.context.user.value),
+                    csv_field(&e.context.role.value),
+                    csv_field(&e.context.purpose.value),
+                    self.per_query_suspicious.contains(id),
+                    csv_field(&e.text)
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::engine::{AuditEngine, AuditMode, EngineOptions};
+    use audex_log::{AccessContext, QueryLog};
+    use audex_sql::ast::TypeName;
+    use audex_sql::{parse_audit, Ident, Timestamp};
+    use audex_storage::{Database, Schema};
+
+    fn fixture() -> (Database, QueryLog) {
+        let mut db = Database::new();
+        db.create_table(
+            Ident::new("Patients"),
+            Schema::of(&[("pid", TypeName::Text), ("zipcode", TypeName::Text), ("disease", TypeName::Text)]),
+            Timestamp(0),
+        )
+        .unwrap();
+        db.insert(&Ident::new("Patients"), vec!["p1".into(), "120016".into(), "cancer".into()], Timestamp(1))
+            .unwrap();
+        let log = QueryLog::new();
+        log.record_text(
+            "SELECT zipcode FROM Patients WHERE disease = 'cancer'",
+            Timestamp(10),
+            AccessContext::new("u,với\"x", "nurse", "treatment"),
+        )
+        .unwrap();
+        (db, log)
+    }
+
+    #[test]
+    fn text_report_mentions_everything() {
+        let (db, log) = fixture();
+        let engine = AuditEngine::with_options(
+            &db,
+            &log,
+            EngineOptions { mode: AuditMode::PerQuery, ..Default::default() },
+        );
+        let expr = parse_audit(
+            "DURING 1/1/1970 TO now() AUDIT disease FROM Patients WHERE zipcode='120016'",
+        )
+        .unwrap();
+        let r = engine.audit_at(&expr, Timestamp(100)).unwrap();
+        let text = r.render_text(&log);
+        assert!(text.contains("SUSPICIOUS"), "{text}");
+        assert!(text.contains("q1"), "{text}");
+        assert!(text.contains("nurse"), "{text}");
+        assert!(text.contains("Definition 3"), "{text}");
+    }
+
+    #[test]
+    fn csv_escapes_fields() {
+        let (db, log) = fixture();
+        let engine = AuditEngine::new(&db, &log);
+        let expr = parse_audit(
+            "DURING 1/1/1970 TO now() AUDIT disease FROM Patients WHERE zipcode='120016'",
+        )
+        .unwrap();
+        let r = engine.audit_at(&expr, Timestamp(100)).unwrap();
+        let csv = r.render_csv(&log);
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "query_id,executed_at,user,role,purpose,individually_suspicious,text"
+        );
+        let row = lines.next().unwrap();
+        assert!(row.starts_with("q1,"));
+        assert!(row.contains("\"u,với\"\"x\""), "{row}");
+        // Single quotes alone don't force CSV quoting.
+        assert!(row.ends_with(",SELECT zipcode FROM Patients WHERE disease = 'cancer'"), "{row}");
+    }
+
+    #[test]
+    fn clean_report_has_no_query_section() {
+        let (db, log) = fixture();
+        let engine = AuditEngine::new(&db, &log);
+        let expr = parse_audit(
+            "DURING 1/1/1970 TO now() AUDIT disease FROM Patients WHERE zipcode='999999'",
+        )
+        .unwrap();
+        let r = engine.audit_at(&expr, Timestamp(100)).unwrap();
+        let text = r.render_text(&log);
+        assert!(text.contains("clean"));
+        assert!(!text.contains("suspicious queries:"));
+        assert_eq!(r.render_csv(&log).lines().count(), 1);
+    }
+}

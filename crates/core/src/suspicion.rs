@@ -1,0 +1,577 @@
+//! Granule accessibility and batch suspicion evaluation (paper §3.2).
+//!
+//! **INDISPENSABLE = true.** A granule carries tuple ids; it is accessed
+//! when every one of its tuples is *indispensable* (Definition 2) to some
+//! query of the batch — witnessed by the tuple appearing in the lineage of
+//! the query evaluated at its own execution time, the backlog methodology of
+//! \[12\] — and the batch's queries jointly access every column of the
+//! granule's scheme. With scheme = the whole audit list and THRESHOLD 1
+//! this is exactly Motwani et al.'s batch semantic suspicion (Definition 4);
+//! with per-column schemes it is weak syntactic suspicion / perfect privacy
+//! (see [`crate::notions`]).
+//!
+//! **INDISPENSABLE = false.** A granule carries only values; it is accessed
+//! when the batch's *result sets* contain the granule's values on the
+//! scheme's columns ("the batch has accessed an information which contains
+//! tuples similar to the ones present in the granule"). Exposure is
+//! computed row-by-row per query and unioned across the batch — a sound
+//! over-approximation of value disclosure.
+//!
+//! Neither mode materializes granules: for each scheme the evaluator counts
+//! qualifying facts `m` and adds `C(m, k)` accessed granules.
+
+use audex_sql::Ident;
+use audex_storage::{Database, JoinStrategy, Tid};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use crate::attrspec::ResolvedColumn;
+use crate::candidate::{accessed_base_columns, BaseColumn};
+use crate::catalog::AuditScope;
+use crate::error::AuditError;
+use crate::granule::{binomial, GranuleModel};
+use crate::target::TargetView;
+use audex_log::{LoggedQuery, QueryId};
+
+/// What one query contributed to the audit.
+#[derive(Debug, Clone, Default)]
+pub struct QueryContribution {
+    /// Facts of `U` this query shares an indispensable tuple with.
+    pub touched_facts: BTreeSet<usize>,
+    /// Base columns the query accessed (`C_Q`, wildcard-expanded).
+    pub covered_columns: BTreeSet<BaseColumn>,
+    /// Value mode: per fact, the audit columns whose values the query's
+    /// result set revealed.
+    pub exposed: BTreeMap<usize, BTreeSet<ResolvedColumn>>,
+}
+
+impl QueryContribution {
+    /// True when the query contributed nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.touched_facts.is_empty() && self.exposed.is_empty()
+    }
+}
+
+/// The outcome of evaluating a batch against one audit expression.
+#[derive(Debug, Clone)]
+pub struct BatchVerdict {
+    /// Whether any granule was accessed.
+    pub suspicious: bool,
+    /// Number of accessed granules.
+    pub accessed_granules: u128,
+    /// Total granule count (`|schemes| · C(n, k)`).
+    pub total_granules: u128,
+    /// `accessed / total` (0 when there are no granules) — the suspicion
+    /// degree the paper's §4 proposes for online ranking.
+    pub degree: f64,
+    /// Accessed-granule count per scheme (parallel to the model's schemes).
+    pub per_scheme_accessed: Vec<u128>,
+    /// Queries that contributed to disclosure: they shared an indispensable
+    /// tuple (or exposed a value) **and** accessed at least one column some
+    /// scheme needs. These are the queries an auditor should review.
+    pub contributing: Vec<QueryId>,
+    /// Queries that only *witnessed* tuples (shared an indispensable tuple
+    /// without touching any audited column). They enter Definition 4's `Q'`
+    /// — their tuples count toward granule accessibility — but reveal no
+    /// audited attribute themselves.
+    pub witnesses: Vec<QueryId>,
+    /// Queries that could not be evaluated (parse/scope/execution errors);
+    /// they are conservatively reported rather than silently dropped.
+    pub skipped: Vec<QueryId>,
+}
+
+/// Evaluates batches of logged queries against one prepared audit.
+pub struct BatchEvaluator<'a> {
+    db: &'a Database,
+    scope: &'a AuditScope,
+    model: &'a GranuleModel,
+    view: &'a TargetView,
+    strategy: JoinStrategy,
+    /// (base, column) → audit view columns with that identity.
+    columns_by_base: BTreeMap<BaseColumn, Vec<ResolvedColumn>>,
+}
+
+impl<'a> BatchEvaluator<'a> {
+    /// Prepares an evaluator for one audit.
+    pub fn new(
+        db: &'a Database,
+        scope: &'a AuditScope,
+        model: &'a GranuleModel,
+        view: &'a TargetView,
+        strategy: JoinStrategy,
+    ) -> Self {
+        let mut columns_by_base: BTreeMap<BaseColumn, Vec<ResolvedColumn>> = BTreeMap::new();
+        for c in &view.columns {
+            if let Some(bc) = scope.base_of_column(c) {
+                columns_by_base.entry(bc).or_default().push(c.clone());
+            }
+        }
+        BatchEvaluator { db, scope, model, view, strategy, columns_by_base }
+    }
+
+    /// Computes one query's contribution, or `None` when the query cannot be
+    /// evaluated (unknown tables, execution error).
+    pub fn contribution(&self, q: &LoggedQuery) -> Option<QueryContribution> {
+        let q_scope = AuditScope::resolve(self.db, &q.query.from).ok()?;
+        let mut contrib = QueryContribution {
+            covered_columns: accessed_base_columns(q, &q_scope),
+            ..Default::default()
+        };
+
+        // Which audit bindings can this query's tables witness?
+        let q_bases: BTreeSet<Ident> = q_scope.entries().iter().map(|e| e.base.clone()).collect();
+        let shared_bindings: Vec<&Ident> = self
+            .scope
+            .entries()
+            .iter()
+            .filter(|e| q_bases.contains(&e.base))
+            .map(|e| &e.binding)
+            .collect();
+        if shared_bindings.is_empty() {
+            return Some(contrib); // no tuples can be shared
+        }
+
+        let rs = self.db.at(q.executed_at).query_with(&q.query, self.strategy).ok()?;
+
+        if self.model.indispensable {
+            // Per satisfying combination: tids grouped by base table.
+            let combos: Vec<BTreeMap<Ident, BTreeSet<Tid>>> = rs
+                .lineage
+                .iter()
+                .map(|lin| {
+                    let mut m: BTreeMap<Ident, BTreeSet<Tid>> = BTreeMap::new();
+                    for e in lin {
+                        let base = crate::catalog::base_name(&e.table);
+                        m.entry(base).or_default().insert(e.tid);
+                    }
+                    m
+                })
+                .collect();
+
+            for (fi, fact) in self.view.facts.iter().enumerate() {
+                let touched = combos.iter().any(|combo| {
+                    shared_bindings.iter().all(|b| {
+                        let base = &self.scope.entry(b).expect("binding in scope").base;
+                        match (fact.tid_of(b), combo.get(base)) {
+                            (Some(tid), Some(tids)) => tids.contains(&tid),
+                            _ => false,
+                        }
+                    })
+                });
+                if touched {
+                    contrib.touched_facts.insert(fi);
+                }
+            }
+        } else {
+            // Value mode: resolve plain-column projection items to audit
+            // view columns, then match result rows against fact values.
+            let mut out_cols: Vec<(usize, Vec<ResolvedColumn>)> = Vec::new();
+            let mut out_idx = 0usize;
+            for item in &q.query.projection {
+                match item {
+                    audex_sql::ast::SelectItem::Wildcard => {
+                        for e in q_scope.entries() {
+                            for (name, _) in e.schema.iter() {
+                                self.push_out_col(&mut out_cols, out_idx, e, name);
+                                out_idx += 1;
+                            }
+                        }
+                    }
+                    audex_sql::ast::SelectItem::QualifiedWildcard(t) => {
+                        if let Some(e) = q_scope.entry(t) {
+                            for (name, _) in e.schema.iter() {
+                                self.push_out_col(&mut out_cols, out_idx, e, name);
+                                out_idx += 1;
+                            }
+                        }
+                    }
+                    audex_sql::ast::SelectItem::Expr { expr, .. } => {
+                        if let audex_sql::ast::Expr::Column(c) = expr {
+                            if let Ok(rc) = crate::attrspec::ColumnResolver::resolve(&q_scope, c) {
+                                if let Some(e) = q_scope.entry(&rc.table) {
+                                    self.push_out_col(&mut out_cols, out_idx, e, &rc.column);
+                                }
+                            }
+                        }
+                        out_idx += 1;
+                    }
+                }
+            }
+
+            if !out_cols.is_empty() {
+                for row in &rs.rows {
+                    for (fi, fact) in self.view.facts.iter().enumerate() {
+                        for (ri, audit_cols) in &out_cols {
+                            for ac in audit_cols {
+                                if let Some(fv) = fact.values.get(ac) {
+                                    if row.get(*ri).is_some_and(|v| v.grouping_eq(fv)) {
+                                        contrib.exposed.entry(fi).or_default().insert(ac.clone());
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Some(contrib)
+    }
+
+    fn push_out_col(
+        &self,
+        out_cols: &mut Vec<(usize, Vec<ResolvedColumn>)>,
+        idx: usize,
+        entry: &crate::catalog::ScopeEntry,
+        column: &Ident,
+    ) {
+        let key = (entry.base.clone(), column.clone());
+        if let Some(audit_cols) = self.columns_by_base.get(&key) {
+            out_cols.push((idx, audit_cols.clone()));
+        }
+    }
+
+    /// Evaluates a whole batch.
+    pub fn evaluate(&self, batch: &[Arc<LoggedQuery>]) -> Result<BatchVerdict, AuditError> {
+        let mut contributing = Vec::new();
+        let mut witnesses = Vec::new();
+        let mut skipped = Vec::new();
+        let mut touched_union: BTreeSet<usize> = BTreeSet::new();
+        let mut covered_union: BTreeSet<BaseColumn> = BTreeSet::new();
+        let mut exposure: BTreeMap<usize, BTreeSet<ResolvedColumn>> = BTreeMap::new();
+
+        // Columns any scheme needs, in base identity.
+        let relevant: BTreeSet<BaseColumn> = self
+            .model
+            .spec
+            .all_columns()
+            .iter()
+            .filter_map(|c| self.scope.base_of_column(c))
+            .collect();
+
+        for q in batch {
+            match self.contribution(q) {
+                None => skipped.push(q.id),
+                Some(c) => {
+                    if self.model.indispensable {
+                        if !c.touched_facts.is_empty() {
+                            // Only queries sharing an indispensable tuple
+                            // join Q' (Definition 4's subset).
+                            touched_union.extend(c.touched_facts.iter().copied());
+                            covered_union.extend(c.covered_columns.iter().cloned());
+                            if c.covered_columns.iter().any(|bc| relevant.contains(bc)) {
+                                contributing.push(q.id);
+                            } else {
+                                witnesses.push(q.id);
+                            }
+                        }
+                    } else if !c.exposed.is_empty() {
+                        for (fi, cols) in &c.exposed {
+                            exposure.entry(*fi).or_default().extend(cols.iter().cloned());
+                        }
+                        contributing.push(q.id);
+                    }
+                }
+            }
+        }
+
+        let n = self.view.len();
+        let k = self.model.k_for(n);
+        let mut per_scheme_accessed = Vec::with_capacity(self.model.spec.len());
+        let mut accessed: u128 = 0;
+        for scheme in self.model.spec.schemes() {
+            let m = if self.model.indispensable {
+                let covered = scheme.iter().all(|c| {
+                    self.scope
+                        .base_of_column(c)
+                        .is_some_and(|bc| covered_union.contains(&bc))
+                });
+                if covered {
+                    touched_union.len() as u64
+                } else {
+                    0
+                }
+            } else {
+                self.view
+                    .facts
+                    .iter()
+                    .enumerate()
+                    .filter(|(fi, _)| {
+                        exposure.get(fi).is_some_and(|cols| scheme.iter().all(|c| cols.contains(c)))
+                    })
+                    .count() as u64
+            };
+            let a = binomial(m, k);
+            per_scheme_accessed.push(a);
+            accessed = accessed.saturating_add(a);
+        }
+
+        let total = self.model.count(n);
+        Ok(BatchVerdict {
+            suspicious: accessed > 0,
+            accessed_granules: accessed,
+            total_granules: total,
+            degree: if total == 0 { 0.0 } else { (accessed as f64) / (total as f64) },
+            per_scheme_accessed,
+            contributing,
+            witnesses,
+            skipped,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrspec::normalize_with;
+    use crate::target::compute_target_view;
+    use audex_log::AccessContext;
+    use audex_sql::ast::TypeName;
+    use audex_sql::{parse_audit, parse_query, Timestamp};
+    use audex_storage::{Schema, Value};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        let p = Ident::new("Patients");
+        db.create_table(
+            p.clone(),
+            Schema::of(&[
+                ("pid", TypeName::Text),
+                ("name", TypeName::Text),
+                ("zipcode", TypeName::Text),
+                ("disease", TypeName::Text),
+            ]),
+            Timestamp(0),
+        )
+        .unwrap();
+        for (tid, pid, name, zip, dis) in [
+            (1u64, "p1", "Jane", "120016", "cancer"),
+            (2, "p2", "Reku", "145568", "diabetic"),
+            (3, "p3", "Lucy", "120016", "flu"),
+        ] {
+            db.insert_with_tid(
+                &p,
+                Tid(tid),
+                vec![pid.into(), name.into(), zip.into(), dis.into()],
+                Timestamp(1),
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    struct Setup {
+        db: Database,
+        scope: AuditScope,
+        model: GranuleModel,
+        view: TargetView,
+    }
+
+    fn setup(audit_sql: &str) -> Setup {
+        let db = db();
+        let audit = parse_audit(audit_sql).unwrap();
+        let scope = AuditScope::resolve(&db, &audit.from).unwrap();
+        let spec = normalize_with(&audit.audit, &scope).unwrap();
+        let view = compute_target_view(&db, &audit, &scope, &spec, &[Timestamp(1)], JoinStrategy::Auto)
+            .unwrap();
+        let model =
+            GranuleModel { spec, threshold: audit.threshold, indispensable: audit.indispensable };
+        Setup { db, scope, model, view }
+    }
+
+    fn logged(sql: &str, id: u64) -> Arc<LoggedQuery> {
+        Arc::new(LoggedQuery {
+            id: QueryId(id),
+            query: parse_query(sql).unwrap(),
+            text: sql.into(),
+            executed_at: Timestamp(5),
+            context: AccessContext::new("u", "r", "p"),
+        })
+    }
+
+    fn verdict(s: &Setup, queries: &[Arc<LoggedQuery>]) -> BatchVerdict {
+        BatchEvaluator::new(&s.db, &s.scope, &s.model, &s.view, JoinStrategy::Auto)
+            .evaluate(queries)
+            .unwrap()
+    }
+
+    #[test]
+    fn paper_section_2_1_example_suspicious() {
+        // AUDIT disease … zipcode='120016'; the query SELECT zipcode WHERE
+        // disease='cancer' is suspicious because Jane (cancer) lives there.
+        let s = setup("AUDIT disease FROM Patients WHERE zipcode='120016'");
+        let v = verdict(&s, &[logged("SELECT zipcode FROM Patients WHERE disease='cancer'", 1)]);
+        assert!(v.suspicious);
+        assert_eq!(v.contributing, vec![QueryId(1)]);
+    }
+
+    #[test]
+    fn paper_section_2_1_example_not_suspicious() {
+        // AUDIT zipcode … disease='diabetes': no patient has both cancer and
+        // diabetes, so the cancer query is innocent.
+        let s = setup("AUDIT zipcode FROM Patients WHERE disease='diabetes'");
+        let v = verdict(&s, &[logged("SELECT zipcode FROM Patients WHERE disease='cancer'", 1)]);
+        assert!(!v.suspicious);
+        assert!(v.contributing.is_empty());
+    }
+
+    #[test]
+    fn batch_composes_column_coverage() {
+        // Audit requires (name, disease) jointly; each query alone covers
+        // one column, together they cover both (Def. 4 batch semantics).
+        let s = setup("AUDIT (name, disease) FROM Patients WHERE zipcode='120016'");
+        let q1 = logged("SELECT name FROM Patients WHERE zipcode='120016'", 1);
+        let q2 = logged("SELECT disease FROM Patients WHERE zipcode='120016'", 2);
+        assert!(!verdict(&s, std::slice::from_ref(&q1)).suspicious);
+        assert!(!verdict(&s, std::slice::from_ref(&q2)).suspicious);
+        let v = verdict(&s, &[q1, q2]);
+        assert!(v.suspicious);
+        assert_eq!(v.contributing.len(), 2);
+    }
+
+    #[test]
+    fn query_without_shared_tuple_does_not_contribute_columns() {
+        // The second query covers `disease` but shares no indispensable
+        // tuple (wrong zipcode), so the batch stays innocent.
+        let s = setup("AUDIT (name, disease) FROM Patients WHERE zipcode='120016'");
+        let q1 = logged("SELECT name FROM Patients WHERE zipcode='120016'", 1);
+        let q2 = logged("SELECT disease FROM Patients WHERE zipcode='999999'", 2);
+        let v = verdict(&s, &[q1, q2]);
+        assert!(!v.suspicious);
+        assert_eq!(v.contributing, vec![QueryId(1)]);
+    }
+
+    #[test]
+    fn threshold_counts_facts() {
+        // Two facts share zipcode 120016. THRESHOLD 2 needs both touched.
+        let s = setup("THRESHOLD 2 AUDIT name FROM Patients WHERE zipcode='120016'");
+        let q_one = logged("SELECT name FROM Patients WHERE pid='p1'", 1);
+        let v = verdict(&s, std::slice::from_ref(&q_one));
+        assert!(!v.suspicious, "one tuple does not fill a 2-granule");
+        let q_both = logged("SELECT name FROM Patients WHERE zipcode='120016'", 2);
+        let v = verdict(&s, &[q_one, q_both]);
+        assert!(v.suspicious);
+        assert_eq!(v.accessed_granules, 1); // C(2,2)
+        assert_eq!(v.total_granules, 1);
+    }
+
+    #[test]
+    fn threshold_all_requires_whole_view() {
+        let s = setup("THRESHOLD ALL AUDIT name FROM Patients");
+        let q = logged("SELECT name FROM Patients WHERE zipcode='120016'", 1);
+        let v = verdict(&s, &[q]);
+        assert!(!v.suspicious, "only 2 of 3 facts touched");
+        let q_all = logged("SELECT name FROM Patients", 2);
+        let v = verdict(&s, &[q_all]);
+        assert!(v.suspicious);
+    }
+
+    #[test]
+    fn degree_is_fraction_of_granules() {
+        let s = setup("AUDIT name FROM Patients");
+        let q = logged("SELECT name FROM Patients WHERE zipcode='120016'", 1);
+        let v = verdict(&s, &[q]);
+        assert_eq!(v.total_granules, 3);
+        assert_eq!(v.accessed_granules, 2);
+        assert!((v.degree - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn value_mode_exposes_by_content() {
+        // INDISPENSABLE false: a query with a *different* predicate that
+        // still returns the protected value trips the granule.
+        let s = setup("INDISPENSABLE false AUDIT name FROM Patients WHERE zipcode='120016'");
+        let q = logged("SELECT name FROM Patients WHERE disease='cancer'", 1);
+        let v = verdict(&s, &[q]);
+        assert!(v.suspicious); // Jane's name surfaced
+        assert_eq!(v.accessed_granules, 1); // Jane only; Lucy not returned
+    }
+
+    #[test]
+    fn value_mode_requires_value_match() {
+        let s = setup("INDISPENSABLE false AUDIT name FROM Patients WHERE zipcode='120016'");
+        // Returns only Reku's name — not a protected value.
+        let q = logged("SELECT name FROM Patients WHERE zipcode='145568'", 1);
+        let v = verdict(&s, &[q]);
+        assert!(!v.suspicious);
+    }
+
+    #[test]
+    fn value_mode_ignores_non_column_projections() {
+        let s = setup("INDISPENSABLE false AUDIT name FROM Patients WHERE zipcode='120016'");
+        let q = logged("SELECT pid FROM Patients WHERE zipcode='120016'", 1);
+        let v = verdict(&s, &[q]);
+        assert!(!v.suspicious, "pid is not an audited column");
+    }
+
+    #[test]
+    fn indispensable_mode_catches_predicate_only_access() {
+        // The classic counter-example for value matching: the query never
+        // *returns* the audited column but uses it in WHERE.
+        let s = setup("AUDIT disease FROM Patients WHERE zipcode='120016'");
+        let q = logged("SELECT zipcode FROM Patients WHERE disease='cancer'", 1);
+        assert!(verdict(&s, &[q]).suspicious);
+    }
+
+    #[test]
+    fn skipped_queries_are_reported() {
+        let s = setup("AUDIT name FROM Patients");
+        let q = logged("SELECT nope FROM NoTable", 9);
+        let v = verdict(&s, &[q]);
+        assert_eq!(v.skipped, vec![QueryId(9)]);
+        assert!(!v.suspicious);
+    }
+
+    #[test]
+    fn per_scheme_counts() {
+        let s = setup("AUDIT [name, disease] FROM Patients WHERE zipcode='120016'");
+        // Touches both facts, accesses name only.
+        let q = logged("SELECT name FROM Patients WHERE zipcode='120016'", 1);
+        let v = verdict(&s, &[q]);
+        assert_eq!(s.model.spec.len(), 2);
+        // disease scheme uncovered, name scheme counts 2 facts.
+        let total: u128 = v.per_scheme_accessed.iter().sum();
+        assert_eq!(total, 2);
+        assert!(v.per_scheme_accessed.contains(&0));
+        assert!(v.per_scheme_accessed.contains(&2));
+    }
+
+    #[test]
+    fn empty_view_is_never_suspicious() {
+        let s = setup("AUDIT name FROM Patients WHERE zipcode='000000'");
+        let q = logged("SELECT name FROM Patients", 1);
+        let v = verdict(&s, &[q]);
+        assert!(!v.suspicious);
+        assert_eq!(v.total_granules, 0);
+        assert_eq!(v.degree, 0.0);
+    }
+
+    #[test]
+    fn query_evaluated_at_its_own_execution_time() {
+        // A query executed before the data existed cannot have touched it.
+        let s = setup("AUDIT name FROM Patients");
+        let mut early = LoggedQuery {
+            id: QueryId(1),
+            query: parse_query("SELECT name FROM Patients").unwrap(),
+            text: String::new(),
+            executed_at: Timestamp(0),
+            context: AccessContext::new("u", "r", "p"),
+        };
+        early.executed_at = Timestamp(0);
+        let v = verdict(&s, &[Arc::new(early)]);
+        assert!(!v.suspicious);
+    }
+
+    #[test]
+    fn touched_facts_match_expected_tids() {
+        let s = setup("AUDIT name FROM Patients WHERE zipcode='120016'");
+        let ev = BatchEvaluator::new(&s.db, &s.scope, &s.model, &s.view, JoinStrategy::Auto);
+        let c = ev.contribution(&logged("SELECT name FROM Patients WHERE pid='p1'", 1)).unwrap();
+        assert_eq!(c.touched_facts.len(), 1);
+        let fi = *c.touched_facts.iter().next().unwrap();
+        assert_eq!(s.view.facts[fi].tids[0].1, Tid(1));
+        assert_eq!(
+            s.view.facts[fi].values.values().next().unwrap(),
+            &Value::Str("Jane".into())
+        );
+    }
+}

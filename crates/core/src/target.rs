@@ -1,0 +1,372 @@
+//! The target data view `U` (paper §3.1).
+//!
+//! `U` is "the sensitive data which is in the audit scope": the tuples
+//! selected by the audit's `WHERE` predicate from the cross product of its
+//! `FROM` tables, with scheme = AUDIT attributes ∪ WHERE attributes ∪ one
+//! tuple-id attribute per `FROM` table. Because the database is versioned,
+//! `U` is computed at **every data version selected by `DATA-INTERVAL`** and
+//! deduplicated, so an audit can cover "all the versions ... present in the
+//! backlog" (\[12\]'s interpretation) or a single instant (\[13\]'s), as the
+//! administrator chooses.
+
+use audex_sql::ast::{AttrGroup, AttrItem, AttrNode, AuditExpr, Query, SelectItem};
+use audex_sql::{ColumnRef, Ident, Timestamp};
+use audex_storage::{Database, JoinStrategy, Tid, Value};
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::attrspec::{ColumnResolver, NormalizedSpec, ResolvedColumn};
+use crate::catalog::AuditScope;
+use crate::error::AuditError;
+
+/// One data fact of `U`: the contributing tuple ids (one per `FROM` binding)
+/// plus the values of every audited/filtered column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UFact {
+    /// `(binding, tid)` in `FROM` order.
+    pub tids: Vec<(Ident, Tid)>,
+    /// Values keyed by resolved column.
+    pub values: BTreeMap<ResolvedColumn, Value>,
+    /// The earliest selected version at which this fact was observed.
+    pub first_seen: Timestamp,
+}
+
+impl UFact {
+    /// The tid this fact has for `binding`, if that binding contributed.
+    pub fn tid_of(&self, binding: &Ident) -> Option<Tid> {
+        self.tids.iter().find(|(b, _)| b == binding).map(|(_, t)| *t)
+    }
+}
+
+/// The computed target data view.
+#[derive(Debug, Clone)]
+pub struct TargetView {
+    /// Columns of `U` in display order: AUDIT attributes in list order, then
+    /// WHERE attributes (first occurrence order).
+    pub columns: Vec<ResolvedColumn>,
+    /// The deduplicated data facts.
+    pub facts: Vec<UFact>,
+    /// The data versions that were evaluated.
+    pub versions: Vec<Timestamp>,
+}
+
+impl TargetView {
+    /// Number of facts (`n` in the paper's `ⁿCₖ` granule count).
+    pub fn len(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// True when the target view selected nothing.
+    pub fn is_empty(&self) -> bool {
+        self.facts.is_empty()
+    }
+
+    /// Renders `U` as an aligned text table (the paper's Tables 4–5).
+    pub fn render(&self, scope: &AuditScope) -> String {
+        let mut header: Vec<String> =
+            scope.entries().iter().map(|e| format!("tid_{}", e.binding)).collect();
+        header.extend(self.columns.iter().map(|c| c.to_string()));
+
+        let mut rows: Vec<Vec<String>> = Vec::with_capacity(self.facts.len());
+        for f in &self.facts {
+            let mut row: Vec<String> = scope
+                .entries()
+                .iter()
+                .map(|e| f.tid_of(&e.binding).map_or("-".to_string(), |t| t.to_string()))
+                .collect();
+            row.extend(self.columns.iter().map(|c| {
+                f.values.get(c).map_or("-".to_string(), |v| v.to_string())
+            }));
+            rows.push(row);
+        }
+        render_table(&header, &rows)
+    }
+}
+
+/// Renders an aligned text table.
+pub fn render_table(header: &[String], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let line = |out: &mut String, cells: &[String]| {
+        out.push('|');
+        for (i, c) in cells.iter().enumerate() {
+            out.push_str(&format!(" {:<w$} |", c, w = widths[i]));
+        }
+        out.push('\n');
+    };
+    line(&mut out, header);
+    out.push('|');
+    for w in &widths {
+        out.push_str(&format!("{:-<w$}|", "", w = w + 2));
+    }
+    out.push('\n');
+    for row in rows {
+        line(&mut out, row);
+    }
+    out
+}
+
+/// The columns of `U` in the paper's display order, plus the full needed set.
+pub fn target_columns(
+    audit: &AuditExpr,
+    scope: &AuditScope,
+    spec: &NormalizedSpec,
+) -> Result<Vec<ResolvedColumn>, AuditError> {
+    let mut ordered: Vec<ResolvedColumn> = Vec::new();
+    let mut push = |c: ResolvedColumn| {
+        if !ordered.contains(&c) {
+            ordered.push(c);
+        }
+    };
+
+    // AUDIT attributes in their syntactic order (stars expand in schema
+    // order).
+    fn walk(
+        nodes: &[AttrNode],
+        scope: &AuditScope,
+        push: &mut impl FnMut(ResolvedColumn),
+    ) -> Result<(), AuditError> {
+        for n in nodes {
+            match n {
+                AttrNode::Item(AttrItem::Column(c)) => push(scope.resolve(c)?),
+                AttrNode::Item(AttrItem::Star) => {
+                    for c in scope.all_columns() {
+                        push(c);
+                    }
+                }
+                AttrNode::Group(AttrGroup::Mandatory(m) | AttrGroup::Optional(m)) => {
+                    walk(m, scope, push)?
+                }
+            }
+        }
+        Ok(())
+    }
+    walk(&audit.audit.nodes, scope, &mut push)?;
+
+    // WHERE attributes next.
+    if let Some(pred) = &audit.selection {
+        let mut err = None;
+        pred.walk_columns(&mut |c| {
+            if err.is_none() {
+                match scope.resolve(c) {
+                    Ok(rc) => push(rc),
+                    Err(e) => err = Some(e),
+                }
+            }
+        });
+        if let Some(e) = err {
+            return Err(e);
+        }
+    }
+
+    // Anything a scheme needs that the syntactic walk missed (defensive).
+    for c in spec.all_columns() {
+        push(c);
+    }
+    Ok(ordered)
+}
+
+/// Computes `U` over the given data versions.
+pub fn compute_target_view(
+    db: &Database,
+    audit: &AuditExpr,
+    scope: &AuditScope,
+    spec: &NormalizedSpec,
+    versions: &[Timestamp],
+    strategy: JoinStrategy,
+) -> Result<TargetView, AuditError> {
+    let columns = target_columns(audit, scope, spec)?;
+
+    // Synthesize `SELECT <columns> FROM <audit.from> WHERE <audit.where>`.
+    let projection: Vec<SelectItem> = columns
+        .iter()
+        .map(|c| SelectItem::Expr {
+            expr: audex_sql::ast::Expr::Column(ColumnRef {
+                table: Some(c.table.clone()),
+                column: c.column.clone(),
+            }),
+            alias: None,
+        })
+        .collect();
+    let query = Query {
+        distinct: false,
+        projection,
+        from: audit.from.clone(),
+        selection: audit.selection.clone(),
+        order_by: Vec::new(),
+        limit: None,
+    };
+
+    let mut facts: Vec<UFact> = Vec::new();
+    for &ts in versions {
+        let rs = db.at(ts).query_with(&query, strategy)?;
+        for (row, lineage) in rs.rows.iter().zip(&rs.lineage) {
+            let tids: Vec<(Ident, Tid)> =
+                lineage.iter().map(|e| (e.binding.clone(), e.tid)).collect();
+            let values: BTreeMap<ResolvedColumn, Value> =
+                columns.iter().cloned().zip(row.iter().cloned()).collect();
+            if !facts.iter().any(|f| f.tids == tids && f.values == values) {
+                facts.push(UFact { tids, values, first_seen: ts });
+            }
+        }
+    }
+
+    Ok(TargetView { columns, facts, versions: versions.to_vec() })
+}
+
+impl fmt::Display for TargetView {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "U with {} facts over {} versions", self.facts.len(), self.versions.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrspec::normalize_with;
+    use audex_sql::ast::TypeName;
+    use audex_sql::parse_audit;
+    use audex_storage::Schema;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        let t = Ident::new("P-Personal");
+        db.create_table(
+            t.clone(),
+            Schema::of(&[
+                ("pid", TypeName::Text),
+                ("name", TypeName::Text),
+                ("age", TypeName::Int),
+                ("zipcode", TypeName::Text),
+                ("address", TypeName::Text),
+            ]),
+            Timestamp(0),
+        )
+        .unwrap();
+        let rows: Vec<(u64, Vec<Value>)> = vec![
+            (11, vec!["p1".into(), "Jane".into(), Value::Int(25), "177893".into(), "A1".into()]),
+            (12, vec!["p2".into(), "Reku".into(), Value::Int(35), "145568".into(), "A2".into()]),
+            (13, vec!["p13".into(), "Robert".into(), Value::Int(29), "188888".into(), "A3".into()]),
+            (14, vec!["p28".into(), "Lucy".into(), Value::Int(20), "145568".into(), "A4".into()]),
+        ];
+        for (tid, row) in rows {
+            db.insert_with_tid(&t, Tid(tid), row, Timestamp(1)).unwrap();
+        }
+        db
+    }
+
+    fn view(db: &Database, audit_sql: &str, versions: &[Timestamp]) -> (TargetView, AuditScope) {
+        let audit = parse_audit(audit_sql).unwrap();
+        let scope = AuditScope::resolve(db, &audit.from).unwrap();
+        let spec = normalize_with(&audit.audit, &scope).unwrap();
+        let tv =
+            compute_target_view(db, &audit, &scope, &spec, versions, JoinStrategy::Auto).unwrap();
+        (tv, scope)
+    }
+
+    #[test]
+    fn paper_table_4_target_facts() {
+        // Audit Expression-1 (Fig. 2) over Table 1 yields Table 4:
+        // {t11 Jane 25 A1, t13 Robert 29 A3, t14 Lucy 20 A4}.
+        let db = db();
+        let (tv, _) = view(
+            &db,
+            "Audit name, age, address FROM P-Personal WHERE age < 30",
+            &[Timestamp(1)],
+        );
+        assert_eq!(tv.len(), 3);
+        let tids: Vec<u64> = tv.facts.iter().map(|f| f.tids[0].1 .0).collect();
+        assert_eq!(tids, vec![11, 13, 14]);
+        // Columns: audit order (name, age, address); `age` not repeated for
+        // the WHERE clause.
+        let names: Vec<String> = tv.columns.iter().map(|c| c.column.value.clone()).collect();
+        assert_eq!(names, vec!["name", "age", "address"]);
+    }
+
+    #[test]
+    fn where_columns_are_appended() {
+        let db = db();
+        let (tv, _) = view(
+            &db,
+            "Audit name FROM P-Personal WHERE zipcode = '145568'",
+            &[Timestamp(1)],
+        );
+        let names: Vec<String> = tv.columns.iter().map(|c| c.column.value.clone()).collect();
+        assert_eq!(names, vec!["name", "zipcode"]);
+        assert_eq!(tv.len(), 2); // Reku, Lucy
+    }
+
+    #[test]
+    fn versions_are_deduplicated() {
+        let mut db = db();
+        // An unrelated update: U identical at both versions.
+        db.insert_with_tid(
+            &Ident::new("P-Personal"),
+            Tid(15),
+            vec!["p99".into(), "Old".into(), Value::Int(80), "000000".into(), "A9".into()],
+            Timestamp(50),
+        )
+        .unwrap();
+        let (tv, _) = view(
+            &db,
+            "Audit name FROM P-Personal WHERE age < 30",
+            &[Timestamp(1), Timestamp(50)],
+        );
+        assert_eq!(tv.len(), 3); // no duplicates from the second version
+    }
+
+    #[test]
+    fn changed_data_adds_version_facts() {
+        let mut db = db();
+        // Reku's zipcode changes: under a zipcode audit both versions count.
+        db.execute(
+            &audex_sql::parse_statement("UPDATE P-Personal SET zipcode = '999999' WHERE pid = 'p2'")
+                .unwrap(),
+            Timestamp(60),
+        )
+        .unwrap();
+        let (tv_single, _) = view(
+            &db,
+            "Audit zipcode FROM P-Personal WHERE name = 'Reku'",
+            &[Timestamp(1)],
+        );
+        assert_eq!(tv_single.len(), 1);
+        let (tv_both, _) = view(
+            &db,
+            "Audit zipcode FROM P-Personal WHERE name = 'Reku'",
+            &[Timestamp(1), Timestamp(60)],
+        );
+        assert_eq!(tv_both.len(), 2);
+        assert_eq!(tv_both.facts[0].first_seen, Timestamp(1));
+        assert_eq!(tv_both.facts[1].first_seen, Timestamp(60));
+    }
+
+    #[test]
+    fn render_includes_tids_and_values() {
+        let db = db();
+        let (tv, scope) = view(
+            &db,
+            "Audit name, age, address FROM P-Personal WHERE age < 30",
+            &[Timestamp(1)],
+        );
+        let s = tv.render(&scope);
+        assert!(s.contains("tid_P-Personal"), "{s}");
+        assert!(s.contains("t11"), "{s}");
+        assert!(s.contains("Jane"), "{s}");
+        assert!(s.contains("Robert"), "{s}");
+    }
+
+    #[test]
+    fn empty_target_view() {
+        let db = db();
+        let (tv, _) = view(&db, "Audit name FROM P-Personal WHERE age > 100", &[Timestamp(1)]);
+        assert!(tv.is_empty());
+    }
+}

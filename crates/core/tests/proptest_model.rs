@@ -1,0 +1,192 @@
+//! Property tests on the audit model: Table 6 normalization laws, granule
+//! counting, and scheme-satisfaction monotonicity.
+
+use audex_core::{normalize_with, GranuleModel, ResolvedColumn};
+use audex_sql::ast::{AttrGroup, AttrItem, AttrNode, AttrSpec, Threshold};
+use audex_sql::{ColumnRef, Ident, Timestamp};
+use audex_storage::{Tid, Value};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+const COLS: [&str; 5] = ["a", "b", "c", "d", "e"];
+
+struct FiveCols;
+
+impl audex_core::attrspec::ColumnResolver for FiveCols {
+    fn resolve(&self, col: &ColumnRef) -> Result<ResolvedColumn, audex_core::AuditError> {
+        if COLS.iter().any(|c| Ident::new(*c) == col.column) {
+            Ok(ResolvedColumn::new("t", col.column.clone()))
+        } else {
+            Err(audex_core::AuditError::UnknownAuditColumn(col.column.value.clone()))
+        }
+    }
+    fn all_columns(&self) -> Vec<ResolvedColumn> {
+        COLS.iter().map(|c| ResolvedColumn::new("t", *c)).collect()
+    }
+}
+
+fn attr_node_strategy() -> impl Strategy<Value = AttrNode> {
+    let item = prop_oneof![
+        (0usize..COLS.len())
+            .prop_map(|i| AttrNode::Item(AttrItem::Column(ColumnRef::bare(COLS[i])))),
+        Just(AttrNode::Item(AttrItem::Star)),
+    ];
+    item.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 1..4)
+                .prop_map(|m| AttrNode::Group(AttrGroup::Mandatory(m))),
+            proptest::collection::vec(inner, 1..4)
+                .prop_map(|m| AttrNode::Group(AttrGroup::Optional(m))),
+        ]
+    })
+}
+
+fn spec_strategy() -> impl Strategy<Value = AttrSpec> {
+    proptest::collection::vec(attr_node_strategy(), 1..4).prop_map(|nodes| AttrSpec { nodes })
+}
+
+/// Brute-force semantics: does an accessed-column set satisfy the spec
+/// formula (mandatory = AND, optional = OR, star = context-dependent)?
+fn satisfies(nodes: &[AttrNode], accessed: &BTreeSet<&str>) -> bool {
+    nodes.iter().all(|n| node_satisfied(n, accessed))
+}
+
+fn node_satisfied(n: &AttrNode, accessed: &BTreeSet<&str>) -> bool {
+    match n {
+        AttrNode::Item(AttrItem::Column(c)) => {
+            accessed.iter().any(|a| Ident::new(*a) == c.column)
+        }
+        // A bare star in mandatory context: all columns.
+        AttrNode::Item(AttrItem::Star) => COLS.iter().all(|c| accessed.contains(c)),
+        AttrNode::Group(AttrGroup::Mandatory(m)) => m.iter().all(|x| node_satisfied(x, accessed)),
+        AttrNode::Group(AttrGroup::Optional(m)) => m.iter().any(|x| match x {
+            // A star inside an optional group: any one column suffices.
+            AttrNode::Item(AttrItem::Star) => COLS.iter().any(|c| accessed.contains(c)),
+            other => node_satisfied(other, accessed),
+        }),
+    }
+}
+
+fn all_subsets() -> Vec<BTreeSet<&'static str>> {
+    (0u32..32)
+        .map(|mask| {
+            COLS.iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .map(|(_, c)| *c)
+                .collect()
+        })
+        .collect()
+}
+
+fn tiny_view(n: usize) -> audex_core::TargetView {
+    let col = ResolvedColumn::new("t", "a");
+    audex_core::TargetView {
+        columns: vec![col.clone()],
+        facts: (0..n)
+            .map(|i| audex_core::UFact {
+                tids: vec![(Ident::new("t"), Tid(i as u64 + 1))],
+                values: BTreeMap::from([(col.clone(), Value::Int(i as i64))]),
+                first_seen: Timestamp(0),
+            })
+            .collect(),
+        versions: vec![Timestamp(0)],
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Normalization is semantics-preserving: for every subset of columns,
+    /// the antichain is satisfied iff the original formula is.
+    #[test]
+    fn normalization_preserves_semantics(spec in spec_strategy()) {
+        let norm = normalize_with(&spec, &FiveCols).unwrap();
+        for subset in all_subsets() {
+            let resolved: BTreeSet<ResolvedColumn> =
+                subset.iter().map(|c| ResolvedColumn::new("t", *c)).collect();
+            prop_assert_eq!(
+                norm.satisfied_by(&resolved),
+                satisfies(&spec.nodes, &subset),
+                "spec {:?} subset {:?}", &spec, &subset
+            );
+        }
+    }
+
+    /// The antichain is minimal: no scheme is a subset of another, and
+    /// dropping any column from any scheme breaks satisfaction via that
+    /// scheme alone.
+    #[test]
+    fn normalization_is_minimal_antichain(spec in spec_strategy()) {
+        let norm = normalize_with(&spec, &FiveCols).unwrap();
+        let schemes = norm.schemes();
+        for (i, s) in schemes.iter().enumerate() {
+            for (j, t) in schemes.iter().enumerate() {
+                if i != j {
+                    prop_assert!(!s.is_subset(t), "scheme {i} ⊆ scheme {j}");
+                }
+            }
+        }
+    }
+
+    /// Normalization is idempotent under re-encoding: turning the antichain
+    /// back into a spec (one optional group of mandatory groups) and
+    /// normalizing again yields the same antichain.
+    #[test]
+    fn normalization_round_trips(spec in spec_strategy()) {
+        let norm = normalize_with(&spec, &FiveCols).unwrap();
+        let reencoded = AttrSpec {
+            nodes: vec![AttrNode::Group(AttrGroup::Optional(
+                norm.schemes()
+                    .iter()
+                    .map(|s| AttrNode::Group(AttrGroup::Mandatory(
+                        s.iter()
+                            .map(|c| AttrNode::Item(AttrItem::Column(ColumnRef::bare(
+                                c.column.value.clone(),
+                            ))))
+                            .collect(),
+                    )))
+                    .collect(),
+            ))],
+        };
+        let renorm = normalize_with(&reencoded, &FiveCols).unwrap();
+        prop_assert_eq!(norm, renorm);
+    }
+
+    /// Satisfaction is monotone in the accessed set.
+    #[test]
+    fn satisfaction_is_monotone(spec in spec_strategy(), mask in 0u32..32, extra in 0usize..5) {
+        let norm = normalize_with(&spec, &FiveCols).unwrap();
+        let small: BTreeSet<ResolvedColumn> = COLS.iter().enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, c)| ResolvedColumn::new("t", *c))
+            .collect();
+        let mut big = small.clone();
+        big.insert(ResolvedColumn::new("t", COLS[extra]));
+        if norm.satisfied_by(&small) {
+            prop_assert!(norm.satisfied_by(&big));
+        }
+    }
+
+    /// |G| = |schemes| · C(n, k), and lazy enumeration agrees with the
+    /// closed form.
+    #[test]
+    fn granule_count_formula(spec in spec_strategy(), n in 0usize..8, k in 1u64..5) {
+        let norm = normalize_with(&spec, &FiveCols).unwrap();
+        let model = GranuleModel { spec: norm, threshold: Threshold::Count(k), indispensable: true };
+        let view = tiny_view(n);
+        let count = model.count(n);
+        prop_assert_eq!(count, model.spec.len() as u128 * audex_core::binomial(n as u64, k));
+        prop_assert_eq!(model.enumerate(&view).count() as u128, count);
+    }
+
+    /// THRESHOLD ALL always yields exactly one granule per scheme (for a
+    /// non-empty view).
+    #[test]
+    fn threshold_all_one_granule_per_scheme(spec in spec_strategy(), n in 1usize..6) {
+        let norm = normalize_with(&spec, &FiveCols).unwrap();
+        let model = GranuleModel { spec: norm, threshold: Threshold::All, indispensable: true };
+        prop_assert_eq!(model.count(n), model.spec.len() as u128);
+    }
+}

@@ -1,0 +1,19 @@
+//! `audex-policy` — the Hippocratic privacy-policy substrate.
+//!
+//! The paper's limiting parameters (§3.3) are "the authorization parameters
+//! given in the privacy policy which allow access to the target data view":
+//! user ids, roles, and purposes. This crate models the policy those
+//! parameters come from — a purpose hierarchy, user/role registry, and
+//! column-level authorizations — so examples and workloads can distinguish
+//! policy-compliant accesses from violating ones, and so an auditor can ask
+//! which `(role, purpose)` channels could have reached the leaked data
+//! ([`rules::PrivacyPolicy::channels_to`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod model;
+pub mod rules;
+
+pub use model::{PurposeRegistry, UserRegistry};
+pub use rules::{Authorization, ColumnScope, Denial, PrivacyPolicy};

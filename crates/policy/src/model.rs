@@ -1,0 +1,131 @@
+//! Users, roles, and the purpose hierarchy.
+
+use audex_sql::Ident;
+use std::collections::BTreeMap;
+
+/// A registry of declared purposes with an optional hierarchy: authorizing a
+/// parent purpose implies its descendants (Hippocratic-database style, after
+/// Agrawal et al.'s purpose taxonomy).
+#[derive(Debug, Clone, Default)]
+pub struct PurposeRegistry {
+    parents: BTreeMap<Ident, Option<Ident>>,
+}
+
+impl PurposeRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a root purpose.
+    pub fn declare(&mut self, purpose: impl Into<Ident>) -> &mut Self {
+        self.parents.insert(purpose.into(), None);
+        self
+    }
+
+    /// Declares a purpose under a parent.
+    pub fn declare_under(&mut self, purpose: impl Into<Ident>, parent: impl Into<Ident>) -> &mut Self {
+        self.parents.insert(purpose.into(), Some(parent.into()));
+        self
+    }
+
+    /// True when the purpose is declared.
+    pub fn contains(&self, purpose: &Ident) -> bool {
+        self.parents.contains_key(purpose)
+    }
+
+    /// True when `purpose` is `ancestor` or a descendant of it.
+    pub fn is_within(&self, purpose: &Ident, ancestor: &Ident) -> bool {
+        let mut cur = Some(purpose.clone());
+        let mut hops = 0;
+        while let Some(p) = cur {
+            if &p == ancestor {
+                return true;
+            }
+            cur = self.parents.get(&p).cloned().flatten();
+            hops += 1;
+            if hops > self.parents.len() {
+                return false; // cycle guard
+            }
+        }
+        false
+    }
+
+    /// All declared purposes, sorted.
+    pub fn purposes(&self) -> Vec<Ident> {
+        self.parents.keys().cloned().collect()
+    }
+}
+
+/// A registry of users and the roles they may act under.
+#[derive(Debug, Clone, Default)]
+pub struct UserRegistry {
+    roles_of: BTreeMap<Ident, Vec<Ident>>,
+}
+
+impl UserRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a user with their permitted roles.
+    pub fn register(&mut self, user: impl Into<Ident>, roles: Vec<Ident>) -> &mut Self {
+        self.roles_of.insert(user.into(), roles);
+        self
+    }
+
+    /// True when the user exists.
+    pub fn contains(&self, user: &Ident) -> bool {
+        self.roles_of.contains_key(user)
+    }
+
+    /// True when `user` may act under `role`.
+    pub fn may_act_as(&self, user: &Ident, role: &Ident) -> bool {
+        self.roles_of.get(user).is_some_and(|rs| rs.contains(role))
+    }
+
+    /// All users, sorted.
+    pub fn users(&self) -> Vec<Ident> {
+        self.roles_of.keys().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn purpose_hierarchy() {
+        let mut reg = PurposeRegistry::new();
+        reg.declare("healthcare");
+        reg.declare_under("treatment", "healthcare");
+        reg.declare_under("surgery", "treatment");
+        reg.declare("marketing");
+
+        let p = |s: &str| Ident::new(s);
+        assert!(reg.is_within(&p("surgery"), &p("healthcare")));
+        assert!(reg.is_within(&p("treatment"), &p("treatment")));
+        assert!(!reg.is_within(&p("marketing"), &p("healthcare")));
+        assert!(!reg.is_within(&p("healthcare"), &p("treatment"))); // not downward
+        assert!(reg.contains(&p("surgery")));
+        assert!(!reg.contains(&p("unknown")));
+    }
+
+    #[test]
+    fn cycle_guard_terminates() {
+        let mut reg = PurposeRegistry::new();
+        reg.declare_under("a", "b");
+        reg.declare_under("b", "a");
+        assert!(!reg.is_within(&Ident::new("a"), &Ident::new("c")));
+    }
+
+    #[test]
+    fn user_roles() {
+        let mut users = UserRegistry::new();
+        users.register("u1", vec![Ident::new("nurse"), Ident::new("auditor")]);
+        assert!(users.may_act_as(&Ident::new("u1"), &Ident::new("nurse")));
+        assert!(!users.may_act_as(&Ident::new("u1"), &Ident::new("doctor")));
+        assert!(!users.may_act_as(&Ident::new("u2"), &Ident::new("nurse")));
+    }
+}

@@ -1,0 +1,270 @@
+//! Authorization rules and compliance decisions.
+
+use audex_sql::Ident;
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::model::{PurposeRegistry, UserRegistry};
+
+/// The columns an authorization covers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ColumnScope {
+    /// Every column of the table.
+    All,
+    /// Only the listed columns.
+    Only(BTreeSet<Ident>),
+}
+
+impl ColumnScope {
+    /// Builds a scope from column names.
+    pub fn only<I, C>(cols: I) -> Self
+    where
+        I: IntoIterator<Item = C>,
+        C: Into<Ident>,
+    {
+        ColumnScope::Only(cols.into_iter().map(Into::into).collect())
+    }
+
+    fn covers(&self, column: &Ident) -> bool {
+        match self {
+            ColumnScope::All => true,
+            ColumnScope::Only(set) => set.contains(column),
+        }
+    }
+}
+
+/// One authorization: acting under `role` for `purpose` (or any descendant
+/// purpose), these columns of this table may be read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Authorization {
+    /// The authorized role.
+    pub role: Ident,
+    /// The authorized purpose (covers descendants in the hierarchy).
+    pub purpose: Ident,
+    /// The table covered.
+    pub table: Ident,
+    /// The columns covered.
+    pub columns: ColumnScope,
+}
+
+/// Why an access was denied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Denial {
+    /// The user is not registered.
+    UnknownUser(Ident),
+    /// The user may not act under this role.
+    RoleNotHeld {
+        /// The offending user.
+        user: Ident,
+        /// The role claimed.
+        role: Ident,
+    },
+    /// The purpose is not declared in the policy.
+    UnknownPurpose(Ident),
+    /// No authorization covers this column access.
+    ColumnNotAuthorized {
+        /// The table read.
+        table: Ident,
+        /// The column read.
+        column: Ident,
+    },
+}
+
+impl fmt::Display for Denial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Denial::UnknownUser(u) => write!(f, "unknown user {u}"),
+            Denial::RoleNotHeld { user, role } => write!(f, "user {user} may not act as {role}"),
+            Denial::UnknownPurpose(p) => write!(f, "undeclared purpose {p}"),
+            Denial::ColumnNotAuthorized { table, column } => {
+                write!(f, "no authorization covers {table}.{column}")
+            }
+        }
+    }
+}
+
+/// A complete privacy policy: registries plus authorizations.
+#[derive(Debug, Clone, Default)]
+pub struct PrivacyPolicy {
+    /// Declared purposes.
+    pub purposes: PurposeRegistry,
+    /// Registered users.
+    pub users: UserRegistry,
+    /// The authorization rules.
+    pub authorizations: Vec<Authorization>,
+}
+
+impl PrivacyPolicy {
+    /// An empty policy (denies all column accesses).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an authorization.
+    pub fn allow(
+        &mut self,
+        role: impl Into<Ident>,
+        purpose: impl Into<Ident>,
+        table: impl Into<Ident>,
+        columns: ColumnScope,
+    ) -> &mut Self {
+        self.authorizations.push(Authorization {
+            role: role.into(),
+            purpose: purpose.into(),
+            table: table.into(),
+            columns,
+        });
+        self
+    }
+
+    /// Checks one access: `user` acting as `role` for `purpose` reading the
+    /// given `(table, column)` pairs. Returns every violation found (empty =
+    /// compliant).
+    pub fn check_access(
+        &self,
+        user: &Ident,
+        role: &Ident,
+        purpose: &Ident,
+        reads: &[(Ident, Ident)],
+    ) -> Vec<Denial> {
+        let mut denials = Vec::new();
+        if !self.users.contains(user) {
+            denials.push(Denial::UnknownUser(user.clone()));
+        } else if !self.users.may_act_as(user, role) {
+            denials.push(Denial::RoleNotHeld { user: user.clone(), role: role.clone() });
+        }
+        if !self.purposes.contains(purpose) {
+            denials.push(Denial::UnknownPurpose(purpose.clone()));
+        }
+        for (table, column) in reads {
+            let authorized = self.authorizations.iter().any(|a| {
+                &a.role == role
+                    && &a.table == table
+                    && a.columns.covers(column)
+                    && self.purposes.is_within(purpose, &a.purpose)
+            });
+            if !authorized {
+                denials.push(Denial::ColumnNotAuthorized { table: table.clone(), column: column.clone() });
+            }
+        }
+        denials
+    }
+
+    /// The `(role, purpose)` pairs that can read **all** of the given
+    /// columns — the "authorized privacy policy parameters through which the
+    /// violation is possible" an auditor would plug into the audit
+    /// expression's `Pos-Role-Purpose` clause.
+    pub fn channels_to(&self, reads: &[(Ident, Ident)]) -> Vec<(Ident, Ident)> {
+        let mut out: Vec<(Ident, Ident)> = Vec::new();
+        for a in &self.authorizations {
+            let covers_all = reads
+                .iter()
+                .all(|(t, c)| {
+                    self.authorizations.iter().any(|b| {
+                        b.role == a.role
+                            && self.purposes.is_within(&a.purpose, &b.purpose)
+                            && &b.table == t
+                            && b.columns.covers(c)
+                    })
+                });
+            if covers_all && !out.contains(&(a.role.clone(), a.purpose.clone())) {
+                out.push((a.role.clone(), a.purpose.clone()));
+            }
+        }
+        out.sort();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> PrivacyPolicy {
+        let mut p = PrivacyPolicy::new();
+        p.purposes.declare("healthcare");
+        p.purposes.declare_under("treatment", "healthcare");
+        p.purposes.declare("marketing");
+        p.users.register("u1", vec![Ident::new("nurse")]);
+        p.users.register("u2", vec![Ident::new("clerk")]);
+        p.allow("nurse", "healthcare", "P-Health", ColumnScope::All);
+        p.allow("clerk", "marketing", "P-Personal", ColumnScope::only(["name", "address"]));
+        p
+    }
+
+    fn reads(pairs: &[(&str, &str)]) -> Vec<(Ident, Ident)> {
+        pairs.iter().map(|(t, c)| (Ident::new(*t), Ident::new(*c))).collect()
+    }
+
+    #[test]
+    fn compliant_access() {
+        let p = policy();
+        let d = p.check_access(
+            &Ident::new("u1"),
+            &Ident::new("nurse"),
+            &Ident::new("treatment"), // descendant of healthcare
+            &reads(&[("P-Health", "disease")]),
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn column_scope_enforced() {
+        let p = policy();
+        let d = p.check_access(
+            &Ident::new("u2"),
+            &Ident::new("clerk"),
+            &Ident::new("marketing"),
+            &reads(&[("P-Personal", "name"), ("P-Personal", "zipcode")]),
+        );
+        assert_eq!(d.len(), 1);
+        assert!(matches!(&d[0], Denial::ColumnNotAuthorized { column, .. } if column == &Ident::new("zipcode")));
+    }
+
+    #[test]
+    fn role_not_held() {
+        let p = policy();
+        let d = p.check_access(
+            &Ident::new("u2"),
+            &Ident::new("nurse"),
+            &Ident::new("treatment"),
+            &reads(&[("P-Health", "disease")]),
+        );
+        assert!(d.iter().any(|x| matches!(x, Denial::RoleNotHeld { .. })));
+    }
+
+    #[test]
+    fn unknown_user_and_purpose() {
+        let p = policy();
+        let d = p.check_access(
+            &Ident::new("ghost"),
+            &Ident::new("nurse"),
+            &Ident::new("undeclared"),
+            &[],
+        );
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn purpose_hierarchy_does_not_leak_upward() {
+        let p = policy();
+        // Authorized for healthcare does not mean authorized when acting for
+        // an unrelated purpose.
+        let d = p.check_access(
+            &Ident::new("u1"),
+            &Ident::new("nurse"),
+            &Ident::new("marketing"),
+            &reads(&[("P-Health", "disease")]),
+        );
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn channels_to_finds_authorized_parameters() {
+        let p = policy();
+        let ch = p.channels_to(&reads(&[("P-Health", "disease")]));
+        assert_eq!(ch, vec![(Ident::new("nurse"), Ident::new("healthcare"))]);
+        let none = p.channels_to(&reads(&[("P-Personal", "zipcode")]));
+        assert!(none.is_empty());
+    }
+}

@@ -1,0 +1,124 @@
+//! Property tests on the policy substrate: purpose-hierarchy laws and
+//! authorization monotonicity.
+
+use audex_policy::{ColumnScope, PrivacyPolicy, PurposeRegistry};
+use audex_sql::Ident;
+use proptest::prelude::*;
+
+const NAMES: [&str; 8] = ["p0", "p1", "p2", "p3", "p4", "p5", "p6", "p7"];
+
+/// A random forest over the 8 purpose names: each purpose optionally gets a
+/// parent with a strictly smaller index (guaranteeing acyclicity).
+fn forest_strategy() -> impl Strategy<Value = Vec<Option<usize>>> {
+    (0..NAMES.len())
+        .map(|i| {
+            if i == 0 {
+                Just(None).boxed()
+            } else {
+                proptest::option::of(0..i).boxed()
+            }
+        })
+        .collect::<Vec<_>>()
+}
+
+fn registry(parents: &[Option<usize>]) -> PurposeRegistry {
+    let mut reg = PurposeRegistry::new();
+    for (i, parent) in parents.iter().enumerate() {
+        match parent {
+            None => {
+                reg.declare(NAMES[i]);
+            }
+            Some(p) => {
+                reg.declare_under(NAMES[i], NAMES[*p]);
+            }
+        }
+    }
+    reg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// is_within is reflexive and transitive on acyclic forests.
+    #[test]
+    fn hierarchy_laws(parents in forest_strategy()) {
+        let reg = registry(&parents);
+        let id = |i: usize| Ident::new(NAMES[i]);
+        for i in 0..NAMES.len() {
+            prop_assert!(reg.is_within(&id(i), &id(i)), "reflexivity at {i}");
+        }
+        for a in 0..NAMES.len() {
+            for b in 0..NAMES.len() {
+                for c in 0..NAMES.len() {
+                    if reg.is_within(&id(a), &id(b)) && reg.is_within(&id(b), &id(c)) {
+                        prop_assert!(
+                            reg.is_within(&id(a), &id(c)),
+                            "transitivity {a}→{b}→{c}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// is_within agrees with explicit parent-chain walking.
+    #[test]
+    fn hierarchy_matches_chain(parents in forest_strategy(), a in 0..NAMES.len(), b in 0..NAMES.len()) {
+        let reg = registry(&parents);
+        let mut cur = Some(a);
+        let mut expected = false;
+        while let Some(i) = cur {
+            if i == b {
+                expected = true;
+                break;
+            }
+            cur = parents[i];
+        }
+        prop_assert_eq!(reg.is_within(&Ident::new(NAMES[a]), &Ident::new(NAMES[b])), expected);
+    }
+
+    /// Granting a purpose authorizes exactly its descendants (and itself).
+    #[test]
+    fn authorization_covers_descendants_only(parents in forest_strategy(), granted in 0..NAMES.len()) {
+        let mut policy = PrivacyPolicy::new();
+        policy.purposes = registry(&parents);
+        policy.users.register("u", vec![Ident::new("r")]);
+        policy.allow("r", NAMES[granted], "T", ColumnScope::All);
+        for acting in 0..NAMES.len() {
+            let denials = policy.check_access(
+                &Ident::new("u"),
+                &Ident::new("r"),
+                &Ident::new(NAMES[acting]),
+                &[(Ident::new("T"), Ident::new("c"))],
+            );
+            let should_pass = policy
+                .purposes
+                .is_within(&Ident::new(NAMES[acting]), &Ident::new(NAMES[granted]));
+            prop_assert_eq!(denials.is_empty(), should_pass, "acting {} granted {}", acting, granted);
+        }
+    }
+
+    /// Widening the column scope never introduces new denials.
+    #[test]
+    fn column_scope_is_monotone(cols in proptest::collection::btree_set(0..6usize, 0..6), probe in 0..6usize) {
+        let names = ["c0", "c1", "c2", "c3", "c4", "c5"];
+        let mut narrow = PrivacyPolicy::new();
+        narrow.purposes.declare("p");
+        narrow.users.register("u", vec![Ident::new("r")]);
+        narrow.allow("r", "p", "T", ColumnScope::only(cols.iter().map(|i| names[*i])));
+        let mut wide = PrivacyPolicy::new();
+        wide.purposes.declare("p");
+        wide.users.register("u", vec![Ident::new("r")]);
+        wide.allow("r", "p", "T", ColumnScope::All);
+
+        let reads = [(Ident::new("T"), Ident::new(names[probe]))];
+        let narrow_ok = narrow
+            .check_access(&Ident::new("u"), &Ident::new("r"), &Ident::new("p"), &reads)
+            .is_empty();
+        let wide_ok = wide
+            .check_access(&Ident::new("u"), &Ident::new("r"), &Ident::new("p"), &reads)
+            .is_empty();
+        prop_assert!(wide_ok);
+        prop_assert_eq!(narrow_ok, cols.contains(&probe));
+    }
+}

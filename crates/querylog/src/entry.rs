@@ -1,0 +1,141 @@
+//! Logged queries and their privacy annotations.
+
+use audex_sql::ast::Query;
+use audex_sql::{Ident, Timestamp};
+use std::fmt;
+
+/// A stable identifier for a logged query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct QueryId(pub u64);
+
+impl fmt::Display for QueryId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+/// The privacy-policy annotations the Hippocratic DBMS attaches to each
+/// query execution: who ran it, in which role, for which purpose (Agrawal
+/// et al. log exactly these alongside the query text).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct AccessContext {
+    /// The authenticated user id.
+    pub user: Ident,
+    /// The role the user acted under.
+    pub role: Ident,
+    /// The declared access purpose.
+    pub purpose: Ident,
+}
+
+impl AccessContext {
+    /// Convenience constructor.
+    pub fn new(user: impl Into<Ident>, role: impl Into<Ident>, purpose: impl Into<Ident>) -> Self {
+        AccessContext { user: user.into(), role: role.into(), purpose: purpose.into() }
+    }
+}
+
+/// One logged query execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoggedQuery {
+    /// Log-assigned id.
+    pub id: QueryId,
+    /// The parsed query.
+    pub query: Query,
+    /// The original text as submitted.
+    pub text: String,
+    /// Execution time.
+    pub executed_at: Timestamp,
+    /// Who / as-what / why.
+    pub context: AccessContext,
+}
+
+impl LoggedQuery {
+    /// The columns this query *accessed*: everything in its projection plus
+    /// everything referenced by its predicate — the paper's
+    /// `C_Q = C_OQ ∪ columns(P_Q)`. Wildcards are returned as `*` markers
+    /// for the audit layer to expand against the schema.
+    pub fn accessed_columns(&self) -> Vec<AccessedColumn> {
+        let mut out = Vec::new();
+        for item in &self.query.projection {
+            match item {
+                audex_sql::ast::SelectItem::Wildcard => out.push(AccessedColumn::AllColumns),
+                audex_sql::ast::SelectItem::QualifiedWildcard(t) => {
+                    out.push(AccessedColumn::AllOf(t.clone()))
+                }
+                audex_sql::ast::SelectItem::Expr { expr, .. } => {
+                    expr.walk_columns(&mut |c| out.push(AccessedColumn::Column(c.clone())));
+                }
+            }
+        }
+        if let Some(pred) = &self.query.selection {
+            pred.walk_columns(&mut |c| out.push(AccessedColumn::Column(c.clone())));
+        }
+        // ORDER BY keys are read too (their values leak through ordering).
+        for o in &self.query.order_by {
+            o.expr.walk_columns(&mut |c| out.push(AccessedColumn::Column(c.clone())));
+        }
+        out
+    }
+}
+
+/// A column access, possibly a wildcard.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum AccessedColumn {
+    /// A specific (possibly qualified) column.
+    Column(audex_sql::ColumnRef),
+    /// `SELECT *`.
+    AllColumns,
+    /// `SELECT t.*`.
+    AllOf(Ident),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use audex_sql::parse_query;
+
+    fn logged(sql: &str) -> LoggedQuery {
+        LoggedQuery {
+            id: QueryId(1),
+            query: parse_query(sql).unwrap(),
+            text: sql.to_string(),
+            executed_at: Timestamp(100),
+            context: AccessContext::new("u1", "nurse", "treatment"),
+        }
+    }
+
+    #[test]
+    fn accessed_columns_cover_projection_and_predicate() {
+        let q = logged("SELECT zipcode FROM Patients WHERE disease = 'cancer'");
+        let cols = q.accessed_columns();
+        assert_eq!(cols.len(), 2);
+        assert!(cols.iter().any(
+            |c| matches!(c, AccessedColumn::Column(r) if r.column == Ident::new("zipcode"))
+        ));
+        assert!(cols.iter().any(
+            |c| matches!(c, AccessedColumn::Column(r) if r.column == Ident::new("disease"))
+        ));
+    }
+
+    #[test]
+    fn wildcards_are_markers() {
+        let q = logged("SELECT *, P-Health.* FROM P-Personal, P-Health");
+        let cols = q.accessed_columns();
+        assert!(cols.contains(&AccessedColumn::AllColumns));
+        assert!(cols.contains(&AccessedColumn::AllOf(Ident::new("P-Health"))));
+    }
+
+    #[test]
+    fn order_by_columns_are_accessed() {
+        let q = logged("SELECT zipcode FROM Patients ORDER BY disease");
+        let cols = q.accessed_columns();
+        assert!(cols.iter().any(
+            |c| matches!(c, AccessedColumn::Column(r) if r.column == Ident::new("disease"))
+        ));
+    }
+
+    #[test]
+    fn query_id_displays() {
+        assert_eq!(QueryId(7).to_string(), "q7");
+    }
+}

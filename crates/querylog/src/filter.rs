@@ -1,0 +1,149 @@
+//! Limiting-parameter filters over the query log (paper §3.3).
+//!
+//! The audit expression may restrict which logged accesses are audited via
+//! `Pos-/Neg-Role-Purpose`, `Pos-/Neg-User-Identity`, and `DURING`. The
+//! paper fixes one conflict rule: **negative clauses take precedence over
+//! positive ones** ("we give precedence to negative clause and the accesses
+//! will not be audited").
+
+use audex_sql::ast::RolePurposePattern;
+use audex_sql::{Ident, Timestamp};
+
+use crate::entry::LoggedQuery;
+
+/// A compiled access filter.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AccessFilter {
+    /// Exclusion patterns (precedence).
+    pub neg_role_purpose: Vec<RolePurposePattern>,
+    /// Inclusion patterns (when non-empty, an access must match one).
+    pub pos_role_purpose: Vec<RolePurposePattern>,
+    /// Excluded users (precedence).
+    pub neg_users: Vec<Ident>,
+    /// Included users (when non-empty, the user must be listed).
+    pub pos_users: Vec<Ident>,
+    /// `DURING` interval (inclusive); `None` audits every execution time.
+    pub during: Option<(Timestamp, Timestamp)>,
+}
+
+fn pattern_matches(p: &RolePurposePattern, role: &Ident, purpose: &Ident) -> bool {
+    p.role.as_ref().is_none_or(|r| r == role) && p.purpose.as_ref().is_none_or(|pr| pr == purpose)
+}
+
+impl AccessFilter {
+    /// A filter that admits everything (the paper's defaults).
+    pub fn admit_all() -> Self {
+        Self::default()
+    }
+
+    /// Decides whether a logged access is subject to this audit, applying
+    /// negative precedence.
+    pub fn admits(&self, entry: &LoggedQuery) -> bool {
+        self.admits_parts(&entry.context.user, &entry.context.role, &entry.context.purpose, entry.executed_at)
+    }
+
+    /// Field-level form of [`AccessFilter::admits`] (useful for tests and
+    /// for callers without a full entry).
+    pub fn admits_parts(&self, user: &Ident, role: &Ident, purpose: &Ident, at: Timestamp) -> bool {
+        if let Some((s, e)) = self.during {
+            if at < s || at > e {
+                return false;
+            }
+        }
+        // Negative clauses first: they win every conflict.
+        if self.neg_users.contains(user) {
+            return false;
+        }
+        if self.neg_role_purpose.iter().any(|p| pattern_matches(p, role, purpose)) {
+            return false;
+        }
+        // Positive clauses restrict when present.
+        if !self.pos_users.is_empty() && !self.pos_users.contains(user) {
+            return false;
+        }
+        if !self.pos_role_purpose.is_empty()
+            && !self.pos_role_purpose.iter().any(|p| pattern_matches(p, role, purpose))
+        {
+            return false;
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pat(role: Option<&str>, purpose: Option<&str>) -> RolePurposePattern {
+        RolePurposePattern { role: role.map(Ident::new), purpose: purpose.map(Ident::new) }
+    }
+
+    fn admits(f: &AccessFilter, user: &str, role: &str, purpose: &str, at: i64) -> bool {
+        f.admits_parts(&Ident::new(user), &Ident::new(role), &Ident::new(purpose), Timestamp(at))
+    }
+
+    #[test]
+    fn default_admits_everything() {
+        let f = AccessFilter::admit_all();
+        assert!(admits(&f, "u", "r", "p", 0));
+    }
+
+    #[test]
+    fn during_is_inclusive() {
+        let f = AccessFilter { during: Some((Timestamp(10), Timestamp(20))), ..Default::default() };
+        assert!(!admits(&f, "u", "r", "p", 9));
+        assert!(admits(&f, "u", "r", "p", 10));
+        assert!(admits(&f, "u", "r", "p", 20));
+        assert!(!admits(&f, "u", "r", "p", 21));
+    }
+
+    #[test]
+    fn negative_role_purpose_wildcards() {
+        let f = AccessFilter {
+            neg_role_purpose: vec![pat(Some("nurse"), Some("billing")), pat(Some("admin"), None), pat(None, Some("marketing"))],
+            ..Default::default()
+        };
+        assert!(!admits(&f, "u", "nurse", "billing", 0));
+        assert!(admits(&f, "u", "nurse", "treatment", 0));
+        assert!(!admits(&f, "u", "admin", "anything", 0));
+        assert!(!admits(&f, "u", "doctor", "marketing", 0));
+        assert!(admits(&f, "u", "doctor", "treatment", 0));
+    }
+
+    #[test]
+    fn positive_restricts_when_present() {
+        let f = AccessFilter { pos_role_purpose: vec![pat(Some("doctor"), None)], ..Default::default() };
+        assert!(admits(&f, "u", "doctor", "treatment", 0));
+        assert!(!admits(&f, "u", "nurse", "treatment", 0));
+    }
+
+    #[test]
+    fn negative_beats_positive_on_conflict() {
+        // The paper's explicit rule: conflict resolved in favour of negative.
+        let f = AccessFilter {
+            pos_role_purpose: vec![pat(Some("doctor"), None)],
+            neg_role_purpose: vec![pat(Some("doctor"), Some("marketing"))],
+            ..Default::default()
+        };
+        assert!(!admits(&f, "u", "doctor", "marketing", 0));
+        assert!(admits(&f, "u", "doctor", "treatment", 0));
+    }
+
+    #[test]
+    fn user_lists() {
+        let f = AccessFilter {
+            pos_users: vec![Ident::new("u1"), Ident::new("u2")],
+            neg_users: vec![Ident::new("u2")],
+            ..Default::default()
+        };
+        assert!(admits(&f, "u1", "r", "p", 0));
+        assert!(!admits(&f, "u2", "r", "p", 0)); // negative precedence
+        assert!(!admits(&f, "u3", "r", "p", 0)); // not in positive list
+    }
+
+    #[test]
+    fn user_ids_match_case_insensitively() {
+        let f = AccessFilter { neg_users: vec![Ident::new("U-17")], ..Default::default() };
+        assert!(!admits(&f, "u-17", "r", "p", 0));
+    }
+}

@@ -1,0 +1,137 @@
+//! The append-only query log.
+
+use audex_sql::ast::Query;
+use audex_sql::{ParseError, Timestamp};
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+use crate::entry::{AccessContext, LoggedQuery, QueryId};
+
+/// An append-only, thread-safe log of executed queries with their
+/// annotations — the "User Accesses Log" the paper audits.
+#[derive(Debug, Default)]
+pub struct QueryLog {
+    inner: RwLock<Vec<Arc<LoggedQuery>>>,
+}
+
+impl QueryLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an already-parsed query; returns its id.
+    pub fn record(&self, query: Query, executed_at: Timestamp, context: AccessContext) -> QueryId {
+        let text = query.to_string();
+        self.record_with_text(query, text, executed_at, context)
+    }
+
+    /// Parses and appends query text; returns its id.
+    pub fn record_text(
+        &self,
+        sql: &str,
+        executed_at: Timestamp,
+        context: AccessContext,
+    ) -> Result<QueryId, ParseError> {
+        let query = audex_sql::parse_query(sql)?;
+        Ok(self.record_with_text(query, sql.to_string(), executed_at, context))
+    }
+
+    fn record_with_text(
+        &self,
+        query: Query,
+        text: String,
+        executed_at: Timestamp,
+        context: AccessContext,
+    ) -> QueryId {
+        let mut guard = self.inner.write();
+        let id = QueryId(guard.len() as u64 + 1);
+        guard.push(Arc::new(LoggedQuery { id, query, text, executed_at, context }));
+        id
+    }
+
+    /// Number of logged queries.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// True when nothing has been logged.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+
+    /// A consistent snapshot of all entries, oldest first.
+    pub fn snapshot(&self) -> Vec<Arc<LoggedQuery>> {
+        self.inner.read().clone()
+    }
+
+    /// Looks up a single entry.
+    pub fn get(&self, id: QueryId) -> Option<Arc<LoggedQuery>> {
+        let guard = self.inner.read();
+        let idx = id.0.checked_sub(1)? as usize;
+        guard.get(idx).cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> AccessContext {
+        AccessContext::new("u1", "nurse", "treatment")
+    }
+
+    #[test]
+    fn ids_are_sequential() {
+        let log = QueryLog::new();
+        let a = log.record_text("SELECT a FROM t", Timestamp(1), ctx()).unwrap();
+        let b = log.record_text("SELECT b FROM t", Timestamp(2), ctx()).unwrap();
+        assert_eq!(a, QueryId(1));
+        assert_eq!(b, QueryId(2));
+        assert_eq!(log.len(), 2);
+    }
+
+    #[test]
+    fn get_by_id() {
+        let log = QueryLog::new();
+        let id = log.record_text("SELECT a FROM t", Timestamp(1), ctx()).unwrap();
+        assert_eq!(log.get(id).unwrap().text, "SELECT a FROM t");
+        assert!(log.get(QueryId(99)).is_none());
+        assert!(log.get(QueryId(0)).is_none());
+    }
+
+    #[test]
+    fn record_text_rejects_bad_sql() {
+        let log = QueryLog::new();
+        assert!(log.record_text("DELETE FROM t", Timestamp(1), ctx()).is_err());
+        assert!(log.record_text("SELECT FROM", Timestamp(1), ctx()).is_err());
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn concurrent_appends() {
+        let log = Arc::new(QueryLog::new());
+        let mut handles = Vec::new();
+        for i in 0..8 {
+            let log = Arc::clone(&log);
+            handles.push(std::thread::spawn(move || {
+                for j in 0..50 {
+                    log.record_text(
+                        &format!("SELECT c{j} FROM t{i}"),
+                        Timestamp(i * 100 + j),
+                        AccessContext::new(format!("u{i}"), "r", "p"),
+                    )
+                    .unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(log.len(), 400);
+        // Ids are dense 1..=400.
+        let mut ids: Vec<u64> = log.snapshot().iter().map(|e| e.id.0).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (1..=400).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,691 @@
+//! Abstract syntax trees for SPJ queries, DML, and audit expressions.
+
+use crate::time::Timestamp;
+use std::hash::{Hash, Hasher};
+
+/// An identifier (table, column, alias, user id, role, purpose…).
+///
+/// SQL identifiers compare and hash **ASCII case-insensitively** while
+/// preserving the case they were written with, so `P-Personal` and
+/// `p-personal` denote the same relation but print as written.
+#[derive(Debug, Clone, Eq)]
+pub struct Ident {
+    /// The identifier text as written.
+    pub value: String,
+    /// True when the identifier was double-quoted in the source.
+    pub quoted: bool,
+}
+
+impl Ident {
+    /// An unquoted identifier.
+    pub fn new(value: impl Into<String>) -> Self {
+        Ident { value: value.into(), quoted: false }
+    }
+
+    /// A quoted identifier (exempt from keyword recognition).
+    pub fn quoted(value: impl Into<String>) -> Self {
+        Ident { value: value.into(), quoted: true }
+    }
+
+    /// Case-normalized (lowercased) form, the basis of equality and hashing.
+    pub fn normalized(&self) -> String {
+        self.value.to_ascii_lowercase()
+    }
+}
+
+impl PartialEq for Ident {
+    fn eq(&self, other: &Self) -> bool {
+        self.value.eq_ignore_ascii_case(&other.value)
+    }
+}
+
+impl PartialOrd for Ident {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Ident {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.normalized().cmp(&other.normalized())
+    }
+}
+
+impl Hash for Ident {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        for b in self.value.bytes() {
+            state.write_u8(b.to_ascii_lowercase());
+        }
+    }
+}
+
+impl From<&str> for Ident {
+    fn from(s: &str) -> Self {
+        Ident::new(s)
+    }
+}
+
+impl From<String> for Ident {
+    fn from(s: String) -> Self {
+        Ident::new(s)
+    }
+}
+
+/// A possibly table-qualified column reference, e.g. `P-Personal.zipcode`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ColumnRef {
+    /// Optional table (or alias) qualifier.
+    pub table: Option<Ident>,
+    /// The column name.
+    pub column: Ident,
+}
+
+impl ColumnRef {
+    /// An unqualified column.
+    pub fn bare(column: impl Into<Ident>) -> Self {
+        ColumnRef { table: None, column: column.into() }
+    }
+
+    /// A table-qualified column.
+    pub fn qualified(table: impl Into<Ident>, column: impl Into<Ident>) -> Self {
+        ColumnRef { table: Some(table.into()), column: column.into() }
+    }
+}
+
+/// A literal value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    /// SQL `NULL`.
+    Null,
+    /// `TRUE` / `FALSE`.
+    Bool(bool),
+    /// Integer literal.
+    Int(i64),
+    /// Floating-point literal.
+    Float(f64),
+    /// String literal.
+    Str(String),
+    /// Timestamp literal (from a quoted string that parses as a timestamp
+    /// in contexts that expect one, or from the paper's `D/M/YYYY` form).
+    Ts(Timestamp),
+}
+
+/// Binary operators, from the paper's SPJ predicate language plus arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Logical conjunction.
+    And,
+    /// Logical disjunction.
+    Or,
+    /// `=`
+    Eq,
+    /// `<>` / `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+}
+
+impl BinOp {
+    /// True for `=`, `<>`, `<`, `<=`, `>`, `>=`.
+    pub fn is_comparison(self) -> bool {
+        matches!(self, BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq)
+    }
+
+    /// The comparison with operand order flipped (`a < b` ⇔ `b > a`).
+    pub fn flip(self) -> BinOp {
+        match self {
+            BinOp::Lt => BinOp::Gt,
+            BinOp::LtEq => BinOp::GtEq,
+            BinOp::Gt => BinOp::Lt,
+            BinOp::GtEq => BinOp::LtEq,
+            other => other,
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnaryOp {
+    /// Logical `NOT`.
+    Not,
+    /// Arithmetic negation.
+    Neg,
+}
+
+/// A scalar or boolean expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Column reference.
+    Column(ColumnRef),
+    /// Literal value.
+    Literal(Literal),
+    /// Unary operation.
+    Unary {
+        /// The operator.
+        op: UnaryOp,
+        /// The operand.
+        expr: Box<Expr>,
+    },
+    /// Binary operation.
+    Binary {
+        /// Left operand.
+        left: Box<Expr>,
+        /// The operator.
+        op: BinOp,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// `expr [NOT] LIKE pattern` with `%` and `_` wildcards.
+    Like {
+        /// The tested expression.
+        expr: Box<Expr>,
+        /// The pattern expression (usually a string literal).
+        pattern: Box<Expr>,
+        /// True for `NOT LIKE`.
+        negated: bool,
+    },
+    /// `expr [NOT] IN (e1, …, en)`.
+    InList {
+        /// The tested expression.
+        expr: Box<Expr>,
+        /// The candidate list.
+        list: Vec<Expr>,
+        /// True for `NOT IN`.
+        negated: bool,
+    },
+    /// `expr [NOT] BETWEEN low AND high`.
+    Between {
+        /// The tested expression.
+        expr: Box<Expr>,
+        /// Lower bound (inclusive).
+        low: Box<Expr>,
+        /// Upper bound (inclusive).
+        high: Box<Expr>,
+        /// True for `NOT BETWEEN`.
+        negated: bool,
+    },
+    /// `expr IS [NOT] NULL`.
+    IsNull {
+        /// The tested expression.
+        expr: Box<Expr>,
+        /// True for `IS NOT NULL`.
+        negated: bool,
+    },
+}
+
+impl Expr {
+    /// Convenience constructor for binary expressions.
+    pub fn binary(left: Expr, op: BinOp, right: Expr) -> Expr {
+        Expr::Binary { left: Box::new(left), op, right: Box::new(right) }
+    }
+
+    /// Conjunction of two expressions.
+    pub fn and(left: Expr, right: Expr) -> Expr {
+        Expr::binary(left, BinOp::And, right)
+    }
+
+    /// Collects every column referenced anywhere in the expression.
+    pub fn columns(&self) -> Vec<&ColumnRef> {
+        let mut out = Vec::new();
+        self.walk_columns(&mut |c| out.push(c));
+        out
+    }
+
+    /// Visits every column reference in the expression tree.
+    pub fn walk_columns<'a>(&'a self, f: &mut impl FnMut(&'a ColumnRef)) {
+        match self {
+            Expr::Column(c) => f(c),
+            Expr::Literal(_) => {}
+            Expr::Unary { expr, .. } => expr.walk_columns(f),
+            Expr::Binary { left, right, .. } => {
+                left.walk_columns(f);
+                right.walk_columns(f);
+            }
+            Expr::Like { expr, pattern, .. } => {
+                expr.walk_columns(f);
+                pattern.walk_columns(f);
+            }
+            Expr::InList { expr, list, .. } => {
+                expr.walk_columns(f);
+                for e in list {
+                    e.walk_columns(f);
+                }
+            }
+            Expr::Between { expr, low, high, .. } => {
+                expr.walk_columns(f);
+                low.walk_columns(f);
+                high.walk_columns(f);
+            }
+            Expr::IsNull { expr, .. } => expr.walk_columns(f),
+        }
+    }
+}
+
+/// One item of a `SELECT` projection list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// `table.*`
+    QualifiedWildcard(Ident),
+    /// An expression with an optional alias.
+    Expr {
+        /// The projected expression.
+        expr: Expr,
+        /// `AS alias`, if given.
+        alias: Option<Ident>,
+    },
+}
+
+/// A table in a `FROM` list, with optional alias.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TableRef {
+    /// The relation name (possibly a backlog name like `b-P-Personal`).
+    pub name: Ident,
+    /// `AS alias`, if given.
+    pub alias: Option<Ident>,
+}
+
+impl TableRef {
+    /// A table reference without alias.
+    pub fn named(name: impl Into<Ident>) -> Self {
+        TableRef { name: name.into(), alias: None }
+    }
+
+    /// The name this table binds in the query's scope (alias if present).
+    pub fn binding(&self) -> &Ident {
+        self.alias.as_ref().unwrap_or(&self.name)
+    }
+}
+
+/// One `ORDER BY` key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderItem {
+    /// The sort expression.
+    pub expr: Expr,
+    /// False for `DESC`.
+    pub asc: bool,
+}
+
+/// An SPJ `SELECT` query — the paper's `Q = π_C(σ_P(T × R))`, extended with
+/// the `ORDER BY` / `LIMIT` tail real query logs carry (ordering does not
+/// change what a query *accesses*, but its key columns do count toward
+/// `C_Q`, and `LIMIT` truncates what it *returns*).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// True for `SELECT DISTINCT`.
+    pub distinct: bool,
+    /// The projection list `C_OQ`.
+    pub projection: Vec<SelectItem>,
+    /// The `FROM` cross product `T × R`.
+    pub from: Vec<TableRef>,
+    /// The predicate `P_Q`.
+    pub selection: Option<Expr>,
+    /// `ORDER BY` keys (empty = unspecified order).
+    pub order_by: Vec<OrderItem>,
+    /// `LIMIT n`.
+    pub limit: Option<u64>,
+}
+
+/// A column definition in `CREATE TABLE`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnDef {
+    /// Column name.
+    pub name: Ident,
+    /// Declared type.
+    pub ty: TypeName,
+}
+
+/// Column types supported by the storage substrate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TypeName {
+    /// 64-bit integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// UTF-8 text.
+    Text,
+    /// Boolean.
+    Bool,
+    /// Timestamp (seconds since epoch).
+    Timestamp,
+}
+
+/// `CREATE TABLE name (col type, …)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CreateTable {
+    /// Table name.
+    pub name: Ident,
+    /// Column definitions.
+    pub columns: Vec<ColumnDef>,
+}
+
+/// `INSERT INTO table [(cols)] VALUES (…), (…)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Insert {
+    /// Target table.
+    pub table: Ident,
+    /// Explicit column list; empty means "all columns in schema order".
+    pub columns: Vec<Ident>,
+    /// One expression row per inserted tuple.
+    pub rows: Vec<Vec<Expr>>,
+}
+
+/// `UPDATE table SET col = e, … [WHERE p]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Update {
+    /// Target table.
+    pub table: Ident,
+    /// `SET` assignments.
+    pub assignments: Vec<(Ident, Expr)>,
+    /// Optional predicate.
+    pub selection: Option<Expr>,
+}
+
+/// `DELETE FROM table [WHERE p]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delete {
+    /// Target table.
+    pub table: Ident,
+    /// Optional predicate.
+    pub selection: Option<Expr>,
+}
+
+/// Any statement the engine executes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// A `SELECT`.
+    Select(Query),
+    /// An `INSERT`.
+    Insert(Insert),
+    /// An `UPDATE`.
+    Update(Update),
+    /// A `DELETE`.
+    Delete(Delete),
+    /// A `CREATE TABLE`.
+    CreateTable(CreateTable),
+}
+
+impl Statement {
+    /// A short name for error messages.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Statement::Select(_) => "SELECT",
+            Statement::Insert(_) => "INSERT",
+            Statement::Update(_) => "UPDATE",
+            Statement::Delete(_) => "DELETE",
+            Statement::CreateTable(_) => "CREATE TABLE",
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Audit expressions (paper Fig. 7, subsuming Fig. 1)
+// ---------------------------------------------------------------------------
+
+/// One attribute inside an audit group: a column or `*`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum AttrItem {
+    /// A (possibly qualified) column.
+    Column(ColumnRef),
+    /// `*` — every column of every `FROM` table (paper Fig. 4 `AUDIT [*]`).
+    Star,
+}
+
+/// A bracketed group in the audit list: `(mandatory…)` or `[optional…]`.
+///
+/// Per the paper's §3.2: a batch must access **all** attributes of every
+/// mandatory group and **at least one** attribute from each optional choice
+/// to trip a granule of the corresponding scheme.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum AttrGroup {
+    /// `( … )` — all members required.
+    Mandatory(Vec<AttrNode>),
+    /// `[ … ]` — at least one member required.
+    Optional(Vec<AttrNode>),
+}
+
+/// A node of the audit-attribute specification: a bare item (mandatory by
+/// Table 6 rule 1) or a nested group (rule 6 permits nesting).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum AttrNode {
+    /// A bare attribute (implicitly mandatory).
+    Item(AttrItem),
+    /// A nested group.
+    Group(AttrGroup),
+}
+
+/// The full audit-attribute specification: a sequence of nodes, implicitly
+/// composed (Table 6 rule 2: a sequence of mandatory sets is one mandatory
+/// set).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct AttrSpec {
+    /// The top-level sequence.
+    pub nodes: Vec<AttrNode>,
+}
+
+impl AttrSpec {
+    /// A specification with a single mandatory list of bare columns — the
+    /// classic Fig. 1 `AUDIT a, b, c` form.
+    pub fn mandatory_columns<I, C>(cols: I) -> Self
+    where
+        I: IntoIterator<Item = C>,
+        C: Into<Ident>,
+    {
+        AttrSpec {
+            nodes: cols
+                .into_iter()
+                .map(|c| AttrNode::Item(AttrItem::Column(ColumnRef::bare(c))))
+                .collect(),
+        }
+    }
+
+    /// `AUDIT [*]` — every column optional (perfect-privacy encoding).
+    pub fn optional_star() -> Self {
+        AttrSpec { nodes: vec![AttrNode::Group(AttrGroup::Optional(vec![AttrNode::Item(AttrItem::Star)]))] }
+    }
+}
+
+/// Threshold clause: the number of tuples per granule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Threshold {
+    /// `THRESHOLD N` — each granule holds `N` tuples of `U` (default 1).
+    Count(u64),
+    /// `THRESHOLD ALL` — one granule per scheme containing all of `U`.
+    All,
+}
+
+impl Default for Threshold {
+    fn default() -> Self {
+        Threshold::Count(1)
+    }
+}
+
+/// A point in the audit time language: `now()` or a literal timestamp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TsSpec {
+    /// The `now()` marker, resolved at audit-evaluation time.
+    Now,
+    /// A concrete instant.
+    At(Timestamp),
+}
+
+impl TsSpec {
+    /// Resolves against a chosen "current time".
+    pub fn resolve(self, now: Timestamp) -> Timestamp {
+        match self {
+            TsSpec::Now => now,
+            TsSpec::At(t) => t,
+        }
+    }
+}
+
+/// A closed interval `start TO end` (used by `DURING` and `DATA-INTERVAL`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimeInterval {
+    /// Interval start (inclusive).
+    pub start: TsSpec,
+    /// Interval end (inclusive).
+    pub end: TsSpec,
+}
+
+impl TimeInterval {
+    /// Resolves both endpoints against a chosen "current time".
+    pub fn resolve(self, now: Timestamp) -> (Timestamp, Timestamp) {
+        (self.start.resolve(now), self.end.resolve(now))
+    }
+}
+
+/// A `(role, purpose)` pattern where `-` (wildcard) matches anything —
+/// `(r,pr) | (r,-) | (-,pr)` in the paper's grammar.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RolePurposePattern {
+    /// Role to match; `None` is the `-` wildcard.
+    pub role: Option<Ident>,
+    /// Purpose to match; `None` is the `-` wildcard.
+    pub purpose: Option<Ident>,
+}
+
+/// A parsed audit expression with every Fig. 7 clause. Optional clauses hold
+/// their paper-specified defaults after parsing (`threshold` = 1,
+/// `indispensable` = true, absent intervals = `None`, meaning "current day"
+/// to be resolved by the audit engine).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AuditExpr {
+    /// `Neg-Role-Purpose` patterns (exclude matching accesses; precedence
+    /// over positive on conflict).
+    pub neg_role_purpose: Vec<RolePurposePattern>,
+    /// `Pos-Role-Purpose` patterns (restrict auditing to matching accesses).
+    pub pos_role_purpose: Vec<RolePurposePattern>,
+    /// `Neg-User-Identity` user ids.
+    pub neg_users: Vec<Ident>,
+    /// `Pos-User-Identity` user ids.
+    pub pos_users: Vec<Ident>,
+    /// Fig. 1 compatibility: `OTHERTHAN PURPOSE p1, p2` (equivalent to
+    /// `Neg-Role-Purpose (-,p1) (-,p2)` and folded in by the audit engine).
+    pub otherthan_purposes: Vec<Ident>,
+    /// `DURING t1 TO t2` — which **query executions** to audit.
+    pub during: Option<TimeInterval>,
+    /// `DATA-INTERVAL t1 TO t2` — which **data versions** define the target
+    /// view (paper §3.1).
+    pub data_interval: Option<TimeInterval>,
+    /// `THRESHOLD N | ALL` (default 1).
+    pub threshold: Threshold,
+    /// `INDISPENSABLE true | false` (default true).
+    pub indispensable: bool,
+    /// The `AUDIT` attribute specification.
+    pub audit: AttrSpec,
+    /// The `FROM` tables.
+    pub from: Vec<TableRef>,
+    /// The `WHERE` predicate `P_A`, if any.
+    pub selection: Option<Expr>,
+}
+
+impl AuditExpr {
+    /// A minimal audit expression with every optional clause defaulted.
+    pub fn basic(audit: AttrSpec, from: Vec<TableRef>, selection: Option<Expr>) -> Self {
+        AuditExpr {
+            neg_role_purpose: Vec::new(),
+            pos_role_purpose: Vec::new(),
+            neg_users: Vec::new(),
+            pos_users: Vec::new(),
+            otherthan_purposes: Vec::new(),
+            during: None,
+            data_interval: None,
+            threshold: Threshold::default(),
+            indispensable: true,
+            audit,
+            from,
+            selection,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(i: &Ident) -> u64 {
+        let mut h = DefaultHasher::new();
+        i.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn idents_compare_case_insensitively() {
+        assert_eq!(Ident::new("P-Personal"), Ident::new("p-personal"));
+        assert_ne!(Ident::new("P-Personal"), Ident::new("P-Health"));
+        assert_eq!(hash_of(&Ident::new("ZipCode")), hash_of(&Ident::new("zipcode")));
+    }
+
+    #[test]
+    fn ident_ordering_is_normalized() {
+        assert!(Ident::new("Apple") < Ident::new("banana"));
+    }
+
+    #[test]
+    fn table_binding_prefers_alias() {
+        let t = TableRef { name: Ident::new("Patients"), alias: Some(Ident::new("p")) };
+        assert_eq!(t.binding(), &Ident::new("p"));
+        assert_eq!(TableRef::named("Patients").binding(), &Ident::new("patients"));
+    }
+
+    #[test]
+    fn expr_columns_walks_all_positions() {
+        let e = Expr::and(
+            Expr::binary(
+                Expr::Column(ColumnRef::bare("a")),
+                BinOp::Eq,
+                Expr::Column(ColumnRef::qualified("t", "b")),
+            ),
+            Expr::Between {
+                expr: Box::new(Expr::Column(ColumnRef::bare("c"))),
+                low: Box::new(Expr::Literal(Literal::Int(1))),
+                high: Box::new(Expr::Column(ColumnRef::bare("d"))),
+                negated: false,
+            },
+        );
+        let cols: Vec<String> = e.columns().iter().map(|c| c.column.normalized()).collect();
+        assert_eq!(cols, vec!["a", "b", "c", "d"]);
+    }
+
+    #[test]
+    fn comparison_flip() {
+        assert_eq!(BinOp::Lt.flip(), BinOp::Gt);
+        assert_eq!(BinOp::GtEq.flip(), BinOp::LtEq);
+        assert_eq!(BinOp::Eq.flip(), BinOp::Eq);
+    }
+
+    #[test]
+    fn defaults_match_paper() {
+        let a = AuditExpr::basic(AttrSpec::mandatory_columns(["disease"]), vec![TableRef::named("Patients")], None);
+        assert_eq!(a.threshold, Threshold::Count(1));
+        assert!(a.indispensable);
+        assert!(a.during.is_none());
+        assert!(a.data_interval.is_none());
+    }
+
+    #[test]
+    fn ts_spec_resolution() {
+        let now = Timestamp(1000);
+        assert_eq!(TsSpec::Now.resolve(now), now);
+        assert_eq!(TsSpec::At(Timestamp(5)).resolve(now), Timestamp(5));
+    }
+}

@@ -1,0 +1,501 @@
+//! Pretty printing. The invariant maintained (and property-tested) across
+//! the crate is `parse(print(ast)) == ast` for every parser-producible AST.
+
+use crate::ast::*;
+use crate::parser::RESERVED;
+use std::fmt;
+
+impl fmt::Display for Ident {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Quote unless the value re-lexes as one bare word: leading letter or
+        // underscore, word characters after, and every hyphen immediately
+        // followed by a letter or underscore (see the lexer's hyphen rule).
+        let lexes_as_word = {
+            let b = self.value.as_bytes();
+            !b.is_empty()
+                && (b[0].is_ascii_alphabetic() || b[0] == b'_')
+                && b.iter().enumerate().skip(1).all(|(i, &c)| {
+                    c.is_ascii_alphanumeric()
+                        || c == b'_'
+                        || (c == b'-'
+                            && b.get(i + 1).is_some_and(|&n| n.is_ascii_alphabetic() || n == b'_'))
+                })
+        };
+        let needs_quotes = self.quoted
+            || RESERVED.contains(&self.value.to_ascii_lowercase().as_str())
+            || !lexes_as_word;
+        if needs_quotes {
+            write!(f, "\"{}\"", self.value.replace('"', "\"\""))
+        } else {
+            f.write_str(&self.value)
+        }
+    }
+}
+
+impl fmt::Display for ColumnRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(t) = &self.table {
+            write!(f, "{t}.")?;
+        }
+        write!(f, "{}", self.column)
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Null => f.write_str("NULL"),
+            Literal::Bool(true) => f.write_str("TRUE"),
+            Literal::Bool(false) => f.write_str("FALSE"),
+            Literal::Int(v) => write!(f, "{v}"),
+            // {:?} keeps a decimal point so the literal re-lexes as a float.
+            Literal::Float(v) => write!(f, "{v:?}"),
+            Literal::Str(s) => write!(f, "'{}'", s.replace('\'', "''")),
+            Literal::Ts(t) => write!(f, "'{t}'"),
+        }
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BinOp::And => "AND",
+            BinOp::Or => "OR",
+            BinOp::Eq => "=",
+            BinOp::NotEq => "<>",
+            BinOp::Lt => "<",
+            BinOp::LtEq => "<=",
+            BinOp::Gt => ">",
+            BinOp::GtEq => ">=",
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+        })
+    }
+}
+
+fn bin_power(op: BinOp) -> u8 {
+    match op {
+        BinOp::Or => 1,
+        BinOp::And => 2,
+        BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq => 4,
+        BinOp::Add | BinOp::Sub => 5,
+        BinOp::Mul | BinOp::Div | BinOp::Mod => 6,
+    }
+}
+
+impl Expr {
+    /// Prints with minimal parentheses; `min_power` is the loosest binding
+    /// power allowed here without parenthesizing.
+    fn fmt_with(&self, f: &mut fmt::Formatter<'_>, min_power: u8) -> fmt::Result {
+        match self {
+            Expr::Column(c) => write!(f, "{c}"),
+            Expr::Literal(l) => write!(f, "{l}"),
+            Expr::Unary { op, expr } => {
+                let (text, power) = match op {
+                    UnaryOp::Not => ("NOT ", 3u8),
+                    UnaryOp::Neg => ("-", 7u8),
+                };
+                if power < min_power {
+                    f.write_str("(")?;
+                    f.write_str(text)?;
+                    expr.fmt_with(f, power + 1)?;
+                    f.write_str(")")
+                } else {
+                    f.write_str(text)?;
+                    expr.fmt_with(f, power + 1)
+                }
+            }
+            Expr::Binary { left, op, right } => {
+                let power = bin_power(*op);
+                if power < min_power {
+                    f.write_str("(")?;
+                }
+                left.fmt_with(f, power)?;
+                write!(f, " {op} ")?;
+                right.fmt_with(f, power + 1)?;
+                if power < min_power {
+                    f.write_str(")")?;
+                }
+                Ok(())
+            }
+            Expr::Like { expr, pattern, negated } => {
+                self.fmt_comparisonish(f, min_power, |f| {
+                    expr.fmt_with(f, 5)?;
+                    f.write_str(if *negated { " NOT LIKE " } else { " LIKE " })?;
+                    pattern.fmt_with(f, 5)
+                })
+            }
+            Expr::InList { expr, list, negated } => self.fmt_comparisonish(f, min_power, |f| {
+                expr.fmt_with(f, 5)?;
+                f.write_str(if *negated { " NOT IN (" } else { " IN (" })?;
+                for (i, e) in list.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    e.fmt_with(f, 0)?;
+                }
+                f.write_str(")")
+            }),
+            Expr::Between { expr, low, high, negated } => self.fmt_comparisonish(f, min_power, |f| {
+                expr.fmt_with(f, 5)?;
+                f.write_str(if *negated { " NOT BETWEEN " } else { " BETWEEN " })?;
+                low.fmt_with(f, 5)?;
+                f.write_str(" AND ")?;
+                high.fmt_with(f, 5)
+            }),
+            Expr::IsNull { expr, negated } => self.fmt_comparisonish(f, min_power, |f| {
+                expr.fmt_with(f, 5)?;
+                f.write_str(if *negated { " IS NOT NULL" } else { " IS NULL" })
+            }),
+        }
+    }
+
+    /// LIKE/IN/BETWEEN/IS bind like comparisons (power 4).
+    fn fmt_comparisonish(
+        &self,
+        f: &mut fmt::Formatter<'_>,
+        min_power: u8,
+        body: impl FnOnce(&mut fmt::Formatter<'_>) -> fmt::Result,
+    ) -> fmt::Result {
+        if 4 < min_power {
+            f.write_str("(")?;
+            body(f)?;
+            f.write_str(")")
+        } else {
+            body(f)
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_with(f, 0)
+    }
+}
+
+impl fmt::Display for SelectItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectItem::Wildcard => f.write_str("*"),
+            SelectItem::QualifiedWildcard(t) => write!(f, "{t}.*"),
+            SelectItem::Expr { expr, alias } => {
+                write!(f, "{expr}")?;
+                if let Some(a) = alias {
+                    write!(f, " AS {a}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl fmt::Display for TableRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)?;
+        if let Some(a) = &self.alias {
+            write!(f, " AS {a}")?;
+        }
+        Ok(())
+    }
+}
+
+fn write_list<T: fmt::Display>(f: &mut fmt::Formatter<'_>, items: &[T]) -> fmt::Result {
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            f.write_str(", ")?;
+        }
+        write!(f, "{item}")?;
+    }
+    Ok(())
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SELECT ")?;
+        if self.distinct {
+            f.write_str("DISTINCT ")?;
+        }
+        write_list(f, &self.projection)?;
+        f.write_str(" FROM ")?;
+        write_list(f, &self.from)?;
+        if let Some(w) = &self.selection {
+            write!(f, " WHERE {w}")?;
+        }
+        if !self.order_by.is_empty() {
+            f.write_str(" ORDER BY ")?;
+            write_list(f, &self.order_by)?;
+        }
+        if let Some(n) = self.limit {
+            write!(f, " LIMIT {n}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for OrderItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.expr)?;
+        if !self.asc {
+            f.write_str(" DESC")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for TypeName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TypeName::Int => "INT",
+            TypeName::Float => "FLOAT",
+            TypeName::Text => "TEXT",
+            TypeName::Bool => "BOOL",
+            TypeName::Timestamp => "TIMESTAMP",
+        })
+    }
+}
+
+impl fmt::Display for Statement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Statement::Select(q) => write!(f, "{q}"),
+            Statement::Insert(i) => {
+                write!(f, "INSERT INTO {}", i.table)?;
+                if !i.columns.is_empty() {
+                    f.write_str(" (")?;
+                    write_list(f, &i.columns)?;
+                    f.write_str(")")?;
+                }
+                f.write_str(" VALUES ")?;
+                for (r, row) in i.rows.iter().enumerate() {
+                    if r > 0 {
+                        f.write_str(", ")?;
+                    }
+                    f.write_str("(")?;
+                    write_list(f, row)?;
+                    f.write_str(")")?;
+                }
+                Ok(())
+            }
+            Statement::Update(u) => {
+                write!(f, "UPDATE {} SET ", u.table)?;
+                for (i, (col, val)) in u.assignments.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{col} = {val}")?;
+                }
+                if let Some(w) = &u.selection {
+                    write!(f, " WHERE {w}")?;
+                }
+                Ok(())
+            }
+            Statement::Delete(d) => {
+                write!(f, "DELETE FROM {}", d.table)?;
+                if let Some(w) = &d.selection {
+                    write!(f, " WHERE {w}")?;
+                }
+                Ok(())
+            }
+            Statement::CreateTable(c) => {
+                write!(f, "CREATE TABLE {} (", c.name)?;
+                for (i, col) in c.columns.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{} {}", col.name, col.ty)?;
+                }
+                f.write_str(")")
+            }
+        }
+    }
+}
+
+impl fmt::Display for AttrItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrItem::Column(c) => write!(f, "{c}"),
+            AttrItem::Star => f.write_str("*"),
+        }
+    }
+}
+
+impl fmt::Display for AttrNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrNode::Item(i) => write!(f, "{i}"),
+            AttrNode::Group(g) => write!(f, "{g}"),
+        }
+    }
+}
+
+impl fmt::Display for AttrGroup {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (open, close, members) = match self {
+            AttrGroup::Mandatory(m) => ("(", ")", m),
+            AttrGroup::Optional(m) => ("[", "]", m),
+        };
+        f.write_str(open)?;
+        write_list(f, members)?;
+        f.write_str(close)
+    }
+}
+
+impl fmt::Display for AttrSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_list(f, &self.nodes)
+    }
+}
+
+impl fmt::Display for TsSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TsSpec::Now => f.write_str("now()"),
+            TsSpec::At(t) => write!(f, "{t}"),
+        }
+    }
+}
+
+impl fmt::Display for TimeInterval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} TO {}", self.start, self.end)
+    }
+}
+
+impl fmt::Display for RolePurposePattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("(")?;
+        match &self.role {
+            Some(r) => write!(f, "{r}")?,
+            None => f.write_str("-")?,
+        }
+        f.write_str(", ")?;
+        match &self.purpose {
+            Some(p) => write!(f, "{p}")?,
+            None => f.write_str("-")?,
+        }
+        f.write_str(")")
+    }
+}
+
+impl fmt::Display for Threshold {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Threshold::Count(n) => write!(f, "{n}"),
+            Threshold::All => f.write_str("ALL"),
+        }
+    }
+}
+
+impl fmt::Display for AuditExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.neg_role_purpose.is_empty() {
+            f.write_str("Neg-Role-Purpose ")?;
+            write_list(f, &self.neg_role_purpose)?;
+            f.write_str(" ")?;
+        }
+        if !self.pos_role_purpose.is_empty() {
+            f.write_str("Pos-Role-Purpose ")?;
+            write_list(f, &self.pos_role_purpose)?;
+            f.write_str(" ")?;
+        }
+        if !self.neg_users.is_empty() {
+            f.write_str("Neg-User-Identity ")?;
+            write_list(f, &self.neg_users)?;
+            f.write_str(" ")?;
+        }
+        if !self.pos_users.is_empty() {
+            f.write_str("Pos-User-Identity ")?;
+            write_list(f, &self.pos_users)?;
+            f.write_str(" ")?;
+        }
+        if !self.otherthan_purposes.is_empty() {
+            f.write_str("OTHERTHAN PURPOSE ")?;
+            write_list(f, &self.otherthan_purposes)?;
+            f.write_str(" ")?;
+        }
+        if let Some(iv) = &self.during {
+            write!(f, "DURING {iv} ")?;
+        }
+        if let Some(iv) = &self.data_interval {
+            write!(f, "DATA-INTERVAL {iv} ")?;
+        }
+        if self.threshold != Threshold::default() {
+            write!(f, "THRESHOLD {} ", self.threshold)?;
+        }
+        if !self.indispensable {
+            f.write_str("INDISPENSABLE false ")?;
+        }
+        write!(f, "AUDIT {} FROM ", self.audit)?;
+        write_list(f, &self.from)?;
+        if let Some(w) = &self.selection {
+            write!(f, " WHERE {w}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{parse_audit, parse_statement};
+
+    fn round_trip_stmt(src: &str) {
+        let a = parse_statement(src).unwrap();
+        let printed = a.to_string();
+        let b = parse_statement(&printed).unwrap_or_else(|e| panic!("reparse of {printed:?}: {e}"));
+        assert_eq!(a, b, "print was {printed:?}");
+    }
+
+    fn round_trip_audit(src: &str) {
+        let a = parse_audit(src).unwrap();
+        let printed = a.to_string();
+        let b = parse_audit(&printed).unwrap_or_else(|e| panic!("reparse of {printed:?}: {e}"));
+        assert_eq!(a, b, "print was {printed:?}");
+    }
+
+    #[test]
+    fn select_round_trips() {
+        round_trip_stmt("SELECT zipcode FROM Patients WHERE disease = 'cancer'");
+        round_trip_stmt("SELECT DISTINCT p.name AS n, * FROM Patients AS p, Visits WHERE p.id = Visits.pid");
+        round_trip_stmt("SELECT a FROM t WHERE (x = 1 OR y = 2) AND NOT z = 3");
+        round_trip_stmt("SELECT a FROM t WHERE x BETWEEN 1 AND 2 AND y NOT IN (1, 2, 3)");
+        round_trip_stmt("SELECT a FROM t WHERE name LIKE 'J%' AND v IS NOT NULL");
+        round_trip_stmt("SELECT a FROM t WHERE -x + 3 * y > 0");
+        round_trip_stmt("SELECT a FROM t WHERE x - (y - z) = 0");
+    }
+
+    #[test]
+    fn dml_round_trips() {
+        round_trip_stmt("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')");
+        round_trip_stmt("UPDATE t SET a = a + 1 WHERE b = TRUE");
+        round_trip_stmt("DELETE FROM t WHERE a IS NULL");
+        round_trip_stmt("CREATE TABLE t (a INT, b TEXT, c FLOAT, d BOOL, e TIMESTAMP)");
+    }
+
+    #[test]
+    fn reserved_identifiers_print_quoted() {
+        round_trip_stmt("SELECT \"select\" FROM \"from\"");
+    }
+
+    #[test]
+    fn audit_round_trips() {
+        round_trip_audit("AUDIT disease FROM Patients WHERE zipcode = '120016'");
+        round_trip_audit(
+            "Neg-Role-Purpose (nurse, billing) (-, marketing) Pos-User-Identity u-1 \
+             DURING 1/1/2004 TO 31/12/2004:23-59-59 DATA-INTERVAL 1/5/2004:13-00-00 TO now() \
+             THRESHOLD ALL INDISPENSABLE false \
+             AUDIT (name, disease), [zipcode, salary] FROM P-Personal, P-Health \
+             WHERE P-Personal.pid = P-Health.pid AND salary > 10000",
+        );
+        round_trip_audit("AUDIT [*] FROM P-Personal, P-Health, P-Employ WHERE name = 'Reku'");
+        round_trip_audit("OTHERTHAN PURPOSE marketing AUDIT a FROM t");
+        round_trip_audit("THRESHOLD 7 AUDIT [(a, b)], c FROM t");
+    }
+
+    #[test]
+    fn float_literals_round_trip() {
+        round_trip_stmt("SELECT a FROM t WHERE x = 3.0 AND y = 0.25");
+    }
+}

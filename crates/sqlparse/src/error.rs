@@ -1,0 +1,93 @@
+//! Parse errors with source spans.
+
+use std::fmt;
+
+/// A half-open byte range into the source text, with 1-based line/column of
+/// its start for human-readable diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+    /// 1-based line of `start`.
+    pub line: u32,
+    /// 1-based column of `start`.
+    pub column: u32,
+}
+
+impl Span {
+    /// A span covering the very beginning of the input.
+    pub fn start() -> Self {
+        Span { start: 0, end: 0, line: 1, column: 1 }
+    }
+
+    /// Merges two spans into the smallest span covering both.
+    pub fn merge(self, other: Span) -> Span {
+        let (first, last) = if self.start <= other.start { (self, other) } else { (other, self) };
+        Span {
+            start: first.start,
+            end: last.end.max(first.end),
+            line: first.line,
+            column: first.column,
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}, column {}", self.line, self.column)
+    }
+}
+
+/// An error produced while lexing or parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description of what went wrong.
+    pub message: String,
+    /// Where in the source it went wrong.
+    pub span: Span,
+}
+
+impl ParseError {
+    /// Creates a new error at `span`.
+    pub fn new(message: impl Into<String>, span: Span) -> Self {
+        ParseError { message: message.into(), span }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at {}", self.message, self.span)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_orders_spans() {
+        let a = Span { start: 5, end: 8, line: 1, column: 6 };
+        let b = Span { start: 0, end: 3, line: 1, column: 1 };
+        let m = a.merge(b);
+        assert_eq!(m.start, 0);
+        assert_eq!(m.end, 8);
+        assert_eq!(m.column, 1);
+    }
+
+    #[test]
+    fn merge_contained_span_keeps_outer_end() {
+        let outer = Span { start: 0, end: 10, line: 1, column: 1 };
+        let inner = Span { start: 2, end: 4, line: 1, column: 3 };
+        assert_eq!(outer.merge(inner).end, 10);
+    }
+
+    #[test]
+    fn display_mentions_position() {
+        let err = ParseError::new("boom", Span { start: 3, end: 4, line: 2, column: 7 });
+        assert_eq!(err.to_string(), "boom at line 2, column 7");
+    }
+}

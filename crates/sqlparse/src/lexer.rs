@@ -1,0 +1,478 @@
+//! The lexer.
+//!
+//! One deliberate deviation from mainstream SQL lexing: the paper names its
+//! relations and attributes with interior hyphens (`P-Personal`, `P-Health`,
+//! `pres-drugs`, `b-P-Personal`) and its clauses likewise
+//! (`DATA-INTERVAL`, `Neg-Role-Purpose`, `Pos-User-Identity`). To accept the
+//! paper's surface syntax verbatim, a `-` **joins** a word when it is
+//! immediately adjacent to word characters on its left and a letter or `_`
+//! on its right (no whitespace on either side). Consequently `salary-bonus`
+//! lexes as a single identifier; write `salary - bonus` (with spaces) for
+//! subtraction. A `-` followed by a digit is always an operator, so
+//! `age-1` and timestamp fragments like `13-00-00` lex arithmetically.
+
+use crate::error::{ParseError, Span};
+use crate::token::{Token, TokenKind};
+
+/// Streaming lexer over source text.
+pub struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    /// Creates a lexer over `src`.
+    pub fn new(src: &'a str) -> Self {
+        Lexer { src, bytes: src.as_bytes(), pos: 0, line: 1, col: 1 }
+    }
+
+    /// Lexes the entire input, appending a final [`TokenKind::Eof`] token.
+    pub fn tokenize(mut self) -> Result<Vec<Token>, ParseError> {
+        let mut out = Vec::new();
+        loop {
+            let tok = self.next_token()?;
+            let done = tok.kind == TokenKind::Eof;
+            out.push(tok);
+            if done {
+                return Ok(out);
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.bytes.get(self.pos + off).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn here(&self) -> (usize, u32, u32) {
+        (self.pos, self.line, self.col)
+    }
+
+    fn span_from(&self, start: (usize, u32, u32)) -> Span {
+        Span { start: start.0, end: self.pos, line: start.1, column: start.2 }
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), ParseError> {
+        loop {
+            match self.peek() {
+                Some(b) if b.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'-') if self.peek_at(1) == Some(b'-') => {
+                    while let Some(b) = self.peek() {
+                        if b == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek_at(1) == Some(b'*') => {
+                    let start = self.here();
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match self.peek() {
+                            Some(b'*') if self.peek_at(1) == Some(b'/') => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            Some(_) => {
+                                self.bump();
+                            }
+                            None => {
+                                return Err(ParseError::new(
+                                    "unterminated block comment",
+                                    self.span_from(start),
+                                ))
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn is_word_start(b: u8) -> bool {
+        b.is_ascii_alphabetic() || b == b'_'
+    }
+
+    fn is_word_continue(b: u8) -> bool {
+        b.is_ascii_alphanumeric() || b == b'_'
+    }
+
+    fn next_token(&mut self) -> Result<Token, ParseError> {
+        self.skip_trivia()?;
+        let start = self.here();
+        let Some(b) = self.peek() else {
+            return Ok(Token { kind: TokenKind::Eof, span: self.span_from(start) });
+        };
+
+        let kind = match b {
+            b if Self::is_word_start(b) => return self.lex_word(start),
+            b if b.is_ascii_digit() => return self.lex_number(start),
+            b'\'' => return self.lex_string(start),
+            b'"' => return self.lex_quoted_ident(start),
+            b',' => {
+                self.bump();
+                TokenKind::Comma
+            }
+            b'(' => {
+                self.bump();
+                TokenKind::LParen
+            }
+            b')' => {
+                self.bump();
+                TokenKind::RParen
+            }
+            b'[' => {
+                self.bump();
+                TokenKind::LBracket
+            }
+            b']' => {
+                self.bump();
+                TokenKind::RBracket
+            }
+            b'.' => {
+                self.bump();
+                TokenKind::Dot
+            }
+            b';' => {
+                self.bump();
+                TokenKind::Semicolon
+            }
+            b'*' => {
+                self.bump();
+                TokenKind::Star
+            }
+            b'+' => {
+                self.bump();
+                TokenKind::Plus
+            }
+            b'-' => {
+                self.bump();
+                TokenKind::Minus
+            }
+            b'/' => {
+                self.bump();
+                TokenKind::Slash
+            }
+            b'%' => {
+                self.bump();
+                TokenKind::Percent
+            }
+            b':' => {
+                self.bump();
+                TokenKind::Colon
+            }
+            b'=' => {
+                self.bump();
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                }
+                TokenKind::Eq
+            }
+            b'!' => {
+                self.bump();
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    TokenKind::NotEq
+                } else {
+                    return Err(ParseError::new("expected '=' after '!'", self.span_from(start)));
+                }
+            }
+            b'<' => {
+                self.bump();
+                match self.peek() {
+                    Some(b'=') => {
+                        self.bump();
+                        TokenKind::LtEq
+                    }
+                    Some(b'>') => {
+                        self.bump();
+                        TokenKind::NotEq
+                    }
+                    _ => TokenKind::Lt,
+                }
+            }
+            b'>' => {
+                self.bump();
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    TokenKind::GtEq
+                } else {
+                    TokenKind::Gt
+                }
+            }
+            other => {
+                return Err(ParseError::new(
+                    format!("unexpected character {:?}", other as char),
+                    Span { start: self.pos, end: self.pos + 1, line: self.line, column: self.col },
+                ))
+            }
+        };
+        Ok(Token { kind, span: self.span_from(start) })
+    }
+
+    fn lex_word(&mut self, start: (usize, u32, u32)) -> Result<Token, ParseError> {
+        loop {
+            match self.peek() {
+                Some(b) if Self::is_word_continue(b) => {
+                    self.bump();
+                }
+                // Hyphen joins only when immediately followed by a letter or
+                // underscore: `P-Personal` joins, `age-1` does not.
+                Some(b'-') if self.peek_at(1).is_some_and(Self::is_word_start) => {
+                    self.bump();
+                }
+                _ => break,
+            }
+        }
+        let text = &self.src[start.0..self.pos];
+        Ok(Token { kind: TokenKind::Word(text.to_string()), span: self.span_from(start) })
+    }
+
+    fn lex_number(&mut self, start: (usize, u32, u32)) -> Result<Token, ParseError> {
+        while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+            self.bump();
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') && self.peek_at(1).is_some_and(|b| b.is_ascii_digit()) {
+            is_float = true;
+            self.bump();
+            while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                self.bump();
+            }
+        }
+        let text = &self.src[start.0..self.pos];
+        let kind = if is_float {
+            let v: f64 = text
+                .parse()
+                .map_err(|_| ParseError::new(format!("invalid float literal {text:?}"), self.span_from(start)))?;
+            TokenKind::Float(v)
+        } else {
+            let v: i64 = text
+                .parse()
+                .map_err(|_| ParseError::new(format!("integer literal {text:?} out of range"), self.span_from(start)))?;
+            TokenKind::Int(v)
+        };
+        Ok(Token { kind, span: self.span_from(start) })
+    }
+
+    fn lex_string(&mut self, start: (usize, u32, u32)) -> Result<Token, ParseError> {
+        self.bump(); // opening quote
+        let mut value = String::new();
+        loop {
+            match self.bump() {
+                Some(b'\'') => {
+                    if self.peek() == Some(b'\'') {
+                        // '' escapes a quote inside a string.
+                        self.bump();
+                        value.push('\'');
+                    } else {
+                        break;
+                    }
+                }
+                Some(b) => value.push(b as char),
+                None => {
+                    return Err(ParseError::new("unterminated string literal", self.span_from(start)));
+                }
+            }
+        }
+        Ok(Token { kind: TokenKind::StringLit(value), span: self.span_from(start) })
+    }
+
+    fn lex_quoted_ident(&mut self, start: (usize, u32, u32)) -> Result<Token, ParseError> {
+        self.bump(); // opening quote
+        let mut value = String::new();
+        loop {
+            match self.bump() {
+                Some(b'"') => {
+                    if self.peek() == Some(b'"') {
+                        self.bump();
+                        value.push('"');
+                    } else {
+                        break;
+                    }
+                }
+                Some(b) => value.push(b as char),
+                None => {
+                    return Err(ParseError::new("unterminated quoted identifier", self.span_from(start)));
+                }
+            }
+        }
+        if value.is_empty() {
+            return Err(ParseError::new("empty quoted identifier", self.span_from(start)));
+        }
+        Ok(Token { kind: TokenKind::QuotedIdent(value), span: self.span_from(start) })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        Lexer::new(src)
+            .tokenize()
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .filter(|k| *k != TokenKind::Eof)
+            .collect()
+    }
+
+    #[test]
+    fn hyphenated_table_names_join() {
+        assert_eq!(kinds("P-Personal"), vec![TokenKind::Word("P-Personal".into())]);
+        assert_eq!(kinds("b-P-Personal"), vec![TokenKind::Word("b-P-Personal".into())]);
+        assert_eq!(kinds("pres-drugs"), vec![TokenKind::Word("pres-drugs".into())]);
+    }
+
+    #[test]
+    fn hyphen_before_digit_is_minus() {
+        assert_eq!(
+            kinds("age-1"),
+            vec![TokenKind::Word("age".into()), TokenKind::Minus, TokenKind::Int(1)]
+        );
+    }
+
+    #[test]
+    fn spaced_hyphen_is_minus() {
+        assert_eq!(
+            kinds("salary - bonus"),
+            vec![TokenKind::Word("salary".into()), TokenKind::Minus, TokenKind::Word("bonus".into())]
+        );
+    }
+
+    #[test]
+    fn clause_keywords_join() {
+        assert_eq!(kinds("DATA-INTERVAL"), vec![TokenKind::Word("DATA-INTERVAL".into())]);
+        assert_eq!(kinds("Neg-Role-Purpose"), vec![TokenKind::Word("Neg-Role-Purpose".into())]);
+    }
+
+    #[test]
+    fn paper_predicate_lexes() {
+        assert_eq!(
+            kinds("P-Personal.zipcode=145568"),
+            vec![
+                TokenKind::Word("P-Personal".into()),
+                TokenKind::Dot,
+                TokenKind::Word("zipcode".into()),
+                TokenKind::Eq,
+                TokenKind::Int(145568),
+            ]
+        );
+    }
+
+    #[test]
+    fn timestamp_fragment_lexes_arithmetically() {
+        assert_eq!(
+            kinds("1/5/2004:13-00-00"),
+            vec![
+                TokenKind::Int(1),
+                TokenKind::Slash,
+                TokenKind::Int(5),
+                TokenKind::Slash,
+                TokenKind::Int(2004),
+                TokenKind::Colon,
+                TokenKind::Int(13),
+                TokenKind::Minus,
+                TokenKind::Int(0),
+                TokenKind::Minus,
+                TokenKind::Int(0),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_and_escapes() {
+        assert_eq!(kinds("'cancer'"), vec![TokenKind::StringLit("cancer".into())]);
+        assert_eq!(kinds("'it''s'"), vec![TokenKind::StringLit("it's".into())]);
+    }
+
+    #[test]
+    fn quoted_identifiers() {
+        assert_eq!(kinds(r#""select""#), vec![TokenKind::QuotedIdent("select".into())]);
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            kinds("< <= > >= = != <>"),
+            vec![
+                TokenKind::Lt,
+                TokenKind::LtEq,
+                TokenKind::Gt,
+                TokenKind::GtEq,
+                TokenKind::Eq,
+                TokenKind::NotEq,
+                TokenKind::NotEq,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_trivia() {
+        assert_eq!(
+            kinds("select -- hi\n x /* and\nthis */ y"),
+            vec![
+                TokenKind::Word("select".into()),
+                TokenKind::Word("x".into()),
+                TokenKind::Word("y".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn floats_and_ints() {
+        assert_eq!(kinds("3.25 7"), vec![TokenKind::Float(3.25), TokenKind::Int(7)]);
+    }
+
+    #[test]
+    fn errors_carry_position() {
+        let err = Lexer::new("a ?").tokenize().unwrap_err();
+        assert_eq!(err.span.line, 1);
+        assert_eq!(err.span.column, 3);
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(Lexer::new("'oops").tokenize().is_err());
+        assert!(Lexer::new("\"oops").tokenize().is_err());
+        assert!(Lexer::new("/* oops").tokenize().is_err());
+    }
+
+    #[test]
+    fn brackets_for_attr_groups() {
+        assert_eq!(
+            kinds("[name,disease]"),
+            vec![
+                TokenKind::LBracket,
+                TokenKind::Word("name".into()),
+                TokenKind::Comma,
+                TokenKind::Word("disease".into()),
+                TokenKind::RBracket,
+            ]
+        );
+    }
+}

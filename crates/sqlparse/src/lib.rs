@@ -1,0 +1,76 @@
+//! `audex-sql` — SQL and audit-expression front end for the `audex` project.
+//!
+//! This crate implements, from scratch, everything the auditing framework of
+//! Goyal, Gupta & Gupta ("A Unified Audit Expression Model for Auditing SQL
+//! Queries", ICDE 2008) needs from a SQL front end:
+//!
+//! * a lexer ([`lexer::Lexer`]) tolerant of the paper's hyphenated
+//!   identifiers (`P-Personal`, `pres-drugs`, `b-P-Personal`) and clause
+//!   keywords (`DATA-INTERVAL`, `Neg-Role-Purpose`),
+//! * an AST ([`ast`]) for the select-project-join (SPJ) query fragment the
+//!   paper formalizes as `Q = π_C(σ_P(T × R))`, plus the DML statements
+//!   (`INSERT` / `UPDATE` / `DELETE` / `CREATE TABLE`) that drive the
+//!   backlog-versioning substrate,
+//! * a recursive-descent / Pratt parser ([`parser`]) for those statements
+//!   **and** for the paper's full audit-expression grammar (Fig. 7),
+//!   including the legacy Agrawal et al. syntax of Fig. 1,
+//! * civil-time handling ([`time`]) for the paper's `1/5/2004:13-00-00`
+//!   timestamp literals and the `now()` marker, with no external crates,
+//! * a pretty printer ([`display`]) such that `parse ∘ print = id`.
+//!
+//! # Quick example
+//!
+//! ```
+//! use audex_sql::parse_audit;
+//!
+//! let audit = parse_audit(
+//!     "AUDIT disease FROM Patients WHERE zipcode = '118701'",
+//! ).unwrap();
+//! assert_eq!(audit.from.len(), 1);
+//! assert!(audit.indispensable); // paper default
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod display;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod time;
+pub mod token;
+
+pub use ast::{AttrGroup, AttrNode, AttrSpec, AuditExpr, ColumnRef, Expr, Ident, Literal, Query, Statement};
+pub use error::{ParseError, Span};
+pub use time::Timestamp;
+
+/// Parses a single SQL statement (`SELECT`, `INSERT`, `UPDATE`, `DELETE`, or
+/// `CREATE TABLE`).
+pub fn parse_statement(sql: &str) -> Result<ast::Statement, ParseError> {
+    parser::Parser::new(sql)?.parse_statement_eof()
+}
+
+/// Parses a single SPJ `SELECT` query, rejecting other statement kinds.
+pub fn parse_query(sql: &str) -> Result<ast::Query, ParseError> {
+    match parse_statement(sql)? {
+        ast::Statement::Select(q) => Ok(q),
+        other => Err(ParseError::new(
+            format!("expected a SELECT query, found {}", other.kind_name()),
+            Span::start(),
+        )),
+    }
+}
+
+/// Parses an audit expression in the unified grammar of the paper's Fig. 7
+/// (which subsumes the Fig. 1 syntax of Agrawal et al.).
+pub fn parse_audit(text: &str) -> Result<ast::AuditExpr, ParseError> {
+    parser::Parser::new(text)?.parse_audit_eof()
+}
+
+/// Parses a semicolon-separated script of SQL statements.
+///
+/// Empty statements (stray semicolons, trailing whitespace) are skipped.
+pub fn parse_script(sql: &str) -> Result<Vec<ast::Statement>, ParseError> {
+    parser::Parser::new(sql)?.parse_script()
+}

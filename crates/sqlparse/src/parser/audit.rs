@@ -1,0 +1,482 @@
+//! Audit-expression parsing (paper Fig. 7, with Fig. 1 compatibility).
+
+use super::Parser;
+use crate::ast::{
+    AttrGroup, AttrItem, AttrNode, AttrSpec, AuditExpr, Ident, RolePurposePattern, Threshold,
+    TimeInterval, TsSpec,
+};
+use crate::error::ParseError;
+use crate::time::Timestamp;
+use crate::token::TokenKind;
+
+impl Parser {
+    /// Parses a complete audit expression and requires EOF after it.
+    pub fn parse_audit_eof(&mut self) -> Result<AuditExpr, ParseError> {
+        let a = self.parse_audit_expr()?;
+        self.expect_eof()?;
+        Ok(a)
+    }
+
+    /// Parses the clauses of Fig. 7. Clauses may appear in any order before
+    /// `AUDIT`; each may appear at most once.
+    pub fn parse_audit_expr(&mut self) -> Result<AuditExpr, ParseError> {
+        let mut out = AuditExpr::basic(AttrSpec::default(), Vec::new(), None);
+        let mut seen: Vec<&'static str> = Vec::new();
+
+        let mut require_once = |name: &'static str, this: &Parser| -> Result<(), ParseError> {
+            if seen.contains(&name) {
+                return Err(this.error(format!("duplicate {name} clause")));
+            }
+            seen.push(name);
+            Ok(())
+        };
+
+        loop {
+            if self.eat_keyword("neg-role-purpose") {
+                require_once("Neg-Role-Purpose", self)?;
+                out.neg_role_purpose = self.parse_role_purpose_list()?;
+            } else if self.eat_keyword("pos-role-purpose") {
+                require_once("Pos-Role-Purpose", self)?;
+                out.pos_role_purpose = self.parse_role_purpose_list()?;
+            } else if self.eat_keyword("neg-user-identity") {
+                require_once("Neg-User-Identity", self)?;
+                out.neg_users = self.parse_user_list()?;
+            } else if self.eat_keyword("pos-user-identity") {
+                require_once("Pos-User-Identity", self)?;
+                out.pos_users = self.parse_user_list()?;
+            } else if self.eat_keyword("otherthan") {
+                require_once("OTHERTHAN PURPOSE", self)?;
+                self.expect_keyword("purpose")?;
+                out.otherthan_purposes = self.parse_user_list()?;
+                if out.otherthan_purposes.is_empty() {
+                    return Err(self.error("OTHERTHAN PURPOSE requires at least one purpose"));
+                }
+            } else if self.eat_keyword("during") {
+                require_once("DURING", self)?;
+                out.during = Some(self.parse_time_interval()?);
+            } else if self.eat_keyword("data-interval") {
+                require_once("DATA-INTERVAL", self)?;
+                out.data_interval = Some(self.parse_time_interval()?);
+            } else if self.eat_keyword("threshold") {
+                require_once("THRESHOLD", self)?;
+                out.threshold = self.parse_threshold()?;
+            } else if self.eat_keyword("indispensable") {
+                require_once("INDISPENSABLE", self)?;
+                self.eat(&TokenKind::Eq); // `INDISPENSABLE = true` form of Figs. 4-6
+                out.indispensable = self.parse_bool_word()?;
+            } else if self.eat_keyword("audit") {
+                out.audit = self.parse_attr_spec()?;
+                self.expect_keyword("from")?;
+                out.from = self.parse_table_list()?;
+                if self.eat_keyword("where") {
+                    out.selection = Some(self.parse_expr()?);
+                }
+                if out.audit.nodes.is_empty() {
+                    return Err(self.error("AUDIT clause requires at least one attribute"));
+                }
+                return Ok(out);
+            } else {
+                return Err(self.error(format!(
+                    "expected an audit clause (AUDIT, DURING, DATA-INTERVAL, THRESHOLD, \
+                     INDISPENSABLE, OTHERTHAN PURPOSE, Neg/Pos-Role-Purpose, \
+                     Neg/Pos-User-Identity), found {}",
+                    self.peek()
+                )));
+            }
+        }
+    }
+
+    fn parse_bool_word(&mut self) -> Result<bool, ParseError> {
+        if self.eat_keyword("true") {
+            Ok(true)
+        } else if self.eat_keyword("false") {
+            Ok(false)
+        } else {
+            Err(self.error(format!("expected true or false, found {}", self.peek())))
+        }
+    }
+
+    fn parse_threshold(&mut self) -> Result<Threshold, ParseError> {
+        self.eat(&TokenKind::Eq);
+        match self.peek().clone() {
+            TokenKind::Int(n) if n >= 1 => {
+                self.advance();
+                Ok(Threshold::Count(n as u64))
+            }
+            TokenKind::Int(_) => Err(self.error("THRESHOLD must be at least 1")),
+            k if k.is_keyword("all") => {
+                self.advance();
+                Ok(Threshold::All)
+            }
+            other => Err(self.error(format!("expected a count or ALL after THRESHOLD, found {other}"))),
+        }
+    }
+
+    /// `{(r,pr) | (r,-) | (-,pr)}*` with optional commas between patterns.
+    fn parse_role_purpose_list(&mut self) -> Result<Vec<RolePurposePattern>, ParseError> {
+        let mut out = Vec::new();
+        loop {
+            if self.at_audit_clause_boundary() {
+                break;
+            }
+            self.expect(&TokenKind::LParen)?;
+            let role = self.parse_wildcardable_name()?;
+            self.expect(&TokenKind::Comma)?;
+            let purpose = self.parse_wildcardable_name()?;
+            self.expect(&TokenKind::RParen)?;
+            if role.is_none() && purpose.is_none() {
+                return Err(self.error("(-,-) would exclude everything; omit the clause instead"));
+            }
+            out.push(RolePurposePattern { role, purpose });
+            self.eat(&TokenKind::Comma);
+        }
+        if out.is_empty() {
+            return Err(self.error("role-purpose clause requires at least one (role, purpose) pattern"));
+        }
+        Ok(out)
+    }
+
+    fn parse_wildcardable_name(&mut self) -> Result<Option<Ident>, ParseError> {
+        if self.eat(&TokenKind::Minus) {
+            Ok(None)
+        } else {
+            Ok(Some(self.parse_name_like()?))
+        }
+    }
+
+    /// A list of names (user ids or purposes), comma- or space-separated,
+    /// running until the next clause keyword.
+    fn parse_user_list(&mut self) -> Result<Vec<Ident>, ParseError> {
+        let mut out = Vec::new();
+        loop {
+            if self.at_audit_clause_boundary() {
+                break;
+            }
+            match self.peek().clone() {
+                TokenKind::Int(n) => {
+                    self.advance();
+                    out.push(Ident::new(n.to_string()));
+                }
+                TokenKind::Word(_) | TokenKind::QuotedIdent(_) | TokenKind::StringLit(_) => {
+                    out.push(self.parse_name_like()?);
+                }
+                other => return Err(self.error(format!("expected a name, found {other}"))),
+            }
+            self.eat(&TokenKind::Comma);
+        }
+        if out.is_empty() {
+            return Err(self.error("identity clause requires at least one name"));
+        }
+        Ok(out)
+    }
+
+    /// `t1 TO t2` where each endpoint is `now()`, a paper-style
+    /// `D/M/YYYY[:HH-MM-SS]` literal, or a quoted timestamp string.
+    pub(crate) fn parse_time_interval(&mut self) -> Result<TimeInterval, ParseError> {
+        let start = self.parse_ts_spec()?;
+        self.expect_keyword("to")?;
+        let end = self.parse_ts_spec()?;
+        Ok(TimeInterval { start, end })
+    }
+
+    fn parse_ts_spec(&mut self) -> Result<TsSpec, ParseError> {
+        match self.peek().clone() {
+            TokenKind::Word(w) if w.eq_ignore_ascii_case("now") => {
+                self.advance();
+                self.expect(&TokenKind::LParen)?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(TsSpec::Now)
+            }
+            TokenKind::StringLit(s) => {
+                let span = self.peek_span();
+                self.advance();
+                Timestamp::parse(&s)
+                    .map(TsSpec::At)
+                    .ok_or_else(|| ParseError::new(format!("invalid timestamp literal {s:?}"), span))
+            }
+            TokenKind::Int(_) => self.parse_paper_timestamp().map(TsSpec::At),
+            other => Err(self.error(format!("expected a timestamp or now(), found {other}"))),
+        }
+    }
+
+    /// Assembles `D/M/YYYY[:HH-MM-SS]` from the arithmetic tokens it lexes
+    /// into (see the lexer docs).
+    fn parse_paper_timestamp(&mut self) -> Result<Timestamp, ParseError> {
+        let span = self.peek_span();
+        let day = self.parse_small_int()?;
+        self.expect(&TokenKind::Slash)?;
+        let month = self.parse_small_int()?;
+        self.expect(&TokenKind::Slash)?;
+        let year = self.parse_small_int()?;
+        let (mut h, mut mi, mut s) = (0, 0, 0);
+        if self.eat(&TokenKind::Colon) {
+            h = self.parse_small_int()?;
+            self.expect(&TokenKind::Minus)?;
+            mi = self.parse_small_int()?;
+            self.expect(&TokenKind::Minus)?;
+            s = self.parse_small_int()?;
+        }
+        Timestamp::from_ymd_hms(year, month as u32, day as u32, h as u32, mi as u32, s as u32)
+            .ok_or_else(|| ParseError::new(format!("invalid timestamp {day}/{month}/{year}:{h:02}-{mi:02}-{s:02}"), span))
+    }
+
+    fn parse_small_int(&mut self) -> Result<i64, ParseError> {
+        match self.peek().clone() {
+            TokenKind::Int(n) if (0..=10_000).contains(&n) => {
+                self.advance();
+                Ok(n)
+            }
+            other => Err(self.error(format!("expected a timestamp field, found {other}"))),
+        }
+    }
+
+    /// Parses the audit-attribute specification — a sequence of bare items,
+    /// `(mandatory…)` groups and `[optional…]` groups, with optional commas
+    /// between top-level nodes, terminated by `FROM`.
+    pub(crate) fn parse_attr_spec(&mut self) -> Result<AttrSpec, ParseError> {
+        let mut nodes = Vec::new();
+        loop {
+            if self.peek().is_keyword("from") || self.peek() == &TokenKind::Eof {
+                break;
+            }
+            nodes.push(self.parse_attr_node()?);
+            self.eat(&TokenKind::Comma);
+        }
+        Ok(AttrSpec { nodes })
+    }
+
+    fn parse_attr_node(&mut self) -> Result<AttrNode, ParseError> {
+        match self.peek().clone() {
+            TokenKind::LParen => {
+                self.advance();
+                let members = self.parse_attr_members(&TokenKind::RParen)?;
+                Ok(AttrNode::Group(AttrGroup::Mandatory(members)))
+            }
+            TokenKind::LBracket => {
+                self.advance();
+                let members = self.parse_attr_members(&TokenKind::RBracket)?;
+                Ok(AttrNode::Group(AttrGroup::Optional(members)))
+            }
+            TokenKind::Star => {
+                self.advance();
+                Ok(AttrNode::Item(AttrItem::Star))
+            }
+            _ => Ok(AttrNode::Item(AttrItem::Column(self.parse_column_ref()?))),
+        }
+    }
+
+    fn parse_attr_members(&mut self, close: &TokenKind) -> Result<Vec<AttrNode>, ParseError> {
+        let mut members = Vec::new();
+        loop {
+            if self.eat(close) {
+                if members.is_empty() {
+                    return Err(self.error("empty attribute group"));
+                }
+                return Ok(members);
+            }
+            members.push(self.parse_attr_node()?);
+            if !self.eat(&TokenKind::Comma) {
+                self.expect(close)?;
+                if members.is_empty() {
+                    return Err(self.error("empty attribute group"));
+                }
+                return Ok(members);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::ColumnRef;
+    use crate::parse_audit;
+
+    #[test]
+    fn fig1_agrawal_style() {
+        let a = parse_audit(
+            "OTHERTHAN PURPOSE marketing, telemarketing \
+             DURING 1/1/2004 TO 31/12/2004 \
+             AUDIT disease FROM Patients WHERE zipcode='120016'",
+        )
+        .unwrap();
+        assert_eq!(a.otherthan_purposes.len(), 2);
+        assert!(a.during.is_some());
+        assert_eq!(a.from.len(), 1);
+        assert_eq!(a.audit.nodes.len(), 1);
+    }
+
+    #[test]
+    fn fig2_audit_expression_1() {
+        let a = parse_audit("Audit name, age, address FROM P-Personal WHERE age < 30").unwrap();
+        assert_eq!(a.audit.nodes.len(), 3);
+        assert_eq!(a.from[0].name, Ident::new("P-Personal"));
+    }
+
+    #[test]
+    fn fig3_audit_expression_2() {
+        let a = parse_audit(
+            "Audit name, disease, address \
+             FROM P-Personal, P-Health, P-Employ \
+             WHERE P-Personal.pid=P-Health.pid and P-Health.pid=P-Employ.pid and \
+                   P-Personal.zipcode=145568 and P-Employ.salary > 10000 and \
+                   P-Health.disease='diabetic'",
+        )
+        .unwrap();
+        assert_eq!(a.from.len(), 3);
+        assert!(a.selection.is_some());
+    }
+
+    #[test]
+    fn fig4_perfect_privacy_star() {
+        let a = parse_audit(
+            "INDISPENSABLE = true \
+             AUDIT [*] FROM P-Personal, P-Health, P-Employ \
+             WHERE P-Personal.pid=P-Health.pid and P-Personal.name='Reku'",
+        )
+        .unwrap();
+        assert!(a.indispensable);
+        assert_eq!(
+            a.audit.nodes,
+            vec![AttrNode::Group(AttrGroup::Optional(vec![AttrNode::Item(AttrItem::Star)]))]
+        );
+    }
+
+    #[test]
+    fn fig5_optional_list() {
+        let a = parse_audit(
+            "INDISPENSABLE = true \
+             AUDIT [name, disease, address, P-Personal.pid, zipcode, salary] \
+             FROM P-Personal, P-Health, P-Employ \
+             WHERE P-Personal.pid=P-Health.pid",
+        )
+        .unwrap();
+        match &a.audit.nodes[0] {
+            AttrNode::Group(AttrGroup::Optional(members)) => assert_eq!(members.len(), 6),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn fig6_mandatory_group() {
+        let a = parse_audit(
+            "AUDIT (name, disease, address) FROM P-Personal, P-Health \
+             WHERE P-Personal.pid = P-Health.pid",
+        )
+        .unwrap();
+        match &a.audit.nodes[0] {
+            AttrNode::Group(AttrGroup::Mandatory(members)) => assert_eq!(members.len(), 3),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn mixed_mandatory_optional() {
+        let a = parse_audit("AUDIT (a, b), [c, d] FROM t").unwrap();
+        assert_eq!(a.audit.nodes.len(), 2);
+        // and without the comma, as the paper writes `(a,b)[c]`
+        let b = parse_audit("AUDIT (a, b)[c, d] FROM t").unwrap();
+        assert_eq!(a.audit, b.audit);
+    }
+
+    #[test]
+    fn nested_groups_rule6() {
+        let a = parse_audit("AUDIT [(a, b)] FROM t").unwrap();
+        match &a.audit.nodes[0] {
+            AttrNode::Group(AttrGroup::Optional(members)) => {
+                assert!(matches!(members[0], AttrNode::Group(AttrGroup::Mandatory(_))));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn data_interval_with_now() {
+        let a = parse_audit(
+            "DATA-INTERVAL 1/5/2004:13-00-00 to now() \
+             Audit name, age, address From b-P-Personal Where age < 30",
+        )
+        .unwrap();
+        let iv = a.data_interval.unwrap();
+        assert_eq!(iv.start, TsSpec::At(Timestamp::from_ymd_hms(2004, 5, 1, 13, 0, 0).unwrap()));
+        assert_eq!(iv.end, TsSpec::Now);
+    }
+
+    #[test]
+    fn threshold_forms() {
+        assert_eq!(parse_audit("THRESHOLD 3 AUDIT a FROM t").unwrap().threshold, Threshold::Count(3));
+        assert_eq!(parse_audit("THRESHOLD ALL AUDIT a FROM t").unwrap().threshold, Threshold::All);
+        assert!(parse_audit("THRESHOLD 0 AUDIT a FROM t").is_err());
+    }
+
+    #[test]
+    fn role_purpose_patterns() {
+        let a = parse_audit(
+            "Neg-Role-Purpose (nurse, billing) (doctor, -) (-, marketing) \
+             Pos-User-Identity u-17, u-42 \
+             AUDIT disease FROM Patients",
+        )
+        .unwrap();
+        assert_eq!(a.neg_role_purpose.len(), 3);
+        assert_eq!(a.neg_role_purpose[1], RolePurposePattern { role: Some(Ident::new("doctor")), purpose: None });
+        assert_eq!(a.neg_role_purpose[2], RolePurposePattern { role: None, purpose: Some(Ident::new("marketing")) });
+        assert_eq!(a.pos_users, vec![Ident::new("u-17"), Ident::new("u-42")]);
+    }
+
+    #[test]
+    fn double_wildcard_rejected() {
+        assert!(parse_audit("Neg-Role-Purpose (-,-) AUDIT a FROM t").is_err());
+    }
+
+    #[test]
+    fn duplicate_clause_rejected() {
+        assert!(parse_audit("THRESHOLD 2 THRESHOLD 3 AUDIT a FROM t").is_err());
+    }
+
+    #[test]
+    fn clause_order_is_free() {
+        let a = parse_audit(
+            "THRESHOLD 2 DURING 1/1/2004 TO 2/1/2004 INDISPENSABLE false AUDIT a FROM t",
+        )
+        .unwrap();
+        let b = parse_audit(
+            "INDISPENSABLE false DURING 1/1/2004 TO 2/1/2004 THRESHOLD 2 AUDIT a FROM t",
+        )
+        .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn qualified_audit_attributes() {
+        let a = parse_audit("AUDIT P-Personal.name FROM P-Personal").unwrap();
+        match &a.audit.nodes[0] {
+            AttrNode::Item(AttrItem::Column(ColumnRef { table: Some(t), .. })) => {
+                assert_eq!(t, &Ident::new("P-Personal"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn iso_timestamps_in_quotes() {
+        let a = parse_audit("DURING '2004-05-01 13:00:00' TO '2004-05-02' AUDIT a FROM t").unwrap();
+        let (s, e) = a.during.unwrap().resolve(Timestamp(0));
+        assert_eq!(s, Timestamp::from_ymd_hms(2004, 5, 1, 13, 0, 0).unwrap());
+        assert_eq!(e, Timestamp::from_ymd(2004, 5, 2).unwrap());
+    }
+
+    #[test]
+    fn empty_audit_list_rejected() {
+        assert!(parse_audit("AUDIT FROM t").is_err());
+    }
+
+    #[test]
+    fn trailing_semicolon_ok() {
+        assert!(parse_audit("AUDIT a FROM t;").is_ok());
+    }
+
+    #[test]
+    fn invalid_timestamp_is_error() {
+        assert!(parse_audit("DURING 32/1/2004 TO now() AUDIT a FROM t").is_err());
+    }
+}

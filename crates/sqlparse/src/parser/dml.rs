@@ -1,0 +1,184 @@
+//! `INSERT` / `UPDATE` / `DELETE` / `CREATE TABLE` parsing.
+
+use super::Parser;
+use crate::ast::{ColumnDef, CreateTable, Delete, Insert, TypeName, Update};
+use crate::error::ParseError;
+use crate::token::TokenKind;
+
+impl Parser {
+    /// Parses `INSERT INTO table [(cols…)] VALUES (…)[, (…)]*`.
+    pub fn parse_insert(&mut self) -> Result<Insert, ParseError> {
+        self.expect_keyword("insert")?;
+        self.expect_keyword("into")?;
+        let table = self.parse_ident()?;
+
+        let mut columns = Vec::new();
+        if self.eat(&TokenKind::LParen) {
+            columns.push(self.parse_ident()?);
+            while self.eat(&TokenKind::Comma) {
+                columns.push(self.parse_ident()?);
+            }
+            self.expect(&TokenKind::RParen)?;
+        }
+
+        self.expect_keyword("values")?;
+        let mut rows = vec![self.parse_value_row()?];
+        while self.eat(&TokenKind::Comma) {
+            rows.push(self.parse_value_row()?);
+        }
+        Ok(Insert { table, columns, rows })
+    }
+
+    fn parse_value_row(&mut self) -> Result<Vec<crate::ast::Expr>, ParseError> {
+        self.expect(&TokenKind::LParen)?;
+        let mut row = vec![self.parse_expr()?];
+        while self.eat(&TokenKind::Comma) {
+            row.push(self.parse_expr()?);
+        }
+        self.expect(&TokenKind::RParen)?;
+        Ok(row)
+    }
+
+    /// Parses `UPDATE table SET col = e[, …] [WHERE p]`.
+    pub fn parse_update(&mut self) -> Result<Update, ParseError> {
+        self.expect_keyword("update")?;
+        let table = self.parse_ident()?;
+        self.expect_keyword("set")?;
+        let mut assignments = Vec::new();
+        loop {
+            let col = self.parse_ident()?;
+            self.expect(&TokenKind::Eq)?;
+            let value = self.parse_expr()?;
+            assignments.push((col, value));
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        let selection = if self.eat_keyword("where") { Some(self.parse_expr()?) } else { None };
+        Ok(Update { table, assignments, selection })
+    }
+
+    /// Parses `DELETE FROM table [WHERE p]`.
+    pub fn parse_delete(&mut self) -> Result<Delete, ParseError> {
+        self.expect_keyword("delete")?;
+        self.expect_keyword("from")?;
+        let table = self.parse_ident()?;
+        let selection = if self.eat_keyword("where") { Some(self.parse_expr()?) } else { None };
+        Ok(Delete { table, selection })
+    }
+
+    /// Parses `CREATE TABLE name (col type[, …])`.
+    pub fn parse_create_table(&mut self) -> Result<CreateTable, ParseError> {
+        self.expect_keyword("create")?;
+        self.expect_keyword("table")?;
+        let name = self.parse_ident()?;
+        self.expect(&TokenKind::LParen)?;
+        let mut columns = Vec::new();
+        loop {
+            let col = self.parse_ident()?;
+            let ty = self.parse_type_name()?;
+            columns.push(ColumnDef { name: col, ty });
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect(&TokenKind::RParen)?;
+        Ok(CreateTable { name, columns })
+    }
+
+    fn parse_type_name(&mut self) -> Result<TypeName, ParseError> {
+        let TokenKind::Word(w) = self.peek().clone() else {
+            return Err(self.error(format!("expected a type name, found {}", self.peek())));
+        };
+        let ty = match w.to_ascii_lowercase().as_str() {
+            "int" | "integer" | "bigint" => TypeName::Int,
+            "float" | "double" | "real" => TypeName::Float,
+            "text" | "varchar" | "char" | "string" => TypeName::Text,
+            "bool" | "boolean" => TypeName::Bool,
+            "timestamp" | "datetime" => TypeName::Timestamp,
+            other => return Err(self.error(format!("unknown type name {other:?}"))),
+        };
+        self.advance();
+        // Tolerate a parenthesized length, e.g. VARCHAR(64).
+        if self.eat(&TokenKind::LParen) {
+            match self.peek() {
+                TokenKind::Int(_) => {
+                    self.advance();
+                }
+                other => return Err(self.error(format!("expected a length, found {other}"))),
+            }
+            self.expect(&TokenKind::RParen)?;
+        }
+        Ok(ty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Expr, Ident, Literal};
+
+    #[test]
+    fn insert_with_columns() {
+        let mut p = Parser::new(
+            "INSERT INTO P-Personal (pid, name, age) VALUES ('p1', 'Jane', 25), ('p2', 'Reku', 35)",
+        )
+        .unwrap();
+        let ins = p.parse_insert().unwrap();
+        assert_eq!(ins.table, Ident::new("P-Personal"));
+        assert_eq!(ins.columns.len(), 3);
+        assert_eq!(ins.rows.len(), 2);
+        assert_eq!(ins.rows[0][2], Expr::Literal(Literal::Int(25)));
+    }
+
+    #[test]
+    fn insert_without_columns() {
+        let mut p = Parser::new("INSERT INTO t VALUES (1, 'x')").unwrap();
+        let ins = p.parse_insert().unwrap();
+        assert!(ins.columns.is_empty());
+    }
+
+    #[test]
+    fn update_with_where() {
+        let mut p =
+            Parser::new("UPDATE P-Personal SET zipcode = '120016', age = 26 WHERE pid = 'p1'").unwrap();
+        let up = p.parse_update().unwrap();
+        assert_eq!(up.assignments.len(), 2);
+        assert!(up.selection.is_some());
+    }
+
+    #[test]
+    fn update_without_where_hits_all() {
+        let mut p = Parser::new("UPDATE t SET a = 1").unwrap();
+        assert!(p.parse_update().unwrap().selection.is_none());
+    }
+
+    #[test]
+    fn delete_forms() {
+        let mut p = Parser::new("DELETE FROM t WHERE a = 1").unwrap();
+        assert!(p.parse_delete().unwrap().selection.is_some());
+        let mut p = Parser::new("DELETE FROM t").unwrap();
+        assert!(p.parse_delete().unwrap().selection.is_none());
+    }
+
+    #[test]
+    fn create_table_types() {
+        let mut p = Parser::new(
+            "CREATE TABLE P-Personal (pid text, name varchar(64), age int, wealthy bool, seen timestamp, score float)",
+        )
+        .unwrap();
+        let ct = p.parse_create_table().unwrap();
+        assert_eq!(ct.columns.len(), 6);
+        assert_eq!(ct.columns[1].ty, TypeName::Text);
+        assert_eq!(ct.columns[2].ty, TypeName::Int);
+        assert_eq!(ct.columns[3].ty, TypeName::Bool);
+        assert_eq!(ct.columns[4].ty, TypeName::Timestamp);
+        assert_eq!(ct.columns[5].ty, TypeName::Float);
+    }
+
+    #[test]
+    fn unknown_type_is_an_error() {
+        let mut p = Parser::new("CREATE TABLE t (a blob)").unwrap();
+        assert!(p.parse_create_table().is_err());
+    }
+}

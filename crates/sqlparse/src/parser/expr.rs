@@ -1,0 +1,335 @@
+//! Pratt expression parsing.
+
+use super::{Parser, RESERVED};
+use crate::ast::{BinOp, ColumnRef, Expr, Literal, UnaryOp};
+use crate::error::ParseError;
+use crate::token::TokenKind;
+
+/// Binding powers, loosest to tightest.
+const P_OR: u8 = 1;
+const P_AND: u8 = 2;
+const P_NOT: u8 = 3;
+const P_CMP: u8 = 4;
+const P_ADD: u8 = 5;
+const P_MUL: u8 = 6;
+
+impl Parser {
+    /// Parses a full boolean/scalar expression.
+    pub fn parse_expr(&mut self) -> Result<Expr, ParseError> {
+        self.parse_expr_bp(0)
+    }
+
+    fn parse_expr_bp(&mut self, min_bp: u8) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_prefix()?;
+        while let Some((bp, op)) = self.peek_infix() {
+            if bp <= min_bp {
+                break;
+            }
+            lhs = self.parse_infix(lhs, bp, op)?;
+        }
+        Ok(lhs)
+    }
+
+    /// Identifies the next infix operator, if any, with its binding power.
+    fn peek_infix(&self) -> Option<(u8, InfixOp)> {
+        Some(match self.peek() {
+            k if k.is_keyword("or") => (P_OR, InfixOp::Bin(BinOp::Or)),
+            k if k.is_keyword("and") => (P_AND, InfixOp::Bin(BinOp::And)),
+            k if k.is_keyword("like") => (P_CMP, InfixOp::Like { negated: false }),
+            k if k.is_keyword("in") => (P_CMP, InfixOp::In { negated: false }),
+            k if k.is_keyword("between") => (P_CMP, InfixOp::Between { negated: false }),
+            k if k.is_keyword("is") => (P_CMP, InfixOp::Is),
+            k if k.is_keyword("not") => (P_CMP, InfixOp::NotPrefixedSuffix),
+            TokenKind::Eq => (P_CMP, InfixOp::Bin(BinOp::Eq)),
+            TokenKind::NotEq => (P_CMP, InfixOp::Bin(BinOp::NotEq)),
+            TokenKind::Lt => (P_CMP, InfixOp::Bin(BinOp::Lt)),
+            TokenKind::LtEq => (P_CMP, InfixOp::Bin(BinOp::LtEq)),
+            TokenKind::Gt => (P_CMP, InfixOp::Bin(BinOp::Gt)),
+            TokenKind::GtEq => (P_CMP, InfixOp::Bin(BinOp::GtEq)),
+            TokenKind::Plus => (P_ADD, InfixOp::Bin(BinOp::Add)),
+            TokenKind::Minus => (P_ADD, InfixOp::Bin(BinOp::Sub)),
+            TokenKind::Star => (P_MUL, InfixOp::Bin(BinOp::Mul)),
+            TokenKind::Slash => (P_MUL, InfixOp::Bin(BinOp::Div)),
+            TokenKind::Percent => (P_MUL, InfixOp::Bin(BinOp::Mod)),
+            _ => return None,
+        })
+    }
+
+    fn parse_infix(&mut self, lhs: Expr, bp: u8, op: InfixOp) -> Result<Expr, ParseError> {
+        self.advance(); // the operator token (or NOT)
+        match op {
+            InfixOp::Bin(op) => {
+                let rhs = self.parse_expr_bp(bp)?;
+                Ok(Expr::binary(lhs, op, rhs))
+            }
+            InfixOp::Like { negated } => {
+                let pattern = self.parse_expr_bp(P_CMP)?;
+                Ok(Expr::Like { expr: Box::new(lhs), pattern: Box::new(pattern), negated })
+            }
+            InfixOp::In { negated } => {
+                self.expect(&TokenKind::LParen)?;
+                let mut list = vec![self.parse_expr()?];
+                while self.eat(&TokenKind::Comma) {
+                    list.push(self.parse_expr()?);
+                }
+                self.expect(&TokenKind::RParen)?;
+                Ok(Expr::InList { expr: Box::new(lhs), list, negated })
+            }
+            InfixOp::Between { negated } => {
+                // Bounds bind tighter than AND so the separator AND survives.
+                let low = self.parse_expr_bp(P_CMP)?;
+                self.expect_keyword("and")?;
+                let high = self.parse_expr_bp(P_CMP)?;
+                Ok(Expr::Between { expr: Box::new(lhs), low: Box::new(low), high: Box::new(high), negated })
+            }
+            InfixOp::Is => {
+                let negated = self.eat_keyword("not");
+                self.expect_keyword("null")?;
+                Ok(Expr::IsNull { expr: Box::new(lhs), negated })
+            }
+            InfixOp::NotPrefixedSuffix => {
+                // `x NOT LIKE p`, `x NOT IN (…)`, `x NOT BETWEEN a AND b`.
+                if self.eat_keyword("like") {
+                    let pattern = self.parse_expr_bp(P_CMP)?;
+                    Ok(Expr::Like { expr: Box::new(lhs), pattern: Box::new(pattern), negated: true })
+                } else if self.eat_keyword("in") {
+                    self.expect(&TokenKind::LParen)?;
+                    let mut list = vec![self.parse_expr()?];
+                    while self.eat(&TokenKind::Comma) {
+                        list.push(self.parse_expr()?);
+                    }
+                    self.expect(&TokenKind::RParen)?;
+                    Ok(Expr::InList { expr: Box::new(lhs), list, negated: true })
+                } else if self.eat_keyword("between") {
+                    let low = self.parse_expr_bp(P_CMP)?;
+                    self.expect_keyword("and")?;
+                    let high = self.parse_expr_bp(P_CMP)?;
+                    Ok(Expr::Between {
+                        expr: Box::new(lhs),
+                        low: Box::new(low),
+                        high: Box::new(high),
+                        negated: true,
+                    })
+                } else {
+                    Err(self.error("expected LIKE, IN, or BETWEEN after NOT"))
+                }
+            }
+        }
+    }
+
+    fn parse_prefix(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().clone() {
+            k if k.is_keyword("not") => {
+                self.advance();
+                let operand = self.parse_expr_bp(P_NOT)?;
+                Ok(Expr::Unary { op: UnaryOp::Not, expr: Box::new(operand) })
+            }
+            TokenKind::Minus => {
+                self.advance();
+                let operand = self.parse_expr_bp(P_MUL)?;
+                Ok(Expr::Unary { op: UnaryOp::Neg, expr: Box::new(operand) })
+            }
+            TokenKind::Plus => {
+                self.advance();
+                self.parse_expr_bp(P_MUL)
+            }
+            TokenKind::LParen => {
+                self.advance();
+                let inner = self.parse_expr()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(inner)
+            }
+            TokenKind::Int(v) => {
+                self.advance();
+                Ok(Expr::Literal(Literal::Int(v)))
+            }
+            TokenKind::Float(v) => {
+                self.advance();
+                Ok(Expr::Literal(Literal::Float(v)))
+            }
+            TokenKind::StringLit(s) => {
+                self.advance();
+                Ok(Expr::Literal(Literal::Str(s)))
+            }
+            k if k.is_keyword("null") => {
+                self.advance();
+                Ok(Expr::Literal(Literal::Null))
+            }
+            k if k.is_keyword("true") => {
+                self.advance();
+                Ok(Expr::Literal(Literal::Bool(true)))
+            }
+            k if k.is_keyword("false") => {
+                self.advance();
+                Ok(Expr::Literal(Literal::Bool(false)))
+            }
+            TokenKind::Word(w) => {
+                if RESERVED.contains(&w.to_ascii_lowercase().as_str()) {
+                    return Err(self.error(format!("unexpected keyword {w} in expression")));
+                }
+                self.parse_column_ref().map(Expr::Column)
+            }
+            TokenKind::QuotedIdent(_) => self.parse_column_ref().map(Expr::Column),
+            other => Err(self.error(format!("expected an expression, found {other}"))),
+        }
+    }
+
+    /// Parses `column` or `table.column`.
+    pub(crate) fn parse_column_ref(&mut self) -> Result<ColumnRef, ParseError> {
+        let first = self.parse_ident()?;
+        if self.peek() == &TokenKind::Dot && !matches!(self.peek_at(1), TokenKind::Star) {
+            self.advance();
+            let column = self.parse_ident()?;
+            Ok(ColumnRef { table: Some(first), column })
+        } else {
+            Ok(ColumnRef { table: None, column: first })
+        }
+    }
+}
+
+#[derive(Clone)]
+enum InfixOp {
+    Bin(BinOp),
+    Like { negated: bool },
+    In { negated: bool },
+    Between { negated: bool },
+    Is,
+    NotPrefixedSuffix,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn expr(src: &str) -> Expr {
+        let mut p = Parser::new(src).unwrap();
+        let e = p.parse_expr().unwrap();
+        p.expect_eof().unwrap();
+        e
+    }
+
+    #[test]
+    fn precedence_or_and() {
+        // a = 1 OR b = 2 AND c = 3  ==  a=1 OR (b=2 AND c=3)
+        let e = expr("a = 1 OR b = 2 AND c = 3");
+        match e {
+            Expr::Binary { op: BinOp::Or, right, .. } => match *right {
+                Expr::Binary { op: BinOp::And, .. } => {}
+                other => panic!("expected AND on the right, got {other:?}"),
+            },
+            other => panic!("expected OR at top, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        // a + b * c parses as a + (b * c)
+        let e = expr("a + b * c");
+        match e {
+            Expr::Binary { op: BinOp::Add, right, .. } => {
+                assert!(matches!(*right, Expr::Binary { op: BinOp::Mul, .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn comparison_of_sums() {
+        let e = expr("salary + bonus > 10000");
+        assert!(matches!(e, Expr::Binary { op: BinOp::Gt, .. }));
+    }
+
+    #[test]
+    fn between_keeps_separator_and() {
+        let e = expr("age BETWEEN 20 AND 30 AND zipcode = 145568");
+        match e {
+            Expr::Binary { op: BinOp::And, left, .. } => {
+                assert!(matches!(*left, Expr::Between { .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn not_like_in_between() {
+        assert!(matches!(expr("name NOT LIKE 'J%'"), Expr::Like { negated: true, .. }));
+        assert!(matches!(expr("d NOT IN ('flu','cold')"), Expr::InList { negated: true, .. }));
+        assert!(matches!(expr("x NOT BETWEEN 1 AND 2"), Expr::Between { negated: true, .. }));
+    }
+
+    #[test]
+    fn is_null_forms() {
+        assert!(matches!(expr("x IS NULL"), Expr::IsNull { negated: false, .. }));
+        assert!(matches!(expr("x IS NOT NULL"), Expr::IsNull { negated: true, .. }));
+    }
+
+    #[test]
+    fn not_prefix_binds_looser_than_comparison() {
+        // NOT a = 1  ==  NOT (a = 1)
+        let e = expr("NOT a = 1");
+        match e {
+            Expr::Unary { op: UnaryOp::Not, expr } => {
+                assert!(matches!(*expr, Expr::Binary { op: BinOp::Eq, .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unary_minus() {
+        let e = expr("-5 + 3");
+        assert!(matches!(e, Expr::Binary { op: BinOp::Add, .. }));
+    }
+
+    #[test]
+    fn qualified_columns() {
+        let e = expr("P-Personal.pid = P-Health.pid");
+        match e {
+            Expr::Binary { left, right, .. } => {
+                assert!(matches!(*left, Expr::Column(ColumnRef { table: Some(_), .. })));
+                assert!(matches!(*right, Expr::Column(ColumnRef { table: Some(_), .. })));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parenthesized_groups() {
+        let e = expr("(a = 1 OR b = 2) AND c = 3");
+        assert!(matches!(e, Expr::Binary { op: BinOp::And, .. }));
+    }
+
+    #[test]
+    fn paper_audit_predicate() {
+        // The Fig. 3 predicate parses as a 5-way conjunction.
+        let e = expr(
+            "P-Personal.pid=P-Health.pid and P-Health.pid=P-Employ.pid and \
+             P-Personal.zipcode=145568 and P-Employ.salary > 10000 and \
+             P-Health.disease='diabetic'",
+        );
+        fn count_ands(e: &Expr) -> usize {
+            match e {
+                Expr::Binary { op: BinOp::And, left, right } => 1 + count_ands(left) + count_ands(right),
+                _ => 0,
+            }
+        }
+        assert_eq!(count_ands(&e), 4);
+    }
+
+    #[test]
+    fn in_list() {
+        let e = expr("disease IN ('cancer', 'diabetic')");
+        match e {
+            Expr::InList { list, negated: false, .. } => assert_eq!(list.len(), 2),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_on_missing_operand() {
+        assert!(Parser::new("a = ").unwrap().parse_expr().is_err());
+        let mut p = Parser::new("a AND").unwrap();
+        let r = p.parse_expr().and_then(|_| p.expect_eof());
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,257 @@
+//! Recursive-descent / Pratt parser for statements and audit expressions.
+
+mod audit;
+mod dml;
+mod expr;
+mod select;
+
+use crate::ast::{Ident, Statement};
+use crate::error::{ParseError, Span};
+use crate::lexer::Lexer;
+use crate::token::{Token, TokenKind};
+
+/// Words that may not be used as bare identifiers (quote them if needed).
+/// The paper's clause names are included so clause boundaries are
+/// unambiguous.
+pub const RESERVED: &[&str] = &[
+    "select", "distinct", "from", "where", "and", "or", "not", "like", "in", "between", "is",
+    "null", "true", "false", "as", "insert", "into", "values", "update", "set", "delete",
+    "create", "table", "order", "by", "asc", "desc", "limit",
+    "audit", "during", "to", "threshold", "indispensable", "otherthan",
+    "purpose", "all", "data-interval", "neg-role-purpose", "pos-role-purpose",
+    "neg-user-identity", "pos-user-identity",
+];
+
+/// Clause-introducing keywords of the audit grammar (Fig. 7).
+pub(crate) const AUDIT_CLAUSES: &[&str] = &[
+    "neg-role-purpose",
+    "pos-role-purpose",
+    "neg-user-identity",
+    "pos-user-identity",
+    "otherthan",
+    "during",
+    "data-interval",
+    "threshold",
+    "indispensable",
+    "audit",
+];
+
+/// A token-stream parser. Construct with [`Parser::new`], then call one of
+/// the `parse_*` entry points.
+pub struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    /// Lexes `src` and prepares to parse it.
+    pub fn new(src: &str) -> Result<Self, ParseError> {
+        Ok(Parser { tokens: Lexer::new(src).tokenize()?, pos: 0 })
+    }
+
+    pub(crate) fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)].kind
+    }
+
+    pub(crate) fn peek_at(&self, off: usize) -> &TokenKind {
+        &self.tokens[(self.pos + off).min(self.tokens.len() - 1)].kind
+    }
+
+    pub(crate) fn peek_span(&self) -> Span {
+        self.tokens[self.pos.min(self.tokens.len() - 1)].span
+    }
+
+    pub(crate) fn advance(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    pub(crate) fn error(&self, msg: impl Into<String>) -> ParseError {
+        ParseError::new(msg, self.peek_span())
+    }
+
+    /// Consumes the next token if it matches `kind` exactly.
+    pub(crate) fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consumes the next token if it is the given keyword.
+    pub(crate) fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.peek().is_keyword(kw) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Requires the given keyword next.
+    pub(crate) fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {}, found {}", kw.to_ascii_uppercase(), self.peek())))
+        }
+    }
+
+    /// Requires the given punctuation next.
+    pub(crate) fn expect(&mut self, kind: &TokenKind) -> Result<(), ParseError> {
+        if self.eat(kind) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {}, found {}", kind, self.peek())))
+        }
+    }
+
+    /// True when the next token is any of the audit clause keywords, or EOF.
+    pub(crate) fn at_audit_clause_boundary(&self) -> bool {
+        match self.peek() {
+            TokenKind::Eof => true,
+            TokenKind::Word(w) => {
+                let lower = w.to_ascii_lowercase();
+                AUDIT_CLAUSES.contains(&lower.as_str())
+            }
+            _ => false,
+        }
+    }
+
+    /// Parses an identifier; bare reserved words are rejected.
+    pub(crate) fn parse_ident(&mut self) -> Result<Ident, ParseError> {
+        match self.peek().clone() {
+            TokenKind::Word(w) => {
+                if RESERVED.contains(&w.to_ascii_lowercase().as_str()) {
+                    return Err(self.error(format!(
+                        "{w:?} is a reserved word; use double quotes to treat it as an identifier"
+                    )));
+                }
+                self.advance();
+                Ok(Ident::new(w))
+            }
+            TokenKind::QuotedIdent(w) => {
+                self.advance();
+                Ok(Ident::quoted(w))
+            }
+            other => Err(self.error(format!("expected an identifier, found {other}"))),
+        }
+    }
+
+    /// Like [`Parser::parse_ident`] but also accepts string literals, used
+    /// where the paper quotes values loosely (role / purpose / user lists).
+    ///
+    /// Additionally re-joins numeric-suffixed names such as `u-17`, which the
+    /// lexer splits into `u`, `-`, `17` (a hyphen before a digit is always an
+    /// operator elsewhere). The join only happens when the tokens are
+    /// directly adjacent in the source.
+    pub(crate) fn parse_name_like(&mut self) -> Result<Ident, ParseError> {
+        if let TokenKind::StringLit(s) = self.peek().clone() {
+            self.advance();
+            return Ok(Ident::quoted(s));
+        }
+        let mut ident = self.parse_ident()?;
+        let mut end = self.tokens[self.pos - 1].span.end;
+        loop {
+            let minus = &self.tokens[self.pos.min(self.tokens.len() - 1)];
+            let digits = &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)];
+            match (&minus.kind, &digits.kind) {
+                (TokenKind::Minus, TokenKind::Int(n))
+                    if minus.span.start == end && digits.span.start == minus.span.end =>
+                {
+                    ident.value.push('-');
+                    ident.value.push_str(&n.to_string());
+                    end = digits.span.end;
+                    self.advance();
+                    self.advance();
+                }
+                _ => break,
+            }
+        }
+        Ok(ident)
+    }
+
+    /// Requires the input to be fully consumed (trailing `;` allowed).
+    pub(crate) fn expect_eof(&mut self) -> Result<(), ParseError> {
+        while self.eat(&TokenKind::Semicolon) {}
+        if self.peek() == &TokenKind::Eof {
+            Ok(())
+        } else {
+            Err(self.error(format!("unexpected trailing input: {}", self.peek())))
+        }
+    }
+
+    /// Parses one statement and requires EOF after it.
+    pub fn parse_statement_eof(&mut self) -> Result<Statement, ParseError> {
+        let stmt = self.parse_statement()?;
+        self.expect_eof()?;
+        Ok(stmt)
+    }
+
+    /// Parses a semicolon-separated script.
+    pub fn parse_script(&mut self) -> Result<Vec<Statement>, ParseError> {
+        let mut out = Vec::new();
+        loop {
+            while self.eat(&TokenKind::Semicolon) {}
+            if self.peek() == &TokenKind::Eof {
+                return Ok(out);
+            }
+            out.push(self.parse_statement()?);
+            if self.peek() != &TokenKind::Eof && !self.eat(&TokenKind::Semicolon) {
+                return Err(self.error(format!("expected ';' between statements, found {}", self.peek())));
+            }
+            // put back nothing: eat consumed the semicolon if present
+        }
+    }
+
+    /// Parses one statement by dispatching on its leading keyword.
+    pub fn parse_statement(&mut self) -> Result<Statement, ParseError> {
+        match self.peek() {
+            k if k.is_keyword("select") => Ok(Statement::Select(self.parse_select()?)),
+            k if k.is_keyword("insert") => Ok(Statement::Insert(self.parse_insert()?)),
+            k if k.is_keyword("update") => Ok(Statement::Update(self.parse_update()?)),
+            k if k.is_keyword("delete") => Ok(Statement::Delete(self.parse_delete()?)),
+            k if k.is_keyword("create") => Ok(Statement::CreateTable(self.parse_create_table()?)),
+            other => Err(self.error(format!(
+                "expected SELECT, INSERT, UPDATE, DELETE, or CREATE TABLE, found {other}"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserved_words_rejected_as_identifiers() {
+        let mut p = Parser::new("select").unwrap();
+        assert!(p.parse_ident().is_err());
+    }
+
+    #[test]
+    fn quoted_reserved_word_is_fine() {
+        let mut p = Parser::new("\"select\"").unwrap();
+        assert_eq!(p.parse_ident().unwrap(), Ident::new("select"));
+    }
+
+    #[test]
+    fn script_requires_semicolons() {
+        let err = Parser::new("create table t (a int) create table u (b int)")
+            .unwrap()
+            .parse_script()
+            .unwrap_err();
+        assert!(err.message.contains("';'"), "{err}");
+    }
+
+    #[test]
+    fn script_tolerates_stray_semicolons() {
+        let stmts = Parser::new(";;create table t (a int);; ;").unwrap().parse_script().unwrap();
+        assert_eq!(stmts.len(), 1);
+    }
+}

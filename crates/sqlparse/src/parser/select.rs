@@ -1,0 +1,222 @@
+//! `SELECT` parsing.
+
+use super::Parser;
+use crate::ast::{OrderItem, Query, SelectItem, TableRef};
+use crate::error::ParseError;
+use crate::token::TokenKind;
+
+impl Parser {
+    /// Parses a `SELECT [DISTINCT] items FROM tables [WHERE pred]` query.
+    pub fn parse_select(&mut self) -> Result<Query, ParseError> {
+        self.expect_keyword("select")?;
+        let distinct = self.eat_keyword("distinct");
+
+        let mut projection = vec![self.parse_select_item()?];
+        while self.eat(&TokenKind::Comma) {
+            projection.push(self.parse_select_item()?);
+        }
+
+        self.expect_keyword("from")?;
+        let from = self.parse_table_list()?;
+
+        let selection = if self.eat_keyword("where") { Some(self.parse_expr()?) } else { None };
+
+        let mut order_by = Vec::new();
+        if self.eat_keyword("order") {
+            self.expect_keyword("by")?;
+            loop {
+                let expr = self.parse_expr()?;
+                let asc = if self.eat_keyword("desc") {
+                    false
+                } else {
+                    self.eat_keyword("asc");
+                    true
+                };
+                order_by.push(OrderItem { expr, asc });
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+
+        let limit = if self.eat_keyword("limit") {
+            match self.peek().clone() {
+                TokenKind::Int(n) if n >= 0 => {
+                    self.advance();
+                    Some(n as u64)
+                }
+                other => return Err(self.error(format!("expected a row count after LIMIT, found {other}"))),
+            }
+        } else {
+            None
+        };
+
+        Ok(Query { distinct, projection, from, selection, order_by, limit })
+    }
+
+    pub(crate) fn parse_table_list(&mut self) -> Result<Vec<TableRef>, ParseError> {
+        let mut from = vec![self.parse_table_ref()?];
+        while self.eat(&TokenKind::Comma) {
+            from.push(self.parse_table_ref()?);
+        }
+        Ok(from)
+    }
+
+    /// `[AS] alias` — the AS keyword is optional; a bare non-reserved word
+    /// also aliases.
+    fn parse_optional_alias(&mut self) -> Result<Option<crate::ast::Ident>, ParseError> {
+        if self.eat_keyword("as")
+            || matches!(self.peek(), TokenKind::Word(w) if !super::RESERVED.contains(&w.to_ascii_lowercase().as_str()))
+        {
+            Ok(Some(self.parse_ident()?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn parse_table_ref(&mut self) -> Result<TableRef, ParseError> {
+        let name = self.parse_ident()?;
+        let alias = self.parse_optional_alias()?;
+        Ok(TableRef { name, alias })
+    }
+
+    fn parse_select_item(&mut self) -> Result<SelectItem, ParseError> {
+        if self.eat(&TokenKind::Star) {
+            return Ok(SelectItem::Wildcard);
+        }
+        // `table.*`
+        if matches!(self.peek(), TokenKind::Word(_) | TokenKind::QuotedIdent(_))
+            && self.peek_at(1) == &TokenKind::Dot
+            && self.peek_at(2) == &TokenKind::Star
+        {
+            let table = self.parse_ident()?;
+            self.advance(); // .
+            self.advance(); // *
+            return Ok(SelectItem::QualifiedWildcard(table));
+        }
+        let expr = self.parse_expr()?;
+        let alias = self.parse_optional_alias()?;
+        Ok(SelectItem::Expr { expr, alias })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{ColumnRef, Expr, Ident};
+
+    fn select(src: &str) -> Query {
+        let mut p = Parser::new(src).unwrap();
+        let q = p.parse_select().unwrap();
+        p.expect_eof().unwrap();
+        q
+    }
+
+    #[test]
+    fn paper_query_from_section_2_1() {
+        let q = select("SELECT zipcode FROM Patients WHERE disease='cancer'");
+        assert_eq!(q.projection.len(), 1);
+        assert_eq!(q.from, vec![TableRef::named("Patients")]);
+        assert!(q.selection.is_some());
+    }
+
+    #[test]
+    fn star_projection() {
+        let q = select("SELECT * FROM P-Personal");
+        assert_eq!(q.projection, vec![SelectItem::Wildcard]);
+    }
+
+    #[test]
+    fn qualified_star() {
+        let q = select("SELECT P-Personal.* FROM P-Personal, P-Health");
+        assert_eq!(q.projection, vec![SelectItem::QualifiedWildcard(Ident::new("P-Personal"))]);
+    }
+
+    #[test]
+    fn aliases_with_and_without_as() {
+        let q = select("SELECT p.name AS n, p.age a FROM Patients AS p");
+        match &q.projection[0] {
+            SelectItem::Expr { alias: Some(a), .. } => assert_eq!(a, &Ident::new("n")),
+            other => panic!("{other:?}"),
+        }
+        match &q.projection[1] {
+            SelectItem::Expr { alias: Some(a), .. } => assert_eq!(a, &Ident::new("a")),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(q.from[0].alias, Some(Ident::new("p")));
+        assert_eq!(q.from[0].binding(), &Ident::new("p"));
+    }
+
+    #[test]
+    fn multi_table_join() {
+        let q = select(
+            "SELECT name, disease FROM P-Personal, P-Health \
+             WHERE P-Personal.pid = P-Health.pid",
+        );
+        assert_eq!(q.from.len(), 2);
+    }
+
+    #[test]
+    fn distinct_flag() {
+        assert!(select("SELECT DISTINCT zipcode FROM Patients").distinct);
+        assert!(!select("SELECT zipcode FROM Patients").distinct);
+    }
+
+    #[test]
+    fn backlog_table_names() {
+        let q = select("SELECT age FROM b-P-Personal WHERE age < 30");
+        assert_eq!(q.from[0].name, Ident::new("b-P-Personal"));
+    }
+
+    #[test]
+    fn missing_from_is_an_error() {
+        assert!(Parser::new("SELECT a WHERE b = 1").unwrap().parse_select().is_err());
+    }
+
+    #[test]
+    fn projection_expression() {
+        let q = select("SELECT salary + bonus FROM P-Employ");
+        match &q.projection[0] {
+            SelectItem::Expr { expr, .. } => assert!(matches!(expr, Expr::Binary { .. })),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn order_by_and_limit() {
+        let q = select("SELECT name FROM P-Personal ORDER BY age DESC, name LIMIT 10");
+        assert_eq!(q.order_by.len(), 2);
+        assert!(!q.order_by[0].asc);
+        assert!(q.order_by[1].asc);
+        assert_eq!(q.limit, Some(10));
+    }
+
+    #[test]
+    fn explicit_asc() {
+        let q = select("SELECT name FROM t ORDER BY name ASC");
+        assert!(q.order_by[0].asc);
+    }
+
+    #[test]
+    fn limit_without_order() {
+        let q = select("SELECT name FROM t LIMIT 5");
+        assert!(q.order_by.is_empty());
+        assert_eq!(q.limit, Some(5));
+    }
+
+    #[test]
+    fn limit_requires_count() {
+        assert!(Parser::new("SELECT a FROM t LIMIT banana").unwrap().parse_select().is_err());
+    }
+
+    #[test]
+    fn qualified_column_in_projection() {
+        let q = select("SELECT p.name FROM Patients p");
+        match &q.projection[0] {
+            SelectItem::Expr { expr: Expr::Column(ColumnRef { table: Some(t), .. }), .. } => {
+                assert_eq!(t, &Ident::new("p"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

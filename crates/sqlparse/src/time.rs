@@ -1,0 +1,268 @@
+//! Civil-time handling without external crates.
+//!
+//! The paper writes timestamps as `1/5/2004:13-00-00` (day/month/year with a
+//! `HH-MM-SS` time part, see its §3.1 DATA-INTERVAL example) and uses the
+//! marker `now()` for the current instant. This module provides a compact
+//! [`Timestamp`] (seconds since the Unix epoch, UTC) plus conversions to and
+//! from civil date-time fields using Howard Hinnant's `days_from_civil`
+//! algorithm, so the whole workspace can stay dependency-free on time.
+
+use std::fmt;
+
+/// Seconds since `1970-01-01T00:00:00Z`. May be negative for earlier dates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Timestamp(pub i64);
+
+/// Number of days since the epoch for a civil date (proleptic Gregorian).
+fn days_from_civil(y: i64, m: u32, d: u32) -> i64 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400; // [0, 399]
+    let mp = (m as i64 + 9) % 12; // March = 0
+    let doy = (153 * mp + 2) / 5 + d as i64 - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146_097 + doe - 719_468
+}
+
+/// Inverse of [`days_from_civil`].
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146_096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32; // [1, 12]
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+fn days_in_month(y: i64, m: u32) -> u32 {
+    match m {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if (y % 4 == 0 && y % 100 != 0) || y % 400 == 0 {
+                29
+            } else {
+                28
+            }
+        }
+        _ => 0,
+    }
+}
+
+impl Timestamp {
+    /// Builds a timestamp from civil UTC fields; `None` if any field is out
+    /// of range (month 1–12, day valid for month, h < 24, m/s < 60).
+    pub fn from_ymd_hms(year: i64, month: u32, day: u32, hour: u32, min: u32, sec: u32) -> Option<Self> {
+        if !(1..=12).contains(&month) || day == 0 || day > days_in_month(year, month) {
+            return None;
+        }
+        if hour >= 24 || min >= 60 || sec >= 60 {
+            return None;
+        }
+        let days = days_from_civil(year, month, day);
+        Some(Timestamp(days * 86_400 + hour as i64 * 3_600 + min as i64 * 60 + sec as i64))
+    }
+
+    /// Midnight at the start of the given civil date.
+    pub fn from_ymd(year: i64, month: u32, day: u32) -> Option<Self> {
+        Self::from_ymd_hms(year, month, day, 0, 0, 0)
+    }
+
+    /// Decomposes into `(year, month, day, hour, minute, second)` in UTC.
+    pub fn to_civil(self) -> (i64, u32, u32, u32, u32, u32) {
+        let days = self.0.div_euclid(86_400);
+        let secs = self.0.rem_euclid(86_400);
+        let (y, m, d) = civil_from_days(days);
+        (y, m, d, (secs / 3_600) as u32, (secs % 3_600 / 60) as u32, (secs % 60) as u32)
+    }
+
+    /// Midnight at the start of this timestamp's UTC day — the paper's
+    /// "current date:00-00-00" default interval start.
+    pub fn start_of_day(self) -> Timestamp {
+        Timestamp(self.0.div_euclid(86_400) * 86_400)
+    }
+
+    /// The wall-clock "current time" (`now()` in the paper's grammar).
+    pub fn now() -> Timestamp {
+        use std::time::{SystemTime, UNIX_EPOCH};
+        let secs = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_secs() as i64)
+            .unwrap_or(0);
+        Timestamp(secs)
+    }
+
+    /// Adds a number of seconds (may be negative).
+    pub fn plus_seconds(self, secs: i64) -> Timestamp {
+        Timestamp(self.0 + secs)
+    }
+
+    /// Parses the paper's unquoted literal form `D/M/YYYY[:HH-MM-SS]` as well
+    /// as ISO-ish quoted forms `YYYY-MM-DD[ HH:MM:SS]` / `YYYY-MM-DDTHH:MM:SS`.
+    pub fn parse(text: &str) -> Option<Timestamp> {
+        let text = text.trim();
+        if let Some(ts) = Self::parse_paper_format(text) {
+            return Some(ts);
+        }
+        Self::parse_iso(text)
+    }
+
+    fn parse_paper_format(text: &str) -> Option<Timestamp> {
+        // D/M/YYYY or D/M/YYYY:HH-MM-SS
+        let (date, time) = match text.split_once(':') {
+            Some((d, t)) => (d, Some(t)),
+            None => (text, None),
+        };
+        let mut it = date.split('/');
+        let day: u32 = it.next()?.trim().parse().ok()?;
+        let month: u32 = it.next()?.trim().parse().ok()?;
+        let year: i64 = it.next()?.trim().parse().ok()?;
+        if it.next().is_some() {
+            return None;
+        }
+        let (h, mi, s) = match time {
+            None => (0, 0, 0),
+            Some(t) => {
+                let mut parts = t.split('-');
+                let h: u32 = parts.next()?.trim().parse().ok()?;
+                let mi: u32 = parts.next()?.trim().parse().ok()?;
+                let s: u32 = parts.next()?.trim().parse().ok()?;
+                if parts.next().is_some() {
+                    return None;
+                }
+                (h, mi, s)
+            }
+        };
+        Timestamp::from_ymd_hms(year, month, day, h, mi, s)
+    }
+
+    fn parse_iso(text: &str) -> Option<Timestamp> {
+        let (date, time) = if let Some((d, t)) = text.split_once('T') {
+            (d, Some(t))
+        } else if let Some((d, t)) = text.split_once(' ') {
+            (d, Some(t))
+        } else {
+            (text, None)
+        };
+        let mut it = date.split('-');
+        let year: i64 = it.next()?.trim().parse().ok()?;
+        let month: u32 = it.next()?.trim().parse().ok()?;
+        let day: u32 = it.next()?.trim().parse().ok()?;
+        if it.next().is_some() {
+            return None;
+        }
+        let (h, mi, s) = match time {
+            None => (0, 0, 0),
+            Some(t) => {
+                let mut parts = t.split(':');
+                let h: u32 = parts.next()?.trim().parse().ok()?;
+                let mi: u32 = parts.next()?.trim().parse().ok()?;
+                let s: u32 = parts.next().map_or(Some(0), |p| p.trim().parse().ok())?;
+                (h, mi, s)
+            }
+        };
+        Timestamp::from_ymd_hms(year, month, day, h, mi, s)
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (y, mo, d, h, mi, s) = self.to_civil();
+        // Print in the paper's D/M/YYYY:HH-MM-SS form so printed audit
+        // expressions re-parse to the same value.
+        write!(f, "{d}/{mo}/{y}:{h:02}-{mi:02}-{s:02}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_round_trips() {
+        let t = Timestamp(0);
+        assert_eq!(t.to_civil(), (1970, 1, 1, 0, 0, 0));
+    }
+
+    #[test]
+    fn paper_example_timestamp() {
+        // 1/5/2004:13-00-00 = 1 May 2004 13:00:00 UTC.
+        let t = Timestamp::parse("1/5/2004:13-00-00").unwrap();
+        assert_eq!(t.to_civil(), (2004, 5, 1, 13, 0, 0));
+    }
+
+    #[test]
+    fn paper_date_without_time_is_midnight() {
+        let t = Timestamp::parse("14/12/2000").unwrap();
+        assert_eq!(t.to_civil(), (2000, 12, 14, 0, 0, 0));
+    }
+
+    #[test]
+    fn iso_forms_parse() {
+        let a = Timestamp::parse("2004-05-01 13:00:00").unwrap();
+        let b = Timestamp::parse("2004-05-01T13:00:00").unwrap();
+        let c = Timestamp::parse("1/5/2004:13-00-00").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn iso_minutes_only() {
+        let t = Timestamp::parse("2004-05-01 13:05").unwrap();
+        assert_eq!(t.to_civil(), (2004, 5, 1, 13, 5, 0));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Timestamp::parse("not a date").is_none());
+        assert!(Timestamp::parse("32/1/2020").is_none());
+        assert!(Timestamp::parse("1/13/2020").is_none());
+        assert!(Timestamp::parse("29/2/2021").is_none());
+        assert!(Timestamp::parse("1/1/2020:25-00-00").is_none());
+    }
+
+    #[test]
+    fn leap_years() {
+        assert!(Timestamp::parse("29/2/2020").is_some());
+        assert!(Timestamp::parse("29/2/2000").is_some());
+        assert!(Timestamp::parse("29/2/1900").is_none());
+    }
+
+    #[test]
+    fn civil_round_trip_sweep() {
+        // Every 1000009 seconds across ±40 years round-trips exactly.
+        let mut t = -40 * 365 * 86_400i64;
+        while t < 40 * 365 * 86_400 {
+            let ts = Timestamp(t);
+            let (y, mo, d, h, mi, s) = ts.to_civil();
+            assert_eq!(Timestamp::from_ymd_hms(y, mo, d, h, mi, s), Some(ts));
+            t += 1_000_009;
+        }
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let t = Timestamp::from_ymd_hms(2004, 5, 1, 13, 0, 0).unwrap();
+        assert_eq!(Timestamp::parse(&t.to_string()), Some(t));
+    }
+
+    #[test]
+    fn start_of_day_truncates() {
+        let t = Timestamp::from_ymd_hms(2004, 5, 1, 13, 30, 59).unwrap();
+        assert_eq!(t.start_of_day().to_civil(), (2004, 5, 1, 0, 0, 0));
+        // Negative timestamps truncate toward the day start too.
+        let neg = Timestamp::from_ymd_hms(1969, 12, 31, 5, 0, 0).unwrap();
+        assert_eq!(neg.start_of_day().to_civil(), (1969, 12, 31, 0, 0, 0));
+    }
+
+    #[test]
+    fn ordering_follows_time() {
+        let a = Timestamp::from_ymd(1999, 12, 31).unwrap();
+        let b = Timestamp::from_ymd(2000, 1, 1).unwrap();
+        assert!(a < b);
+    }
+}

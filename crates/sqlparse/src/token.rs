@@ -1,0 +1,136 @@
+//! Token kinds produced by the lexer.
+
+use crate::error::Span;
+use std::fmt;
+
+/// A token kind. Keywords are not distinguished at the lexer level: any word
+/// lexes to [`TokenKind::Word`] and the parser matches keywords
+/// case-insensitively, which keeps the paper's hyphenated clause names
+/// (`DATA-INTERVAL`, `Neg-Role-Purpose`) and hyphenated table names
+/// (`P-Personal`) in one uniform mechanism.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// A bare word: identifier or keyword, possibly with interior hyphens.
+    Word(String),
+    /// A `"double quoted"` identifier (never a keyword).
+    QuotedIdent(String),
+    /// A `'single quoted'` string literal.
+    StringLit(String),
+    /// An integer literal.
+    Int(i64),
+    /// A floating-point literal.
+    Float(f64),
+    /// `,`
+    Comma,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `.`
+    Dot,
+    /// `;`
+    Semicolon,
+    /// `*`
+    Star,
+    /// `=` (also accepts `==`)
+    Eq,
+    /// `!=` or `<>`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `:`
+    Colon,
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// True when this token is the given keyword (ASCII case-insensitive).
+    pub fn is_keyword(&self, kw: &str) -> bool {
+        matches!(self, TokenKind::Word(w) if w.eq_ignore_ascii_case(kw))
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Word(w) => write!(f, "{w}"),
+            TokenKind::QuotedIdent(w) => write!(f, "\"{w}\""),
+            TokenKind::StringLit(s) => write!(f, "'{s}'"),
+            TokenKind::Int(v) => write!(f, "{v}"),
+            TokenKind::Float(v) => write!(f, "{v}"),
+            TokenKind::Comma => f.write_str(","),
+            TokenKind::LParen => f.write_str("("),
+            TokenKind::RParen => f.write_str(")"),
+            TokenKind::LBracket => f.write_str("["),
+            TokenKind::RBracket => f.write_str("]"),
+            TokenKind::Dot => f.write_str("."),
+            TokenKind::Semicolon => f.write_str(";"),
+            TokenKind::Star => f.write_str("*"),
+            TokenKind::Eq => f.write_str("="),
+            TokenKind::NotEq => f.write_str("<>"),
+            TokenKind::Lt => f.write_str("<"),
+            TokenKind::LtEq => f.write_str("<="),
+            TokenKind::Gt => f.write_str(">"),
+            TokenKind::GtEq => f.write_str(">="),
+            TokenKind::Plus => f.write_str("+"),
+            TokenKind::Minus => f.write_str("-"),
+            TokenKind::Slash => f.write_str("/"),
+            TokenKind::Percent => f.write_str("%"),
+            TokenKind::Colon => f.write_str(":"),
+            TokenKind::Eof => f.write_str("<end of input>"),
+        }
+    }
+}
+
+/// A token with its source location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// Where it was lexed.
+    pub span: Span,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_match_is_case_insensitive() {
+        let t = TokenKind::Word("SeLeCt".into());
+        assert!(t.is_keyword("select"));
+        assert!(t.is_keyword("SELECT"));
+        assert!(!t.is_keyword("from"));
+    }
+
+    #[test]
+    fn quoted_ident_is_never_keyword() {
+        let t = TokenKind::QuotedIdent("select".into());
+        assert!(!t.is_keyword("select"));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(TokenKind::NotEq.to_string(), "<>");
+        assert_eq!(TokenKind::StringLit("x".into()).to_string(), "'x'");
+    }
+}

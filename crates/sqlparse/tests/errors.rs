@@ -1,0 +1,167 @@
+//! Error-path coverage for the front end: every rejection carries a useful
+//! message anchored at the right source position.
+
+use audex_sql::{parse_audit, parse_query, parse_script, parse_statement};
+
+fn err_of_query(sql: &str) -> audex_sql::ParseError {
+    parse_query(sql).expect_err("should fail")
+}
+
+fn err_of_audit(text: &str) -> audex_sql::ParseError {
+    parse_audit(text).expect_err("should fail")
+}
+
+#[test]
+fn missing_from() {
+    let e = err_of_query("SELECT a");
+    assert!(e.message.contains("FROM"), "{e}");
+}
+
+#[test]
+fn dangling_comma_in_projection() {
+    let e = err_of_query("SELECT a, FROM t");
+    assert!(e.message.contains("expression") || e.message.contains("keyword"), "{e}");
+}
+
+#[test]
+fn reserved_word_as_table() {
+    let e = err_of_query("SELECT a FROM where");
+    assert!(e.message.contains("reserved"), "{e}");
+}
+
+#[test]
+fn unbalanced_parens() {
+    assert!(parse_query("SELECT a FROM t WHERE (a = 1").is_err());
+    assert!(parse_query("SELECT a FROM t WHERE a = 1)").is_err());
+}
+
+#[test]
+fn position_points_at_offender() {
+    let e = err_of_query("SELECT a FROM t WHERE a = ");
+    assert_eq!(e.span.line, 1);
+    assert!(e.span.column >= 26, "{e:?}");
+
+    let e = err_of_query("SELECT a\nFROM t\nWHERE ???");
+    assert_eq!(e.span.line, 3, "{e:?}");
+}
+
+#[test]
+fn bad_between() {
+    let e = err_of_query("SELECT a FROM t WHERE a BETWEEN 1 OR 2");
+    assert!(e.message.to_lowercase().contains("and"), "{e}");
+}
+
+#[test]
+fn not_without_operator() {
+    let e = err_of_query("SELECT a FROM t WHERE a NOT 5");
+    assert!(e.message.contains("LIKE"), "{e}");
+}
+
+#[test]
+fn is_requires_null() {
+    let e = err_of_query("SELECT a FROM t WHERE a IS 5");
+    assert!(e.message.to_lowercase().contains("null"), "{e}");
+}
+
+#[test]
+fn trailing_garbage_rejected() {
+    let e = err_of_query("SELECT a FROM t banana extra");
+    assert!(e.message.contains("trailing") || e.message.contains("expected"), "{e}");
+}
+
+#[test]
+fn statement_dispatch_error_lists_options() {
+    let e = parse_statement("DROP TABLE t").unwrap_err();
+    assert!(e.message.contains("SELECT"), "{e}");
+    assert!(e.message.contains("CREATE TABLE"), "{e}");
+}
+
+#[test]
+fn script_propagates_inner_error() {
+    let e = parse_script("CREATE TABLE t (a INT); SELEC b FROM t;").unwrap_err();
+    assert!(e.span.start > 20, "{e:?}");
+}
+
+#[test]
+fn audit_unknown_clause() {
+    let e = err_of_audit("FROBNICATE x AUDIT a FROM t");
+    assert!(e.message.contains("audit clause"), "{e}");
+}
+
+#[test]
+fn audit_missing_from() {
+    let e = err_of_audit("AUDIT a, b");
+    assert!(e.message.contains("FROM"), "{e}");
+}
+
+#[test]
+fn audit_bad_threshold() {
+    assert!(parse_audit("THRESHOLD banana AUDIT a FROM t").is_err());
+    assert!(parse_audit("THRESHOLD -1 AUDIT a FROM t").is_err());
+}
+
+#[test]
+fn audit_bad_indispensable() {
+    let e = err_of_audit("INDISPENSABLE maybe AUDIT a FROM t");
+    assert!(e.message.contains("true or false"), "{e}");
+}
+
+#[test]
+fn audit_malformed_role_purpose() {
+    assert!(parse_audit("Neg-Role-Purpose (r pr) AUDIT a FROM t").is_err());
+    assert!(parse_audit("Neg-Role-Purpose r, pr AUDIT a FROM t").is_err());
+    let e = err_of_audit("Neg-Role-Purpose AUDIT a FROM t");
+    assert!(e.message.contains("at least one"), "{e}");
+}
+
+#[test]
+fn audit_empty_user_list() {
+    let e = err_of_audit("Pos-User-Identity AUDIT a FROM t");
+    assert!(e.message.contains("at least one"), "{e}");
+}
+
+#[test]
+fn audit_interval_requires_to() {
+    let e = err_of_audit("DURING 1/1/2008 UNTIL 2/1/2008 AUDIT a FROM t");
+    assert!(e.message.contains("TO"), "{e}");
+}
+
+#[test]
+fn audit_rejects_day_month_swap() {
+    // 13 as a month must be rejected, not silently swapped.
+    assert!(parse_audit("DURING 1/13/2008 TO now() AUDIT a FROM t").is_err());
+}
+
+#[test]
+fn audit_empty_group() {
+    assert!(parse_audit("AUDIT () FROM t").is_err());
+    assert!(parse_audit("AUDIT [] FROM t").is_err());
+}
+
+#[test]
+fn lexer_errors_propagate() {
+    assert!(parse_query("SELECT a FROM t WHERE a = 'unterminated").is_err());
+    assert!(parse_query("SELECT ~a FROM t").is_err());
+    assert!(parse_query("SELECT a FROM t WHERE a ! b").is_err());
+}
+
+#[test]
+fn error_display_includes_location() {
+    let e = err_of_query("SELECT a FROM t WHERE a = ");
+    let text = e.to_string();
+    assert!(text.contains("line 1"), "{text}");
+    assert!(text.contains("column"), "{text}");
+}
+
+#[test]
+fn empty_input() {
+    assert!(parse_statement("").is_err());
+    assert!(parse_audit("").is_err());
+    assert!(parse_script("").unwrap().is_empty());
+}
+
+#[test]
+fn now_requires_parens() {
+    assert!(parse_audit("DURING now TO now() AUDIT a FROM t").is_err());
+    assert!(parse_audit("DURING now( TO now() AUDIT a FROM t").is_err());
+}

@@ -1,0 +1,261 @@
+//! Property tests: `parse(print(ast)) == ast` for generated statements and
+//! audit expressions, plus timestamp round-trips.
+
+use audex_sql::ast::*;
+use audex_sql::{parse_audit, parse_statement, Timestamp};
+use proptest::prelude::*;
+
+fn ident_strategy() -> impl Strategy<Value = Ident> {
+    // Bare lexable words, hyphenated paper-style names, and quoted oddballs.
+    prop_oneof![
+        "[a-z][a-z0-9_]{0,8}".prop_map(Ident::new),
+        "[A-Z][a-z]{1,4}-[A-Z][a-z]{1,6}".prop_map(Ident::new),
+        "[a-z]{1,6}".prop_map(|s| Ident::quoted(format!("{s} x"))),
+        Just(Ident::quoted("select")),
+    ]
+}
+
+fn column_strategy() -> impl Strategy<Value = ColumnRef> {
+    (proptest::option::of(ident_strategy()), ident_strategy())
+        .prop_map(|(table, column)| ColumnRef { table, column })
+}
+
+fn literal_strategy() -> impl Strategy<Value = Literal> {
+    prop_oneof![
+        Just(Literal::Null),
+        any::<bool>().prop_map(Literal::Bool),
+        // Non-negative: the lexer produces unsigned literals (a leading `-`
+        // parses as unary negation), so only these are parser-producible.
+        (0i64..=i64::from(i32::MAX)).prop_map(Literal::Int),
+        // Floats that print with a decimal point and reparse exactly;
+        // negative floats print behind unary minus so keep them positive.
+        (0i32..100_000, 1u32..100).prop_map(|(a, b)| Literal::Float(a as f64 + 1.0 / b as f64)),
+        "[a-zA-Z0-9 ']{0,12}".prop_map(Literal::Str),
+    ]
+}
+
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        column_strategy().prop_map(Expr::Column),
+        literal_strategy().prop_map(Expr::Literal),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone(), prop_oneof![
+                Just(BinOp::And), Just(BinOp::Or), Just(BinOp::Eq), Just(BinOp::NotEq),
+                Just(BinOp::Lt), Just(BinOp::LtEq), Just(BinOp::Gt), Just(BinOp::GtEq),
+                Just(BinOp::Add), Just(BinOp::Sub), Just(BinOp::Mul), Just(BinOp::Div),
+                Just(BinOp::Mod),
+            ])
+                .prop_map(|(l, r, op)| Expr::binary(l, op, r)),
+            (inner.clone(), prop_oneof![Just(UnaryOp::Not), Just(UnaryOp::Neg)])
+                .prop_map(|(e, op)| Expr::Unary { op, expr: Box::new(e) }),
+            (inner.clone(), any::<bool>()).prop_map(|(e, negated)| Expr::IsNull {
+                expr: Box::new(e),
+                negated
+            }),
+            (inner.clone(), inner.clone(), inner.clone(), any::<bool>()).prop_map(
+                |(e, lo, hi, negated)| Expr::Between {
+                    expr: Box::new(e),
+                    low: Box::new(lo),
+                    high: Box::new(hi),
+                    negated
+                }
+            ),
+            (inner.clone(), proptest::collection::vec(inner.clone(), 1..4), any::<bool>())
+                .prop_map(|(e, list, negated)| Expr::InList { expr: Box::new(e), list, negated }),
+            (inner.clone(), "[a-zA-Z%_]{1,6}", any::<bool>()).prop_map(|(e, p, negated)| {
+                Expr::Like {
+                    expr: Box::new(e),
+                    pattern: Box::new(Expr::Literal(Literal::Str(p))),
+                    negated,
+                }
+            }),
+        ]
+    })
+}
+
+fn table_ref_strategy() -> impl Strategy<Value = TableRef> {
+    (ident_strategy(), proptest::option::of(ident_strategy()))
+        .prop_map(|(name, alias)| TableRef { name, alias })
+}
+
+fn select_strategy() -> impl Strategy<Value = Query> {
+    (
+        any::<bool>(),
+        proptest::collection::vec(
+            prop_oneof![
+                Just(SelectItem::Wildcard),
+                ident_strategy().prop_map(SelectItem::QualifiedWildcard),
+                (expr_strategy(), proptest::option::of(ident_strategy()))
+                    .prop_map(|(expr, alias)| SelectItem::Expr { expr, alias }),
+            ],
+            1..4,
+        ),
+        proptest::collection::vec(table_ref_strategy(), 1..4),
+        proptest::option::of(expr_strategy()),
+        proptest::collection::vec(
+            (expr_strategy(), any::<bool>()).prop_map(|(expr, asc)| OrderItem { expr, asc }),
+            0..3,
+        ),
+        proptest::option::of(0u64..1000),
+    )
+        .prop_map(|(distinct, projection, from, selection, order_by, limit)| Query {
+            distinct,
+            projection,
+            from,
+            selection,
+            order_by,
+            limit,
+        })
+}
+
+fn attr_spec_strategy() -> impl Strategy<Value = AttrSpec> {
+    let item = prop_oneof![
+        column_strategy().prop_map(|c| AttrNode::Item(AttrItem::Column(c))),
+        Just(AttrNode::Item(AttrItem::Star)),
+    ];
+    let node = item.prop_recursive(2, 12, 3, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 1..4)
+                .prop_map(|m| AttrNode::Group(AttrGroup::Mandatory(m))),
+            proptest::collection::vec(inner, 1..4)
+                .prop_map(|m| AttrNode::Group(AttrGroup::Optional(m))),
+        ]
+    });
+    proptest::collection::vec(node, 1..4).prop_map(|nodes| AttrSpec { nodes })
+}
+
+fn ts_strategy() -> impl Strategy<Value = Timestamp> {
+    // 1970..~2100, whole seconds.
+    (0i64..4_102_444_800).prop_map(Timestamp)
+}
+
+fn interval_strategy() -> impl Strategy<Value = TimeInterval> {
+    let spec = prop_oneof![Just(TsSpec::Now), ts_strategy().prop_map(TsSpec::At)];
+    (spec.clone(), spec).prop_map(|(start, end)| TimeInterval { start, end })
+}
+
+fn audit_strategy() -> impl Strategy<Value = AuditExpr> {
+    let pattern = prop_oneof![
+        (ident_strategy(), ident_strategy())
+            .prop_map(|(r, p)| RolePurposePattern { role: Some(r), purpose: Some(p) }),
+        ident_strategy().prop_map(|r| RolePurposePattern { role: Some(r), purpose: None }),
+        ident_strategy().prop_map(|p| RolePurposePattern { role: None, purpose: Some(p) }),
+    ];
+    (
+        (
+            proptest::collection::vec(pattern.clone(), 0..3),
+            proptest::collection::vec(pattern, 0..3),
+            proptest::collection::vec(ident_strategy(), 0..3),
+            proptest::collection::vec(ident_strategy(), 0..3),
+            proptest::collection::vec(ident_strategy(), 0..2),
+        ),
+        proptest::option::of(interval_strategy()),
+        proptest::option::of(interval_strategy()),
+        prop_oneof![(1u64..100).prop_map(Threshold::Count), Just(Threshold::All)],
+        any::<bool>(),
+        attr_spec_strategy(),
+        proptest::collection::vec(table_ref_strategy(), 1..4),
+        proptest::option::of(expr_strategy()),
+    )
+        .prop_map(
+            |(
+                (neg_rp, pos_rp, neg_users, pos_users, otherthan),
+                during,
+                data_interval,
+                threshold,
+                indispensable,
+                audit,
+                from,
+                selection,
+            )| AuditExpr {
+                neg_role_purpose: neg_rp,
+                pos_role_purpose: pos_rp,
+                neg_users,
+                pos_users,
+                otherthan_purposes: otherthan,
+                during,
+                data_interval,
+                threshold,
+                indispensable,
+                audit,
+                from,
+                selection,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn select_round_trips(q in select_strategy()) {
+        let printed = Statement::Select(q.clone()).to_string();
+        let reparsed = parse_statement(&printed)
+            .unwrap_or_else(|e| panic!("reparse of {printed:?}: {e}"));
+        prop_assert_eq!(Statement::Select(q), reparsed, "printed: {}", printed);
+    }
+
+    #[test]
+    fn audit_round_trips(a in audit_strategy()) {
+        let printed = a.to_string();
+        let reparsed = parse_audit(&printed)
+            .unwrap_or_else(|e| panic!("reparse of {printed:?}: {e}"));
+        prop_assert_eq!(a, reparsed, "printed: {}", printed);
+    }
+
+    #[test]
+    fn timestamps_round_trip_civil(t in ts_strategy()) {
+        let (y, mo, d, h, mi, s) = t.to_civil();
+        prop_assert_eq!(Timestamp::from_ymd_hms(y, mo, d, h, mi, s), Some(t));
+        prop_assert_eq!(Timestamp::parse(&t.to_string()), Some(t));
+    }
+
+    #[test]
+    fn expr_printing_is_stable(e in expr_strategy()) {
+        // print ∘ parse ∘ print = print (idempotent rendering).
+        let once = e.to_string();
+        let sql = format!("SELECT a FROM t WHERE {once}");
+        if let Ok(stmt) = parse_statement(&sql) {
+            let twice = match stmt {
+                Statement::Select(q) => q.selection.unwrap().to_string(),
+                _ => unreachable!(),
+            };
+            prop_assert_eq!(once, twice);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The front end never panics on arbitrary input — it returns errors.
+    #[test]
+    fn parser_never_panics_on_garbage(input in ".{0,200}") {
+        let _ = parse_statement(&input);
+        let _ = parse_audit(&input);
+        let _ = audex_sql::parse_script(&input);
+    }
+
+    /// Nor on arbitrary ASCII with SQL-ish tokens sprinkled in.
+    #[test]
+    fn parser_never_panics_on_sqlish_soup(
+        words in proptest::collection::vec(
+            prop_oneof![
+                Just("SELECT".to_string()), Just("FROM".to_string()), Just("WHERE".to_string()),
+                Just("AUDIT".to_string()), Just("(".to_string()), Just(")".to_string()),
+                Just("[".to_string()), Just("]".to_string()), Just(",".to_string()),
+                Just("'".to_string()), Just("=".to_string()), Just("--".to_string()),
+                Just("/*".to_string()), Just("DURING".to_string()), Just("now()".to_string()),
+                "[a-zA-Z0-9_-]{1,8}".prop_map(|s| s),
+                "[0-9]{1,6}".prop_map(|s| s),
+            ],
+            0..30,
+        )
+    ) {
+        let input = words.join(" ");
+        let _ = parse_statement(&input);
+        let _ = parse_audit(&input);
+    }
+}

@@ -1,0 +1,479 @@
+//! The database: current state + full backlog history + DML execution.
+
+use audex_sql::ast::{CreateTable, Delete, Insert, Statement, Update};
+use audex_sql::{Ident, Timestamp};
+use std::collections::BTreeMap;
+
+use crate::backlog::{ChangeOp, ChangeRecord, TableHistory};
+use crate::error::StorageError;
+use crate::eval::{compile, literal_value, Scope};
+use crate::exec::{execute_query, JoinStrategy, RelationProvider, ResultSet};
+use crate::schema::Schema;
+use crate::table::{Relation, Row, Table, Tid};
+use crate::value::Value;
+
+/// An in-memory, versioned relational database.
+///
+/// Every mutation is stamped with a (non-decreasing) [`Timestamp`] and
+/// recorded in per-table [`TableHistory`] backlogs, so any past instant can
+/// be reconstructed — the substrate the paper's `DATA-INTERVAL` clause and
+/// the Agrawal et al. backlog methodology require.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Database {
+    tables: BTreeMap<Ident, Table>,
+    histories: BTreeMap<Ident, TableHistory>,
+    last_ts: Timestamp,
+}
+
+/// Result of executing a statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecOutcome {
+    /// `SELECT` rows.
+    Rows(ResultSet),
+    /// Number of rows affected by DML.
+    Affected(usize),
+    /// A table was created.
+    Created,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The timestamp of the latest change (zero for an empty database).
+    pub fn last_ts(&self) -> Timestamp {
+        self.last_ts
+    }
+
+    /// Creates a table.
+    pub fn create_table(&mut self, name: Ident, schema: Schema, ts: Timestamp) -> Result<(), StorageError> {
+        self.check_ts(ts)?;
+        if self.tables.contains_key(&name) {
+            return Err(StorageError::DuplicateTable(name));
+        }
+        self.tables.insert(name.clone(), Table::new(name.clone(), schema.clone()));
+        self.histories.insert(name.clone(), TableHistory::new(name, schema, ts));
+        self.last_ts = ts;
+        Ok(())
+    }
+
+    /// The current state of a table.
+    pub fn table(&self, name: &Ident) -> Option<&Table> {
+        self.tables.get(name)
+    }
+
+    /// The full history of a table.
+    pub fn history(&self, name: &Ident) -> Option<&TableHistory> {
+        self.histories.get(name)
+    }
+
+    /// Names of all tables, sorted.
+    pub fn table_names(&self) -> Vec<Ident> {
+        self.tables.keys().cloned().collect()
+    }
+
+    fn check_ts(&self, ts: Timestamp) -> Result<(), StorageError> {
+        if ts < self.last_ts {
+            return Err(StorageError::NonMonotonicTimestamp { last: self.last_ts, offered: ts });
+        }
+        Ok(())
+    }
+
+    fn table_mut(&mut self, name: &Ident) -> Result<&mut Table, StorageError> {
+        self.tables.get_mut(name).ok_or_else(|| StorageError::UnknownTable(name.clone()))
+    }
+
+    /// Inserts a row at `ts` with an auto-assigned tid.
+    pub fn insert(&mut self, name: &Ident, row: Row, ts: Timestamp) -> Result<Tid, StorageError> {
+        self.check_ts(ts)?;
+        let tid = self.table_mut(name)?.insert(row.clone())?;
+        let canon = self.tables[name].get(tid).expect("just inserted").clone();
+        self.record(name, ChangeRecord { ts, op: ChangeOp::Insert, tid, after: Some(canon) });
+        self.last_ts = ts;
+        Ok(tid)
+    }
+
+    /// Inserts with an explicit tid (paper fixtures use `t11`-style ids).
+    pub fn insert_with_tid(&mut self, name: &Ident, tid: Tid, row: Row, ts: Timestamp) -> Result<(), StorageError> {
+        self.check_ts(ts)?;
+        self.table_mut(name)?.insert_with_tid(tid, row)?;
+        let canon = self.tables[name].get(tid).expect("just inserted").clone();
+        self.record(name, ChangeRecord { ts, op: ChangeOp::Insert, tid, after: Some(canon) });
+        self.last_ts = ts;
+        Ok(())
+    }
+
+    /// Replaces the row under `tid` at `ts`.
+    pub fn update_row(&mut self, name: &Ident, tid: Tid, row: Row, ts: Timestamp) -> Result<(), StorageError> {
+        self.check_ts(ts)?;
+        self.table_mut(name)?.update(tid, row)?;
+        let canon = self.tables[name].get(tid).expect("just updated").clone();
+        self.record(name, ChangeRecord { ts, op: ChangeOp::Update, tid, after: Some(canon) });
+        self.last_ts = ts;
+        Ok(())
+    }
+
+    /// Deletes the row under `tid` at `ts`.
+    pub fn delete_row(&mut self, name: &Ident, tid: Tid, ts: Timestamp) -> Result<(), StorageError> {
+        self.check_ts(ts)?;
+        if self.table_mut(name)?.delete(tid).is_none() {
+            return Err(StorageError::DuplicateTid(tid));
+        }
+        self.record(name, ChangeRecord { ts, op: ChangeOp::Delete, tid, after: None });
+        self.last_ts = ts;
+        Ok(())
+    }
+
+    fn record(&mut self, name: &Ident, rec: ChangeRecord) {
+        self.histories
+            .get_mut(name)
+            .expect("history exists for every table")
+            .record(rec)
+            .expect("timestamp already checked");
+    }
+
+    /// Executes any statement at `ts`. `SELECT` runs against the state as of
+    /// `ts`; DML mutates and records backlog entries.
+    pub fn execute(&mut self, stmt: &Statement, ts: Timestamp) -> Result<ExecOutcome, StorageError> {
+        match stmt {
+            Statement::Select(q) => {
+                Ok(ExecOutcome::Rows(execute_query(&self.at(ts), q, JoinStrategy::Auto)?))
+            }
+            Statement::CreateTable(ct) => {
+                self.execute_create(ct, ts)?;
+                Ok(ExecOutcome::Created)
+            }
+            Statement::Insert(ins) => Ok(ExecOutcome::Affected(self.execute_insert(ins, ts)?)),
+            Statement::Update(up) => Ok(ExecOutcome::Affected(self.execute_update(up, ts)?)),
+            Statement::Delete(del) => Ok(ExecOutcome::Affected(self.execute_delete(del, ts)?)),
+        }
+    }
+
+    fn execute_create(&mut self, ct: &CreateTable, ts: Timestamp) -> Result<(), StorageError> {
+        let schema = Schema::new(ct.columns.iter().map(|c| (c.name.clone(), c.ty)).collect())?;
+        self.create_table(ct.name.clone(), schema, ts)
+    }
+
+    fn execute_insert(&mut self, ins: &Insert, ts: Timestamp) -> Result<usize, StorageError> {
+        let table = self.table(&ins.table).ok_or_else(|| StorageError::UnknownTable(ins.table.clone()))?;
+        let schema = table.schema().clone();
+
+        // Map provided columns to schema positions (all columns if omitted).
+        let positions: Vec<usize> = if ins.columns.is_empty() {
+            (0..schema.len()).collect()
+        } else {
+            ins.columns
+                .iter()
+                .map(|c| schema.position(c).ok_or_else(|| StorageError::UnknownColumn(c.value.clone())))
+                .collect::<Result<_, _>>()?
+        };
+
+        let mut count = 0;
+        for row_exprs in &ins.rows {
+            if row_exprs.len() != positions.len() {
+                return Err(StorageError::ArityMismatch { expected: positions.len(), actual: row_exprs.len() });
+            }
+            let mut row = vec![Value::Null; schema.len()];
+            for (pos, e) in positions.iter().zip(row_exprs) {
+                row[*pos] = eval_standalone(e)?;
+            }
+            self.insert(&ins.table, row, ts)?;
+            count += 1;
+        }
+        Ok(count)
+    }
+
+    fn execute_update(&mut self, up: &Update, ts: Timestamp) -> Result<usize, StorageError> {
+        let table = self.table(&up.table).ok_or_else(|| StorageError::UnknownTable(up.table.clone()))?;
+        let schema = table.schema().clone();
+        let scope = Scope::single(up.table.clone(), schema.clone());
+
+        let pred = up.selection.as_ref().map(|p| compile(p, &scope)).transpose()?;
+        let assignments: Vec<(usize, crate::eval::CompiledExpr)> = up
+            .assignments
+            .iter()
+            .map(|(col, e)| {
+                let pos = schema.position(col).ok_or_else(|| StorageError::UnknownColumn(col.value.clone()))?;
+                Ok((pos, compile(e, &scope)?))
+            })
+            .collect::<Result<_, StorageError>>()?;
+
+        // Plan the new images first, then apply, so assignment expressions
+        // all see the pre-update state.
+        let mut planned: Vec<(Tid, Row)> = Vec::new();
+        for (tid, row) in table.iter() {
+            let keep = match &pred {
+                Some(p) => p.truth(row)?.is_true(),
+                None => true,
+            };
+            if !keep {
+                continue;
+            }
+            let mut new_row = row.clone();
+            for (pos, e) in &assignments {
+                new_row[*pos] = e.eval(row)?;
+            }
+            planned.push((tid, new_row));
+        }
+        let count = planned.len();
+        for (tid, new_row) in planned {
+            self.update_row(&up.table, tid, new_row, ts)?;
+        }
+        Ok(count)
+    }
+
+    fn execute_delete(&mut self, del: &Delete, ts: Timestamp) -> Result<usize, StorageError> {
+        let table = self.table(&del.table).ok_or_else(|| StorageError::UnknownTable(del.table.clone()))?;
+        let scope = Scope::single(del.table.clone(), table.schema().clone());
+        let pred = del.selection.as_ref().map(|p| compile(p, &scope)).transpose()?;
+
+        let mut doomed: Vec<Tid> = Vec::new();
+        for (tid, row) in table.iter() {
+            let hit = match &pred {
+                Some(p) => p.truth(row)?.is_true(),
+                None => true,
+            };
+            if hit {
+                doomed.push(tid);
+            }
+        }
+        let count = doomed.len();
+        for tid in doomed {
+            self.delete_row(&del.table, tid, ts)?;
+        }
+        Ok(count)
+    }
+
+    /// A read-only view of the database as of `ts`, usable as a
+    /// [`RelationProvider`]. Resolves `b-T` names to backlog relations.
+    pub fn at(&self, ts: Timestamp) -> DatabaseAt<'_> {
+        DatabaseAt { db: self, ts }
+    }
+
+    /// Distinct instants in `[start, end]` at which any of `tables` (all
+    /// tables if empty) changed, **prepended with `start`** — i.e. the data
+    /// versions a `DATA-INTERVAL start TO end` clause selects (paper §3.1).
+    /// Returns an empty list when `start > end`.
+    pub fn versions_in(&self, tables: &[Ident], start: Timestamp, end: Timestamp) -> Vec<Timestamp> {
+        if start > end {
+            return Vec::new();
+        }
+        let mut instants = vec![start];
+        for (name, h) in &self.histories {
+            if !tables.is_empty() && !tables.contains(name) {
+                continue;
+            }
+            instants.extend(h.change_instants(start, end));
+        }
+        instants.sort_unstable();
+        instants.dedup();
+        instants
+    }
+}
+
+/// Evaluates a standalone expression (no column references), used for
+/// `INSERT … VALUES` rows.
+fn eval_standalone(e: &audex_sql::Expr) -> Result<Value, StorageError> {
+    use audex_sql::ast::{Expr, UnaryOp};
+    match e {
+        Expr::Literal(l) => Ok(literal_value(l)),
+        Expr::Unary { op: UnaryOp::Neg, expr } => match eval_standalone(expr)? {
+            Value::Int(v) => Ok(Value::Int(v.checked_neg().ok_or(StorageError::ArithmeticOverflow)?)),
+            Value::Float(v) => Ok(Value::Float(-v)),
+            other => Err(StorageError::TypeMismatch { operation: "-".into(), left: "NUMBER", right: other.type_name() }),
+        },
+        Expr::Column(c) => Err(StorageError::UnknownColumn(c.column.value.clone())),
+        other => {
+            // Fall back to the compiled evaluator with an empty scope.
+            let scope = Scope::new(Vec::new())?;
+            let compiled = compile(other, &scope)?;
+            compiled.eval(&[])
+        }
+    }
+}
+
+/// [`Database::at`] view: the database frozen at one instant.
+#[derive(Clone, Copy)]
+pub struct DatabaseAt<'a> {
+    db: &'a Database,
+    ts: Timestamp,
+}
+
+impl<'a> DatabaseAt<'a> {
+    /// The frozen instant.
+    pub fn ts(&self) -> Timestamp {
+        self.ts
+    }
+
+    /// Runs a query against this instant.
+    pub fn query(&self, q: &Query) -> Result<ResultSet, StorageError> {
+        execute_query(self, q, JoinStrategy::Auto)
+    }
+
+    /// Runs a query with an explicit join strategy (B6 ablation).
+    pub fn query_with(&self, q: &Query, strategy: JoinStrategy) -> Result<ResultSet, StorageError> {
+        execute_query(self, q, strategy)
+    }
+}
+
+use audex_sql::ast::Query;
+
+impl<'a> RelationProvider for DatabaseAt<'a> {
+    fn relation(&self, name: &Ident) -> Result<Relation, StorageError> {
+        // Backlog relation `b-T`?
+        let lower = name.normalized();
+        if let Some(base) = lower.strip_prefix("b-") {
+            let base_ident = Ident::new(base);
+            if let Some(h) = self.db.histories.get(&base_ident) {
+                return Ok(h.backlog_relation(self.ts));
+            }
+        }
+        let h = self.db.histories.get(name).ok_or_else(|| StorageError::UnknownTable(name.clone()))?;
+        // Fast path: asking for "now or later" returns the live table.
+        if self.ts >= self.db.last_ts {
+            return Ok(self.db.tables[name].to_relation());
+        }
+        Ok(h.replay_to(self.ts).to_relation())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use audex_sql::ast::TypeName;
+    use audex_sql::{parse_query, parse_statement};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            Ident::new("Patients"),
+            Schema::of(&[("pid", TypeName::Text), ("zipcode", TypeName::Text), ("disease", TypeName::Text)]),
+            Timestamp(0),
+        )
+        .unwrap();
+        db.insert(&Ident::new("Patients"), vec!["p1".into(), "120016".into(), "cancer".into()], Timestamp(10))
+            .unwrap();
+        db.insert(&Ident::new("Patients"), vec!["p2".into(), "145568".into(), "flu".into()], Timestamp(20))
+            .unwrap();
+        db
+    }
+
+    #[test]
+    fn select_sees_state_as_of_ts() {
+        let db = db();
+        let q = parse_query("SELECT pid FROM Patients").unwrap();
+        assert_eq!(db.at(Timestamp(10)).query(&q).unwrap().rows.len(), 1);
+        assert_eq!(db.at(Timestamp(20)).query(&q).unwrap().rows.len(), 2);
+        assert_eq!(db.at(Timestamp(5)).query(&q).unwrap().rows.len(), 0);
+    }
+
+    #[test]
+    fn dml_statements_drive_backlog() {
+        let mut db = db();
+        let up = parse_statement("UPDATE Patients SET zipcode = '999999' WHERE pid = 'p1'").unwrap();
+        assert_eq!(db.execute(&up, Timestamp(30)).unwrap(), ExecOutcome::Affected(1));
+        let del = parse_statement("DELETE FROM Patients WHERE pid = 'p2'").unwrap();
+        assert_eq!(db.execute(&del, Timestamp(40)).unwrap(), ExecOutcome::Affected(1));
+
+        // Old version still visible in the past.
+        let q = parse_query("SELECT zipcode FROM Patients WHERE pid = 'p1'").unwrap();
+        assert_eq!(db.at(Timestamp(20)).query(&q).unwrap().rows[0][0], Value::Str("120016".into()));
+        assert_eq!(db.at(Timestamp(30)).query(&q).unwrap().rows[0][0], Value::Str("999999".into()));
+
+        // p2 gone at 40, present at 30.
+        let q2 = parse_query("SELECT pid FROM Patients").unwrap();
+        assert_eq!(db.at(Timestamp(30)).query(&q2).unwrap().rows.len(), 2);
+        assert_eq!(db.at(Timestamp(40)).query(&q2).unwrap().rows.len(), 1);
+    }
+
+    #[test]
+    fn insert_statement_with_column_subset() {
+        let mut db = db();
+        let ins = parse_statement("INSERT INTO Patients (pid) VALUES ('p3')").unwrap();
+        db.execute(&ins, Timestamp(50)).unwrap();
+        let q = parse_query("SELECT zipcode FROM Patients WHERE pid = 'p3'").unwrap();
+        assert_eq!(db.at(Timestamp(50)).query(&q).unwrap().rows[0][0], Value::Null);
+    }
+
+    #[test]
+    fn insert_arity_check() {
+        let mut db = db();
+        let ins = parse_statement("INSERT INTO Patients (pid, zipcode) VALUES ('p3')").unwrap();
+        assert!(db.execute(&ins, Timestamp(50)).is_err());
+    }
+
+    #[test]
+    fn update_expressions_see_pre_update_state() {
+        let mut db = Database::new();
+        db.create_table(Ident::new("t"), Schema::of(&[("a", TypeName::Int)]), Timestamp(0)).unwrap();
+        db.insert(&Ident::new("t"), vec![Value::Int(1)], Timestamp(1)).unwrap();
+        db.insert(&Ident::new("t"), vec![Value::Int(2)], Timestamp(1)).unwrap();
+        let up = parse_statement("UPDATE t SET a = a + 10").unwrap();
+        assert_eq!(db.execute(&up, Timestamp(2)).unwrap(), ExecOutcome::Affected(2));
+        let q = parse_query("SELECT a FROM t WHERE a > 10").unwrap();
+        assert_eq!(db.at(Timestamp(2)).query(&q).unwrap().rows.len(), 2);
+    }
+
+    #[test]
+    fn backlog_table_visible_as_b_name() {
+        let mut db = db();
+        let up = parse_statement("UPDATE Patients SET zipcode = '000000' WHERE pid = 'p1'").unwrap();
+        db.execute(&up, Timestamp(30)).unwrap();
+        let q = parse_query("SELECT zipcode FROM b-Patients WHERE pid = 'p1'").unwrap();
+        let rs = db.at(Timestamp(100)).query(&q).unwrap();
+        assert_eq!(rs.rows.len(), 2); // both versions
+    }
+
+    #[test]
+    fn versions_in_enumerates_instants() {
+        let mut db = db();
+        let up = parse_statement("UPDATE Patients SET zipcode = '1' WHERE pid = 'p1'").unwrap();
+        db.execute(&up, Timestamp(30)).unwrap();
+        let v = db.versions_in(&[], Timestamp(0), Timestamp(100));
+        assert_eq!(v, vec![Timestamp(0), Timestamp(10), Timestamp(20), Timestamp(30)]);
+        let v = db.versions_in(&[], Timestamp(15), Timestamp(25));
+        assert_eq!(v, vec![Timestamp(15), Timestamp(20)]);
+        assert!(db.versions_in(&[], Timestamp(50), Timestamp(40)).is_empty());
+    }
+
+    #[test]
+    fn versions_in_filters_by_table() {
+        let mut db = db();
+        db.create_table(Ident::new("Other"), Schema::of(&[("x", TypeName::Int)]), Timestamp(20)).unwrap();
+        db.insert(&Ident::new("Other"), vec![Value::Int(1)], Timestamp(33)).unwrap();
+        let v = db.versions_in(&[Ident::new("Patients")], Timestamp(0), Timestamp(100));
+        assert_eq!(v, vec![Timestamp(0), Timestamp(10), Timestamp(20)]);
+    }
+
+    #[test]
+    fn non_monotonic_mutation_rejected() {
+        let mut db = db();
+        let r = db.insert(&Ident::new("Patients"), vec!["p9".into(), "x".into(), "y".into()], Timestamp(5));
+        assert!(matches!(r, Err(StorageError::NonMonotonicTimestamp { .. })));
+    }
+
+    #[test]
+    fn create_table_statement() {
+        let mut db = Database::new();
+        let ct = parse_statement("CREATE TABLE t (a INT, b TEXT)").unwrap();
+        assert_eq!(db.execute(&ct, Timestamp(1)).unwrap(), ExecOutcome::Created);
+        assert!(db.execute(&ct, Timestamp(2)).is_err()); // duplicate
+    }
+
+    #[test]
+    fn unknown_backlog_base_errors() {
+        let db = db();
+        let q = parse_query("SELECT x FROM b-NoSuch").unwrap();
+        assert!(db.at(Timestamp(10)).query(&q).is_err());
+    }
+
+    #[test]
+    fn delete_without_predicate_clears_table() {
+        let mut db = db();
+        let del = parse_statement("DELETE FROM Patients").unwrap();
+        assert_eq!(db.execute(&del, Timestamp(30)).unwrap(), ExecOutcome::Affected(2));
+        assert!(db.table(&Ident::new("Patients")).unwrap().is_empty());
+    }
+}

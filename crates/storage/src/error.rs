@@ -1,0 +1,104 @@
+//! Storage and execution errors.
+
+use audex_sql::Ident;
+use std::fmt;
+
+/// Errors raised by the storage engine and query executor.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StorageError {
+    /// A referenced table does not exist.
+    UnknownTable(Ident),
+    /// A table was created twice.
+    DuplicateTable(Ident),
+    /// The same binding name appears twice in one `FROM` list.
+    DuplicateBinding(Ident),
+    /// A referenced column does not exist in scope.
+    UnknownColumn(String),
+    /// An unqualified column matches more than one table in scope.
+    AmbiguousColumn(Ident),
+    /// An operation was applied to incompatible types.
+    TypeMismatch {
+        /// The operation attempted.
+        operation: String,
+        /// Left operand type.
+        left: &'static str,
+        /// Right operand type.
+        right: &'static str,
+    },
+    /// Integer arithmetic overflowed.
+    ArithmeticOverflow,
+    /// Division (or modulo) by zero.
+    DivisionByZero,
+    /// An `INSERT` row has the wrong number of values.
+    ArityMismatch {
+        /// Expected column count.
+        expected: usize,
+        /// Provided value count.
+        actual: usize,
+    },
+    /// A value does not fit the declared column type.
+    ColumnTypeMismatch {
+        /// The column involved.
+        column: Ident,
+        /// Its declared type.
+        expected: &'static str,
+        /// The offered value's type.
+        actual: &'static str,
+    },
+    /// Backlog timestamps must be non-decreasing.
+    NonMonotonicTimestamp {
+        /// Timestamp of the last recorded change.
+        last: audex_sql::Timestamp,
+        /// The out-of-order timestamp offered.
+        offered: audex_sql::Timestamp,
+    },
+    /// An explicit tuple id collides with an existing row.
+    DuplicateTid(crate::table::Tid),
+    /// Statement kind not supported in the current context.
+    Unsupported(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::UnknownTable(t) => write!(f, "unknown table {t}"),
+            StorageError::DuplicateTable(t) => write!(f, "table {t} already exists"),
+            StorageError::DuplicateBinding(t) => write!(f, "duplicate table binding {t} in FROM"),
+            StorageError::UnknownColumn(c) => write!(f, "unknown column {c}"),
+            StorageError::AmbiguousColumn(c) => {
+                write!(f, "column {c} is ambiguous; qualify it with a table name")
+            }
+            StorageError::TypeMismatch { operation, left, right } => {
+                write!(f, "cannot apply {operation} to {left} and {right}")
+            }
+            StorageError::ArithmeticOverflow => f.write_str("integer arithmetic overflow"),
+            StorageError::DivisionByZero => f.write_str("division by zero"),
+            StorageError::ArityMismatch { expected, actual } => {
+                write!(f, "expected {expected} values, got {actual}")
+            }
+            StorageError::ColumnTypeMismatch { column, expected, actual } => {
+                write!(f, "column {column} expects {expected}, got {actual}")
+            }
+            StorageError::NonMonotonicTimestamp { last, offered } => {
+                write!(f, "backlog timestamps must be non-decreasing (last {last}, offered {offered})")
+            }
+            StorageError::DuplicateTid(t) => write!(f, "tuple id {t} already exists"),
+            StorageError::Unsupported(s) => write!(f, "unsupported: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = StorageError::AmbiguousColumn(Ident::new("pid"));
+        assert!(e.to_string().contains("ambiguous"));
+        let e = StorageError::ArityMismatch { expected: 3, actual: 2 };
+        assert!(e.to_string().contains('3'));
+    }
+}

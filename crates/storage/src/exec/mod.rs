@@ -1,0 +1,661 @@
+//! SPJ query execution with tuple-level lineage.
+//!
+//! The executor evaluates `Q = π_C(σ_P(T₁ × … × Tₙ))` over a
+//! [`RelationProvider`] and — crucially for auditing — reports, for every
+//! satisfying combination of base tuples, which `(table, tid)` pairs
+//! produced it. The paper's *indispensable tuple* test (Definition 2:
+//! `σ_{P_Q}(t × R) ≠ ∅`) reads directly off this lineage: a base tuple is
+//! indispensable to `Q` iff it appears in the lineage of at least one
+//! satisfying combination.
+//!
+//! Planning is deliberately simple: top-level conjuncts are classified into
+//! per-table filters (pushed below the join), equi-join edges (hash join
+//! when types allow), and residual predicates (evaluated as soon as their
+//! bindings are all joined). The [`JoinStrategy`] knob exists for the B6
+//! ablation benchmark.
+
+mod plan;
+
+pub use plan::{classify_conjuncts, split_conjuncts, ConjunctClass, PlannedConjunct};
+
+use audex_sql::ast::{Query, SelectItem, TypeName};
+use audex_sql::Ident;
+use std::collections::HashMap;
+
+use crate::error::StorageError;
+use crate::eval::{compile, CompiledExpr, Scope};
+use crate::table::{Relation, Row, Tid};
+use crate::value::Value;
+
+/// Supplies named relations (base tables at some instant, or backlog
+/// relations `b-T`).
+pub trait RelationProvider {
+    /// Resolves `name` to a relation; errors for unknown names.
+    fn relation(&self, name: &Ident) -> Result<Relation, StorageError>;
+}
+
+/// Join algorithm selection — [`JoinStrategy::Auto`] uses hash joins where
+/// legal and falls back to nested loops; the others force one algorithm
+/// (for the join ablation bench).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JoinStrategy {
+    /// Hash join when applicable, nested loop otherwise.
+    #[default]
+    Auto,
+    /// Always nested-loop (filtered cross product).
+    NestedLoop,
+}
+
+/// One `(binding, base relation, tid)` unit of provenance.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct LineageEntry {
+    /// The binding name in the query's scope (alias if aliased).
+    pub binding: Ident,
+    /// The resolved relation name (`P-Personal`, `b-P-Personal`, …).
+    pub table: Ident,
+    /// The base tuple id.
+    pub tid: Tid,
+}
+
+/// Lineage of one satisfying combination: one entry per `FROM` binding, in
+/// `FROM` order.
+pub type LineageRow = Vec<LineageEntry>;
+
+/// The result of executing a query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultSet {
+    /// Output column names.
+    pub columns: Vec<String>,
+    /// Projected rows (deduplicated when the query is `DISTINCT`).
+    pub rows: Vec<Row>,
+    /// One lineage row per *satisfying combination* (pre-projection,
+    /// pre-DISTINCT), so `lineage.len() >= rows.len()` for DISTINCT queries.
+    pub lineage: Vec<LineageRow>,
+}
+
+impl ResultSet {
+    /// True when no combination satisfied the predicate.
+    pub fn is_empty(&self) -> bool {
+        self.lineage.is_empty()
+    }
+
+    /// Iterates all `(table, tid)` pairs appearing anywhere in the lineage.
+    pub fn touched_tuples(&self) -> impl Iterator<Item = (&Ident, Tid)> {
+        self.lineage.iter().flatten().map(|e| (&e.table, e.tid))
+    }
+}
+
+/// Executes `query` over `provider` with the given join strategy.
+pub fn execute_query(
+    provider: &dyn RelationProvider,
+    query: &Query,
+    strategy: JoinStrategy,
+) -> Result<ResultSet, StorageError> {
+    let exec = PreparedQuery::prepare(provider, query)?;
+    exec.run(strategy)
+}
+
+/// A query compiled against concrete relations, reusable across runs.
+pub struct PreparedQuery {
+    scope: Scope,
+    relations: Vec<Relation>,
+    bindings: Vec<Ident>,
+    conjuncts: Vec<PlannedConjunct>,
+    projection: Projection,
+    distinct: bool,
+    order_by: Vec<(CompiledExpr, bool)>,
+    limit: Option<u64>,
+}
+
+enum ProjItem {
+    AllOf(usize),
+    All,
+    Expr { compiled: CompiledExpr, name: String },
+}
+
+struct Projection {
+    items: Vec<ProjItem>,
+}
+
+impl PreparedQuery {
+    /// Resolves relations, compiles predicates, and plans conjuncts.
+    pub fn prepare(provider: &dyn RelationProvider, query: &Query) -> Result<Self, StorageError> {
+        let mut relations = Vec::with_capacity(query.from.len());
+        let mut bindings = Vec::with_capacity(query.from.len());
+        let mut scope_entries = Vec::with_capacity(query.from.len());
+        for tref in &query.from {
+            let rel = provider.relation(&tref.name)?;
+            let binding = tref.binding().clone();
+            scope_entries.push((binding.clone(), rel.schema.clone()));
+            bindings.push(binding);
+            relations.push(rel);
+        }
+        let scope = Scope::new(scope_entries)?;
+
+        let conjuncts = match &query.selection {
+            Some(pred) => classify_conjuncts(pred, &scope)?,
+            None => Vec::new(),
+        };
+
+        let mut items = Vec::new();
+        for item in &query.projection {
+            match item {
+                SelectItem::Wildcard => items.push(ProjItem::All),
+                SelectItem::QualifiedWildcard(t) => {
+                    let bi = scope
+                        .binding_index(t)
+                        .ok_or_else(|| StorageError::UnknownTable(t.clone()))?;
+                    items.push(ProjItem::AllOf(bi));
+                }
+                SelectItem::Expr { expr, alias } => {
+                    let name = alias
+                        .as_ref()
+                        .map(|a| a.value.clone())
+                        .unwrap_or_else(|| expr.to_string());
+                    items.push(ProjItem::Expr { compiled: compile(expr, &scope)?, name });
+                }
+            }
+        }
+
+        let order_by = query
+            .order_by
+            .iter()
+            .map(|o| Ok((compile(&o.expr, &scope)?, o.asc)))
+            .collect::<Result<Vec<_>, StorageError>>()?;
+
+        Ok(PreparedQuery {
+            scope,
+            relations,
+            bindings,
+            conjuncts,
+            projection: Projection { items },
+            distinct: query.distinct,
+            order_by,
+            limit: query.limit,
+        })
+    }
+
+    /// Output column names in order.
+    fn column_names(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for item in &self.projection.items {
+            match item {
+                ProjItem::All => {
+                    for (bi, (_, schema)) in self.scope.bindings().iter().enumerate() {
+                        let _ = bi;
+                        for (name, _) in schema.iter() {
+                            out.push(name.value.clone());
+                        }
+                    }
+                }
+                ProjItem::AllOf(bi) => {
+                    for (name, _) in self.scope.bindings()[*bi].1.iter() {
+                        out.push(name.value.clone());
+                    }
+                }
+                ProjItem::Expr { name, .. } => out.push(name.clone()),
+            }
+        }
+        out
+    }
+
+    /// Runs the prepared query.
+    pub fn run(&self, strategy: JoinStrategy) -> Result<ResultSet, StorageError> {
+        let width = self.scope.width();
+        let n = self.relations.len();
+
+        // Working set: flat rows (width slots, unfilled = Null) + lineage.
+        let mut acc: Vec<(Row, LineageRow)> = vec![(vec![Value::Null; width], Vec::new())];
+        let mut applied = vec![false; self.conjuncts.len()];
+
+        for bi in 0..n {
+            // Single-binding filters push below the join.
+            let filter_idx: Vec<usize> = self
+                .conjuncts
+                .iter()
+                .enumerate()
+                .filter(|(ci, c)| {
+                    !applied[*ci] && c.class == ConjunctClass::SingleBinding && c.bindings == vec![bi]
+                })
+                .map(|(ci, _)| ci)
+                .collect();
+            for ci in &filter_idx {
+                applied[*ci] = true;
+            }
+            let filtered = self.filtered_relation(bi, &filter_idx)?;
+            let bound: Vec<bool> = (0..n).map(|i| i < bi).collect();
+
+            // Hash-joinable edges between binding bi and the bound prefix.
+            let edges: Vec<(usize, usize, usize)> = if strategy == JoinStrategy::Auto {
+                self.hash_edges(bi, &bound, &applied)
+            } else {
+                Vec::new()
+            };
+
+            acc = if !edges.is_empty() && !acc.is_empty() {
+                for (ci, _, _) in &edges {
+                    applied[*ci] = true;
+                }
+                self.hash_join(acc, &filtered, bi, &edges)?
+            } else {
+                self.nested_loop(acc, &filtered, bi)
+            };
+
+            // Residuals whose bindings are now all available.
+            for (ci, c) in self.conjuncts.iter().enumerate() {
+                if applied[ci] || !c.bindings.iter().all(|b| *b <= bi) {
+                    continue;
+                }
+                applied[ci] = true;
+                let mut kept = Vec::with_capacity(acc.len());
+                for (row, lin) in acc {
+                    if c.compiled.truth(&row)?.is_true() {
+                        kept.push((row, lin));
+                    }
+                }
+                acc = kept;
+            }
+        }
+
+        // Zero-conjunct queries with zero tables are impossible (FROM is
+        // mandatory), so every conjunct has been applied by now.
+        debug_assert!(applied.iter().all(|a| *a));
+
+        // Project (keeping sort keys from the flat rows), then apply
+        // DISTINCT → ORDER BY → LIMIT in SQL order. Lineage is NOT truncated
+        // by LIMIT: indispensability (Definition 2) is about the predicate's
+        // satisfying combinations, which a row-count cutoff on the *output*
+        // does not un-access; this errs on the conservative side for
+        // auditing. Value-mode exposure uses `rows`, which IS truncated.
+        let mut projected: Vec<(Row, Vec<Value>)> = Vec::with_capacity(acc.len());
+        let mut lineage = Vec::with_capacity(acc.len());
+        for (flat, lin) in &acc {
+            let keys = self
+                .order_by
+                .iter()
+                .map(|(e, _)| e.eval(flat))
+                .collect::<Result<Vec<_>, _>>()?;
+            projected.push((self.project(flat)?, keys));
+            lineage.push(lin.clone());
+        }
+
+        if self.distinct {
+            let mut seen: Vec<Row> = Vec::new();
+            projected.retain(|(r, _)| {
+                if seen.iter().any(|s| rows_grouping_eq(s, r)) {
+                    false
+                } else {
+                    seen.push(r.clone());
+                    true
+                }
+            });
+        }
+
+        if !self.order_by.is_empty() {
+            projected.sort_by(|(_, ka), (_, kb)| {
+                for ((a, b), (_, asc)) in ka.iter().zip(kb).zip(&self.order_by) {
+                    let ord = a.total_cmp(b);
+                    let ord = if *asc { ord } else { ord.reverse() };
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+        }
+
+        let mut rows: Vec<Row> = projected.into_iter().map(|(r, _)| r).collect();
+        if let Some(n) = self.limit {
+            rows.truncate(n as usize);
+        }
+
+        Ok(ResultSet { columns: self.column_names(), rows, lineage })
+    }
+
+    /// Scans relation `bi` and applies the given single-binding filters.
+    fn filtered_relation(&self, bi: usize, filter_idx: &[usize]) -> Result<Vec<(Tid, Row)>, StorageError> {
+        let rel = &self.relations[bi];
+        let offset = self.scope.offset(bi);
+        let filters: Vec<&PlannedConjunct> = filter_idx.iter().map(|ci| &self.conjuncts[*ci]).collect();
+        if filters.is_empty() {
+            return Ok(rel.rows.clone());
+        }
+        let mut scratch = vec![Value::Null; self.scope.width()];
+        let mut out = Vec::new();
+        'rows: for (tid, row) in &rel.rows {
+            scratch[offset..offset + row.len()].clone_from_slice(row);
+            for f in &filters {
+                if !f.compiled.truth(&scratch)?.is_true() {
+                    continue 'rows;
+                }
+            }
+            out.push((*tid, row.clone()));
+        }
+        Ok(out)
+    }
+
+    /// Equi-join edges `(conjunct idx, probe slot in prefix, build slot in
+    /// bi)` that are hash-join-safe (plain columns, equal non-float types).
+    fn hash_edges(&self, bi: usize, bound: &[bool], applied: &[bool]) -> Vec<(usize, usize, usize)> {
+        let mut edges = Vec::new();
+        for (ci, c) in self.conjuncts.iter().enumerate() {
+            if applied[ci] || c.class != ConjunctClass::EquiJoin {
+                continue;
+            }
+            let Some((sa, sb)) = c.equi_slots else { continue };
+            let (ba, bb) = (self.binding_of_slot(sa), self.binding_of_slot(sb));
+            let (probe, build) = if bb == bi && bound[ba] {
+                (sa, sb)
+            } else if ba == bi && bound[bb] {
+                (sb, sa)
+            } else {
+                continue;
+            };
+            if self.slot_type(probe) == self.slot_type(build)
+                && self.slot_type(probe) != TypeName::Float
+            {
+                edges.push((ci, probe, build));
+            }
+        }
+        edges
+    }
+
+    fn binding_of_slot(&self, slot: usize) -> usize {
+        let mut bi = 0;
+        for i in 0..self.scope.binding_count() {
+            if slot >= self.scope.offset(i) {
+                bi = i;
+            }
+        }
+        bi
+    }
+
+    fn slot_type(&self, slot: usize) -> TypeName {
+        let bi = self.binding_of_slot(slot);
+        let ci = slot - self.scope.offset(bi);
+        self.scope.bindings()[bi].1.type_at(ci)
+    }
+
+    fn nested_loop(
+        &self,
+        acc: Vec<(Row, LineageRow)>,
+        rows: &[(Tid, Row)],
+        bi: usize,
+    ) -> Vec<(Row, LineageRow)> {
+        let offset = self.scope.offset(bi);
+        let mut out = Vec::with_capacity(acc.len() * rows.len());
+        for (prefix, lin) in &acc {
+            for (tid, row) in rows {
+                let mut flat = prefix.clone();
+                flat[offset..offset + row.len()].clone_from_slice(row);
+                let mut lineage = lin.clone();
+                lineage.push(LineageEntry {
+                    binding: self.bindings[bi].clone(),
+                    table: self.relations[bi].name.clone(),
+                    tid: *tid,
+                });
+                out.push((flat, lineage));
+            }
+        }
+        out
+    }
+
+    fn hash_join(
+        &self,
+        acc: Vec<(Row, LineageRow)>,
+        rows: &[(Tid, Row)],
+        bi: usize,
+        edges: &[(usize, usize, usize)],
+    ) -> Result<Vec<(Row, LineageRow)>, StorageError> {
+        let offset = self.scope.offset(bi);
+        // Build side: the new relation, keyed by its join columns.
+        let mut table: HashMap<Vec<Value>, Vec<(Tid, &Row)>> = HashMap::new();
+        let mut scratch = vec![Value::Null; self.scope.width()];
+        'rows: for (tid, row) in rows {
+            scratch[offset..offset + row.len()].clone_from_slice(row);
+            let mut key = Vec::with_capacity(edges.len());
+            for (_, _, build_slot) in edges {
+                let v = scratch[*build_slot].clone();
+                if v.is_null() {
+                    continue 'rows; // NULL never joins
+                }
+                key.push(v);
+            }
+            table.entry(key).or_default().push((*tid, row));
+        }
+
+        let mut out = Vec::new();
+        'probe: for (prefix, lin) in &acc {
+            let mut key = Vec::with_capacity(edges.len());
+            for (_, probe_slot, _) in edges {
+                let v = prefix[*probe_slot].clone();
+                if v.is_null() {
+                    continue 'probe;
+                }
+                key.push(v);
+            }
+            if let Some(matches) = table.get(&key) {
+                for (tid, row) in matches {
+                    let mut flat = prefix.clone();
+                    flat[offset..offset + row.len()].clone_from_slice(row);
+                    let mut lineage = lin.clone();
+                    lineage.push(LineageEntry {
+                        binding: self.bindings[bi].clone(),
+                        table: self.relations[bi].name.clone(),
+                        tid: *tid,
+                    });
+                    out.push((flat, lineage));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn project(&self, flat: &[Value]) -> Result<Row, StorageError> {
+        let mut out = Vec::new();
+        for item in &self.projection.items {
+            match item {
+                ProjItem::All => out.extend_from_slice(flat),
+                ProjItem::AllOf(bi) => {
+                    let offset = self.scope.offset(*bi);
+                    let len = self.scope.bindings()[*bi].1.len();
+                    out.extend_from_slice(&flat[offset..offset + len]);
+                }
+                ProjItem::Expr { compiled, .. } => out.push(compiled.eval(flat)?),
+            }
+        }
+        Ok(out)
+    }
+}
+
+fn rows_grouping_eq(a: &[Value], b: &[Value]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.grouping_eq(y))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use audex_sql::ast::TypeName;
+    use audex_sql::parse_query;
+    use std::collections::BTreeMap;
+
+    struct Fixed(BTreeMap<Ident, Relation>);
+
+    impl RelationProvider for Fixed {
+        fn relation(&self, name: &Ident) -> Result<Relation, StorageError> {
+            self.0.get(name).cloned().ok_or_else(|| StorageError::UnknownTable(name.clone()))
+        }
+    }
+
+    fn fixture() -> Fixed {
+        let personal = Relation {
+            name: Ident::new("P-Personal"),
+            schema: Schema::of(&[
+                ("pid", TypeName::Text),
+                ("name", TypeName::Text),
+                ("age", TypeName::Int),
+                ("zipcode", TypeName::Text),
+            ]),
+            rows: vec![
+                (Tid(11), vec!["p1".into(), "Jane".into(), Value::Int(25), "177893".into()]),
+                (Tid(12), vec!["p2".into(), "Reku".into(), Value::Int(35), "145568".into()]),
+                (Tid(13), vec!["p13".into(), "Robert".into(), Value::Int(29), "188888".into()]),
+                (Tid(14), vec!["p28".into(), "Lucy".into(), Value::Int(20), "145568".into()]),
+            ],
+        };
+        let health = Relation {
+            name: Ident::new("P-Health"),
+            schema: Schema::of(&[("pid", TypeName::Text), ("disease", TypeName::Text)]),
+            rows: vec![
+                (Tid(21), vec!["p1".into(), "flu".into()]),
+                (Tid(22), vec!["p2".into(), "diabetic".into()]),
+                (Tid(23), vec!["p13".into(), "malaria".into()]),
+                (Tid(24), vec!["p28".into(), "diabetic".into()]),
+            ],
+        };
+        let mut m = BTreeMap::new();
+        m.insert(Ident::new("P-Personal"), personal);
+        m.insert(Ident::new("P-Health"), health);
+        Fixed(m)
+    }
+
+    fn run(sql: &str) -> ResultSet {
+        run_with(sql, JoinStrategy::Auto)
+    }
+
+    fn run_with(sql: &str, strategy: JoinStrategy) -> ResultSet {
+        execute_query(&fixture(), &parse_query(sql).unwrap(), strategy).unwrap()
+    }
+
+    #[test]
+    fn single_table_filter() {
+        let rs = run("SELECT name FROM P-Personal WHERE age < 30");
+        assert_eq!(rs.rows.len(), 3);
+        assert_eq!(rs.columns, vec!["name"]);
+        let tids: Vec<Tid> = rs.lineage.iter().map(|l| l[0].tid).collect();
+        assert_eq!(tids, vec![Tid(11), Tid(13), Tid(14)]);
+    }
+
+    #[test]
+    fn join_with_lineage() {
+        let rs = run(
+            "SELECT name, disease FROM P-Personal, P-Health \
+             WHERE P-Personal.pid = P-Health.pid AND disease = 'diabetic'",
+        );
+        assert_eq!(rs.rows.len(), 2);
+        for lin in &rs.lineage {
+            assert_eq!(lin.len(), 2);
+            assert_eq!(lin[0].table, Ident::new("P-Personal"));
+            assert_eq!(lin[1].table, Ident::new("P-Health"));
+        }
+        let pairs: Vec<(Tid, Tid)> = rs.lineage.iter().map(|l| (l[0].tid, l[1].tid)).collect();
+        assert!(pairs.contains(&(Tid(12), Tid(22))));
+        assert!(pairs.contains(&(Tid(14), Tid(24))));
+    }
+
+    #[test]
+    fn hash_and_nested_agree() {
+        let sql = "SELECT name, disease FROM P-Personal, P-Health \
+                   WHERE P-Personal.pid = P-Health.pid AND age < 30";
+        let a = run_with(sql, JoinStrategy::Auto);
+        let b = run_with(sql, JoinStrategy::NestedLoop);
+        assert_eq!(a.rows, b.rows);
+        assert_eq!(a.lineage, b.lineage);
+    }
+
+    #[test]
+    fn cross_product_without_predicate() {
+        let rs = run("SELECT * FROM P-Personal, P-Health");
+        assert_eq!(rs.rows.len(), 16);
+        assert_eq!(rs.columns.len(), 6);
+    }
+
+    #[test]
+    fn wildcard_and_qualified_wildcard() {
+        let rs = run("SELECT P-Health.* FROM P-Personal, P-Health WHERE P-Personal.pid = P-Health.pid");
+        assert_eq!(rs.columns, vec!["pid", "disease"]);
+        assert_eq!(rs.rows.len(), 4);
+    }
+
+    #[test]
+    fn distinct_dedupes_rows_but_keeps_lineage() {
+        let rs = run("SELECT DISTINCT disease FROM P-Health");
+        assert_eq!(rs.rows.len(), 3); // flu, diabetic, malaria
+        assert_eq!(rs.lineage.len(), 4); // all four satisfying tuples
+    }
+
+    #[test]
+    fn aliases_in_scope() {
+        let rs = run("SELECT p.name FROM P-Personal AS p WHERE p.age > 30");
+        assert_eq!(rs.rows, vec![vec![Value::Str("Reku".into())]]);
+        assert_eq!(rs.lineage[0][0].binding, Ident::new("p"));
+        assert_eq!(rs.lineage[0][0].table, Ident::new("P-Personal"));
+    }
+
+    #[test]
+    fn self_join_with_aliases() {
+        let rs = run(
+            "SELECT a.name, b.name FROM P-Personal a, P-Personal b \
+             WHERE a.zipcode = b.zipcode AND a.age < b.age",
+        );
+        // Lucy (20) and Reku (35) share 145568.
+        assert_eq!(rs.rows.len(), 1);
+        assert_eq!(rs.rows[0][0], Value::Str("Lucy".into()));
+    }
+
+    #[test]
+    fn projection_expression_and_alias() {
+        let rs = run("SELECT age + 1 AS next FROM P-Personal WHERE name = 'Jane'");
+        assert_eq!(rs.columns, vec!["next"]);
+        assert_eq!(rs.rows, vec![vec![Value::Int(26)]]);
+    }
+
+    #[test]
+    fn empty_result_has_no_lineage() {
+        let rs = run("SELECT name FROM P-Personal WHERE age > 99");
+        assert!(rs.is_empty());
+        assert!(rs.rows.is_empty());
+    }
+
+    #[test]
+    fn unknown_table_and_column_errors() {
+        let err = execute_query(&fixture(), &parse_query("SELECT x FROM NoTable").unwrap(), JoinStrategy::Auto);
+        assert!(matches!(err, Err(StorageError::UnknownTable(_))));
+        let err = execute_query(
+            &fixture(),
+            &parse_query("SELECT nocol FROM P-Personal").unwrap(),
+            JoinStrategy::Auto,
+        );
+        assert!(matches!(err, Err(StorageError::UnknownColumn(_))));
+    }
+
+    #[test]
+    fn or_predicate_is_not_split() {
+        let rs = run(
+            "SELECT name FROM P-Personal, P-Health \
+             WHERE P-Personal.pid = P-Health.pid AND (age < 21 OR disease = 'malaria')",
+        );
+        assert_eq!(rs.rows.len(), 2); // Lucy by age, Robert by disease
+    }
+
+    #[test]
+    fn duplicate_binding_rejected() {
+        let err = execute_query(
+            &fixture(),
+            &parse_query("SELECT 1 FROM P-Personal, P-Personal").unwrap(),
+            JoinStrategy::Auto,
+        );
+        assert!(matches!(err, Err(StorageError::DuplicateBinding(_))));
+    }
+
+    #[test]
+    fn touched_tuples_iterates_lineage() {
+        let rs = run("SELECT name FROM P-Personal WHERE zipcode = '145568'");
+        let touched: Vec<(String, Tid)> =
+            rs.touched_tuples().map(|(t, tid)| (t.value.clone(), tid)).collect();
+        assert_eq!(touched.len(), 2);
+        assert!(touched.contains(&("P-Personal".into(), Tid(12))));
+        assert!(touched.contains(&("P-Personal".into(), Tid(14))));
+    }
+}

@@ -1,0 +1,506 @@
+//! Runtime values and their comparison / arithmetic semantics.
+
+use audex_sql::Timestamp;
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::error::StorageError;
+
+/// A dynamically-typed SQL value.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Timestamp.
+    Ts(Timestamp),
+}
+
+/// Three-valued logic result of a SQL predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Truth {
+    /// Definitely true.
+    True,
+    /// Definitely false.
+    False,
+    /// NULL was involved.
+    Unknown,
+}
+
+impl Truth {
+    /// From a Rust bool.
+    pub fn from_bool(b: bool) -> Truth {
+        if b {
+            Truth::True
+        } else {
+            Truth::False
+        }
+    }
+
+    /// SQL three-valued AND.
+    pub fn and(self, other: Truth) -> Truth {
+        match (self, other) {
+            (Truth::False, _) | (_, Truth::False) => Truth::False,
+            (Truth::True, Truth::True) => Truth::True,
+            _ => Truth::Unknown,
+        }
+    }
+
+    /// SQL three-valued OR.
+    pub fn or(self, other: Truth) -> Truth {
+        match (self, other) {
+            (Truth::True, _) | (_, Truth::True) => Truth::True,
+            (Truth::False, Truth::False) => Truth::False,
+            _ => Truth::Unknown,
+        }
+    }
+
+    /// SQL three-valued NOT.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Truth {
+        match self {
+            Truth::True => Truth::False,
+            Truth::False => Truth::True,
+            Truth::Unknown => Truth::Unknown,
+        }
+    }
+
+    /// A `WHERE` clause keeps a row only when the predicate is [`Truth::True`].
+    pub fn is_true(self) -> bool {
+        self == Truth::True
+    }
+}
+
+impl Value {
+    /// True when the value is NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// A short type name for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "NULL",
+            Value::Bool(_) => "BOOL",
+            Value::Int(_) => "INT",
+            Value::Float(_) => "FLOAT",
+            Value::Str(_) => "TEXT",
+            Value::Ts(_) => "TIMESTAMP",
+        }
+    }
+
+    /// SQL comparison with the coercions the paper's examples rely on.
+    ///
+    /// The paper is deliberately loose about literal types: Fig. 1 compares
+    /// `zipcode = '120016'` while Fig. 3 writes `zipcode = 145568` against
+    /// the same kind of column. We therefore coerce across the numeric/string
+    /// boundary by parsing the string; a string that does not parse as a
+    /// number compares as [`Truth::Unknown`] against numbers (conservative:
+    /// it never satisfies a `WHERE` and never trips `NOT` into truth either).
+    ///
+    /// Returns `None` (→ Unknown) when either side is NULL or the types are
+    /// incomparable.
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        use Value::*;
+        match (self, other) {
+            (Null, _) | (_, Null) => None,
+            (Bool(a), Bool(b)) => Some(a.cmp(b)),
+            (Int(a), Int(b)) => Some(a.cmp(b)),
+            (Float(a), Float(b)) => a.partial_cmp(b),
+            (Int(a), Float(b)) => (*a as f64).partial_cmp(b),
+            (Float(a), Int(b)) => a.partial_cmp(&(*b as f64)),
+            (Str(a), Str(b)) => Some(a.cmp(b)),
+            (Ts(a), Ts(b)) => Some(a.cmp(b)),
+            // String ↔ number coercion (see doc comment).
+            (Str(s), Int(_) | Float(_)) => parse_numeric(s)?.sql_cmp(other),
+            (Int(_) | Float(_), Str(s)) => self.sql_cmp(&parse_numeric(s)?),
+            // Timestamps compare with their integer encoding (epoch seconds)
+            // so generated workloads can store them in INT columns.
+            (Ts(a), Int(b)) => Some(a.0.cmp(b)),
+            (Int(a), Ts(b)) => Some(a.cmp(&b.0)),
+            (Ts(a), Str(s)) => Some(a.cmp(&Timestamp::parse(s)?)),
+            (Str(s), Ts(b)) => Some(Timestamp::parse(s)?.cmp(b)),
+            _ => None,
+        }
+    }
+
+    /// SQL equality as three-valued truth.
+    pub fn sql_eq(&self, other: &Value) -> Truth {
+        match self.sql_cmp(other) {
+            Some(Ordering::Equal) => Truth::True,
+            Some(_) => Truth::False,
+            None => Truth::Unknown,
+        }
+    }
+
+    /// Equality for DISTINCT / grouping purposes: NULL equals NULL here, and
+    /// the numeric coercions of [`Value::sql_cmp`] apply.
+    pub fn grouping_eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            _ => self.sql_cmp(other) == Some(Ordering::Equal),
+        }
+    }
+
+    /// Total order for deterministic output (NULL first, then by type rank,
+    /// then by value). This is *not* SQL comparison; it exists so reports and
+    /// granule sets print in a stable order.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Value::Null => 0,
+                Value::Bool(_) => 1,
+                Value::Int(_) => 2,
+                Value::Float(_) => 3,
+                Value::Str(_) => 4,
+                Value::Ts(_) => 5,
+            }
+        }
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            (Str(a), Str(b)) => a.cmp(b),
+            (Ts(a), Ts(b)) => a.cmp(b),
+            (a, b) => rank(a).cmp(&rank(b)),
+        }
+    }
+
+    /// Arithmetic. Integer overflow and division by zero are errors; NULL
+    /// propagates.
+    pub fn arith(&self, op: ArithOp, other: &Value) -> Result<Value, StorageError> {
+        use Value::*;
+        if self.is_null() || other.is_null() {
+            return Ok(Null);
+        }
+        match (self, other) {
+            (Int(a), Int(b)) => match op {
+                ArithOp::Add => a.checked_add(*b).map(Int).ok_or(StorageError::ArithmeticOverflow),
+                ArithOp::Sub => a.checked_sub(*b).map(Int).ok_or(StorageError::ArithmeticOverflow),
+                ArithOp::Mul => a.checked_mul(*b).map(Int).ok_or(StorageError::ArithmeticOverflow),
+                ArithOp::Div => {
+                    if *b == 0 {
+                        Err(StorageError::DivisionByZero)
+                    } else {
+                        Ok(Int(a / b))
+                    }
+                }
+                ArithOp::Mod => {
+                    if *b == 0 {
+                        Err(StorageError::DivisionByZero)
+                    } else {
+                        Ok(Int(a % b))
+                    }
+                }
+            },
+            (Int(_) | Float(_), Int(_) | Float(_)) => {
+                let a = self.as_f64().expect("numeric");
+                let b = other.as_f64().expect("numeric");
+                let r = match op {
+                    ArithOp::Add => a + b,
+                    ArithOp::Sub => a - b,
+                    ArithOp::Mul => a * b,
+                    ArithOp::Div => {
+                        if b == 0.0 {
+                            return Err(StorageError::DivisionByZero);
+                        }
+                        a / b
+                    }
+                    ArithOp::Mod => {
+                        if b == 0.0 {
+                            return Err(StorageError::DivisionByZero);
+                        }
+                        a % b
+                    }
+                };
+                Ok(Float(r))
+            }
+            _ => Err(StorageError::TypeMismatch {
+                operation: op.symbol().to_string(),
+                left: self.type_name(),
+                right: other.type_name(),
+            }),
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(*v as f64),
+            Value::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// SQL `LIKE` with `%` (any run) and `_` (any single character).
+    pub fn sql_like(&self, pattern: &Value) -> Truth {
+        match (self, pattern) {
+            (Value::Null, _) | (_, Value::Null) => Truth::Unknown,
+            (Value::Str(s), Value::Str(p)) => Truth::from_bool(like_match(s.as_bytes(), p.as_bytes())),
+            _ => Truth::Unknown,
+        }
+    }
+}
+
+/// Like-pattern matching (iterative with backtracking on `%`).
+fn like_match(s: &[u8], p: &[u8]) -> bool {
+    let (mut si, mut pi) = (0usize, 0usize);
+    let (mut star_p, mut star_s) = (usize::MAX, 0usize);
+    while si < s.len() {
+        if pi < p.len() && (p[pi] == b'_' || p[pi] == s[si]) {
+            si += 1;
+            pi += 1;
+        } else if pi < p.len() && p[pi] == b'%' {
+            star_p = pi;
+            star_s = si;
+            pi += 1;
+        } else if star_p != usize::MAX {
+            star_s += 1;
+            si = star_s;
+            pi = star_p + 1;
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == b'%' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+fn parse_numeric(s: &str) -> Option<Value> {
+    let t = s.trim();
+    if let Ok(v) = t.parse::<i64>() {
+        return Some(Value::Int(v));
+    }
+    t.parse::<f64>().ok().map(Value::Float)
+}
+
+/// Arithmetic operators (a subset of `BinOp`, typed for values).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+}
+
+impl ArithOp {
+    fn symbol(self) -> &'static str {
+        match self {
+            ArithOp::Add => "+",
+            ArithOp::Sub => "-",
+            ArithOp::Mul => "*",
+            ArithOp::Div => "/",
+            ArithOp::Mod => "%",
+        }
+    }
+}
+
+impl PartialEq for Value {
+    /// Structural equality used by tests and hash keys: NULL == NULL, no
+    /// cross-type coercion except Int/Float with equal value.
+    fn eq(&self, other: &Self) -> bool {
+        self.total_cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => state.write_u8(0),
+            Value::Bool(b) => {
+                state.write_u8(1);
+                b.hash(state);
+            }
+            Value::Int(v) => {
+                state.write_u8(2);
+                v.hash(state);
+            }
+            Value::Float(v) => {
+                state.write_u8(3);
+                v.to_bits().hash(state);
+            }
+            Value::Str(s) => {
+                state.write_u8(4);
+                s.hash(state);
+            }
+            Value::Ts(t) => {
+                state.write_u8(5);
+                t.0.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("NULL"),
+            Value::Bool(b) => write!(f, "{}", if *b { "true" } else { "false" }),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Str(s) => f.write_str(s),
+            Value::Ts(t) => write!(f, "{t}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<Timestamp> for Value {
+    fn from(v: Timestamp) -> Self {
+        Value::Ts(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_valued_logic_tables() {
+        use Truth::*;
+        assert_eq!(True.and(Unknown), Unknown);
+        assert_eq!(False.and(Unknown), False);
+        assert_eq!(True.or(Unknown), True);
+        assert_eq!(False.or(Unknown), Unknown);
+        assert_eq!(Unknown.not(), Unknown);
+        assert!(!Unknown.is_true());
+    }
+
+    #[test]
+    fn numeric_cross_type_comparison() {
+        assert_eq!(Value::Int(3).sql_cmp(&Value::Float(3.5)), Some(Ordering::Less));
+        assert_eq!(Value::Float(4.0).sql_cmp(&Value::Int(4)), Some(Ordering::Equal));
+    }
+
+    #[test]
+    fn paper_zipcode_coercion() {
+        // Fig. 3 compares a string zipcode column with integer 145568.
+        assert_eq!(Value::Str("145568".into()).sql_eq(&Value::Int(145568)), Truth::True);
+        assert_eq!(Value::Int(145568).sql_eq(&Value::Str("145568".into())), Truth::True);
+        assert_eq!(Value::Str("A4".into()).sql_eq(&Value::Int(145568)), Truth::Unknown);
+    }
+
+    #[test]
+    fn null_comparisons_are_unknown() {
+        assert_eq!(Value::Null.sql_eq(&Value::Int(1)), Truth::Unknown);
+        assert_eq!(Value::Int(1).sql_eq(&Value::Null), Truth::Unknown);
+    }
+
+    #[test]
+    fn grouping_eq_treats_nulls_equal() {
+        assert!(Value::Null.grouping_eq(&Value::Null));
+        assert!(!Value::Null.grouping_eq(&Value::Int(0)));
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(Value::Int(2).arith(ArithOp::Add, &Value::Int(3)).unwrap(), Value::Int(5));
+        assert_eq!(Value::Int(7).arith(ArithOp::Div, &Value::Int(2)).unwrap(), Value::Int(3));
+        assert_eq!(Value::Int(7).arith(ArithOp::Mod, &Value::Int(2)).unwrap(), Value::Int(1));
+        assert_eq!(
+            Value::Int(1).arith(ArithOp::Add, &Value::Float(0.5)).unwrap(),
+            Value::Float(1.5)
+        );
+        assert!(Value::Int(1).arith(ArithOp::Div, &Value::Int(0)).is_err());
+        assert!(Value::Int(i64::MAX).arith(ArithOp::Add, &Value::Int(1)).is_err());
+        assert_eq!(Value::Null.arith(ArithOp::Add, &Value::Int(1)).unwrap(), Value::Null);
+        assert!(Value::Str("x".into()).arith(ArithOp::Add, &Value::Int(1)).is_err());
+    }
+
+    #[test]
+    fn like_patterns() {
+        let s = |x: &str| Value::Str(x.into());
+        assert_eq!(s("Jane").sql_like(&s("J%")), Truth::True);
+        assert_eq!(s("Jane").sql_like(&s("_ane")), Truth::True);
+        assert_eq!(s("Jane").sql_like(&s("%n_")), Truth::True);
+        assert_eq!(s("Jane").sql_like(&s("jane")), Truth::False);
+        assert_eq!(s("Jane").sql_like(&s("%z%")), Truth::False);
+        assert_eq!(s("").sql_like(&s("%")), Truth::True);
+        assert_eq!(s("").sql_like(&s("_")), Truth::False);
+        assert_eq!(s("abc").sql_like(&s("a%b%c")), Truth::True);
+        assert_eq!(Value::Null.sql_like(&s("%")), Truth::Unknown);
+        assert_eq!(Value::Int(5).sql_like(&s("%")), Truth::Unknown);
+    }
+
+    #[test]
+    fn like_backtracking_stress() {
+        let s = |x: &str| Value::Str(x.into());
+        assert_eq!(s("aaaaaaaaab").sql_like(&s("%a%a%a%b")), Truth::True);
+        assert_eq!(s("aaaaaaaaac").sql_like(&s("%a%a%a%b")), Truth::False);
+    }
+
+    #[test]
+    fn total_order_is_deterministic() {
+        let mut vals = [Value::Str("b".into()),
+            Value::Int(2),
+            Value::Null,
+            Value::Float(1.5),
+            Value::Str("a".into()),
+            Value::Bool(true)];
+        vals.sort_by(|a, b| a.total_cmp(b));
+        assert_eq!(vals[0], Value::Null);
+        assert_eq!(vals[1], Value::Bool(true));
+        assert_eq!(vals.last().unwrap(), &Value::Str("b".into()));
+    }
+
+    #[test]
+    fn timestamp_comparisons() {
+        let t = Value::Ts(Timestamp(100));
+        assert_eq!(t.sql_eq(&Value::Int(100)), Truth::True);
+        assert_eq!(t.sql_cmp(&Value::Str("1/1/1970:00-02-00".into())), Some(Ordering::Less));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Str("x".into()).to_string(), "x");
+        assert_eq!(Value::Int(-3).to_string(), "-3");
+    }
+}

@@ -1,0 +1,261 @@
+//! Executor coverage beyond the unit tests: three-table joins, backlog
+//! relations inside joins, LIKE/IN in plans, expression projections, and
+//! lineage precision under self-joins.
+
+use audex_sql::ast::TypeName;
+use audex_sql::{parse_query, parse_statement, Ident, Timestamp};
+use audex_storage::{Database, JoinStrategy, Schema, Tid, Value};
+
+fn hospital() -> Database {
+    let mut db = Database::new();
+    let script = [
+        "CREATE TABLE P-Personal (pid TEXT, name TEXT, age INT, zipcode TEXT)",
+        "CREATE TABLE P-Health (pid TEXT, disease TEXT)",
+        "CREATE TABLE P-Employ (pid TEXT, salary INT)",
+        "INSERT INTO P-Personal VALUES \
+         ('p1','Jane',25,'177893'), ('p2','Reku',35,'145568'), \
+         ('p13','Robert',29,'188888'), ('p28','Lucy',20,'145568')",
+        "INSERT INTO P-Health VALUES \
+         ('p1','flu'), ('p2','diabetic'), ('p13','malaria'), ('p28','diabetic')",
+        "INSERT INTO P-Employ VALUES ('p1',12000), ('p2',20000), ('p13',9000), ('p28',19000)",
+    ];
+    for (i, sql) in script.iter().enumerate() {
+        db.execute(&parse_statement(sql).unwrap(), Timestamp(i as i64)).unwrap();
+    }
+    db
+}
+
+fn rows(db: &Database, sql: &str) -> Vec<Vec<Value>> {
+    db.at(db.last_ts()).query(&parse_query(sql).unwrap()).unwrap().rows
+}
+
+#[test]
+fn three_table_join_matches_paper_fig3() {
+    let db = hospital();
+    let got = rows(
+        &db,
+        "SELECT name, disease, salary FROM P-Personal, P-Health, P-Employ \
+         WHERE P-Personal.pid = P-Health.pid AND P-Health.pid = P-Employ.pid \
+           AND zipcode = '145568' AND salary > 10000 AND disease = 'diabetic'",
+    );
+    assert_eq!(got.len(), 2);
+    assert_eq!(got[0][0].to_string(), "Reku");
+    assert_eq!(got[1][0].to_string(), "Lucy");
+}
+
+#[test]
+fn join_strategies_agree_on_three_tables() {
+    let db = hospital();
+    let q = parse_query(
+        "SELECT name FROM P-Personal, P-Health, P-Employ \
+         WHERE P-Personal.pid = P-Health.pid AND P-Health.pid = P-Employ.pid AND salary > 10000",
+    )
+    .unwrap();
+    let a = db.at(db.last_ts()).query_with(&q, JoinStrategy::Auto).unwrap();
+    let b = db.at(db.last_ts()).query_with(&q, JoinStrategy::NestedLoop).unwrap();
+    assert_eq!(a.rows, b.rows);
+    assert_eq!(a.lineage, b.lineage);
+    assert_eq!(a.rows.len(), 3); // Jane, Reku, Lucy (Robert earns 9000)
+}
+
+#[test]
+fn backlog_relation_joins_with_live_table() {
+    let mut db = hospital();
+    db.execute(
+        &parse_statement("UPDATE P-Personal SET zipcode = '000000' WHERE pid = 'p2'").unwrap(),
+        Timestamp(100),
+    )
+    .unwrap();
+    // Join historic personal versions against current health data.
+    let got = rows(
+        &db,
+        "SELECT zipcode, disease FROM b-P-Personal, P-Health \
+         WHERE b-P-Personal.pid = P-Health.pid AND b-P-Personal.pid = 'p2'",
+    );
+    // Two versions of Reku's row × one health row.
+    assert_eq!(got.len(), 2);
+    let zips: Vec<String> = got.iter().map(|r| r[0].to_string()).collect();
+    assert!(zips.contains(&"145568".to_string()));
+    assert!(zips.contains(&"000000".to_string()));
+}
+
+#[test]
+fn like_and_in_filters_execute() {
+    let db = hospital();
+    assert_eq!(rows(&db, "SELECT name FROM P-Personal WHERE name LIKE 'R%'").len(), 2);
+    assert_eq!(rows(&db, "SELECT name FROM P-Personal WHERE name NOT LIKE '%u%'").len(), 2); // Jane, Robert
+    assert_eq!(
+        rows(&db, "SELECT name FROM P-Personal WHERE zipcode IN ('145568', '177893')").len(),
+        3
+    );
+}
+
+#[test]
+fn expression_projection_with_arithmetic() {
+    let db = hospital();
+    let got = rows(
+        &db,
+        "SELECT name, salary / 1000 AS k FROM P-Personal, P-Employ \
+         WHERE P-Personal.pid = P-Employ.pid AND salary / 1000 >= 19",
+    );
+    assert_eq!(got.len(), 2);
+    assert_eq!(got[0][1], Value::Int(20));
+    assert_eq!(got[1][1], Value::Int(19));
+}
+
+#[test]
+fn self_join_lineage_distinguishes_bindings() {
+    let db = hospital();
+    let rs = db
+        .at(db.last_ts())
+        .query(
+            &parse_query(
+                "SELECT a.name FROM P-Personal a, P-Personal b \
+                 WHERE a.zipcode = b.zipcode AND a.pid <> b.pid",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+    assert_eq!(rs.rows.len(), 2); // (Reku,Lucy) and (Lucy,Reku)
+    for lin in &rs.lineage {
+        assert_eq!(lin.len(), 2);
+        assert_eq!(lin[0].table, lin[1].table);
+        assert_ne!(lin[0].tid, lin[1].tid);
+        assert_ne!(lin[0].binding, lin[1].binding);
+    }
+}
+
+#[test]
+fn distinct_three_way_values() {
+    let db = hospital();
+    let rs = db
+        .at(db.last_ts())
+        .query(&parse_query("SELECT DISTINCT disease FROM P-Health").unwrap())
+        .unwrap();
+    assert_eq!(rs.rows.len(), 3);
+    assert_eq!(rs.lineage.len(), 4);
+}
+
+#[test]
+fn cross_type_join_keys_fall_back_correctly() {
+    // Joining TEXT zipcode against an INT-typed key must not use the hash
+    // path blindly; results must match nested loop.
+    let mut db = hospital();
+    db.execute(&parse_statement("CREATE TABLE Zones (code INT, label TEXT)").unwrap(), Timestamp(50))
+        .unwrap();
+    db.execute(
+        &parse_statement("INSERT INTO Zones VALUES (145568, 'midtown'), (177893, 'north')").unwrap(),
+        Timestamp(51),
+    )
+    .unwrap();
+    let q = parse_query(
+        "SELECT name, label FROM P-Personal, Zones WHERE zipcode = code",
+    )
+    .unwrap();
+    let auto = db.at(db.last_ts()).query_with(&q, JoinStrategy::Auto).unwrap();
+    let nested = db.at(db.last_ts()).query_with(&q, JoinStrategy::NestedLoop).unwrap();
+    assert_eq!(auto.rows, nested.rows);
+    assert_eq!(auto.rows.len(), 3); // Jane/north, Reku/midtown, Lucy/midtown
+}
+
+#[test]
+fn empty_tables_join_to_empty() {
+    let mut db = Database::new();
+    db.create_table(Ident::new("a"), Schema::of(&[("x", TypeName::Int)]), Timestamp(0)).unwrap();
+    db.create_table(Ident::new("b"), Schema::of(&[("y", TypeName::Int)]), Timestamp(0)).unwrap();
+    db.insert(&Ident::new("a"), vec![Value::Int(1)], Timestamp(1)).unwrap();
+    let rs = db
+        .at(Timestamp(1))
+        .query(&parse_query("SELECT x, y FROM a, b WHERE x = y").unwrap())
+        .unwrap();
+    assert!(rs.is_empty());
+}
+
+#[test]
+fn null_join_keys_never_match() {
+    let mut db = Database::new();
+    db.create_table(Ident::new("a"), Schema::of(&[("k", TypeName::Text)]), Timestamp(0)).unwrap();
+    db.create_table(Ident::new("b"), Schema::of(&[("k", TypeName::Text)]), Timestamp(0)).unwrap();
+    db.insert(&Ident::new("a"), vec![Value::Null], Timestamp(1)).unwrap();
+    db.insert(&Ident::new("b"), vec![Value::Null], Timestamp(1)).unwrap();
+    db.insert(&Ident::new("a"), vec!["x".into()], Timestamp(1)).unwrap();
+    db.insert(&Ident::new("b"), vec!["x".into()], Timestamp(1)).unwrap();
+    let q = parse_query("SELECT a.k FROM a, b WHERE a.k = b.k").unwrap();
+    for strategy in [JoinStrategy::Auto, JoinStrategy::NestedLoop] {
+        let rs = db.at(Timestamp(1)).query_with(&q, strategy).unwrap();
+        assert_eq!(rs.rows.len(), 1, "only the non-null keys join ({strategy:?})");
+    }
+}
+
+#[test]
+fn lineage_tid_values_are_exact() {
+    let db = hospital();
+    let rs = db
+        .at(db.last_ts())
+        .query(&parse_query("SELECT name FROM P-Personal WHERE zipcode = '145568'").unwrap())
+        .unwrap();
+    let tids: Vec<Tid> = rs.lineage.iter().map(|l| l[0].tid).collect();
+    assert_eq!(tids, vec![Tid(2), Tid(4)]); // insertion order p2, p28
+}
+
+#[test]
+fn order_by_sorts_and_limit_truncates() {
+    let db = hospital();
+    let got = rows(&db, "SELECT name, age FROM P-Personal ORDER BY age");
+    let ages: Vec<String> = got.iter().map(|r| r[1].to_string()).collect();
+    assert_eq!(ages, vec!["20", "25", "29", "35"]);
+
+    let got = rows(&db, "SELECT name FROM P-Personal ORDER BY age DESC LIMIT 2");
+    let names: Vec<String> = got.iter().map(|r| r[0].to_string()).collect();
+    assert_eq!(names, vec!["Reku", "Robert"]);
+}
+
+#[test]
+fn order_by_multiple_keys() {
+    let db = hospital();
+    let got = rows(
+        &db,
+        "SELECT name FROM P-Personal ORDER BY zipcode, age DESC",
+    );
+    let names: Vec<String> = got.iter().map(|r| r[0].to_string()).collect();
+    // zipcodes: 145568 (Reku 35, Lucy 20), 177893 (Jane), 188888 (Robert).
+    assert_eq!(names, vec!["Reku", "Lucy", "Jane", "Robert"]);
+}
+
+#[test]
+fn limit_zero_returns_nothing_but_keeps_lineage() {
+    let db = hospital();
+    let rs = db
+        .at(db.last_ts())
+        .query(&parse_query("SELECT name FROM P-Personal WHERE age < 30 LIMIT 0").unwrap())
+        .unwrap();
+    assert!(rs.rows.is_empty());
+    // Lineage records all satisfying combinations regardless of LIMIT
+    // (conservative for auditing; see the executor docs).
+    assert_eq!(rs.lineage.len(), 3);
+}
+
+#[test]
+fn distinct_then_order_then_limit() {
+    let db = hospital();
+    let got = rows(&db, "SELECT DISTINCT disease FROM P-Health ORDER BY disease LIMIT 2");
+    let ds: Vec<String> = got.iter().map(|r| r[0].to_string()).collect();
+    assert_eq!(ds, vec!["diabetic", "flu"]);
+}
+
+#[test]
+fn order_by_unknown_column_errors() {
+    let db = hospital();
+    let q = parse_query("SELECT name FROM P-Personal ORDER BY nosuch").unwrap();
+    assert!(db.at(db.last_ts()).query(&q).is_err());
+}
+
+#[test]
+fn division_error_surfaces_not_panics() {
+    let db = hospital();
+    let q = parse_query("SELECT salary / (age - age) FROM P-Personal, P-Employ \
+                         WHERE P-Personal.pid = P-Employ.pid")
+        .unwrap();
+    let err = db.at(db.last_ts()).query(&q);
+    assert!(err.is_err());
+}

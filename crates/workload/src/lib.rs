@@ -1,0 +1,22 @@
+//! `audex-workload` — datasets and workload generators.
+//!
+//! * [`paper`] — the paper's canonical running example: Tables 1–3 with the
+//!   paper's tuple ids, every audit expression of Figures 1–7, the worked
+//!   §2.1 example, the expected granule sets, and a matching Hippocratic
+//!   policy and query log.
+//! * [`datagen`] / [`querygen`] / [`updategen`] — deterministic seeded
+//!   generators (hospital databases, query mixes with planted-suspicious
+//!   ground truth, update streams) for the scalability benchmarks, since
+//!   the paper publishes no measured workload.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod datagen;
+pub mod paper;
+pub mod querygen;
+pub mod updategen;
+
+pub use datagen::{generate_hospital, HospitalConfig};
+pub use querygen::{batch_audit_text, batch_of, generate_batch_attack, generate_queries, load_log, standard_audit_text, GeneratedQuery, QueryMixConfig};
+pub use updategen::{apply_update_stream, UpdateStreamConfig};

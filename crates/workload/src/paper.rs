@@ -1,0 +1,349 @@
+//! The paper's canonical running example: relations P-Personal, P-Health,
+//! P-Employ (Tables 1–3) and the audit expressions of Figures 1–7.
+//!
+//! The paper's Table 1 is partially garbled in the published text; the
+//! missing cells are reconstructed from Tables 4–5 and the granule sets of
+//! Figures 4–6, which pin down every value that matters:
+//!
+//! * Table 4 (`age < 30`) lists t11 Jane 25 A1, t13 Robert 29 A3,
+//!   t14 Lucy 20 A4 — so Reku (t12) is 30 or older; we use 35.
+//! * Fig. 4's granule set gives t12 = (p2, Reku, M, 145568, A2) and
+//!   t22 = (p2, W12, Nicholas, diabetic, drug1), t32 = (p2, E2, 20000).
+//! * Table 1's zipcode column shows 177893 / 145568 / 188888 / 145568.
+//!
+//! Cells that no constraint pins (sex of t11/t13, t21/t23 details, t31/t33
+//! employers) get plausible values consistent with every worked example.
+
+use audex_log::{AccessContext, QueryLog};
+use audex_policy::{ColumnScope, PrivacyPolicy};
+use audex_sql::ast::TypeName;
+use audex_sql::{Ident, Timestamp};
+use audex_storage::{Database, Schema, Tid, Value};
+
+/// The instant at which the paper's data is loaded.
+pub fn paper_epoch() -> Timestamp {
+    Timestamp::from_ymd(2008, 1, 1).expect("valid date")
+}
+
+/// A reference "now" for audits over the paper dataset (well after the
+/// data and all example queries).
+pub fn paper_now() -> Timestamp {
+    Timestamp::from_ymd(2008, 4, 7).expect("valid date")
+}
+
+/// Fig. 1: the audit expression syntax of Agrawal et al. (example instance).
+pub const FIG1_AGRAWAL: &str =
+    "OTHERTHAN PURPOSE marketing DURING 1/1/2008 TO 1/4/2008 \
+     AUDIT disease FROM P-Health WHERE ward = 'W14'";
+
+/// Fig. 2: Audit Expression-1.
+pub const FIG2_AUDIT_EXPRESSION_1: &str =
+    "Audit name, age, address FROM P-Personal WHERE age < 30";
+
+/// Fig. 3: Audit Expression-2.
+pub const FIG3_AUDIT_EXPRESSION_2: &str =
+    "Audit name, disease, address \
+     FROM P-Personal, P-Health, P-Employ \
+     WHERE P-Personal.pid=P-Health.pid and P-Health.pid=P-Employ.pid and \
+           P-Personal.zipcode=145568 and P-Employ.salary > 10000 and \
+           P-Health.disease='diabetic'";
+
+/// Fig. 4: the perfect-privacy encoding.
+pub const FIG4_PERFECT_PRIVACY: &str =
+    "INDISPENSABLE true \
+     AUDIT [*] FROM P-Personal, P-Health, P-Employ \
+     WHERE P-Personal.pid=P-Health.pid and P-Health.pid=P-Employ.pid and \
+           P-Personal.zipcode='145568' and P-Employ.salary > 10000 and \
+           P-Health.disease='diabetic' and P-Personal.name='Reku'";
+
+/// Fig. 5: the weak-syntactic-suspicion encoding.
+pub const FIG5_WEAK_SYNTACTIC: &str =
+    "INDISPENSABLE true \
+     AUDIT [name, disease, address, P-Personal.pid, P-Health.pid, P-Employ.pid, zipcode, salary] \
+     FROM P-Personal, P-Health, P-Employ \
+     WHERE P-Personal.pid=P-Health.pid and P-Health.pid=P-Employ.pid and \
+           P-Personal.zipcode='145568' and P-Employ.salary > 10000 and \
+           P-Health.disease='diabetic'";
+
+/// Fig. 6: the semantic-suspiciousness (indispensable tuple) encoding.
+pub const FIG6_SEMANTIC: &str =
+    "INDISPENSABLE true \
+     AUDIT (name, disease, address) FROM P-Personal, P-Health, P-Employ \
+     WHERE P-Personal.pid=P-Health.pid and P-Health.pid=P-Employ.pid and \
+           P-Personal.zipcode='145568' and P-Employ.salary > 10000 and \
+           P-Health.disease='diabetic'";
+
+/// Fig. 7: an instance exercising every clause of the full grammar.
+pub const FIG7_FULL_GRAMMAR: &str =
+    "Neg-Role-Purpose (nurse, billing) (-, marketing) \
+     Pos-Role-Purpose (doctor, -) \
+     Neg-User-Identity u-13 \
+     Pos-User-Identity u-7, u-9 \
+     DURING 1/1/2008 TO now() \
+     DATA-INTERVAL 1/1/2008 TO now() \
+     THRESHOLD 1 \
+     INDISPENSABLE true \
+     AUDIT (name), [disease, address] FROM P-Personal, P-Health \
+     WHERE P-Personal.pid = P-Health.pid";
+
+/// §3.1's DATA-INTERVAL example over the backlog table.
+pub const SEC31_DATA_INTERVAL: &str =
+    "DATA-INTERVAL 1/5/2004:13-00-00 to now() \
+     Audit name, age, address From b-P-Personal Where age < 30";
+
+/// §2.1's first example (Agrawal et al.): audit + suspicious query pair.
+pub const SEC21_AUDIT_DISEASE: &str = "AUDIT disease FROM Patients WHERE zipcode='120016'";
+/// §2.1: the query suspicious w.r.t. [`SEC21_AUDIT_DISEASE`].
+pub const SEC21_QUERY: &str = "SELECT zipcode FROM Patients WHERE disease='cancer'";
+/// §2.1: the audit the same query is *not* suspicious w.r.t.
+pub const SEC21_AUDIT_ZIPCODE: &str = "AUDIT zipcode FROM Patients WHERE disease='diabetes'";
+
+/// Expected granule set for Fig. 4 as printed in the paper (13 cells; the
+/// paper omits Reku's age cell `(t12,35)`, which a faithful `[*]` expansion
+/// also produces — see EXPERIMENTS.md E6).
+pub const FIG4_EXPECTED_PAPER: &[&str] = &[
+    "(t12,p2)", "(t22,p2)", "(t32,p2)", "(t12,145568)", "(t12,M)", "(t12,A2)", "(t12,Reku)",
+    "(t22,W12)", "(t22,Nicholas)", "(t22,diabetic)", "(t22,drug1)", "(t32,E2)", "(t32,20000)",
+];
+
+/// The cell the paper's Fig. 4 set omits but its model implies.
+pub const FIG4_IMPLIED_EXTRA: &str = "(t12,35)";
+
+/// Expected granule set for Fig. 5 (16 pairs; the paper's bare `(t32)` is a
+/// typographical artifact — see EXPERIMENTS.md E7).
+pub const FIG5_EXPECTED_PAPER: &[&str] = &[
+    "(t12,p2)", "(t12,145568)", "(t12,Reku)", "(t12,A2)",
+    "(t14,p28)", "(t14,145568)", "(t14,Lucy)", "(t14,A4)",
+    "(t22,diabetic)", "(t24,diabetic)", "(t32,20000)", "(t34,19000)",
+    "(t22,p2)", "(t32,p2)", "(t24,p28)", "(t34,p28)",
+];
+
+/// Expected granule set for Fig. 6.
+pub const FIG6_EXPECTED_PAPER: &[&str] =
+    &["(t12,t22,Reku,diabetic,A2)", "(t14,t24,Lucy,diabetic,A4)"];
+
+/// Builds the paper's three relations with the paper's tuple ids.
+pub fn paper_database() -> Database {
+    let ts = paper_epoch();
+    let mut db = Database::new();
+
+    let personal = Ident::new("P-Personal");
+    db.create_table(
+        personal.clone(),
+        Schema::of(&[
+            ("pid", TypeName::Text),
+            ("name", TypeName::Text),
+            ("age", TypeName::Int),
+            ("sex", TypeName::Text),
+            ("zipcode", TypeName::Text),
+            ("address", TypeName::Text),
+        ]),
+        ts,
+    )
+    .expect("create P-Personal");
+    let personal_rows: [(u64, &str, &str, i64, &str, &str, &str); 4] = [
+        (11, "p1", "Jane", 25, "F", "177893", "A1"),
+        (12, "p2", "Reku", 35, "M", "145568", "A2"),
+        (13, "p13", "Robert", 29, "M", "188888", "A3"),
+        (14, "p28", "Lucy", 20, "F", "145568", "A4"),
+    ];
+    for (tid, pid, name, age, sex, zip, addr) in personal_rows {
+        db.insert_with_tid(
+            &personal,
+            Tid(tid),
+            vec![pid.into(), name.into(), Value::Int(age), sex.into(), zip.into(), addr.into()],
+            ts,
+        )
+        .expect("insert P-Personal row");
+    }
+
+    let health = Ident::new("P-Health");
+    db.create_table(
+        health.clone(),
+        Schema::of(&[
+            ("pid", TypeName::Text),
+            ("ward", TypeName::Text),
+            ("doc-name", TypeName::Text),
+            ("disease", TypeName::Text),
+            ("pres-drugs", TypeName::Text),
+        ]),
+        ts,
+    )
+    .expect("create P-Health");
+    let health_rows: [(u64, &str, &str, &str, &str, &str); 4] = [
+        (21, "p1", "W11", "Hassan", "flu", "drug2"),
+        (22, "p2", "W12", "Nicholas", "diabetic", "drug1"),
+        (23, "p13", "W14", "Ramesh", "Malaria", "drug3"),
+        (24, "p28", "W14", "King U", "diabetic", "drug1"),
+    ];
+    for (tid, pid, ward, doc, disease, drugs) in health_rows {
+        db.insert_with_tid(
+            &health,
+            Tid(tid),
+            vec![pid.into(), ward.into(), doc.into(), disease.into(), drugs.into()],
+            ts,
+        )
+        .expect("insert P-Health row");
+    }
+
+    let employ = Ident::new("P-Employ");
+    db.create_table(
+        employ.clone(),
+        Schema::of(&[("pid", TypeName::Text), ("employer", TypeName::Text), ("salary", TypeName::Int)]),
+        ts,
+    )
+    .expect("create P-Employ");
+    let employ_rows: [(u64, &str, &str, i64); 4] = [
+        (31, "p1", "E1", 12000),
+        (32, "p2", "E2", 20000),
+        (33, "p13", "E3", 9000),
+        (34, "p28", "E4", 19000),
+    ];
+    for (tid, pid, employer, salary) in employ_rows {
+        db.insert_with_tid(
+            &employ,
+            Tid(tid),
+            vec![pid.into(), employer.into(), Value::Int(salary)],
+            ts,
+        )
+        .expect("insert P-Employ row");
+    }
+
+    db
+}
+
+/// The §2.1 `Patients` table (zipcode/disease example) added to a database.
+pub fn with_section21_patients(db: &mut Database) {
+    let ts = db.last_ts();
+    let patients = Ident::new("Patients");
+    db.create_table(
+        patients.clone(),
+        Schema::of(&[("pid", TypeName::Text), ("zipcode", TypeName::Text), ("disease", TypeName::Text)]),
+        ts,
+    )
+    .expect("create Patients");
+    for (pid, zip, disease) in [
+        ("q1", "120016", "cancer"),
+        ("q2", "120016", "flu"),
+        ("q3", "145568", "diabetes"),
+        ("q4", "188888", "cancer"),
+    ] {
+        db.insert(&patients, vec![pid.into(), zip.into(), disease.into()], ts)
+            .expect("insert Patients row");
+    }
+}
+
+/// A Hippocratic policy for the paper's hospital: doctors treat, nurses
+/// assist on their ward, billing clerks see employment, marketing sees
+/// nothing sensitive.
+pub fn paper_policy() -> PrivacyPolicy {
+    let mut p = PrivacyPolicy::new();
+    p.purposes.declare("healthcare");
+    p.purposes.declare_under("treatment", "healthcare");
+    p.purposes.declare_under("billing", "healthcare");
+    p.purposes.declare("marketing");
+    p.users.register("u-7", vec![Ident::new("doctor")]);
+    p.users.register("u-9", vec![Ident::new("doctor"), Ident::new("auditor")]);
+    p.users.register("u-13", vec![Ident::new("nurse")]);
+    p.users.register("u-21", vec![Ident::new("clerk")]);
+    p.allow("doctor", "healthcare", "P-Personal", ColumnScope::All);
+    p.allow("doctor", "healthcare", "P-Health", ColumnScope::All);
+    p.allow("nurse", "treatment", "P-Health", ColumnScope::only(["pid", "ward", "disease"]));
+    p.allow("clerk", "billing", "P-Employ", ColumnScope::All);
+    p.allow("clerk", "billing", "P-Personal", ColumnScope::only(["pid", "name", "address"]));
+    p
+}
+
+/// A small example query log over the paper's tables: a compliant doctor, a
+/// snooping nurse, and a marketing clerk.
+pub fn paper_query_log() -> QueryLog {
+    let log = QueryLog::new();
+    let t0 = paper_epoch().plus_seconds(3600);
+    log.record_text(
+        "SELECT name, disease FROM P-Personal, P-Health \
+         WHERE P-Personal.pid = P-Health.pid AND ward = 'W14'",
+        t0,
+        AccessContext::new("u-7", "doctor", "treatment"),
+    )
+    .expect("doctor query parses");
+    log.record_text(
+        "SELECT name, address FROM P-Personal WHERE zipcode = '145568'",
+        t0.plus_seconds(600),
+        AccessContext::new("u-13", "nurse", "treatment"),
+    )
+    .expect("nurse query parses");
+    log.record_text(
+        "SELECT disease FROM P-Health WHERE pid = 'p2'",
+        t0.plus_seconds(1200),
+        AccessContext::new("u-13", "nurse", "treatment"),
+    )
+    .expect("nurse query 2 parses");
+    log.record_text(
+        "SELECT name FROM P-Personal WHERE age > 30",
+        t0.plus_seconds(1800),
+        AccessContext::new("u-21", "clerk", "marketing"),
+    )
+    .expect("clerk query parses");
+    log
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use audex_sql::{parse_audit, parse_query};
+
+    #[test]
+    fn all_figures_parse() {
+        for text in [
+            FIG1_AGRAWAL,
+            FIG2_AUDIT_EXPRESSION_1,
+            FIG3_AUDIT_EXPRESSION_2,
+            FIG4_PERFECT_PRIVACY,
+            FIG5_WEAK_SYNTACTIC,
+            FIG6_SEMANTIC,
+            FIG7_FULL_GRAMMAR,
+            SEC31_DATA_INTERVAL,
+            SEC21_AUDIT_DISEASE,
+            SEC21_AUDIT_ZIPCODE,
+        ] {
+            parse_audit(text).unwrap_or_else(|e| panic!("{text}: {e}"));
+        }
+        parse_query(SEC21_QUERY).unwrap();
+    }
+
+    #[test]
+    fn dataset_has_paper_tids() {
+        let db = paper_database();
+        let t = db.table(&Ident::new("P-Personal")).unwrap();
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.get(Tid(12)).unwrap()[1], Value::Str("Reku".into()));
+        let h = db.table(&Ident::new("P-Health")).unwrap();
+        assert_eq!(h.get(Tid(24)).unwrap()[3], Value::Str("diabetic".into()));
+        let e = db.table(&Ident::new("P-Employ")).unwrap();
+        assert_eq!(e.get(Tid(32)).unwrap()[2], Value::Int(20000));
+    }
+
+    #[test]
+    fn policy_is_consistent() {
+        let p = paper_policy();
+        let denials = p.check_access(
+            &Ident::new("u-7"),
+            &Ident::new("doctor"),
+            &Ident::new("treatment"),
+            &[(Ident::new("P-Health"), Ident::new("disease"))],
+        );
+        assert!(denials.is_empty());
+        let denials = p.check_access(
+            &Ident::new("u-13"),
+            &Ident::new("nurse"),
+            &Ident::new("treatment"),
+            &[(Ident::new("P-Personal"), Ident::new("address"))],
+        );
+        assert!(!denials.is_empty(), "the nurse's address query violates policy");
+    }
+
+    #[test]
+    fn log_has_four_entries() {
+        assert_eq!(paper_query_log().len(), 4);
+    }
+}

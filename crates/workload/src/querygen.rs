@@ -1,0 +1,256 @@
+//! Seeded query-log generation with a planted suspicious fraction.
+//!
+//! Each generated query is labelled with ground truth (`planted`) so that
+//! benchmarks and soundness tests can compare what the auditor finds against
+//! what the generator hid. Planted queries touch the audit target zone
+//! (zone 0) and access the audited `disease` column; innocent queries roam
+//! other zones and columns with predicates chosen to be pruneable or not.
+
+use audex_log::{AccessContext, LoggedQuery, QueryId, QueryLog};
+use audex_sql::Timestamp;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+use crate::datagen::{zip_of_zone, HospitalConfig};
+
+/// Shape of the generated log.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryMixConfig {
+    /// Number of queries.
+    pub queries: usize,
+    /// Fraction (0..=1) of queries planted as suspicious w.r.t. the
+    /// standard audit (disease of zone-0 patients).
+    pub suspicious_rate: f64,
+    /// First execution timestamp; queries are spaced one second apart.
+    pub start: Timestamp,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for QueryMixConfig {
+    fn default() -> Self {
+        QueryMixConfig { queries: 200, suspicious_rate: 0.1, start: Timestamp(1_000), seed: 7 }
+    }
+}
+
+/// A generated query plus its ground-truth label.
+#[derive(Debug, Clone)]
+pub struct GeneratedQuery {
+    /// The SQL text.
+    pub sql: String,
+    /// Execution time.
+    pub at: Timestamp,
+    /// Annotations.
+    pub context: AccessContext,
+    /// True when the generator intended this query to be suspicious w.r.t.
+    /// [`standard_audit_text`].
+    pub planted: bool,
+}
+
+/// The audit expression the planted queries violate: disease information of
+/// zone-0 patients, audited over all time.
+pub fn standard_audit_text() -> String {
+    format!(
+        "DURING 1/1/1970 TO now() DATA-INTERVAL 1/1/1970 TO now() \
+         AUDIT disease FROM Patients, Health \
+         WHERE Patients.pid = Health.pid AND Patients.zipcode = '{}'",
+        zip_of_zone(0)
+    )
+}
+
+const ROLES: &[&str] = &["doctor", "nurse", "clerk", "researcher"];
+const PURPOSES: &[&str] = &["treatment", "billing", "research", "marketing"];
+
+/// Generates the query mix. Deterministic in the seed.
+pub fn generate_queries(hospital: &HospitalConfig, cfg: &QueryMixConfig) -> Vec<GeneratedQuery> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut out = Vec::with_capacity(cfg.queries);
+    for i in 0..cfg.queries {
+        let at = cfg.start.plus_seconds(i as i64);
+        let planted = rng.gen_bool(cfg.suspicious_rate.clamp(0.0, 1.0));
+        let context = AccessContext::new(
+            format!("u{}", rng.gen_range(0..50)),
+            ROLES[rng.gen_range(0..ROLES.len())],
+            PURPOSES[rng.gen_range(0..PURPOSES.len())],
+        );
+        let sql = if planted {
+            // Touches zone 0 and the disease column; three phrasings.
+            match rng.gen_range(0..3u8) {
+                0 => format!(
+                    "SELECT disease FROM Patients, Health \
+                     WHERE Patients.pid = Health.pid AND Patients.zipcode = '{}'",
+                    zip_of_zone(0)
+                ),
+                1 => format!(
+                    "SELECT name, disease FROM Patients, Health \
+                     WHERE Patients.pid = Health.pid AND Patients.zipcode = '{}' AND age > {}",
+                    zip_of_zone(0),
+                    rng.gen_range(18..40)
+                ),
+                // NOTE: a `disease = '<random>'` predicate here would make
+                // the planted label data-dependent (no zone-0 patient may
+                // have that disease — the paper's cancer/diabetes example),
+                // so the third phrasing reads the column in the projection
+                // behind a disjunction (which also exercises the candidate
+                // analyzer's conservative OR handling).
+                _ => format!(
+                    "SELECT zipcode, disease FROM Patients, Health \
+                     WHERE Patients.pid = Health.pid AND \
+                     (Patients.zipcode = '{}' OR Patients.zipcode = '{}')",
+                    zip_of_zone(0),
+                    zip_of_zone(1 + rng.gen_range(0..hospital.zip_zones.saturating_sub(1).max(1)))
+                ),
+            }
+        } else {
+            // Innocent: other zones, other columns, or prune-ably disjoint.
+            let other_zone = 1 + rng.gen_range(0..hospital.zip_zones.saturating_sub(1).max(1));
+            match rng.gen_range(0..4u8) {
+                0 => format!(
+                    "SELECT name, address FROM Patients WHERE zipcode = '{}'",
+                    zip_of_zone(other_zone)
+                ),
+                1 => format!(
+                    "SELECT salary FROM Employ WHERE salary > {}",
+                    rng.gen_range(10_000..40_000)
+                ),
+                2 => format!(
+                    "SELECT disease FROM Patients, Health \
+                     WHERE Patients.pid = Health.pid AND Patients.zipcode = '{}'",
+                    zip_of_zone(other_zone)
+                ),
+                _ => format!("SELECT age FROM Patients WHERE age BETWEEN {} AND {}", 20, 20 + rng.gen_range(1..40)),
+            }
+        };
+        out.push(GeneratedQuery { sql, at, context, planted });
+    }
+    out
+}
+
+/// The audit the batch attacks of [`generate_batch_attack`] reconstruct:
+/// `(name, disease)` of zone-0 patients, jointly mandatory.
+pub fn batch_audit_text() -> String {
+    format!(
+        "DURING 1/1/1970 TO now() DATA-INTERVAL 1/1/1970 TO now() \
+         AUDIT (name, disease) FROM Patients, Health \
+         WHERE Patients.pid = Health.pid AND Patients.zipcode = '{}'",
+        zip_of_zone(0)
+    )
+}
+
+/// Generates `pairs` two-query batch attacks against [`batch_audit_text`]:
+/// each pair's first query reads `name` of the target zone and the second
+/// reads `disease`, split across two users — so **neither query alone** is
+/// suspicious under the batch-semantic notion but each pair together is
+/// (the Motwani et al. Definition 4 scenario). Returns the queries in
+/// interleaved arrival order.
+pub fn generate_batch_attack(cfg: &QueryMixConfig, pairs: usize) -> Vec<GeneratedQuery> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xbead);
+    let mut out = Vec::with_capacity(pairs * 2);
+    for i in 0..pairs {
+        let at = cfg.start.plus_seconds(2 * i as i64);
+        let who = |n: usize| format!("u{}", n);
+        out.push(GeneratedQuery {
+            sql: format!(
+                "SELECT name FROM Patients, Health \
+                 WHERE Patients.pid = Health.pid AND Patients.zipcode = '{}' AND age > {}",
+                zip_of_zone(0),
+                rng.gen_range(18..25)
+            ),
+            at,
+            context: AccessContext::new(who(2 * i), "clerk", "billing"),
+            planted: true,
+        });
+        out.push(GeneratedQuery {
+            sql: format!(
+                "SELECT disease FROM Patients, Health \
+                 WHERE Patients.pid = Health.pid AND Patients.zipcode = '{}'",
+                zip_of_zone(0)
+            ),
+            at: at.plus_seconds(1),
+            context: AccessContext::new(who(2 * i + 1), "nurse", "treatment"),
+            planted: true,
+        });
+    }
+    out
+}
+
+/// Loads generated queries into a log, returning `(log, planted ids)`.
+pub fn load_log(queries: &[GeneratedQuery]) -> (QueryLog, Vec<QueryId>) {
+    let log = QueryLog::new();
+    let mut planted = Vec::new();
+    for g in queries {
+        let id = log
+            .record_text(&g.sql, g.at, g.context.clone())
+            .expect("generated SQL parses");
+        if g.planted {
+            planted.push(id);
+        }
+    }
+    (log, planted)
+}
+
+/// Convenience: snapshot a log as the batch slice the evaluator wants.
+pub fn batch_of(log: &QueryLog) -> Vec<Arc<LoggedQuery>> {
+    log.snapshot()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let h = HospitalConfig::default();
+        let c = QueryMixConfig { queries: 40, ..Default::default() };
+        let a = generate_queries(&h, &c);
+        let b = generate_queries(&h, &c);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.sql, y.sql);
+            assert_eq!(x.planted, y.planted);
+        }
+    }
+
+    #[test]
+    fn rate_zero_and_one() {
+        let h = HospitalConfig::default();
+        let none = generate_queries(&h, &QueryMixConfig { queries: 30, suspicious_rate: 0.0, ..Default::default() });
+        assert!(none.iter().all(|g| !g.planted));
+        let all = generate_queries(&h, &QueryMixConfig { queries: 30, suspicious_rate: 1.0, ..Default::default() });
+        assert!(all.iter().all(|g| g.planted));
+    }
+
+    #[test]
+    fn everything_parses_and_loads() {
+        let h = HospitalConfig::default();
+        let qs = generate_queries(&h, &QueryMixConfig { queries: 100, suspicious_rate: 0.3, ..Default::default() });
+        let (log, planted) = load_log(&qs);
+        assert_eq!(log.len(), 100);
+        assert_eq!(planted.len(), qs.iter().filter(|g| g.planted).count());
+    }
+
+    #[test]
+    fn standard_audit_parses() {
+        audex_sql::parse_audit(&standard_audit_text()).unwrap();
+    }
+
+    #[test]
+    fn batch_attack_parses() {
+        let qs = generate_batch_attack(&QueryMixConfig::default(), 5);
+        assert_eq!(qs.len(), 10);
+        let (log, planted) = load_log(&qs);
+        assert_eq!(log.len(), 10);
+        assert_eq!(planted.len(), 10);
+        audex_sql::parse_audit(&batch_audit_text()).unwrap();
+    }
+
+    #[test]
+    fn timestamps_are_increasing() {
+        let h = HospitalConfig::default();
+        let qs = generate_queries(&h, &QueryMixConfig { queries: 10, ..Default::default() });
+        for w in qs.windows(2) {
+            assert!(w[0].at < w[1].at);
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! The unified suspicion model expressing the prior notions (paper §3.2):
+//! the same query log audited under perfect privacy [17], weak syntactic
+//! suspicion [13], semantic / indispensable-tuple suspicion [12, 13],
+//! value-based access (INDISPENSABLE false), and a THRESHOLD variant —
+//! showing how detection strictness varies with the notion, and that each
+//! granule encoding agrees with a direct implementation of its original
+//! definition.
+//!
+//! Run with: `cargo run --example notion_comparison`
+
+use audex::core::notions::{
+    direct_perfect_privacy, direct_semantic_batch, direct_weak_syntactic, perfect_privacy,
+    semantic_indispensable, weak_syntactic,
+};
+use audex::core::AuditEngine;
+use audex::sql::ast::{AuditExpr, Threshold, TimeInterval, TsSpec};
+use audex::sql::parse_audit;
+use audex::workload::paper::{paper_database, paper_now};
+use audex::{AccessContext, QueryLog, Timestamp};
+
+fn all_time(mut expr: AuditExpr) -> AuditExpr {
+    let iv = TimeInterval { start: TsSpec::At(Timestamp(0)), end: TsSpec::Now };
+    expr.during = Some(iv);
+    expr.data_interval = Some(iv);
+    expr
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let db = paper_database();
+    let t0 = db.last_ts();
+
+    // Three batches of increasing aggressiveness, all aimed at the paper's
+    // protected view: (name, disease, address) of wealthy diabetics in
+    // zip 145568 (Fig. 3 / Fig. 6).
+    let batches: &[(&str, &[&str])] = &[
+        // Touches the protected tuples but none of the audited columns'
+        // values beyond the predicate columns.
+        ("benign-adjacent", &["SELECT salary FROM P-Employ WHERE salary > 10000"]),
+        // Accesses one audited column of a protected tuple.
+        ("partial", &["SELECT name FROM P-Personal WHERE zipcode = '145568'"]),
+        // Jointly reconstructs the full protected view.
+        (
+            "full reconstruction",
+            &[
+                "SELECT name, address FROM P-Personal WHERE zipcode = '145568'",
+                "SELECT disease FROM P-Personal, P-Health \
+                 WHERE P-Personal.pid = P-Health.pid AND zipcode = '145568'",
+            ],
+        ),
+    ];
+
+    let base = parse_audit(
+        "AUDIT name, disease, address FROM P-Personal, P-Health, P-Employ \
+         WHERE P-Personal.pid=P-Health.pid AND P-Health.pid=P-Employ.pid AND \
+               P-Personal.zipcode='145568' AND P-Employ.salary > 10000 AND \
+               P-Health.disease='diabetic'",
+    )?;
+
+    let notions: Vec<(&str, AuditExpr)> = vec![
+        ("perfect privacy [17]", all_time(perfect_privacy(base.clone()))),
+        ("weak syntactic [13]", all_time(weak_syntactic(base.clone())?)),
+        ("semantic (indispensable) [12,13]", all_time(semantic_indispensable(base.clone()))),
+        ("value-based (INDISPENSABLE false)", {
+            let mut e = all_time(semantic_indispensable(base.clone()));
+            e.indispensable = false;
+            e
+        }),
+        ("semantic with THRESHOLD 2", {
+            let mut e = all_time(semantic_indispensable(base.clone()));
+            e.threshold = Threshold::Count(2);
+            e
+        }),
+    ];
+
+    println!(
+        "{:<36} {:>18} {:>10} {:>22}",
+        "notion", "batch", "verdict", "granules (hit/total)"
+    );
+    println!("{}", "-".repeat(92));
+
+    for (batch_name, sqls) in batches {
+        let log = QueryLog::new();
+        for (i, sql) in sqls.iter().enumerate() {
+            log.record_text(sql, t0.plus_seconds(10 + i as i64), AccessContext::new("u", "r", "p"))?;
+        }
+        let engine = AuditEngine::new(&db, &log);
+        for (name, expr) in &notions {
+            let r = engine.audit_at(expr, paper_now())?;
+            println!(
+                "{:<36} {:>18} {:>10} {:>15}/{}",
+                name,
+                batch_name,
+                if r.verdict.suspicious { "SUSPICIOUS" } else { "clean" },
+                r.verdict.accessed_granules,
+                r.verdict.total_granules
+            );
+        }
+
+        // Cross-check the granule encodings against the direct definitions.
+        let batch = log.snapshot();
+        let base_all = all_time(base.clone());
+        let engine_pp = engine.audit_at(&notions[0].1, paper_now())?;
+        assert_eq!(
+            engine_pp.verdict.suspicious,
+            direct_perfect_privacy(&db, &batch, &base_all, paper_now())?,
+            "perfect-privacy encoding vs direct definition ({batch_name})"
+        );
+        let engine_ws = engine.audit_at(&notions[1].1, paper_now())?;
+        assert_eq!(
+            engine_ws.verdict.suspicious,
+            direct_weak_syntactic(&db, &batch, &base_all, paper_now())?,
+            "weak-syntactic encoding vs direct definition ({batch_name})"
+        );
+        let engine_sem = engine.audit_at(&notions[2].1, paper_now())?;
+        assert_eq!(
+            engine_sem.verdict.suspicious,
+            direct_semantic_batch(&db, &batch, &base_all, paper_now())?,
+            "semantic encoding vs direct definition ({batch_name})"
+        );
+        println!("{}", "-".repeat(92));
+    }
+
+    println!(
+        "\nEach row pair confirms the §3.2 claim: the granule model expresses every\n\
+         prior notion, and strictness orders as perfect privacy ≥ weak syntactic ≥ semantic."
+    );
+    Ok(())
+}

@@ -1,0 +1,75 @@
+//! Quickstart: build a tiny Hippocratic database, log a few queries, and
+//! audit them with one expression — the five-minute tour of the public API.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use audex::{AccessContext, AuditEngine, Database, QueryLog, Timestamp};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A versioned database: every mutation is timestamped and recorded
+    //    in backlog history, so audits can look at past states.
+    let mut db = Database::new();
+    let t = |s| Timestamp(s);
+    db.execute(
+        &audex::parse_statement(
+            "CREATE TABLE Patients (pid TEXT, name TEXT, zipcode TEXT, disease TEXT)",
+        )?,
+        t(0),
+    )?;
+    db.execute(
+        &audex::parse_statement(
+            "INSERT INTO Patients VALUES \
+             ('p1', 'Jane',   '120016', 'cancer'), \
+             ('p2', 'Reku',   '145568', 'diabetic'), \
+             ('p3', 'Lucy',   '120016', 'flu')",
+        )?,
+        t(10),
+    )?;
+
+    // 2. A query log with Hippocratic annotations: user, role, purpose.
+    let log = QueryLog::new();
+    log.record_text(
+        "SELECT zipcode FROM Patients WHERE disease = 'cancer'",
+        t(100),
+        AccessContext::new("u-4", "nurse", "treatment"),
+    )?;
+    log.record_text(
+        "SELECT name FROM Patients WHERE zipcode = '145568'",
+        t(200),
+        AccessContext::new("u-9", "clerk", "billing"),
+    )?;
+
+    // 3. An audit expression: who saw disease information of anyone living
+    //    in zip code 120016? (This is the paper's running example.)
+    let engine = AuditEngine::new(&db, &log);
+    let audit = audex::parse_audit(
+        "DURING 1/1/1970 TO now() \
+         AUDIT disease FROM Patients WHERE zipcode = '120016'",
+    )?;
+    let report = engine.audit_at(&audit, t(1_000))?;
+
+    // 4. The verdict.
+    println!("audit expression : {}", report.expr_text);
+    println!("log entries      : {} admitted, {} pruned statically", report.admitted.len(), report.pruned.len());
+    println!("target view |U|  : {} facts over {} data version(s)", report.target_size, report.versions.len());
+    println!(
+        "verdict          : {} ({}/{} granules accessed)",
+        if report.verdict.suspicious { "SUSPICIOUS" } else { "clean" },
+        report.verdict.accessed_granules,
+        report.verdict.total_granules
+    );
+    for id in report.suspicious_queries() {
+        let entry = log.get(*id).expect("logged");
+        println!(
+            "  -> {id}: {} [user={}, role={}, purpose={}]",
+            entry.text, entry.context.user.value, entry.context.role.value, entry.context.purpose.value
+        );
+    }
+
+    // The first query is flagged: Jane has cancer AND lives in 120016, so
+    // `WHERE disease='cancer'` made her tuple indispensable. The second
+    // query only touched the other zip code.
+    assert!(report.verdict.suspicious);
+    assert_eq!(report.suspicious_queries().len(), 1);
+    Ok(())
+}

@@ -1,0 +1,115 @@
+//! Data versions and the `DATA-INTERVAL` clause (paper §3.1, experiment E10).
+//!
+//! The paper's motivating version scenario (§2.1): "two identical queries
+//! issued at different times might have accessed different information",
+//! and the same audit expression over the *current* instance, a *specific
+//! past* instance, or *all versions in an interval* (equivalently, the
+//! backlog table `b-T` of [12]) yields different target views.
+//!
+//! Run with: `cargo run --example versioned_audit`
+
+use audex::core::AuditEngine;
+use audex::sql::ast::{TimeInterval, TsSpec};
+use audex::sql::parse_audit;
+use audex::{AccessContext, Database, QueryLog, Timestamp};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Timeline (seconds): a patient moves and is re-diagnosed over time.
+    //   t=0    create table
+    //   t=100  Asha lives in 120016 with flu
+    //   t=200  logged query Q1: diseases in 120016       (sees flu)
+    //   t=300  Asha re-diagnosed: cancer
+    //   t=400  logged query Q2: diseases in 120016       (sees cancer)
+    //   t=500  Asha moves to 145568
+    //   t=600  logged query Q3: diseases in 120016       (sees nothing)
+    let mut db = Database::new();
+    db.execute(
+        &audex::parse_statement("CREATE TABLE Patients (pid TEXT, zipcode TEXT, disease TEXT)")?,
+        Timestamp(0),
+    )?;
+    db.execute(
+        &audex::parse_statement("INSERT INTO Patients VALUES ('asha', '120016', 'flu')")?,
+        Timestamp(100),
+    )?;
+    db.execute(
+        &audex::parse_statement("UPDATE Patients SET disease = 'cancer' WHERE pid = 'asha'")?,
+        Timestamp(300),
+    )?;
+    db.execute(
+        &audex::parse_statement("UPDATE Patients SET zipcode = '145568' WHERE pid = 'asha'")?,
+        Timestamp(500),
+    )?;
+
+    let log = QueryLog::new();
+    let same_query = "SELECT disease FROM Patients WHERE zipcode = '120016'";
+    for t in [200i64, 400, 600] {
+        log.record_text(same_query, Timestamp(t), AccessContext::new("u-1", "nurse", "treatment"))?;
+    }
+    println!("three identical logged queries at t=200, 400, 600:\n  {same_query}\n");
+
+    let engine = AuditEngine::new(&db, &log);
+    let now = Timestamp(1_000);
+
+    // One audit body; three DATA-INTERVAL choices.
+    let base = "DURING 1/1/1970 TO now() AUDIT disease FROM Patients WHERE zipcode = '120016'";
+    let scenarios: &[(&str, TsSpec, TsSpec)] = &[
+        // A specific past version: start == end (paper §3.1 rule).
+        ("specific version t=200", TsSpec::At(Timestamp(200)), TsSpec::At(Timestamp(200))),
+        // The current instance: now() to now().
+        ("current version", TsSpec::Now, TsSpec::Now),
+        // All versions in the interval — the b-table interpretation of [12].
+        ("all versions 0..now", TsSpec::At(Timestamp(0)), TsSpec::Now),
+    ];
+
+    for (label, start, end) in scenarios {
+        let mut expr = parse_audit(base)?;
+        expr.data_interval = Some(TimeInterval { start: *start, end: *end });
+        let r = engine.audit_at(&expr, now)?;
+        println!(
+            "DATA-INTERVAL {label:<24} |U| = {} over {} version(s); suspicious queries: {:?}",
+            r.target_size,
+            r.versions.len(),
+            r.suspicious_queries()
+        );
+    }
+
+    // With the full interval all three queries are implicated: each of them
+    // had Asha's tuple indispensable at *its own* execution time for some
+    // version of her record in U — except Q3, which ran after she moved.
+    let mut expr = parse_audit(base)?;
+    expr.data_interval =
+        Some(TimeInterval { start: TsSpec::At(Timestamp(0)), end: TsSpec::Now });
+    let r = engine.audit_at(&expr, now)?;
+    assert_eq!(r.suspicious_queries().len(), 2, "Q1 and Q2 touched her record; Q3 ran too late");
+
+    // A specific early version only implicates the query that saw it.
+    let mut expr = parse_audit(base)?;
+    expr.data_interval =
+        Some(TimeInterval { start: TsSpec::At(Timestamp(200)), end: TsSpec::At(Timestamp(200)) });
+    let r = engine.audit_at(&expr, now)?;
+    assert_eq!(r.suspicious_queries().len(), 2, "the flu-era tuple was also touched by Q2's run");
+
+    // The current instance has nobody in 120016 — nothing to disclose.
+    let mut expr = parse_audit(base)?;
+    expr.data_interval = Some(TimeInterval { start: TsSpec::Now, end: TsSpec::Now });
+    let r = engine.audit_at(&expr, now)?;
+    assert!(!r.verdict.suspicious);
+    assert_eq!(r.target_size, 0);
+
+    // The explicit backlog form of [12]: audit over b-Patients sees every
+    // version that ever existed, regardless of DATA-INTERVAL.
+    let mut expr = parse_audit(
+        "DURING 1/1/1970 TO now() AUDIT disease FROM b-Patients WHERE zipcode = '120016'",
+    )?;
+    expr.data_interval = Some(TimeInterval { start: TsSpec::Now, end: TsSpec::Now });
+    let r = engine.audit_at(&expr, now)?;
+    println!(
+        "\nbacklog audit over b-Patients: |U| = {} (every historical version of the zone's records)",
+        r.target_size
+    );
+    assert_eq!(r.target_size, 2, "flu-era and cancer-era images of Asha's tuple");
+    assert_eq!(r.suspicious_queries().len(), 2);
+
+    println!("\nversion semantics behave as specified in §3.1.");
+    Ok(())
+}

@@ -1,0 +1,192 @@
+//! The `audex` command-line auditor.
+//!
+//! ```text
+//! audex audit --db db.sql --log log.txt --expr "AUDIT disease FROM Patients WHERE zipcode='120016'"
+//! audex audit --db db.sql --log log.txt --expr-file audit.txt --now 1/4/2008 --csv
+//! audex paper        # regenerate the paper's granule sets
+//! audex demo         # synthetic hospital + planted snooping, end to end
+//! audex help
+//! ```
+//!
+//! File formats are documented in [`audex::session`].
+
+use audex::core::{AuditEngine, AuditMode, EngineOptions};
+use audex::session::{load_database_script, load_log_script};
+use audex::Timestamp;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("audit") => cmd_audit(&args[1..]),
+        Some("paper") => cmd_paper(),
+        Some("demo") => cmd_demo(),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print!("{}", USAGE);
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command {other:?}; see `audex help`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+audex — audit SQL query logs for privacy violations
+       (Goyal, Gupta & Gupta, ICDE 2008, implemented in Rust)
+
+USAGE:
+  audex audit --db <FILE> --log <FILE> (--expr <TEXT> | --expr-file <FILE>)
+              [--now <TIMESTAMP>] [--csv] [--per-query] [--no-static-filter]
+              [--granules <LIMIT>]
+  audex paper     regenerate the paper's worked artifacts (Figs. 4-6)
+  audex demo      synthetic hospital with planted snooping, audited end to end
+  audex help      this text
+
+FILES:
+  --db    a timestamped SQL script ('@<ts>' lines set the clock)
+  --log   a query log ('@<ts> user=<id> role=<id> purpose=<id>' headers)
+  See the audex::session module docs for the exact formats.
+
+OPTIONS:
+  --now          reference time for now() and clause defaults
+                 (default: latest database change)
+  --csv          emit contributing queries as CSV instead of text
+  --per-query    also evaluate each query in isolation (Definition 3)
+  --no-static-filter   skip the static candidate analysis
+  --granules N   also print the granule set G when it has at most N granules
+";
+
+fn take_value(args: &[String], i: &mut usize, flag: &str) -> Result<String, String> {
+    *i += 1;
+    args.get(*i).cloned().ok_or_else(|| format!("{flag} requires a value"))
+}
+
+fn cmd_audit(args: &[String]) -> Result<(), String> {
+    let mut db_path = None;
+    let mut log_path = None;
+    let mut expr_text: Option<String> = None;
+    let mut now: Option<Timestamp> = None;
+    let mut csv = false;
+    let mut per_query = false;
+    let mut static_filter = true;
+    let mut granules: Option<u64> = None;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--db" => db_path = Some(take_value(args, &mut i, "--db")?),
+            "--log" => log_path = Some(take_value(args, &mut i, "--log")?),
+            "--expr" => expr_text = Some(take_value(args, &mut i, "--expr")?),
+            "--expr-file" => {
+                let path = take_value(args, &mut i, "--expr-file")?;
+                expr_text =
+                    Some(std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?);
+            }
+            "--now" => {
+                let text = take_value(args, &mut i, "--now")?;
+                now = Some(
+                    Timestamp::parse(&text).ok_or_else(|| format!("invalid --now timestamp {text:?}"))?,
+                );
+            }
+            "--csv" => csv = true,
+            "--per-query" => per_query = true,
+            "--no-static-filter" => static_filter = false,
+            "--granules" => {
+                let text = take_value(args, &mut i, "--granules")?;
+                granules = Some(text.parse().map_err(|_| format!("invalid --granules limit {text:?}"))?);
+            }
+            other => return Err(format!("unknown option {other:?}")),
+        }
+        i += 1;
+    }
+
+    let db_path = db_path.ok_or("--db is required")?;
+    let log_path = log_path.ok_or("--log is required")?;
+    let expr_text = expr_text.ok_or("--expr or --expr-file is required")?;
+
+    let db_text = std::fs::read_to_string(&db_path).map_err(|e| format!("{db_path}: {e}"))?;
+    let log_text = std::fs::read_to_string(&log_path).map_err(|e| format!("{log_path}: {e}"))?;
+    let db = load_database_script(&db_text).map_err(|e| format!("{db_path}: {e}"))?;
+    let log = load_log_script(&log_text).map_err(|e| format!("{log_path}: {e}"))?;
+    let expr = audex::parse_audit(&expr_text).map_err(|e| format!("audit expression: {e}"))?;
+    let now = now.unwrap_or_else(|| db.last_ts());
+
+    let engine = AuditEngine::with_options(
+        &db,
+        &log,
+        EngineOptions {
+            static_filter,
+            mode: if per_query { AuditMode::PerQuery } else { AuditMode::Batch },
+            ..Default::default()
+        },
+    );
+    let prepared = engine.prepare(&expr, now).map_err(|e| e.to_string())?;
+    let report = engine.run(&prepared).map_err(|e| e.to_string())?;
+
+    if csv {
+        print!("{}", report.render_csv(&log));
+    } else {
+        print!("{}", report.render_text(&log));
+        if let Some(limit) = granules {
+            match prepared.render_granules(limit) {
+                Ok(g) => println!("granule set G = {g}"),
+                Err(e) => println!("granule set not printed: {e}"),
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_paper() -> Result<(), String> {
+    use audex::workload::paper::*;
+    let db = paper_database();
+    let log = audex::QueryLog::new();
+    let engine = AuditEngine::new(&db, &log);
+    for (name, text) in [
+        ("Fig. 4 (perfect privacy)", FIG4_PERFECT_PRIVACY),
+        ("Fig. 5 (weak syntactic)", FIG5_WEAK_SYNTACTIC),
+        ("Fig. 6 (semantic)", FIG6_SEMANTIC),
+    ] {
+        let mut expr = audex::parse_audit(text).map_err(|e| e.to_string())?;
+        expr.data_interval = Some(audex::sql::ast::TimeInterval {
+            start: audex::sql::ast::TsSpec::At(paper_epoch()),
+            end: audex::sql::ast::TsSpec::At(paper_now()),
+        });
+        let prepared = engine.prepare(&expr, paper_now()).map_err(|e| e.to_string())?;
+        println!("{name}:");
+        println!("  G = {}", prepared.render_granules(10_000).map_err(|e| e.to_string())?);
+    }
+    println!("(run `cargo run --example paper_artifacts` for the full table/figure set)");
+    Ok(())
+}
+
+fn cmd_demo() -> Result<(), String> {
+    use audex::workload::*;
+    let hospital = HospitalConfig { patients: 300, zip_zones: 10, diseases: 8, seed: 1 };
+    let db = generate_hospital(&hospital, Timestamp(0));
+    let mix = QueryMixConfig { queries: 200, suspicious_rate: 0.06, start: Timestamp(1_000), seed: 2 };
+    let (log, planted) = load_log(&generate_queries(&hospital, &mix));
+    println!(
+        "demo: {} patients, {} logged queries, {} planted violations",
+        hospital.patients,
+        log.len(),
+        planted.len()
+    );
+    let engine = AuditEngine::new(&db, &log);
+    let mut expr = audex::parse_audit(&standard_audit_text()).map_err(|e| e.to_string())?;
+    let iv = audex::sql::ast::TimeInterval {
+        start: audex::sql::ast::TsSpec::At(Timestamp(0)),
+        end: audex::sql::ast::TsSpec::Now,
+    };
+    expr.during = Some(iv);
+    expr.data_interval = Some(iv);
+    let report = engine.audit_at(&expr, Timestamp(1_000_000)).map_err(|e| e.to_string())?;
+    print!("{}", report.render_text(&log));
+    Ok(())
+}

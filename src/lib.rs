@@ -1,0 +1,35 @@
+//! `audex` — a from-scratch Rust implementation of *A Unified Audit
+//! Expression Model for Auditing SQL Queries* (Goyal, Gupta & Gupta,
+//! ICDE 2008) together with the full Hippocratic-database substrate the
+//! paper assumes.
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`sql`] | SQL + audit-expression lexer/parser/printer |
+//! | [`storage`] | versioned in-memory relational engine with backlog time travel and lineage-tracking SPJ executor |
+//! | [`log`] | annotated query log and limiting-parameter filters |
+//! | [`policy`] | purposes, roles, column-level authorizations |
+//! | [`core`] | the paper: target views, granule model, suspicion notions, audit engine, online ranking |
+//! | [`workload`] | the paper's running example + seeded generators |
+//!
+//! See `examples/quickstart.rs` for a five-minute tour and
+//! `examples/paper_artifacts.rs` for a regeneration of every table and
+//! figure in the paper.
+
+#![forbid(unsafe_code)]
+
+pub use audex_core as core;
+pub use audex_log as log;
+pub use audex_policy as policy;
+pub use audex_sql as sql;
+pub use audex_storage as storage;
+pub use audex_workload as workload;
+
+pub mod session;
+
+pub use audex_core::{AuditEngine, AuditError, AuditReport, BatchVerdict, OnlineAuditor};
+pub use audex_log::{AccessContext, QueryLog};
+pub use audex_sql::{parse_audit, parse_query, parse_script, parse_statement, Timestamp};
+pub use audex_storage::{Database, Value};

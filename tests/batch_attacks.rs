@@ -1,0 +1,128 @@
+//! The Definition-4 scenario end to end: attacks split across queries (and
+//! users) that only the *batch* notion catches, plus LIMIT/value-mode
+//! interactions.
+
+use audex::core::{AuditEngine, AuditMode, EngineOptions};
+use audex::sql::parse_audit;
+use audex::workload::{
+    generate_batch_attack, generate_hospital, load_log, querygen::batch_audit_text, HospitalConfig,
+    QueryMixConfig,
+};
+use audex::{AccessContext, QueryLog, Timestamp};
+
+fn world() -> (audex::Database, QueryLog) {
+    let hospital = HospitalConfig { patients: 200, zip_zones: 8, diseases: 6, seed: 55 };
+    let db = generate_hospital(&hospital, Timestamp(0));
+    let cfg = QueryMixConfig { queries: 0, suspicious_rate: 0.0, start: Timestamp(1_000), seed: 56 };
+    let (log, _) = load_log(&generate_batch_attack(&cfg, 4));
+    (db, log)
+}
+
+#[test]
+fn batch_catches_what_singles_miss() {
+    let (db, log) = world();
+    let engine = AuditEngine::with_options(
+        &db,
+        &log,
+        EngineOptions { mode: AuditMode::PerQuery, ..Default::default() },
+    );
+    let expr = parse_audit(&batch_audit_text()).unwrap();
+    let r = engine.audit_at(&expr, Timestamp(1_000_000)).unwrap();
+
+    // No single query covers both mandatory columns…
+    assert!(r.per_query_suspicious.is_empty(), "{:?}", r.per_query_suspicious);
+    // …but the batch reconstructs the protected view.
+    assert!(r.verdict.suspicious);
+    assert_eq!(r.verdict.contributing.len(), 8, "all eight attack queries contribute");
+}
+
+#[test]
+fn one_half_of_a_pair_is_innocent() {
+    let (db, _) = world();
+    let log = QueryLog::new();
+    let cfg = QueryMixConfig { queries: 0, suspicious_rate: 0.0, start: Timestamp(1_000), seed: 56 };
+    let attack = generate_batch_attack(&cfg, 1);
+    // Log only the name-reading half.
+    log.record_text(&attack[0].sql, attack[0].at, attack[0].context.clone()).unwrap();
+    let engine = AuditEngine::new(&db, &log);
+    let expr = parse_audit(&batch_audit_text()).unwrap();
+    let r = engine.audit_at(&expr, Timestamp(1_000_000)).unwrap();
+    assert!(!r.verdict.suspicious);
+}
+
+#[test]
+fn limit_zero_still_counts_for_indispensability_but_not_values() {
+    // A LIMIT 0 query returns nothing, yet its predicate still *evaluated*
+    // over the protected tuples (indispensable-tuple semantics flags it,
+    // conservatively); under value-based auditing nothing was disclosed.
+    let mut db = audex::Database::new();
+    db.execute(
+        &audex::parse_statement("CREATE TABLE Patients (pid TEXT, zipcode TEXT, disease TEXT)").unwrap(),
+        Timestamp(0),
+    )
+    .unwrap();
+    db.execute(
+        &audex::parse_statement("INSERT INTO Patients VALUES ('p1', '120016', 'cancer')").unwrap(),
+        Timestamp(1),
+    )
+    .unwrap();
+    let log = QueryLog::new();
+    log.record_text(
+        "SELECT disease FROM Patients WHERE zipcode = '120016' LIMIT 0",
+        Timestamp(10),
+        AccessContext::new("u", "r", "p"),
+    )
+    .unwrap();
+    let engine = AuditEngine::new(&db, &log);
+
+    let indispensable = parse_audit(
+        "DURING 1/1/1970 TO now() AUDIT disease FROM Patients WHERE zipcode='120016'",
+    )
+    .unwrap();
+    let r = engine.audit_at(&indispensable, Timestamp(1_000)).unwrap();
+    assert!(r.verdict.suspicious, "predicate-level access is still access");
+
+    let value_mode = parse_audit(
+        "INDISPENSABLE false DURING 1/1/1970 TO now() \
+         AUDIT disease FROM Patients WHERE zipcode='120016'",
+    )
+    .unwrap();
+    let r = engine.audit_at(&value_mode, Timestamp(1_000)).unwrap();
+    assert!(!r.verdict.suspicious, "nothing was returned, so no value leaked");
+}
+
+#[test]
+fn ordered_limited_disclosure_is_caught_in_value_mode() {
+    // ORDER BY ... LIMIT 1 returns exactly one protected value — value-mode
+    // auditing counts the granule for the returned row only.
+    let mut db = audex::Database::new();
+    db.execute(
+        &audex::parse_statement("CREATE TABLE Patients (pid TEXT, zipcode TEXT, disease TEXT)").unwrap(),
+        Timestamp(0),
+    )
+    .unwrap();
+    db.execute(
+        &audex::parse_statement(
+            "INSERT INTO Patients VALUES ('p1', '120016', 'anemia'), ('p2', '120016', 'zoster')",
+        )
+        .unwrap(),
+        Timestamp(1),
+    )
+    .unwrap();
+    let log = QueryLog::new();
+    log.record_text(
+        "SELECT disease FROM Patients WHERE zipcode = '120016' ORDER BY disease LIMIT 1",
+        Timestamp(10),
+        AccessContext::new("u", "r", "p"),
+    )
+    .unwrap();
+    let engine = AuditEngine::new(&db, &log);
+    let value_mode = parse_audit(
+        "INDISPENSABLE false DURING 1/1/1970 TO now() \
+         AUDIT disease FROM Patients WHERE zipcode='120016'",
+    )
+    .unwrap();
+    let r = engine.audit_at(&value_mode, Timestamp(1_000)).unwrap();
+    assert!(r.verdict.suspicious);
+    assert_eq!(r.verdict.accessed_granules, 1, "only 'anemia' was disclosed");
+}

@@ -1,0 +1,195 @@
+//! Full-pipeline integration: synthetic hospitals at scale, planted ground
+//! truth, limiting parameters, policy interplay, and engine invariants.
+
+use audex::core::{AuditEngine, AuditMode, EngineOptions};
+use audex::sql::ast::{AuditExpr, RolePurposePattern, TimeInterval, TsSpec};
+use audex::sql::{parse_audit, Ident};
+use audex::storage::JoinStrategy;
+use audex::workload::{
+    generate_hospital, generate_queries, load_log, standard_audit_text, HospitalConfig,
+    QueryMixConfig,
+};
+use audex::{QueryLog, Timestamp};
+use std::collections::BTreeSet;
+
+fn all_time(mut e: AuditExpr) -> AuditExpr {
+    let iv = TimeInterval { start: TsSpec::At(Timestamp(0)), end: TsSpec::Now };
+    e.during = Some(iv);
+    e.data_interval = Some(iv);
+    e
+}
+
+struct World {
+    db: audex::Database,
+    log: QueryLog,
+    planted: Vec<audex::log::QueryId>,
+    now: Timestamp,
+}
+
+fn world(seed: u64, queries: usize, rate: f64) -> World {
+    let hospital = HospitalConfig { patients: 300, zip_zones: 15, diseases: 10, seed };
+    let db = generate_hospital(&hospital, Timestamp(0));
+    let mix = QueryMixConfig { queries, suspicious_rate: rate, start: Timestamp(1_000), seed: seed * 31 };
+    let (log, planted) = load_log(&generate_queries(&hospital, &mix));
+    World { db, log, planted, now: Timestamp(1_000_000) }
+}
+
+#[test]
+fn perfect_recall_on_planted_violations() {
+    // Every planted violation must be flagged (the audit is exactly the
+    // notion the generator violates); zero planted → clean verdict.
+    for seed in [100u64, 200, 300] {
+        let w = world(seed, 300, 0.08);
+        let audit = all_time(parse_audit(&standard_audit_text()).unwrap());
+        let engine = AuditEngine::new(&w.db, &w.log);
+        let r = engine.audit_at(&audit, w.now).unwrap();
+        let flagged: BTreeSet<_> = r.verdict.contributing.iter().copied().collect();
+        for id in &w.planted {
+            assert!(flagged.contains(id), "planted {id} missed (seed {seed})");
+        }
+    }
+}
+
+#[test]
+fn zero_rate_log_is_clean() {
+    let w = world(42, 200, 0.0);
+    let audit = all_time(parse_audit(&standard_audit_text()).unwrap());
+    let engine = AuditEngine::new(&w.db, &w.log);
+    let r = engine.audit_at(&audit, w.now).unwrap();
+    // Innocent queries may incidentally touch zone 0 via LIKE-free broad
+    // predicates (age BETWEEN), but they never access zone-0 disease data
+    // *with* consistent predicates in this mix except the 'other zone'
+    // disease queries, which are zone-disjoint. Precision here is exact:
+    assert!(!r.verdict.suspicious, "flagged: {:?}", r.verdict.contributing);
+}
+
+#[test]
+fn limiting_parameters_shrink_scope_monotonically() {
+    let w = world(7, 250, 0.1);
+    let base = all_time(parse_audit(&standard_audit_text()).unwrap());
+    let engine = AuditEngine::new(&w.db, &w.log);
+    let full = engine.audit_at(&base, w.now).unwrap();
+
+    // Excluding a role can only shrink the admitted and contributing sets.
+    let mut neg = base.clone();
+    neg.neg_role_purpose = vec![RolePurposePattern { role: Some(Ident::new("nurse")), purpose: None }];
+    let filtered = engine.audit_at(&neg, w.now).unwrap();
+    assert!(filtered.admitted.len() <= full.admitted.len());
+    let full_set: BTreeSet<_> = full.verdict.contributing.iter().collect();
+    for id in &filtered.verdict.contributing {
+        assert!(full_set.contains(id));
+    }
+
+    // Positive user list restricted to one user admits only that user.
+    let mut pos = base.clone();
+    pos.pos_users = vec![Ident::new("u1")];
+    let restricted = engine.audit_at(&pos, w.now).unwrap();
+    for id in &restricted.admitted {
+        assert_eq!(w.log.get(*id).unwrap().context.user, Ident::new("u1"));
+    }
+}
+
+#[test]
+fn join_strategy_never_changes_reports() {
+    let w = world(13, 150, 0.1);
+    let audit = all_time(parse_audit(&standard_audit_text()).unwrap());
+    let hash = AuditEngine::with_options(
+        &w.db,
+        &w.log,
+        EngineOptions { strategy: JoinStrategy::Auto, ..Default::default() },
+    )
+    .audit_at(&audit, w.now)
+    .unwrap();
+    let nested = AuditEngine::with_options(
+        &w.db,
+        &w.log,
+        EngineOptions { strategy: JoinStrategy::NestedLoop, ..Default::default() },
+    )
+    .audit_at(&audit, w.now)
+    .unwrap();
+    assert_eq!(hash.verdict.suspicious, nested.verdict.suspicious);
+    assert_eq!(hash.verdict.accessed_granules, nested.verdict.accessed_granules);
+    assert_eq!(hash.verdict.contributing, nested.verdict.contributing);
+    assert_eq!(hash.target_size, nested.target_size);
+}
+
+#[test]
+fn per_query_flags_subset_of_batch_contributors() {
+    let w = world(17, 200, 0.1);
+    let audit = all_time(parse_audit(&standard_audit_text()).unwrap());
+    let engine = AuditEngine::with_options(
+        &w.db,
+        &w.log,
+        EngineOptions { mode: AuditMode::PerQuery, ..Default::default() },
+    );
+    let r = engine.audit_at(&audit, w.now).unwrap();
+    let contributors: BTreeSet<_> = r.verdict.contributing.iter().collect();
+    for id in &r.per_query_suspicious {
+        assert!(
+            contributors.contains(id),
+            "individually suspicious {id} must also contribute to the batch"
+        );
+    }
+}
+
+#[test]
+fn report_partitions_admitted_entries() {
+    let w = world(23, 180, 0.1);
+    let audit = all_time(parse_audit(&standard_audit_text()).unwrap());
+    let engine = AuditEngine::new(&w.db, &w.log);
+    let r = engine.audit_at(&audit, w.now).unwrap();
+    // candidates ∪ pruned == admitted, disjointly.
+    let mut together: Vec<_> = r.candidates.iter().chain(&r.pruned).copied().collect();
+    together.sort();
+    let mut admitted = r.admitted.clone();
+    admitted.sort();
+    assert_eq!(together, admitted);
+    // contributing ⊆ candidates.
+    let cand: BTreeSet<_> = r.candidates.iter().collect();
+    for id in &r.verdict.contributing {
+        assert!(cand.contains(id));
+    }
+    // degree consistent with counts.
+    if r.verdict.total_granules > 0 {
+        let expect = r.verdict.accessed_granules as f64 / r.verdict.total_granules as f64;
+        assert!((r.verdict.degree - expect).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn audits_over_different_zones_are_independent() {
+    // An audit over a zone nobody attacked stays clean even with a dirty log.
+    let w = world(29, 200, 0.15);
+    let text = "DURING 1/1/1970 TO now() DATA-INTERVAL 1/1/1970 TO now() \
+                AUDIT disease FROM Patients, Health \
+                WHERE Patients.pid = Health.pid AND Patients.zipcode = '100013'";
+    let engine = AuditEngine::new(&w.db, &w.log);
+    let r = engine.audit_at(&parse_audit(text).unwrap(), w.now).unwrap();
+    // Queries that *only* constrain zone 0 (the pure planted attackers,
+    // without the disjunctive phrasing) contradict zone 13 and can never be
+    // tied to this audit. Broader queries (age ranges, zone-13 traffic,
+    // zone-0-OR-other disjunctions) may legitimately witness zone-13 tuples
+    // under batch semantics.
+    for id in &r.verdict.contributing {
+        let text = w.log.get(*id).unwrap().text.clone();
+        let pure_zone0 = text.contains("'100000'") && !text.contains(" OR ");
+        assert!(!pure_zone0, "pure zone-0 attacker {id} wrongly tied to zone 13: {text}");
+    }
+}
+
+#[test]
+fn engine_handles_mixed_log_with_unknown_tables() {
+    // Queries over tables this database does not have are pruned, not fatal.
+    let w = world(31, 50, 0.1);
+    w.log
+        .record_text(
+            "SELECT x FROM NotATable WHERE x = 1",
+            Timestamp(5_000),
+            audex::AccessContext::new("u", "r", "p"),
+        )
+        .unwrap();
+    let audit = all_time(parse_audit(&standard_audit_text()).unwrap());
+    let engine = AuditEngine::new(&w.db, &w.log);
+    let r = engine.audit_at(&audit, w.now).unwrap();
+    assert!(r.pruned.contains(&audex::log::QueryId(51)));
+}

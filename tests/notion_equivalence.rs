@@ -1,0 +1,164 @@
+//! The paper's §3.2 expressibility claim, verified at scale: for generated
+//! workloads, the granule-model encodings of the prior suspicion notions
+//! agree with direct implementations of their original definitions, and the
+//! strictness hierarchy (perfect ≥ weak ≥ semantic) holds.
+
+use audex::core::notions::{
+    direct_perfect_privacy, direct_semantic_batch, direct_semantic_single, direct_weak_syntactic,
+    perfect_privacy, semantic_indispensable, weak_syntactic,
+};
+use audex::core::{AuditEngine, EngineOptions};
+use audex::sql::ast::{AuditExpr, TimeInterval, TsSpec};
+use audex::sql::parse_audit;
+use audex::workload::datagen::zip_of_zone;
+use audex::workload::{generate_hospital, generate_queries, load_log, HospitalConfig, QueryMixConfig};
+use audex::{QueryLog, Timestamp};
+
+fn all_time(mut e: AuditExpr) -> AuditExpr {
+    let iv = TimeInterval { start: TsSpec::At(Timestamp(0)), end: TsSpec::Now };
+    e.during = Some(iv);
+    e.data_interval = Some(iv);
+    e
+}
+
+struct World {
+    db: audex::Database,
+    log: QueryLog,
+    now: Timestamp,
+}
+
+fn world(seed: u64, queries: usize, rate: f64) -> World {
+    let hospital = HospitalConfig { patients: 60, zip_zones: 4, diseases: 4, seed };
+    let db = generate_hospital(&hospital, Timestamp(0));
+    let mix = QueryMixConfig { queries, suspicious_rate: rate, start: Timestamp(1_000), seed: seed + 1 };
+    let (log, _) = load_log(&generate_queries(&hospital, &mix));
+    World { db, log, now: Timestamp(100_000) }
+}
+
+fn audits() -> Vec<AuditExpr> {
+    let texts = [
+        format!(
+            "AUDIT disease FROM Patients, Health \
+             WHERE Patients.pid = Health.pid AND Patients.zipcode = '{}'",
+            zip_of_zone(0)
+        ),
+        format!(
+            "AUDIT name, disease FROM Patients, Health \
+             WHERE Patients.pid = Health.pid AND Patients.zipcode = '{}' AND age < 50",
+            zip_of_zone(1)
+        ),
+        "AUDIT zipcode FROM Patients WHERE age > 60".to_string(),
+        format!(
+            "AUDIT salary FROM Patients, Employ \
+             WHERE Patients.pid = Employ.pid AND zipcode = '{}'",
+            zip_of_zone(2)
+        ),
+    ];
+    texts.iter().map(|t| all_time(parse_audit(t).unwrap())).collect()
+}
+
+#[test]
+fn granule_encodings_agree_with_direct_definitions() {
+    for seed in [1u64, 2, 3] {
+        let w = world(seed, 60, 0.15);
+        let engine = AuditEngine::new(&w.db, &w.log);
+        let batch = w.log.snapshot();
+        for base in audits() {
+            let enc_pp = engine.audit_at(&perfect_privacy(base.clone()), w.now).unwrap();
+            let dir_pp = direct_perfect_privacy(&w.db, &batch, &base, w.now).unwrap();
+            assert_eq!(enc_pp.verdict.suspicious, dir_pp, "perfect privacy, seed {seed}, audit {base}");
+
+            let enc_ws = engine.audit_at(&weak_syntactic(base.clone()).unwrap(), w.now).unwrap();
+            let dir_ws = direct_weak_syntactic(&w.db, &batch, &base, w.now).unwrap();
+            assert_eq!(enc_ws.verdict.suspicious, dir_ws, "weak syntactic, seed {seed}, audit {base}");
+
+            let enc_sem = engine.audit_at(&semantic_indispensable(base.clone()), w.now).unwrap();
+            let dir_sem = direct_semantic_batch(&w.db, &batch, &base, w.now).unwrap();
+            assert_eq!(enc_sem.verdict.suspicious, dir_sem, "semantic, seed {seed}, audit {base}");
+        }
+    }
+}
+
+#[test]
+fn strictness_hierarchy_holds() {
+    // semantic suspicious ⇒ weak syntactic suspicious ⇒ perfect privacy
+    // suspicious, on every generated workload and audit.
+    for seed in [4u64, 5, 6, 7] {
+        let w = world(seed, 50, 0.2);
+        let engine = AuditEngine::new(&w.db, &w.log);
+        for base in audits() {
+            let sem = engine.audit_at(&semantic_indispensable(base.clone()), w.now).unwrap();
+            let weak = engine.audit_at(&weak_syntactic(base.clone()).unwrap(), w.now).unwrap();
+            let pp = engine.audit_at(&perfect_privacy(base.clone()), w.now).unwrap();
+            if sem.verdict.suspicious {
+                assert!(weak.verdict.suspicious, "semantic ⊆ weak, seed {seed}, audit {base}");
+            }
+            if weak.verdict.suspicious {
+                assert!(pp.verdict.suspicious, "weak ⊆ perfect, seed {seed}, audit {base}");
+            }
+        }
+    }
+}
+
+#[test]
+fn per_query_mode_matches_definition_3() {
+    // Engine per-query verdicts == direct Definition 3 per query.
+    for seed in [8u64, 9] {
+        let w = world(seed, 40, 0.25);
+        let engine = AuditEngine::with_options(
+            &w.db,
+            &w.log,
+            EngineOptions { mode: audex::core::AuditMode::PerQuery, ..Default::default() },
+        );
+        for base in audits() {
+            let expr = semantic_indispensable(base.clone());
+            let report = engine.audit_at(&expr, w.now).unwrap();
+            for entry in w.log.snapshot() {
+                let direct = direct_semantic_single(&w.db, &entry, &expr, w.now).unwrap();
+                let flagged = report.per_query_suspicious.contains(&entry.id);
+                assert_eq!(
+                    flagged, direct,
+                    "Definition 3 mismatch for {} (seed {seed}, audit {base})",
+                    entry.text
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn static_filter_is_sound() {
+    // A pruned query is never semantically suspicious in isolation, and
+    // pruning never changes the batch verdict. (DESIGN.md §6 soundness.)
+    for seed in [10u64, 11, 12] {
+        let w = world(seed, 80, 0.2);
+        for base in audits() {
+            let with = AuditEngine::with_options(
+                &w.db,
+                &w.log,
+                EngineOptions { static_filter: true, ..Default::default() },
+            )
+            .audit_at(&base, w.now)
+            .unwrap();
+            let without = AuditEngine::with_options(
+                &w.db,
+                &w.log,
+                EngineOptions { static_filter: false, ..Default::default() },
+            )
+            .audit_at(&base, w.now)
+            .unwrap();
+            assert_eq!(with.verdict.suspicious, without.verdict.suspicious, "seed {seed}");
+            assert_eq!(
+                with.verdict.accessed_granules, without.verdict.accessed_granules,
+                "seed {seed}"
+            );
+            assert_eq!(with.verdict.contributing, without.verdict.contributing, "seed {seed}");
+            // Every pruned query is individually innocent.
+            for id in &with.pruned {
+                let entry = w.log.get(*id).unwrap();
+                let direct = direct_semantic_single(&w.db, &entry, &base, w.now).unwrap();
+                assert!(!direct, "statically pruned query {id} is semantically suspicious!");
+            }
+        }
+    }
+}

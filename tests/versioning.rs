@@ -1,0 +1,180 @@
+//! E10: DATA-INTERVAL / data-version semantics (paper §3.1), including the
+//! §2.1 interpretation conflict between [12] (all backlog versions) and
+//! [13] (current instance only) that the unified model resolves.
+
+use audex::core::AuditEngine;
+use audex::sql::ast::{TimeInterval, TsSpec};
+use audex::sql::parse_audit;
+use audex::{AccessContext, Database, QueryLog, Timestamp};
+
+/// The paper §2.1 scenario: "AUDIT zipcode … WHERE disease='diabetes'" has
+/// different results under the two prior interpretations when a patient's
+/// zipcode and disease changed over time.
+fn changing_patient() -> Database {
+    let mut db = Database::new();
+    db.execute(
+        &audex::parse_statement("CREATE TABLE Patients (pid TEXT, zipcode TEXT, disease TEXT)").unwrap(),
+        Timestamp(0),
+    )
+    .unwrap();
+    // At t=10 Mira has diabetes in 120016.
+    db.execute(
+        &audex::parse_statement("INSERT INTO Patients VALUES ('mira', '120016', 'diabetes')").unwrap(),
+        Timestamp(10),
+    )
+    .unwrap();
+    // At t=50 she is cured (disease changes) and at t=60 she moves.
+    db.execute(
+        &audex::parse_statement("UPDATE Patients SET disease = 'none' WHERE pid = 'mira'").unwrap(),
+        Timestamp(50),
+    )
+    .unwrap();
+    db.execute(
+        &audex::parse_statement("UPDATE Patients SET zipcode = '145568' WHERE pid = 'mira'").unwrap(),
+        Timestamp(60),
+    )
+    .unwrap();
+    db
+}
+
+fn audit_with_interval(db: &Database, log: &QueryLog, start: TsSpec, end: TsSpec) -> audex::core::AuditReport {
+    let engine = AuditEngine::new(db, log);
+    let mut expr = parse_audit("AUDIT zipcode FROM Patients WHERE disease = 'diabetes'").unwrap();
+    expr.during = Some(TimeInterval { start: TsSpec::At(Timestamp(0)), end: TsSpec::Now });
+    expr.data_interval = Some(TimeInterval { start, end });
+    engine.audit_at(&expr, Timestamp(1_000)).unwrap()
+}
+
+#[test]
+fn current_version_interpretation_motwani() {
+    // [13]: current instance only — Mira no longer has diabetes, U empty.
+    let db = changing_patient();
+    let log = QueryLog::new();
+    log.record_text(
+        "SELECT zipcode FROM Patients WHERE disease = 'diabetes'",
+        Timestamp(20),
+        AccessContext::new("u", "r", "p"),
+    )
+    .unwrap();
+    let r = audit_with_interval(&db, &log, TsSpec::Now, TsSpec::Now);
+    assert_eq!(r.target_size, 0);
+    assert!(!r.verdict.suspicious);
+}
+
+#[test]
+fn all_versions_interpretation_agrawal() {
+    // [12]: all versions — the diabetic-era tuple is in U, and the query
+    // that ran during that era is caught.
+    let db = changing_patient();
+    let log = QueryLog::new();
+    log.record_text(
+        "SELECT zipcode FROM Patients WHERE disease = 'diabetes'",
+        Timestamp(20),
+        AccessContext::new("u", "r", "p"),
+    )
+    .unwrap();
+    let r = audit_with_interval(&db, &log, TsSpec::At(Timestamp(0)), TsSpec::Now);
+    assert_eq!(r.target_size, 1);
+    assert!(r.verdict.suspicious);
+}
+
+#[test]
+fn specific_version_pinpoints_one_instant() {
+    let db = changing_patient();
+    let log = QueryLog::new();
+    log.record_text(
+        "SELECT zipcode FROM Patients WHERE disease = 'diabetes'",
+        Timestamp(20),
+        AccessContext::new("u", "r", "p"),
+    )
+    .unwrap();
+    // At t=55 the disease is already 'none'.
+    let r = audit_with_interval(&db, &log, TsSpec::At(Timestamp(55)), TsSpec::At(Timestamp(55)));
+    assert_eq!(r.target_size, 0);
+    // At t=20 she was diabetic.
+    let r = audit_with_interval(&db, &log, TsSpec::At(Timestamp(20)), TsSpec::At(Timestamp(20)));
+    assert_eq!(r.target_size, 1);
+    assert!(r.verdict.suspicious);
+}
+
+#[test]
+fn version_boundaries_are_inclusive() {
+    let db = changing_patient();
+    let log = QueryLog::new();
+    // Interval ending exactly at the change instant includes it.
+    let r = audit_with_interval(&db, &log, TsSpec::At(Timestamp(0)), TsSpec::At(Timestamp(50)));
+    assert_eq!(r.versions, vec![Timestamp(0), Timestamp(10), Timestamp(50)]);
+}
+
+#[test]
+fn during_and_data_interval_are_independent() {
+    // DURING filters queries; DATA-INTERVAL picks versions. A query outside
+    // DURING is never audited even when U is non-empty.
+    let db = changing_patient();
+    let log = QueryLog::new();
+    log.record_text(
+        "SELECT zipcode FROM Patients WHERE disease = 'diabetes'",
+        Timestamp(20),
+        AccessContext::new("u", "r", "p"),
+    )
+    .unwrap();
+    let engine = AuditEngine::new(&db, &log);
+    let mut expr = parse_audit("AUDIT zipcode FROM Patients WHERE disease = 'diabetes'").unwrap();
+    expr.during = Some(TimeInterval { start: TsSpec::At(Timestamp(30)), end: TsSpec::Now });
+    expr.data_interval = Some(TimeInterval { start: TsSpec::At(Timestamp(0)), end: TsSpec::Now });
+    let r = engine.audit_at(&expr, Timestamp(1_000)).unwrap();
+    assert_eq!(r.target_size, 1, "the diabetic-era version is in U");
+    assert!(r.admitted.is_empty(), "but the query ran before DURING started");
+    assert!(!r.verdict.suspicious);
+}
+
+#[test]
+fn deleted_tuples_still_auditable_via_interval() {
+    // Deletion does not erase audit trail: the pre-delete version stays in
+    // interval-based target views.
+    let mut db = changing_patient();
+    db.execute(&audex::parse_statement("DELETE FROM Patients WHERE pid = 'mira'").unwrap(), Timestamp(100))
+        .unwrap();
+    let log = QueryLog::new();
+    log.record_text(
+        "SELECT zipcode FROM Patients WHERE disease = 'diabetes'",
+        Timestamp(20),
+        AccessContext::new("u", "r", "p"),
+    )
+    .unwrap();
+    let r = audit_with_interval(&db, &log, TsSpec::At(Timestamp(0)), TsSpec::Now);
+    assert_eq!(r.target_size, 1);
+    assert!(r.verdict.suspicious);
+}
+
+#[test]
+fn two_identical_queries_different_times_different_verdicts() {
+    // The paper's §3.1 motivation, end to end: identical SQL, different
+    // execution times, only the one that ran while the data matched is
+    // flagged.
+    let db = changing_patient();
+    let log = QueryLog::new();
+    let sql = "SELECT zipcode FROM Patients WHERE disease = 'diabetes'";
+    log.record_text(sql, Timestamp(20), AccessContext::new("u", "r", "p")).unwrap(); // diabetic era
+    log.record_text(sql, Timestamp(70), AccessContext::new("u", "r", "p")).unwrap(); // cured era
+    let r = audit_with_interval(&db, &log, TsSpec::At(Timestamp(0)), TsSpec::Now);
+    assert!(r.verdict.suspicious);
+    assert_eq!(r.verdict.contributing.len(), 1);
+    assert_eq!(r.verdict.contributing[0], audex::log::QueryId(1));
+}
+
+#[test]
+fn empty_data_interval_is_error() {
+    let db = changing_patient();
+    let log = QueryLog::new();
+    let engine = AuditEngine::new(&db, &log);
+    let mut expr = parse_audit("AUDIT zipcode FROM Patients").unwrap();
+    expr.data_interval = Some(TimeInterval {
+        start: TsSpec::At(Timestamp(100)),
+        end: TsSpec::At(Timestamp(50)),
+    });
+    assert!(matches!(
+        engine.audit_at(&expr, Timestamp(1_000)),
+        Err(audex::AuditError::EmptyInterval { .. })
+    ));
+}

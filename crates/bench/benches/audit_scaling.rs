@@ -13,7 +13,9 @@ use audex_core::EngineOptions;
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("audit_scaling");
-    g.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
 
     for queries in [100usize, 400, 1600] {
         let s = scenario(400, queries, 0.05, 11);

@@ -13,7 +13,9 @@ use audex_storage::JoinStrategy;
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("batch");
-    g.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
 
     let s = scenario(400, 1600, 0.05, 23);
     let mut expr = s.audit.clone();

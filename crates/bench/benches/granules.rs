@@ -15,7 +15,9 @@ use audex_workload::querygen::standard_audit_text;
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("granules");
-    g.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300));
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(300));
 
     // Vary |U| through the number of patients (zone 0 holds ~1/20th).
     for patients in [200usize, 800, 3200] {
@@ -26,11 +28,8 @@ fn bench(c: &mut Criterion) {
         let n = prepared.view.len();
 
         for threshold in [Threshold::Count(1), Threshold::Count(2), Threshold::All] {
-            let model = GranuleModel {
-                spec: prepared.spec.clone(),
-                threshold,
-                indispensable: true,
-            };
+            let model =
+                GranuleModel { spec: prepared.spec.clone(), threshold, indispensable: true };
             let label = match threshold {
                 Threshold::Count(k) => format!("n{n}/k{k}"),
                 Threshold::All => format!("n{n}/kALL"),

@@ -13,7 +13,9 @@ use audex_storage::JoinStrategy;
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("join_ablation");
-    g.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
 
     for patients in [100usize, 400, 1600] {
         let s = scenario(patients, 100, 0.1, 31);

@@ -19,7 +19,9 @@ use audex_workload::datagen::zip_of_zone;
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("multi_audit");
-    g.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
 
     let s = scenario(300, 300, 0.1, 41);
     let engine = s.engine(EngineOptions { static_filter: false, ..Default::default() });

@@ -16,7 +16,9 @@ use audex_core::EngineOptions;
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("notions");
-    g.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
 
     let s = scenario(400, 400, 0.05, 17);
     let base = all_time(s.audit.clone());

@@ -15,17 +15,17 @@ fn prepared(text: &str) -> (audex_storage::Database, audex_core::PreparedAudit) 
     let log = QueryLog::new();
     let engine = AuditEngine::new(&db, &log);
     let mut expr = parse_audit(text).unwrap();
-    expr.data_interval = Some(TimeInterval {
-        start: TsSpec::At(paper_epoch()),
-        end: TsSpec::At(paper_now()),
-    });
+    expr.data_interval =
+        Some(TimeInterval { start: TsSpec::At(paper_epoch()), end: TsSpec::At(paper_now()) });
     let p = engine.prepare(&expr, paper_now()).unwrap();
     (db, p)
 }
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("paper_artifacts");
-    g.sample_size(20).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300));
+    g.sample_size(20)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(300));
 
     // E3 / Table 4: target view of Audit Expression-1.
     let db = paper_database();
@@ -33,10 +33,8 @@ fn bench(c: &mut Criterion) {
     let engine = AuditEngine::new(&db, &log);
     let fig2 = {
         let mut e = parse_audit(FIG2_AUDIT_EXPRESSION_1).unwrap();
-        e.data_interval = Some(TimeInterval {
-            start: TsSpec::At(paper_epoch()),
-            end: TsSpec::At(paper_now()),
-        });
+        e.data_interval =
+            Some(TimeInterval { start: TsSpec::At(paper_epoch()), end: TsSpec::At(paper_now()) });
         e
     };
     g.bench_function("table4_target_view", |b| {
@@ -49,10 +47,8 @@ fn bench(c: &mut Criterion) {
     // E4 / Table 5.
     let fig3 = {
         let mut e = parse_audit(FIG3_AUDIT_EXPRESSION_2).unwrap();
-        e.data_interval = Some(TimeInterval {
-            start: TsSpec::At(paper_epoch()),
-            end: TsSpec::At(paper_now()),
-        });
+        e.data_interval =
+            Some(TimeInterval { start: TsSpec::At(paper_epoch()), end: TsSpec::At(paper_now()) });
         e
     };
     g.bench_function("table5_target_view", |b| {
@@ -65,8 +61,14 @@ fn bench(c: &mut Criterion) {
     // E5 / Table 6: normalization of every rule's left-hand side.
     let scope = AuditScope::resolve(&db, &[TableRef::named("P-Personal")]).unwrap();
     let rule_specs: Vec<audex_sql::ast::AttrSpec> = [
-        "[name]", "(name)(age)", "(name, age)", "[name][age]",
-        "[name, age][sex, address]", "[(name, age)]", "([name, age])", "(name, age)[sex]",
+        "[name]",
+        "(name)(age)",
+        "(name, age)",
+        "[name][age]",
+        "[name, age][sex, address]",
+        "[(name, age)]",
+        "([name, age])",
+        "(name, age)[sex]",
     ]
     .iter()
     .map(|l| parse_audit(&format!("AUDIT {l} FROM P-Personal")).unwrap().audit)

@@ -14,7 +14,9 @@ use audex_workload::datagen::zip_of_zone;
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("ranking");
-    g.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
 
     let s = scenario(400, 200, 0.1, 37);
     let engine = s.engine(EngineOptions::default());

@@ -18,13 +18,19 @@ use audex_workload::{
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("selectivity");
-    g.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
 
     for zones in [5usize, 20, 80] {
         let hospital = HospitalConfig { patients: 800, zip_zones: zones, diseases: 10, seed: 61 };
         let db = generate_hospital(&hospital, Timestamp(0));
-        let mix =
-            QueryMixConfig { queries: 200, suspicious_rate: 0.05, start: Timestamp(1_000), seed: 62 };
+        let mix = QueryMixConfig {
+            queries: 200,
+            suspicious_rate: 0.05,
+            start: Timestamp(1_000),
+            seed: 62,
+        };
         let (log, _) = load_log(&generate_queries(&hospital, &mix));
         let engine = AuditEngine::with_options(&db, &log, EngineOptions::default());
         let expr = audex_bench::all_time(parse_audit(&standard_audit_text()).unwrap());

@@ -14,7 +14,9 @@ use audex_workload::{apply_update_stream, generate_hospital, HospitalConfig, Upd
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("versioning");
-    g.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300));
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(300));
 
     for updates in [100usize, 1_000, 10_000] {
         let hospital = HospitalConfig { patients: 500, ..Default::default() };

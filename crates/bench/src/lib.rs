@@ -43,7 +43,8 @@ pub fn all_time(mut expr: AuditExpr) -> AuditExpr {
 pub fn scenario(patients: usize, queries: usize, suspicious_rate: f64, seed: u64) -> Scenario {
     let hospital = HospitalConfig { patients, zip_zones: 20, diseases: 12, seed };
     let db = generate_hospital(&hospital, Timestamp(0));
-    let mix = QueryMixConfig { queries, suspicious_rate, start: Timestamp(1_000), seed: seed ^ 0x5eed };
+    let mix =
+        QueryMixConfig { queries, suspicious_rate, start: Timestamp(1_000), seed: seed ^ 0x5eed };
     let generated = generate_queries(&hospital, &mix);
     let (log, _planted) = load_log(&generated);
     let audit = parse_audit(&standard_audit_text()).expect("standard audit parses");

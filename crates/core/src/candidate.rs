@@ -18,13 +18,15 @@
 
 use audex_sql::ast::{BinOp, Expr, Literal};
 use audex_sql::Ident;
-use audex_storage::Value;
+use audex_storage::{Database, Value};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 use crate::attrspec::NormalizedSpec;
 use crate::catalog::AuditScope;
 use crate::error::AuditError;
-use audex_log::{AccessedColumn, LoggedQuery};
+use crate::governor::{AuditPhase, Governor};
+use audex_log::{AccessedColumn, LoggedQuery, QueryId};
 
 /// A column identified by `(base table, column)` — the namespace shared
 /// between a query and an audit expression (backlog prefixes stripped).
@@ -78,11 +80,8 @@ impl CandidateChecker {
         audit_pred: Option<&Expr>,
     ) -> Result<Self, AuditError> {
         let audit_bases = audit_scope.bases().into_iter().collect();
-        let relevant_columns = spec
-            .all_columns()
-            .iter()
-            .filter_map(|c| audit_scope.base_of_column(c))
-            .collect();
+        let relevant_columns =
+            spec.all_columns().iter().filter_map(|c| audit_scope.base_of_column(c)).collect();
         let audit_constraints = match audit_pred {
             Some(p) => extract_constraints(p, audit_scope),
             None => Vec::new(),
@@ -111,6 +110,38 @@ impl CandidateChecker {
             constraints.extend(extract_constraints(p, q_scope));
         }
         satisfiable(&constraints)
+    }
+
+    /// Splits admitted log entries into static candidates and pruned ids
+    /// (engine pipeline step 2), consulting `governor` once per entry. With
+    /// `static_filter` off every entry is kept, so the split is free.
+    #[allow(clippy::type_complexity)]
+    pub fn partition(
+        &self,
+        db: &Database,
+        entries: Vec<Arc<LoggedQuery>>,
+        static_filter: bool,
+        governor: &Governor,
+    ) -> Result<(Vec<Arc<LoggedQuery>>, Vec<QueryId>), AuditError> {
+        let mut candidates = Vec::with_capacity(entries.len());
+        let mut pruned = Vec::new();
+        for e in entries {
+            governor.tick(AuditPhase::CandidateFilter)?;
+            let keep = if static_filter {
+                match AuditScope::resolve(db, &e.query.from) {
+                    Ok(q_scope) => self.is_candidate(&e, &q_scope),
+                    Err(_) => false, // references unknown tables: cannot match
+                }
+            } else {
+                true
+            };
+            if keep {
+                candidates.push(e);
+            } else {
+                pruned.push(e.id);
+            }
+        }
+        Ok((candidates, pruned))
     }
 
     /// True when the query accesses at least one column some granule scheme
@@ -186,11 +217,10 @@ fn extract_one(e: &Expr, scope: &AuditScope, out: &mut Vec<Constraint>) {
     match e {
         Expr::Binary { left, op, right } if op.is_comparison() => {
             match (column_of(left, scope), column_of(right, scope)) {
-                (Some(a), Some(b))
-                    if *op == BinOp::Eq => {
-                        out.push(Constraint::ColEq(a, b));
-                    }
-                    // Other column-column comparisons: conservatively SAT.
+                (Some(a), Some(b)) if *op == BinOp::Eq => {
+                    out.push(Constraint::ColEq(a, b));
+                }
+                // Other column-column comparisons: conservatively SAT.
                 (Some(c), None) => {
                     if let Some(v) = literal_of(right) {
                         out.push(Constraint::Cmp(c, *op, v));
@@ -237,12 +267,13 @@ fn satisfiable(constraints: &[Constraint]) -> bool {
     // Union-find over columns.
     let mut cols: Vec<BaseColumn> = Vec::new();
     let mut index: BTreeMap<BaseColumn, usize> = BTreeMap::new();
-    let intern = |c: &BaseColumn, cols: &mut Vec<BaseColumn>, index: &mut BTreeMap<BaseColumn, usize>| {
-        *index.entry(c.clone()).or_insert_with(|| {
-            cols.push(c.clone());
-            cols.len() - 1
-        })
-    };
+    let intern =
+        |c: &BaseColumn, cols: &mut Vec<BaseColumn>, index: &mut BTreeMap<BaseColumn, usize>| {
+            *index.entry(c.clone()).or_insert_with(|| {
+                cols.push(c.clone());
+                cols.len() - 1
+            })
+        };
     let mut parent: Vec<usize> = Vec::new();
     fn find(parent: &mut [usize], mut i: usize) -> usize {
         while parent[i] != i {
@@ -546,10 +577,7 @@ mod tests {
     fn backlog_audit_matches_base_query() {
         // An audit over b-Patients shares the base table with queries over
         // Patients.
-        assert!(is_candidate(
-            "AUDIT disease FROM b-Patients",
-            "SELECT disease FROM Patients"
-        ));
+        assert!(is_candidate("AUDIT disease FROM b-Patients", "SELECT disease FROM Patients"));
     }
 
     #[test]

@@ -45,12 +45,13 @@ impl AuditScope {
         let mut entries = Vec::with_capacity(from.len());
         for tref in from {
             let base = base_name(&tref.name);
-            let history = db
-                .history(&base)
-                .ok_or_else(|| AuditError::UnknownTable(tref.name.clone()))?;
+            let history =
+                db.history(&base).ok_or_else(|| AuditError::UnknownTable(tref.name.clone()))?;
             let binding = tref.binding().clone();
             if entries.iter().any(|e: &ScopeEntry| e.binding == binding) {
-                return Err(AuditError::Storage(audex_storage::StorageError::DuplicateBinding(binding)));
+                return Err(AuditError::Storage(audex_storage::StorageError::DuplicateBinding(
+                    binding,
+                )));
             }
             entries.push(ScopeEntry {
                 binding,
@@ -103,7 +104,10 @@ impl ColumnResolver for AuditScope {
                         if found.is_some() {
                             return Err(AuditError::AmbiguousAuditColumn(col.column.value.clone()));
                         }
-                        found = Some(ResolvedColumn { table: e.binding.clone(), column: col.column.clone() });
+                        found = Some(ResolvedColumn {
+                            table: e.binding.clone(),
+                            column: col.column.clone(),
+                        });
                     }
                 }
                 found.ok_or_else(|| AuditError::UnknownAuditColumn(col.column.value.clone()))

@@ -94,7 +94,10 @@ fn classify(entry: &LoggedQuery, db: &Database, policy: &PrivacyPolicy) -> Acces
 /// `(table, column)` targets. An auditor investigating a leak of exactly
 /// that data restricts the audit to these channels (plus, typically, a
 /// `Neg-…` clause for channels already ruled out).
-pub fn suggest_limits(policy: &PrivacyPolicy, targets: &[(Ident, Ident)]) -> Vec<RolePurposePattern> {
+pub fn suggest_limits(
+    policy: &PrivacyPolicy,
+    targets: &[(Ident, Ident)],
+) -> Vec<RolePurposePattern> {
     policy
         .channels_to(targets)
         .into_iter()
@@ -116,12 +119,20 @@ mod tests {
         let mut db = Database::new();
         db.create_table(
             Ident::new("Patients"),
-            Schema::of(&[("pid", TypeName::Text), ("zipcode", TypeName::Text), ("disease", TypeName::Text)]),
+            Schema::of(&[
+                ("pid", TypeName::Text),
+                ("zipcode", TypeName::Text),
+                ("disease", TypeName::Text),
+            ]),
             Timestamp(0),
         )
         .unwrap();
-        db.insert(&Ident::new("Patients"), vec!["p1".into(), "120016".into(), "cancer".into()], Timestamp(1))
-            .unwrap();
+        db.insert(
+            &Ident::new("Patients"),
+            vec!["p1".into(), "120016".into(), "cancer".into()],
+            Timestamp(1),
+        )
+        .unwrap();
 
         let log = QueryLog::new();
         // A doctor, fully authorized.

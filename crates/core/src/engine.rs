@@ -16,16 +16,18 @@
 use audex_sql::ast::AuditExpr;
 use audex_sql::Timestamp;
 use audex_storage::{Database, JoinStrategy};
+use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 
 use crate::attrspec::{normalize_with, NormalizedSpec};
 use crate::candidate::CandidateChecker;
 use crate::catalog::AuditScope;
 use crate::error::AuditError;
+use crate::governor::{AuditPhase, Governor, ResourceLimits};
 use crate::granule::GranuleModel;
 use crate::limits::{build_filter, resolve_interval};
 use crate::suspicion::{BatchEvaluator, BatchVerdict};
-use crate::target::{compute_target_view, TargetView};
+use crate::target::{compute_target_view_governed, TargetView};
 use audex_log::{AccessFilter, LoggedQuery, QueryId, QueryLog};
 
 /// How verdicts are produced.
@@ -49,11 +51,19 @@ pub struct EngineOptions {
     pub strategy: JoinStrategy,
     /// Verdict granularity.
     pub mode: AuditMode,
+    /// Resource limits armed into a fresh [`Governor`] at the start of every
+    /// top-level audit call. Unlimited by default.
+    pub limits: ResourceLimits,
 }
 
 impl Default for EngineOptions {
     fn default() -> Self {
-        EngineOptions { static_filter: true, strategy: JoinStrategy::Auto, mode: AuditMode::Batch }
+        EngineOptions {
+            static_filter: true,
+            strategy: JoinStrategy::Auto,
+            mode: AuditMode::Batch,
+            limits: ResourceLimits::unlimited(),
+        }
     }
 }
 
@@ -85,7 +95,7 @@ impl PreparedAudit {
 }
 
 /// The full outcome of one audit run.
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AuditReport {
     /// Printable form of the audited expression.
     pub expr_text: String,
@@ -104,6 +114,13 @@ pub struct AuditReport {
     /// Per-query verdicts (only in [`AuditMode::PerQuery`]): the queries
     /// that are suspicious *in isolation* (Definition 3).
     pub per_query_suspicious: Vec<QueryId>,
+    /// Pipeline phases that ran to completion, in execution order. A
+    /// truncated audit is thereby distinguishable from a clean one.
+    pub phases: Vec<AuditPhase>,
+    /// When the optional per-query refinement was cut short by the governor,
+    /// the error that stopped it. The batch verdict above is still complete;
+    /// only `per_query_suspicious` is partial.
+    pub truncation: Option<AuditError>,
 }
 
 impl AuditReport {
@@ -112,6 +129,22 @@ impl AuditReport {
     pub fn suspicious_queries(&self) -> &[QueryId] {
         &self.verdict.contributing
     }
+
+    /// True when every phase the run attempted finished untruncated.
+    pub fn is_complete(&self) -> bool {
+        self.truncation.is_none()
+    }
+}
+
+/// True for errors raised by the [`Governor`] (as opposed to errors in the
+/// audit expression or the data it touches).
+fn is_governor_error(e: &AuditError) -> bool {
+    matches!(
+        e,
+        AuditError::DeadlineExceeded { .. }
+            | AuditError::BudgetExhausted { .. }
+            | AuditError::Cancelled { .. }
+    )
 }
 
 /// The audit engine: a database (with backlog), a query log, and options.
@@ -119,22 +152,37 @@ pub struct AuditEngine<'a> {
     db: &'a Database,
     log: &'a QueryLog,
     options: EngineOptions,
+    /// Shared cancellation flag, armed into every governor this engine
+    /// creates — so one handle cancels whatever audit the engine is running.
+    cancel: Arc<AtomicBool>,
 }
 
 impl<'a> AuditEngine<'a> {
     /// Creates an engine with default options.
     pub fn new(db: &'a Database, log: &'a QueryLog) -> Self {
-        AuditEngine { db, log, options: EngineOptions::default() }
+        Self::with_options(db, log, EngineOptions::default())
     }
 
     /// Creates an engine with explicit options.
     pub fn with_options(db: &'a Database, log: &'a QueryLog, options: EngineOptions) -> Self {
-        AuditEngine { db, log, options }
+        AuditEngine { db, log, options, cancel: Arc::new(AtomicBool::new(false)) }
     }
 
     /// The options in effect.
     pub fn options(&self) -> &EngineOptions {
         &self.options
+    }
+
+    /// The engine's cancellation flag. Store `true` (from any thread) to
+    /// stop the audits this engine is running with
+    /// [`AuditError::Cancelled`].
+    pub fn cancel_handle(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.cancel)
+    }
+
+    /// Arms a fresh governor for one top-level audit call.
+    fn governor(&self) -> Governor {
+        Governor::arm(&self.options.limits).with_cancel_flag(Arc::clone(&self.cancel))
     }
 
     /// Parses and audits an expression, taking "now" from the wall clock.
@@ -144,15 +192,28 @@ impl<'a> AuditEngine<'a> {
     }
 
     /// Audits with an explicit "current time" (deterministic; `now()` in the
-    /// expression and all clause defaults resolve against it).
+    /// expression and all clause defaults resolve against it). One governor
+    /// covers preparation and evaluation: the deadline and step budget span
+    /// the whole call.
     pub fn audit_at(&self, expr: &AuditExpr, now: Timestamp) -> Result<AuditReport, AuditError> {
-        let prepared = self.prepare(expr, now)?;
-        self.run(&prepared)
+        let governor = self.governor();
+        let prepared = self.prepare_governed(expr, now, &governor)?;
+        self.run_governed(&prepared, &governor)
     }
 
     /// Resolves an expression against the database: scope, schemes, target
     /// view, granule model, and log filter.
     pub fn prepare(&self, expr: &AuditExpr, now: Timestamp) -> Result<PreparedAudit, AuditError> {
+        self.prepare_governed(expr, now, &self.governor())
+    }
+
+    /// [`AuditEngine::prepare`] under a caller-supplied [`Governor`].
+    pub fn prepare_governed(
+        &self,
+        expr: &AuditExpr,
+        now: Timestamp,
+        governor: &Governor,
+    ) -> Result<PreparedAudit, AuditError> {
         let scope = AuditScope::resolve(self.db, &expr.from)?;
         let spec = normalize_with(&expr.audit, &scope)?;
         if spec.is_empty() {
@@ -162,10 +223,21 @@ impl<'a> AuditEngine<'a> {
 
         let (ds, de) = resolve_interval(expr.data_interval.as_ref(), now)?;
         let versions = self.db.versions_in(&scope.bases(), ds, de);
-        let view =
-            compute_target_view(self.db, expr, &scope, &spec, &versions, self.options.strategy)?;
-        let model =
-            GranuleModel { spec: spec.clone(), threshold: expr.threshold, indispensable: expr.indispensable };
+        let view = compute_target_view_governed(
+            self.db,
+            expr,
+            &scope,
+            &spec,
+            &versions,
+            self.options.strategy,
+            governor,
+        )?;
+        let model = GranuleModel {
+            spec: spec.clone(),
+            threshold: expr.threshold,
+            indispensable: expr.indispensable,
+        };
+        governor.check_granules(model.count(view.len()))?;
         Ok(PreparedAudit { expr: expr.clone(), scope, spec, model, view, filter, now })
     }
 
@@ -175,65 +247,96 @@ impl<'a> AuditEngine<'a> {
     /// [`AuditEngine::audit_at`] per expression; limiting parameters apply
     /// per expression. Static pruning is irrelevant here — the index already
     /// paid the execution cost — so reports carry empty `pruned` lists.
+    ///
+    /// **Failure isolation.** Each expression yields its own
+    /// `Result<AuditReport, AuditError>` entry: one poisoned expression (bad
+    /// table, storage fault, tripped budget) does not take down the rest of
+    /// the batch. Only a failure to build the shared index fails the whole
+    /// call. One governor spans the call, so a deadline or step budget
+    /// covers index construction plus every expression together.
+    #[allow(clippy::type_complexity)]
     pub fn audit_many(
         &self,
         exprs: &[AuditExpr],
         now: Timestamp,
-    ) -> Result<Vec<AuditReport>, AuditError> {
+    ) -> Result<Vec<Result<AuditReport, AuditError>>, AuditError> {
+        let governor = self.governor();
         let entries = self.log.snapshot();
-        let index = crate::index::TouchIndex::build(self.db, &entries, self.options.strategy);
+        let index = crate::index::TouchIndex::build_governed(
+            self.db,
+            &entries,
+            self.options.strategy,
+            &governor,
+        )?;
         let mut out = Vec::with_capacity(exprs.len());
         for expr in exprs {
-            let prepared = self.prepare(expr, now)?;
-            let admitted: Vec<QueryId> = entries
-                .iter()
-                .filter(|e| prepared.filter.admits(e))
-                .map(|e| e.id)
-                .collect();
-            let admitted_set: std::collections::BTreeSet<QueryId> =
-                admitted.iter().copied().collect();
-            let verdict = index.evaluate(&prepared, &admitted_set)?;
-            out.push(AuditReport {
-                expr_text: prepared.expr.to_string(),
-                candidates: admitted.clone(),
-                admitted,
-                pruned: Vec::new(),
-                versions: prepared.view.versions.clone(),
-                target_size: prepared.view.len(),
-                verdict,
-                per_query_suspicious: Vec::new(),
-            });
+            out.push(self.audit_one_indexed(&index, &entries, expr, now, &governor));
         }
         Ok(out)
     }
 
+    /// One expression of [`AuditEngine::audit_many`]: prepare, filter, and
+    /// evaluate against the shared touch index.
+    fn audit_one_indexed(
+        &self,
+        index: &crate::index::TouchIndex,
+        entries: &[Arc<LoggedQuery>],
+        expr: &AuditExpr,
+        now: Timestamp,
+        governor: &Governor,
+    ) -> Result<AuditReport, AuditError> {
+        let prepared = self.prepare_governed(expr, now, governor)?;
+        let admitted: Vec<QueryId> =
+            entries.iter().filter(|e| prepared.filter.admits(e)).map(|e| e.id).collect();
+        let admitted_set: std::collections::BTreeSet<QueryId> = admitted.iter().copied().collect();
+        let verdict = index.evaluate_governed(&prepared, &admitted_set, governor)?;
+        Ok(AuditReport {
+            expr_text: prepared.expr.to_string(),
+            candidates: admitted.clone(),
+            admitted,
+            pruned: Vec::new(),
+            versions: prepared.view.versions.clone(),
+            target_size: prepared.view.len(),
+            verdict,
+            per_query_suspicious: Vec::new(),
+            phases: vec![AuditPhase::TargetView, AuditPhase::Indexing],
+            truncation: None,
+        })
+    }
+
     /// Runs a prepared audit against the current log contents.
     pub fn run(&self, prepared: &PreparedAudit) -> Result<AuditReport, AuditError> {
+        self.run_governed(prepared, &self.governor())
+    }
+
+    /// [`AuditEngine::run`] under a caller-supplied [`Governor`].
+    ///
+    /// **Graceful degradation.** The optional per-query refinement
+    /// ([`AuditMode::PerQuery`]) runs after the batch verdict is complete;
+    /// if the governor trips there, the report is returned anyway with the
+    /// partial refinement and the stopping error recorded in
+    /// [`AuditReport::truncation`], rather than discarding finished work.
+    pub fn run_governed(
+        &self,
+        prepared: &PreparedAudit,
+        governor: &Governor,
+    ) -> Result<AuditReport, AuditError> {
+        governor.check_granules(prepared.model.count(prepared.view.len()))?;
         let admitted: Vec<Arc<LoggedQuery>> =
             self.log.snapshot().into_iter().filter(|e| prepared.filter.admits(e)).collect();
         let admitted_ids: Vec<QueryId> = admitted.iter().map(|e| e.id).collect();
+        let mut phases = vec![AuditPhase::TargetView];
 
         // Static pruning (Definition 1).
-        let checker =
-            CandidateChecker::new(&prepared.scope, &prepared.spec, prepared.expr.selection.as_ref())?;
-        let mut candidates = Vec::new();
-        let mut pruned = Vec::new();
-        for e in admitted {
-            let keep = if self.options.static_filter {
-                match AuditScope::resolve(self.db, &e.query.from) {
-                    Ok(q_scope) => checker.is_candidate(&e, &q_scope),
-                    Err(_) => false, // references unknown tables: cannot match
-                }
-            } else {
-                true
-            };
-            if keep {
-                candidates.push(e);
-            } else {
-                pruned.push(e.id);
-            }
-        }
+        let checker = CandidateChecker::new(
+            &prepared.scope,
+            &prepared.spec,
+            prepared.expr.selection.as_ref(),
+        )?;
+        let (candidates, pruned) =
+            checker.partition(self.db, admitted, self.options.static_filter, governor)?;
         let candidate_ids: Vec<QueryId> = candidates.iter().map(|e| e.id).collect();
+        phases.push(AuditPhase::CandidateFilter);
 
         let evaluator = BatchEvaluator::new(
             self.db,
@@ -241,18 +344,32 @@ impl<'a> AuditEngine<'a> {
             &prepared.model,
             &prepared.view,
             self.options.strategy,
-        );
+        )
+        .with_governor(governor.clone());
         let verdict = evaluator.evaluate(&candidates)?;
+        phases.push(AuditPhase::Suspicion);
 
+        let mut truncation = None;
         let per_query_suspicious = match self.options.mode {
             AuditMode::Batch => Vec::new(),
             AuditMode::PerQuery => {
                 let mut out = Vec::new();
                 for e in &candidates {
-                    let v = evaluator.evaluate(std::slice::from_ref(e))?;
-                    if v.suspicious {
-                        out.push(e.id);
+                    match evaluator.evaluate(std::slice::from_ref(e)) {
+                        Ok(v) => {
+                            if v.suspicious {
+                                out.push(e.id);
+                            }
+                        }
+                        Err(e) if is_governor_error(&e) => {
+                            truncation = Some(e);
+                            break;
+                        }
+                        Err(e) => return Err(e),
                     }
+                }
+                if truncation.is_none() {
+                    phases.push(AuditPhase::PerQuery);
                 }
                 out
             }
@@ -267,6 +384,8 @@ impl<'a> AuditEngine<'a> {
             target_size: prepared.view.len(),
             verdict,
             per_query_suspicious,
+            phases,
+            truncation,
         })
     }
 }
@@ -443,10 +562,8 @@ mod tests {
     fn data_interval_controls_versions() {
         let (mut db, log) = fixture();
         db.execute(
-            &audex_sql::parse_statement(
-                "UPDATE Patients SET zipcode='120016' WHERE pid='p2'",
-            )
-            .unwrap(),
+            &audex_sql::parse_statement("UPDATE Patients SET zipcode='120016' WHERE pid='p2'")
+                .unwrap(),
             Timestamp(500),
         )
         .unwrap();

@@ -27,6 +27,31 @@ pub enum AuditError {
         /// The configured materialization limit.
         limit: u64,
     },
+    /// The wall-clock deadline expired before the audit finished.
+    DeadlineExceeded {
+        /// The pipeline phase that was running when the deadline passed.
+        phase: crate::governor::AuditPhase,
+        /// Governed work steps completed before the audit stopped.
+        steps: u64,
+        /// The configured deadline, in milliseconds.
+        deadline_ms: u64,
+    },
+    /// The step budget ran out before the audit finished.
+    BudgetExhausted {
+        /// The pipeline phase that was running when the budget ran out.
+        phase: crate::governor::AuditPhase,
+        /// Governed work steps completed before the audit stopped.
+        steps: u64,
+        /// The configured step budget.
+        limit: u64,
+    },
+    /// The audit was cancelled cooperatively via the governor's flag.
+    Cancelled {
+        /// The pipeline phase that was running when cancellation was seen.
+        phase: crate::governor::AuditPhase,
+        /// Governed work steps completed before the audit stopped.
+        steps: u64,
+    },
     /// An error bubbled up from the storage/executor substrate.
     Storage(audex_storage::StorageError),
     /// An error bubbled up from SQL parsing.
@@ -46,7 +71,23 @@ impl fmt::Display for AuditError {
                 write!(f, "interval start {start} is after end {end}")
             }
             AuditError::GranuleSetTooLarge { count, limit } => {
-                write!(f, "granule set has {count} granules, over the materialization limit {limit}")
+                write!(
+                    f,
+                    "granule set has {count} granules, over the materialization limit {limit}"
+                )
+            }
+            AuditError::DeadlineExceeded { phase, steps, deadline_ms } => write!(
+                f,
+                "audit deadline of {deadline_ms} ms exceeded during {phase} \
+                 ({steps} steps completed)"
+            ),
+            AuditError::BudgetExhausted { phase, steps, limit } => write!(
+                f,
+                "audit step budget of {limit} exhausted during {phase} \
+                 ({steps} steps completed)"
+            ),
+            AuditError::Cancelled { phase, steps } => {
+                write!(f, "audit cancelled during {phase} ({steps} steps completed)")
             }
             AuditError::Storage(e) => write!(f, "storage: {e}"),
             AuditError::Parse(e) => write!(f, "parse: {e}"),
@@ -79,6 +120,27 @@ impl From<audex_sql::ParseError> for AuditError {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn governor_errors_report_phase_and_progress() {
+        use crate::governor::AuditPhase;
+        let e = AuditError::DeadlineExceeded {
+            phase: AuditPhase::TargetView,
+            steps: 42,
+            deadline_ms: 250,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("250 ms"), "{msg}");
+        assert!(msg.contains("target-view"), "{msg}");
+        assert!(msg.contains("42 steps"), "{msg}");
+
+        let e = AuditError::BudgetExhausted { phase: AuditPhase::Suspicion, steps: 7, limit: 5 };
+        assert!(e.to_string().contains("budget of 5"), "{e}");
+        assert!(std::error::Error::source(&e).is_none());
+
+        let e = AuditError::Cancelled { phase: AuditPhase::Indexing, steps: 3 };
+        assert!(e.to_string().contains("cancelled during touch-index"), "{e}");
+    }
 
     #[test]
     fn display_and_source() {

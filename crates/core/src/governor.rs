@@ -1,0 +1,308 @@
+//! Resource governance for audit runs.
+//!
+//! A production auditor cannot let one pathological expression — a huge
+//! `DATA-INTERVAL`, a cross-product `FROM`, thousands of logged queries —
+//! spin forever or take the whole batch down. The [`Governor`] is a cheap,
+//! clonable handle carrying the run's resource envelope:
+//!
+//! * a **wall-clock deadline**,
+//! * a **step budget** (steps are versions scanned, rows deduplicated,
+//!   queries evaluated, facts tested — the unit loop bodies of the
+//!   expensive phases),
+//! * the existing **granule cap** (materialization guard), and
+//! * a **cooperative cancellation flag** shareable across threads.
+//!
+//! The expensive phases — target-view computation, candidate selection,
+//! suspicion testing, static batch analysis, touch-index construction —
+//! consult the governor at their loop heads. A trip surfaces as a structured
+//! [`AuditError`] naming the [`AuditPhase`] that stopped and how much work
+//! completed, so a truncated audit is diagnosable, not mysterious.
+//!
+//! Shared step accounting: clones of one governor share the step counter and
+//! the cancellation flag (both are `Arc`s), so a budget spans everything a
+//! single audit call does, no matter how many components it touches.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::error::AuditError;
+
+/// The audit pipeline phases the governor can interrupt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum AuditPhase {
+    /// Computing the target data view `U` over the `DATA-INTERVAL` versions.
+    TargetView,
+    /// Static candidate selection (paper Definition 1) over the admitted log.
+    CandidateFilter,
+    /// Indispensability / suspicion testing of the candidate batch.
+    Suspicion,
+    /// Per-query verdict refinement ([`crate::engine::AuditMode::PerQuery`]).
+    PerQuery,
+    /// Static (data-independent) batch analysis.
+    StaticAnalysis,
+    /// Building or probing the multi-audit touch index.
+    Indexing,
+}
+
+impl fmt::Display for AuditPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AuditPhase::TargetView => "target-view computation",
+            AuditPhase::CandidateFilter => "candidate filtering",
+            AuditPhase::Suspicion => "suspicion evaluation",
+            AuditPhase::PerQuery => "per-query evaluation",
+            AuditPhase::StaticAnalysis => "static batch analysis",
+            AuditPhase::Indexing => "touch-index construction",
+        })
+    }
+}
+
+/// Declarative resource limits — the governor's configuration, carried by
+/// [`crate::engine::EngineOptions`]. `Copy`, so options stay cheap to pass
+/// around; [`Governor::arm`] turns limits into a live governor when an audit
+/// call starts (which is when the deadline clock begins).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ResourceLimits {
+    /// Wall-clock budget for one audit call. `None` = unlimited.
+    pub deadline: Option<Duration>,
+    /// Step budget for one audit call. `None` = unlimited.
+    pub max_steps: Option<u64>,
+    /// Largest granule set the engine will evaluate or materialize.
+    /// `None` = unlimited (rendering paths still take explicit caps).
+    pub granule_limit: Option<u64>,
+}
+
+impl ResourceLimits {
+    /// No limits at all.
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// True when every limit is disabled.
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none() && self.max_steps.is_none() && self.granule_limit.is_none()
+    }
+}
+
+/// A live resource governor for one audit run. Cloning is cheap and clones
+/// share the step counter and cancellation flag.
+#[derive(Debug, Clone)]
+pub struct Governor {
+    /// Deadline instant plus the configured duration (for error reporting).
+    deadline: Option<(Instant, Duration)>,
+    max_steps: Option<u64>,
+    granule_limit: Option<u64>,
+    steps: Arc<AtomicU64>,
+    cancel: Arc<AtomicBool>,
+}
+
+impl Default for Governor {
+    fn default() -> Self {
+        Self::unlimited()
+    }
+}
+
+impl Governor {
+    /// A governor that never interrupts anything.
+    pub fn unlimited() -> Self {
+        Governor {
+            deadline: None,
+            max_steps: None,
+            granule_limit: None,
+            steps: Arc::new(AtomicU64::new(0)),
+            cancel: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    /// Arms `limits` into a live governor: the deadline clock starts now.
+    pub fn arm(limits: &ResourceLimits) -> Self {
+        Governor {
+            deadline: limits.deadline.map(|d| (Instant::now() + d, d)),
+            max_steps: limits.max_steps,
+            granule_limit: limits.granule_limit,
+            steps: Arc::new(AtomicU64::new(0)),
+            cancel: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    /// Replaces the deadline with `d` from now.
+    pub fn with_deadline(mut self, d: Duration) -> Self {
+        self.deadline = Some((Instant::now() + d, d));
+        self
+    }
+
+    /// Replaces the step budget.
+    pub fn with_max_steps(mut self, limit: u64) -> Self {
+        self.max_steps = Some(limit);
+        self
+    }
+
+    /// Replaces the granule cap.
+    pub fn with_granule_limit(mut self, limit: u64) -> Self {
+        self.granule_limit = Some(limit);
+        self
+    }
+
+    /// Uses `flag` as the cancellation flag (shared with the caller, who can
+    /// set it from another thread to stop the audit cooperatively).
+    pub fn with_cancel_flag(mut self, flag: Arc<AtomicBool>) -> Self {
+        self.cancel = flag;
+        self
+    }
+
+    /// The shared cancellation flag. Setting it makes every in-flight check
+    /// on this governor (and its clones) fail with [`AuditError::Cancelled`].
+    pub fn cancel_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.cancel)
+    }
+
+    /// Requests cooperative cancellation.
+    pub fn cancel(&self) {
+        self.cancel.store(true, Ordering::Relaxed);
+    }
+
+    /// Steps spent so far across all clones.
+    pub fn steps(&self) -> u64 {
+        self.steps.load(Ordering::Relaxed)
+    }
+
+    /// The configured granule cap, if any.
+    pub fn granule_limit(&self) -> Option<u64> {
+        self.granule_limit
+    }
+
+    /// Checks the envelope without spending a step — for loop heads whose
+    /// body cost is accounted elsewhere.
+    pub fn check(&self, phase: AuditPhase) -> Result<(), AuditError> {
+        let steps = self.steps.load(Ordering::Relaxed);
+        if self.cancel.load(Ordering::Relaxed) {
+            return Err(AuditError::Cancelled { phase, steps });
+        }
+        if let Some((at, configured)) = self.deadline {
+            if Instant::now() >= at {
+                return Err(AuditError::DeadlineExceeded {
+                    phase,
+                    steps,
+                    deadline_ms: configured.as_millis() as u64,
+                });
+            }
+        }
+        if let Some(limit) = self.max_steps {
+            if steps > limit {
+                return Err(AuditError::BudgetExhausted { phase, steps, limit });
+            }
+        }
+        Ok(())
+    }
+
+    /// Spends one step, then checks the envelope.
+    pub fn tick(&self, phase: AuditPhase) -> Result<(), AuditError> {
+        self.bump(phase, 1)
+    }
+
+    /// Spends `n` steps at once (row batches), then checks the envelope.
+    pub fn bump(&self, phase: AuditPhase, n: u64) -> Result<(), AuditError> {
+        self.steps.fetch_add(n, Ordering::Relaxed);
+        self.check(phase)
+    }
+
+    /// Enforces the granule cap against a granule count, reusing the
+    /// engine's existing [`AuditError::GranuleSetTooLarge`] guard.
+    pub fn check_granules(&self, count: u128) -> Result<(), AuditError> {
+        if let Some(limit) = self.granule_limit {
+            if count > u128::from(limit) {
+                return Err(AuditError::GranuleSetTooLarge { count, limit });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_trips() {
+        let gov = Governor::unlimited();
+        for _ in 0..10_000 {
+            gov.tick(AuditPhase::TargetView).unwrap();
+        }
+    }
+
+    #[test]
+    fn step_budget_trips_with_progress() {
+        let gov = Governor::unlimited().with_max_steps(10);
+        let mut trips = 0;
+        for _ in 0..20 {
+            if let Err(e) = gov.tick(AuditPhase::Suspicion) {
+                trips += 1;
+                match e {
+                    AuditError::BudgetExhausted { phase, steps, limit } => {
+                        assert_eq!(phase, AuditPhase::Suspicion);
+                        assert!(steps >= limit);
+                        assert_eq!(limit, 10);
+                    }
+                    other => panic!("unexpected error {other:?}"),
+                }
+            }
+        }
+        assert_eq!(trips, 10, "every step past the budget fails");
+    }
+
+    #[test]
+    fn deadline_trips_after_expiry() {
+        let gov = Governor::unlimited().with_deadline(Duration::from_millis(0));
+        std::thread::sleep(Duration::from_millis(2));
+        let err = gov.tick(AuditPhase::TargetView).unwrap_err();
+        assert!(
+            matches!(err, AuditError::DeadlineExceeded { phase: AuditPhase::TargetView, .. }),
+            "{err:?}"
+        );
+        assert!(err.to_string().contains("target-view"), "{err}");
+    }
+
+    #[test]
+    fn cancellation_is_shared_across_clones() {
+        let gov = Governor::unlimited();
+        let clone = gov.clone();
+        gov.cancel();
+        let err = clone.check(AuditPhase::Indexing).unwrap_err();
+        assert!(matches!(err, AuditError::Cancelled { phase: AuditPhase::Indexing, .. }));
+    }
+
+    #[test]
+    fn clones_share_the_step_counter() {
+        let gov = Governor::unlimited().with_max_steps(3);
+        let clone = gov.clone();
+        gov.bump(AuditPhase::TargetView, 2).unwrap();
+        assert!(clone.bump(AuditPhase::Suspicion, 2).is_err());
+    }
+
+    #[test]
+    fn granule_cap_reuses_existing_error() {
+        let gov = Governor::unlimited().with_granule_limit(100);
+        gov.check_granules(100).unwrap();
+        let err = gov.check_granules(101).unwrap_err();
+        assert!(matches!(err, AuditError::GranuleSetTooLarge { count: 101, limit: 100 }));
+    }
+
+    #[test]
+    fn arm_starts_from_limits() {
+        let limits = ResourceLimits {
+            deadline: Some(Duration::from_secs(3600)),
+            max_steps: Some(5),
+            granule_limit: Some(7),
+        };
+        assert!(!limits.is_unlimited());
+        let gov = Governor::arm(&limits);
+        assert_eq!(gov.granule_limit(), Some(7));
+        for _ in 0..5 {
+            let _ = gov.tick(AuditPhase::CandidateFilter);
+        }
+        assert!(gov.tick(AuditPhase::CandidateFilter).is_err());
+        assert!(ResourceLimits::unlimited().is_unlimited());
+    }
+}

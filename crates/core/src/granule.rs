@@ -70,11 +70,9 @@ impl GranuleModel {
     pub fn enumerate<'a>(&'a self, view: &'a TargetView) -> impl Iterator<Item = Granule> + 'a {
         let n = view.len();
         let k = self.k_for(n) as usize;
-        self.spec
-            .schemes()
-            .iter()
-            .enumerate()
-            .flat_map(move |(si, _)| KSubsets::new(n, k).map(move |facts| Granule { scheme_idx: si, facts }))
+        self.spec.schemes().iter().enumerate().flat_map(move |(si, _)| {
+            KSubsets::new(n, k).map(move |facts| Granule { scheme_idx: si, facts })
+        })
     }
 
     /// Materializes all granules, refusing when there are more than `limit`.
@@ -218,15 +216,24 @@ mod tests {
 
     #[test]
     fn count_is_schemes_times_choose() {
-        let m = GranuleModel { spec: spec("[a, b]"), threshold: Threshold::Count(2), indispensable: true };
+        let m = GranuleModel {
+            spec: spec("[a, b]"),
+            threshold: Threshold::Count(2),
+            indispensable: true,
+        };
         assert_eq!(m.count(4), 2 * 6);
-        let all = GranuleModel { spec: spec("(a)"), threshold: Threshold::All, indispensable: true };
+        let all =
+            GranuleModel { spec: spec("(a)"), threshold: Threshold::All, indispensable: true };
         assert_eq!(all.count(4), 1);
     }
 
     #[test]
     fn enumerate_matches_count() {
-        let m = GranuleModel { spec: spec("[a, b, c]"), threshold: Threshold::Count(2), indispensable: true };
+        let m = GranuleModel {
+            spec: spec("[a, b, c]"),
+            threshold: Threshold::Count(2),
+            indispensable: true,
+        };
         let v = view(5);
         assert_eq!(m.enumerate(&v).count() as u128, m.count(5));
     }
@@ -234,10 +241,10 @@ mod tests {
     #[test]
     fn k_subsets_lexicographic() {
         let subs: Vec<Vec<usize>> = KSubsets::new(4, 2).collect();
-        assert_eq!(subs, vec![
-            vec![0, 1], vec![0, 2], vec![0, 3],
-            vec![1, 2], vec![1, 3], vec![2, 3],
-        ]);
+        assert_eq!(
+            subs,
+            vec![vec![0, 1], vec![0, 2], vec![0, 3], vec![1, 2], vec![1, 3], vec![2, 3],]
+        );
     }
 
     #[test]
@@ -259,7 +266,11 @@ mod tests {
 
     #[test]
     fn materialize_guards_size() {
-        let m = GranuleModel { spec: spec("[a, b]"), threshold: Threshold::Count(2), indispensable: true };
+        let m = GranuleModel {
+            spec: spec("[a, b]"),
+            threshold: Threshold::Count(2),
+            indispensable: true,
+        };
         let v = view(30);
         assert!(m.materialize(&v, 10).is_err());
         assert_eq!(m.materialize(&v, 10_000).unwrap().len(), 2 * 435);
@@ -267,24 +278,31 @@ mod tests {
 
     #[test]
     fn render_includes_tid_when_indispensable() {
-        let m = GranuleModel { spec: spec("(a)"), threshold: Threshold::Count(1), indispensable: true };
+        let m =
+            GranuleModel { spec: spec("(a)"), threshold: Threshold::Count(1), indispensable: true };
         let v = view(2);
         let gs = m.materialize(&v, 100).unwrap();
         assert_eq!(m.render(&gs[0], &v), "(t1,0)");
-        let m2 = GranuleModel { spec: spec("(a)"), threshold: Threshold::Count(1), indispensable: false };
+        let m2 = GranuleModel {
+            spec: spec("(a)"),
+            threshold: Threshold::Count(1),
+            indispensable: false,
+        };
         assert_eq!(m2.render(&gs[0], &v), "(0)");
     }
 
     #[test]
     fn render_set_braces() {
-        let m = GranuleModel { spec: spec("(a)"), threshold: Threshold::Count(1), indispensable: true };
+        let m =
+            GranuleModel { spec: spec("(a)"), threshold: Threshold::Count(1), indispensable: true };
         let v = view(2);
         assert_eq!(m.render_set(&v, 100).unwrap(), "{(t1,0), (t2,1)}");
     }
 
     #[test]
     fn multi_tuple_granule_renders_with_semicolons() {
-        let m = GranuleModel { spec: spec("(a)"), threshold: Threshold::Count(2), indispensable: true };
+        let m =
+            GranuleModel { spec: spec("(a)"), threshold: Threshold::Count(2), indispensable: true };
         let v = view(2);
         let gs = m.materialize(&v, 100).unwrap();
         assert_eq!(m.render(&gs[0], &v), "(t1,0);(t2,1)");

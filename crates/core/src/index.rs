@@ -25,6 +25,7 @@ use crate::candidate::{accessed_base_columns, BaseColumn};
 use crate::catalog::{base_name, AuditScope};
 use crate::engine::PreparedAudit;
 use crate::error::AuditError;
+use crate::governor::{AuditPhase, Governor};
 use crate::granule::binomial;
 use crate::suspicion::BatchVerdict;
 use audex_log::{LoggedQuery, QueryId};
@@ -59,15 +60,27 @@ impl TouchIndex {
         queries: &[Arc<LoggedQuery>],
         strategy: JoinStrategy,
     ) -> TouchIndex {
+        Self::build_governed(db, queries, strategy, &Governor::unlimited())
+            .unwrap_or_else(|_| TouchIndex { footprints: Vec::new(), skipped: Vec::new() })
+    }
+
+    /// Builds the index under a [`Governor`]: one step per query executed.
+    pub fn build_governed(
+        db: &Database,
+        queries: &[Arc<LoggedQuery>],
+        strategy: JoinStrategy,
+        governor: &Governor,
+    ) -> Result<TouchIndex, AuditError> {
         let mut footprints = Vec::with_capacity(queries.len());
         let mut skipped = Vec::new();
         for q in queries {
+            governor.tick(AuditPhase::Indexing)?;
             match Self::footprint(db, q, strategy) {
                 Some(fp) => footprints.push(fp),
                 None => skipped.push(q.id),
             }
         }
-        TouchIndex { footprints, skipped }
+        Ok(TouchIndex { footprints, skipped })
     }
 
     fn footprint(db: &Database, q: &LoggedQuery, strategy: JoinStrategy) -> Option<QueryFootprint> {
@@ -157,16 +170,23 @@ impl TouchIndex {
         prepared: &PreparedAudit,
         admitted: &BTreeSet<QueryId>,
     ) -> Result<BatchVerdict, AuditError> {
+        self.evaluate_governed(prepared, admitted, &Governor::unlimited())
+    }
+
+    /// [`TouchIndex::evaluate`] under a [`Governor`]: one step per admitted
+    /// footprint plus one per fact tested against it.
+    pub fn evaluate_governed(
+        &self,
+        prepared: &PreparedAudit,
+        admitted: &BTreeSet<QueryId>,
+        governor: &Governor,
+    ) -> Result<BatchVerdict, AuditError> {
         let scope = &prepared.scope;
         let model = &prepared.model;
         let view = &prepared.view;
 
-        let relevant: BTreeSet<BaseColumn> = model
-            .spec
-            .all_columns()
-            .iter()
-            .filter_map(|c| scope.base_of_column(c))
-            .collect();
+        let relevant: BTreeSet<BaseColumn> =
+            model.spec.all_columns().iter().filter_map(|c| scope.base_of_column(c)).collect();
 
         // View-column lookup for value mode.
         let mut columns_by_base: BTreeMap<BaseColumn, Vec<ResolvedColumn>> = BTreeMap::new();
@@ -186,6 +206,7 @@ impl TouchIndex {
             if !admitted.contains(&fp.id) {
                 continue;
             }
+            governor.tick(AuditPhase::Indexing)?;
             let shared_bindings: Vec<&Ident> = scope
                 .entries()
                 .iter()
@@ -199,10 +220,13 @@ impl TouchIndex {
                 }
                 let mut touched = BTreeSet::new();
                 for (fi, fact) in view.facts.iter().enumerate() {
+                    governor.tick(AuditPhase::Indexing)?;
                     let hit = fp.combos.iter().any(|combo| {
                         shared_bindings.iter().all(|b| {
-                            let base = &scope.entry(b).expect("binding in scope").base;
-                            match (fact.tid_of(b), combo.get(base)) {
+                            let Some(entry) = scope.entry(b) else {
+                                return false; // unreachable: b came from this scope
+                            };
+                            match (fact.tid_of(b), combo.get(&entry.base)) {
                                 (Some(tid), Some(tids)) => tids.contains(&tid),
                                 _ => false,
                             }
@@ -224,6 +248,7 @@ impl TouchIndex {
             } else {
                 let mut exposed_any = false;
                 for row in &fp.value_rows {
+                    governor.bump(AuditPhase::Indexing, view.facts.len() as u64)?;
                     for (bc, v) in row {
                         let Some(audit_cols) = columns_by_base.get(bc) else { continue };
                         for (fi, fact) in view.facts.iter().enumerate() {
@@ -281,12 +306,7 @@ impl TouchIndex {
             per_scheme_accessed,
             contributing,
             witnesses,
-            skipped: self
-                .skipped
-                .iter()
-                .filter(|id| admitted.contains(id))
-                .copied()
-                .collect(),
+            skipped: self.skipped.iter().filter(|id| admitted.contains(id)).copied().collect(),
         })
     }
 }
@@ -307,10 +327,18 @@ mod tests {
         )
         .unwrap();
         let log = QueryLog::new();
-        log.record_text("SELECT a FROM t", Timestamp(1), audex_log::AccessContext::new("u", "r", "p"))
-            .unwrap();
-        log.record_text("SELECT x FROM ghost", Timestamp(2), audex_log::AccessContext::new("u", "r", "p"))
-            .unwrap();
+        log.record_text(
+            "SELECT a FROM t",
+            Timestamp(1),
+            audex_log::AccessContext::new("u", "r", "p"),
+        )
+        .unwrap();
+        log.record_text(
+            "SELECT x FROM ghost",
+            Timestamp(2),
+            audex_log::AccessContext::new("u", "r", "p"),
+        )
+        .unwrap();
         let batch = log.snapshot();
         let index = TouchIndex::build(&db, &batch, JoinStrategy::Auto);
         assert_eq!(index.len(), 1);

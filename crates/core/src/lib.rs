@@ -41,6 +41,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Robustness policy: library code must surface failures as structured
+// errors, never panic on them (tests are exempt via clippy.toml).
+#![warn(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod attrspec;
 pub mod candidate;
@@ -48,6 +51,7 @@ pub mod catalog;
 pub mod compliance;
 pub mod engine;
 pub mod error;
+pub mod governor;
 pub mod granule;
 pub mod index;
 pub mod limits;
@@ -64,6 +68,7 @@ pub use catalog::{base_name, AuditScope};
 pub use compliance::{assess, suggest_limits, AccessClass, Assessment};
 pub use engine::{AuditEngine, AuditMode, AuditReport, EngineOptions, PreparedAudit};
 pub use error::AuditError;
+pub use governor::{AuditPhase, Governor, ResourceLimits};
 pub use granule::{binomial, Granule, GranuleModel};
 pub use index::TouchIndex;
 pub use rank::{OnlineAuditor, QueryScore};

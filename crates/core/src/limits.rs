@@ -1,9 +1,9 @@
 //! Resolution of the audit expression's limiting parameters (paper §3.3)
 //! into a concrete [`AccessFilter`], and of its time clauses into intervals.
 
+use audex_log::AccessFilter;
 use audex_sql::ast::{AuditExpr, RolePurposePattern, TimeInterval};
 use audex_sql::Timestamp;
-use audex_log::AccessFilter;
 
 use crate::error::AuditError;
 
@@ -83,8 +83,18 @@ mod tests {
         assert_eq!(f.neg_role_purpose[0].purpose, Some(Ident::new("marketing")));
         assert!(f.neg_role_purpose[0].role.is_none());
         // An access for 'marketing' is exempt; others are audited.
-        assert!(!f.admits_parts(&Ident::new("u"), &Ident::new("r"), &Ident::new("marketing"), now()));
-        assert!(f.admits_parts(&Ident::new("u"), &Ident::new("r"), &Ident::new("treatment"), now()));
+        assert!(!f.admits_parts(
+            &Ident::new("u"),
+            &Ident::new("r"),
+            &Ident::new("marketing"),
+            now()
+        ));
+        assert!(f.admits_parts(
+            &Ident::new("u"),
+            &Ident::new("r"),
+            &Ident::new("treatment"),
+            now()
+        ));
     }
 
     #[test]

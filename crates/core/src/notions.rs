@@ -44,10 +44,7 @@ pub fn weak_syntactic(mut audit: AuditExpr) -> Result<AuditExpr, AuditError> {
         }
     };
     // Existing audit attributes...
-    fn walk(
-        nodes: &[AttrNode],
-        push: &mut impl FnMut(audex_sql::ColumnRef),
-    ) {
+    fn walk(nodes: &[AttrNode], push: &mut impl FnMut(audex_sql::ColumnRef)) {
         for n in nodes {
             match n {
                 AttrNode::Item(AttrItem::Column(c)) => push(c.clone()),
@@ -61,7 +58,9 @@ pub fn weak_syntactic(mut audit: AuditExpr) -> Result<AuditExpr, AuditError> {
             match n {
                 AttrNode::Item(AttrItem::Star) => true,
                 AttrNode::Item(_) => false,
-                AttrNode::Group(AttrGroup::Mandatory(m) | AttrGroup::Optional(m)) => m.iter().any(star),
+                AttrNode::Group(AttrGroup::Mandatory(m) | AttrGroup::Optional(m)) => {
+                    m.iter().any(star)
+                }
             }
         }
         star(n)
@@ -154,18 +153,21 @@ pub fn direct_semantic_single(
     // C_Q ⊇ C_A: the audit-list columns (all schemes' union here — for the
     // classic form the list is a single mandatory scheme).
     let accessed = accessed_base_columns(q, &q_scope);
-    let needed: BTreeSet<_> = spec
-        .all_columns()
-        .iter()
-        .filter_map(|c| audit_scope.base_of_column(c))
-        .collect();
+    let needed: BTreeSet<_> =
+        spec.all_columns().iter().filter_map(|c| audit_scope.base_of_column(c)).collect();
     if !needed.is_subset(&accessed) {
         return Ok(false);
     }
     let (ds, de) = crate::limits::resolve_interval(audit.data_interval.as_ref(), now)?;
     let versions = db.versions_in(&audit_scope.bases(), ds, de);
-    let view =
-        crate::target::compute_target_view(db, audit, &audit_scope, &spec, &versions, JoinStrategy::Auto)?;
+    let view = crate::target::compute_target_view(
+        db,
+        audit,
+        &audit_scope,
+        &spec,
+        &versions,
+        JoinStrategy::Auto,
+    )?;
     shares_indispensable_tuple(db, q, &audit_scope, &view)
 }
 
@@ -182,8 +184,14 @@ pub fn direct_semantic_batch(
     let spec = normalize_with(&audit.audit, &audit_scope)?;
     let (ds, de) = crate::limits::resolve_interval(audit.data_interval.as_ref(), now)?;
     let versions = db.versions_in(&audit_scope.bases(), ds, de);
-    let view =
-        crate::target::compute_target_view(db, audit, &audit_scope, &spec, &versions, JoinStrategy::Auto)?;
+    let view = crate::target::compute_target_view(
+        db,
+        audit,
+        &audit_scope,
+        &spec,
+        &versions,
+        JoinStrategy::Auto,
+    )?;
 
     let mut covered: BTreeSet<(audex_sql::Ident, audex_sql::Ident)> = BTreeSet::new();
     for q in batch {
@@ -193,11 +201,8 @@ pub fn direct_semantic_batch(
             }
         }
     }
-    let needed: BTreeSet<_> = spec
-        .all_columns()
-        .iter()
-        .filter_map(|c| audit_scope.base_of_column(c))
-        .collect();
+    let needed: BTreeSet<_> =
+        spec.all_columns().iter().filter_map(|c| audit_scope.base_of_column(c)).collect();
     Ok(!needed.is_empty() && needed.is_subset(&covered))
 }
 
@@ -215,13 +220,16 @@ pub fn direct_weak_syntactic(
     let spec = normalize_with(&weak.audit, &audit_scope)?;
     let (ds, de) = crate::limits::resolve_interval(audit.data_interval.as_ref(), now)?;
     let versions = db.versions_in(&audit_scope.bases(), ds, de);
-    let view =
-        crate::target::compute_target_view(db, audit, &audit_scope, &spec, &versions, JoinStrategy::Auto)?;
-    let needed: BTreeSet<_> = spec
-        .all_columns()
-        .iter()
-        .filter_map(|c| audit_scope.base_of_column(c))
-        .collect();
+    let view = crate::target::compute_target_view(
+        db,
+        audit,
+        &audit_scope,
+        &spec,
+        &versions,
+        JoinStrategy::Auto,
+    )?;
+    let needed: BTreeSet<_> =
+        spec.all_columns().iter().filter_map(|c| audit_scope.base_of_column(c)).collect();
     for q in batch {
         if shares_indispensable_tuple(db, q, &audit_scope, &view)? {
             if let Ok(q_scope) = AuditScope::resolve(db, &q.query.from) {
@@ -249,8 +257,14 @@ pub fn direct_perfect_privacy(
     let spec = normalize_with(&pp.audit, &audit_scope)?;
     let (ds, de) = crate::limits::resolve_interval(audit.data_interval.as_ref(), now)?;
     let versions = db.versions_in(&audit_scope.bases(), ds, de);
-    let view =
-        crate::target::compute_target_view(db, audit, &audit_scope, &spec, &versions, JoinStrategy::Auto)?;
+    let view = crate::target::compute_target_view(
+        db,
+        audit,
+        &audit_scope,
+        &spec,
+        &versions,
+        JoinStrategy::Auto,
+    )?;
     for q in batch {
         if shares_indispensable_tuple(db, q, &audit_scope, &view)? {
             // Any query keeping a tuple necessarily references some column
@@ -280,7 +294,8 @@ mod tests {
 
     #[test]
     fn perfect_privacy_rewrite() {
-        let a = parse_audit("THRESHOLD 3 INDISPENSABLE false AUDIT (x, y) FROM t WHERE x = 1").unwrap();
+        let a =
+            parse_audit("THRESHOLD 3 INDISPENSABLE false AUDIT (x, y) FROM t WHERE x = 1").unwrap();
         let pp = perfect_privacy(a);
         assert_eq!(pp.audit, AttrSpec::optional_star());
         assert!(pp.indispensable);
@@ -290,7 +305,8 @@ mod tests {
 
     #[test]
     fn weak_syntactic_rewrite_collects_audit_and_where_columns() {
-        let a = parse_audit("AUDIT name, disease FROM t WHERE zipcode = '1' AND salary > 2").unwrap();
+        let a =
+            parse_audit("AUDIT name, disease FROM t WHERE zipcode = '1' AND salary > 2").unwrap();
         let w = weak_syntactic(a).unwrap();
         match &w.audit.nodes[0] {
             audex_sql::ast::AttrNode::Group(audex_sql::ast::AttrGroup::Optional(m)) => {

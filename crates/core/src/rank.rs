@@ -95,18 +95,14 @@ impl<'a> OnlineAuditor<'a> {
                 .iter()
                 .filter_map(|c| prepared.scope.base_of_column(c))
                 .collect();
-            let covered_relevant =
-                contrib.covered_columns.intersection(&relevant).count() as f64;
+            let covered_relevant = contrib.covered_columns.intersection(&relevant).count() as f64;
             let fact_coverage = if prepared.model.indispensable {
                 contrib.touched_facts.len() as f64 / n as f64
             } else {
                 contrib.exposed.len() as f64 / n as f64
             };
-            let column_coverage = if relevant.is_empty() {
-                0.0
-            } else {
-                covered_relevant / relevant.len() as f64
-            };
+            let column_coverage =
+                if relevant.is_empty() { 0.0 } else { covered_relevant / relevant.len() as f64 };
 
             let state = &mut self.states[i];
             state.touched.extend(contrib.touched_facts.iter().copied());
@@ -155,7 +151,10 @@ impl<'a> OnlineAuditor<'a> {
                     .iter()
                     .enumerate()
                     .filter(|(fi, _)| {
-                        state.exposure.get(fi).is_some_and(|cols| scheme.iter().all(|c| cols.contains(c)))
+                        state
+                            .exposure
+                            .get(fi)
+                            .is_some_and(|cols| scheme.iter().all(|c| cols.contains(c)))
                     })
                     .count() as u64
             };
@@ -181,7 +180,10 @@ impl<'a> OnlineAuditor<'a> {
 
     /// Queries ranked by total closeness across all audits (descending):
     /// the paper's "degree of suspiciousness for user queries on line".
-    pub fn ranking(&mut self, batch: &[Arc<LoggedQuery>]) -> Result<Vec<(QueryId, f64)>, AuditError> {
+    pub fn ranking(
+        &mut self,
+        batch: &[Arc<LoggedQuery>],
+    ) -> Result<Vec<(QueryId, f64)>, AuditError> {
         let mut totals: BTreeMap<QueryId, f64> = BTreeMap::new();
         for q in batch {
             let scores = self.observe(q)?;
@@ -189,7 +191,9 @@ impl<'a> OnlineAuditor<'a> {
             *totals.entry(q.id).or_insert(0.0) += sum;
         }
         let mut out: Vec<(QueryId, f64)> = totals.into_iter().collect();
-        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
+        out.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+        });
         Ok(out)
     }
 }
@@ -260,7 +264,8 @@ mod tests {
     fn observe_scores_contributing_query() {
         let db = db();
         let mut oa = auditor(&db, &["AUDIT disease FROM Patients WHERE zipcode='120016'"]);
-        let scores = oa.observe(&q(1, "SELECT disease FROM Patients WHERE zipcode='120016'")).unwrap();
+        let scores =
+            oa.observe(&q(1, "SELECT disease FROM Patients WHERE zipcode='120016'")).unwrap();
         assert_eq!(scores.len(), 1);
         assert!((scores[0].fact_coverage - 1.0).abs() < 1e-9);
         assert!(scores[0].closeness > 0.9);

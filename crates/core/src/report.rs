@@ -41,7 +41,12 @@ impl AuditReport {
             self.verdict.degree
         );
         if !self.verdict.skipped.is_empty() {
-            let _ = writeln!(out, "skipped    : {} unevaluable queries {:?}", self.verdict.skipped.len(), self.verdict.skipped);
+            let _ = writeln!(
+                out,
+                "skipped    : {} unevaluable queries {:?}",
+                self.verdict.skipped.len(),
+                self.verdict.skipped
+            );
         }
         if !self.verdict.witnesses.is_empty() {
             let _ = writeln!(
@@ -79,13 +84,17 @@ impl AuditReport {
                 self.per_query_suspicious
             );
         }
+        if let Some(e) = &self.truncation {
+            let _ = writeln!(out, "TRUNCATED  : per-query refinement stopped early — {e}");
+        }
         out
     }
 
     /// Renders the contributing queries as CSV
     /// (`query_id,executed_at,user,role,purpose,individually_suspicious,text`).
     pub fn render_csv(&self, log: &QueryLog) -> String {
-        let mut out = String::from("query_id,executed_at,user,role,purpose,individually_suspicious,text\n");
+        let mut out =
+            String::from("query_id,executed_at,user,role,purpose,individually_suspicious,text\n");
         for id in &self.verdict.contributing {
             if let Some(e) = log.get(*id) {
                 let _ = writeln!(
@@ -117,12 +126,20 @@ mod tests {
         let mut db = Database::new();
         db.create_table(
             Ident::new("Patients"),
-            Schema::of(&[("pid", TypeName::Text), ("zipcode", TypeName::Text), ("disease", TypeName::Text)]),
+            Schema::of(&[
+                ("pid", TypeName::Text),
+                ("zipcode", TypeName::Text),
+                ("disease", TypeName::Text),
+            ]),
             Timestamp(0),
         )
         .unwrap();
-        db.insert(&Ident::new("Patients"), vec!["p1".into(), "120016".into(), "cancer".into()], Timestamp(1))
-            .unwrap();
+        db.insert(
+            &Ident::new("Patients"),
+            vec!["p1".into(), "120016".into(), "cancer".into()],
+            Timestamp(1),
+        )
+        .unwrap();
         let log = QueryLog::new();
         log.record_text(
             "SELECT zipcode FROM Patients WHERE disease = 'cancer'",

@@ -39,6 +39,7 @@ use crate::attrspec::normalize_with;
 use crate::candidate::{accessed_base_columns, BaseColumn, CandidateChecker};
 use crate::catalog::AuditScope;
 use crate::error::AuditError;
+use crate::governor::{AuditPhase, Governor};
 use crate::granule::GranuleModel;
 use crate::notions::weak_syntactic;
 use crate::suspicion::BatchEvaluator;
@@ -119,10 +120,14 @@ fn extract_strict(pred: &Expr, scope: &AuditScope) -> Option<Vec<FragmentConstra
         match c {
             Expr::Binary { left, op, right } if op.is_comparison() => {
                 match (col(left), col(right)) {
-                    (Some(a), Some(b)) if *op == BinOp::Eq => out.push(FragmentConstraint::ColEq(a, b)),
+                    (Some(a), Some(b)) if *op == BinOp::Eq => {
+                        out.push(FragmentConstraint::ColEq(a, b))
+                    }
                     (Some(_), Some(_)) => return None, // col <op> col: outside fragment
                     (Some(cc), None) => out.push(FragmentConstraint::Cmp(cc, *op, lit(right)?)),
-                    (None, Some(cc)) => out.push(FragmentConstraint::Cmp(cc, op.flip(), lit(left)?)),
+                    (None, Some(cc)) => {
+                        out.push(FragmentConstraint::Cmp(cc, op.flip(), lit(left)?))
+                    }
                     _ => return None,
                 }
             }
@@ -151,7 +156,11 @@ fn solve(constraints: &[FragmentConstraint]) -> Option<BTreeMap<BaseColumn, Valu
         }
         i
     }
-    let intern = |c: &BaseColumn, cols: &mut Vec<BaseColumn>, index: &mut BTreeMap<BaseColumn, usize>, parent: &mut Vec<usize>| -> usize {
+    let intern = |c: &BaseColumn,
+                  cols: &mut Vec<BaseColumn>,
+                  index: &mut BTreeMap<BaseColumn, usize>,
+                  parent: &mut Vec<usize>|
+     -> usize {
         *index.entry(c.clone()).or_insert_with(|| {
             cols.push(c.clone());
             parent.push(parent.len());
@@ -306,6 +315,16 @@ pub fn static_weak_syntactic(
     batch: &[Arc<LoggedQuery>],
     audit: &audex_sql::ast::AuditExpr,
 ) -> Result<StaticVerdict, AuditError> {
+    static_weak_syntactic_governed(db, batch, audit, &Governor::unlimited())
+}
+
+/// [`static_weak_syntactic`] under a [`Governor`]: one step per batch query.
+pub fn static_weak_syntactic_governed(
+    db: &Database,
+    batch: &[Arc<LoggedQuery>],
+    audit: &audex_sql::ast::AuditExpr,
+    governor: &Governor,
+) -> Result<StaticVerdict, AuditError> {
     let audit_scope = AuditScope::resolve(db, &audit.from)?;
     let weak = weak_syntactic(audit.clone())?;
     let spec = normalize_with(&weak.audit, &audit_scope)?;
@@ -323,6 +342,7 @@ pub fn static_weak_syntactic(
 
     let mut saw_unknown = false;
     for q in batch {
+        governor.tick(AuditPhase::StaticAnalysis)?;
         let Ok(q_scope) = AuditScope::resolve(db, &q.query.from) else {
             continue; // unknown tables: can never be suspicious
         };
@@ -347,7 +367,9 @@ pub fn static_weak_syntactic(
             .iter()
             .map(|c| match c {
                 FragmentConstraint::ColEq(a, b) => FragmentConstraint::ColEq(a.clone(), b.clone()),
-                FragmentConstraint::Cmp(c, op, v) => FragmentConstraint::Cmp(c.clone(), *op, v.clone()),
+                FragmentConstraint::Cmp(c, op, v) => {
+                    FragmentConstraint::Cmp(c.clone(), *op, v.clone())
+                }
             })
             .collect::<Vec<_>>();
         all.extend(q_constraints);
@@ -424,11 +446,8 @@ fn verify_witness(
         &[Timestamp(1)],
         JoinStrategy::Auto,
     )?;
-    let model = GranuleModel {
-        spec,
-        threshold: audex_sql::ast::Threshold::Count(1),
-        indispensable: true,
-    };
+    let model =
+        GranuleModel { spec, threshold: audex_sql::ast::Threshold::Count(1), indispensable: true };
     // Re-time the query to the witness instant.
     let mut q2 = (**{ &q }).clone();
     q2.executed_at = Timestamp(1);
@@ -447,10 +466,21 @@ pub fn static_semantic_bound(
     batch: &[Arc<LoggedQuery>],
     audit: &audex_sql::ast::AuditExpr,
 ) -> Result<StaticVerdict, AuditError> {
+    static_semantic_bound_governed(db, batch, audit, &Governor::unlimited())
+}
+
+/// [`static_semantic_bound`] under a [`Governor`]: one step per batch query.
+pub fn static_semantic_bound_governed(
+    db: &Database,
+    batch: &[Arc<LoggedQuery>],
+    audit: &audex_sql::ast::AuditExpr,
+    governor: &Governor,
+) -> Result<StaticVerdict, AuditError> {
     let audit_scope = AuditScope::resolve(db, &audit.from)?;
     let spec = normalize_with(&audit.audit, &audit_scope)?;
     let checker = CandidateChecker::new(&audit_scope, &spec, audit.selection.as_ref())?;
     for q in batch {
+        governor.tick(AuditPhase::StaticAnalysis)?;
         if let Ok(q_scope) = AuditScope::resolve(db, &q.query.from) {
             if checker.is_candidate(q, &q_scope) {
                 return Ok(StaticVerdict::Unknown);
@@ -505,7 +535,12 @@ mod tests {
                 // The witness really contains a >30-year-old in 120016.
                 let rs = witness
                     .at(Timestamp(1))
-                    .query(&parse_query("SELECT age FROM Patients WHERE zipcode = '120016' AND age > 30").unwrap())
+                    .query(
+                        &parse_query(
+                            "SELECT age FROM Patients WHERE zipcode = '120016' AND age > 30",
+                        )
+                        .unwrap(),
+                    )
                     .unwrap();
                 assert_eq!(rs.rows.len(), 1);
             }
@@ -518,7 +553,10 @@ mod tests {
         let db = catalog();
         let audit = parse_audit("AUDIT disease FROM Patients WHERE age < 30").unwrap();
         let batch = vec![q(1, "SELECT disease FROM Patients WHERE age > 40")];
-        assert_eq!(static_weak_syntactic(&db, &batch, &audit).unwrap(), StaticVerdict::NotSuspicious);
+        assert_eq!(
+            static_weak_syntactic(&db, &batch, &audit).unwrap(),
+            StaticVerdict::NotSuspicious
+        );
     }
 
     #[test]
@@ -541,7 +579,10 @@ mod tests {
         // Accesses only pid — not in the weak-syntactic scheme set (disease
         // is the single audit column; no WHERE).
         let batch = vec![q(1, "SELECT pid FROM Patients")];
-        assert_eq!(static_weak_syntactic(&db, &batch, &audit).unwrap(), StaticVerdict::NotSuspicious);
+        assert_eq!(
+            static_weak_syntactic(&db, &batch, &audit).unwrap(),
+            StaticVerdict::NotSuspicious
+        );
     }
 
     #[test]
@@ -611,7 +652,10 @@ mod tests {
         assert_eq!(static_semantic_bound(&db, &batch, &audit).unwrap(), StaticVerdict::Unknown);
         // No candidate (contradiction) → provably not suspicious.
         let batch = vec![q(1, "SELECT disease FROM Patients WHERE zipcode = '999'")];
-        assert_eq!(static_semantic_bound(&db, &batch, &audit).unwrap(), StaticVerdict::NotSuspicious);
+        assert_eq!(
+            static_semantic_bound(&db, &batch, &audit).unwrap(),
+            StaticVerdict::NotSuspicious
+        );
     }
 
     #[test]

@@ -29,6 +29,7 @@ use crate::attrspec::ResolvedColumn;
 use crate::candidate::{accessed_base_columns, BaseColumn};
 use crate::catalog::AuditScope;
 use crate::error::AuditError;
+use crate::governor::{AuditPhase, Governor};
 use crate::granule::{binomial, GranuleModel};
 use crate::target::TargetView;
 use audex_log::{LoggedQuery, QueryId};
@@ -53,7 +54,7 @@ impl QueryContribution {
 }
 
 /// The outcome of evaluating a batch against one audit expression.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BatchVerdict {
     /// Whether any granule was accessed.
     pub suspicious: bool,
@@ -87,6 +88,7 @@ pub struct BatchEvaluator<'a> {
     model: &'a GranuleModel,
     view: &'a TargetView,
     strategy: JoinStrategy,
+    governor: Governor,
     /// (base, column) → audit view columns with that identity.
     columns_by_base: BTreeMap<BaseColumn, Vec<ResolvedColumn>>,
 }
@@ -106,13 +108,42 @@ impl<'a> BatchEvaluator<'a> {
                 columns_by_base.entry(bc).or_default().push(c.clone());
             }
         }
-        BatchEvaluator { db, scope, model, view, strategy, columns_by_base }
+        BatchEvaluator {
+            db,
+            scope,
+            model,
+            view,
+            strategy,
+            governor: Governor::unlimited(),
+            columns_by_base,
+        }
+    }
+
+    /// Puts the evaluator under `governor`: the batch and fact loops then
+    /// consult it and evaluation stops with a governor error when it trips.
+    pub fn with_governor(mut self, governor: Governor) -> Self {
+        self.governor = governor;
+        self
     }
 
     /// Computes one query's contribution, or `None` when the query cannot be
-    /// evaluated (unknown tables, execution error).
+    /// evaluated (unknown tables, execution error). Governor trips are
+    /// swallowed here too; use [`BatchEvaluator::try_contribution`] to see
+    /// them.
     pub fn contribution(&self, q: &LoggedQuery) -> Option<QueryContribution> {
-        let q_scope = AuditScope::resolve(self.db, &q.query.from).ok()?;
+        self.try_contribution(q).ok().flatten()
+    }
+
+    /// Computes one query's contribution. `Ok(None)` means the query itself
+    /// cannot be evaluated (unknown tables, execution error) and should be
+    /// reported as skipped; `Err` means the governor stopped the audit.
+    pub fn try_contribution(
+        &self,
+        q: &LoggedQuery,
+    ) -> Result<Option<QueryContribution>, AuditError> {
+        let Ok(q_scope) = AuditScope::resolve(self.db, &q.query.from) else {
+            return Ok(None);
+        };
         let mut contrib = QueryContribution {
             covered_columns: accessed_base_columns(q, &q_scope),
             ..Default::default()
@@ -128,10 +159,12 @@ impl<'a> BatchEvaluator<'a> {
             .map(|e| &e.binding)
             .collect();
         if shared_bindings.is_empty() {
-            return Some(contrib); // no tuples can be shared
+            return Ok(Some(contrib)); // no tuples can be shared
         }
 
-        let rs = self.db.at(q.executed_at).query_with(&q.query, self.strategy).ok()?;
+        let Ok(rs) = self.db.at(q.executed_at).query_with(&q.query, self.strategy) else {
+            return Ok(None);
+        };
 
         if self.model.indispensable {
             // Per satisfying combination: tids grouped by base table.
@@ -149,10 +182,13 @@ impl<'a> BatchEvaluator<'a> {
                 .collect();
 
             for (fi, fact) in self.view.facts.iter().enumerate() {
+                self.governor.tick(AuditPhase::Suspicion)?;
                 let touched = combos.iter().any(|combo| {
                     shared_bindings.iter().all(|b| {
-                        let base = &self.scope.entry(b).expect("binding in scope").base;
-                        match (fact.tid_of(b), combo.get(base)) {
+                        let Some(entry) = self.scope.entry(b) else {
+                            return false; // unreachable: b came from this scope
+                        };
+                        match (fact.tid_of(b), combo.get(&entry.base)) {
                             (Some(tid), Some(tids)) => tids.contains(&tid),
                             _ => false,
                         }
@@ -200,6 +236,7 @@ impl<'a> BatchEvaluator<'a> {
 
             if !out_cols.is_empty() {
                 for row in &rs.rows {
+                    self.governor.bump(AuditPhase::Suspicion, self.view.facts.len() as u64)?;
                     for (fi, fact) in self.view.facts.iter().enumerate() {
                         for (ri, audit_cols) in &out_cols {
                             for ac in audit_cols {
@@ -214,7 +251,7 @@ impl<'a> BatchEvaluator<'a> {
                 }
             }
         }
-        Some(contrib)
+        Ok(Some(contrib))
     }
 
     fn push_out_col(
@@ -249,7 +286,8 @@ impl<'a> BatchEvaluator<'a> {
             .collect();
 
         for q in batch {
-            match self.contribution(q) {
+            self.governor.tick(AuditPhase::Suspicion)?;
+            match self.try_contribution(q)? {
                 None => skipped.push(q.id),
                 Some(c) => {
                     if self.model.indispensable {
@@ -281,9 +319,7 @@ impl<'a> BatchEvaluator<'a> {
         for scheme in self.model.spec.schemes() {
             let m = if self.model.indispensable {
                 let covered = scheme.iter().all(|c| {
-                    self.scope
-                        .base_of_column(c)
-                        .is_some_and(|bc| covered_union.contains(&bc))
+                    self.scope.base_of_column(c).is_some_and(|bc| covered_union.contains(&bc))
                 });
                 if covered {
                     touched_union.len() as u64
@@ -371,8 +407,9 @@ mod tests {
         let audit = parse_audit(audit_sql).unwrap();
         let scope = AuditScope::resolve(&db, &audit.from).unwrap();
         let spec = normalize_with(&audit.audit, &scope).unwrap();
-        let view = compute_target_view(&db, &audit, &scope, &spec, &[Timestamp(1)], JoinStrategy::Auto)
-            .unwrap();
+        let view =
+            compute_target_view(&db, &audit, &scope, &spec, &[Timestamp(1)], JoinStrategy::Auto)
+                .unwrap();
         let model =
             GranuleModel { spec, threshold: audit.threshold, indispensable: audit.indispensable };
         Setup { db, scope, model, view }
@@ -569,9 +606,6 @@ mod tests {
         assert_eq!(c.touched_facts.len(), 1);
         let fi = *c.touched_facts.iter().next().unwrap();
         assert_eq!(s.view.facts[fi].tids[0].1, Tid(1));
-        assert_eq!(
-            s.view.facts[fi].values.values().next().unwrap(),
-            &Value::Str("Jane".into())
-        );
+        assert_eq!(s.view.facts[fi].values.values().next().unwrap(), &Value::Str("Jane".into()));
     }
 }

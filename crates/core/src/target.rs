@@ -18,6 +18,7 @@ use std::fmt;
 use crate::attrspec::{ColumnResolver, NormalizedSpec, ResolvedColumn};
 use crate::catalog::AuditScope;
 use crate::error::AuditError;
+use crate::governor::{AuditPhase, Governor};
 
 /// One data fact of `U`: the contributing tuple ids (one per `FROM` binding)
 /// plus the values of every audited/filtered column.
@@ -74,9 +75,11 @@ impl TargetView {
                 .iter()
                 .map(|e| f.tid_of(&e.binding).map_or("-".to_string(), |t| t.to_string()))
                 .collect();
-            row.extend(self.columns.iter().map(|c| {
-                f.values.get(c).map_or("-".to_string(), |v| v.to_string())
-            }));
+            row.extend(
+                self.columns
+                    .iter()
+                    .map(|c| f.values.get(c).map_or("-".to_string(), |v| v.to_string())),
+            );
             rows.push(row);
         }
         render_table(&header, &rows)
@@ -173,7 +176,7 @@ pub fn target_columns(
     Ok(ordered)
 }
 
-/// Computes `U` over the given data versions.
+/// Computes `U` over the given data versions with an unlimited governor.
 pub fn compute_target_view(
     db: &Database,
     audit: &AuditExpr,
@@ -181,6 +184,21 @@ pub fn compute_target_view(
     spec: &NormalizedSpec,
     versions: &[Timestamp],
     strategy: JoinStrategy,
+) -> Result<TargetView, AuditError> {
+    compute_target_view_governed(db, audit, scope, spec, versions, strategy, &Governor::unlimited())
+}
+
+/// Computes `U` over the given data versions, consulting `governor` per
+/// version scanned and per result row folded into the view.
+#[allow(clippy::too_many_arguments)]
+pub fn compute_target_view_governed(
+    db: &Database,
+    audit: &AuditExpr,
+    scope: &AuditScope,
+    spec: &NormalizedSpec,
+    versions: &[Timestamp],
+    strategy: JoinStrategy,
+    governor: &Governor,
 ) -> Result<TargetView, AuditError> {
     let columns = target_columns(audit, scope, spec)?;
 
@@ -206,8 +224,10 @@ pub fn compute_target_view(
 
     let mut facts: Vec<UFact> = Vec::new();
     for &ts in versions {
+        governor.tick(AuditPhase::TargetView)?;
         let rs = db.at(ts).query_with(&query, strategy)?;
         for (row, lineage) in rs.rows.iter().zip(&rs.lineage) {
+            governor.tick(AuditPhase::TargetView)?;
             let tids: Vec<(Ident, Tid)> =
                 lineage.iter().map(|e| (e.binding.clone(), e.tid)).collect();
             let values: BTreeMap<ResolvedColumn, Value> =
@@ -276,11 +296,8 @@ mod tests {
         // Audit Expression-1 (Fig. 2) over Table 1 yields Table 4:
         // {t11 Jane 25 A1, t13 Robert 29 A3, t14 Lucy 20 A4}.
         let db = db();
-        let (tv, _) = view(
-            &db,
-            "Audit name, age, address FROM P-Personal WHERE age < 30",
-            &[Timestamp(1)],
-        );
+        let (tv, _) =
+            view(&db, "Audit name, age, address FROM P-Personal WHERE age < 30", &[Timestamp(1)]);
         assert_eq!(tv.len(), 3);
         let tids: Vec<u64> = tv.facts.iter().map(|f| f.tids[0].1 .0).collect();
         assert_eq!(tids, vec![11, 13, 14]);
@@ -293,11 +310,8 @@ mod tests {
     #[test]
     fn where_columns_are_appended() {
         let db = db();
-        let (tv, _) = view(
-            &db,
-            "Audit name FROM P-Personal WHERE zipcode = '145568'",
-            &[Timestamp(1)],
-        );
+        let (tv, _) =
+            view(&db, "Audit name FROM P-Personal WHERE zipcode = '145568'", &[Timestamp(1)]);
         let names: Vec<String> = tv.columns.iter().map(|c| c.column.value.clone()).collect();
         assert_eq!(names, vec!["name", "zipcode"]);
         assert_eq!(tv.len(), 2); // Reku, Lucy
@@ -314,11 +328,8 @@ mod tests {
             Timestamp(50),
         )
         .unwrap();
-        let (tv, _) = view(
-            &db,
-            "Audit name FROM P-Personal WHERE age < 30",
-            &[Timestamp(1), Timestamp(50)],
-        );
+        let (tv, _) =
+            view(&db, "Audit name FROM P-Personal WHERE age < 30", &[Timestamp(1), Timestamp(50)]);
         assert_eq!(tv.len(), 3); // no duplicates from the second version
     }
 
@@ -327,16 +338,15 @@ mod tests {
         let mut db = db();
         // Reku's zipcode changes: under a zipcode audit both versions count.
         db.execute(
-            &audex_sql::parse_statement("UPDATE P-Personal SET zipcode = '999999' WHERE pid = 'p2'")
-                .unwrap(),
+            &audex_sql::parse_statement(
+                "UPDATE P-Personal SET zipcode = '999999' WHERE pid = 'p2'",
+            )
+            .unwrap(),
             Timestamp(60),
         )
         .unwrap();
-        let (tv_single, _) = view(
-            &db,
-            "Audit zipcode FROM P-Personal WHERE name = 'Reku'",
-            &[Timestamp(1)],
-        );
+        let (tv_single, _) =
+            view(&db, "Audit zipcode FROM P-Personal WHERE name = 'Reku'", &[Timestamp(1)]);
         assert_eq!(tv_single.len(), 1);
         let (tv_both, _) = view(
             &db,
@@ -351,11 +361,8 @@ mod tests {
     #[test]
     fn render_includes_tids_and_values() {
         let db = db();
-        let (tv, scope) = view(
-            &db,
-            "Audit name, age, address FROM P-Personal WHERE age < 30",
-            &[Timestamp(1)],
-        );
+        let (tv, scope) =
+            view(&db, "Audit name, age, address FROM P-Personal WHERE age < 30", &[Timestamp(1)]);
         let s = tv.render(&scope);
         assert!(s.contains("tid_P-Personal"), "{s}");
         assert!(s.contains("t11"), "{s}");

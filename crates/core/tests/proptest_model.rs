@@ -1,5 +1,6 @@
 //! Property tests on the audit model: Table 6 normalization laws, granule
-//! counting, and scheme-satisfaction monotonicity.
+//! counting, scheme-satisfaction monotonicity, and the governor's
+//! zero-interference guarantee.
 
 use audex_core::{normalize_with, GranuleModel, ResolvedColumn};
 use audex_sql::ast::{AttrGroup, AttrItem, AttrNode, AttrSpec, Threshold};
@@ -54,9 +55,7 @@ fn satisfies(nodes: &[AttrNode], accessed: &BTreeSet<&str>) -> bool {
 
 fn node_satisfied(n: &AttrNode, accessed: &BTreeSet<&str>) -> bool {
     match n {
-        AttrNode::Item(AttrItem::Column(c)) => {
-            accessed.iter().any(|a| Ident::new(*a) == c.column)
-        }
+        AttrNode::Item(AttrItem::Column(c)) => accessed.iter().any(|a| Ident::new(*a) == c.column),
         // A bare star in mandatory context: all columns.
         AttrNode::Item(AttrItem::Star) => COLS.iter().all(|c| accessed.contains(c)),
         AttrNode::Group(AttrGroup::Mandatory(m)) => m.iter().all(|x| node_satisfied(x, accessed)),
@@ -71,11 +70,7 @@ fn node_satisfied(n: &AttrNode, accessed: &BTreeSet<&str>) -> bool {
 fn all_subsets() -> Vec<BTreeSet<&'static str>> {
     (0u32..32)
         .map(|mask| {
-            COLS.iter()
-                .enumerate()
-                .filter(|(i, _)| mask & (1 << i) != 0)
-                .map(|(_, c)| *c)
-                .collect()
+            COLS.iter().enumerate().filter(|(i, _)| mask & (1 << i) != 0).map(|(_, c)| *c).collect()
         })
         .collect()
 }
@@ -188,5 +183,149 @@ proptest! {
         let norm = normalize_with(&spec, &FiveCols).unwrap();
         let model = GranuleModel { spec: norm, threshold: Threshold::All, indispensable: true };
         prop_assert_eq!(model.count(n), model.spec.len() as u128);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Differential: governing an audit must not change what it computes.
+// ---------------------------------------------------------------------------
+
+/// One randomly built scenario: a small versioned Patients table plus a
+/// random query log, and a random audit expression over it.
+#[derive(Debug, Clone)]
+struct Scenario {
+    rows: Vec<(u8, u8)>, // (zip index, disease index)
+    batches: usize,      // rows are spread over this many insert instants
+    queries: Vec<u8>,    // template indices
+    audit: u8,           // audit-expression template index
+    per_query: bool,
+}
+
+const ZIPS: [&str; 3] = ["120016", "145568", "300001"];
+const DISEASES: [&str; 3] = ["cancer", "flu", "acne"];
+
+fn scenario_strategy() -> impl Strategy<Value = Scenario> {
+    (
+        proptest::collection::vec((0u8..3, 0u8..3), 1..16),
+        1usize..4,
+        proptest::collection::vec(0u8..4, 1..12),
+        0u8..3,
+        any::<bool>(),
+    )
+        .prop_map(|(rows, batches, queries, audit, per_query)| Scenario {
+            rows,
+            batches,
+            queries,
+            audit,
+            per_query,
+        })
+}
+
+fn build_scenario(
+    s: &Scenario,
+) -> (audex_storage::Database, audex_log::QueryLog, audex_sql::ast::AuditExpr) {
+    use audex_sql::ast::{TimeInterval, TsSpec, TypeName};
+
+    let mut db = audex_storage::Database::new();
+    let patients = Ident::new("Patients");
+    db.create_table(
+        patients.clone(),
+        audex_storage::Schema::of(&[
+            ("pid", TypeName::Text),
+            ("zipcode", TypeName::Text),
+            ("disease", TypeName::Text),
+        ]),
+        Timestamp(0),
+    )
+    .unwrap();
+    for (i, (z, d)) in s.rows.iter().enumerate() {
+        // Spread inserts over `batches` distinct instants → several versions.
+        let ts = Timestamp(10 + (i % s.batches) as i64 * 10);
+        let ts = if ts < db.last_ts() { db.last_ts() } else { ts };
+        db.insert(
+            &patients,
+            vec![format!("p{i}").into(), ZIPS[*z as usize].into(), DISEASES[*d as usize].into()],
+            ts,
+        )
+        .unwrap();
+    }
+
+    let log = audex_log::QueryLog::new();
+    for (i, t) in s.queries.iter().enumerate() {
+        let text = match t {
+            0 => "SELECT zipcode FROM Patients WHERE disease = 'cancer'".to_string(),
+            1 => format!("SELECT disease FROM Patients WHERE zipcode = '{}'", ZIPS[i % 3]),
+            2 => "SELECT pid FROM Patients".to_string(),
+            _ => "SELECT pid, disease FROM Patients WHERE zipcode = '120016'".to_string(),
+        };
+        log.record_text(
+            &text,
+            Timestamp(1_000 + i as i64),
+            audex_log::AccessContext::new(format!("u{i}"), "nurse", "treatment"),
+        )
+        .unwrap();
+    }
+
+    let mut expr = audex_sql::parse_audit(match s.audit {
+        0 => "AUDIT disease FROM Patients WHERE zipcode = '120016'",
+        1 => "AUDIT (zipcode, disease) FROM Patients",
+        _ => "AUDIT [pid, disease] FROM Patients WHERE disease = 'cancer'",
+    })
+    .unwrap();
+    let iv = TimeInterval { start: TsSpec::At(Timestamp(0)), end: TsSpec::Now };
+    expr.during = Some(iv);
+    expr.data_interval = Some(iv);
+    (db, log, expr)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Differential: an audit run under a governor with room to spare is
+    /// byte-identical to the ungoverned run — threading resource checks
+    /// through the pipeline must never perturb what it computes.
+    #[test]
+    fn generous_governor_changes_nothing(s in scenario_strategy()) {
+        use audex_core::{AuditEngine, AuditMode, EngineOptions, ResourceLimits};
+
+        let (db, log, expr) = build_scenario(&s);
+        let mode = if s.per_query { AuditMode::PerQuery } else { AuditMode::Batch };
+        let now = Timestamp(1_000_000);
+
+        let plain = AuditEngine::with_options(
+            &db,
+            &log,
+            EngineOptions { mode, ..Default::default() },
+        );
+        let governed = AuditEngine::with_options(
+            &db,
+            &log,
+            EngineOptions {
+                mode,
+                limits: ResourceLimits {
+                    deadline: Some(std::time::Duration::from_secs(3600)),
+                    max_steps: Some(u64::MAX / 2),
+                    granule_limit: Some(u64::MAX / 2),
+                },
+                ..Default::default()
+            },
+        );
+
+        let a = plain.audit_at(&expr, now).unwrap();
+        let b = governed.audit_at(&expr, now).unwrap();
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(format!("{a:?}"), format!("{b:?}"), "byte-identical debug output");
+        prop_assert!(a.is_complete() && b.is_complete());
+
+        // The multi-audit path agrees with itself under a generous governor
+        // too, and both match the direct path's verdict.
+        let exprs = vec![expr.clone()];
+        let many_plain = plain.audit_many(&exprs, now).unwrap();
+        let many_gov = governed.audit_many(&exprs, now).unwrap();
+        let mp = many_plain[0].as_ref().unwrap();
+        let mg = many_gov[0].as_ref().unwrap();
+        prop_assert_eq!(mp, mg);
+        prop_assert_eq!(&mp.verdict.contributing, &a.verdict.contributing);
+        prop_assert_eq!(mp.verdict.suspicious, a.verdict.suspicious);
     }
 }

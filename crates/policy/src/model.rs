@@ -24,7 +24,11 @@ impl PurposeRegistry {
     }
 
     /// Declares a purpose under a parent.
-    pub fn declare_under(&mut self, purpose: impl Into<Ident>, parent: impl Into<Ident>) -> &mut Self {
+    pub fn declare_under(
+        &mut self,
+        purpose: impl Into<Ident>,
+        parent: impl Into<Ident>,
+    ) -> &mut Self {
         self.parents.insert(purpose.into(), Some(parent.into()));
         self
     }

@@ -144,7 +144,10 @@ impl PrivacyPolicy {
                     && self.purposes.is_within(purpose, &a.purpose)
             });
             if !authorized {
-                denials.push(Denial::ColumnNotAuthorized { table: table.clone(), column: column.clone() });
+                denials.push(Denial::ColumnNotAuthorized {
+                    table: table.clone(),
+                    column: column.clone(),
+                });
             }
         }
         denials
@@ -157,16 +160,14 @@ impl PrivacyPolicy {
     pub fn channels_to(&self, reads: &[(Ident, Ident)]) -> Vec<(Ident, Ident)> {
         let mut out: Vec<(Ident, Ident)> = Vec::new();
         for a in &self.authorizations {
-            let covers_all = reads
-                .iter()
-                .all(|(t, c)| {
-                    self.authorizations.iter().any(|b| {
-                        b.role == a.role
-                            && self.purposes.is_within(&a.purpose, &b.purpose)
-                            && &b.table == t
-                            && b.columns.covers(c)
-                    })
-                });
+            let covers_all = reads.iter().all(|(t, c)| {
+                self.authorizations.iter().any(|b| {
+                    b.role == a.role
+                        && self.purposes.is_within(&a.purpose, &b.purpose)
+                        && &b.table == t
+                        && b.columns.covers(c)
+                })
+            });
             if covers_all && !out.contains(&(a.role.clone(), a.purpose.clone())) {
                 out.push((a.role.clone(), a.purpose.clone()));
             }
@@ -218,7 +219,9 @@ mod tests {
             &reads(&[("P-Personal", "name"), ("P-Personal", "zipcode")]),
         );
         assert_eq!(d.len(), 1);
-        assert!(matches!(&d[0], Denial::ColumnNotAuthorized { column, .. } if column == &Ident::new("zipcode")));
+        assert!(
+            matches!(&d[0], Denial::ColumnNotAuthorized { column, .. } if column == &Ident::new("zipcode"))
+        );
     }
 
     #[test]

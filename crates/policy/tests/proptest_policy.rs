@@ -11,13 +11,7 @@ const NAMES: [&str; 8] = ["p0", "p1", "p2", "p3", "p4", "p5", "p6", "p7"];
 /// parent with a strictly smaller index (guaranteeing acyclicity).
 fn forest_strategy() -> impl Strategy<Value = Vec<Option<usize>>> {
     (0..NAMES.len())
-        .map(|i| {
-            if i == 0 {
-                Just(None).boxed()
-            } else {
-                proptest::option::of(0..i).boxed()
-            }
-        })
+        .map(|i| if i == 0 { Just(None).boxed() } else { proptest::option::of(0..i).boxed() })
         .collect::<Vec<_>>()
 }
 
@@ -84,16 +78,16 @@ proptest! {
         policy.purposes = registry(&parents);
         policy.users.register("u", vec![Ident::new("r")]);
         policy.allow("r", NAMES[granted], "T", ColumnScope::All);
-        for acting in 0..NAMES.len() {
+        for (acting, name) in NAMES.iter().enumerate() {
             let denials = policy.check_access(
                 &Ident::new("u"),
                 &Ident::new("r"),
-                &Ident::new(NAMES[acting]),
+                &Ident::new(*name),
                 &[(Ident::new("T"), Ident::new("c"))],
             );
             let should_pass = policy
                 .purposes
-                .is_within(&Ident::new(NAMES[acting]), &Ident::new(NAMES[granted]));
+                .is_within(&Ident::new(*name), &Ident::new(NAMES[granted]));
             prop_assert_eq!(denials.is_empty(), should_pass, "acting {} granted {}", acting, granted);
         }
     }

@@ -109,12 +109,12 @@ mod tests {
         let q = logged("SELECT zipcode FROM Patients WHERE disease = 'cancer'");
         let cols = q.accessed_columns();
         assert_eq!(cols.len(), 2);
-        assert!(cols.iter().any(
-            |c| matches!(c, AccessedColumn::Column(r) if r.column == Ident::new("zipcode"))
-        ));
-        assert!(cols.iter().any(
-            |c| matches!(c, AccessedColumn::Column(r) if r.column == Ident::new("disease"))
-        ));
+        assert!(cols
+            .iter()
+            .any(|c| matches!(c, AccessedColumn::Column(r) if r.column == Ident::new("zipcode"))));
+        assert!(cols
+            .iter()
+            .any(|c| matches!(c, AccessedColumn::Column(r) if r.column == Ident::new("disease"))));
     }
 
     #[test]
@@ -129,9 +129,9 @@ mod tests {
     fn order_by_columns_are_accessed() {
         let q = logged("SELECT zipcode FROM Patients ORDER BY disease");
         let cols = q.accessed_columns();
-        assert!(cols.iter().any(
-            |c| matches!(c, AccessedColumn::Column(r) if r.column == Ident::new("disease"))
-        ));
+        assert!(cols
+            .iter()
+            .any(|c| matches!(c, AccessedColumn::Column(r) if r.column == Ident::new("disease"))));
     }
 
     #[test]

@@ -39,7 +39,12 @@ impl AccessFilter {
     /// Decides whether a logged access is subject to this audit, applying
     /// negative precedence.
     pub fn admits(&self, entry: &LoggedQuery) -> bool {
-        self.admits_parts(&entry.context.user, &entry.context.role, &entry.context.purpose, entry.executed_at)
+        self.admits_parts(
+            &entry.context.user,
+            &entry.context.role,
+            &entry.context.purpose,
+            entry.executed_at,
+        )
     }
 
     /// Field-level form of [`AccessFilter::admits`] (useful for tests and
@@ -100,7 +105,11 @@ mod tests {
     #[test]
     fn negative_role_purpose_wildcards() {
         let f = AccessFilter {
-            neg_role_purpose: vec![pat(Some("nurse"), Some("billing")), pat(Some("admin"), None), pat(None, Some("marketing"))],
+            neg_role_purpose: vec![
+                pat(Some("nurse"), Some("billing")),
+                pat(Some("admin"), None),
+                pat(None, Some("marketing")),
+            ],
             ..Default::default()
         };
         assert!(!admits(&f, "u", "nurse", "billing", 0));
@@ -112,7 +121,10 @@ mod tests {
 
     #[test]
     fn positive_restricts_when_present() {
-        let f = AccessFilter { pos_role_purpose: vec![pat(Some("doctor"), None)], ..Default::default() };
+        let f = AccessFilter {
+            pos_role_purpose: vec![pat(Some("doctor"), None)],
+            ..Default::default()
+        };
         assert!(admits(&f, "u", "doctor", "treatment", 0));
         assert!(!admits(&f, "u", "nurse", "treatment", 0));
     }

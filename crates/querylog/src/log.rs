@@ -2,8 +2,7 @@
 
 use audex_sql::ast::Query;
 use audex_sql::{ParseError, Timestamp};
-use parking_lot::RwLock;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use crate::entry::{AccessContext, LoggedQuery, QueryId};
 
@@ -18,6 +17,16 @@ impl QueryLog {
     /// An empty log.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    // The log's invariants (dense ids, append-only vector) hold even when a
+    // writer panics mid-push, so lock poisoning is safely ignored.
+    fn read(&self) -> RwLockReadGuard<'_, Vec<Arc<LoggedQuery>>> {
+        self.inner.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn write(&self) -> RwLockWriteGuard<'_, Vec<Arc<LoggedQuery>>> {
+        self.inner.write().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Appends an already-parsed query; returns its id.
@@ -44,7 +53,7 @@ impl QueryLog {
         executed_at: Timestamp,
         context: AccessContext,
     ) -> QueryId {
-        let mut guard = self.inner.write();
+        let mut guard = self.write();
         let id = QueryId(guard.len() as u64 + 1);
         guard.push(Arc::new(LoggedQuery { id, query, text, executed_at, context }));
         id
@@ -52,22 +61,22 @@ impl QueryLog {
 
     /// Number of logged queries.
     pub fn len(&self) -> usize {
-        self.inner.read().len()
+        self.read().len()
     }
 
     /// True when nothing has been logged.
     pub fn is_empty(&self) -> bool {
-        self.inner.read().is_empty()
+        self.read().is_empty()
     }
 
     /// A consistent snapshot of all entries, oldest first.
     pub fn snapshot(&self) -> Vec<Arc<LoggedQuery>> {
-        self.inner.read().clone()
+        self.read().clone()
     }
 
     /// Looks up a single entry.
     pub fn get(&self, id: QueryId) -> Option<Arc<LoggedQuery>> {
-        let guard = self.inner.read();
+        let guard = self.read();
         let idx = id.0.checked_sub(1)? as usize;
         guard.get(idx).cloned()
     }

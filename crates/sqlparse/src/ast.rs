@@ -498,7 +498,9 @@ impl AttrSpec {
 
     /// `AUDIT [*]` — every column optional (perfect-privacy encoding).
     pub fn optional_star() -> Self {
-        AttrSpec { nodes: vec![AttrNode::Group(AttrGroup::Optional(vec![AttrNode::Item(AttrItem::Star)]))] }
+        AttrSpec {
+            nodes: vec![AttrNode::Group(AttrGroup::Optional(vec![AttrNode::Item(AttrItem::Star)]))],
+        }
     }
 }
 
@@ -675,7 +677,11 @@ mod tests {
 
     #[test]
     fn defaults_match_paper() {
-        let a = AuditExpr::basic(AttrSpec::mandatory_columns(["disease"]), vec![TableRef::named("Patients")], None);
+        let a = AuditExpr::basic(
+            AttrSpec::mandatory_columns(["disease"]),
+            vec![TableRef::named("Patients")],
+            None,
+        );
         assert_eq!(a.threshold, Threshold::Count(1));
         assert!(a.indispensable);
         assert!(a.during.is_none());

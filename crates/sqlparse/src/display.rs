@@ -121,13 +121,11 @@ impl Expr {
                 }
                 Ok(())
             }
-            Expr::Like { expr, pattern, negated } => {
-                self.fmt_comparisonish(f, min_power, |f| {
-                    expr.fmt_with(f, 5)?;
-                    f.write_str(if *negated { " NOT LIKE " } else { " LIKE " })?;
-                    pattern.fmt_with(f, 5)
-                })
-            }
+            Expr::Like { expr, pattern, negated } => self.fmt_comparisonish(f, min_power, |f| {
+                expr.fmt_with(f, 5)?;
+                f.write_str(if *negated { " NOT LIKE " } else { " LIKE " })?;
+                pattern.fmt_with(f, 5)
+            }),
             Expr::InList { expr, list, negated } => self.fmt_comparisonish(f, min_power, |f| {
                 expr.fmt_with(f, 5)?;
                 f.write_str(if *negated { " NOT IN (" } else { " IN (" })?;
@@ -139,13 +137,15 @@ impl Expr {
                 }
                 f.write_str(")")
             }),
-            Expr::Between { expr, low, high, negated } => self.fmt_comparisonish(f, min_power, |f| {
-                expr.fmt_with(f, 5)?;
-                f.write_str(if *negated { " NOT BETWEEN " } else { " BETWEEN " })?;
-                low.fmt_with(f, 5)?;
-                f.write_str(" AND ")?;
-                high.fmt_with(f, 5)
-            }),
+            Expr::Between { expr, low, high, negated } => {
+                self.fmt_comparisonish(f, min_power, |f| {
+                    expr.fmt_with(f, 5)?;
+                    f.write_str(if *negated { " NOT BETWEEN " } else { " BETWEEN " })?;
+                    low.fmt_with(f, 5)?;
+                    f.write_str(" AND ")?;
+                    high.fmt_with(f, 5)
+                })
+            }
             Expr::IsNull { expr, negated } => self.fmt_comparisonish(f, min_power, |f| {
                 expr.fmt_with(f, 5)?;
                 f.write_str(if *negated { " IS NOT NULL" } else { " IS NULL" })
@@ -458,7 +458,9 @@ mod tests {
     #[test]
     fn select_round_trips() {
         round_trip_stmt("SELECT zipcode FROM Patients WHERE disease = 'cancer'");
-        round_trip_stmt("SELECT DISTINCT p.name AS n, * FROM Patients AS p, Visits WHERE p.id = Visits.pid");
+        round_trip_stmt(
+            "SELECT DISTINCT p.name AS n, * FROM Patients AS p, Visits WHERE p.id = Visits.pid",
+        );
         round_trip_stmt("SELECT a FROM t WHERE (x = 1 OR y = 2) AND NOT z = 3");
         round_trip_stmt("SELECT a FROM t WHERE x BETWEEN 1 AND 2 AND y NOT IN (1, 2, 3)");
         round_trip_stmt("SELECT a FROM t WHERE name LIKE 'J%' AND v IS NOT NULL");

@@ -265,14 +265,17 @@ impl<'a> Lexer<'a> {
         }
         let text = &self.src[start.0..self.pos];
         let kind = if is_float {
-            let v: f64 = text
-                .parse()
-                .map_err(|_| ParseError::new(format!("invalid float literal {text:?}"), self.span_from(start)))?;
+            let v: f64 = text.parse().map_err(|_| {
+                ParseError::new(format!("invalid float literal {text:?}"), self.span_from(start))
+            })?;
             TokenKind::Float(v)
         } else {
-            let v: i64 = text
-                .parse()
-                .map_err(|_| ParseError::new(format!("integer literal {text:?} out of range"), self.span_from(start)))?;
+            let v: i64 = text.parse().map_err(|_| {
+                ParseError::new(
+                    format!("integer literal {text:?} out of range"),
+                    self.span_from(start),
+                )
+            })?;
             TokenKind::Int(v)
         };
         Ok(Token { kind, span: self.span_from(start) })
@@ -294,7 +297,10 @@ impl<'a> Lexer<'a> {
                 }
                 Some(b) => value.push(b as char),
                 None => {
-                    return Err(ParseError::new("unterminated string literal", self.span_from(start)));
+                    return Err(ParseError::new(
+                        "unterminated string literal",
+                        self.span_from(start),
+                    ));
                 }
             }
         }
@@ -316,7 +322,10 @@ impl<'a> Lexer<'a> {
                 }
                 Some(b) => value.push(b as char),
                 None => {
-                    return Err(ParseError::new("unterminated quoted identifier", self.span_from(start)));
+                    return Err(ParseError::new(
+                        "unterminated quoted identifier",
+                        self.span_from(start),
+                    ));
                 }
             }
         }
@@ -360,7 +369,11 @@ mod tests {
     fn spaced_hyphen_is_minus() {
         assert_eq!(
             kinds("salary - bonus"),
-            vec![TokenKind::Word("salary".into()), TokenKind::Minus, TokenKind::Word("bonus".into())]
+            vec![
+                TokenKind::Word("salary".into()),
+                TokenKind::Minus,
+                TokenKind::Word("bonus".into())
+            ]
         );
     }
 

@@ -41,7 +41,9 @@ pub mod parser;
 pub mod time;
 pub mod token;
 
-pub use ast::{AttrGroup, AttrNode, AttrSpec, AuditExpr, ColumnRef, Expr, Ident, Literal, Query, Statement};
+pub use ast::{
+    AttrGroup, AttrNode, AttrSpec, AuditExpr, ColumnRef, Expr, Ident, Literal, Query, Statement,
+};
 pub use error::{ParseError, Span};
 pub use time::Timestamp;
 

@@ -108,7 +108,9 @@ impl Parser {
                 self.advance();
                 Ok(Threshold::All)
             }
-            other => Err(self.error(format!("expected a count or ALL after THRESHOLD, found {other}"))),
+            other => {
+                Err(self.error(format!("expected a count or ALL after THRESHOLD, found {other}")))
+            }
         }
     }
 
@@ -131,7 +133,9 @@ impl Parser {
             self.eat(&TokenKind::Comma);
         }
         if out.is_empty() {
-            return Err(self.error("role-purpose clause requires at least one (role, purpose) pattern"));
+            return Err(
+                self.error("role-purpose clause requires at least one (role, purpose) pattern")
+            );
         }
         Ok(out)
     }
@@ -190,9 +194,9 @@ impl Parser {
             TokenKind::StringLit(s) => {
                 let span = self.peek_span();
                 self.advance();
-                Timestamp::parse(&s)
-                    .map(TsSpec::At)
-                    .ok_or_else(|| ParseError::new(format!("invalid timestamp literal {s:?}"), span))
+                Timestamp::parse(&s).map(TsSpec::At).ok_or_else(|| {
+                    ParseError::new(format!("invalid timestamp literal {s:?}"), span)
+                })
             }
             TokenKind::Int(_) => self.parse_paper_timestamp().map(TsSpec::At),
             other => Err(self.error(format!("expected a timestamp or now(), found {other}"))),
@@ -217,7 +221,12 @@ impl Parser {
             s = self.parse_small_int()?;
         }
         Timestamp::from_ymd_hms(year, month as u32, day as u32, h as u32, mi as u32, s as u32)
-            .ok_or_else(|| ParseError::new(format!("invalid timestamp {day}/{month}/{year}:{h:02}-{mi:02}-{s:02}"), span))
+            .ok_or_else(|| {
+                ParseError::new(
+                    format!("invalid timestamp {day}/{month}/{year}:{h:02}-{mi:02}-{s:02}"),
+                    span,
+                )
+            })
     }
 
     fn parse_small_int(&mut self) -> Result<i64, ParseError> {
@@ -404,7 +413,10 @@ mod tests {
 
     #[test]
     fn threshold_forms() {
-        assert_eq!(parse_audit("THRESHOLD 3 AUDIT a FROM t").unwrap().threshold, Threshold::Count(3));
+        assert_eq!(
+            parse_audit("THRESHOLD 3 AUDIT a FROM t").unwrap().threshold,
+            Threshold::Count(3)
+        );
         assert_eq!(parse_audit("THRESHOLD ALL AUDIT a FROM t").unwrap().threshold, Threshold::All);
         assert!(parse_audit("THRESHOLD 0 AUDIT a FROM t").is_err());
     }
@@ -418,8 +430,14 @@ mod tests {
         )
         .unwrap();
         assert_eq!(a.neg_role_purpose.len(), 3);
-        assert_eq!(a.neg_role_purpose[1], RolePurposePattern { role: Some(Ident::new("doctor")), purpose: None });
-        assert_eq!(a.neg_role_purpose[2], RolePurposePattern { role: None, purpose: Some(Ident::new("marketing")) });
+        assert_eq!(
+            a.neg_role_purpose[1],
+            RolePurposePattern { role: Some(Ident::new("doctor")), purpose: None }
+        );
+        assert_eq!(
+            a.neg_role_purpose[2],
+            RolePurposePattern { role: None, purpose: Some(Ident::new("marketing")) }
+        );
         assert_eq!(a.pos_users, vec![Ident::new("u-17"), Ident::new("u-42")]);
     }
 

@@ -141,7 +141,8 @@ mod tests {
     #[test]
     fn update_with_where() {
         let mut p =
-            Parser::new("UPDATE P-Personal SET zipcode = '120016', age = 26 WHERE pid = 'p1'").unwrap();
+            Parser::new("UPDATE P-Personal SET zipcode = '120016', age = 26 WHERE pid = 'p1'")
+                .unwrap();
         let up = p.parse_update().unwrap();
         assert_eq!(up.assignments.len(), 2);
         assert!(up.selection.is_some());

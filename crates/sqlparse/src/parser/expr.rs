@@ -80,7 +80,12 @@ impl Parser {
                 let low = self.parse_expr_bp(P_CMP)?;
                 self.expect_keyword("and")?;
                 let high = self.parse_expr_bp(P_CMP)?;
-                Ok(Expr::Between { expr: Box::new(lhs), low: Box::new(low), high: Box::new(high), negated })
+                Ok(Expr::Between {
+                    expr: Box::new(lhs),
+                    low: Box::new(low),
+                    high: Box::new(high),
+                    negated,
+                })
             }
             InfixOp::Is => {
                 let negated = self.eat_keyword("not");
@@ -91,7 +96,11 @@ impl Parser {
                 // `x NOT LIKE p`, `x NOT IN (…)`, `x NOT BETWEEN a AND b`.
                 if self.eat_keyword("like") {
                     let pattern = self.parse_expr_bp(P_CMP)?;
-                    Ok(Expr::Like { expr: Box::new(lhs), pattern: Box::new(pattern), negated: true })
+                    Ok(Expr::Like {
+                        expr: Box::new(lhs),
+                        pattern: Box::new(pattern),
+                        negated: true,
+                    })
                 } else if self.eat_keyword("in") {
                     self.expect(&TokenKind::LParen)?;
                     let mut list = vec![self.parse_expr()?];
@@ -309,7 +318,9 @@ mod tests {
         );
         fn count_ands(e: &Expr) -> usize {
             match e {
-                Expr::Binary { op: BinOp::And, left, right } => 1 + count_ands(left) + count_ands(right),
+                Expr::Binary { op: BinOp::And, left, right } => {
+                    1 + count_ands(left) + count_ands(right)
+                }
                 _ => 0,
             }
         }

@@ -14,12 +14,47 @@ use crate::token::{Token, TokenKind};
 /// The paper's clause names are included so clause boundaries are
 /// unambiguous.
 pub const RESERVED: &[&str] = &[
-    "select", "distinct", "from", "where", "and", "or", "not", "like", "in", "between", "is",
-    "null", "true", "false", "as", "insert", "into", "values", "update", "set", "delete",
-    "create", "table", "order", "by", "asc", "desc", "limit",
-    "audit", "during", "to", "threshold", "indispensable", "otherthan",
-    "purpose", "all", "data-interval", "neg-role-purpose", "pos-role-purpose",
-    "neg-user-identity", "pos-user-identity",
+    "select",
+    "distinct",
+    "from",
+    "where",
+    "and",
+    "or",
+    "not",
+    "like",
+    "in",
+    "between",
+    "is",
+    "null",
+    "true",
+    "false",
+    "as",
+    "insert",
+    "into",
+    "values",
+    "update",
+    "set",
+    "delete",
+    "create",
+    "table",
+    "order",
+    "by",
+    "asc",
+    "desc",
+    "limit",
+    "audit",
+    "during",
+    "to",
+    "threshold",
+    "indispensable",
+    "otherthan",
+    "purpose",
+    "all",
+    "data-interval",
+    "neg-role-purpose",
+    "pos-role-purpose",
+    "neg-user-identity",
+    "pos-user-identity",
 ];
 
 /// Clause-introducing keywords of the audit grammar (Fig. 7).
@@ -203,7 +238,9 @@ impl Parser {
             }
             out.push(self.parse_statement()?);
             if self.peek() != &TokenKind::Eof && !self.eat(&TokenKind::Semicolon) {
-                return Err(self.error(format!("expected ';' between statements, found {}", self.peek())));
+                return Err(
+                    self.error(format!("expected ';' between statements, found {}", self.peek()))
+                );
             }
             // put back nothing: eat consumed the semicolon if present
         }

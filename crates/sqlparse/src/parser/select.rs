@@ -45,7 +45,11 @@ impl Parser {
                     self.advance();
                     Some(n as u64)
                 }
-                other => return Err(self.error(format!("expected a row count after LIMIT, found {other}"))),
+                other => {
+                    return Err(
+                        self.error(format!("expected a row count after LIMIT, found {other}"))
+                    )
+                }
             }
         } else {
             None

@@ -56,7 +56,14 @@ fn days_in_month(y: i64, m: u32) -> u32 {
 impl Timestamp {
     /// Builds a timestamp from civil UTC fields; `None` if any field is out
     /// of range (month 1–12, day valid for month, h < 24, m/s < 60).
-    pub fn from_ymd_hms(year: i64, month: u32, day: u32, hour: u32, min: u32, sec: u32) -> Option<Self> {
+    pub fn from_ymd_hms(
+        year: i64,
+        month: u32,
+        day: u32,
+        hour: u32,
+        min: u32,
+        sec: u32,
+    ) -> Option<Self> {
         if !(1..=12).contains(&month) || day == 0 || day > days_in_month(year, month) {
             return None;
         }
@@ -89,10 +96,8 @@ impl Timestamp {
     /// The wall-clock "current time" (`now()` in the paper's grammar).
     pub fn now() -> Timestamp {
         use std::time::{SystemTime, UNIX_EPOCH};
-        let secs = SystemTime::now()
-            .duration_since(UNIX_EPOCH)
-            .map(|d| d.as_secs() as i64)
-            .unwrap_or(0);
+        let secs =
+            SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_secs() as i64).unwrap_or(0);
         Timestamp(secs)
     }
 

@@ -41,19 +41,30 @@ fn expr_strategy() -> impl Strategy<Value = Expr> {
     ];
     leaf.prop_recursive(3, 24, 4, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone(), prop_oneof![
-                Just(BinOp::And), Just(BinOp::Or), Just(BinOp::Eq), Just(BinOp::NotEq),
-                Just(BinOp::Lt), Just(BinOp::LtEq), Just(BinOp::Gt), Just(BinOp::GtEq),
-                Just(BinOp::Add), Just(BinOp::Sub), Just(BinOp::Mul), Just(BinOp::Div),
-                Just(BinOp::Mod),
-            ])
+            (
+                inner.clone(),
+                inner.clone(),
+                prop_oneof![
+                    Just(BinOp::And),
+                    Just(BinOp::Or),
+                    Just(BinOp::Eq),
+                    Just(BinOp::NotEq),
+                    Just(BinOp::Lt),
+                    Just(BinOp::LtEq),
+                    Just(BinOp::Gt),
+                    Just(BinOp::GtEq),
+                    Just(BinOp::Add),
+                    Just(BinOp::Sub),
+                    Just(BinOp::Mul),
+                    Just(BinOp::Div),
+                    Just(BinOp::Mod),
+                ]
+            )
                 .prop_map(|(l, r, op)| Expr::binary(l, op, r)),
             (inner.clone(), prop_oneof![Just(UnaryOp::Not), Just(UnaryOp::Neg)])
                 .prop_map(|(e, op)| Expr::Unary { op, expr: Box::new(e) }),
-            (inner.clone(), any::<bool>()).prop_map(|(e, negated)| Expr::IsNull {
-                expr: Box::new(e),
-                negated
-            }),
+            (inner.clone(), any::<bool>())
+                .prop_map(|(e, negated)| Expr::IsNull { expr: Box::new(e), negated }),
             (inner.clone(), inner.clone(), inner.clone(), any::<bool>()).prop_map(
                 |(e, lo, hi, negated)| Expr::Between {
                     expr: Box::new(e),

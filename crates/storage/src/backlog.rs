@@ -95,7 +95,8 @@ impl TableHistory {
             // only usable for instants >= its last change's timestamp, which
             // replay_to checks (equal timestamps may span the boundary).
             let upto = self.changes.len();
-            let state = self.replay_range(Table::new(self.name.clone(), self.schema.clone()), 0, upto);
+            let state =
+                self.replay_range(Table::new(self.name.clone(), self.schema.clone()), 0, upto);
             self.checkpoints.push((upto, state));
         }
         Ok(())
@@ -107,11 +108,7 @@ impl TableHistory {
         // The replay boundary: first index whose change is after `ts`.
         let end = self.changes.partition_point(|c| c.ts <= ts);
         // Newest checkpoint fully inside the boundary.
-        let base = self
-            .checkpoints
-            .iter()
-            .rev()
-            .find(|(upto, _)| *upto <= end);
+        let base = self.checkpoints.iter().rev().find(|(upto, _)| *upto <= end);
         let (start, table) = match base {
             Some((upto, state)) => (*upto, state.clone()),
             None => (0, Table::new(self.name.clone(), self.schema.clone())),
@@ -120,21 +117,23 @@ impl TableHistory {
     }
 
     fn replay_range(&self, mut table: Table, start: usize, end: usize) -> Table {
+        // Records are internally consistent by construction (inserts and
+        // updates always carry an after-image, and apply cleanly in order);
+        // a corrupt record surfaces as a missing row, not a panic.
         for rec in &self.changes[start..end] {
-            match rec.op {
-                ChangeOp::Insert => {
-                    table
-                        .insert_with_tid(rec.tid, rec.after.clone().expect("insert has after-image"))
-                        .expect("backlog replay of insert");
+            match (&rec.op, &rec.after) {
+                (ChangeOp::Insert, Some(after)) => {
+                    let applied = table.insert_with_tid(rec.tid, after.clone());
+                    debug_assert!(applied.is_ok(), "backlog replay of insert");
                 }
-                ChangeOp::Update => {
-                    table
-                        .update(rec.tid, rec.after.clone().expect("update has after-image"))
-                        .expect("backlog replay of update");
+                (ChangeOp::Update, Some(after)) => {
+                    let applied = table.update(rec.tid, after.clone());
+                    debug_assert!(applied.is_ok(), "backlog replay of update");
                 }
-                ChangeOp::Delete => {
+                (ChangeOp::Delete, _) => {
                     table.delete(rec.tid);
                 }
+                _ => debug_assert!(false, "insert/update record without after-image"),
             }
         }
         table
@@ -254,7 +253,10 @@ mod tests {
     #[test]
     fn change_instants_are_half_open() {
         let h = history();
-        assert_eq!(h.change_instants(Timestamp(10), Timestamp(30)), vec![Timestamp(20), Timestamp(30)]);
+        assert_eq!(
+            h.change_instants(Timestamp(10), Timestamp(30)),
+            vec![Timestamp(20), Timestamp(30)]
+        );
         assert_eq!(h.change_instants(Timestamp(0), Timestamp(15)), vec![Timestamp(10)]);
         assert!(h.change_instants(Timestamp(30), Timestamp(100)).is_empty());
     }

@@ -3,11 +3,13 @@
 use audex_sql::ast::{CreateTable, Delete, Insert, Statement, Update};
 use audex_sql::{Ident, Timestamp};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use crate::backlog::{ChangeOp, ChangeRecord, TableHistory};
 use crate::error::StorageError;
 use crate::eval::{compile, literal_value, Scope};
 use crate::exec::{execute_query, JoinStrategy, RelationProvider, ResultSet};
+use crate::fault::{FaultPlan, FaultState};
 use crate::schema::Schema;
 use crate::table::{Relation, Row, Table, Tid};
 use crate::value::Value;
@@ -18,11 +20,24 @@ use crate::value::Value;
 /// recorded in per-table [`TableHistory`] backlogs, so any past instant can
 /// be reconstructed — the substrate the paper's `DATA-INTERVAL` clause and
 /// the Agrawal et al. backlog methodology require.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default)]
 pub struct Database {
     tables: BTreeMap<Ident, Table>,
     histories: BTreeMap<Ident, TableHistory>,
     last_ts: Timestamp,
+    /// Armed fault-injection plan, if any (see [`crate::fault`]). Shared by
+    /// clones so scan ordinals keep counting across `at()` views.
+    faults: Option<Arc<FaultState>>,
+}
+
+impl PartialEq for Database {
+    /// Fault-injection state is test harness, not data: two databases are
+    /// equal when their tables, histories, and clock agree.
+    fn eq(&self, other: &Self) -> bool {
+        self.tables == other.tables
+            && self.histories == other.histories
+            && self.last_ts == other.last_ts
+    }
 }
 
 /// Result of executing a statement.
@@ -48,7 +63,12 @@ impl Database {
     }
 
     /// Creates a table.
-    pub fn create_table(&mut self, name: Ident, schema: Schema, ts: Timestamp) -> Result<(), StorageError> {
+    pub fn create_table(
+        &mut self,
+        name: Ident,
+        schema: Schema,
+        ts: Timestamp,
+    ) -> Result<(), StorageError> {
         self.check_ts(ts)?;
         if self.tables.contains_key(&name) {
             return Err(StorageError::DuplicateTable(name));
@@ -85,38 +105,93 @@ impl Database {
         self.tables.get_mut(name).ok_or_else(|| StorageError::UnknownTable(name.clone()))
     }
 
+    /// Arms `plan`: subsequent reads and DML against faulted sites fail with
+    /// [`StorageError::Injected`]. Replaces any previously armed plan (and
+    /// resets its scan counters).
+    pub fn arm_faults(&mut self, plan: FaultPlan) {
+        self.faults = Some(Arc::new(FaultState::new(plan)));
+    }
+
+    /// Disarms any armed fault plan.
+    pub fn disarm_faults(&mut self) {
+        self.faults = None;
+    }
+
+    /// True when a fault plan is armed.
+    pub fn faults_armed(&self) -> bool {
+        self.faults.is_some()
+    }
+
+    /// Consults the armed plan (if any) about one scan of `table`.
+    fn fault_on_scan(&self, table: &Ident) -> Result<(), StorageError> {
+        match &self.faults {
+            Some(s) => s.on_scan(table),
+            None => Ok(()),
+        }
+    }
+
+    /// Consults the armed plan (if any) about a versioned read of `table`.
+    fn fault_on_replay(&self, table: &Ident, ts: Timestamp) -> Result<(), StorageError> {
+        match &self.faults {
+            Some(s) => s.on_replay(table, ts),
+            None => Ok(()),
+        }
+    }
+
     /// Inserts a row at `ts` with an auto-assigned tid.
     pub fn insert(&mut self, name: &Ident, row: Row, ts: Timestamp) -> Result<Tid, StorageError> {
         self.check_ts(ts)?;
-        let tid = self.table_mut(name)?.insert(row.clone())?;
-        let canon = self.tables[name].get(tid).expect("just inserted").clone();
+        let table = self.table_mut(name)?;
+        let tid = table.insert(row.clone())?;
+        // `get` cannot miss a tid we just inserted; fall back to the input
+        // row rather than panic if that invariant ever breaks.
+        let canon = table.get(tid).cloned().unwrap_or(row);
         self.record(name, ChangeRecord { ts, op: ChangeOp::Insert, tid, after: Some(canon) });
         self.last_ts = ts;
         Ok(tid)
     }
 
     /// Inserts with an explicit tid (paper fixtures use `t11`-style ids).
-    pub fn insert_with_tid(&mut self, name: &Ident, tid: Tid, row: Row, ts: Timestamp) -> Result<(), StorageError> {
+    pub fn insert_with_tid(
+        &mut self,
+        name: &Ident,
+        tid: Tid,
+        row: Row,
+        ts: Timestamp,
+    ) -> Result<(), StorageError> {
         self.check_ts(ts)?;
-        self.table_mut(name)?.insert_with_tid(tid, row)?;
-        let canon = self.tables[name].get(tid).expect("just inserted").clone();
+        let table = self.table_mut(name)?;
+        table.insert_with_tid(tid, row.clone())?;
+        let canon = table.get(tid).cloned().unwrap_or(row);
         self.record(name, ChangeRecord { ts, op: ChangeOp::Insert, tid, after: Some(canon) });
         self.last_ts = ts;
         Ok(())
     }
 
     /// Replaces the row under `tid` at `ts`.
-    pub fn update_row(&mut self, name: &Ident, tid: Tid, row: Row, ts: Timestamp) -> Result<(), StorageError> {
+    pub fn update_row(
+        &mut self,
+        name: &Ident,
+        tid: Tid,
+        row: Row,
+        ts: Timestamp,
+    ) -> Result<(), StorageError> {
         self.check_ts(ts)?;
-        self.table_mut(name)?.update(tid, row)?;
-        let canon = self.tables[name].get(tid).expect("just updated").clone();
+        let table = self.table_mut(name)?;
+        table.update(tid, row.clone())?;
+        let canon = table.get(tid).cloned().unwrap_or(row);
         self.record(name, ChangeRecord { ts, op: ChangeOp::Update, tid, after: Some(canon) });
         self.last_ts = ts;
         Ok(())
     }
 
     /// Deletes the row under `tid` at `ts`.
-    pub fn delete_row(&mut self, name: &Ident, tid: Tid, ts: Timestamp) -> Result<(), StorageError> {
+    pub fn delete_row(
+        &mut self,
+        name: &Ident,
+        tid: Tid,
+        ts: Timestamp,
+    ) -> Result<(), StorageError> {
         self.check_ts(ts)?;
         if self.table_mut(name)?.delete(tid).is_none() {
             return Err(StorageError::DuplicateTid(tid));
@@ -127,16 +202,23 @@ impl Database {
     }
 
     fn record(&mut self, name: &Ident, rec: ChangeRecord) {
-        self.histories
-            .get_mut(name)
-            .expect("history exists for every table")
-            .record(rec)
-            .expect("timestamp already checked");
+        // Every table has a history (created together) and `check_ts` ran
+        // before the mutation, so neither step can fail; assert in debug
+        // builds rather than panic in release.
+        debug_assert!(self.histories.contains_key(name), "history exists for every table");
+        if let Some(h) = self.histories.get_mut(name) {
+            let recorded = h.record(rec);
+            debug_assert!(recorded.is_ok(), "timestamp already checked");
+        }
     }
 
     /// Executes any statement at `ts`. `SELECT` runs against the state as of
     /// `ts`; DML mutates and records backlog entries.
-    pub fn execute(&mut self, stmt: &Statement, ts: Timestamp) -> Result<ExecOutcome, StorageError> {
+    pub fn execute(
+        &mut self,
+        stmt: &Statement,
+        ts: Timestamp,
+    ) -> Result<ExecOutcome, StorageError> {
         match stmt {
             Statement::Select(q) => {
                 Ok(ExecOutcome::Rows(execute_query(&self.at(ts), q, JoinStrategy::Auto)?))
@@ -157,8 +239,12 @@ impl Database {
     }
 
     fn execute_insert(&mut self, ins: &Insert, ts: Timestamp) -> Result<usize, StorageError> {
-        let table = self.table(&ins.table).ok_or_else(|| StorageError::UnknownTable(ins.table.clone()))?;
+        let table =
+            self.table(&ins.table).ok_or_else(|| StorageError::UnknownTable(ins.table.clone()))?;
         let schema = table.schema().clone();
+        // Fault gate before any row lands, so a faulted multi-row INSERT is
+        // all-or-nothing.
+        self.fault_on_scan(&ins.table)?;
 
         // Map provided columns to schema positions (all columns if omitted).
         let positions: Vec<usize> = if ins.columns.is_empty() {
@@ -166,14 +252,19 @@ impl Database {
         } else {
             ins.columns
                 .iter()
-                .map(|c| schema.position(c).ok_or_else(|| StorageError::UnknownColumn(c.value.clone())))
+                .map(|c| {
+                    schema.position(c).ok_or_else(|| StorageError::UnknownColumn(c.value.clone()))
+                })
                 .collect::<Result<_, _>>()?
         };
 
         let mut count = 0;
         for row_exprs in &ins.rows {
             if row_exprs.len() != positions.len() {
-                return Err(StorageError::ArityMismatch { expected: positions.len(), actual: row_exprs.len() });
+                return Err(StorageError::ArityMismatch {
+                    expected: positions.len(),
+                    actual: row_exprs.len(),
+                });
             }
             let mut row = vec![Value::Null; schema.len()];
             for (pos, e) in positions.iter().zip(row_exprs) {
@@ -186,8 +277,12 @@ impl Database {
     }
 
     fn execute_update(&mut self, up: &Update, ts: Timestamp) -> Result<usize, StorageError> {
-        let table = self.table(&up.table).ok_or_else(|| StorageError::UnknownTable(up.table.clone()))?;
+        let table =
+            self.table(&up.table).ok_or_else(|| StorageError::UnknownTable(up.table.clone()))?;
         let schema = table.schema().clone();
+        // The planning pass below scans the target table; the fault gate sits
+        // in front of it, so a faulted UPDATE mutates nothing.
+        self.fault_on_scan(&up.table)?;
         let scope = Scope::single(up.table.clone(), schema.clone());
 
         let pred = up.selection.as_ref().map(|p| compile(p, &scope)).transpose()?;
@@ -195,7 +290,9 @@ impl Database {
             .assignments
             .iter()
             .map(|(col, e)| {
-                let pos = schema.position(col).ok_or_else(|| StorageError::UnknownColumn(col.value.clone()))?;
+                let pos = schema
+                    .position(col)
+                    .ok_or_else(|| StorageError::UnknownColumn(col.value.clone()))?;
                 Ok((pos, compile(e, &scope)?))
             })
             .collect::<Result<_, StorageError>>()?;
@@ -225,7 +322,9 @@ impl Database {
     }
 
     fn execute_delete(&mut self, del: &Delete, ts: Timestamp) -> Result<usize, StorageError> {
-        let table = self.table(&del.table).ok_or_else(|| StorageError::UnknownTable(del.table.clone()))?;
+        let table =
+            self.table(&del.table).ok_or_else(|| StorageError::UnknownTable(del.table.clone()))?;
+        self.fault_on_scan(&del.table)?;
         let scope = Scope::single(del.table.clone(), table.schema().clone());
         let pred = del.selection.as_ref().map(|p| compile(p, &scope)).transpose()?;
 
@@ -256,7 +355,12 @@ impl Database {
     /// tables if empty) changed, **prepended with `start`** — i.e. the data
     /// versions a `DATA-INTERVAL start TO end` clause selects (paper §3.1).
     /// Returns an empty list when `start > end`.
-    pub fn versions_in(&self, tables: &[Ident], start: Timestamp, end: Timestamp) -> Vec<Timestamp> {
+    pub fn versions_in(
+        &self,
+        tables: &[Ident],
+        start: Timestamp,
+        end: Timestamp,
+    ) -> Vec<Timestamp> {
         if start > end {
             return Vec::new();
         }
@@ -280,9 +384,15 @@ fn eval_standalone(e: &audex_sql::Expr) -> Result<Value, StorageError> {
     match e {
         Expr::Literal(l) => Ok(literal_value(l)),
         Expr::Unary { op: UnaryOp::Neg, expr } => match eval_standalone(expr)? {
-            Value::Int(v) => Ok(Value::Int(v.checked_neg().ok_or(StorageError::ArithmeticOverflow)?)),
+            Value::Int(v) => {
+                Ok(Value::Int(v.checked_neg().ok_or(StorageError::ArithmeticOverflow)?))
+            }
             Value::Float(v) => Ok(Value::Float(-v)),
-            other => Err(StorageError::TypeMismatch { operation: "-".into(), left: "NUMBER", right: other.type_name() }),
+            other => Err(StorageError::TypeMismatch {
+                operation: "-".into(),
+                left: "NUMBER",
+                right: other.type_name(),
+            }),
         },
         Expr::Column(c) => Err(StorageError::UnknownColumn(c.column.value.clone())),
         other => {
@@ -327,14 +437,22 @@ impl<'a> RelationProvider for DatabaseAt<'a> {
         if let Some(base) = lower.strip_prefix("b-") {
             let base_ident = Ident::new(base);
             if let Some(h) = self.db.histories.get(&base_ident) {
+                self.db.fault_on_scan(&base_ident)?;
+                self.db.fault_on_replay(&base_ident, self.ts)?;
                 return Ok(h.backlog_relation(self.ts));
             }
         }
-        let h = self.db.histories.get(name).ok_or_else(|| StorageError::UnknownTable(name.clone()))?;
+        let h =
+            self.db.histories.get(name).ok_or_else(|| StorageError::UnknownTable(name.clone()))?;
+        self.db.fault_on_scan(name)?;
         // Fast path: asking for "now or later" returns the live table.
         if self.ts >= self.db.last_ts {
-            return Ok(self.db.tables[name].to_relation());
+            if let Some(t) = self.db.tables.get(name) {
+                return Ok(t.to_relation());
+            }
         }
+        // Historical read: reconstructed from the backlog.
+        self.db.fault_on_replay(name, self.ts)?;
         Ok(h.replay_to(self.ts).to_relation())
     }
 }
@@ -349,14 +467,26 @@ mod tests {
         let mut db = Database::new();
         db.create_table(
             Ident::new("Patients"),
-            Schema::of(&[("pid", TypeName::Text), ("zipcode", TypeName::Text), ("disease", TypeName::Text)]),
+            Schema::of(&[
+                ("pid", TypeName::Text),
+                ("zipcode", TypeName::Text),
+                ("disease", TypeName::Text),
+            ]),
             Timestamp(0),
         )
         .unwrap();
-        db.insert(&Ident::new("Patients"), vec!["p1".into(), "120016".into(), "cancer".into()], Timestamp(10))
-            .unwrap();
-        db.insert(&Ident::new("Patients"), vec!["p2".into(), "145568".into(), "flu".into()], Timestamp(20))
-            .unwrap();
+        db.insert(
+            &Ident::new("Patients"),
+            vec!["p1".into(), "120016".into(), "cancer".into()],
+            Timestamp(10),
+        )
+        .unwrap();
+        db.insert(
+            &Ident::new("Patients"),
+            vec!["p2".into(), "145568".into(), "flu".into()],
+            Timestamp(20),
+        )
+        .unwrap();
         db
     }
 
@@ -372,7 +502,8 @@ mod tests {
     #[test]
     fn dml_statements_drive_backlog() {
         let mut db = db();
-        let up = parse_statement("UPDATE Patients SET zipcode = '999999' WHERE pid = 'p1'").unwrap();
+        let up =
+            parse_statement("UPDATE Patients SET zipcode = '999999' WHERE pid = 'p1'").unwrap();
         assert_eq!(db.execute(&up, Timestamp(30)).unwrap(), ExecOutcome::Affected(1));
         let del = parse_statement("DELETE FROM Patients WHERE pid = 'p2'").unwrap();
         assert_eq!(db.execute(&del, Timestamp(40)).unwrap(), ExecOutcome::Affected(1));
@@ -407,7 +538,8 @@ mod tests {
     #[test]
     fn update_expressions_see_pre_update_state() {
         let mut db = Database::new();
-        db.create_table(Ident::new("t"), Schema::of(&[("a", TypeName::Int)]), Timestamp(0)).unwrap();
+        db.create_table(Ident::new("t"), Schema::of(&[("a", TypeName::Int)]), Timestamp(0))
+            .unwrap();
         db.insert(&Ident::new("t"), vec![Value::Int(1)], Timestamp(1)).unwrap();
         db.insert(&Ident::new("t"), vec![Value::Int(2)], Timestamp(1)).unwrap();
         let up = parse_statement("UPDATE t SET a = a + 10").unwrap();
@@ -419,7 +551,8 @@ mod tests {
     #[test]
     fn backlog_table_visible_as_b_name() {
         let mut db = db();
-        let up = parse_statement("UPDATE Patients SET zipcode = '000000' WHERE pid = 'p1'").unwrap();
+        let up =
+            parse_statement("UPDATE Patients SET zipcode = '000000' WHERE pid = 'p1'").unwrap();
         db.execute(&up, Timestamp(30)).unwrap();
         let q = parse_query("SELECT zipcode FROM b-Patients WHERE pid = 'p1'").unwrap();
         let rs = db.at(Timestamp(100)).query(&q).unwrap();
@@ -441,7 +574,8 @@ mod tests {
     #[test]
     fn versions_in_filters_by_table() {
         let mut db = db();
-        db.create_table(Ident::new("Other"), Schema::of(&[("x", TypeName::Int)]), Timestamp(20)).unwrap();
+        db.create_table(Ident::new("Other"), Schema::of(&[("x", TypeName::Int)]), Timestamp(20))
+            .unwrap();
         db.insert(&Ident::new("Other"), vec![Value::Int(1)], Timestamp(33)).unwrap();
         let v = db.versions_in(&[Ident::new("Patients")], Timestamp(0), Timestamp(100));
         assert_eq!(v, vec![Timestamp(0), Timestamp(10), Timestamp(20)]);
@@ -450,7 +584,11 @@ mod tests {
     #[test]
     fn non_monotonic_mutation_rejected() {
         let mut db = db();
-        let r = db.insert(&Ident::new("Patients"), vec!["p9".into(), "x".into(), "y".into()], Timestamp(5));
+        let r = db.insert(
+            &Ident::new("Patients"),
+            vec!["p9".into(), "x".into(), "y".into()],
+            Timestamp(5),
+        );
         assert!(matches!(r, Err(StorageError::NonMonotonicTimestamp { .. })));
     }
 
@@ -475,5 +613,87 @@ mod tests {
         let del = parse_statement("DELETE FROM Patients").unwrap();
         assert_eq!(db.execute(&del, Timestamp(30)).unwrap(), ExecOutcome::Affected(2));
         assert!(db.table(&Ident::new("Patients")).unwrap().is_empty());
+    }
+
+    #[test]
+    fn injected_scan_fault_fails_exactly_the_addressed_read() {
+        let mut db = db();
+        db.arm_faults(FaultPlan::new().fail_scan("Patients", 2));
+        let q = parse_query("SELECT pid FROM Patients").unwrap();
+        assert!(db.at(Timestamp(100)).query(&q).is_ok(), "scan #1 survives");
+        let err = db.at(Timestamp(100)).query(&q).unwrap_err();
+        assert!(matches!(err, StorageError::Injected { .. }), "{err:?}");
+        assert!(err.to_string().contains("scan #2 of table Patients"), "{err}");
+        assert!(db.at(Timestamp(100)).query(&q).is_ok(), "scan #3 survives");
+        db.disarm_faults();
+        assert!(!db.faults_armed());
+    }
+
+    #[test]
+    fn faulted_update_applies_nothing() {
+        let mut db = db();
+        let before = db.clone();
+        db.arm_faults(FaultPlan::new().fail_all_scans("Patients"));
+        let up = parse_statement("UPDATE Patients SET zipcode = '999999'").unwrap();
+        let err = db.execute(&up, Timestamp(30)).unwrap_err();
+        assert!(matches!(err, StorageError::Injected { .. }), "{err:?}");
+        db.disarm_faults();
+        assert_eq!(db, before, "no partially-applied UPDATE");
+        assert_eq!(db.last_ts(), Timestamp(20), "clock untouched");
+    }
+
+    #[test]
+    fn faulted_delete_applies_nothing() {
+        let mut db = db();
+        let before = db.clone();
+        db.arm_faults(FaultPlan::new().fail_scan("Patients", 1));
+        let del = parse_statement("DELETE FROM Patients").unwrap();
+        assert!(db.execute(&del, Timestamp(30)).is_err());
+        db.disarm_faults();
+        assert_eq!(db, before, "no partially-applied DELETE");
+    }
+
+    #[test]
+    fn faulted_multi_row_insert_is_atomic() {
+        let mut db = db();
+        let before = db.clone();
+        db.arm_faults(FaultPlan::new().fail_scan("Patients", 1));
+        let ins = parse_statement("INSERT INTO Patients VALUES ('p3', '1', 'a'), ('p4', '2', 'b')")
+            .unwrap();
+        assert!(db.execute(&ins, Timestamp(30)).is_err());
+        db.disarm_faults();
+        assert_eq!(db, before, "no partially-applied INSERT");
+    }
+
+    #[test]
+    fn backlog_cutoff_fails_time_travel_but_not_live_reads() {
+        let mut db = db(); // changes at 0, 10, 20 → last_ts 20
+        db.arm_faults(FaultPlan::new().fail_backlog_past("Patients", Timestamp(10)));
+        let q = parse_query("SELECT pid FROM Patients").unwrap();
+        // Live reads (ts >= last_ts) never replay the backlog.
+        assert!(db.at(Timestamp(20)).query(&q).is_ok());
+        assert!(db.at(Timestamp(100)).query(&q).is_ok());
+        // Replays up to the cutoff still work; past it they fail.
+        assert!(db.at(Timestamp(10)).query(&q).is_ok());
+        let err = db.at(Timestamp(15)).query(&q).unwrap_err();
+        assert!(err.to_string().contains("backlog replay of Patients"), "{err}");
+        // The explicit backlog relation obeys the cutoff too.
+        let qb = parse_query("SELECT pid FROM b-Patients").unwrap();
+        assert!(db.at(Timestamp(100)).query(&qb).is_err());
+        assert!(db.at(Timestamp(10)).query(&qb).is_ok());
+    }
+
+    #[test]
+    fn fault_state_is_invisible_to_equality_and_clone_shares_counters() {
+        let mut a = db();
+        let b = db();
+        a.arm_faults(FaultPlan::new().fail_scan("Patients", 2));
+        assert_eq!(a, b, "equality ignores the armed plan");
+        assert!(a.faults_armed());
+        // A clone shares the armed state: its first scan is ordinal #2.
+        let c = a.clone();
+        let q = parse_query("SELECT pid FROM Patients").unwrap();
+        assert!(a.at(Timestamp(100)).query(&q).is_ok());
+        assert!(c.at(Timestamp(100)).query(&q).is_err(), "clone continues the count");
     }
 }

@@ -56,6 +56,11 @@ pub enum StorageError {
     DuplicateTid(crate::table::Tid),
     /// Statement kind not supported in the current context.
     Unsupported(String),
+    /// A deterministically injected fault tripped (see [`crate::fault`]).
+    Injected {
+        /// The faulted site, e.g. `scan #2 of table Patients`.
+        site: String,
+    },
 }
 
 impl fmt::Display for StorageError {
@@ -80,10 +85,14 @@ impl fmt::Display for StorageError {
                 write!(f, "column {column} expects {expected}, got {actual}")
             }
             StorageError::NonMonotonicTimestamp { last, offered } => {
-                write!(f, "backlog timestamps must be non-decreasing (last {last}, offered {offered})")
+                write!(
+                    f,
+                    "backlog timestamps must be non-decreasing (last {last}, offered {offered})"
+                )
             }
             StorageError::DuplicateTid(t) => write!(f, "tuple id {t} already exists"),
             StorageError::Unsupported(s) => write!(f, "unsupported: {s}"),
+            StorageError::Injected { site } => write!(f, "injected storage fault: {site}"),
         }
     }
 }

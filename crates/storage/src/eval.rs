@@ -37,9 +37,11 @@ impl Scope {
         Ok(Scope { bindings, offsets, width })
     }
 
-    /// A scope over a single table.
+    /// A scope over a single table (one binding cannot collide, so this
+    /// bypasses the duplicate check rather than unwrap its result).
     pub fn single(name: Ident, schema: Schema) -> Self {
-        Scope::new(vec![(name, schema)]).expect("single binding cannot collide")
+        let width = schema.len();
+        Scope { bindings: vec![(name, schema)], offsets: vec![0], width }
     }
 
     /// Number of bindings.
@@ -73,9 +75,8 @@ impl Scope {
     pub fn resolve(&self, col: &ColumnRef) -> Result<(usize, usize), StorageError> {
         match &col.table {
             Some(t) => {
-                let bi = self
-                    .binding_index(t)
-                    .ok_or_else(|| StorageError::UnknownTable(t.clone()))?;
+                let bi =
+                    self.binding_index(t).ok_or_else(|| StorageError::UnknownTable(t.clone()))?;
                 let ci = self.bindings[bi]
                     .1
                     .position(&col.column)
@@ -160,8 +161,12 @@ pub fn compile(expr: &Expr, scope: &Scope) -> Result<CompiledExpr, StorageError>
     Ok(match expr {
         Expr::Column(c) => CompiledExpr::Slot(scope.resolve(c)?.1),
         Expr::Literal(l) => CompiledExpr::Const(literal_value(l)),
-        Expr::Unary { op: UnaryOp::Not, expr } => CompiledExpr::Not(Box::new(compile(expr, scope)?)),
-        Expr::Unary { op: UnaryOp::Neg, expr } => CompiledExpr::Neg(Box::new(compile(expr, scope)?)),
+        Expr::Unary { op: UnaryOp::Not, expr } => {
+            CompiledExpr::Not(Box::new(compile(expr, scope)?))
+        }
+        Expr::Unary { op: UnaryOp::Neg, expr } => {
+            CompiledExpr::Neg(Box::new(compile(expr, scope)?))
+        }
         Expr::Binary { left, op, right } => {
             let l = Box::new(compile(left, scope)?);
             let r = Box::new(compile(right, scope)?);
@@ -192,10 +197,9 @@ pub fn compile(expr: &Expr, scope: &Scope) -> Result<CompiledExpr, StorageError>
             high: Box::new(compile(high, scope)?),
             negated: *negated,
         },
-        Expr::IsNull { expr, negated } => CompiledExpr::IsNull {
-            expr: Box::new(compile(expr, scope)?),
-            negated: *negated,
-        },
+        Expr::IsNull { expr, negated } => {
+            CompiledExpr::IsNull { expr: Box::new(compile(expr, scope)?), negated: *negated }
+        }
     })
 }
 
@@ -394,7 +398,11 @@ mod tests {
         Scope::new(vec![
             (
                 Ident::new("P-Personal"),
-                Schema::of(&[("pid", TypeName::Text), ("age", TypeName::Int), ("zipcode", TypeName::Text)]),
+                Schema::of(&[
+                    ("pid", TypeName::Text),
+                    ("age", TypeName::Int),
+                    ("zipcode", TypeName::Text),
+                ]),
             ),
             (
                 Ident::new("P-Health"),
@@ -405,10 +413,7 @@ mod tests {
     }
 
     fn where_expr(sql_where: &str) -> Expr {
-        parse_query(&format!("SELECT pid FROM t WHERE {sql_where}"))
-            .unwrap()
-            .selection
-            .unwrap()
+        parse_query(&format!("SELECT pid FROM t WHERE {sql_where}")).unwrap().selection.unwrap()
     }
 
     use audex_sql::ast::Expr;
@@ -417,13 +422,8 @@ mod tests {
     fn qualified_resolution() {
         let s = scope2();
         let e = compile(&where_expr("P-Personal.pid = P-Health.pid"), &s).unwrap();
-        let row = vec![
-            "p2".into(),
-            Value::Int(35),
-            "145568".into(),
-            "p2".into(),
-            "diabetic".into(),
-        ];
+        let row =
+            vec!["p2".into(), Value::Int(35), "145568".into(), "p2".into(), "diabetic".into()];
         assert_eq!(e.truth(&row).unwrap(), Truth::True);
     }
 
@@ -511,10 +511,7 @@ mod tests {
     #[test]
     fn scope_rejects_duplicate_bindings() {
         let schema = Schema::of(&[("a", TypeName::Int)]);
-        let r = Scope::new(vec![
-            (Ident::new("t"), schema.clone()),
-            (Ident::new("T"), schema),
-        ]);
+        let r = Scope::new(vec![(Ident::new("t"), schema.clone()), (Ident::new("T"), schema)]);
         assert!(matches!(r, Err(StorageError::DuplicateBinding(_))));
     }
 }

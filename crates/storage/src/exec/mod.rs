@@ -148,10 +148,8 @@ impl PreparedQuery {
                     items.push(ProjItem::AllOf(bi));
                 }
                 SelectItem::Expr { expr, alias } => {
-                    let name = alias
-                        .as_ref()
-                        .map(|a| a.value.clone())
-                        .unwrap_or_else(|| expr.to_string());
+                    let name =
+                        alias.as_ref().map(|a| a.value.clone()).unwrap_or_else(|| expr.to_string());
                     items.push(ProjItem::Expr { compiled: compile(expr, &scope)?, name });
                 }
             }
@@ -215,7 +213,9 @@ impl PreparedQuery {
                 .iter()
                 .enumerate()
                 .filter(|(ci, c)| {
-                    !applied[*ci] && c.class == ConjunctClass::SingleBinding && c.bindings == vec![bi]
+                    !applied[*ci]
+                        && c.class == ConjunctClass::SingleBinding
+                        && c.bindings == vec![bi]
                 })
                 .map(|(ci, _)| ci)
                 .collect();
@@ -270,11 +270,8 @@ impl PreparedQuery {
         let mut projected: Vec<(Row, Vec<Value>)> = Vec::with_capacity(acc.len());
         let mut lineage = Vec::with_capacity(acc.len());
         for (flat, lin) in &acc {
-            let keys = self
-                .order_by
-                .iter()
-                .map(|(e, _)| e.eval(flat))
-                .collect::<Result<Vec<_>, _>>()?;
+            let keys =
+                self.order_by.iter().map(|(e, _)| e.eval(flat)).collect::<Result<Vec<_>, _>>()?;
             projected.push((self.project(flat)?, keys));
             lineage.push(lin.clone());
         }
@@ -313,10 +310,15 @@ impl PreparedQuery {
     }
 
     /// Scans relation `bi` and applies the given single-binding filters.
-    fn filtered_relation(&self, bi: usize, filter_idx: &[usize]) -> Result<Vec<(Tid, Row)>, StorageError> {
+    fn filtered_relation(
+        &self,
+        bi: usize,
+        filter_idx: &[usize],
+    ) -> Result<Vec<(Tid, Row)>, StorageError> {
         let rel = &self.relations[bi];
         let offset = self.scope.offset(bi);
-        let filters: Vec<&PlannedConjunct> = filter_idx.iter().map(|ci| &self.conjuncts[*ci]).collect();
+        let filters: Vec<&PlannedConjunct> =
+            filter_idx.iter().map(|ci| &self.conjuncts[*ci]).collect();
         if filters.is_empty() {
             return Ok(rel.rows.clone());
         }
@@ -336,7 +338,12 @@ impl PreparedQuery {
 
     /// Equi-join edges `(conjunct idx, probe slot in prefix, build slot in
     /// bi)` that are hash-join-safe (plain columns, equal non-float types).
-    fn hash_edges(&self, bi: usize, bound: &[bool], applied: &[bool]) -> Vec<(usize, usize, usize)> {
+    fn hash_edges(
+        &self,
+        bi: usize,
+        bound: &[bool],
+        applied: &[bool],
+    ) -> Vec<(usize, usize, usize)> {
         let mut edges = Vec::new();
         for (ci, c) in self.conjuncts.iter().enumerate() {
             if applied[ci] || c.class != ConjunctClass::EquiJoin {
@@ -539,10 +546,8 @@ mod tests {
 
     #[test]
     fn join_with_lineage() {
-        let rs = run(
-            "SELECT name, disease FROM P-Personal, P-Health \
-             WHERE P-Personal.pid = P-Health.pid AND disease = 'diabetic'",
-        );
+        let rs = run("SELECT name, disease FROM P-Personal, P-Health \
+             WHERE P-Personal.pid = P-Health.pid AND disease = 'diabetic'");
         assert_eq!(rs.rows.len(), 2);
         for lin in &rs.lineage {
             assert_eq!(lin.len(), 2);
@@ -573,7 +578,8 @@ mod tests {
 
     #[test]
     fn wildcard_and_qualified_wildcard() {
-        let rs = run("SELECT P-Health.* FROM P-Personal, P-Health WHERE P-Personal.pid = P-Health.pid");
+        let rs =
+            run("SELECT P-Health.* FROM P-Personal, P-Health WHERE P-Personal.pid = P-Health.pid");
         assert_eq!(rs.columns, vec!["pid", "disease"]);
         assert_eq!(rs.rows.len(), 4);
     }
@@ -595,10 +601,8 @@ mod tests {
 
     #[test]
     fn self_join_with_aliases() {
-        let rs = run(
-            "SELECT a.name, b.name FROM P-Personal a, P-Personal b \
-             WHERE a.zipcode = b.zipcode AND a.age < b.age",
-        );
+        let rs = run("SELECT a.name, b.name FROM P-Personal a, P-Personal b \
+             WHERE a.zipcode = b.zipcode AND a.age < b.age");
         // Lucy (20) and Reku (35) share 145568.
         assert_eq!(rs.rows.len(), 1);
         assert_eq!(rs.rows[0][0], Value::Str("Lucy".into()));
@@ -620,7 +624,11 @@ mod tests {
 
     #[test]
     fn unknown_table_and_column_errors() {
-        let err = execute_query(&fixture(), &parse_query("SELECT x FROM NoTable").unwrap(), JoinStrategy::Auto);
+        let err = execute_query(
+            &fixture(),
+            &parse_query("SELECT x FROM NoTable").unwrap(),
+            JoinStrategy::Auto,
+        );
         assert!(matches!(err, Err(StorageError::UnknownTable(_))));
         let err = execute_query(
             &fixture(),
@@ -632,10 +640,8 @@ mod tests {
 
     #[test]
     fn or_predicate_is_not_split() {
-        let rs = run(
-            "SELECT name FROM P-Personal, P-Health \
-             WHERE P-Personal.pid = P-Health.pid AND (age < 21 OR disease = 'malaria')",
-        );
+        let rs = run("SELECT name FROM P-Personal, P-Health \
+             WHERE P-Personal.pid = P-Health.pid AND (age < 21 OR disease = 'malaria')");
         assert_eq!(rs.rows.len(), 2); // Lucy by age, Robert by disease
     }
 

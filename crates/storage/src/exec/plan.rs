@@ -45,7 +45,10 @@ pub fn split_conjuncts(pred: &Expr) -> Vec<&Expr> {
 }
 
 /// Compiles and classifies every top-level conjunct of `pred`.
-pub fn classify_conjuncts(pred: &Expr, scope: &Scope) -> Result<Vec<PlannedConjunct>, StorageError> {
+pub fn classify_conjuncts(
+    pred: &Expr,
+    scope: &Scope,
+) -> Result<Vec<PlannedConjunct>, StorageError> {
     split_conjuncts(pred)
         .into_iter()
         .map(|c| {

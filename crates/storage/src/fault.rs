@@ -1,0 +1,207 @@
+//! Deterministic storage fault injection.
+//!
+//! Robustness claims ("every storage error surfaces as a structured audit
+//! error, never a panic, never a half-applied statement") are only worth
+//! anything if they are *tested*. A [`FaultPlan`] lets tests address the
+//! exact read site they want to break:
+//!
+//! * **fail the Nth scan of table `T`** — trips inside
+//!   [`crate::DatabaseAt::relation`] when the query executor asks for `T`'s
+//!   rows the Nth time (live reads, replays, and `b-T` backlog reads all
+//!   count), and inside DML planning, which scans the target table before
+//!   mutating anything;
+//! * **fail every scan of table `T`** — the hard-down table;
+//! * **fail backlog replays past an instant** — trips when a versioned read
+//!   (a replay of `T`'s history, or a `b-T` backlog relation) is requested
+//!   for an instant after the cutoff, modelling a truncated or corrupt
+//!   backlog tail.
+//!
+//! Faults are checked *before* any mutation is applied: DML plans first and
+//! applies second, and the scan fault fires during planning, so a faulted
+//! `UPDATE`/`DELETE`/`INSERT` leaves the database byte-identical. Injected
+//! failures surface as [`StorageError::Injected`] carrying the site
+//! description, and flow through the audit pipeline like any other storage
+//! error.
+//!
+//! The plan is deterministic — no randomness, no time dependence — so a
+//! failing test reproduces exactly. Scan ordinals are counted per table in a
+//! shared counter ([`Database::clone`] shares the armed state, so a
+//! [`crate::DatabaseAt`] view of a clone keeps counting where the original
+//! left off).
+
+use audex_sql::{Ident, Timestamp};
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use crate::error::StorageError;
+
+/// One scan-site fault: the `nth` read of `table` fails (1-based);
+/// `nth == 0` means every read fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ScanFault {
+    table: Ident,
+    nth: u64,
+}
+
+/// Backlog cutoff: versioned reads of `table` (all tables when `None`) for
+/// instants strictly after `after` fail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct BacklogCutoff {
+    table: Option<Ident>,
+    after: Timestamp,
+}
+
+/// A deterministic, site-addressed plan of storage faults.
+///
+/// Build one with the `fail_*` constructors, then arm it with
+/// [`Database::arm_faults`](crate::Database::arm_faults).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    scans: Vec<ScanFault>,
+    cutoffs: Vec<BacklogCutoff>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The `nth` (1-based) scan of `table` fails.
+    pub fn fail_scan(mut self, table: &str, nth: u64) -> Self {
+        assert!(nth > 0, "scan ordinals are 1-based; use fail_all_scans for every scan");
+        self.scans.push(ScanFault { table: Ident::new(table), nth });
+        self
+    }
+
+    /// Every scan of `table` fails.
+    pub fn fail_all_scans(mut self, table: &str) -> Self {
+        self.scans.push(ScanFault { table: Ident::new(table), nth: 0 });
+        self
+    }
+
+    /// Versioned (backlog-replay) reads of `table` past `after` fail.
+    pub fn fail_backlog_past(mut self, table: &str, after: Timestamp) -> Self {
+        self.cutoffs.push(BacklogCutoff { table: Some(Ident::new(table)), after });
+        self
+    }
+
+    /// Versioned reads of *any* table past `after` fail.
+    pub fn fail_all_backlogs_past(mut self, after: Timestamp) -> Self {
+        self.cutoffs.push(BacklogCutoff { table: None, after });
+        self
+    }
+
+    /// True when the plan contains no faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.scans.is_empty() && self.cutoffs.is_empty()
+    }
+}
+
+/// An armed [`FaultPlan`] plus its per-table scan counters.
+#[derive(Debug, Default)]
+pub(crate) struct FaultState {
+    plan: FaultPlan,
+    /// Scans observed so far, per table. Interior-mutable because reads go
+    /// through shared `&Database` views.
+    counts: Mutex<BTreeMap<Ident, u64>>,
+}
+
+impl FaultState {
+    pub(crate) fn new(plan: FaultPlan) -> Self {
+        FaultState { plan, counts: Mutex::new(BTreeMap::new()) }
+    }
+
+    /// Records one scan of `table` and fails it if the plan says so.
+    pub(crate) fn on_scan(&self, table: &Ident) -> Result<(), StorageError> {
+        let ordinal = {
+            let mut counts = self.counts.lock().unwrap_or_else(|e| e.into_inner());
+            let c = counts.entry(table.clone()).or_insert(0);
+            *c += 1;
+            *c
+        };
+        for f in &self.plan.scans {
+            if f.table == *table && (f.nth == 0 || f.nth == ordinal) {
+                return Err(StorageError::Injected {
+                    site: format!("scan #{ordinal} of table {table}"),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Fails a versioned read of `table` at `ts` if it lies past a cutoff.
+    pub(crate) fn on_replay(&self, table: &Ident, ts: Timestamp) -> Result<(), StorageError> {
+        for c in &self.plan.cutoffs {
+            let table_matches = c.table.as_ref().is_none_or(|t| t == table);
+            if table_matches && ts > c.after {
+                return Err(StorageError::Injected {
+                    site: format!(
+                        "backlog replay of {table} at {ts} (history truncated after {})",
+                        c.after
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nth_scan_trips_once() {
+        let state = FaultState::new(FaultPlan::new().fail_scan("t", 2));
+        let t = Ident::new("t");
+        assert!(state.on_scan(&t).is_ok());
+        let err = state.on_scan(&t).unwrap_err();
+        assert!(matches!(err, StorageError::Injected { ref site } if site.contains("scan #2")));
+        assert!(state.on_scan(&t).is_ok(), "only the addressed ordinal fails");
+    }
+
+    #[test]
+    fn all_scans_trip_every_time() {
+        let state = FaultState::new(FaultPlan::new().fail_all_scans("t"));
+        let t = Ident::new("t");
+        for _ in 0..3 {
+            assert!(state.on_scan(&t).is_err());
+        }
+        assert!(state.on_scan(&Ident::new("other")).is_ok());
+    }
+
+    #[test]
+    fn counters_are_per_table() {
+        let state = FaultState::new(FaultPlan::new().fail_scan("a", 1).fail_scan("b", 2));
+        assert!(state.on_scan(&Ident::new("b")).is_ok());
+        assert!(state.on_scan(&Ident::new("a")).is_err());
+        assert!(state.on_scan(&Ident::new("b")).is_err());
+    }
+
+    #[test]
+    fn backlog_cutoff_respects_table_and_instant() {
+        let state = FaultState::new(FaultPlan::new().fail_backlog_past("t", Timestamp(100)));
+        let t = Ident::new("t");
+        assert!(state.on_replay(&t, Timestamp(100)).is_ok(), "cutoff itself is readable");
+        assert!(state.on_replay(&t, Timestamp(101)).is_err());
+        assert!(state.on_replay(&Ident::new("other"), Timestamp(500)).is_ok());
+
+        let any = FaultState::new(FaultPlan::new().fail_all_backlogs_past(Timestamp(10)));
+        assert!(any.on_replay(&Ident::new("x"), Timestamp(11)).is_err());
+    }
+
+    #[test]
+    fn plan_is_composable_and_comparable() {
+        let p = FaultPlan::new().fail_scan("t", 1).fail_all_backlogs_past(Timestamp(5));
+        assert!(!p.is_empty());
+        assert_eq!(p, p.clone());
+        assert!(FaultPlan::new().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "1-based")]
+    fn zero_ordinal_is_rejected() {
+        let _ = FaultPlan::new().fail_scan("t", 0);
+    }
+}

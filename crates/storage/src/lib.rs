@@ -39,19 +39,26 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Robustness policy: library code must surface failures as structured
+// errors, never panic on them (tests are exempt via clippy.toml).
+#![warn(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod backlog;
 pub mod database;
 pub mod error;
 pub mod eval;
 pub mod exec;
+pub mod fault;
 pub mod schema;
 pub mod table;
 pub mod value;
 
 pub use database::{Database, DatabaseAt, ExecOutcome};
 pub use error::StorageError;
-pub use exec::{execute_query, JoinStrategy, LineageEntry, LineageRow, RelationProvider, ResultSet};
+pub use exec::{
+    execute_query, JoinStrategy, LineageEntry, LineageRow, RelationProvider, ResultSet,
+};
+pub use fault::FaultPlan;
 pub use schema::Schema;
 pub use table::{Relation, Row, Table, Tid};
 pub use value::{Truth, Value};

@@ -23,10 +23,13 @@ impl Schema {
         Ok(Schema { columns })
     }
 
-    /// Convenience constructor from `(name, type)` string pairs.
+    /// Convenience constructor from `(name, type)` string pairs. Panics on
+    /// duplicate column names — it exists for statically written fixtures.
     pub fn of(cols: &[(&str, TypeName)]) -> Self {
-        Schema::new(cols.iter().map(|(n, t)| (Ident::new(*n), *t)).collect())
-            .expect("static schema must have unique columns")
+        match Schema::new(cols.iter().map(|(n, t)| (Ident::new(*n), *t)).collect()) {
+            Ok(s) => s,
+            Err(e) => panic!("static schema must have unique columns: {e}"),
+        }
     }
 
     /// Number of columns.
@@ -111,10 +114,8 @@ mod tests {
 
     #[test]
     fn duplicate_columns_rejected() {
-        let r = Schema::new(vec![
-            (Ident::new("a"), TypeName::Int),
-            (Ident::new("A"), TypeName::Text),
-        ]);
+        let r =
+            Schema::new(vec![(Ident::new("a"), TypeName::Int), (Ident::new("A"), TypeName::Text)]);
         assert!(r.is_err());
     }
 
@@ -128,7 +129,8 @@ mod tests {
 
     #[test]
     fn value_checking() {
-        let s = Schema::of(&[("a", TypeName::Int), ("b", TypeName::Float), ("c", TypeName::Timestamp)]);
+        let s =
+            Schema::of(&[("a", TypeName::Int), ("b", TypeName::Float), ("c", TypeName::Timestamp)]);
         assert!(s.check_value(0, &Value::Int(1)).is_ok());
         assert!(s.check_value(0, &Value::Str("x".into())).is_err());
         assert!(s.check_value(0, &Value::Null).is_ok());

@@ -105,7 +105,10 @@ impl Table {
 
     fn validate(&self, row: Row) -> Result<Row, StorageError> {
         if row.len() != self.schema.len() {
-            return Err(StorageError::ArityMismatch { expected: self.schema.len(), actual: row.len() });
+            return Err(StorageError::ArityMismatch {
+                expected: self.schema.len(),
+                actual: row.len(),
+            });
         }
         row.into_iter()
             .enumerate()

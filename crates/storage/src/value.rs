@@ -203,8 +203,14 @@ impl Value {
                 }
             },
             (Int(_) | Float(_), Int(_) | Float(_)) => {
-                let a = self.as_f64().expect("numeric");
-                let b = other.as_f64().expect("numeric");
+                let (Some(a), Some(b)) = (self.as_f64(), other.as_f64()) else {
+                    // Unreachable: the arm pattern guarantees both numeric.
+                    return Err(StorageError::TypeMismatch {
+                        operation: op.symbol().to_string(),
+                        left: self.type_name(),
+                        right: other.type_name(),
+                    });
+                };
                 let r = match op {
                     ArithOp::Add => a + b,
                     ArithOp::Sub => a - b,
@@ -244,7 +250,9 @@ impl Value {
     pub fn sql_like(&self, pattern: &Value) -> Truth {
         match (self, pattern) {
             (Value::Null, _) | (_, Value::Null) => Truth::Unknown,
-            (Value::Str(s), Value::Str(p)) => Truth::from_bool(like_match(s.as_bytes(), p.as_bytes())),
+            (Value::Str(s), Value::Str(p)) => {
+                Truth::from_bool(like_match(s.as_bytes(), p.as_bytes()))
+            }
             _ => Truth::Unknown,
         }
     }
@@ -478,12 +486,14 @@ mod tests {
 
     #[test]
     fn total_order_is_deterministic() {
-        let mut vals = [Value::Str("b".into()),
+        let mut vals = [
+            Value::Str("b".into()),
             Value::Int(2),
             Value::Null,
             Value::Float(1.5),
             Value::Str("a".into()),
-            Value::Bool(true)];
+            Value::Bool(true),
+        ];
         vals.sort_by(|a, b| a.total_cmp(b));
         assert_eq!(vals[0], Value::Null);
         assert_eq!(vals[1], Value::Bool(true));

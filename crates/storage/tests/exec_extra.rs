@@ -141,17 +141,18 @@ fn cross_type_join_keys_fall_back_correctly() {
     // Joining TEXT zipcode against an INT-typed key must not use the hash
     // path blindly; results must match nested loop.
     let mut db = hospital();
-    db.execute(&parse_statement("CREATE TABLE Zones (code INT, label TEXT)").unwrap(), Timestamp(50))
-        .unwrap();
     db.execute(
-        &parse_statement("INSERT INTO Zones VALUES (145568, 'midtown'), (177893, 'north')").unwrap(),
+        &parse_statement("CREATE TABLE Zones (code INT, label TEXT)").unwrap(),
+        Timestamp(50),
+    )
+    .unwrap();
+    db.execute(
+        &parse_statement("INSERT INTO Zones VALUES (145568, 'midtown'), (177893, 'north')")
+            .unwrap(),
         Timestamp(51),
     )
     .unwrap();
-    let q = parse_query(
-        "SELECT name, label FROM P-Personal, Zones WHERE zipcode = code",
-    )
-    .unwrap();
+    let q = parse_query("SELECT name, label FROM P-Personal, Zones WHERE zipcode = code").unwrap();
     let auto = db.at(db.last_ts()).query_with(&q, JoinStrategy::Auto).unwrap();
     let nested = db.at(db.last_ts()).query_with(&q, JoinStrategy::NestedLoop).unwrap();
     assert_eq!(auto.rows, nested.rows);
@@ -213,10 +214,7 @@ fn order_by_sorts_and_limit_truncates() {
 #[test]
 fn order_by_multiple_keys() {
     let db = hospital();
-    let got = rows(
-        &db,
-        "SELECT name FROM P-Personal ORDER BY zipcode, age DESC",
-    );
+    let got = rows(&db, "SELECT name FROM P-Personal ORDER BY zipcode, age DESC");
     let names: Vec<String> = got.iter().map(|r| r[0].to_string()).collect();
     // zipcodes: 145568 (Reku 35, Lucy 20), 177893 (Jane), 188888 (Robert).
     assert_eq!(names, vec!["Reku", "Lucy", "Jane", "Robert"]);
@@ -253,9 +251,11 @@ fn order_by_unknown_column_errors() {
 #[test]
 fn division_error_surfaces_not_panics() {
     let db = hospital();
-    let q = parse_query("SELECT salary / (age - age) FROM P-Personal, P-Employ \
-                         WHERE P-Personal.pid = P-Employ.pid")
-        .unwrap();
+    let q = parse_query(
+        "SELECT salary / (age - age) FROM P-Personal, P-Employ \
+                         WHERE P-Personal.pid = P-Employ.pid",
+    )
+    .unwrap();
     let err = db.at(db.last_ts()).query(&q);
     assert!(err.is_err());
 }

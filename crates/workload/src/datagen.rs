@@ -83,7 +83,11 @@ pub fn generate_hospital(cfg: &HospitalConfig, t0: Timestamp) -> Database {
     let employ = Ident::new(EMPLOY);
     db.create_table(
         employ.clone(),
-        Schema::of(&[("pid", TypeName::Text), ("employer", TypeName::Text), ("salary", TypeName::Int)]),
+        Schema::of(&[
+            ("pid", TypeName::Text),
+            ("employer", TypeName::Text),
+            ("salary", TypeName::Int),
+        ]),
         t0,
     )
     .expect("create Employ");
@@ -147,8 +151,14 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let a = generate_hospital(&HospitalConfig { patients: 50, seed: 1, ..Default::default() }, Timestamp(0));
-        let b = generate_hospital(&HospitalConfig { patients: 50, seed: 2, ..Default::default() }, Timestamp(0));
+        let a = generate_hospital(
+            &HospitalConfig { patients: 50, seed: 1, ..Default::default() },
+            Timestamp(0),
+        );
+        let b = generate_hospital(
+            &HospitalConfig { patients: 50, seed: 2, ..Default::default() },
+            Timestamp(0),
+        );
         let t = Ident::new(PATIENTS);
         assert_ne!(
             a.table(&t).unwrap().to_relation().rows,
@@ -158,7 +168,10 @@ mod tests {
 
     #[test]
     fn row_counts_match_config() {
-        let db = generate_hospital(&HospitalConfig { patients: 120, ..Default::default() }, Timestamp(0));
+        let db = generate_hospital(
+            &HospitalConfig { patients: 120, ..Default::default() },
+            Timestamp(0),
+        );
         for t in [PATIENTS, HEALTH, EMPLOY] {
             assert_eq!(db.table(&Ident::new(t)).unwrap().len(), 120);
         }
@@ -173,10 +186,7 @@ mod tests {
         let rel = db.table(&Ident::new(PATIENTS)).unwrap().to_relation();
         for (_, row) in &rel.rows {
             let zip = row[3].to_string();
-            assert!(
-                (0..3).any(|z| zip == zip_of_zone(z)),
-                "unexpected zipcode {zip}"
-            );
+            assert!((0..3).any(|z| zip == zip_of_zone(z)), "unexpected zipcode {zip}");
         }
     }
 }

@@ -18,5 +18,8 @@ pub mod querygen;
 pub mod updategen;
 
 pub use datagen::{generate_hospital, HospitalConfig};
-pub use querygen::{batch_audit_text, batch_of, generate_batch_attack, generate_queries, load_log, standard_audit_text, GeneratedQuery, QueryMixConfig};
+pub use querygen::{
+    batch_audit_text, batch_of, generate_batch_attack, generate_queries, load_log,
+    standard_audit_text, GeneratedQuery, QueryMixConfig,
+};
 pub use updategen::{apply_update_stream, UpdateStreamConfig};

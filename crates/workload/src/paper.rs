@@ -32,33 +32,28 @@ pub fn paper_now() -> Timestamp {
 }
 
 /// Fig. 1: the audit expression syntax of Agrawal et al. (example instance).
-pub const FIG1_AGRAWAL: &str =
-    "OTHERTHAN PURPOSE marketing DURING 1/1/2008 TO 1/4/2008 \
+pub const FIG1_AGRAWAL: &str = "OTHERTHAN PURPOSE marketing DURING 1/1/2008 TO 1/4/2008 \
      AUDIT disease FROM P-Health WHERE ward = 'W14'";
 
 /// Fig. 2: Audit Expression-1.
-pub const FIG2_AUDIT_EXPRESSION_1: &str =
-    "Audit name, age, address FROM P-Personal WHERE age < 30";
+pub const FIG2_AUDIT_EXPRESSION_1: &str = "Audit name, age, address FROM P-Personal WHERE age < 30";
 
 /// Fig. 3: Audit Expression-2.
-pub const FIG3_AUDIT_EXPRESSION_2: &str =
-    "Audit name, disease, address \
+pub const FIG3_AUDIT_EXPRESSION_2: &str = "Audit name, disease, address \
      FROM P-Personal, P-Health, P-Employ \
      WHERE P-Personal.pid=P-Health.pid and P-Health.pid=P-Employ.pid and \
            P-Personal.zipcode=145568 and P-Employ.salary > 10000 and \
            P-Health.disease='diabetic'";
 
 /// Fig. 4: the perfect-privacy encoding.
-pub const FIG4_PERFECT_PRIVACY: &str =
-    "INDISPENSABLE true \
+pub const FIG4_PERFECT_PRIVACY: &str = "INDISPENSABLE true \
      AUDIT [*] FROM P-Personal, P-Health, P-Employ \
      WHERE P-Personal.pid=P-Health.pid and P-Health.pid=P-Employ.pid and \
            P-Personal.zipcode='145568' and P-Employ.salary > 10000 and \
            P-Health.disease='diabetic' and P-Personal.name='Reku'";
 
 /// Fig. 5: the weak-syntactic-suspicion encoding.
-pub const FIG5_WEAK_SYNTACTIC: &str =
-    "INDISPENSABLE true \
+pub const FIG5_WEAK_SYNTACTIC: &str = "INDISPENSABLE true \
      AUDIT [name, disease, address, P-Personal.pid, P-Health.pid, P-Employ.pid, zipcode, salary] \
      FROM P-Personal, P-Health, P-Employ \
      WHERE P-Personal.pid=P-Health.pid and P-Health.pid=P-Employ.pid and \
@@ -66,16 +61,14 @@ pub const FIG5_WEAK_SYNTACTIC: &str =
            P-Health.disease='diabetic'";
 
 /// Fig. 6: the semantic-suspiciousness (indispensable tuple) encoding.
-pub const FIG6_SEMANTIC: &str =
-    "INDISPENSABLE true \
+pub const FIG6_SEMANTIC: &str = "INDISPENSABLE true \
      AUDIT (name, disease, address) FROM P-Personal, P-Health, P-Employ \
      WHERE P-Personal.pid=P-Health.pid and P-Health.pid=P-Employ.pid and \
            P-Personal.zipcode='145568' and P-Employ.salary > 10000 and \
            P-Health.disease='diabetic'";
 
 /// Fig. 7: an instance exercising every clause of the full grammar.
-pub const FIG7_FULL_GRAMMAR: &str =
-    "Neg-Role-Purpose (nurse, billing) (-, marketing) \
+pub const FIG7_FULL_GRAMMAR: &str = "Neg-Role-Purpose (nurse, billing) (-, marketing) \
      Pos-Role-Purpose (doctor, -) \
      Neg-User-Identity u-13 \
      Pos-User-Identity u-7, u-9 \
@@ -87,8 +80,7 @@ pub const FIG7_FULL_GRAMMAR: &str =
      WHERE P-Personal.pid = P-Health.pid";
 
 /// §3.1's DATA-INTERVAL example over the backlog table.
-pub const SEC31_DATA_INTERVAL: &str =
-    "DATA-INTERVAL 1/5/2004:13-00-00 to now() \
+pub const SEC31_DATA_INTERVAL: &str = "DATA-INTERVAL 1/5/2004:13-00-00 to now() \
      Audit name, age, address From b-P-Personal Where age < 30";
 
 /// §2.1's first example (Agrawal et al.): audit + suspicious query pair.
@@ -102,8 +94,19 @@ pub const SEC21_AUDIT_ZIPCODE: &str = "AUDIT zipcode FROM Patients WHERE disease
 /// paper omits Reku's age cell `(t12,35)`, which a faithful `[*]` expansion
 /// also produces — see EXPERIMENTS.md E6).
 pub const FIG4_EXPECTED_PAPER: &[&str] = &[
-    "(t12,p2)", "(t22,p2)", "(t32,p2)", "(t12,145568)", "(t12,M)", "(t12,A2)", "(t12,Reku)",
-    "(t22,W12)", "(t22,Nicholas)", "(t22,diabetic)", "(t22,drug1)", "(t32,E2)", "(t32,20000)",
+    "(t12,p2)",
+    "(t22,p2)",
+    "(t32,p2)",
+    "(t12,145568)",
+    "(t12,M)",
+    "(t12,A2)",
+    "(t12,Reku)",
+    "(t22,W12)",
+    "(t22,Nicholas)",
+    "(t22,diabetic)",
+    "(t22,drug1)",
+    "(t32,E2)",
+    "(t32,20000)",
 ];
 
 /// The cell the paper's Fig. 4 set omits but its model implies.
@@ -112,10 +115,22 @@ pub const FIG4_IMPLIED_EXTRA: &str = "(t12,35)";
 /// Expected granule set for Fig. 5 (16 pairs; the paper's bare `(t32)` is a
 /// typographical artifact — see EXPERIMENTS.md E7).
 pub const FIG5_EXPECTED_PAPER: &[&str] = &[
-    "(t12,p2)", "(t12,145568)", "(t12,Reku)", "(t12,A2)",
-    "(t14,p28)", "(t14,145568)", "(t14,Lucy)", "(t14,A4)",
-    "(t22,diabetic)", "(t24,diabetic)", "(t32,20000)", "(t34,19000)",
-    "(t22,p2)", "(t32,p2)", "(t24,p28)", "(t34,p28)",
+    "(t12,p2)",
+    "(t12,145568)",
+    "(t12,Reku)",
+    "(t12,A2)",
+    "(t14,p28)",
+    "(t14,145568)",
+    "(t14,Lucy)",
+    "(t14,A4)",
+    "(t22,diabetic)",
+    "(t24,diabetic)",
+    "(t32,20000)",
+    "(t34,19000)",
+    "(t22,p2)",
+    "(t32,p2)",
+    "(t24,p28)",
+    "(t34,p28)",
 ];
 
 /// Expected granule set for Fig. 6.
@@ -189,7 +204,11 @@ pub fn paper_database() -> Database {
     let employ = Ident::new("P-Employ");
     db.create_table(
         employ.clone(),
-        Schema::of(&[("pid", TypeName::Text), ("employer", TypeName::Text), ("salary", TypeName::Int)]),
+        Schema::of(&[
+            ("pid", TypeName::Text),
+            ("employer", TypeName::Text),
+            ("salary", TypeName::Int),
+        ]),
         ts,
     )
     .expect("create P-Employ");
@@ -218,7 +237,11 @@ pub fn with_section21_patients(db: &mut Database) {
     let patients = Ident::new("Patients");
     db.create_table(
         patients.clone(),
-        Schema::of(&[("pid", TypeName::Text), ("zipcode", TypeName::Text), ("disease", TypeName::Text)]),
+        Schema::of(&[
+            ("pid", TypeName::Text),
+            ("zipcode", TypeName::Text),
+            ("disease", TypeName::Text),
+        ]),
         ts,
     )
     .expect("create Patients");

@@ -119,7 +119,11 @@ pub fn generate_queries(hospital: &HospitalConfig, cfg: &QueryMixConfig) -> Vec<
                      WHERE Patients.pid = Health.pid AND Patients.zipcode = '{}'",
                     zip_of_zone(other_zone)
                 ),
-                _ => format!("SELECT age FROM Patients WHERE age BETWEEN {} AND {}", 20, 20 + rng.gen_range(1..40)),
+                _ => format!(
+                    "SELECT age FROM Patients WHERE age BETWEEN {} AND {}",
+                    20,
+                    20 + rng.gen_range(1..40)
+                ),
             }
         };
         out.push(GeneratedQuery { sql, at, context, planted });
@@ -180,9 +184,7 @@ pub fn load_log(queries: &[GeneratedQuery]) -> (QueryLog, Vec<QueryId>) {
     let log = QueryLog::new();
     let mut planted = Vec::new();
     for g in queries {
-        let id = log
-            .record_text(&g.sql, g.at, g.context.clone())
-            .expect("generated SQL parses");
+        let id = log.record_text(&g.sql, g.at, g.context.clone()).expect("generated SQL parses");
         if g.planted {
             planted.push(id);
         }
@@ -215,16 +217,25 @@ mod tests {
     #[test]
     fn rate_zero_and_one() {
         let h = HospitalConfig::default();
-        let none = generate_queries(&h, &QueryMixConfig { queries: 30, suspicious_rate: 0.0, ..Default::default() });
+        let none = generate_queries(
+            &h,
+            &QueryMixConfig { queries: 30, suspicious_rate: 0.0, ..Default::default() },
+        );
         assert!(none.iter().all(|g| !g.planted));
-        let all = generate_queries(&h, &QueryMixConfig { queries: 30, suspicious_rate: 1.0, ..Default::default() });
+        let all = generate_queries(
+            &h,
+            &QueryMixConfig { queries: 30, suspicious_rate: 1.0, ..Default::default() },
+        );
         assert!(all.iter().all(|g| g.planted));
     }
 
     #[test]
     fn everything_parses_and_loads() {
         let h = HospitalConfig::default();
-        let qs = generate_queries(&h, &QueryMixConfig { queries: 100, suspicious_rate: 0.3, ..Default::default() });
+        let qs = generate_queries(
+            &h,
+            &QueryMixConfig { queries: 100, suspicious_rate: 0.3, ..Default::default() },
+        );
         let (log, planted) = load_log(&qs);
         assert_eq!(log.len(), 100);
         assert_eq!(planted.len(), qs.iter().filter(|g| g.planted).count());

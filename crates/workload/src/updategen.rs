@@ -87,7 +87,10 @@ mod tests {
         apply_update_stream(&mut a, &h, &cfg);
         apply_update_stream(&mut b, &h, &cfg);
         let t = Ident::new(PATIENTS);
-        assert_eq!(a.table(&t).unwrap().to_relation().rows, b.table(&t).unwrap().to_relation().rows);
+        assert_eq!(
+            a.table(&t).unwrap().to_relation().rows,
+            b.table(&t).unwrap().to_relation().rows
+        );
     }
 
     #[test]
@@ -96,11 +99,8 @@ mod tests {
         let mut db = generate_hospital(&h, Timestamp(0));
         let before = db.table(&Ident::new(PATIENTS)).unwrap().to_relation();
         apply_update_stream(&mut db, &h, &UpdateStreamConfig { updates: 25, ..Default::default() });
-        let replayed = db
-            .history(&Ident::new(PATIENTS))
-            .unwrap()
-            .replay_to(Timestamp(0))
-            .to_relation();
+        let replayed =
+            db.history(&Ident::new(PATIENTS)).unwrap().replay_to(Timestamp(0)).to_relation();
         assert_eq!(before.rows, replayed.rows);
     }
 }

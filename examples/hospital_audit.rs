@@ -8,17 +8,16 @@
 use audex::core::{assess, AccessClass, AuditEngine, AuditMode, EngineOptions};
 use audex::policy::{ColumnScope, PrivacyPolicy};
 use audex::sql::{parse_audit, Ident};
-use audex::workload::{generate_hospital, generate_queries, load_log, HospitalConfig, QueryMixConfig};
+use audex::workload::{
+    generate_hospital, generate_queries, load_log, HospitalConfig, QueryMixConfig,
+};
 use audex::Timestamp;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- The hospital ------------------------------------------------------
     let hospital = HospitalConfig { patients: 500, zip_zones: 10, diseases: 8, seed: 2024 };
     let db = generate_hospital(&hospital, Timestamp(0));
-    println!(
-        "hospital: {} patients across {} zip zones",
-        hospital.patients, hospital.zip_zones
-    );
+    println!("hospital: {} patients across {} zip zones", hospital.patients, hospital.zip_zones);
 
     // --- The privacy policy ------------------------------------------------
     let mut policy = PrivacyPolicy::new();
@@ -35,12 +34,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         (Ident::new("Health"), Ident::new("disease")),
         (Ident::new("Patients"), Ident::new("zipcode")),
     ]);
-    let channel_list: Vec<String> =
-        channels.iter().map(|(r, p)| format!("({r}, {p})")).collect();
+    let channel_list: Vec<String> = channels.iter().map(|(r, p)| format!("({r}, {p})")).collect();
     println!("policy channels to (disease, zipcode): {}", channel_list.join(", "));
 
     // --- The query log (with planted snooping) -----------------------------
-    let mix = QueryMixConfig { queries: 400, suspicious_rate: 0.05, start: Timestamp(1_000), seed: 9 };
+    let mix =
+        QueryMixConfig { queries: 400, suspicious_rate: 0.05, start: Timestamp(1_000), seed: 9 };
     let generated = generate_queries(&hospital, &mix);
     let (log, planted) = load_log(&generated);
     println!("log: {} queries, {} planted violations", log.len(), planted.len());
@@ -52,7 +51,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let audit_text = "Neg-Role-Purpose (-, marketing) \
          DURING 1/1/1970 TO now() DATA-INTERVAL 1/1/1970 TO now() \
          AUDIT disease FROM Patients, Health \
-         WHERE Patients.pid = Health.pid AND Patients.zipcode = '100000'".to_string();
+         WHERE Patients.pid = Health.pid AND Patients.zipcode = '100000'"
+        .to_string();
     let engine = AuditEngine::with_options(
         &db,
         &log,
@@ -77,7 +77,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // --- Precision/recall against the planted ground truth ------------------
-    let flagged: std::collections::BTreeSet<_> = report.verdict.contributing.iter().copied().collect();
+    let flagged: std::collections::BTreeSet<_> =
+        report.verdict.contributing.iter().copied().collect();
     let truth: std::collections::BTreeSet<_> = planted.iter().copied().collect();
     // Note: the generator plants violations against zone 0; queries excluded
     // by the limiting parameters (marketing purpose) are intentionally not
@@ -92,11 +93,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         flagged.len(),
         tp
     );
-    assert_eq!(
-        tp,
-        truth_admitted.len(),
-        "every admitted planted violation must be caught"
-    );
+    assert_eq!(tp, truth_admitted.len(), "every admitted planted violation must be caught");
     println!("\nfirst few flagged queries:");
     for id in report.verdict.contributing.iter().take(5) {
         let e = log.get(*id).expect("logged");
@@ -120,14 +117,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     policy.purposes.declare("billing");
     policy.purposes.declare("marketing");
     let assessments = assess(&report, &db, &log, &policy);
-    let violations = assessments
-        .iter()
-        .filter(|a| matches!(a.class, AccessClass::PolicyViolation(_)))
-        .count();
-    let authorized = assessments
-        .iter()
-        .filter(|a| a.class == AccessClass::AuthorizedDisclosure)
-        .count();
+    let violations =
+        assessments.iter().filter(|a| matches!(a.class, AccessClass::PolicyViolation(_))).count();
+    let authorized =
+        assessments.iter().filter(|a| a.class == AccessClass::AuthorizedDisclosure).count();
     println!(
         "\npolicy triage: {} flagged accesses -> {} policy violations, {} authorized disclosures (policy loopholes)",
         assessments.len(),

@@ -72,16 +72,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }),
     ];
 
-    println!(
-        "{:<36} {:>18} {:>10} {:>22}",
-        "notion", "batch", "verdict", "granules (hit/total)"
-    );
+    println!("{:<36} {:>18} {:>10} {:>22}", "notion", "batch", "verdict", "granules (hit/total)");
     println!("{}", "-".repeat(92));
 
     for (batch_name, sqls) in batches {
         let log = QueryLog::new();
         for (i, sql) in sqls.iter().enumerate() {
-            log.record_text(sql, t0.plus_seconds(10 + i as i64), AccessContext::new("u", "r", "p"))?;
+            log.record_text(
+                sql,
+                t0.plus_seconds(10 + i as i64),
+                AccessContext::new("u", "r", "p"),
+            )?;
         }
         let engine = AuditEngine::new(&db, &log);
         for (name, expr) in &notions {

@@ -45,8 +45,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("u-2", "SELECT employer FROM P-Employ WHERE salary < 10000"),
         ("u-8", "SELECT name FROM P-Personal WHERE zipcode = '145568'"),
         ("u-2", "SELECT address FROM P-Personal WHERE age < 30"),
-        ("u-8", "SELECT disease FROM P-Personal, P-Health \
-                 WHERE P-Personal.pid = P-Health.pid AND zipcode = '145568'"),
+        (
+            "u-8",
+            "SELECT disease FROM P-Personal, P-Health \
+                 WHERE P-Personal.pid = P-Health.pid AND zipcode = '145568'",
+        ),
     ];
 
     for (i, (user, sql)) in stream.iter().enumerate() {

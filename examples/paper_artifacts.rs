@@ -29,16 +29,11 @@ fn print_table(db: &Database, name: &str) {
     print!("{}", audex::core::target::render_table(&header, &rows));
 }
 
-fn prepared<'a>(
-    engine: &AuditEngine<'a>,
-    text: &str,
-) -> audex::core::PreparedAudit {
+fn prepared<'a>(engine: &AuditEngine<'a>, text: &str) -> audex::core::PreparedAudit {
     let mut expr = parse_audit(text).expect("figure parses");
     if expr.data_interval.is_none() {
-        expr.data_interval = Some(TimeInterval {
-            start: TsSpec::At(paper_epoch()),
-            end: TsSpec::At(paper_now()),
-        });
+        expr.data_interval =
+            Some(TimeInterval { start: TsSpec::At(paper_epoch()), end: TsSpec::At(paper_now()) });
     }
     engine.prepare(&expr, paper_now()).expect("figure prepares")
 }
@@ -118,7 +113,11 @@ fn main() {
     with_section21_patients(&mut db21);
     let log21 = QueryLog::new();
     log21
-        .record_text(SEC21_QUERY, db21.last_ts().plus_seconds(5), AccessContext::new("u-4", "nurse", "treatment"))
+        .record_text(
+            SEC21_QUERY,
+            db21.last_ts().plus_seconds(5),
+            AccessContext::new("u-4", "nurse", "treatment"),
+        )
         .unwrap();
     let engine21 = AuditEngine::new(&db21, &log21);
     for (audit_text, expect) in [(SEC21_AUDIT_DISEASE, true), (SEC21_AUDIT_ZIPCODE, false)] {

@@ -50,8 +50,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 4. The verdict.
     println!("audit expression : {}", report.expr_text);
-    println!("log entries      : {} admitted, {} pruned statically", report.admitted.len(), report.pruned.len());
-    println!("target view |U|  : {} facts over {} data version(s)", report.target_size, report.versions.len());
+    println!(
+        "log entries      : {} admitted, {} pruned statically",
+        report.admitted.len(),
+        report.pruned.len()
+    );
+    println!(
+        "target view |U|  : {} facts over {} data version(s)",
+        report.target_size,
+        report.versions.len()
+    );
     println!(
         "verdict          : {} ({}/{} granules accessed)",
         if report.verdict.suspicious { "SUSPICIOUS" } else { "clean" },
@@ -62,7 +70,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let entry = log.get(*id).expect("logged");
         println!(
             "  -> {id}: {} [user={}, role={}, purpose={}]",
-            entry.text, entry.context.user.value, entry.context.role.value, entry.context.purpose.value
+            entry.text,
+            entry.context.user.value,
+            entry.context.role.value,
+            entry.context.purpose.value
         );
     }
 

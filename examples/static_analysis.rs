@@ -35,12 +35,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("audit: {audit}\n");
 
     let batches: &[(&str, Vec<Arc<LoggedQuery>>)] = &[
-        ("consistent access", vec![q(1, "SELECT disease FROM Patients WHERE age BETWEEN 30 AND 40")]),
+        (
+            "consistent access",
+            vec![q(1, "SELECT disease FROM Patients WHERE age BETWEEN 30 AND 40")],
+        ),
         ("contradictory ages", vec![q(2, "SELECT disease FROM Patients WHERE age > 70")]),
         // Note: a WHERE on `age` would count — age is in the audit's own
         // predicate, hence in the weak-syntactic scheme set.
         ("irrelevant columns", vec![q(3, "SELECT pid FROM Patients")]),
-        ("out-of-fragment (OR)", vec![q(4, "SELECT disease FROM Patients WHERE age > 70 OR pid = 'p1'")]),
+        (
+            "out-of-fragment (OR)",
+            vec![q(4, "SELECT disease FROM Patients WHERE age > 70 OR pid = 'p1'")],
+        ),
     ];
 
     for (label, batch) in batches {
@@ -77,7 +83,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 println!("{label:<22} -> provably not suspicious on ANY instance");
             }
             StaticVerdict::Unknown => {
-                println!("{label:<22} -> outside the decidable fragment (run the engine on real data)");
+                println!(
+                    "{label:<22} -> outside the decidable fragment (run the engine on real data)"
+                );
             }
         }
 

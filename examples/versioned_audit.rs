@@ -77,8 +77,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // had Asha's tuple indispensable at *its own* execution time for some
     // version of her record in U — except Q3, which ran after she moved.
     let mut expr = parse_audit(base)?;
-    expr.data_interval =
-        Some(TimeInterval { start: TsSpec::At(Timestamp(0)), end: TsSpec::Now });
+    expr.data_interval = Some(TimeInterval { start: TsSpec::At(Timestamp(0)), end: TsSpec::Now });
     let r = engine.audit_at(&expr, now)?;
     assert_eq!(r.suspicious_queries().len(), 2, "Q1 and Q2 touched her record; Q3 ran too late");
 

@@ -43,7 +43,8 @@ audex — audit SQL query logs for privacy violations
 USAGE:
   audex audit --db <FILE> --log <FILE> (--expr <TEXT> | --expr-file <FILE>)
               [--now <TIMESTAMP>] [--csv] [--per-query] [--no-static-filter]
-              [--granules <LIMIT>]
+              [--granules <LIMIT>] [--deadline-ms <MS>] [--max-steps <N>]
+              [--max-granules <N>]
   audex paper     regenerate the paper's worked artifacts (Figs. 4-6)
   audex demo      synthetic hospital with planted snooping, audited end to end
   audex help      this text
@@ -60,6 +61,12 @@ OPTIONS:
   --per-query    also evaluate each query in isolation (Definition 3)
   --no-static-filter   skip the static candidate analysis
   --granules N   also print the granule set G when it has at most N granules
+
+RESOURCE LIMITS (the audit stops with a structured error instead of hanging):
+  --deadline-ms MS   wall-clock budget for the whole audit
+  --max-steps N      cap on governed work steps (versions scanned, rows
+                     folded, queries and facts evaluated)
+  --max-granules N   refuse audits whose granule set exceeds N granules
 ";
 
 fn take_value(args: &[String], i: &mut usize, flag: &str) -> Result<String, String> {
@@ -76,6 +83,7 @@ fn cmd_audit(args: &[String]) -> Result<(), String> {
     let mut per_query = false;
     let mut static_filter = true;
     let mut granules: Option<u64> = None;
+    let mut limits = audex::core::ResourceLimits::unlimited();
 
     let mut i = 0;
     while i < args.len() {
@@ -91,7 +99,8 @@ fn cmd_audit(args: &[String]) -> Result<(), String> {
             "--now" => {
                 let text = take_value(args, &mut i, "--now")?;
                 now = Some(
-                    Timestamp::parse(&text).ok_or_else(|| format!("invalid --now timestamp {text:?}"))?,
+                    Timestamp::parse(&text)
+                        .ok_or_else(|| format!("invalid --now timestamp {text:?}"))?,
                 );
             }
             "--csv" => csv = true,
@@ -99,7 +108,25 @@ fn cmd_audit(args: &[String]) -> Result<(), String> {
             "--no-static-filter" => static_filter = false,
             "--granules" => {
                 let text = take_value(args, &mut i, "--granules")?;
-                granules = Some(text.parse().map_err(|_| format!("invalid --granules limit {text:?}"))?);
+                granules =
+                    Some(text.parse().map_err(|_| format!("invalid --granules limit {text:?}"))?);
+            }
+            "--deadline-ms" => {
+                let text = take_value(args, &mut i, "--deadline-ms")?;
+                let ms: u64 =
+                    text.parse().map_err(|_| format!("invalid --deadline-ms value {text:?}"))?;
+                limits.deadline = Some(std::time::Duration::from_millis(ms));
+            }
+            "--max-steps" => {
+                let text = take_value(args, &mut i, "--max-steps")?;
+                limits.max_steps =
+                    Some(text.parse().map_err(|_| format!("invalid --max-steps value {text:?}"))?);
+            }
+            "--max-granules" => {
+                let text = take_value(args, &mut i, "--max-granules")?;
+                limits.granule_limit = Some(
+                    text.parse().map_err(|_| format!("invalid --max-granules value {text:?}"))?,
+                );
             }
             other => return Err(format!("unknown option {other:?}")),
         }
@@ -123,6 +150,7 @@ fn cmd_audit(args: &[String]) -> Result<(), String> {
         EngineOptions {
             static_filter,
             mode: if per_query { AuditMode::PerQuery } else { AuditMode::Batch },
+            limits,
             ..Default::default()
         },
     );
@@ -170,7 +198,8 @@ fn cmd_demo() -> Result<(), String> {
     use audex::workload::*;
     let hospital = HospitalConfig { patients: 300, zip_zones: 10, diseases: 8, seed: 1 };
     let db = generate_hospital(&hospital, Timestamp(0));
-    let mix = QueryMixConfig { queries: 200, suspicious_rate: 0.06, start: Timestamp(1_000), seed: 2 };
+    let mix =
+        QueryMixConfig { queries: 200, suspicious_rate: 0.06, start: Timestamp(1_000), seed: 2 };
     let (log, planted) = load_log(&generate_queries(&hospital, &mix));
     println!(
         "demo: {} patients, {} logged queries, {} planted violations",

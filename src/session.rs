@@ -79,10 +79,8 @@ impl From<StorageError> for SessionError {
 
 fn parse_ts(text: &str, line: usize) -> Result<Timestamp, SessionError> {
     let trimmed = text.trim().trim_matches('\'');
-    Timestamp::parse(trimmed).ok_or(SessionError::Header {
-        line,
-        message: format!("invalid timestamp {trimmed:?}"),
-    })
+    Timestamp::parse(trimmed)
+        .ok_or(SessionError::Header { line, message: format!("invalid timestamp {trimmed:?}") })
 }
 
 /// Loads a database script (see module docs). Statements execute in order;
@@ -94,9 +92,9 @@ pub fn load_database_script(text: &str) -> Result<Database, SessionError> {
     let mut pending_line = 1usize;
 
     let flush = |pending: &mut String,
-                     line: usize,
-                     clock: &mut Timestamp,
-                     db: &mut Database|
+                 line: usize,
+                 clock: &mut Timestamp,
+                 db: &mut Database|
      -> Result<(), SessionError> {
         let sql = pending.trim();
         if sql.is_empty() {
@@ -105,10 +103,7 @@ pub fn load_database_script(text: &str) -> Result<Database, SessionError> {
         }
         let stmts = audex_sql::parse_script(sql).map_err(|e| {
             // Re-anchor the error to the file for a useful message.
-            SessionError::Header {
-                line,
-                message: format!("in statement block starting here: {e}"),
-            }
+            SessionError::Header { line, message: format!("in statement block starting here: {e}") }
         })?;
         for stmt in stmts {
             db.execute(&stmt, *clock)?;
@@ -118,6 +113,10 @@ pub fn load_database_script(text: &str) -> Result<Database, SessionError> {
         Ok(())
     };
 
+    // The latest `@` header seen, for rejecting rewinds at the header line
+    // (the default epoch is only a fallback and may be overridden downward).
+    let mut last_header: Option<Timestamp> = None;
+
     for (i, raw) in text.lines().enumerate() {
         let line = i + 1;
         let trimmed = raw.trim();
@@ -126,7 +125,19 @@ pub fn load_database_script(text: &str) -> Result<Database, SessionError> {
         }
         if let Some(ts_text) = trimmed.strip_prefix('@') {
             flush(&mut pending, pending_line, &mut clock, &mut db)?;
-            clock = parse_ts(ts_text, line)?;
+            let ts = parse_ts(ts_text, line)?;
+            let floor = last_header.unwrap_or(Timestamp(0)).max(db.last_ts());
+            if ts < floor {
+                return Err(SessionError::Header {
+                    line,
+                    message: format!(
+                        "out-of-order timestamp @{ts}: the script clock is already at {floor} \
+                         (timestamps must be non-decreasing)"
+                    ),
+                });
+            }
+            clock = ts;
+            last_header = Some(ts);
             pending_line = line + 1;
             continue;
         }
@@ -150,7 +161,10 @@ fn parse_log_header(rest: &str, line: usize) -> Result<(Timestamp, AccessContext
     let (mut user, mut role, mut purpose) = (None, None, None);
     for kv in parts {
         let Some((k, v)) = kv.split_once('=') else {
-            return Err(SessionError::Header { line, message: format!("expected key=value, found {kv:?}") });
+            return Err(SessionError::Header {
+                line,
+                message: format!("expected key=value, found {kv:?}"),
+            });
         };
         match k {
             "user" => user = Some(v.to_string()),
@@ -164,7 +178,8 @@ fn parse_log_header(rest: &str, line: usize) -> Result<(Timestamp, AccessContext
             }
         }
     }
-    let missing = |what: &str| SessionError::Header { line, message: format!("missing {what}= annotation") };
+    let missing =
+        |what: &str| SessionError::Header { line, message: format!("missing {what}= annotation") };
     Ok((
         ts,
         AccessContext::new(
@@ -182,7 +197,7 @@ pub fn load_log_script(text: &str) -> Result<QueryLog, SessionError> {
     let mut pending = String::new();
 
     let flush = |header: &mut Option<(Timestamp, AccessContext, usize)>,
-                     pending: &mut String|
+                 pending: &mut String|
      -> Result<(), SessionError> {
         let sql = pending.trim().trim_end_matches(';').trim();
         match (header.take(), sql.is_empty()) {
@@ -191,10 +206,9 @@ pub fn load_log_script(text: &str) -> Result<QueryLog, SessionError> {
                 line: 1,
                 message: "query text before any '@' header".into(),
             }),
-            (Some((_, _, line)), true) => Err(SessionError::Header {
-                line,
-                message: "header with no query".into(),
-            }),
+            (Some((_, _, line)), true) => {
+                Err(SessionError::Header { line, message: "header with no query".into() })
+            }
             (Some((ts, ctx, _)), false) => {
                 log.record_text(sql, ts, ctx)?;
                 pending.clear();
@@ -244,16 +258,8 @@ pub fn render_database_script(db: &Database) -> String {
     let mut events: Vec<(Timestamp, u32, String)> = Vec::new();
     for name in db.table_names() {
         let h = db.history(&name).expect("history for every table");
-        let cols: Vec<String> = h
-            .schema()
-            .iter()
-            .map(|(n, ty)| format!("{} {}", n, ty))
-            .collect();
-        events.push((
-            h.created_at(),
-            0,
-            format!("CREATE TABLE {} ({});", name, cols.join(", ")),
-        ));
+        let cols: Vec<String> = h.schema().iter().map(|(n, ty)| format!("{} {}", n, ty)).collect();
+        events.push((h.created_at(), 0, format!("CREATE TABLE {} ({});", name, cols.join(", "))));
         for rec in h.changes() {
             let stmt = match (&rec.op, &rec.after) {
                 (ChangeOp::Insert, Some(row)) | (ChangeOp::Update, Some(row)) => {
@@ -305,9 +311,8 @@ fn key_predicate(
     db: &Database,
     table: &audex_sql::Ident,
 ) -> String {
-    let before = db
-        .history(table)
-        .and_then(|h| h.replay_to(Timestamp(rec.ts.0 - 1)).get(rec.tid).cloned());
+    let before =
+        db.history(table).and_then(|h| h.replay_to(Timestamp(rec.ts.0 - 1)).get(rec.tid).cloned());
     match before {
         Some(row) => {
             let conds: Vec<String> = schema
@@ -417,9 +422,7 @@ SELECT pid FROM Patients
             )
             .unwrap(),
         };
-        let r = engine
-            .audit_at(&expr, Timestamp::from_ymd(2008, 2, 1).unwrap())
-            .unwrap();
+        let r = engine.audit_at(&expr, Timestamp::from_ymd(2008, 2, 1).unwrap()).unwrap();
         assert!(r.verdict.suspicious);
         assert_eq!(r.verdict.contributing, vec![audex_log::QueryId(1)]);
     }
@@ -435,7 +438,10 @@ SELECT pid FROM Patients
         let err = load_log_script("@1/1/2008 user=u role=r\nSELECT a FROM t").unwrap_err();
         assert!(err.to_string().contains("purpose"), "{err}");
 
-        let err = load_log_script("@1/1/2008 user=u role=r purpose=p\n@1/1/2008 user=v role=r purpose=p\nSELECT a FROM t").unwrap_err();
+        let err = load_log_script(
+            "@1/1/2008 user=u role=r purpose=p\n@1/1/2008 user=v role=r purpose=p\nSELECT a FROM t",
+        )
+        .unwrap_err();
         assert!(err.to_string().contains("no query"), "{err}");
     }
 
@@ -447,10 +453,22 @@ SELECT pid FROM Patients
     }
 
     #[test]
-    fn non_monotonic_script_clock_is_storage_error() {
+    fn out_of_order_script_clock_is_rejected_at_the_header() {
         let script = "@2/1/2008\nCREATE TABLE t (a INT);\n@1/1/2008\nINSERT INTO t VALUES (1);";
         let err = load_database_script(script).unwrap_err();
-        assert!(matches!(err, SessionError::Storage(_)), "{err}");
+        assert!(matches!(err, SessionError::Header { line: 3, .. }), "{err}");
+        assert!(err.to_string().contains("out-of-order"), "{err}");
+        assert!(err.to_string().contains("line 3"), "{err}");
+
+        // Header-to-header rewinds are caught even with no statements between.
+        let script = "@2/1/2008\n@1/1/2008\nCREATE TABLE t (a INT);";
+        let err = load_database_script(script).unwrap_err();
+        assert!(matches!(err, SessionError::Header { line: 2, .. }), "{err}");
+
+        // But a first header before the default epoch is fine — the default
+        // clock is a fallback, not a floor.
+        let db = load_database_script("@1/1/1999\nCREATE TABLE t (a INT);").unwrap();
+        assert_eq!(db.table_names().len(), 1);
     }
 
     #[test]
@@ -474,16 +492,10 @@ SELECT pid FROM Patients
         // Contents agree at the end state (tids may be renumbered).
         let q = parse_query("SELECT pid, zipcode FROM Patients ORDER BY pid").unwrap();
         let now = Timestamp::from_ymd(2100, 1, 1).unwrap();
-        assert_eq!(
-            db.at(now).query(&q).unwrap().rows,
-            db2.at(now).query(&q).unwrap().rows
-        );
+        assert_eq!(db.at(now).query(&q).unwrap().rows, db2.at(now).query(&q).unwrap().rows);
         // And at the intermediate version, before the zipcode update.
         let mid = Timestamp::from_ymd(2008, 1, 1).unwrap().plus_seconds(30);
-        assert_eq!(
-            db.at(mid).query(&q).unwrap().rows,
-            db2.at(mid).query(&q).unwrap().rows
-        );
+        assert_eq!(db.at(mid).query(&q).unwrap().rows, db2.at(mid).query(&q).unwrap().rows);
     }
 
     #[test]

@@ -13,7 +13,8 @@ use audex::{AccessContext, QueryLog, Timestamp};
 fn world() -> (audex::Database, QueryLog) {
     let hospital = HospitalConfig { patients: 200, zip_zones: 8, diseases: 6, seed: 55 };
     let db = generate_hospital(&hospital, Timestamp(0));
-    let cfg = QueryMixConfig { queries: 0, suspicious_rate: 0.0, start: Timestamp(1_000), seed: 56 };
+    let cfg =
+        QueryMixConfig { queries: 0, suspicious_rate: 0.0, start: Timestamp(1_000), seed: 56 };
     let (log, _) = load_log(&generate_batch_attack(&cfg, 4));
     (db, log)
 }
@@ -40,7 +41,8 @@ fn batch_catches_what_singles_miss() {
 fn one_half_of_a_pair_is_innocent() {
     let (db, _) = world();
     let log = QueryLog::new();
-    let cfg = QueryMixConfig { queries: 0, suspicious_rate: 0.0, start: Timestamp(1_000), seed: 56 };
+    let cfg =
+        QueryMixConfig { queries: 0, suspicious_rate: 0.0, start: Timestamp(1_000), seed: 56 };
     let attack = generate_batch_attack(&cfg, 1);
     // Log only the name-reading half.
     log.record_text(&attack[0].sql, attack[0].at, attack[0].context.clone()).unwrap();
@@ -57,7 +59,8 @@ fn limit_zero_still_counts_for_indispensability_but_not_values() {
     // conservatively); under value-based auditing nothing was disclosed.
     let mut db = audex::Database::new();
     db.execute(
-        &audex::parse_statement("CREATE TABLE Patients (pid TEXT, zipcode TEXT, disease TEXT)").unwrap(),
+        &audex::parse_statement("CREATE TABLE Patients (pid TEXT, zipcode TEXT, disease TEXT)")
+            .unwrap(),
         Timestamp(0),
     )
     .unwrap();
@@ -75,10 +78,9 @@ fn limit_zero_still_counts_for_indispensability_but_not_values() {
     .unwrap();
     let engine = AuditEngine::new(&db, &log);
 
-    let indispensable = parse_audit(
-        "DURING 1/1/1970 TO now() AUDIT disease FROM Patients WHERE zipcode='120016'",
-    )
-    .unwrap();
+    let indispensable =
+        parse_audit("DURING 1/1/1970 TO now() AUDIT disease FROM Patients WHERE zipcode='120016'")
+            .unwrap();
     let r = engine.audit_at(&indispensable, Timestamp(1_000)).unwrap();
     assert!(r.verdict.suspicious, "predicate-level access is still access");
 
@@ -97,7 +99,8 @@ fn ordered_limited_disclosure_is_caught_in_value_mode() {
     // auditing counts the granule for the returned row only.
     let mut db = audex::Database::new();
     db.execute(
-        &audex::parse_statement("CREATE TABLE Patients (pid TEXT, zipcode TEXT, disease TEXT)").unwrap(),
+        &audex::parse_statement("CREATE TABLE Patients (pid TEXT, zipcode TEXT, disease TEXT)")
+            .unwrap(),
         Timestamp(0),
     )
     .unwrap();

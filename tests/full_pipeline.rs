@@ -29,7 +29,8 @@ struct World {
 fn world(seed: u64, queries: usize, rate: f64) -> World {
     let hospital = HospitalConfig { patients: 300, zip_zones: 15, diseases: 10, seed };
     let db = generate_hospital(&hospital, Timestamp(0));
-    let mix = QueryMixConfig { queries, suspicious_rate: rate, start: Timestamp(1_000), seed: seed * 31 };
+    let mix =
+        QueryMixConfig { queries, suspicious_rate: rate, start: Timestamp(1_000), seed: seed * 31 };
     let (log, planted) = load_log(&generate_queries(&hospital, &mix));
     World { db, log, planted, now: Timestamp(1_000_000) }
 }
@@ -72,7 +73,8 @@ fn limiting_parameters_shrink_scope_monotonically() {
 
     // Excluding a role can only shrink the admitted and contributing sets.
     let mut neg = base.clone();
-    neg.neg_role_purpose = vec![RolePurposePattern { role: Some(Ident::new("nurse")), purpose: None }];
+    neg.neg_role_purpose =
+        vec![RolePurposePattern { role: Some(Ident::new("nurse")), purpose: None }];
     let filtered = engine.audit_at(&neg, w.now).unwrap();
     assert!(filtered.admitted.len() <= full.admitted.len());
     let full_set: BTreeSet<_> = full.verdict.contributing.iter().collect();

@@ -11,7 +11,9 @@ use audex::core::{AuditEngine, EngineOptions};
 use audex::sql::ast::{AuditExpr, TimeInterval, TsSpec};
 use audex::sql::parse_audit;
 use audex::workload::datagen::zip_of_zone;
-use audex::workload::{generate_hospital, generate_queries, load_log, HospitalConfig, QueryMixConfig};
+use audex::workload::{
+    generate_hospital, generate_queries, load_log, HospitalConfig, QueryMixConfig,
+};
 use audex::{QueryLog, Timestamp};
 
 fn all_time(mut e: AuditExpr) -> AuditExpr {
@@ -30,7 +32,8 @@ struct World {
 fn world(seed: u64, queries: usize, rate: f64) -> World {
     let hospital = HospitalConfig { patients: 60, zip_zones: 4, diseases: 4, seed };
     let db = generate_hospital(&hospital, Timestamp(0));
-    let mix = QueryMixConfig { queries, suspicious_rate: rate, start: Timestamp(1_000), seed: seed + 1 };
+    let mix =
+        QueryMixConfig { queries, suspicious_rate: rate, start: Timestamp(1_000), seed: seed + 1 };
     let (log, _) = load_log(&generate_queries(&hospital, &mix));
     World { db, log, now: Timestamp(100_000) }
 }
@@ -66,11 +69,17 @@ fn granule_encodings_agree_with_direct_definitions() {
         for base in audits() {
             let enc_pp = engine.audit_at(&perfect_privacy(base.clone()), w.now).unwrap();
             let dir_pp = direct_perfect_privacy(&w.db, &batch, &base, w.now).unwrap();
-            assert_eq!(enc_pp.verdict.suspicious, dir_pp, "perfect privacy, seed {seed}, audit {base}");
+            assert_eq!(
+                enc_pp.verdict.suspicious, dir_pp,
+                "perfect privacy, seed {seed}, audit {base}"
+            );
 
             let enc_ws = engine.audit_at(&weak_syntactic(base.clone()).unwrap(), w.now).unwrap();
             let dir_ws = direct_weak_syntactic(&w.db, &batch, &base, w.now).unwrap();
-            assert_eq!(enc_ws.verdict.suspicious, dir_ws, "weak syntactic, seed {seed}, audit {base}");
+            assert_eq!(
+                enc_ws.verdict.suspicious, dir_ws,
+                "weak syntactic, seed {seed}, audit {base}"
+            );
 
             let enc_sem = engine.audit_at(&semantic_indispensable(base.clone()), w.now).unwrap();
             let dir_sem = direct_semantic_batch(&w.db, &batch, &base, w.now).unwrap();

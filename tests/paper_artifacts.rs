@@ -65,12 +65,8 @@ fn table4_target_data_facts() {
 fn table5_target_data_facts() {
     let (_db, p) = prepared(FIG3_AUDIT_EXPRESSION_2);
     assert_eq!(p.view.len(), 2);
-    let tids: Vec<Vec<u64>> = p
-        .view
-        .facts
-        .iter()
-        .map(|f| f.tids.iter().map(|(_, t)| t.0).collect())
-        .collect();
+    let tids: Vec<Vec<u64>> =
+        p.view.facts.iter().map(|f| f.tids.iter().map(|(_, t)| t.0).collect()).collect();
     assert_eq!(tids, vec![vec![12, 22, 32], vec![14, 24, 34]]);
     // Table 5's printed values: Reku's row then Lucy's.
     let lucy = &p.view.facts[1];
@@ -118,10 +114,7 @@ fn fig5_weak_syntactic_granules() {
 #[test]
 fn fig6_semantic_granules() {
     let got = granule_set(FIG6_SEMANTIC);
-    assert_eq!(
-        got,
-        FIG6_EXPECTED_PAPER.iter().map(|s| s.to_string()).collect::<Vec<_>>()
-    );
+    assert_eq!(got, FIG6_EXPECTED_PAPER.iter().map(|s| s.to_string()).collect::<Vec<_>>());
 }
 
 /// E1 / §2.1: the Agrawal worked example — suspicious and innocent pairs.
@@ -187,11 +180,7 @@ fn table6_rules_on_paper_schema() {
 #[test]
 fn tables_1_to_3_content() {
     let db = paper_database();
-    let q = |sql: &str| {
-        db.at(paper_now())
-            .query(&parse_query(sql).unwrap())
-            .unwrap()
-    };
+    let q = |sql: &str| db.at(paper_now()).query(&parse_query(sql).unwrap()).unwrap();
     let rs = q("SELECT name FROM P-Personal WHERE zipcode = '145568'");
     let names: Vec<String> = rs.rows.iter().map(|r| r[0].to_string()).collect();
     assert_eq!(names, vec!["Reku", "Lucy"]);
@@ -267,10 +256,8 @@ fn paper_policy_triage() {
     let log = paper_query_log();
     let policy = paper_policy();
     let engine = AuditEngine::new(&db, &log);
-    let mut expr = parse_audit(
-        "AUDIT [name, address] FROM P-Personal WHERE zipcode = '145568'",
-    )
-    .unwrap();
+    let mut expr =
+        parse_audit("AUDIT [name, address] FROM P-Personal WHERE zipcode = '145568'").unwrap();
     let iv = audex::sql::ast::TimeInterval {
         start: audex::sql::ast::TsSpec::At(Timestamp(0)),
         end: audex::sql::ast::TsSpec::Now,

@@ -25,7 +25,8 @@ fn all_time(mut e: AuditExpr) -> AuditExpr {
 fn index_agrees_with_direct_evaluation_across_audits() {
     let hospital = HospitalConfig { patients: 120, zip_zones: 6, diseases: 5, seed: 77 };
     let db = generate_hospital(&hospital, Timestamp(0));
-    let mix = QueryMixConfig { queries: 80, suspicious_rate: 0.15, start: Timestamp(1_000), seed: 78 };
+    let mix =
+        QueryMixConfig { queries: 80, suspicious_rate: 0.15, start: Timestamp(1_000), seed: 78 };
     let (log, _) = load_log(&generate_queries(&hospital, &mix));
     let batch = log.snapshot();
     let admitted: BTreeSet<QueryId> = batch.iter().map(|e| e.id).collect();
@@ -67,7 +68,8 @@ fn index_agrees_with_direct_evaluation_across_audits() {
 fn admitted_set_restricts_evaluation() {
     let hospital = HospitalConfig { patients: 50, zip_zones: 4, diseases: 4, seed: 5 };
     let db = generate_hospital(&hospital, Timestamp(0));
-    let mix = QueryMixConfig { queries: 20, suspicious_rate: 0.5, start: Timestamp(1_000), seed: 6 };
+    let mix =
+        QueryMixConfig { queries: 20, suspicious_rate: 0.5, start: Timestamp(1_000), seed: 6 };
     let (log, planted) = load_log(&generate_queries(&hospital, &mix));
     let batch = log.snapshot();
     let index = TouchIndex::build(&db, &batch, JoinStrategy::Auto);
@@ -92,7 +94,8 @@ fn index_respects_limiting_parameters_via_admitted() {
     // The engine's filter decides `admitted`; the index applies it exactly.
     let hospital = HospitalConfig { patients: 60, zip_zones: 4, diseases: 4, seed: 9 };
     let db = generate_hospital(&hospital, Timestamp(0));
-    let mix = QueryMixConfig { queries: 40, suspicious_rate: 0.3, start: Timestamp(1_000), seed: 10 };
+    let mix =
+        QueryMixConfig { queries: 40, suspicious_rate: 0.3, start: Timestamp(1_000), seed: 10 };
     let (log, _) = load_log(&generate_queries(&hospital, &mix));
     let batch = log.snapshot();
     let index = TouchIndex::build(&db, &batch, JoinStrategy::Auto);
@@ -119,7 +122,8 @@ fn index_respects_limiting_parameters_via_admitted() {
 fn audit_many_matches_individual_audits() {
     let hospital = HospitalConfig { patients: 80, zip_zones: 5, diseases: 4, seed: 91 };
     let db = generate_hospital(&hospital, Timestamp(0));
-    let mix = QueryMixConfig { queries: 60, suspicious_rate: 0.2, start: Timestamp(1_000), seed: 92 };
+    let mix =
+        QueryMixConfig { queries: 60, suspicious_rate: 0.2, start: Timestamp(1_000), seed: 92 };
     let (log, _) = load_log(&generate_queries(&hospital, &mix));
     let engine = AuditEngine::new(&db, &log);
 
@@ -146,7 +150,8 @@ fn audit_many_matches_individual_audits() {
         .collect();
 
     let many = engine.audit_many(&exprs, Timestamp(1_000_000)).unwrap();
-    for (expr, report) in exprs.iter().zip(&many) {
+    for (expr, outcome) in exprs.iter().zip(&many) {
+        let report = outcome.as_ref().expect("healthy expression audits cleanly");
         let single = engine.audit_at(expr, Timestamp(1_000_000)).unwrap();
         assert_eq!(report.verdict.suspicious, single.verdict.suspicious);
         assert_eq!(report.verdict.accessed_granules, single.verdict.accessed_granules);

@@ -13,13 +13,15 @@ use audex::{AccessContext, Database, QueryLog, Timestamp};
 fn changing_patient() -> Database {
     let mut db = Database::new();
     db.execute(
-        &audex::parse_statement("CREATE TABLE Patients (pid TEXT, zipcode TEXT, disease TEXT)").unwrap(),
+        &audex::parse_statement("CREATE TABLE Patients (pid TEXT, zipcode TEXT, disease TEXT)")
+            .unwrap(),
         Timestamp(0),
     )
     .unwrap();
     // At t=10 Mira has diabetes in 120016.
     db.execute(
-        &audex::parse_statement("INSERT INTO Patients VALUES ('mira', '120016', 'diabetes')").unwrap(),
+        &audex::parse_statement("INSERT INTO Patients VALUES ('mira', '120016', 'diabetes')")
+            .unwrap(),
         Timestamp(10),
     )
     .unwrap();
@@ -30,14 +32,20 @@ fn changing_patient() -> Database {
     )
     .unwrap();
     db.execute(
-        &audex::parse_statement("UPDATE Patients SET zipcode = '145568' WHERE pid = 'mira'").unwrap(),
+        &audex::parse_statement("UPDATE Patients SET zipcode = '145568' WHERE pid = 'mira'")
+            .unwrap(),
         Timestamp(60),
     )
     .unwrap();
     db
 }
 
-fn audit_with_interval(db: &Database, log: &QueryLog, start: TsSpec, end: TsSpec) -> audex::core::AuditReport {
+fn audit_with_interval(
+    db: &Database,
+    log: &QueryLog,
+    start: TsSpec,
+    end: TsSpec,
+) -> audex::core::AuditReport {
     let engine = AuditEngine::new(db, log);
     let mut expr = parse_audit("AUDIT zipcode FROM Patients WHERE disease = 'diabetes'").unwrap();
     expr.during = Some(TimeInterval { start: TsSpec::At(Timestamp(0)), end: TsSpec::Now });
@@ -133,8 +141,11 @@ fn deleted_tuples_still_auditable_via_interval() {
     // Deletion does not erase audit trail: the pre-delete version stays in
     // interval-based target views.
     let mut db = changing_patient();
-    db.execute(&audex::parse_statement("DELETE FROM Patients WHERE pid = 'mira'").unwrap(), Timestamp(100))
-        .unwrap();
+    db.execute(
+        &audex::parse_statement("DELETE FROM Patients WHERE pid = 'mira'").unwrap(),
+        Timestamp(100),
+    )
+    .unwrap();
     let log = QueryLog::new();
     log.record_text(
         "SELECT zipcode FROM Patients WHERE disease = 'diabetes'",
@@ -169,10 +180,8 @@ fn empty_data_interval_is_error() {
     let log = QueryLog::new();
     let engine = AuditEngine::new(&db, &log);
     let mut expr = parse_audit("AUDIT zipcode FROM Patients").unwrap();
-    expr.data_interval = Some(TimeInterval {
-        start: TsSpec::At(Timestamp(100)),
-        end: TsSpec::At(Timestamp(50)),
-    });
+    expr.data_interval =
+        Some(TimeInterval { start: TsSpec::At(Timestamp(100)), end: TsSpec::At(Timestamp(50)) });
     assert!(matches!(
         engine.audit_at(&expr, Timestamp(1_000)),
         Err(audex::AuditError::EmptyInterval { .. })

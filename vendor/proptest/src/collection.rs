@@ -1,0 +1,122 @@
+//! Strategies for collections with controlled sizes.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::collections::BTreeSet;
+
+/// A collection size specification: exact, half-open, or inclusive.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    min: usize,
+    /// Inclusive upper bound.
+    max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n }
+    }
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(r: core::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange { min: r.start, max: r.end - 1 }
+    }
+}
+
+impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty collection size range");
+        SizeRange { min: *r.start(), max: *r.end() }
+    }
+}
+
+impl SizeRange {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        self.min + rng.index(self.max - self.min + 1)
+    }
+}
+
+/// Output of [`vec`].
+#[derive(Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        let n = self.size.pick(rng);
+        (0..n).map(|_| self.element.new_value(rng)).collect()
+    }
+}
+
+/// A `Vec` whose length is drawn from `size` and whose elements are drawn
+/// from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+/// Output of [`btree_set`].
+#[derive(Clone)]
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        let n = self.size.pick(rng);
+        let mut set = BTreeSet::new();
+        // Duplicates shrink the set below the requested size; retry a bounded
+        // number of times, then accept a smaller set (as real proptest may).
+        let mut attempts = 0;
+        while set.len() < n && attempts < n * 10 + 16 {
+            set.insert(self.element.new_value(rng));
+            attempts += 1;
+        }
+        set
+    }
+}
+
+/// A `BTreeSet` with a size drawn from `size` (best effort when the element
+/// domain is too small) and elements drawn from `element`.
+pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    BTreeSetStrategy { element, size: size.into() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::Strategy;
+
+    #[test]
+    fn vec_respects_size_forms() {
+        let mut rng = TestRng::from_seed(11);
+        for _ in 0..100 {
+            assert_eq!(vec(0u8..10, 3).new_value(&mut rng).len(), 3);
+            let v = vec(0u8..10, 1..4).new_value(&mut rng);
+            assert!((1..4).contains(&v.len()));
+            let w = vec(0u8..10, 0..=2).new_value(&mut rng);
+            assert!(w.len() <= 2);
+        }
+    }
+
+    #[test]
+    fn btree_set_elements_in_domain() {
+        let mut rng = TestRng::from_seed(12);
+        for _ in 0..100 {
+            let s = btree_set(0usize..6, 0..6).new_value(&mut rng);
+            assert!(s.len() < 6 || s.iter().all(|v| *v < 6));
+        }
+    }
+}

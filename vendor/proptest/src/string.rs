@@ -1,0 +1,148 @@
+//! `&str` regex patterns as string strategies.
+//!
+//! Real proptest compiles the full regex language; this stub supports the
+//! subset the workspace's tests use — a sequence of atoms, where an atom is a
+//! character class `[...]` (literal chars and `a-z` ranges, `-` literal when
+//! first or last), `.` (printable ASCII), or a literal character, optionally
+//! followed by a `{m}` or `{m,n}` repetition. Unsupported syntax panics at
+//! generation time with the offending pattern, so a typo fails loudly rather
+//! than silently generating garbage.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+struct Atom {
+    choices: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn parse_class(chars: &[char], start: usize, pattern: &str) -> (Vec<char>, usize) {
+    // `start` points just past `[`. Returns (choices, index past `]`).
+    let mut choices = Vec::new();
+    let mut i = start;
+    while i < chars.len() && chars[i] != ']' {
+        let c = chars[i];
+        if c == '-' && i > start && i + 1 < chars.len() && chars[i + 1] != ']' {
+            panic!("unsupported regex class (interior '-') in pattern {pattern:?}");
+        }
+        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+            let (lo, hi) = (c, chars[i + 2]);
+            assert!(lo <= hi, "inverted class range in pattern {pattern:?}");
+            choices.extend((lo..=hi).filter(|ch| ch.is_ascii()));
+            i += 3;
+        } else {
+            choices.push(c);
+            i += 1;
+        }
+    }
+    assert!(i < chars.len(), "unterminated character class in pattern {pattern:?}");
+    assert!(!choices.is_empty(), "empty character class in pattern {pattern:?}");
+    (choices, i + 1)
+}
+
+fn parse_repeat(chars: &[char], start: usize, pattern: &str) -> (usize, usize, usize) {
+    // `start` points at the character after an atom. Returns (min, max, next).
+    if start >= chars.len() || chars[start] != '{' {
+        return (1, 1, start);
+    }
+    let close = chars[start..]
+        .iter()
+        .position(|c| *c == '}')
+        .unwrap_or_else(|| panic!("unterminated repetition in pattern {pattern:?}"))
+        + start;
+    let body: String = chars[start + 1..close].iter().collect();
+    let (min, max) = match body.split_once(',') {
+        Some((lo, hi)) => (
+            lo.parse().unwrap_or_else(|_| panic!("bad repetition in pattern {pattern:?}")),
+            hi.parse().unwrap_or_else(|_| panic!("bad repetition in pattern {pattern:?}")),
+        ),
+        None => {
+            let n =
+                body.parse().unwrap_or_else(|_| panic!("bad repetition in pattern {pattern:?}"));
+            (n, n)
+        }
+    };
+    assert!(min <= max, "inverted repetition in pattern {pattern:?}");
+    (min, max, close + 1)
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let (choices, next) = match chars[i] {
+            '[' => parse_class(&chars, i + 1, pattern),
+            '.' => ((' '..='~').collect(), i + 1),
+            '\\' | '(' | ')' | '|' | '*' | '+' | '?' | '^' | '$' => {
+                panic!("unsupported regex syntax {:?} in pattern {pattern:?}", chars[i])
+            }
+            c => (vec![c], i + 1),
+        };
+        let (min, max, next) = parse_repeat(&chars, next, pattern);
+        atoms.push(Atom { choices, min, max });
+        i = next;
+    }
+    atoms
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn new_value(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for atom in parse_pattern(self) {
+            let n = atom.min + rng.index(atom.max - atom.min + 1);
+            for _ in 0..n {
+                out.push(atom.choices[rng.index(atom.choices.len())]);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen_many(pattern: &'static str, n: usize) -> Vec<String> {
+        let mut rng = TestRng::from_seed(21);
+        (0..n).map(|_| pattern.new_value(&mut rng)).collect()
+    }
+
+    #[test]
+    fn class_with_counts() {
+        for s in gen_many("[a-z][a-z0-9_]{0,8}", 200) {
+            assert!((1..=9).contains(&s.chars().count()), "{s:?}");
+            let mut cs = s.chars();
+            assert!(cs.next().unwrap().is_ascii_lowercase());
+            assert!(cs.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn literal_chars_and_trailing_dash() {
+        for s in gen_many("[A-Z][a-z]{1,4}-[A-Z][a-z]{1,6}", 100) {
+            assert!(s.contains('-'), "{s:?}");
+        }
+        for s in gen_many("[a-zA-Z0-9_-]{1,8}", 200) {
+            assert!(s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-'));
+        }
+    }
+
+    #[test]
+    fn dot_is_printable_ascii() {
+        for s in gen_many(".{0,200}", 50) {
+            assert!(s.len() <= 200);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn space_and_quote_literals() {
+        for s in gen_many("[a-zA-Z0-9 ']{0,12}", 200) {
+            assert!(s.chars().all(|c| c.is_ascii_alphanumeric() || c == ' ' || c == '\''));
+        }
+    }
+}

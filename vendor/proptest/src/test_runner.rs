@@ -1,0 +1,105 @@
+//! Test configuration and the deterministic RNG behind case generation.
+
+/// Per-`proptest!` block configuration. Only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Deterministic xoshiro256** RNG used for value generation. Seeded from the
+/// test's name, so every run of a given test sees the same case sequence.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+fn splitmix_stream(seed: u64) -> impl FnMut() -> u64 {
+    let mut x = seed;
+    move || {
+        x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl TestRng {
+    /// RNG seeded from an explicit value.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut next = splitmix_stream(seed);
+        TestRng { s: [next(), next(), next(), next()] }
+    }
+
+    /// RNG seeded from a test name (FNV-1a of the name's bytes).
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Self::from_seed(h)
+    }
+
+    /// A digest of the current state, reported on failure for replay context.
+    pub fn snapshot(rng: &TestRng) -> u64 {
+        rng.s[0] ^ rng.s[1].rotate_left(17) ^ rng.s[2].rotate_left(31) ^ rng.s[3].rotate_left(47)
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value in `0..bound` (`bound > 0`).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        self.next_u64() % bound
+    }
+
+    /// Uniform `usize` in `0..bound` (`bound > 0`).
+    pub fn index(&mut self, bound: usize) -> usize {
+        self.below(bound as u64) as usize
+    }
+
+    /// `true` with probability `num / den`.
+    pub fn ratio(&mut self, num: u64, den: u64) -> bool {
+        self.below(den) < num
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn name_seeding_is_stable() {
+        let mut a = TestRng::from_name("some_property");
+        let mut b = TestRng::from_name("some_property");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::from_name("other_property");
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+}

@@ -54,6 +54,12 @@ pub struct EngineOptions {
     /// Resource limits armed into a fresh [`Governor`] at the start of every
     /// top-level audit call. Unlimited by default.
     pub limits: ResourceLimits,
+    /// Worker threads for batch suspicion evaluation, per-query refinement,
+    /// touch-index construction, and [`AuditEngine::audit_many`] fan-out.
+    /// Defaults to the machine's available cores; `1` runs the exact
+    /// sequential path (no threads are spawned). Reports are byte-identical
+    /// at every setting.
+    pub parallelism: usize,
 }
 
 impl Default for EngineOptions {
@@ -63,6 +69,7 @@ impl Default for EngineOptions {
             strategy: JoinStrategy::Auto,
             mode: AuditMode::Batch,
             limits: ResourceLimits::unlimited(),
+            parallelism: crate::parallel::default_parallelism(),
         }
     }
 }
@@ -262,16 +269,27 @@ impl<'a> AuditEngine<'a> {
     ) -> Result<Vec<Result<AuditReport, AuditError>>, AuditError> {
         let governor = self.governor();
         let entries = self.log.snapshot();
-        let index = crate::index::TouchIndex::build_governed(
+        let index = crate::index::TouchIndex::build_governed_with(
             self.db,
             &entries,
             self.options.strategy,
             &governor,
+            self.options.parallelism,
         )?;
-        let mut out = Vec::with_capacity(exprs.len());
-        for expr in exprs {
-            out.push(self.audit_one_indexed(&index, &entries, expr, now, &governor));
-        }
+        // Fan the expressions out across workers; results come back in
+        // expression order either way, and each entry keeps its own Result
+        // (failure isolation is unchanged by the parallel path).
+        let out = if self.options.parallelism <= 1 || exprs.len() <= 1 {
+            let mut out = Vec::with_capacity(exprs.len());
+            for expr in exprs {
+                out.push(self.audit_one_indexed(&index, &entries, expr, now, &governor));
+            }
+            out
+        } else {
+            crate::parallel::par_map(self.options.parallelism, exprs, |_, expr| {
+                self.audit_one_indexed(&index, &entries, expr, now, &governor)
+            })
+        };
         Ok(out)
     }
 
@@ -345,13 +363,43 @@ impl<'a> AuditEngine<'a> {
             &prepared.view,
             self.options.strategy,
         )
-        .with_governor(governor.clone());
+        .with_governor(governor.clone())
+        .with_parallelism(self.options.parallelism);
         let verdict = evaluator.evaluate(&candidates)?;
         phases.push(AuditPhase::Suspicion);
 
         let mut truncation = None;
         let per_query_suspicious = match self.options.mode {
-            AuditMode::Batch => Vec::new(),
+            AuditMode::PerQuery if self.options.parallelism > 1 && candidates.len() > 1 => {
+                // Parallel refinement: each candidate is a one-element batch
+                // (so the evaluator's inner path stays sequential — no nested
+                // fan-out), folded in candidate order. The first governor
+                // error *in that order* truncates, matching where the
+                // sequential loop would have stopped.
+                let verdicts =
+                    crate::parallel::par_map(self.options.parallelism, &candidates, |_, e| {
+                        evaluator.evaluate(std::slice::from_ref(e))
+                    });
+                let mut out = Vec::new();
+                for (e, v) in candidates.iter().zip(verdicts) {
+                    match v {
+                        Ok(v) => {
+                            if v.suspicious {
+                                out.push(e.id);
+                            }
+                        }
+                        Err(err) if is_governor_error(&err) => {
+                            truncation = Some(err);
+                            break;
+                        }
+                        Err(err) => return Err(err),
+                    }
+                }
+                if truncation.is_none() {
+                    phases.push(AuditPhase::PerQuery);
+                }
+                out
+            }
             AuditMode::PerQuery => {
                 let mut out = Vec::new();
                 for e in &candidates {
@@ -373,6 +421,7 @@ impl<'a> AuditEngine<'a> {
                 }
                 out
             }
+            AuditMode::Batch => Vec::new(),
         };
 
         Ok(AuditReport {

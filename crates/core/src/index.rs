@@ -71,13 +71,42 @@ impl TouchIndex {
         strategy: JoinStrategy,
         governor: &Governor,
     ) -> Result<TouchIndex, AuditError> {
+        Self::build_governed_with(db, queries, strategy, governor, 1)
+    }
+
+    /// [`TouchIndex::build_governed`] with an explicit worker-thread count.
+    /// Queries execute read-only against the (shared, internally
+    /// synchronized) snapshot cache; footprints are folded back in log
+    /// order, so the index is identical for every `parallelism`.
+    pub fn build_governed_with(
+        db: &Database,
+        queries: &[Arc<LoggedQuery>],
+        strategy: JoinStrategy,
+        governor: &Governor,
+        parallelism: usize,
+    ) -> Result<TouchIndex, AuditError> {
         let mut footprints = Vec::with_capacity(queries.len());
         let mut skipped = Vec::new();
-        for q in queries {
-            governor.tick(AuditPhase::Indexing)?;
-            match Self::footprint(db, q, strategy) {
-                Some(fp) => footprints.push(fp),
-                None => skipped.push(q.id),
+        if parallelism <= 1 || queries.len() <= 1 {
+            for q in queries {
+                governor.tick(AuditPhase::Indexing)?;
+                match Self::footprint(db, q, strategy) {
+                    Some(fp) => footprints.push(fp),
+                    None => skipped.push(q.id),
+                }
+            }
+        } else {
+            let results = crate::parallel::par_map(parallelism, queries, |_, q| {
+                governor.tick(AuditPhase::Indexing)?;
+                Ok((q.id, Self::footprint(db, q, strategy)))
+            })
+            .into_iter()
+            .collect::<Result<Vec<_>, AuditError>>()?;
+            for (id, fp) in results {
+                match fp {
+                    Some(fp) => footprints.push(fp),
+                    None => skipped.push(id),
+                }
             }
         }
         Ok(TouchIndex { footprints, skipped })
@@ -218,21 +247,15 @@ impl TouchIndex {
                 if shared_bindings.is_empty() {
                     continue;
                 }
+                // Hash-set probe per fact instead of rescanning every
+                // combination (see `suspicion::covered_tuples`).
+                let covered = crate::suspicion::covered_tuples(&fp.combos, &shared_bindings, scope);
                 let mut touched = BTreeSet::new();
                 for (fi, fact) in view.facts.iter().enumerate() {
                     governor.tick(AuditPhase::Indexing)?;
-                    let hit = fp.combos.iter().any(|combo| {
-                        shared_bindings.iter().all(|b| {
-                            let Some(entry) = scope.entry(b) else {
-                                return false; // unreachable: b came from this scope
-                            };
-                            match (fact.tid_of(b), combo.get(&entry.base)) {
-                                (Some(tid), Some(tids)) => tids.contains(&tid),
-                                _ => false,
-                            }
-                        })
-                    });
-                    if hit {
+                    let key: Option<Vec<Tid>> =
+                        shared_bindings.iter().map(|b| fact.tid_of(b)).collect();
+                    if key.is_some_and(|k| covered.contains(&k)) {
                         touched.insert(fi);
                     }
                 }

@@ -56,6 +56,7 @@ pub mod granule;
 pub mod index;
 pub mod limits;
 pub mod notions;
+pub mod parallel;
 pub mod rank;
 pub mod report;
 pub mod static_batch;
@@ -71,6 +72,7 @@ pub use error::AuditError;
 pub use governor::{AuditPhase, Governor, ResourceLimits};
 pub use granule::{binomial, Granule, GranuleModel};
 pub use index::TouchIndex;
+pub use parallel::{default_parallelism, par_map};
 pub use rank::{OnlineAuditor, QueryScore};
 pub use static_batch::{static_semantic_bound, static_weak_syntactic, StaticVerdict};
 pub use suspicion::{BatchEvaluator, BatchVerdict, QueryContribution};

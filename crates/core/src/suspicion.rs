@@ -22,7 +22,7 @@
 
 use audex_sql::Ident;
 use audex_storage::{Database, JoinStrategy, Tid};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashSet};
 use std::sync::Arc;
 
 use crate::attrspec::ResolvedColumn;
@@ -89,6 +89,8 @@ pub struct BatchEvaluator<'a> {
     view: &'a TargetView,
     strategy: JoinStrategy,
     governor: Governor,
+    /// Worker threads for batch evaluation; `1` = sequential.
+    parallelism: usize,
     /// (base, column) → audit view columns with that identity.
     columns_by_base: BTreeMap<BaseColumn, Vec<ResolvedColumn>>,
 }
@@ -115,6 +117,7 @@ impl<'a> BatchEvaluator<'a> {
             view,
             strategy,
             governor: Governor::unlimited(),
+            parallelism: 1,
             columns_by_base,
         }
     }
@@ -123,6 +126,13 @@ impl<'a> BatchEvaluator<'a> {
     /// consult it and evaluation stops with a governor error when it trips.
     pub fn with_governor(mut self, governor: Governor) -> Self {
         self.governor = governor;
+        self
+    }
+
+    /// Sets the worker-thread count for [`BatchEvaluator::evaluate`]. `1`
+    /// (the default) keeps the exact sequential path.
+    pub fn with_parallelism(mut self, parallelism: usize) -> Self {
+        self.parallelism = parallelism.max(1);
         self
     }
 
@@ -181,20 +191,17 @@ impl<'a> BatchEvaluator<'a> {
                 })
                 .collect();
 
+            // Materialize the covered tid-tuples over the shared bindings
+            // so each fact probes a hash set in O(1) instead of rescanning
+            // every combination. A combination missing a shared base (or a
+            // binding outside the scope) contributes nothing — exactly the
+            // cases where the former per-fact `all(..)` returned false.
+            let covered = covered_tuples(&combos, &shared_bindings, self.scope);
             for (fi, fact) in self.view.facts.iter().enumerate() {
                 self.governor.tick(AuditPhase::Suspicion)?;
-                let touched = combos.iter().any(|combo| {
-                    shared_bindings.iter().all(|b| {
-                        let Some(entry) = self.scope.entry(b) else {
-                            return false; // unreachable: b came from this scope
-                        };
-                        match (fact.tid_of(b), combo.get(&entry.base)) {
-                            (Some(tid), Some(tids)) => tids.contains(&tid),
-                            _ => false,
-                        }
-                    })
-                });
-                if touched {
+                let key: Option<Vec<Tid>> =
+                    shared_bindings.iter().map(|b| fact.tid_of(b)).collect();
+                if key.is_some_and(|k| covered.contains(&k)) {
                     contrib.touched_facts.insert(fi);
                 }
             }
@@ -267,6 +274,36 @@ impl<'a> BatchEvaluator<'a> {
         }
     }
 
+    /// Per-query contributions for a whole batch, in batch order.
+    ///
+    /// With `parallelism > 1` the queries are evaluated on scoped worker
+    /// threads (read-only over the database; the shared governor's atomics
+    /// keep one step budget across workers) and folded back in batch order,
+    /// so the verdict below is bitwise identical to the sequential path.
+    /// Errors surface as the first failing entry *in batch order* — the one
+    /// a sequential run would have stopped at — regardless of which worker
+    /// tripped first in wall-clock time.
+    #[allow(clippy::type_complexity)]
+    fn batch_contributions(
+        &self,
+        batch: &[Arc<LoggedQuery>],
+    ) -> Result<Vec<(QueryId, Option<QueryContribution>)>, AuditError> {
+        if self.parallelism <= 1 || batch.len() <= 1 {
+            let mut out = Vec::with_capacity(batch.len());
+            for q in batch {
+                self.governor.tick(AuditPhase::Suspicion)?;
+                out.push((q.id, self.try_contribution(q)?));
+            }
+            return Ok(out);
+        }
+        crate::parallel::par_map(self.parallelism, batch, |_, q| {
+            self.governor.tick(AuditPhase::Suspicion)?;
+            Ok((q.id, self.try_contribution(q)?))
+        })
+        .into_iter()
+        .collect()
+    }
+
     /// Evaluates a whole batch.
     pub fn evaluate(&self, batch: &[Arc<LoggedQuery>]) -> Result<BatchVerdict, AuditError> {
         let mut contributing = Vec::new();
@@ -285,10 +322,9 @@ impl<'a> BatchEvaluator<'a> {
             .filter_map(|c| self.scope.base_of_column(c))
             .collect();
 
-        for q in batch {
-            self.governor.tick(AuditPhase::Suspicion)?;
-            match self.try_contribution(q)? {
-                None => skipped.push(q.id),
+        for (id, contribution) in self.batch_contributions(batch)? {
+            match contribution {
+                None => skipped.push(id),
                 Some(c) => {
                     if self.model.indispensable {
                         if !c.touched_facts.is_empty() {
@@ -297,16 +333,16 @@ impl<'a> BatchEvaluator<'a> {
                             touched_union.extend(c.touched_facts.iter().copied());
                             covered_union.extend(c.covered_columns.iter().cloned());
                             if c.covered_columns.iter().any(|bc| relevant.contains(bc)) {
-                                contributing.push(q.id);
+                                contributing.push(id);
                             } else {
-                                witnesses.push(q.id);
+                                witnesses.push(id);
                             }
                         }
                     } else if !c.exposed.is_empty() {
                         for (fi, cols) in &c.exposed {
                             exposure.entry(*fi).or_default().extend(cols.iter().cloned());
                         }
-                        contributing.push(q.id);
+                        contributing.push(id);
                     }
                 }
             }
@@ -353,6 +389,43 @@ impl<'a> BatchEvaluator<'a> {
             skipped,
         })
     }
+}
+
+/// Expands satisfying combinations into the set of tid-tuples they cover
+/// over `shared_bindings` (in binding order). A fact is touched by a query
+/// iff its own tid-tuple over those bindings is in this set — the hash-set
+/// form of "some combination witnesses every shared binding's tuple".
+///
+/// Combination tid-sets are per base table and almost always singletons, so
+/// the per-combination cartesian product is tiny; the set as a whole is
+/// bounded by the query's satisfying combinations.
+pub(crate) fn covered_tuples(
+    combos: &[BTreeMap<Ident, BTreeSet<Tid>>],
+    shared_bindings: &[&Ident],
+    scope: &AuditScope,
+) -> HashSet<Vec<Tid>> {
+    let mut covered: HashSet<Vec<Tid>> = HashSet::new();
+    for combo in combos {
+        let mut tuples: Vec<Vec<Tid>> = vec![Vec::with_capacity(shared_bindings.len())];
+        for b in shared_bindings {
+            let tids = scope.entry(b).and_then(|entry| combo.get(&entry.base));
+            let Some(tids) = tids else {
+                tuples.clear();
+                break;
+            };
+            let mut next = Vec::with_capacity(tuples.len() * tids.len());
+            for prefix in &tuples {
+                for t in tids {
+                    let mut p = prefix.clone();
+                    p.push(*t);
+                    next.push(p);
+                }
+            }
+            tuples = next;
+        }
+        covered.extend(tuples);
+    }
+    covered
 }
 
 #[cfg(test)]

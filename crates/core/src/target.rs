@@ -12,7 +12,7 @@
 use audex_sql::ast::{AttrGroup, AttrItem, AttrNode, AuditExpr, Query, SelectItem};
 use audex_sql::{ColumnRef, Ident, Timestamp};
 use audex_storage::{Database, JoinStrategy, Tid, Value};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashSet};
 use std::fmt;
 
 use crate::attrspec::{ColumnResolver, NormalizedSpec, ResolvedColumn};
@@ -223,6 +223,12 @@ pub fn compute_target_view_governed(
     };
 
     let mut facts: Vec<UFact> = Vec::new();
+    // Hash-based dedup in first-occurrence order. `Value`'s `Hash` agrees
+    // with its `PartialEq` (strict type rank, floats by `total_cmp`), so
+    // membership here decides exactly as the former `facts.iter().any(..)`
+    // scan did — in O(1) per fact instead of O(|facts|).
+    type FactKey = (Vec<(Ident, Tid)>, BTreeMap<ResolvedColumn, Value>);
+    let mut seen: HashSet<FactKey> = HashSet::new();
     for &ts in versions {
         governor.tick(AuditPhase::TargetView)?;
         let rs = db.at(ts).query_with(&query, strategy)?;
@@ -232,7 +238,7 @@ pub fn compute_target_view_governed(
                 lineage.iter().map(|e| (e.binding.clone(), e.tid)).collect();
             let values: BTreeMap<ResolvedColumn, Value> =
                 columns.iter().cloned().zip(row.iter().cloned()).collect();
-            if !facts.iter().any(|f| f.tids == tids && f.values == values) {
+            if seen.insert((tids.clone(), values.clone())) {
                 facts.push(UFact { tids, values, first_seen: ts });
             }
         }

@@ -208,7 +208,7 @@ fn scenario_strategy() -> impl Strategy<Value = Scenario> {
     (
         proptest::collection::vec((0u8..3, 0u8..3), 1..16),
         1usize..4,
-        proptest::collection::vec(0u8..4, 1..12),
+        proptest::collection::vec(0u8..5, 1..12),
         0u8..3,
         any::<bool>(),
     )
@@ -256,7 +256,12 @@ fn build_scenario(
             0 => "SELECT zipcode FROM Patients WHERE disease = 'cancer'".to_string(),
             1 => format!("SELECT disease FROM Patients WHERE zipcode = '{}'", ZIPS[i % 3]),
             2 => "SELECT pid FROM Patients".to_string(),
-            _ => "SELECT pid, disease FROM Patients WHERE zipcode = '120016'".to_string(),
+            3 => "SELECT pid, disease FROM Patients WHERE zipcode = '120016'".to_string(),
+            // A self-join with an equi-predicate: exercises the hash-join
+            // path (and its nested-loop fallback under JoinStrategy).
+            _ => "SELECT a.pid FROM Patients AS a, Patients AS b \
+                  WHERE a.zipcode = b.zipcode AND b.disease = 'cancer'"
+                .to_string(),
         };
         log.record_text(
             &text,
@@ -327,5 +332,88 @@ proptest! {
         prop_assert_eq!(mp, mg);
         prop_assert_eq!(&mp.verdict.contributing, &a.verdict.contributing);
         prop_assert_eq!(mp.verdict.suspicious, a.verdict.suspicious);
+    }
+
+    /// Differential: `--threads N` ≡ `--threads 1`. The parallel fan-out
+    /// (batch suspicion, per-query refinement, index build, audit_many)
+    /// must produce byte-identical reports to the exact sequential path.
+    #[test]
+    fn parallel_threads_change_nothing(s in scenario_strategy()) {
+        use audex_core::{AuditEngine, AuditMode, EngineOptions};
+        use audex_sql::ast::{TimeInterval, TsSpec};
+
+        let (db, log, expr) = build_scenario(&s);
+        let mode = if s.per_query { AuditMode::PerQuery } else { AuditMode::Batch };
+        let now = Timestamp(1_000_000);
+
+        let seq = AuditEngine::with_options(
+            &db,
+            &log,
+            EngineOptions { mode, parallelism: 1, ..Default::default() },
+        );
+        let par = AuditEngine::with_options(
+            &db,
+            &log,
+            EngineOptions { mode, parallelism: 4, ..Default::default() },
+        );
+
+        let a = seq.audit_at(&expr, now).unwrap();
+        let b = par.audit_at(&expr, now).unwrap();
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(format!("{a:?}"), format!("{b:?}"), "byte-identical debug output");
+
+        // audit_many fans expressions across workers: all three audit
+        // templates at once, reports compared entry by entry in order.
+        let iv = TimeInterval { start: TsSpec::At(Timestamp(0)), end: TsSpec::Now };
+        let exprs: Vec<_> = [
+            "AUDIT disease FROM Patients WHERE zipcode = '120016'",
+            "AUDIT (zipcode, disease) FROM Patients",
+            "AUDIT [pid, disease] FROM Patients WHERE disease = 'cancer'",
+        ]
+        .iter()
+        .map(|t| {
+            let mut e = audex_sql::parse_audit(t).unwrap();
+            e.during = Some(iv);
+            e.data_interval = Some(iv);
+            e
+        })
+        .collect();
+        let many_seq = seq.audit_many(&exprs, now).unwrap();
+        let many_par = par.audit_many(&exprs, now).unwrap();
+        prop_assert_eq!(format!("{many_seq:?}"), format!("{many_par:?}"));
+    }
+
+    /// Differential: hash joins ≡ nested loops at the report level. The
+    /// equi-join acceleration must never change which queries are judged
+    /// suspicious or how granules are counted.
+    #[test]
+    fn join_strategy_changes_nothing(s in scenario_strategy()) {
+        use audex_core::{AuditEngine, AuditMode, EngineOptions};
+        use audex_storage::JoinStrategy;
+
+        let (db, log, expr) = build_scenario(&s);
+        let mode = if s.per_query { AuditMode::PerQuery } else { AuditMode::Batch };
+        let now = Timestamp(1_000_000);
+
+        let hash = AuditEngine::with_options(
+            &db,
+            &log,
+            EngineOptions { mode, strategy: JoinStrategy::Auto, parallelism: 1, ..Default::default() },
+        );
+        let nested = AuditEngine::with_options(
+            &db,
+            &log,
+            EngineOptions {
+                mode,
+                strategy: JoinStrategy::NestedLoop,
+                parallelism: 1,
+                ..Default::default()
+            },
+        );
+
+        let a = hash.audit_at(&expr, now).unwrap();
+        let b = nested.audit_at(&expr, now).unwrap();
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(format!("{a:?}"), format!("{b:?}"), "byte-identical debug output");
     }
 }

@@ -102,11 +102,21 @@ impl TableHistory {
         Ok(())
     }
 
+    /// The number of recorded changes visible at `ts` (inclusive) — the
+    /// boundary index of the prefix `replay_to(ts)` applies. Because the
+    /// history is append-only, the content of `changes[..n]` is immutable
+    /// for any given `n`, which makes this length a self-validating cache
+    /// key for reconstructed snapshots (see [`crate::snapshot`]): distinct
+    /// instants selecting the same version share one prefix length.
+    pub fn change_prefix_len(&self, ts: Timestamp) -> usize {
+        self.changes.partition_point(|c| c.ts <= ts)
+    }
+
     /// Rebuilds the table state as of `ts` (inclusive): all changes with
     /// `change.ts <= ts` are applied. Uses the newest usable checkpoint.
     pub fn replay_to(&self, ts: Timestamp) -> Table {
         // The replay boundary: first index whose change is after `ts`.
-        let end = self.changes.partition_point(|c| c.ts <= ts);
+        let end = self.change_prefix_len(ts);
         // Newest checkpoint fully inside the boundary.
         let base = self.checkpoints.iter().rev().find(|(upto, _)| *upto <= end);
         let (start, table) = match base {
@@ -331,6 +341,45 @@ mod tests {
                 "divergence at ts {probe}"
             );
         }
+    }
+
+    #[test]
+    fn change_prefix_len_partitions_on_ts() {
+        let h = history(); // changes at 10, 20, 30
+        assert_eq!(h.change_prefix_len(Timestamp(5)), 0);
+        assert_eq!(h.change_prefix_len(Timestamp(10)), 1);
+        assert_eq!(h.change_prefix_len(Timestamp(15)), 1);
+        assert_eq!(h.change_prefix_len(Timestamp(30)), 3);
+        assert_eq!(h.change_prefix_len(Timestamp(100)), 3);
+    }
+
+    #[test]
+    fn identical_version_replays_hit_the_snapshot_cache() {
+        // A DATA-INTERVAL can enumerate the same version instant more than
+        // once (and distinct timestamps can select the same version). Both
+        // cases must replay the backlog exactly once.
+        use crate::database::Database;
+        use audex_sql::parse_query;
+
+        let mut db = Database::new();
+        db.create_table(
+            Ident::new("Patients"),
+            Schema::of(&[("pid", TypeName::Text)]),
+            Timestamp(0),
+        )
+        .unwrap();
+        db.insert(&Ident::new("Patients"), vec!["p1".into()], Timestamp(10)).unwrap();
+        db.insert(&Ident::new("Patients"), vec!["p2".into()], Timestamp(20)).unwrap();
+
+        let q = parse_query("SELECT pid FROM Patients").unwrap();
+        // ts 15 and ts 17 both see exactly the changes up to 10: one replay,
+        // served from cache afterwards, including for the repeated instant.
+        db.at(Timestamp(15)).query(&q).unwrap();
+        db.at(Timestamp(17)).query(&q).unwrap();
+        db.at(Timestamp(15)).query(&q).unwrap();
+        let stats = db.snapshot_stats();
+        assert_eq!(stats.misses, 1, "one reconstruction for one version");
+        assert_eq!(stats.hits, 2, "repeat reads served from cache");
     }
 
     #[test]

@@ -11,6 +11,7 @@ use crate::eval::{compile, literal_value, Scope};
 use crate::exec::{execute_query, JoinStrategy, RelationProvider, ResultSet};
 use crate::fault::{FaultPlan, FaultState};
 use crate::schema::Schema;
+use crate::snapshot::{SnapshotCache, SnapshotKind, SnapshotStats};
 use crate::table::{Relation, Row, Table, Tid};
 use crate::value::Value;
 
@@ -20,7 +21,7 @@ use crate::value::Value;
 /// recorded in per-table [`TableHistory`] backlogs, so any past instant can
 /// be reconstructed — the substrate the paper's `DATA-INTERVAL` clause and
 /// the Agrawal et al. backlog methodology require.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 pub struct Database {
     tables: BTreeMap<Ident, Table>,
     histories: BTreeMap<Ident, TableHistory>,
@@ -28,11 +29,31 @@ pub struct Database {
     /// Armed fault-injection plan, if any (see [`crate::fault`]). Shared by
     /// clones so scan ordinals keep counting across `at()` views.
     faults: Option<Arc<FaultState>>,
+    /// Memoized version snapshots (see [`crate::snapshot`]). Derived data:
+    /// invisible to equality, and never shared with clones.
+    snapshots: SnapshotCache,
+}
+
+impl Clone for Database {
+    /// Clones data and the armed fault plan (shared, so scan ordinals keep
+    /// counting across clones — tests rely on that), but hands the clone a
+    /// **fresh** snapshot cache: clones may diverge, and change-prefix keys
+    /// are only self-validating within one mutation lineage.
+    fn clone(&self) -> Self {
+        Database {
+            tables: self.tables.clone(),
+            histories: self.histories.clone(),
+            last_ts: self.last_ts,
+            faults: self.faults.clone(),
+            snapshots: SnapshotCache::default(),
+        }
+    }
 }
 
 impl PartialEq for Database {
-    /// Fault-injection state is test harness, not data: two databases are
-    /// equal when their tables, histories, and clock agree.
+    /// Fault-injection state and the snapshot cache are harness/derived
+    /// state, not data: two databases are equal when their tables,
+    /// histories, and clock agree.
     fn eq(&self, other: &Self) -> bool {
         self.tables == other.tables
             && self.histories == other.histories
@@ -120,6 +141,12 @@ impl Database {
     /// True when a fault plan is armed.
     pub fn faults_armed(&self) -> bool {
         self.faults.is_some()
+    }
+
+    /// Hit/miss counters of the version-snapshot cache (diagnostics and
+    /// regression tests for replay deduplication).
+    pub fn snapshot_stats(&self) -> SnapshotStats {
+        self.snapshots.stats()
     }
 
     /// Consults the armed plan (if any) about one scan of `table`.
@@ -431,7 +458,10 @@ impl<'a> DatabaseAt<'a> {
 use audex_sql::ast::Query;
 
 impl<'a> RelationProvider for DatabaseAt<'a> {
-    fn relation(&self, name: &Ident) -> Result<Relation, StorageError> {
+    fn relation(&self, name: &Ident) -> Result<Arc<Relation>, StorageError> {
+        // Fault gates run before any cache consultation, so a planned fault
+        // fires even when the snapshot it addresses is already cached.
+
         // Backlog relation `b-T`?
         let lower = name.normalized();
         if let Some(base) = lower.strip_prefix("b-") {
@@ -439,21 +469,25 @@ impl<'a> RelationProvider for DatabaseAt<'a> {
             if let Some(h) = self.db.histories.get(&base_ident) {
                 self.db.fault_on_scan(&base_ident)?;
                 self.db.fault_on_replay(&base_ident, self.ts)?;
-                return Ok(h.backlog_relation(self.ts));
+                let key = (base_ident, SnapshotKind::Backlog, h.change_prefix_len(self.ts));
+                return Ok(self.db.snapshots.get_or_build(key, || h.backlog_relation(self.ts)));
             }
         }
         let h =
             self.db.histories.get(name).ok_or_else(|| StorageError::UnknownTable(name.clone()))?;
         self.db.fault_on_scan(name)?;
-        // Fast path: asking for "now or later" returns the live table.
+        let key = (name.clone(), SnapshotKind::Replay, h.change_prefix_len(self.ts));
+        // Fast path: asking for "now or later" returns the live table. Its
+        // snapshot equals the replay of the full change prefix, so it shares
+        // a cache entry with historical reads at or past the final change.
         if self.ts >= self.db.last_ts {
             if let Some(t) = self.db.tables.get(name) {
-                return Ok(t.to_relation());
+                return Ok(self.db.snapshots.get_or_build(key, || t.to_relation()));
             }
         }
         // Historical read: reconstructed from the backlog.
         self.db.fault_on_replay(name, self.ts)?;
-        Ok(h.replay_to(self.ts).to_relation())
+        Ok(self.db.snapshots.get_or_build(key, || h.replay_to(self.ts).to_relation()))
     }
 }
 
@@ -681,6 +715,38 @@ mod tests {
         let qb = parse_query("SELECT pid FROM b-Patients").unwrap();
         assert!(db.at(Timestamp(100)).query(&qb).is_err());
         assert!(db.at(Timestamp(10)).query(&qb).is_ok());
+    }
+
+    #[test]
+    fn planned_fault_fires_even_when_snapshot_cached() {
+        let mut db = db();
+        let q = parse_query("SELECT pid FROM Patients").unwrap();
+        // Warm the cache with an unfaulted read.
+        assert!(db.at(Timestamp(100)).query(&q).is_ok());
+        assert!(db.snapshot_stats().misses >= 1, "first read populates the cache");
+        // The planned fault must not be satisfied from cache: the gate runs
+        // before the lookup, so the very next scan still fails.
+        db.arm_faults(FaultPlan::new().fail_scan("Patients", 1));
+        let err = db.at(Timestamp(100)).query(&q).unwrap_err();
+        assert!(matches!(err, StorageError::Injected { .. }), "{err:?}");
+        db.disarm_faults();
+        assert!(db.at(Timestamp(100)).query(&q).is_ok(), "disarmed reads hit the cache again");
+    }
+
+    #[test]
+    fn snapshot_cache_is_invisible_to_equality_and_clones_start_cold() {
+        let db = db();
+        let q = parse_query("SELECT pid FROM Patients").unwrap();
+        db.at(Timestamp(100)).query(&q).unwrap();
+        db.at(Timestamp(100)).query(&q).unwrap();
+        let stats = db.snapshot_stats();
+        assert_eq!(stats, SnapshotStats { hits: 1, misses: 1 });
+        // The cache is derived data: a warmed database still equals a cold
+        // clone, and the clone gets its own empty cache (clones may diverge,
+        // so sharing entries would alias different content).
+        let cold = db.clone();
+        assert_eq!(cold.snapshot_stats(), SnapshotStats::default());
+        assert_eq!(db, cold);
     }
 
     #[test]

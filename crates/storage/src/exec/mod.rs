@@ -20,7 +20,9 @@ pub use plan::{classify_conjuncts, split_conjuncts, ConjunctClass, PlannedConjun
 
 use audex_sql::ast::{Query, SelectItem, TypeName};
 use audex_sql::Ident;
+use std::borrow::Cow;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use crate::error::StorageError;
 use crate::eval::{compile, CompiledExpr, Scope};
@@ -28,10 +30,11 @@ use crate::table::{Relation, Row, Tid};
 use crate::value::Value;
 
 /// Supplies named relations (base tables at some instant, or backlog
-/// relations `b-T`).
+/// relations `b-T`). Relations are handed out as `Arc`s so providers can
+/// serve many readers from one snapshot without copying rows.
 pub trait RelationProvider {
     /// Resolves `name` to a relation; errors for unknown names.
-    fn relation(&self, name: &Ident) -> Result<Relation, StorageError>;
+    fn relation(&self, name: &Ident) -> Result<Arc<Relation>, StorageError>;
 }
 
 /// Join algorithm selection — [`JoinStrategy::Auto`] uses hash joins where
@@ -98,7 +101,7 @@ pub fn execute_query(
 /// A query compiled against concrete relations, reusable across runs.
 pub struct PreparedQuery {
     scope: Scope,
-    relations: Vec<Relation>,
+    relations: Vec<Arc<Relation>>,
     bindings: Vec<Ident>,
     conjuncts: Vec<PlannedConjunct>,
     projection: Projection,
@@ -310,17 +313,19 @@ impl PreparedQuery {
     }
 
     /// Scans relation `bi` and applies the given single-binding filters.
+    /// Borrows the snapshot's rows directly when there is nothing to
+    /// filter, so the common case copies no row data.
     fn filtered_relation(
         &self,
         bi: usize,
         filter_idx: &[usize],
-    ) -> Result<Vec<(Tid, Row)>, StorageError> {
+    ) -> Result<Cow<'_, [(Tid, Row)]>, StorageError> {
         let rel = &self.relations[bi];
         let offset = self.scope.offset(bi);
         let filters: Vec<&PlannedConjunct> =
             filter_idx.iter().map(|ci| &self.conjuncts[*ci]).collect();
         if filters.is_empty() {
-            return Ok(rel.rows.clone());
+            return Ok(Cow::Borrowed(&rel.rows[..]));
         }
         let mut scratch = vec![Value::Null; self.scope.width()];
         let mut out = Vec::new();
@@ -333,7 +338,7 @@ impl PreparedQuery {
             }
             out.push((*tid, row.clone()));
         }
-        Ok(out)
+        Ok(Cow::Owned(out))
     }
 
     /// Equi-join edges `(conjunct idx, probe slot in prefix, build slot in
@@ -487,10 +492,10 @@ mod tests {
     use audex_sql::parse_query;
     use std::collections::BTreeMap;
 
-    struct Fixed(BTreeMap<Ident, Relation>);
+    struct Fixed(BTreeMap<Ident, Arc<Relation>>);
 
     impl RelationProvider for Fixed {
-        fn relation(&self, name: &Ident) -> Result<Relation, StorageError> {
+        fn relation(&self, name: &Ident) -> Result<Arc<Relation>, StorageError> {
             self.0.get(name).cloned().ok_or_else(|| StorageError::UnknownTable(name.clone()))
         }
     }
@@ -522,8 +527,8 @@ mod tests {
             ],
         };
         let mut m = BTreeMap::new();
-        m.insert(Ident::new("P-Personal"), personal);
-        m.insert(Ident::new("P-Health"), health);
+        m.insert(Ident::new("P-Personal"), Arc::new(personal));
+        m.insert(Ident::new("P-Health"), Arc::new(health));
         Fixed(m)
     }
 

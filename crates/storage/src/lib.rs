@@ -50,6 +50,7 @@ pub mod eval;
 pub mod exec;
 pub mod fault;
 pub mod schema;
+pub mod snapshot;
 pub mod table;
 pub mod value;
 
@@ -60,5 +61,6 @@ pub use exec::{
 };
 pub use fault::FaultPlan;
 pub use schema::Schema;
+pub use snapshot::{SnapshotKind, SnapshotStats};
 pub use table::{Relation, Row, Table, Tid};
 pub use value::{Truth, Value};

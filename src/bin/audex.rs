@@ -44,7 +44,7 @@ USAGE:
   audex audit --db <FILE> --log <FILE> (--expr <TEXT> | --expr-file <FILE>)
               [--now <TIMESTAMP>] [--csv] [--per-query] [--no-static-filter]
               [--granules <LIMIT>] [--deadline-ms <MS>] [--max-steps <N>]
-              [--max-granules <N>]
+              [--max-granules <N>] [--threads <N>]
   audex paper     regenerate the paper's worked artifacts (Figs. 4-6)
   audex demo      synthetic hospital with planted snooping, audited end to end
   audex help      this text
@@ -61,6 +61,8 @@ OPTIONS:
   --per-query    also evaluate each query in isolation (Definition 3)
   --no-static-filter   skip the static candidate analysis
   --granules N   also print the granule set G when it has at most N granules
+  --threads N    worker threads for the evaluation phases (default: available
+                 cores; 1 = sequential). Reports are identical at any setting.
 
 RESOURCE LIMITS (the audit stops with a structured error instead of hanging):
   --deadline-ms MS   wall-clock budget for the whole audit
@@ -84,6 +86,7 @@ fn cmd_audit(args: &[String]) -> Result<(), String> {
     let mut static_filter = true;
     let mut granules: Option<u64> = None;
     let mut limits = audex::core::ResourceLimits::unlimited();
+    let mut threads: Option<usize> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -128,6 +131,15 @@ fn cmd_audit(args: &[String]) -> Result<(), String> {
                     text.parse().map_err(|_| format!("invalid --max-granules value {text:?}"))?,
                 );
             }
+            "--threads" => {
+                let text = take_value(args, &mut i, "--threads")?;
+                let n: usize =
+                    text.parse().map_err(|_| format!("invalid --threads value {text:?}"))?;
+                if n == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
+                threads = Some(n);
+            }
             other => return Err(format!("unknown option {other:?}")),
         }
         i += 1;
@@ -151,6 +163,7 @@ fn cmd_audit(args: &[String]) -> Result<(), String> {
             static_filter,
             mode: if per_query { AuditMode::PerQuery } else { AuditMode::Batch },
             limits,
+            parallelism: threads.unwrap_or_else(audex::core::default_parallelism),
             ..Default::default()
         },
     );

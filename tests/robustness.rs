@@ -112,6 +112,79 @@ fn cancellation_stops_the_audit() {
 }
 
 #[test]
+fn step_budget_trips_inside_worker_threads() {
+    // With 4 workers, the budget check fires on whichever worker crosses the
+    // shared atomic counter first; the surfaced error must be the same
+    // structured BudgetExhausted — phase plus aggregated step count across
+    // all workers — that the sequential path produces.
+    let (db, log) = hospital();
+    let engine = AuditEngine::with_options(
+        &db,
+        &log,
+        EngineOptions {
+            parallelism: 4,
+            limits: ResourceLimits { max_steps: Some(5), ..ResourceLimits::unlimited() },
+            ..Default::default()
+        },
+    );
+    let expr = all_time(parse_audit(&standard_audit_text()).unwrap());
+    let err = engine.audit_at(&expr, Timestamp(1_000_000)).unwrap_err();
+    match &err {
+        AuditError::BudgetExhausted { steps, limit, .. } => {
+            assert_eq!(*limit, 5);
+            assert!(*steps > 5, "aggregated progress is reported: {steps}");
+        }
+        other => panic!("expected BudgetExhausted, got {other:?}"),
+    }
+    assert!(err.to_string().contains("steps completed"), "{err}");
+}
+
+#[test]
+fn cancellation_reaches_worker_threads() {
+    // The engine-level cancel flag is shared by every worker's governor
+    // clone; pre-set, any thread observes it at its next check and the
+    // audit stops with a structured Cancelled error naming the phase.
+    let (db, log) = hospital();
+    let engine = AuditEngine::with_options(
+        &db,
+        &log,
+        EngineOptions { parallelism: 4, ..Default::default() },
+    );
+    engine.cancel_handle().store(true, std::sync::atomic::Ordering::Relaxed);
+    let expr = all_time(parse_audit(&standard_audit_text()).unwrap());
+    let err = engine.audit_at(&expr, Timestamp(1_000_000)).unwrap_err();
+    match &err {
+        AuditError::Cancelled { phase: _, steps } => {
+            assert!(*steps > 0, "work completed before the flag was seen: {steps}");
+        }
+        other => panic!("expected Cancelled, got {other:?}"),
+    }
+    assert!(err.to_string().contains("cancelled"), "{err}");
+}
+
+#[test]
+fn parallel_audit_many_keeps_failure_isolation() {
+    // The audit_many fan-out across workers must keep per-expression Results
+    // in expression order, with the bad one failing alone.
+    let (db, log) = hospital();
+    let engine = AuditEngine::with_options(
+        &db,
+        &log,
+        EngineOptions { parallelism: 4, ..Default::default() },
+    );
+    let exprs = vec![
+        all_time(parse_audit(&standard_audit_text()).unwrap()),
+        all_time(parse_audit("AUDIT x FROM NoSuchTable").unwrap()),
+        all_time(parse_audit("AUDIT age FROM Patients WHERE age > 60").unwrap()),
+    ];
+    let many = engine.audit_many(&exprs, Timestamp(1_000_000)).unwrap();
+    assert_eq!(many.len(), 3);
+    assert!(many[0].is_ok(), "{:?}", many[0]);
+    assert!(matches!(many[1], Err(AuditError::UnknownTable(_))), "{:?}", many[1]);
+    assert!(many[2].is_ok(), "{:?}", many[2]);
+}
+
+#[test]
 fn pathological_cross_product_respects_the_deadline() {
     // A cross-product FROM over every data version: unbounded, this grinds
     // through millions of row steps. Governed, it must come back quickly

@@ -1,0 +1,193 @@
+//! B11: streaming-ingest cost — the PR-3 service tentpole.
+//!
+//! Two experiments, results written to `BENCH_3.json` at the workspace root:
+//!
+//! * `ingest_throughput` — sustained `log`-request throughput through a
+//!   [`ServiceCore`] as the number of standing (registered) audit
+//!   expressions grows. Every ingested query is scored online against each
+//!   standing audit and folded into the touch index, so throughput decays
+//!   roughly linearly in the audit count.
+//! * `maintenance_cost` — the incremental-index claim: the amortized cost
+//!   of folding one more query with [`TouchIndex::extend`] stays flat as
+//!   the log grows, while answering the same arrival by rebuilding the
+//!   index from scratch costs time linear in the log length. Before any
+//!   timing, the extended index is checked equivalent to the from-scratch
+//!   build (same length, same verdict on the standard audit).
+//!
+//! Run `cargo bench -p audex-bench --bench ingest` for real measurements or
+//! `-- --test` for the CI smoke variant (tiny sizes, one pass).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use audex_bench::{all_time, scenario};
+use audex_core::{Governor, TouchIndex};
+use audex_service::{Json, Request, ServiceConfig, ServiceCore};
+use audex_sql::parse_audit;
+use audex_storage::JoinStrategy;
+use audex_workload::datagen::zip_of_zone;
+
+struct Config {
+    patients: usize,
+    queries: usize,
+    audit_counts: Vec<usize>,
+}
+
+fn config(quick: bool) -> Config {
+    if quick {
+        Config { patients: 100, queries: 80, audit_counts: vec![0, 2] }
+    } else {
+        Config { patients: 400, queries: 800, audit_counts: vec![0, 1, 2, 4, 8] }
+    }
+}
+
+/// The k-th standing audit: disease of one zip zone, pinned to all time so
+/// the online scorer admits every log entry.
+fn standing_audit(k: usize) -> String {
+    let expr = parse_audit(&format!(
+        "AUDIT disease FROM Patients, Health \
+         WHERE Patients.pid = Health.pid AND Patients.zipcode = '{}'",
+        zip_of_zone(k)
+    ))
+    .expect("standing audit parses");
+    all_time(expr).to_string()
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--test");
+    let cfg = config(quick);
+    let mut rows = String::new();
+
+    // --- Experiment 1: ingest throughput vs standing-audit count. -------
+    for &audits in &cfg.audit_counts {
+        let s = scenario(cfg.patients, cfg.queries, 0.08, 42);
+        let entries = s.log.snapshot();
+        let mut core = ServiceCore::new(s.db, ServiceConfig::default());
+        for k in 0..audits {
+            let resp = core
+                .handle(Request::Register {
+                    name: format!("zone-{k}"),
+                    expr: standing_audit(k),
+                    now: Some(s.now),
+                })
+                .response;
+            assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "register zone-{k}: {resp}");
+        }
+        let t = Instant::now();
+        for e in &entries {
+            let resp = core
+                .handle(Request::Log {
+                    ts: e.executed_at,
+                    user: e.context.user.to_string(),
+                    role: e.context.role.to_string(),
+                    purpose: e.context.purpose.to_string(),
+                    sql: e.text.clone(),
+                })
+                .response;
+            debug_assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "{resp}");
+            std::hint::black_box(&resp);
+        }
+        let secs = t.elapsed().as_secs_f64();
+        let qps = if secs > 0.0 { entries.len() as f64 / secs } else { 0.0 };
+        println!(
+            "ingest_throughput audits={audits} queries={} secs={secs:.4} qps={qps:.0}",
+            entries.len()
+        );
+        let _ = writeln!(
+            rows,
+            "    {{\"experiment\": \"ingest_throughput\", \"audits\": {audits}, \
+             \"queries\": {}, \"secs\": {secs:.6}, \"qps\": {qps:.1}}},",
+            entries.len()
+        );
+    }
+
+    // --- Experiment 2: incremental extend vs from-scratch rebuild. ------
+    let s = scenario(cfg.patients, cfg.queries, 0.08, 42);
+    let batch = s.log.snapshot();
+    let n = batch.len();
+    let checkpoints: Vec<usize> = (1..=4).map(|i| i * n / 4).collect();
+    let governor = Governor::unlimited();
+
+    // Equivalence gate before timing: the streamed index must answer the
+    // standard audit exactly like a from-scratch build.
+    {
+        let mut streamed = TouchIndex::new();
+        for e in &batch {
+            streamed.extend(&s.db, e, JoinStrategy::Auto, &governor).expect("extend succeeds");
+        }
+        let rebuilt =
+            TouchIndex::build_governed_with(&s.db, &batch, JoinStrategy::Auto, &governor, 1)
+                .expect("build succeeds");
+        assert_eq!(streamed.len(), rebuilt.len(), "index lengths diverge");
+        let prepared = s.prepared(Default::default());
+        let admitted = batch.iter().map(|e| e.id).collect();
+        let a = streamed.evaluate(&prepared, &admitted).expect("evaluate streamed");
+        let b = rebuilt.evaluate(&prepared, &admitted).expect("evaluate rebuilt");
+        assert_eq!(format!("{a:?}"), format!("{b:?}"), "verdicts diverge");
+    }
+
+    let mut incremental = TouchIndex::new();
+    let mut cumulative = 0.0f64;
+    let mut next = 0;
+    let mut amortized_us = Vec::new();
+    let mut rebuild_us = Vec::new();
+    for (i, e) in batch.iter().enumerate() {
+        let t = Instant::now();
+        incremental.extend(&s.db, e, JoinStrategy::Auto, &governor).expect("extend succeeds");
+        cumulative += t.elapsed().as_secs_f64();
+        if next < checkpoints.len() && i + 1 == checkpoints[next] {
+            let len = i + 1;
+            // Amortized per-query incremental cost so far.
+            let amortized = cumulative / len as f64 * 1e6;
+            // What the same arrival would cost without extend: rebuild the
+            // whole index from scratch at this log length.
+            let t = Instant::now();
+            let rebuilt = TouchIndex::build_governed_with(
+                &s.db,
+                &batch[..len],
+                JoinStrategy::Auto,
+                &governor,
+                1,
+            )
+            .expect("build succeeds");
+            let rebuild = t.elapsed().as_secs_f64() * 1e6;
+            std::hint::black_box(rebuilt.len());
+            println!(
+                "maintenance_cost log_len={len} incremental_amortized_us={amortized:.1} \
+                 rebuild_us={rebuild:.1}"
+            );
+            let _ = writeln!(
+                rows,
+                "    {{\"experiment\": \"maintenance_cost\", \"log_len\": {len}, \
+                 \"incremental_amortized_us\": {amortized:.2}, \"rebuild_us\": {rebuild:.2}}},",
+            );
+            amortized_us.push(amortized);
+            rebuild_us.push(rebuild);
+            next += 1;
+        }
+    }
+
+    // Growth from the first checkpoint to the last (a 4x log growth):
+    // incremental should stay near 1x, rebuild near 4x.
+    let growth = |v: &[f64]| match (v.first(), v.last()) {
+        (Some(&a), Some(&b)) if a > 0.0 => b / a,
+        _ => 0.0,
+    };
+    let inc_growth = growth(&amortized_us);
+    let reb_growth = growth(&rebuild_us);
+
+    let rows = rows.trim_end().trim_end_matches(',');
+    let json = format!(
+        "{{\n  \"bench\": \"ingest\",\n  \"mode\": \"{}\",\n  \
+         \"incremental_amortized_growth_4x_log\": {inc_growth:.3},\n  \
+         \"rebuild_growth_4x_log\": {reb_growth:.3},\n  \"rows\": [\n{rows}\n  ]\n}}\n",
+        if quick { "quick" } else { "full" }
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_3.json");
+    std::fs::write(path, &json).expect("write BENCH_3.json");
+    println!("wrote {path}");
+    println!(
+        "per-query maintenance over a 4x log growth: incremental {inc_growth:.2}x, \
+         from-scratch rebuild {reb_growth:.2}x"
+    );
+}

@@ -38,11 +38,11 @@ fn bench(c: &mut Criterion) {
 
         g.bench_with_input(BenchmarkId::from_parameter(audits), &audits, |b, _| {
             b.iter_batched(
-                || OnlineAuditor::new(&s.db, prepared.clone()),
+                || OnlineAuditor::new(prepared.clone()),
                 |mut oa| {
                     let mut hits = 0usize;
                     for q in &batch {
-                        hits += oa.observe(q).unwrap().len();
+                        hits += oa.observe(&s.db, q).unwrap().len();
                     }
                     hits
                 },

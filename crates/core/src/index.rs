@@ -52,7 +52,18 @@ pub struct TouchIndex {
     skipped: Vec<QueryId>,
 }
 
+impl Default for TouchIndex {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl TouchIndex {
+    /// An empty index, ready to be grown with [`TouchIndex::extend`].
+    pub fn new() -> TouchIndex {
+        TouchIndex { footprints: Vec::new(), skipped: Vec::new() }
+    }
+
     /// Builds the index by executing every query once at its own execution
     /// time.
     pub fn build(
@@ -110,6 +121,34 @@ impl TouchIndex {
             }
         }
         Ok(TouchIndex { footprints, skipped })
+    }
+
+    /// Appends one query's footprint to the index — the incremental
+    /// maintenance step of the streaming service. Extending an index
+    /// query-by-query in log order produces an index identical to
+    /// [`TouchIndex::build_governed_with`] over the same slice at any
+    /// `parallelism` (footprints are folded back in log order there too;
+    /// asserted by the differential proptest in `tests/touch_index.rs`).
+    /// One governor step per query executed, like the batch build.
+    pub fn extend(
+        &mut self,
+        db: &Database,
+        q: &Arc<LoggedQuery>,
+        strategy: JoinStrategy,
+        governor: &Governor,
+    ) -> Result<(), AuditError> {
+        governor.tick(AuditPhase::Indexing)?;
+        match Self::footprint(db, q, strategy) {
+            Some(fp) => self.footprints.push(fp),
+            None => self.skipped.push(q.id),
+        }
+        Ok(())
+    }
+
+    /// Ids of queries that could not be executed and were skipped (the
+    /// streaming counterpart of the batch build's skip list).
+    pub fn skipped_ids(&self) -> &[QueryId] {
+        &self.skipped
     }
 
     fn footprint(db: &Database, q: &LoggedQuery, strategy: JoinStrategy) -> Option<QueryFootprint> {

@@ -40,27 +40,51 @@ struct AuditState {
     contributing: Vec<QueryId>,
 }
 
-/// Scores queries online against a fixed set of prepared audits.
-pub struct OnlineAuditor<'a> {
-    db: &'a Database,
+/// Scores queries online against a set of prepared audits.
+///
+/// The auditor does not borrow the database: every observation takes it as
+/// an argument, so a long-running owner (the streaming service) can
+/// interleave DML with scoring. Each prepared audit stays pinned to the
+/// target view computed when it was prepared — re-prepare and
+/// [`OnlineAuditor::push`] again to pick up later data.
+pub struct OnlineAuditor {
     audits: Vec<PreparedAudit>,
     states: Vec<AuditState>,
     strategy: JoinStrategy,
 }
 
-impl<'a> OnlineAuditor<'a> {
+impl OnlineAuditor {
     /// Builds an online auditor over prepared audits.
-    pub fn new(db: &'a Database, audits: Vec<PreparedAudit>) -> Self {
-        let states = audits
-            .iter()
-            .map(|_| AuditState {
-                touched: BTreeSet::new(),
-                covered: BTreeSet::new(),
-                exposure: BTreeMap::new(),
-                contributing: Vec::new(),
-            })
-            .collect();
-        OnlineAuditor { db, audits, states, strategy: JoinStrategy::Auto }
+    pub fn new(audits: Vec<PreparedAudit>) -> Self {
+        let mut oa =
+            OnlineAuditor { audits: Vec::new(), states: Vec::new(), strategy: JoinStrategy::Auto };
+        for a in audits {
+            oa.push(a);
+        }
+        oa
+    }
+
+    /// Adds a prepared audit with fresh batch state; returns its index.
+    pub fn push(&mut self, audit: PreparedAudit) -> usize {
+        self.audits.push(audit);
+        self.states.push(AuditState {
+            touched: BTreeSet::new(),
+            covered: BTreeSet::new(),
+            exposure: BTreeMap::new(),
+            contributing: Vec::new(),
+        });
+        self.audits.len() - 1
+    }
+
+    /// Removes audit `i` and its state; later indices shift down by one.
+    pub fn remove(&mut self, i: usize) -> PreparedAudit {
+        self.states.remove(i);
+        self.audits.remove(i)
+    }
+
+    /// The prepared audit at index `i`.
+    pub fn audit(&self, i: usize) -> &PreparedAudit {
+        &self.audits[i]
     }
 
     /// Number of audits being watched.
@@ -70,14 +94,18 @@ impl<'a> OnlineAuditor<'a> {
 
     /// Observes one query: updates batch state and returns its scores
     /// against every audit (only audits it contributed to are listed).
-    pub fn observe(&mut self, q: &Arc<LoggedQuery>) -> Result<Vec<QueryScore>, AuditError> {
+    pub fn observe(
+        &mut self,
+        db: &Database,
+        q: &Arc<LoggedQuery>,
+    ) -> Result<Vec<QueryScore>, AuditError> {
         let mut scores = Vec::new();
         for (i, prepared) in self.audits.iter().enumerate() {
             if !prepared.filter.admits(q) {
                 continue;
             }
             let evaluator = BatchEvaluator::new(
-                self.db,
+                db,
                 &prepared.scope,
                 &prepared.model,
                 &prepared.view,
@@ -182,11 +210,12 @@ impl<'a> OnlineAuditor<'a> {
     /// the paper's "degree of suspiciousness for user queries on line".
     pub fn ranking(
         &mut self,
+        db: &Database,
         batch: &[Arc<LoggedQuery>],
     ) -> Result<Vec<(QueryId, f64)>, AuditError> {
         let mut totals: BTreeMap<QueryId, f64> = BTreeMap::new();
         for q in batch {
-            let scores = self.observe(q)?;
+            let scores = self.observe(db, q)?;
             let sum: f64 = scores.iter().map(|s| s.closeness).sum();
             *totals.entry(q.id).or_insert(0.0) += sum;
         }
@@ -242,7 +271,7 @@ mod tests {
         })
     }
 
-    fn auditor<'a>(db: &'a Database, exprs: &[&str]) -> OnlineAuditor<'a> {
+    fn auditor(db: &Database, exprs: &[&str]) -> OnlineAuditor {
         let log = QueryLog::new();
         let engine = AuditEngine::new(db, &log);
         let prepared: Vec<PreparedAudit> = exprs
@@ -257,7 +286,7 @@ mod tests {
                 engine.prepare(&e, Timestamp(1000)).unwrap()
             })
             .collect();
-        OnlineAuditor::new(db, prepared)
+        OnlineAuditor::new(prepared)
     }
 
     #[test]
@@ -265,7 +294,7 @@ mod tests {
         let db = db();
         let mut oa = auditor(&db, &["AUDIT disease FROM Patients WHERE zipcode='120016'"]);
         let scores =
-            oa.observe(&q(1, "SELECT disease FROM Patients WHERE zipcode='120016'")).unwrap();
+            oa.observe(&db, &q(1, "SELECT disease FROM Patients WHERE zipcode='120016'")).unwrap();
         assert_eq!(scores.len(), 1);
         assert!((scores[0].fact_coverage - 1.0).abs() < 1e-9);
         assert!(scores[0].closeness > 0.9);
@@ -276,7 +305,8 @@ mod tests {
     fn innocent_query_scores_nothing() {
         let db = db();
         let mut oa = auditor(&db, &["AUDIT disease FROM Patients WHERE zipcode='120016'"]);
-        let scores = oa.observe(&q(1, "SELECT name FROM Patients WHERE zipcode='145568'")).unwrap();
+        let scores =
+            oa.observe(&db, &q(1, "SELECT name FROM Patients WHERE zipcode='145568'")).unwrap();
         assert!(scores.is_empty());
         assert!(!oa.is_suspicious(0));
     }
@@ -285,9 +315,9 @@ mod tests {
     fn batch_accumulates_across_observations() {
         let db = db();
         let mut oa = auditor(&db, &["AUDIT (name, disease) FROM Patients WHERE zipcode='120016'"]);
-        oa.observe(&q(1, "SELECT name FROM Patients WHERE zipcode='120016'")).unwrap();
+        oa.observe(&db, &q(1, "SELECT name FROM Patients WHERE zipcode='120016'")).unwrap();
         assert!(!oa.is_suspicious(0), "name alone is not enough");
-        oa.observe(&q(2, "SELECT disease FROM Patients WHERE zipcode='120016'")).unwrap();
+        oa.observe(&db, &q(2, "SELECT disease FROM Patients WHERE zipcode='120016'")).unwrap();
         assert!(oa.is_suspicious(0), "together they cover the scheme");
         assert_eq!(oa.contributing(0), &[QueryId(1), QueryId(2)]);
     }
@@ -297,11 +327,14 @@ mod tests {
         let db = db();
         let mut oa = auditor(&db, &["AUDIT disease FROM Patients WHERE zipcode='120016'"]);
         let ranked = oa
-            .ranking(&[
-                q(1, "SELECT pid FROM Patients WHERE zipcode='145568'"), // innocent
-                q(2, "SELECT disease FROM Patients WHERE pid='p1'"),     // partial
-                q(3, "SELECT disease FROM Patients WHERE zipcode='120016'"), // full
-            ])
+            .ranking(
+                &db,
+                &[
+                    q(1, "SELECT pid FROM Patients WHERE zipcode='145568'"), // innocent
+                    q(2, "SELECT disease FROM Patients WHERE pid='p1'"),     // partial
+                    q(3, "SELECT disease FROM Patients WHERE zipcode='120016'"), // full
+                ],
+            )
             .unwrap();
         assert_eq!(ranked[0].0, QueryId(3));
         assert_eq!(ranked[1].0, QueryId(2));
@@ -320,7 +353,7 @@ mod tests {
             ],
         );
         assert_eq!(oa.audit_count(), 2);
-        let s = oa.observe(&q(1, "SELECT name FROM Patients WHERE zipcode='145568'")).unwrap();
+        let s = oa.observe(&db, &q(1, "SELECT name FROM Patients WHERE zipcode='145568'")).unwrap();
         assert_eq!(s.len(), 1);
         assert_eq!(s[0].audit_idx, 1);
         assert!(!oa.is_suspicious(0));
@@ -334,9 +367,9 @@ mod tests {
         let engine = AuditEngine::new(&db, &log);
         let e = parse_audit("DURING 1/1/1970 TO 1/1/1970 AUDIT disease FROM Patients").unwrap();
         let prepared = engine.prepare(&e, Timestamp(1000)).unwrap();
-        let mut oa = OnlineAuditor::new(&db, vec![prepared]);
+        let mut oa = OnlineAuditor::new(vec![prepared]);
         // Query executed outside DURING: ignored.
-        let s = oa.observe(&q(1, "SELECT disease FROM Patients")).unwrap();
+        let s = oa.observe(&db, &q(1, "SELECT disease FROM Patients")).unwrap();
         assert!(s.is_empty());
     }
 }

@@ -2,9 +2,46 @@
 
 use audex_sql::ast::Query;
 use audex_sql::{ParseError, Timestamp};
+use std::fmt;
 use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use crate::entry::{AccessContext, LoggedQuery, QueryId};
+
+/// Why a validated append was refused (see [`QueryLog::record_text_validated`]).
+#[derive(Debug)]
+pub enum AppendError {
+    /// The SQL text is not a well-formed SELECT.
+    Parse(ParseError),
+    /// The entry's timestamp precedes the newest logged entry — a live
+    /// stream must arrive in execution order for ids to stay meaningful.
+    OutOfOrder {
+        /// Timestamp of the newest entry already in the log.
+        last: Timestamp,
+        /// The rejected entry's timestamp.
+        offered: Timestamp,
+    },
+}
+
+impl fmt::Display for AppendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AppendError::Parse(e) => write!(f, "query does not parse: {e}"),
+            AppendError::OutOfOrder { last, offered } => write!(
+                f,
+                "out-of-order log append: offered {offered}, but the log is already at {last} \
+                 (timestamps must be non-decreasing)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AppendError {}
+
+impl From<ParseError> for AppendError {
+    fn from(e: ParseError) -> Self {
+        AppendError::Parse(e)
+    }
+}
 
 /// An append-only, thread-safe log of executed queries with their
 /// annotations — the "User Accesses Log" the paper audits.
@@ -44,6 +81,38 @@ impl QueryLog {
     ) -> Result<QueryId, ParseError> {
         let query = audex_sql::parse_query(sql)?;
         Ok(self.record_with_text(query, sql.to_string(), executed_at, context))
+    }
+
+    /// Parses and appends query text like [`QueryLog::record_text`], but
+    /// also enforces the streaming discipline: the entry's timestamp must
+    /// not precede the newest entry already logged. Validation and append
+    /// happen under one write lock, so concurrent appenders cannot
+    /// interleave a rewind past the check.
+    pub fn record_text_validated(
+        &self,
+        sql: &str,
+        executed_at: Timestamp,
+        context: AccessContext,
+    ) -> Result<QueryId, AppendError> {
+        let query = audex_sql::parse_query(sql)?;
+        let mut guard = self.write();
+        if let Some(last) = guard.last() {
+            if executed_at < last.executed_at {
+                return Err(AppendError::OutOfOrder {
+                    last: last.executed_at,
+                    offered: executed_at,
+                });
+            }
+        }
+        let id = QueryId(guard.len() as u64 + 1);
+        guard.push(Arc::new(LoggedQuery {
+            id,
+            query,
+            text: sql.to_string(),
+            executed_at,
+            context,
+        }));
+        Ok(id)
     }
 
     fn record_with_text(
@@ -115,6 +184,26 @@ mod tests {
         assert!(log.record_text("DELETE FROM t", Timestamp(1), ctx()).is_err());
         assert!(log.record_text("SELECT FROM", Timestamp(1), ctx()).is_err());
         assert!(log.is_empty());
+    }
+
+    #[test]
+    fn validated_append_enforces_order() {
+        let log = QueryLog::new();
+        log.record_text_validated("SELECT a FROM t", Timestamp(10), ctx()).unwrap();
+        // Equal timestamps are fine (same-instant batch).
+        log.record_text_validated("SELECT b FROM t", Timestamp(10), ctx()).unwrap();
+        let err = log.record_text_validated("SELECT c FROM t", Timestamp(9), ctx()).unwrap_err();
+        assert!(matches!(
+            err,
+            AppendError::OutOfOrder { last: Timestamp(10), offered: Timestamp(9) }
+        ));
+        assert!(err.to_string().contains("out-of-order"), "{err}");
+        // Bad SQL is rejected before touching the log.
+        assert!(matches!(
+            log.record_text_validated("DELETE FROM t", Timestamp(11), ctx()),
+            Err(AppendError::Parse(_))
+        ));
+        assert_eq!(log.len(), 2);
     }
 
     #[test]

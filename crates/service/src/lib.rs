@@ -1,0 +1,39 @@
+//! `audex-service` — `audexd`, the streaming audit service.
+//!
+//! The paper's framework audits a *finished* log; its §4 future work asks
+//! for the online version. This crate is that daemon: a long-running
+//! service that ingests timestamped DML and annotated queries as a stream,
+//! scores every query on arrival against standing audit expressions
+//! ([`audex_core::OnlineAuditor`]), folds its footprint into an
+//! incrementally maintained [`audex_core::TouchIndex`]
+//! ([`TouchIndex::extend`](audex_core::TouchIndex::extend) — equivalent to
+//! a from-scratch build, proven by differential proptest), and answers
+//! full `audit` requests straight from the index without re-running the
+//! log.
+//!
+//! * [`proto`] — the line-delimited JSON protocol (one object per line;
+//!   hand-rolled [`json`] — the workspace stays serde-free),
+//! * [`state`] — the transport-agnostic state machine, with the resource
+//!   governor as admission control: each request runs under the configured
+//!   [`audex_core::ResourceLimits`], and a tripped budget rejects the
+//!   request whole with `"busy":true` backpressure instead of degrading
+//!   the index,
+//! * [`server`] — stdin/stdout and TCP front ends (`audex serve`).
+//!
+//! The versioned backlog, snapshot cache and governor all come from the
+//! batch system unchanged; the service is a thin stateful shell that keeps
+//! them hot across requests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
+pub mod json;
+pub mod proto;
+pub mod server;
+pub mod state;
+
+pub use json::Json;
+pub use proto::{parse_request, Request};
+pub use server::{serve_stdio, Server};
+pub use state::{Outcome, ServiceConfig, ServiceCore, ServiceCounters};

@@ -1,0 +1,179 @@
+//! The `audexd` wire protocol: one JSON object per line, in both
+//! directions.
+//!
+//! # Requests
+//!
+//! Every request carries a `"cmd"` field; timestamps accept either raw
+//! seconds or the session-file string forms (`D/M/YYYY[:HH-MM-SS]`,
+//! quoted ISO) — the same parser the `audex` CLI uses for `@` headers.
+//!
+//! ```text
+//! {"cmd":"dml","ts":"1/1/2008","sql":"INSERT INTO t VALUES (1);"}
+//! {"cmd":"log","ts":"2/1/2008:09-30-00","user":"u-4","role":"nurse","purpose":"treatment","sql":"SELECT ..."}
+//! {"cmd":"register","name":"fig4","expr":"AUDIT disease FROM Patients ..."}
+//! {"cmd":"unregister","name":"fig4"}
+//! {"cmd":"audit","name":"fig4"}
+//! {"cmd":"subscribe"}
+//! {"cmd":"stats"}
+//! {"cmd":"shutdown"}
+//! ```
+//!
+//! # Responses and events
+//!
+//! Every request gets exactly one response line with an `"ok"` field.
+//! Rejections carry `"error"`; governor trips additionally carry
+//! `"busy":true` — the client should back off and retry. Connections that
+//! sent `subscribe` also receive `{"event":...}` lines (scores and verdict
+//! updates) as queries are ingested; events never interleave into the
+//! middle of a response line.
+
+use audex_sql::Timestamp;
+
+use crate::json::Json;
+
+/// A parsed protocol request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Apply timestamped DML, advancing the versioned backlog.
+    Dml {
+        /// Execution instant of the first statement; each further
+        /// statement in `sql` advances the clock by one second, like a
+        /// session script block.
+        ts: Timestamp,
+        /// One or more `;`-separated DML statements.
+        sql: String,
+    },
+    /// Append one annotated query to the access log and score it.
+    Log {
+        /// Execution instant (must be ≥ the newest logged entry).
+        ts: Timestamp,
+        /// Submitting user id.
+        user: String,
+        /// Role acted under.
+        role: String,
+        /// Declared purpose.
+        purpose: String,
+        /// The SELECT text.
+        sql: String,
+    },
+    /// Register a standing audit expression under a name.
+    Register {
+        /// Name for later `audit` / `unregister` calls.
+        name: String,
+        /// The audit-expression text (paper Fig. 7 grammar).
+        expr: String,
+        /// Reference "now" for `now()` and interval defaults; defaults to
+        /// the latest instant the service has seen.
+        now: Option<Timestamp>,
+    },
+    /// Drop a standing audit expression.
+    Unregister {
+        /// The name it was registered under.
+        name: String,
+    },
+    /// Evaluate a standing audit from the touch index (no log re-run).
+    Audit {
+        /// The name it was registered under.
+        name: String,
+    },
+    /// Subscribe this connection to score/verdict events.
+    Subscribe,
+    /// Service counters.
+    Stats,
+    /// Stop the service.
+    Shutdown,
+}
+
+/// Parses one request line.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let v = Json::parse(line)?;
+    let cmd =
+        v.get("cmd").and_then(Json::as_str).ok_or_else(|| "missing \"cmd\" field".to_string())?;
+    let need = |key: &str| -> Result<String, String> {
+        v.get(key)
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("{cmd}: missing string field {key:?}"))
+    };
+    match cmd {
+        "dml" => Ok(Request::Dml { ts: need_ts(&v, "ts")?, sql: need("sql")? }),
+        "log" => Ok(Request::Log {
+            ts: need_ts(&v, "ts")?,
+            user: need("user")?,
+            role: need("role")?,
+            purpose: need("purpose")?,
+            sql: need("sql")?,
+        }),
+        "register" => Ok(Request::Register {
+            name: need("name")?,
+            expr: need("expr")?,
+            now: match v.get("now") {
+                None | Some(Json::Null) => None,
+                Some(_) => Some(need_ts(&v, "now")?),
+            },
+        }),
+        "unregister" => Ok(Request::Unregister { name: need("name")? }),
+        "audit" => Ok(Request::Audit { name: need("name")? }),
+        "subscribe" => Ok(Request::Subscribe),
+        "stats" => Ok(Request::Stats),
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+/// Reads a timestamp field: raw seconds, or any string form the session
+/// `@` headers accept.
+fn need_ts(v: &Json, key: &str) -> Result<Timestamp, String> {
+    let field = v.get(key).ok_or_else(|| format!("missing field {key:?}"))?;
+    match field {
+        Json::Int(i) => Ok(Timestamp(*i)),
+        Json::Str(s) => {
+            let trimmed = s.trim().trim_matches('\'');
+            Timestamp::parse(trimmed).ok_or_else(|| format!("{key}: invalid timestamp {s:?}"))
+        }
+        _ => Err(format!("{key}: expected seconds or a timestamp string")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_command() {
+        let r = parse_request(r#"{"cmd":"dml","ts":100,"sql":"INSERT INTO t VALUES (1);"}"#);
+        assert_eq!(
+            r.unwrap(),
+            Request::Dml { ts: Timestamp(100), sql: "INSERT INTO t VALUES (1);".into() }
+        );
+        let r = parse_request(
+            r#"{"cmd":"log","ts":"1/1/2008","user":"u","role":"r","purpose":"p","sql":"SELECT a FROM t"}"#,
+        )
+        .unwrap();
+        match r {
+            Request::Log { ts, user, .. } => {
+                assert_eq!(ts, Timestamp::from_ymd(2008, 1, 1).unwrap());
+                assert_eq!(user, "u");
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(
+            parse_request(r#"{"cmd":"register","name":"a","expr":"AUDIT x FROM t"}"#).unwrap(),
+            Request::Register { name: "a".into(), expr: "AUDIT x FROM t".into(), now: None }
+        );
+        assert_eq!(parse_request(r#"{"cmd":"stats"}"#).unwrap(), Request::Stats);
+        assert_eq!(parse_request(r#"{"cmd":"subscribe"}"#).unwrap(), Request::Subscribe);
+        assert_eq!(parse_request(r#"{"cmd":"shutdown"}"#).unwrap(), Request::Shutdown);
+    }
+
+    #[test]
+    fn bad_requests_name_the_problem() {
+        assert!(parse_request("not json").unwrap_err().contains("byte"));
+        assert!(parse_request(r#"{"ts":1}"#).unwrap_err().contains("cmd"));
+        assert!(parse_request(r#"{"cmd":"fly"}"#).unwrap_err().contains("unknown command"));
+        assert!(parse_request(r#"{"cmd":"dml","ts":"soon","sql":"x"}"#)
+            .unwrap_err()
+            .contains("invalid timestamp"));
+        assert!(parse_request(r#"{"cmd":"log","ts":1,"sql":"x"}"#).unwrap_err().contains("user"));
+    }
+}

@@ -1,0 +1,181 @@
+//! Transports for the `audexd` protocol: stdin/stdout and TCP.
+//!
+//! Both speak the same line protocol (see [`crate::proto`]): the transport
+//! reads a line, parses it, hands the request to the shared
+//! [`ServiceCore`] behind a mutex, writes the single response line back to
+//! the requester, and fans event lines out to subscribed connections.
+//! Events are broadcast while the core lock is held, so every subscriber
+//! sees them in ingestion order.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Duration;
+
+use crate::json::{obj, Json};
+use crate::proto::{parse_request, Request};
+use crate::state::{Outcome, ServiceCore};
+
+fn protocol_error(message: String) -> Json {
+    obj([("ok", Json::Bool(false)), ("error", Json::Str(message))])
+}
+
+/// Serves one session over stdin/stdout: the `audex serve --stdio` mode,
+/// also the harness the end-to-end tests drive as a child process. Returns
+/// when stdin closes or a `shutdown` request arrives.
+pub fn serve_stdio(mut core: ServiceCore) -> io::Result<()> {
+    let stdin = io::stdin();
+    let stdout = io::stdout();
+    let mut out = stdout.lock();
+    let mut subscribed = false;
+    for line in stdin.lock().lines() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let (response, events, stop) = match parse_request(trimmed) {
+            Err(e) => (protocol_error(e), Vec::new(), false),
+            Ok(req) => {
+                let is_sub = req == Request::Subscribe;
+                let Outcome { response, events, shutdown } = core.handle(req);
+                subscribed |= is_sub;
+                (response, events, shutdown)
+            }
+        };
+        writeln!(out, "{response}")?;
+        if subscribed {
+            for e in events {
+                writeln!(out, "{e}")?;
+            }
+        }
+        out.flush()?;
+        if stop {
+            break;
+        }
+    }
+    Ok(())
+}
+
+struct Shared {
+    core: Mutex<ServiceCore>,
+    subscribers: Mutex<Vec<TcpStream>>,
+    stop: AtomicBool,
+}
+
+impl Shared {
+    fn lock_core(&self) -> std::sync::MutexGuard<'_, ServiceCore> {
+        // A handler panicking mid-request cannot leave the core with broken
+        // invariants worse than a dropped request; keep serving.
+        self.core.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn broadcast(&self, events: &[Json]) {
+        let mut subs = self.subscribers.lock().unwrap_or_else(PoisonError::into_inner);
+        subs.retain_mut(|s| {
+            for e in events {
+                if writeln!(s, "{e}").is_err() {
+                    return false; // disconnected subscriber
+                }
+            }
+            s.flush().is_ok()
+        });
+    }
+}
+
+/// A bound TCP server, not yet accepting. Splitting bind from
+/// [`Server::run`] lets callers bind port 0 and learn the real address.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds the listener; the service starts on [`Server::run`].
+    pub fn bind(core: ServiceCore, addr: &str) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Server {
+            listener,
+            shared: Arc::new(Shared {
+                core: Mutex::new(core),
+                subscribers: Mutex::new(Vec::new()),
+                stop: AtomicBool::new(false),
+            }),
+        })
+    }
+
+    /// The bound address (useful after binding port 0).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Accepts and serves connections until a `shutdown` request arrives.
+    pub fn run(self) -> io::Result<()> {
+        // Non-blocking accept so the loop can observe the stop flag a
+        // handler thread sets; 25ms keeps shutdown prompt without busy-spin.
+        self.listener.set_nonblocking(true)?;
+        loop {
+            if self.shared.stop.load(Ordering::SeqCst) {
+                return Ok(());
+            }
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    let shared = Arc::clone(&self.shared);
+                    std::thread::spawn(move || {
+                        let _ = serve_connection(stream, &shared);
+                    });
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(25));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+fn serve_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
+    stream.set_nonblocking(false)?;
+    let mut writer = stream.try_clone()?;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        match parse_request(trimmed) {
+            Err(e) => {
+                writeln!(writer, "{}", protocol_error(e))?;
+                writer.flush()?;
+            }
+            Ok(req) => {
+                let is_sub = req == Request::Subscribe;
+                // Hold the core lock across response *and* broadcast so
+                // subscribers observe events in the same order requests
+                // were admitted.
+                let mut core = shared.lock_core();
+                let Outcome { response, events, shutdown } = core.handle(req);
+                if is_sub {
+                    if let Ok(clone) = writer.try_clone() {
+                        shared
+                            .subscribers
+                            .lock()
+                            .unwrap_or_else(PoisonError::into_inner)
+                            .push(clone);
+                    }
+                }
+                writeln!(writer, "{response}")?;
+                writer.flush()?;
+                shared.broadcast(&events);
+                drop(core);
+                if shutdown {
+                    shared.stop.store(true, Ordering::SeqCst);
+                    return Ok(());
+                }
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,610 @@
+//! The service engine room: one mutable state machine, transport-agnostic.
+//!
+//! [`ServiceCore`] owns the versioned [`Database`], the append-only
+//! [`QueryLog`], the incrementally maintained [`TouchIndex`] and the
+//! [`OnlineAuditor`] with its running per-audit batch state. Each protocol
+//! request maps to one `handle` call; the transports in
+//! [`crate::server`] serialize calls behind a mutex, so handlers can
+//! assume exclusive access.
+//!
+//! # Invariant: the index mirrors the log
+//!
+//! Every entry appended to the log is first folded into the touch index
+//! (footprint executed once, at the entry's own execution instant — the
+//! paper's backlog methodology makes later DML irrelevant to earlier
+//! footprints, so the fold never needs revisiting). Admission control runs
+//! *before* mutation: if the request's governor trips while computing the
+//! footprint, the entry is rejected whole — no log append, no index
+//! growth, `"busy":true` in the response — so a rejected request leaves no
+//! trace and the client can simply retry.
+//!
+//! # Pinned audits
+//!
+//! A registered expression is prepared once, against the backlog as of
+//! registration, and stays pinned to that target view — like a prepared
+//! statement. `audit` answers for the pinned view straight from the index;
+//! re-register to pick up later DML.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use audex_core::{
+    AuditEngine, AuditError, EngineOptions, Governor, OnlineAuditor, PreparedAudit, ResourceLimits,
+    TouchIndex,
+};
+use audex_log::{AccessContext, LoggedQuery, QueryId, QueryLog};
+use audex_sql::Timestamp;
+use audex_storage::{Database, JoinStrategy};
+
+use crate::json::{obj, Json};
+use crate::proto::Request;
+
+/// Tuning for a running service.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServiceConfig {
+    /// Per-request governor limits (admission control). Unlimited by
+    /// default.
+    pub limits: ResourceLimits,
+    /// Join strategy for footprints and scoring.
+    pub strategy: JoinStrategy,
+    /// Worker threads for batch work (preloading an existing log).
+    pub parallelism: usize,
+}
+
+/// Monotonic counters surfaced by the `stats` command.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServiceCounters {
+    /// Log entries accepted, scored and indexed.
+    pub queries_ingested: u64,
+    /// Requests refused (parse errors, order violations, governor trips).
+    pub queries_rejected: u64,
+    /// DML statements applied to the backlog.
+    pub dml_statements: u64,
+    /// Requests that hit a governor limit (deadline/step budget).
+    pub governor_trips: u64,
+    /// Score/verdict events produced for subscribers.
+    pub events_emitted: u64,
+}
+
+/// What one request produced.
+pub struct Outcome {
+    /// The single response line.
+    pub response: Json,
+    /// Zero or more event lines for subscribers.
+    pub events: Vec<Json>,
+    /// True when the request asked the service to stop.
+    pub shutdown: bool,
+}
+
+impl Outcome {
+    fn reply(response: Json) -> Outcome {
+        Outcome { response, events: Vec::new(), shutdown: false }
+    }
+}
+
+/// A standing audit: its registration name plus where it lives in the
+/// online auditor (indices shift on unregister; `names` mirrors them).
+struct ServiceState {
+    names: Vec<String>,
+}
+
+/// The streaming audit service state machine.
+pub struct ServiceCore {
+    db: Database,
+    log: QueryLog,
+    index: TouchIndex,
+    online: OnlineAuditor,
+    registered: ServiceState,
+    config: ServiceConfig,
+    counters: ServiceCounters,
+}
+
+impl ServiceCore {
+    /// A service over a starting database (possibly empty) and an empty
+    /// log.
+    pub fn new(db: Database, config: ServiceConfig) -> ServiceCore {
+        ServiceCore {
+            db,
+            log: QueryLog::new(),
+            index: TouchIndex::new(),
+            online: OnlineAuditor::new(Vec::new()),
+            registered: ServiceState { names: Vec::new() },
+            config,
+            counters: ServiceCounters::default(),
+        }
+    }
+
+    /// A service whose log already has history (CLI `--log`): the index is
+    /// grown entry-by-entry with [`TouchIndex::extend`], exactly as if the
+    /// entries had arrived over the wire.
+    pub fn preloaded(
+        db: Database,
+        log: QueryLog,
+        config: ServiceConfig,
+    ) -> Result<ServiceCore, AuditError> {
+        let mut core = ServiceCore::new(db, config);
+        let governor = Governor::unlimited();
+        for entry in log.snapshot() {
+            core.index.extend(&core.db, &entry, config.strategy, &governor)?;
+            core.counters.queries_ingested += 1;
+        }
+        core.log = log;
+        Ok(core)
+    }
+
+    /// Current counters.
+    pub fn counters(&self) -> ServiceCounters {
+        self.counters
+    }
+
+    /// The latest instant the service has seen (backlog or log), used as
+    /// the default `now` for registrations.
+    pub fn latest_instant(&self) -> Timestamp {
+        let log_ts = self.log.snapshot().last().map(|e| e.executed_at).unwrap_or(Timestamp(0));
+        self.db.last_ts().max(log_ts)
+    }
+
+    /// Handles one request.
+    pub fn handle(&mut self, req: Request) -> Outcome {
+        match req {
+            Request::Dml { ts, sql } => self.handle_dml(ts, &sql),
+            Request::Log { ts, user, role, purpose, sql } => {
+                self.handle_log(ts, AccessContext::new(user, role, purpose), &sql)
+            }
+            Request::Register { name, expr, now } => self.handle_register(name, &expr, now),
+            Request::Unregister { name } => self.handle_unregister(&name),
+            Request::Audit { name } => self.handle_audit(&name),
+            Request::Stats => Outcome::reply(self.stats_json()),
+            Request::Subscribe => Outcome::reply(obj([("ok", Json::Bool(true))])),
+            Request::Shutdown => Outcome {
+                response: obj([("ok", Json::Bool(true)), ("stopping", Json::Bool(true))]),
+                events: Vec::new(),
+                shutdown: true,
+            },
+        }
+    }
+
+    fn reject(&mut self, message: String) -> Outcome {
+        self.counters.queries_rejected += 1;
+        Outcome::reply(obj([("ok", Json::Bool(false)), ("error", Json::Str(message))]))
+    }
+
+    /// A governor trip: the request was refused for capacity, not
+    /// validity — `"busy":true` tells the client to back off and retry.
+    fn backpressure(&mut self, e: &AuditError) -> Outcome {
+        self.counters.governor_trips += 1;
+        self.counters.queries_rejected += 1;
+        Outcome::reply(obj([
+            ("ok", Json::Bool(false)),
+            ("busy", Json::Bool(true)),
+            ("error", Json::Str(e.to_string())),
+        ]))
+    }
+
+    fn handle_dml(&mut self, ts: Timestamp, sql: &str) -> Outcome {
+        let stmts = match audex_sql::parse_script(sql) {
+            Ok(s) => s,
+            Err(e) => return self.reject(format!("dml does not parse: {e}")),
+        };
+        // Session-script semantics: each statement advances the clock one
+        // second so versions stay distinct.
+        let mut clock = ts;
+        for (i, stmt) in stmts.iter().enumerate() {
+            if let Err(e) = self.db.execute(stmt, clock) {
+                // Statements before `i` are already applied (the backlog is
+                // append-only); say so instead of pretending atomicity.
+                self.counters.queries_rejected += 1;
+                return Outcome::reply(obj([
+                    ("ok", Json::Bool(false)),
+                    ("error", Json::Str(format!("statement {}: {e}", i + 1))),
+                    ("applied", Json::from(i)),
+                ]));
+            }
+            self.counters.dml_statements += 1;
+            clock = clock.plus_seconds(1);
+        }
+        Outcome::reply(obj([
+            ("ok", Json::Bool(true)),
+            ("applied", Json::from(stmts.len())),
+            ("backlog_ts", Json::Int(self.db.last_ts().0)),
+        ]))
+    }
+
+    fn handle_log(&mut self, ts: Timestamp, context: AccessContext, sql: &str) -> Outcome {
+        // Validate before any mutation (the wire peer gets parse errors
+        // and order violations as plain rejections, never a half-ingested
+        // entry).
+        let query = match audex_sql::parse_query(sql) {
+            Ok(q) => q,
+            Err(e) => return self.reject(format!("query does not parse: {e}")),
+        };
+        if let Some(last) = self.log.snapshot().last() {
+            if ts < last.executed_at {
+                return self.reject(format!(
+                    "out-of-order log append: offered {ts}, log is already at {}",
+                    last.executed_at
+                ));
+            }
+        }
+        let entry = Arc::new(LoggedQuery {
+            id: QueryId(self.log.len() as u64 + 1),
+            query,
+            text: sql.to_string(),
+            executed_at: ts,
+            context,
+        });
+
+        // Admission control: fold the footprint under this request's
+        // governor. A trip rejects the whole request with nothing mutated
+        // (extend appends only after the footprint completes).
+        let governor = Governor::arm(&self.config.limits);
+        if let Err(e) = self.index.extend(&self.db, &entry, self.config.strategy, &governor) {
+            return self.backpressure(&e);
+        }
+
+        // Score online. `observe` is pure w.r.t. the log; an error here
+        // (none are currently reachable) downgrades to "no scores" so the
+        // log and index never diverge.
+        let scores = self.online.observe(&self.db, &entry).unwrap_or_default();
+
+        // Commit. The validated append re-checks ordering under the log's
+        // own lock; it cannot fail after the checks above.
+        let id = match self.log.record_text_validated(sql, ts, entry.context.clone()) {
+            Ok(id) => id,
+            Err(e) => return self.reject(format!("log append failed: {e}")),
+        };
+        self.counters.queries_ingested += 1;
+
+        let mut events = Vec::new();
+        let mut score_rows = Vec::new();
+        let mut touched_audits = BTreeSet::new();
+        for s in &scores {
+            touched_audits.insert(s.audit_idx);
+            let name = self
+                .registered
+                .names
+                .get(s.audit_idx)
+                .cloned()
+                .unwrap_or_else(|| s.audit_idx.to_string());
+            let row = obj([
+                ("audit", Json::Str(name)),
+                ("fact_coverage", Json::Float(s.fact_coverage)),
+                ("column_coverage", Json::Float(s.column_coverage)),
+                ("closeness", Json::Float(s.closeness)),
+            ]);
+            score_rows.push(row.clone());
+            let mut fields = vec![
+                ("event".to_string(), Json::from("score")),
+                ("query".to_string(), Json::Int(id.0 as i64)),
+            ];
+            if let Json::Obj(inner) = row {
+                fields.extend(inner);
+            }
+            events.push(Json::Obj(fields));
+        }
+        // A verdict event per audit this query contributed to, so
+        // subscribers track the running batch state without polling.
+        for idx in touched_audits {
+            events.push(self.verdict_event(idx));
+        }
+        self.counters.events_emitted += events.len() as u64;
+
+        Outcome {
+            response: obj([
+                ("ok", Json::Bool(true)),
+                ("id", Json::Int(id.0 as i64)),
+                ("scores", Json::Arr(score_rows)),
+            ]),
+            events,
+            shutdown: false,
+        }
+    }
+
+    fn verdict_event(&self, idx: usize) -> Json {
+        let name = self.registered.names.get(idx).cloned().unwrap_or_else(|| idx.to_string());
+        obj([
+            ("event", Json::from("verdict")),
+            ("audit", Json::Str(name)),
+            ("suspicious", Json::Bool(self.online.is_suspicious(idx))),
+            ("degree", Json::Float(self.online.degree(idx))),
+            (
+                "contributing",
+                Json::Arr(
+                    self.online.contributing(idx).iter().map(|q| Json::Int(q.0 as i64)).collect(),
+                ),
+            ),
+        ])
+    }
+
+    fn handle_register(&mut self, name: String, expr: &str, now: Option<Timestamp>) -> Outcome {
+        if self.registered.names.contains(&name) {
+            return self.reject(format!("audit {name:?} is already registered (unregister first)"));
+        }
+        let parsed = match audex_sql::parse_audit(expr) {
+            Ok(e) => e,
+            Err(e) => return self.reject(format!("audit expression does not parse: {e}")),
+        };
+        let now = now.unwrap_or_else(|| self.latest_instant());
+        let governor = Governor::arm(&self.config.limits);
+        let prepared = {
+            let engine = AuditEngine::with_options(
+                &self.db,
+                &self.log,
+                EngineOptions { strategy: self.config.strategy, ..Default::default() },
+            );
+            match engine.prepare_governed(&parsed, now, &governor) {
+                Ok(p) => p,
+                Err(e) if is_governor_trip(&e) => return self.backpressure(&e),
+                Err(e) => return self.reject(format!("audit does not prepare: {e}")),
+            }
+        };
+        let target_size = prepared.view.len();
+        let total = prepared.model.count(target_size);
+        self.online.push(prepared);
+        self.registered.names.push(name.clone());
+        Outcome::reply(obj([
+            ("ok", Json::Bool(true)),
+            ("name", Json::Str(name)),
+            ("target_size", Json::from(target_size)),
+            ("total_granules", u128_json(total)),
+            ("now", Json::Int(now.0)),
+        ]))
+    }
+
+    fn handle_unregister(&mut self, name: &str) -> Outcome {
+        match self.registered.names.iter().position(|n| n == name) {
+            Some(idx) => {
+                self.registered.names.remove(idx);
+                self.online.remove(idx);
+                Outcome::reply(obj([("ok", Json::Bool(true)), ("name", Json::from(name))]))
+            }
+            None => self.reject(format!("no registered audit named {name:?}")),
+        }
+    }
+
+    fn handle_audit(&mut self, name: &str) -> Outcome {
+        let Some(idx) = self.registered.names.iter().position(|n| n == name) else {
+            return self.reject(format!("no registered audit named {name:?}"));
+        };
+        let governor = Governor::arm(&self.config.limits);
+        let verdict = {
+            let prepared: &PreparedAudit = self.online.audit(idx);
+            let admitted: BTreeSet<QueryId> = self
+                .log
+                .snapshot()
+                .iter()
+                .filter(|e| prepared.filter.admits(e))
+                .map(|e| e.id)
+                .collect();
+            match self.index.evaluate_governed(prepared, &admitted, &governor) {
+                Ok(v) => v,
+                Err(e) if is_governor_trip(&e) => return self.backpressure(&e),
+                Err(e) => return self.reject(format!("audit failed: {e}")),
+            }
+        };
+        Outcome::reply(obj([
+            ("ok", Json::Bool(true)),
+            ("name", Json::from(name)),
+            ("suspicious", Json::Bool(verdict.suspicious)),
+            ("accessed_granules", u128_json(verdict.accessed_granules)),
+            ("total_granules", u128_json(verdict.total_granules)),
+            ("degree", Json::Float(verdict.degree)),
+            (
+                "contributing",
+                Json::Arr(verdict.contributing.iter().map(|q| Json::Int(q.0 as i64)).collect()),
+            ),
+            (
+                "witnesses",
+                Json::Arr(verdict.witnesses.iter().map(|q| Json::Int(q.0 as i64)).collect()),
+            ),
+            ("skipped", Json::Arr(verdict.skipped.iter().map(|q| Json::Int(q.0 as i64)).collect())),
+        ]))
+    }
+
+    fn stats_json(&self) -> Json {
+        let stats = self.db.snapshot_stats();
+        let total_reads = stats.hits + stats.misses;
+        let hit_rate = if total_reads == 0 { 0.0 } else { stats.hits as f64 / total_reads as f64 };
+        let c = &self.counters;
+        obj([
+            ("ok", Json::Bool(true)),
+            ("queries_ingested", Json::from(c.queries_ingested)),
+            ("queries_rejected", Json::from(c.queries_rejected)),
+            ("dml_statements", Json::from(c.dml_statements)),
+            ("governor_trips", Json::from(c.governor_trips)),
+            ("events_emitted", Json::from(c.events_emitted)),
+            ("log_len", Json::from(self.log.len())),
+            ("index_len", Json::from(self.index.len())),
+            ("index_skipped", Json::from(self.index.skipped_ids().len())),
+            ("registered_audits", Json::from(self.registered.names.len())),
+            ("backlog_ts", Json::Int(self.db.last_ts().0)),
+            ("snapshot_cache_hits", Json::from(stats.hits)),
+            ("snapshot_cache_misses", Json::from(stats.misses)),
+            ("snapshot_cache_hit_rate", Json::Float(hit_rate)),
+            ("snapshot_cache_entries", Json::from(self.db.snapshot_cache_len())),
+        ])
+    }
+}
+
+/// True for errors that mean "over capacity right now", not "invalid".
+fn is_governor_trip(e: &AuditError) -> bool {
+    matches!(
+        e,
+        AuditError::DeadlineExceeded { .. }
+            | AuditError::BudgetExhausted { .. }
+            | AuditError::Cancelled { .. }
+    )
+}
+
+fn u128_json(v: u128) -> Json {
+    match u64::try_from(v) {
+        Ok(small) => Json::from(small),
+        // Beyond 2^64 the count is astronomically large anyway; a string
+        // keeps the exact digits without pretending f64 precision.
+        Err(_) => Json::Str(v.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn core() -> ServiceCore {
+        let mut c = ServiceCore::new(Database::new(), ServiceConfig::default());
+        let r = c.handle(Request::Dml {
+            ts: Timestamp(100),
+            sql: "CREATE TABLE Patients (pid TEXT, zipcode TEXT, disease TEXT); \
+                  INSERT INTO Patients VALUES ('p1', '120016', 'cancer'), \
+                  ('p2', '145568', 'flu');"
+                .into(),
+        });
+        assert_eq!(r.response.get("ok"), Some(&Json::Bool(true)), "{}", r.response);
+        c
+    }
+
+    fn log_req(ts: i64, sql: &str) -> Request {
+        Request::Log {
+            ts: Timestamp(ts),
+            user: "u-1".into(),
+            role: "nurse".into(),
+            purpose: "treatment".into(),
+            sql: sql.into(),
+        }
+    }
+
+    #[test]
+    fn full_command_flow() {
+        let mut c = core();
+        let r = c.handle(Request::Register {
+            name: "cancer".into(),
+            expr: "DURING 1/1/1970 TO 1/1/2100 DATA-INTERVAL 1/1/1970 TO 1/1/2100 \
+                   AUDIT disease FROM Patients WHERE zipcode = '120016'"
+                .into(),
+            now: Some(Timestamp(5000)),
+        });
+        assert_eq!(r.response.get("ok"), Some(&Json::Bool(true)), "{}", r.response);
+        assert_eq!(r.response.get("target_size").and_then(Json::as_int), Some(1));
+
+        // An innocent query: ingested, indexed, no scores.
+        let r = c.handle(log_req(200, "SELECT pid FROM Patients WHERE zipcode = '145568'"));
+        assert_eq!(r.response.get("id").and_then(Json::as_int), Some(1));
+        assert_eq!(r.response.get("scores").and_then(Json::as_arr).map(<[Json]>::len), Some(0));
+        assert!(r.events.is_empty());
+
+        // The leak: scored against the standing audit, events emitted.
+        let r = c.handle(log_req(300, "SELECT disease FROM Patients WHERE zipcode = '120016'"));
+        assert_eq!(r.response.get("id").and_then(Json::as_int), Some(2));
+        assert_eq!(r.response.get("scores").and_then(Json::as_arr).map(<[Json]>::len), Some(1));
+        assert_eq!(r.events.len(), 2, "one score + one verdict event");
+        assert_eq!(r.events[1].get("suspicious"), Some(&Json::Bool(true)));
+
+        // Index-backed audit matches the streamed verdict.
+        let r = c.handle(Request::Audit { name: "cancer".into() });
+        assert_eq!(r.response.get("suspicious"), Some(&Json::Bool(true)), "{}", r.response);
+        assert_eq!(
+            r.response.get("contributing"),
+            Some(&Json::Arr(vec![Json::Int(2)])),
+            "{}",
+            r.response
+        );
+
+        // And it agrees byte-for-byte with a from-scratch batch engine run.
+        let engine = AuditEngine::new(&c.db, &c.log);
+        let expr = audex_sql::parse_audit(
+            "DURING 1/1/1970 TO 1/1/2100 DATA-INTERVAL 1/1/1970 TO 1/1/2100 \
+             AUDIT disease FROM Patients WHERE zipcode = '120016'",
+        )
+        .unwrap();
+        let report = engine.audit_at(&expr, Timestamp(5000)).unwrap();
+        assert!(report.verdict.suspicious);
+        assert_eq!(report.verdict.contributing, vec![QueryId(2)]);
+
+        let stats = c.handle(Request::Stats).response;
+        assert_eq!(stats.get("queries_ingested").and_then(Json::as_int), Some(2));
+        assert_eq!(stats.get("index_len").and_then(Json::as_int), Some(2));
+        assert_eq!(stats.get("registered_audits").and_then(Json::as_int), Some(1));
+
+        // Unregister, then the audit name is gone.
+        let r = c.handle(Request::Unregister { name: "cancer".into() });
+        assert_eq!(r.response.get("ok"), Some(&Json::Bool(true)));
+        let r = c.handle(Request::Audit { name: "cancer".into() });
+        assert_eq!(r.response.get("ok"), Some(&Json::Bool(false)));
+    }
+
+    #[test]
+    fn rejections_leave_no_trace() {
+        let mut c = core();
+        // Bad SQL.
+        let r = c.handle(log_req(200, "DELETE FROM Patients"));
+        assert_eq!(r.response.get("ok"), Some(&Json::Bool(false)));
+        // Out of order after a good entry.
+        c.handle(log_req(300, "SELECT pid FROM Patients"));
+        let r = c.handle(log_req(250, "SELECT pid FROM Patients"));
+        assert!(
+            r.response.get("error").and_then(Json::as_str).unwrap().contains("out-of-order"),
+            "{}",
+            r.response
+        );
+        let stats = c.handle(Request::Stats).response;
+        assert_eq!(stats.get("log_len").and_then(Json::as_int), Some(1));
+        assert_eq!(stats.get("index_len").and_then(Json::as_int), Some(1));
+        assert_eq!(stats.get("queries_rejected").and_then(Json::as_int), Some(2));
+    }
+
+    #[test]
+    fn governor_trip_is_backpressure_not_corruption() {
+        let mut c = core();
+        c.config.limits =
+            ResourceLimits { deadline: Some(Duration::ZERO), max_steps: None, granule_limit: None };
+        let r = c.handle(log_req(200, "SELECT pid FROM Patients"));
+        assert_eq!(r.response.get("busy"), Some(&Json::Bool(true)), "{}", r.response);
+        // Nothing was mutated: lift the limit and the same entry ingests.
+        c.config.limits = ResourceLimits::unlimited();
+        let r = c.handle(log_req(200, "SELECT pid FROM Patients"));
+        assert_eq!(r.response.get("ok"), Some(&Json::Bool(true)), "{}", r.response);
+        let stats = c.handle(Request::Stats).response;
+        assert_eq!(stats.get("governor_trips").and_then(Json::as_int), Some(1));
+        assert_eq!(stats.get("log_len").and_then(Json::as_int), Some(1));
+        assert_eq!(stats.get("index_len").and_then(Json::as_int), Some(1));
+    }
+
+    #[test]
+    fn preloaded_log_builds_the_index_incrementally() {
+        let db = {
+            let c = core();
+            c.db
+        };
+        let log = QueryLog::new();
+        log.record_text(
+            "SELECT disease FROM Patients",
+            Timestamp(200),
+            AccessContext::new("u", "r", "p"),
+        )
+        .unwrap();
+        log.record_text("SELECT x FROM ghost", Timestamp(300), AccessContext::new("u", "r", "p"))
+            .unwrap();
+        let mut c = ServiceCore::preloaded(db, log, ServiceConfig::default()).unwrap();
+        let stats = c.handle(Request::Stats).response;
+        assert_eq!(stats.get("index_len").and_then(Json::as_int), Some(1));
+        assert_eq!(stats.get("index_skipped").and_then(Json::as_int), Some(1));
+        assert_eq!(stats.get("log_len").and_then(Json::as_int), Some(2));
+    }
+
+    #[test]
+    fn duplicate_registration_is_refused() {
+        let mut c = core();
+        let reg = Request::Register {
+            name: "a".into(),
+            expr: "AUDIT disease FROM Patients".into(),
+            now: Some(Timestamp(5000)),
+        };
+        assert_eq!(c.handle(reg.clone()).response.get("ok"), Some(&Json::Bool(true)));
+        let r = c.handle(reg);
+        assert!(
+            r.response.get("error").and_then(Json::as_str).unwrap().contains("already"),
+            "{}",
+            r.response
+        );
+    }
+}

@@ -149,6 +149,13 @@ impl Database {
         self.snapshots.stats()
     }
 
+    /// Number of distinct reconstructed relations held by the snapshot
+    /// cache — the memory side of the [`SnapshotStats`] counters, surfaced
+    /// for long-running services.
+    pub fn snapshot_cache_len(&self) -> usize {
+        self.snapshots.len()
+    }
+
     /// Consults the armed plan (if any) about one scan of `table`.
     fn fault_on_scan(&self, table: &Ident) -> Result<(), StorageError> {
         match &self.faults {

@@ -36,7 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             engine.prepare(&expr, paper_now()).expect("audit prepares")
         })
         .collect();
-    let mut online = OnlineAuditor::new(&db, prepared);
+    let mut online = OnlineAuditor::new(prepared);
     println!("watching {} standing audit expressions\n", online.audit_count());
 
     // The incoming stream: a slow-burn reconstruction of audit 0 by one
@@ -60,7 +60,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             executed_at: t0.plus_seconds(60 * (i as i64 + 1)),
             context: AccessContext::new(*user, "analyst", "research"),
         });
-        let scores = online.observe(&q)?;
+        let scores = online.observe(&db, &q)?;
         println!("q{} by {user}: {sql}", i + 1);
         if scores.is_empty() {
             println!("   no audit contribution");

@@ -1,0 +1,66 @@
+//! The streaming audit service (`audexd`) driven in-process: the same
+//! state machine `audex serve` exposes over stdin/stdout or TCP, here fed
+//! raw protocol lines so the whole wire conversation is visible.
+//!
+//! The scenario is the paper's running example: Tables 1–3 arrive as
+//! timestamped DML, the Fig. 7 full-grammar expression stands guard, the
+//! §5 query log streams in one entry at a time (each scored on arrival and
+//! folded into the incremental touch index), and a final `audit` request is
+//! answered straight from the index — no log re-run.
+//!
+//! Run with: `cargo run --example streaming_audit`
+
+use audex::service::{parse_request, ServiceConfig, ServiceCore};
+use audex::workload::paper::{paper_epoch, paper_now, FIG7_FULL_GRAMMAR};
+use audex::Database;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut core = ServiceCore::new(Database::new(), ServiceConfig::default());
+    let mut send = |line: &str| {
+        println!("->  {line}");
+        let outcome = core.handle(parse_request(line).expect("request parses"));
+        println!("<-  {}", outcome.response);
+        for event in &outcome.events {
+            println!("<~  {event}");
+        }
+        println!();
+    };
+
+    // Tables 1–3 as DML against the versioned backlog (each statement
+    // advances the clock one second, like a session-script block).
+    let t_load = paper_epoch().0;
+    send(&format!(
+        r#"{{"cmd":"dml","ts":{t_load},"sql":"CREATE TABLE P-Personal (pid TEXT, name TEXT, age INT, sex TEXT, zipcode TEXT, address TEXT); CREATE TABLE P-Health (pid TEXT, ward TEXT, doc-name TEXT, disease TEXT, pres-drugs TEXT); INSERT INTO P-Personal VALUES ('p1','Jane',25,'F','177893','A1'), ('p2','Reku',35,'M','145568','A2'), ('p13','Robert',29,'M','188888','A3'), ('p28','Lucy',20,'F','145568','A4'); INSERT INTO P-Health VALUES ('p1','W11','Hassan','flu','drug2'), ('p2','W12','Nicholas','diabetic','drug1'), ('p13','W14','Ramesh','Malaria','drug3'), ('p28','W14','King U','diabetic','drug1');"}}"#
+    ));
+
+    // The Fig. 7 expression becomes a standing audit, pinned to the backlog
+    // as of registration (re-register to pick up later DML).
+    let now = paper_now().0;
+    send(&format!(
+        r#"{{"cmd":"register","name":"fig7","expr":"{}","now":{now}}}"#,
+        FIG7_FULL_GRAMMAR.replace('"', "\\\"")
+    ));
+
+    // The §5 query log, streamed. The doctor's W14 query trips Fig. 7 (a
+    // score event and an updated running verdict); the nurse is negated by
+    // user id and the clerk by purpose, so neither is even scored.
+    let t0 = paper_epoch().plus_seconds(3600).0;
+    for (dt, user, role, purpose, sql) in [
+        (0, "u-7", "doctor", "treatment",
+         "SELECT name, disease FROM P-Personal, P-Health WHERE P-Personal.pid = P-Health.pid AND ward = 'W14'"),
+        (600, "u-13", "nurse", "treatment",
+         "SELECT name, address FROM P-Personal WHERE zipcode = '145568'"),
+        (1800, "u-21", "clerk", "marketing",
+         "SELECT name FROM P-Personal WHERE age > 30"),
+    ] {
+        send(&format!(
+            r#"{{"cmd":"log","ts":{},"user":"{user}","role":"{role}","purpose":"{purpose}","sql":"{sql}"}}"#,
+            t0 + dt
+        ));
+    }
+
+    // The full audit answers from the incrementally maintained index.
+    send(r#"{"cmd":"audit","name":"fig7"}"#);
+    send(r#"{"cmd":"stats"}"#);
+    Ok(())
+}

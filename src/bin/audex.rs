@@ -2,15 +2,20 @@
 //!
 //! ```text
 //! audex audit --db db.sql --log log.txt --expr "AUDIT disease FROM Patients WHERE zipcode='120016'"
-//! audex audit --db db.sql --log log.txt --expr-file audit.txt --now 1/4/2008 --csv
+//! audex audit --db db.sql --log log.txt --expr-file audit.txt --now 1/4/2008 --csv --stats
+//! audex serve --stdio --db db.sql              # audexd over stdin/stdout
+//! audex serve --listen 127.0.0.1:7007          # audexd over TCP
+//! audex send --addr 127.0.0.1:7007 '{"cmd":"stats"}'
 //! audex paper        # regenerate the paper's granule sets
 //! audex demo         # synthetic hospital + planted snooping, end to end
 //! audex help
 //! ```
 //!
-//! File formats are documented in [`audex::session`].
+//! File formats are documented in [`audex::session`]; the `serve`/`send`
+//! wire protocol in [`audex::service::proto`].
 
-use audex::core::{AuditEngine, AuditMode, EngineOptions};
+use audex::core::{AuditEngine, AuditMode, EngineOptions, Governor};
+use audex::service::{ServiceConfig, ServiceCore};
 use audex::session::{load_database_script, load_log_script};
 use audex::Timestamp;
 use std::process::ExitCode;
@@ -19,6 +24,8 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("audit") => cmd_audit(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("send") => cmd_send(&args[1..]),
         Some("paper") => cmd_paper(),
         Some("demo") => cmd_demo(),
         Some("help") | Some("--help") | Some("-h") | None => {
@@ -43,8 +50,12 @@ audex — audit SQL query logs for privacy violations
 USAGE:
   audex audit --db <FILE> --log <FILE> (--expr <TEXT> | --expr-file <FILE>)
               [--now <TIMESTAMP>] [--csv] [--per-query] [--no-static-filter]
-              [--granules <LIMIT>] [--deadline-ms <MS>] [--max-steps <N>]
-              [--max-granules <N>] [--threads <N>]
+              [--granules <LIMIT>] [--stats] [--deadline-ms <MS>]
+              [--max-steps <N>] [--max-granules <N>] [--threads <N>]
+  audex serve (--stdio | --listen <ADDR>) [--db <FILE>] [--log <FILE>]
+              [--deadline-ms <MS>] [--max-steps <N>] [--max-granules <N>]
+              [--threads <N>]
+  audex send  --addr <ADDR> [REQUEST...]
   audex paper     regenerate the paper's worked artifacts (Figs. 4-6)
   audex demo      synthetic hospital with planted snooping, audited end to end
   audex help      this text
@@ -61,14 +72,28 @@ OPTIONS:
   --per-query    also evaluate each query in isolation (Definition 3)
   --no-static-filter   skip the static candidate analysis
   --granules N   also print the granule set G when it has at most N granules
+  --stats        after the audit, print resource-governor progress (work
+                 steps) and the snapshot-cache hit statistics
   --threads N    worker threads for the evaluation phases (default: available
                  cores; 1 = sequential). Reports are identical at any setting.
 
-RESOURCE LIMITS (the audit stops with a structured error instead of hanging):
+RESOURCE LIMITS (the audit stops with a structured error instead of hanging;
+for `serve`, the same limits act per request as admission control):
   --deadline-ms MS   wall-clock budget for the whole audit
   --max-steps N      cap on governed work steps (versions scanned, rows
                      folded, queries and facts evaluated)
   --max-granules N   refuse audits whose granule set exceeds N granules
+
+SERVE / SEND (audexd, the streaming audit service):
+  audex serve speaks a line-delimited JSON protocol: one request object per
+  line, one response line back, plus event lines after `subscribe`. Commands:
+  dml, log, register, unregister, audit, subscribe, stats, shutdown — see
+  the audex::service::proto module docs for the wire format. `--db`/`--log`
+  preload a session-script database and query log (the log is folded into
+  the incremental touch index exactly as if streamed). `audex send` posts
+  request lines (arguments, or stdin when none) to a serving address and
+  prints the responses; with a `subscribe` request it follows the event
+  stream until the connection closes.
 ";
 
 fn take_value(args: &[String], i: &mut usize, flag: &str) -> Result<String, String> {
@@ -85,6 +110,7 @@ fn cmd_audit(args: &[String]) -> Result<(), String> {
     let mut per_query = false;
     let mut static_filter = true;
     let mut granules: Option<u64> = None;
+    let mut stats = false;
     let mut limits = audex::core::ResourceLimits::unlimited();
     let mut threads: Option<usize> = None;
 
@@ -109,6 +135,7 @@ fn cmd_audit(args: &[String]) -> Result<(), String> {
             "--csv" => csv = true,
             "--per-query" => per_query = true,
             "--no-static-filter" => static_filter = false,
+            "--stats" => stats = true,
             "--granules" => {
                 let text = take_value(args, &mut i, "--granules")?;
                 granules =
@@ -167,8 +194,11 @@ fn cmd_audit(args: &[String]) -> Result<(), String> {
             ..Default::default()
         },
     );
-    let prepared = engine.prepare(&expr, now).map_err(|e| e.to_string())?;
-    let report = engine.run(&prepared).map_err(|e| e.to_string())?;
+    // Arm the governor here (rather than letting the engine arm its own per
+    // call) so --stats can report how much governed work the run consumed.
+    let governor = Governor::arm(&limits);
+    let prepared = engine.prepare_governed(&expr, now, &governor).map_err(|e| e.to_string())?;
+    let report = engine.run_governed(&prepared, &governor).map_err(|e| e.to_string())?;
 
     if csv {
         print!("{}", report.render_csv(&log));
@@ -179,6 +209,163 @@ fn cmd_audit(args: &[String]) -> Result<(), String> {
                 Ok(g) => println!("granule set G = {g}"),
                 Err(e) => println!("granule set not printed: {e}"),
             }
+        }
+    }
+    if stats {
+        let snap = db.snapshot_stats();
+        let reads = snap.hits + snap.misses;
+        let rate = if reads == 0 { 0.0 } else { 100.0 * snap.hits as f64 / reads as f64 };
+        println!("governor: {} work steps", governor.steps());
+        match limits.max_steps {
+            Some(cap) => println!(
+                "governor: step budget {cap} ({} unused)",
+                cap.saturating_sub(governor.steps())
+            ),
+            None => println!("governor: no step budget configured"),
+        }
+        println!(
+            "snapshot cache: {} hits, {} misses ({rate:.1}% hit rate), {} snapshots retained",
+            snap.hits,
+            snap.misses,
+            db.snapshot_cache_len()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let mut stdio = false;
+    let mut listen: Option<String> = None;
+    let mut db_path: Option<String> = None;
+    let mut log_path: Option<String> = None;
+    let mut limits = audex::core::ResourceLimits::unlimited();
+    let mut threads: Option<usize> = None;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--stdio" => stdio = true,
+            "--listen" => listen = Some(take_value(args, &mut i, "--listen")?),
+            "--db" => db_path = Some(take_value(args, &mut i, "--db")?),
+            "--log" => log_path = Some(take_value(args, &mut i, "--log")?),
+            "--deadline-ms" => {
+                let text = take_value(args, &mut i, "--deadline-ms")?;
+                let ms: u64 =
+                    text.parse().map_err(|_| format!("invalid --deadline-ms value {text:?}"))?;
+                limits.deadline = Some(std::time::Duration::from_millis(ms));
+            }
+            "--max-steps" => {
+                let text = take_value(args, &mut i, "--max-steps")?;
+                limits.max_steps =
+                    Some(text.parse().map_err(|_| format!("invalid --max-steps value {text:?}"))?);
+            }
+            "--max-granules" => {
+                let text = take_value(args, &mut i, "--max-granules")?;
+                limits.granule_limit = Some(
+                    text.parse().map_err(|_| format!("invalid --max-granules value {text:?}"))?,
+                );
+            }
+            "--threads" => {
+                let text = take_value(args, &mut i, "--threads")?;
+                let n: usize =
+                    text.parse().map_err(|_| format!("invalid --threads value {text:?}"))?;
+                if n == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
+                threads = Some(n);
+            }
+            other => return Err(format!("unknown option {other:?}")),
+        }
+        i += 1;
+    }
+    if stdio && listen.is_some() {
+        return Err("--stdio and --listen are mutually exclusive".into());
+    }
+
+    let db = match db_path {
+        Some(path) => {
+            let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+            load_database_script(&text).map_err(|e| format!("{path}: {e}"))?
+        }
+        None => audex::Database::new(),
+    };
+    let config = ServiceConfig {
+        limits,
+        parallelism: threads.unwrap_or_else(audex::core::default_parallelism),
+        ..Default::default()
+    };
+    let core = match log_path {
+        Some(path) => {
+            let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+            let log = load_log_script(&text).map_err(|e| format!("{path}: {e}"))?;
+            ServiceCore::preloaded(db, log, config)
+                .map_err(|e| format!("preloading the index from {path}: {e}"))?
+        }
+        None => ServiceCore::new(db, config),
+    };
+
+    match listen {
+        None => audex::service::serve_stdio(core).map_err(|e| e.to_string()),
+        Some(addr) => {
+            let server = audex::service::Server::bind(core, &addr)
+                .map_err(|e| format!("cannot listen on {addr}: {e}"))?;
+            // Stderr, so scripts scraping protocol output are not confused.
+            eprintln!("audexd listening on {}", server.local_addr().map_err(|e| e.to_string())?);
+            server.run().map_err(|e| e.to_string())
+        }
+    }
+}
+
+fn cmd_send(args: &[String]) -> Result<(), String> {
+    use std::io::{BufRead, BufReader, Read, Write};
+
+    let mut addr: Option<String> = None;
+    let mut requests: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => addr = Some(take_value(args, &mut i, "--addr")?),
+            other if other.starts_with("--") => return Err(format!("unknown option {other:?}")),
+            req => requests.push(req.to_string()),
+        }
+        i += 1;
+    }
+    let addr = addr.ok_or("--addr is required")?;
+    if requests.is_empty() {
+        let mut text = String::new();
+        std::io::stdin()
+            .read_to_string(&mut text)
+            .map_err(|e| format!("reading requests from stdin: {e}"))?;
+        requests.extend(text.lines().filter(|l| !l.trim().is_empty()).map(String::from));
+    }
+
+    let stream = std::net::TcpStream::connect(&addr)
+        .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+    let mut reader = BufReader::new(stream);
+    let mut follow = false;
+    for req in &requests {
+        // Known-bad requests still go to the server (it answers with a
+        // structured error); parsing here only detects `subscribe`.
+        follow |=
+            matches!(audex::service::parse_request(req), Ok(audex::service::Request::Subscribe));
+        writeln!(writer, "{req}").map_err(|e| format!("sending to {addr}: {e}"))?;
+        writer.flush().map_err(|e| e.to_string())?;
+        let mut line = String::new();
+        if reader.read_line(&mut line).map_err(|e| e.to_string())? == 0 {
+            return Err(format!("{addr} closed the connection early"));
+        }
+        print!("{line}");
+    }
+    // After `subscribe`, keep printing event lines until the server goes
+    // away (shutdown or ^C on our side).
+    if follow {
+        loop {
+            let mut line = String::new();
+            if reader.read_line(&mut line).map_err(|e| e.to_string())? == 0 {
+                break;
+            }
+            print!("{line}");
         }
     }
     Ok(())

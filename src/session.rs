@@ -77,6 +77,30 @@ impl From<StorageError> for SessionError {
     }
 }
 
+/// Splits a session file into lines, tolerating the endings real editors
+/// produce: `\n`, `\r\n`, *and* lone `\r` (classic-Mac or mixed files —
+/// `str::lines` leaves those whole, so an `@` header would swallow the
+/// statement after it and fail with a confusing "invalid timestamp"). A
+/// UTF-8 BOM on the first line is stripped for the same reason: it is
+/// invisible in an editor but makes the header line not start with `@`.
+fn script_lines(text: &str) -> impl Iterator<Item = &str> {
+    let mut rest = text.strip_prefix('\u{feff}').unwrap_or(text);
+    std::iter::from_fn(move || {
+        if rest.is_empty() {
+            return None;
+        }
+        match rest.find(['\n', '\r']) {
+            None => Some(std::mem::take(&mut rest)),
+            Some(i) => {
+                let line = &rest[..i];
+                let sep = if rest[i..].starts_with("\r\n") { 2 } else { 1 };
+                rest = &rest[i + sep..];
+                Some(line)
+            }
+        }
+    })
+}
+
 fn parse_ts(text: &str, line: usize) -> Result<Timestamp, SessionError> {
     let trimmed = text.trim().trim_matches('\'');
     Timestamp::parse(trimmed)
@@ -117,7 +141,7 @@ pub fn load_database_script(text: &str) -> Result<Database, SessionError> {
     // (the default epoch is only a fallback and may be overridden downward).
     let mut last_header: Option<Timestamp> = None;
 
-    for (i, raw) in text.lines().enumerate() {
+    for (i, raw) in script_lines(text).enumerate() {
         let line = i + 1;
         let trimmed = raw.trim();
         if pending.trim().is_empty() && (trimmed.is_empty() || trimmed.starts_with("--")) {
@@ -217,7 +241,7 @@ pub fn load_log_script(text: &str) -> Result<QueryLog, SessionError> {
         }
     };
 
-    for (i, raw) in text.lines().enumerate() {
+    for (i, raw) in script_lines(text).enumerate() {
         let line = i + 1;
         let trimmed = raw.trim();
         if pending.trim().is_empty() && (trimmed.is_empty() || trimmed.starts_with("--")) {
@@ -425,6 +449,39 @@ SELECT pid FROM Patients
         let r = engine.audit_at(&expr, Timestamp::from_ymd(2008, 2, 1).unwrap()).unwrap();
         assert!(r.verdict.suspicious);
         assert_eq!(r.verdict.contributing, vec![audex_log::QueryId(1)]);
+    }
+
+    #[test]
+    fn editor_line_endings_are_tolerated() {
+        // CRLF endings plus trailing whitespace on `@` header lines, as a
+        // Windows editor would save them.
+        let db_src =
+            "-- c\r\n@1/1/2008 \t\r\nCREATE TABLE t (a INT);\r\nINSERT INTO t VALUES (1);\r\n";
+        let db = load_database_script(db_src).unwrap();
+        assert_eq!(db.table(&Ident::new("t")).unwrap().len(), 1);
+
+        // Lone-\r endings (classic Mac / mixed files).
+        let db =
+            load_database_script("@1/1/2008\rCREATE TABLE t (a INT);\rINSERT INTO t VALUES (2);")
+                .unwrap();
+        assert_eq!(db.table(&Ident::new("t")).unwrap().len(), 1);
+
+        // A UTF-8 BOM before the first header.
+        let db = load_database_script("\u{feff}@1/1/2008\nCREATE TABLE t (a INT);").unwrap();
+        assert_eq!(db.table_names().len(), 1);
+
+        // The log loader gets the same treatment, annotations intact.
+        let log_src =
+            "@1/1/2008:09-30-00 user=u-4 role=nurse purpose=treatment \t\r\nSELECT zipcode FROM t;\r\n";
+        let log = load_log_script(log_src).unwrap();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.get(audex_log::QueryId(1)).unwrap().context.role, Ident::new("nurse"));
+        let log = load_log_script("@1/1/2008 user=u role=r purpose=p\rSELECT a FROM t\r").unwrap();
+        assert_eq!(log.len(), 1);
+
+        // Line numbers in errors still count every physical line.
+        let err = load_database_script("-- c\r\n@nope\r\n").unwrap_err();
+        assert!(matches!(err, SessionError::Header { line: 2, .. }), "{err}");
     }
 
     #[test]

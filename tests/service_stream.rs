@@ -1,0 +1,253 @@
+//! End-to-end test of `audex serve --stdio`: a child process is driven over
+//! the wire protocol with the paper's running example — Tables 1–3 loaded
+//! as `dml`, the Figure 4–6 expressions registered (their granule totals
+//! must match the sets `tests/paper_artifacts.rs` reproduces), the Fig. 7
+//! full-grammar expression standing while the paper's query log streams in,
+//! and the final `audit` answered from the incrementally built index.
+
+use audex::service::Json;
+use audex::workload::paper::{paper_epoch, paper_now, FIG7_FULL_GRAMMAR};
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Command, Stdio};
+
+/// Sends every request line to a fresh `audex serve --stdio` child and
+/// returns (responses-in-request-order, events-in-emission-order).
+fn drive(requests: &[String]) -> (Vec<Json>, Vec<Json>) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_audex"))
+        .args(["serve", "--stdio"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn audex serve --stdio");
+    {
+        let mut stdin = child.stdin.take().expect("child stdin");
+        for req in requests {
+            writeln!(stdin, "{req}").expect("write request");
+        }
+        // Dropping stdin closes the pipe: the server drains and exits.
+    }
+    let stdout = child.stdout.take().expect("child stdout");
+    let mut responses = Vec::new();
+    let mut events = Vec::new();
+    for line in BufReader::new(stdout).lines() {
+        let line = line.expect("read response line");
+        let v = Json::parse(&line).unwrap_or_else(|e| panic!("bad JSON {line:?}: {e}"));
+        if v.get("event").is_some() {
+            events.push(v);
+        } else {
+            responses.push(v);
+        }
+    }
+    let status = child.wait().expect("child exits");
+    assert!(status.success(), "serve exited with {status}");
+    assert_eq!(responses.len(), requests.len(), "one response line per request");
+    (responses, events)
+}
+
+fn json_escape(text: &str) -> String {
+    text.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn register(name: &str, expr: &str, now: i64) -> String {
+    format!(r#"{{"cmd":"register","name":"{name}","expr":"{}","now":{now}}}"#, json_escape(expr))
+}
+
+fn log_entry(ts: i64, user: &str, role: &str, purpose: &str, sql: &str) -> String {
+    format!(
+        r#"{{"cmd":"log","ts":{ts},"user":"{user}","role":"{role}","purpose":"{purpose}","sql":"{}"}}"#,
+        json_escape(sql)
+    )
+}
+
+/// The paper's Tables 1–3 as a DML script (plain INSERTs: the service
+/// assigns its own tids, so assertions below are on granule *counts*, which
+/// the tid relabeling cannot change).
+const PAPER_TABLES_DML: &str = "\
+    CREATE TABLE P-Personal (pid TEXT, name TEXT, age INT, sex TEXT, zipcode TEXT, address TEXT); \
+    CREATE TABLE P-Health (pid TEXT, ward TEXT, doc-name TEXT, disease TEXT, pres-drugs TEXT); \
+    CREATE TABLE P-Employ (pid TEXT, employer TEXT, salary INT); \
+    INSERT INTO P-Personal VALUES \
+      ('p1', 'Jane', 25, 'F', '177893', 'A1'), \
+      ('p2', 'Reku', 35, 'M', '145568', 'A2'), \
+      ('p13', 'Robert', 29, 'M', '188888', 'A3'), \
+      ('p28', 'Lucy', 20, 'F', '145568', 'A4'); \
+    INSERT INTO P-Health VALUES \
+      ('p1', 'W11', 'Hassan', 'flu', 'drug2'), \
+      ('p2', 'W12', 'Nicholas', 'diabetic', 'drug1'), \
+      ('p13', 'W14', 'Ramesh', 'Malaria', 'drug3'), \
+      ('p28', 'W14', 'King U', 'diabetic', 'drug1'); \
+    INSERT INTO P-Employ VALUES \
+      ('p1', 'E1', 12000), \
+      ('p2', 'E2', 20000), \
+      ('p13', 'E3', 9000), \
+      ('p28', 'E4', 19000);";
+
+/// Figures 4–6 carry no DATA-INTERVAL; pin it to the loaded dataset the
+/// same way `tests/paper_artifacts.rs` does (the grammar accepts limiting
+/// clauses in any order, so a prefix works for all three).
+fn pinned(fig: &str) -> String {
+    format!("DATA-INTERVAL 1/1/2008 TO 7/4/2008 {fig}")
+}
+
+#[test]
+fn paper_workload_over_the_wire() {
+    let now = paper_now().0;
+    let t0 = paper_epoch().plus_seconds(3600).0;
+
+    // The three figure expressions, reassembled over the service's own
+    // backlog (plain INSERT tids differ from the paper's, so WHERE clauses
+    // and granule counts — not granule renderings — are the invariant).
+    let fig4 = pinned(
+        "INDISPENSABLE true AUDIT [*] FROM P-Personal, P-Health, P-Employ \
+         WHERE P-Personal.pid=P-Health.pid and P-Health.pid=P-Employ.pid and \
+         P-Personal.zipcode='145568' and P-Employ.salary > 10000 and \
+         P-Health.disease='diabetic' and P-Personal.name='Reku'",
+    );
+    let fig5 = pinned(
+        "INDISPENSABLE true \
+         AUDIT [name, disease, address, P-Personal.pid, P-Health.pid, P-Employ.pid, zipcode, salary] \
+         FROM P-Personal, P-Health, P-Employ \
+         WHERE P-Personal.pid=P-Health.pid and P-Health.pid=P-Employ.pid and \
+         P-Personal.zipcode='145568' and P-Employ.salary > 10000 and \
+         P-Health.disease='diabetic'",
+    );
+    let fig6 = pinned(
+        "INDISPENSABLE true AUDIT (name, disease, address) FROM P-Personal, P-Health, P-Employ \
+         WHERE P-Personal.pid=P-Health.pid and P-Health.pid=P-Employ.pid and \
+         P-Personal.zipcode='145568' and P-Employ.salary > 10000 and \
+         P-Health.disease='diabetic'",
+    );
+
+    let requests = vec![
+        format!(r#"{{"cmd":"dml","ts":"1/1/2008","sql":"{}"}}"#, json_escape(PAPER_TABLES_DML)),
+        r#"{"cmd":"subscribe"}"#.to_string(),
+        register("fig4", &fig4, now),
+        register("fig5", &fig5, now),
+        register("fig6", &fig6, now),
+        register("fig7", FIG7_FULL_GRAMMAR, now),
+        // The paper's query log (workload::paper::paper_query_log), streamed.
+        log_entry(
+            t0,
+            "u-7",
+            "doctor",
+            "treatment",
+            "SELECT name, disease FROM P-Personal, P-Health \
+             WHERE P-Personal.pid = P-Health.pid AND ward = 'W14'",
+        ),
+        log_entry(
+            t0 + 600,
+            "u-13",
+            "nurse",
+            "treatment",
+            "SELECT name, address FROM P-Personal WHERE zipcode = '145568'",
+        ),
+        log_entry(
+            t0 + 1200,
+            "u-13",
+            "nurse",
+            "treatment",
+            "SELECT disease FROM P-Health WHERE pid = 'p2'",
+        ),
+        log_entry(
+            t0 + 1800,
+            "u-21",
+            "clerk",
+            "marketing",
+            "SELECT name FROM P-Personal WHERE age > 30",
+        ),
+        r#"{"cmd":"audit","name":"fig7"}"#.to_string(),
+        r#"{"cmd":"stats"}"#.to_string(),
+        r#"{"cmd":"shutdown"}"#.to_string(),
+    ];
+    let (responses, events) = drive(&requests);
+    for (req, resp) in requests.iter().zip(&responses) {
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "request {req} failed: {resp}");
+    }
+
+    // The DML applied every statement of Tables 1–3.
+    assert_eq!(responses[0].get("applied").and_then(Json::as_int), Some(6));
+
+    // Granule totals match the sets paper_artifacts.rs reproduces:
+    // Fig. 4 = the paper's 13 cells + the implied (t12,35); Fig. 5 = 8
+    // schemes × 2 facts; Fig. 6 = 1 scheme × 2 facts.
+    for (idx, name, total) in [(2, "fig4", 14), (3, "fig5", 16), (4, "fig6", 2)] {
+        let r = &responses[idx];
+        assert_eq!(r.get("name").and_then(Json::as_str), Some(name));
+        assert_eq!(r.get("total_granules").and_then(Json::as_int), Some(total), "{name}: {r}");
+    }
+
+    // Streamed ingestion: only the doctor's query passes Fig. 7's limiting
+    // parameters (u-13 is user-negated, the clerk's purpose is negated), so
+    // exactly one log request carries scores.
+    let scored: Vec<usize> = responses[6..10]
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.get("scores").and_then(Json::as_arr).is_some_and(|s| !s.is_empty()))
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(scored, vec![0], "only the doctor's query is scored");
+
+    // The subscription saw that ingestion as one score + one verdict event,
+    // and the verdict already names the contributing query.
+    assert_eq!(events.len(), 2, "events: {events:?}");
+    assert_eq!(events[0].get("event").and_then(Json::as_str), Some("score"));
+    assert_eq!(events[0].get("audit").and_then(Json::as_str), Some("fig7"));
+    assert_eq!(events[0].get("query").and_then(Json::as_int), Some(1));
+    assert_eq!(events[1].get("event").and_then(Json::as_str), Some("verdict"));
+    assert_eq!(events[1].get("suspicious"), Some(&Json::Bool(true)));
+    assert_eq!(events[1].get("contributing"), Some(&Json::Arr(vec![Json::Int(1)])));
+
+    // The index-backed audit reproduces paper_artifacts.rs's Fig. 7 verdict:
+    // suspicious, 2 accessed granules, q1 the only contributing query.
+    let verdict = &responses[10];
+    assert_eq!(verdict.get("suspicious"), Some(&Json::Bool(true)), "{verdict}");
+    assert_eq!(verdict.get("accessed_granules").and_then(Json::as_int), Some(2), "{verdict}");
+    assert_eq!(verdict.get("contributing"), Some(&Json::Arr(vec![Json::Int(1)])), "{verdict}");
+
+    // Counters reflect the whole session: 4 ingested and indexed, 4 standing
+    // audits, a backlog advanced by the DML.
+    let stats = &responses[11];
+    assert_eq!(stats.get("queries_ingested").and_then(Json::as_int), Some(4), "{stats}");
+    assert_eq!(stats.get("index_len").and_then(Json::as_int), Some(4), "{stats}");
+    assert_eq!(stats.get("index_skipped").and_then(Json::as_int), Some(0), "{stats}");
+    assert_eq!(stats.get("registered_audits").and_then(Json::as_int), Some(4), "{stats}");
+    assert_eq!(stats.get("dml_statements").and_then(Json::as_int), Some(6), "{stats}");
+}
+
+#[test]
+fn rejections_and_backpressure_over_the_wire() {
+    let requests = vec![
+        r#"{"cmd":"dml","ts":100,"sql":"CREATE TABLE T (a INT); INSERT INTO T VALUES (1);"}"#
+            .to_string(),
+        // Malformed JSON: a protocol error, not a crash.
+        r#"{"cmd":"log","#.to_string(),
+        // Valid JSON, bad SQL.
+        log_entry(200, "u", "r", "p", "SELECT nope FROM missing_table"),
+        log_entry(300, "u", "r", "p", "SELECT a FROM T"),
+        // Out of order after the entry above.
+        log_entry(250, "u", "r", "p", "SELECT a FROM T"),
+        r#"{"cmd":"stats"}"#.to_string(),
+    ];
+    let (responses, _) = drive(&requests);
+    assert_eq!(responses[0].get("ok"), Some(&Json::Bool(true)));
+    assert_eq!(responses[1].get("ok"), Some(&Json::Bool(false)));
+    // A query over an unknown table parses, so it is logged; the index
+    // records it as skipped below instead of inventing a footprint.
+    assert_eq!(responses[2].get("ok"), Some(&Json::Bool(true)), "{}", responses[2]);
+    assert_eq!(responses[3].get("ok"), Some(&Json::Bool(true)));
+    assert!(
+        responses[4]
+            .get("error")
+            .and_then(Json::as_str)
+            .is_some_and(|e| e.contains("out-of-order")),
+        "{}",
+        responses[4]
+    );
+    let stats = &responses[5];
+    assert_eq!(stats.get("log_len").and_then(Json::as_int), Some(2), "{stats}");
+    // The query over the missing table parses (it is SQL) but has no
+    // footprint: the index records it as skipped rather than guessing.
+    assert_eq!(stats.get("index_len").and_then(Json::as_int), Some(1), "{stats}");
+    assert_eq!(stats.get("index_skipped").and_then(Json::as_int), Some(1), "{stats}");
+}

@@ -56,6 +56,9 @@ pub enum AuditError {
     Storage(audex_storage::StorageError),
     /// An error bubbled up from SQL parsing.
     Parse(audex_sql::ParseError),
+    /// An internal invariant was violated (e.g. restoring checkpointed
+    /// state that does not fit the structure it is restored onto).
+    Internal(String),
 }
 
 impl fmt::Display for AuditError {
@@ -91,6 +94,7 @@ impl fmt::Display for AuditError {
             }
             AuditError::Storage(e) => write!(f, "storage: {e}"),
             AuditError::Parse(e) => write!(f, "parse: {e}"),
+            AuditError::Internal(msg) => write!(f, "internal: {msg}"),
         }
     }
 }

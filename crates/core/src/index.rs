@@ -31,18 +31,24 @@ use crate::suspicion::BatchVerdict;
 use audex_log::{LoggedQuery, QueryId};
 
 /// Per-query execution footprint.
-struct QueryFootprint {
-    id: QueryId,
+///
+/// Public (with public fields) so a durability layer can checkpoint the
+/// index and restore it without re-executing queries — footprint execution
+/// is the dominant cost of both index builds and recovery.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryFootprint {
+    /// The indexed query.
+    pub id: QueryId,
     /// Base tables in the query's `FROM`.
-    bases: BTreeSet<Ident>,
+    pub bases: BTreeSet<Ident>,
     /// Accessed columns (`C_Q`), in base identity.
-    covered: BTreeSet<BaseColumn>,
+    pub covered: BTreeSet<BaseColumn>,
     /// Satisfying combinations: per combination, tids grouped by base table.
-    combos: Vec<BTreeMap<Ident, BTreeSet<Tid>>>,
+    pub combos: Vec<BTreeMap<Ident, BTreeSet<Tid>>>,
     /// Result rows as (base column → value) maps per output row, for
     /// value-mode (INDISPENSABLE false) audits. Only plain-column
     /// projections are recorded.
-    value_rows: Vec<Vec<(BaseColumn, audex_storage::Value)>>,
+    pub value_rows: Vec<Vec<(BaseColumn, audex_storage::Value)>>,
 }
 
 /// An index of every logged query's data footprint.
@@ -149,6 +155,22 @@ impl TouchIndex {
     /// streaming counterpart of the batch build's skip list).
     pub fn skipped_ids(&self) -> &[QueryId] {
         &self.skipped
+    }
+
+    /// The stored footprints, in log order.
+    pub fn footprints(&self) -> &[QueryFootprint] {
+        &self.footprints
+    }
+
+    /// Clones the index's entire contents for checkpointing.
+    pub fn export(&self) -> (Vec<QueryFootprint>, Vec<QueryId>) {
+        (self.footprints.clone(), self.skipped.clone())
+    }
+
+    /// Reassembles an index from checkpointed parts — the inverse of
+    /// [`TouchIndex::export`], skipping all query execution.
+    pub fn from_parts(footprints: Vec<QueryFootprint>, skipped: Vec<QueryId>) -> TouchIndex {
+        TouchIndex { footprints, skipped }
     }
 
     fn footprint(db: &Database, q: &LoggedQuery, strategy: JoinStrategy) -> Option<QueryFootprint> {

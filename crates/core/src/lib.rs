@@ -64,6 +64,7 @@ pub mod suspicion;
 pub mod target;
 
 pub use attrspec::{normalize_with, NormalizedSpec, ResolvedColumn, Scheme};
+pub use candidate::BaseColumn;
 pub use candidate::CandidateChecker;
 pub use catalog::{base_name, AuditScope};
 pub use compliance::{assess, suggest_limits, AccessClass, Assessment};
@@ -71,9 +72,9 @@ pub use engine::{AuditEngine, AuditMode, AuditReport, EngineOptions, PreparedAud
 pub use error::AuditError;
 pub use governor::{AuditPhase, Governor, ResourceLimits};
 pub use granule::{binomial, Granule, GranuleModel};
-pub use index::TouchIndex;
+pub use index::{QueryFootprint, TouchIndex};
 pub use parallel::{default_parallelism, par_map};
-pub use rank::{OnlineAuditor, QueryScore};
+pub use rank::{AuditBatchState, OnlineAuditor, QueryScore};
 pub use static_batch::{static_semantic_bound, static_weak_syntactic, StaticVerdict};
 pub use suspicion::{BatchEvaluator, BatchVerdict, QueryContribution};
 pub use target::{compute_target_view, TargetView, UFact};

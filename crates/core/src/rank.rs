@@ -33,11 +33,20 @@ pub struct QueryScore {
 }
 
 /// Running batch state for one audit.
-struct AuditState {
-    touched: BTreeSet<usize>,
-    covered: BTreeSet<BaseColumn>,
-    exposure: BTreeMap<usize, BTreeSet<ResolvedColumn>>,
-    contributing: Vec<QueryId>,
+///
+/// Public (with public fields) so a durability layer can checkpoint the
+/// auditor's accumulated state and restore it without re-observing every
+/// logged query.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AuditBatchState {
+    /// Fact indices of `U` touched so far (indispensable mode).
+    pub touched: BTreeSet<usize>,
+    /// Accessed columns seen so far, in base identity.
+    pub covered: BTreeSet<BaseColumn>,
+    /// Per-fact exposed audit columns (value mode).
+    pub exposure: BTreeMap<usize, BTreeSet<ResolvedColumn>>,
+    /// Ids that contributed, in arrival order.
+    pub contributing: Vec<QueryId>,
 }
 
 /// Scores queries online against a set of prepared audits.
@@ -49,7 +58,7 @@ struct AuditState {
 /// [`OnlineAuditor::push`] again to pick up later data.
 pub struct OnlineAuditor {
     audits: Vec<PreparedAudit>,
-    states: Vec<AuditState>,
+    states: Vec<AuditBatchState>,
     strategy: JoinStrategy,
 }
 
@@ -67,13 +76,33 @@ impl OnlineAuditor {
     /// Adds a prepared audit with fresh batch state; returns its index.
     pub fn push(&mut self, audit: PreparedAudit) -> usize {
         self.audits.push(audit);
-        self.states.push(AuditState {
-            touched: BTreeSet::new(),
-            covered: BTreeSet::new(),
-            exposure: BTreeMap::new(),
-            contributing: Vec::new(),
-        });
+        self.states.push(AuditBatchState::default());
         self.audits.len() - 1
+    }
+
+    /// A clone of audit `i`'s accumulated batch state, for checkpointing.
+    pub fn export_state(&self, i: usize) -> AuditBatchState {
+        self.states[i].clone()
+    }
+
+    /// Clones of all batch states, in audit order.
+    pub fn export_states(&self) -> Vec<AuditBatchState> {
+        self.states.clone()
+    }
+
+    /// Replaces every audit's batch state with checkpointed ones — the
+    /// inverse of [`OnlineAuditor::export_states`]. Fails (leaving the
+    /// auditor untouched) when the count does not match the audits held.
+    pub fn restore_states(&mut self, states: Vec<AuditBatchState>) -> Result<(), AuditError> {
+        if states.len() != self.audits.len() {
+            return Err(AuditError::Internal(format!(
+                "cannot restore {} batch states onto {} audits",
+                states.len(),
+                self.audits.len()
+            )));
+        }
+        self.states = states;
+        Ok(())
     }
 
     /// Removes audit `i` and its state; later indices shift down by one.

@@ -1,0 +1,645 @@
+//! Hand-rolled binary codec: little-endian framing plus encoders/decoders
+//! for the domain types that appear in WAL records and checkpoints.
+//!
+//! No serde, no external crates — the workspace is std-only by policy. The
+//! encoding is deliberately boring: fixed-width little-endian integers,
+//! length-prefixed strings, one tag byte per enum. Every decoder validates
+//! length before reading and returns a structured error instead of
+//! panicking, because the input is whatever survived a crash.
+
+use audex_core::attrspec::ResolvedColumn;
+use audex_core::{AuditBatchState, BaseColumn, QueryFootprint};
+use audex_log::QueryId;
+use audex_sql::ast::TypeName;
+use audex_sql::{Ident, Timestamp};
+use audex_storage::{ChangeOp, ChangeRecord, Schema, Tid, Value};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the checksum
+/// guarding every WAL frame and checkpoint body.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    // Table built on first use; 1 KiB, computed once.
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, e) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *e = c;
+        }
+        t
+    });
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+/// Decoding failure: what was expected, at which byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    /// What the decoder was reading.
+    pub expected: &'static str,
+    /// Byte offset into the buffer.
+    pub offset: usize,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "expected {} at byte {}", self.expected, self.offset)
+    }
+}
+
+/// Append-only encoder over a byte vector.
+#[derive(Debug, Default)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    /// An empty encoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian u32.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian u64.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian i64.
+    pub fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an f64 as its IEEE-754 bit pattern (exact round-trip,
+    /// including NaN payloads and signed zero).
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Appends a bool as one byte.
+    pub fn bool(&mut self, v: bool) {
+        self.u8(v as u8);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+}
+
+/// Cursor-based decoder over a byte slice.
+#[derive(Debug)]
+pub struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    /// A decoder positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Dec { buf, pos: 0 }
+    }
+
+    /// True when every byte has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    /// Current byte offset (for error reporting).
+    pub fn offset(&self) -> usize {
+        self.pos
+    }
+
+    fn take(&mut self, n: usize, expected: &'static str) -> Result<&'a [u8], DecodeError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or(DecodeError { expected, offset: self.pos })?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1, "u8")?[0])
+    }
+
+    /// Reads a little-endian u32.
+    pub fn u32(&mut self) -> Result<u32, DecodeError> {
+        let b = self.take(4, "u32")?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian u64.
+    pub fn u64(&mut self) -> Result<u64, DecodeError> {
+        let b = self.take(8, "u64")?;
+        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+
+    /// Reads a little-endian i64.
+    pub fn i64(&mut self) -> Result<i64, DecodeError> {
+        Ok(self.u64()? as i64)
+    }
+
+    /// Reads an f64 bit pattern.
+    pub fn f64(&mut self) -> Result<f64, DecodeError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a bool byte (strictly 0 or 1).
+    pub fn bool(&mut self) -> Result<bool, DecodeError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(DecodeError { expected: "bool (0 or 1)", offset: self.pos - 1 }),
+        }
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, DecodeError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len, "string bytes")?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| DecodeError { expected: "valid UTF-8", offset: self.pos - len })
+    }
+
+    /// Reads a length prefix for a sequence, sanity-capped so a corrupt
+    /// length cannot trigger a huge allocation before element decoding
+    /// naturally fails.
+    pub fn seq_len(&mut self) -> Result<usize, DecodeError> {
+        let n = self.u32()? as usize;
+        if n > self.buf.len().saturating_sub(self.pos) {
+            // Every element takes at least one byte; a count beyond the
+            // remaining bytes is corrupt.
+            return Err(DecodeError {
+                expected: "plausible sequence length",
+                offset: self.pos - 4,
+            });
+        }
+        Ok(n)
+    }
+}
+
+// --- Domain types ---------------------------------------------------------
+
+/// Encodes an [`Ident`], preserving exact text and quoting.
+pub fn put_ident(e: &mut Enc, id: &Ident) {
+    e.str(&id.value);
+    e.bool(id.quoted);
+}
+
+/// Decodes an [`Ident`].
+pub fn get_ident(d: &mut Dec<'_>) -> Result<Ident, DecodeError> {
+    let value = d.str()?;
+    let quoted = d.bool()?;
+    Ok(Ident { value, quoted })
+}
+
+const VAL_NULL: u8 = 0;
+const VAL_BOOL: u8 = 1;
+const VAL_INT: u8 = 2;
+const VAL_FLOAT: u8 = 3;
+const VAL_STR: u8 = 4;
+const VAL_TS: u8 = 5;
+
+/// Encodes a [`Value`].
+pub fn put_value(e: &mut Enc, v: &Value) {
+    match v {
+        Value::Null => e.u8(VAL_NULL),
+        Value::Bool(b) => {
+            e.u8(VAL_BOOL);
+            e.bool(*b);
+        }
+        Value::Int(i) => {
+            e.u8(VAL_INT);
+            e.i64(*i);
+        }
+        Value::Float(f) => {
+            e.u8(VAL_FLOAT);
+            e.f64(*f);
+        }
+        Value::Str(s) => {
+            e.u8(VAL_STR);
+            e.str(s);
+        }
+        Value::Ts(t) => {
+            e.u8(VAL_TS);
+            e.i64(t.0);
+        }
+    }
+}
+
+/// Decodes a [`Value`].
+pub fn get_value(d: &mut Dec<'_>) -> Result<Value, DecodeError> {
+    match d.u8()? {
+        VAL_NULL => Ok(Value::Null),
+        VAL_BOOL => Ok(Value::Bool(d.bool()?)),
+        VAL_INT => Ok(Value::Int(d.i64()?)),
+        VAL_FLOAT => Ok(Value::Float(d.f64()?)),
+        VAL_STR => Ok(Value::Str(d.str()?)),
+        VAL_TS => Ok(Value::Ts(Timestamp(d.i64()?))),
+        _ => Err(DecodeError { expected: "value tag", offset: d.offset() - 1 }),
+    }
+}
+
+/// Encodes a row (a vector of values).
+pub fn put_row(e: &mut Enc, row: &[Value]) {
+    e.u32(row.len() as u32);
+    for v in row {
+        put_value(e, v);
+    }
+}
+
+/// Decodes a row.
+pub fn get_row(d: &mut Dec<'_>) -> Result<Vec<Value>, DecodeError> {
+    let n = d.seq_len()?;
+    let mut row = Vec::with_capacity(n);
+    for _ in 0..n {
+        row.push(get_value(d)?);
+    }
+    Ok(row)
+}
+
+fn type_tag(t: TypeName) -> u8 {
+    match t {
+        TypeName::Int => 0,
+        TypeName::Float => 1,
+        TypeName::Text => 2,
+        TypeName::Bool => 3,
+        TypeName::Timestamp => 4,
+    }
+}
+
+fn type_from_tag(tag: u8, offset: usize) -> Result<TypeName, DecodeError> {
+    match tag {
+        0 => Ok(TypeName::Int),
+        1 => Ok(TypeName::Float),
+        2 => Ok(TypeName::Text),
+        3 => Ok(TypeName::Bool),
+        4 => Ok(TypeName::Timestamp),
+        _ => Err(DecodeError { expected: "type tag", offset }),
+    }
+}
+
+/// Encodes a [`Schema`] as its ordered `(name, type)` pairs.
+pub fn put_schema(e: &mut Enc, s: &Schema) {
+    let cols: Vec<_> = s.iter().collect();
+    e.u32(cols.len() as u32);
+    for (name, ty) in cols {
+        put_ident(e, name);
+        e.u8(type_tag(*ty));
+    }
+}
+
+/// Decodes a [`Schema`]; re-runs its duplicate-column validation.
+pub fn get_schema(d: &mut Dec<'_>) -> Result<Schema, DecodeError> {
+    let n = d.seq_len()?;
+    let mut cols = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = get_ident(d)?;
+        let off = d.offset();
+        let ty = type_from_tag(d.u8()?, off)?;
+        cols.push((name, ty));
+    }
+    Schema::new(cols)
+        .map_err(|_| DecodeError { expected: "unique column names", offset: d.offset() })
+}
+
+fn op_tag(op: ChangeOp) -> u8 {
+    match op {
+        ChangeOp::Insert => 0,
+        ChangeOp::Update => 1,
+        ChangeOp::Delete => 2,
+    }
+}
+
+fn op_from_tag(tag: u8, offset: usize) -> Result<ChangeOp, DecodeError> {
+    match tag {
+        0 => Ok(ChangeOp::Insert),
+        1 => Ok(ChangeOp::Update),
+        2 => Ok(ChangeOp::Delete),
+        _ => Err(DecodeError { expected: "change-op tag", offset }),
+    }
+}
+
+/// Encodes a backlog [`ChangeRecord`].
+pub fn put_change(e: &mut Enc, rec: &ChangeRecord) {
+    e.i64(rec.ts.0);
+    e.u8(op_tag(rec.op));
+    e.u64(rec.tid.0);
+    match &rec.after {
+        Some(row) => {
+            e.bool(true);
+            put_row(e, row);
+        }
+        None => e.bool(false),
+    }
+}
+
+/// Decodes a backlog [`ChangeRecord`].
+pub fn get_change(d: &mut Dec<'_>) -> Result<ChangeRecord, DecodeError> {
+    let ts = Timestamp(d.i64()?);
+    let off = d.offset();
+    let op = op_from_tag(d.u8()?, off)?;
+    let tid = Tid(d.u64()?);
+    let after = if d.bool()? { Some(get_row(d)?) } else { None };
+    Ok(ChangeRecord { ts, op, tid, after })
+}
+
+fn put_base_column(e: &mut Enc, bc: &BaseColumn) {
+    put_ident(e, &bc.0);
+    put_ident(e, &bc.1);
+}
+
+fn get_base_column(d: &mut Dec<'_>) -> Result<BaseColumn, DecodeError> {
+    Ok((get_ident(d)?, get_ident(d)?))
+}
+
+fn put_resolved_column(e: &mut Enc, rc: &ResolvedColumn) {
+    put_ident(e, &rc.table);
+    put_ident(e, &rc.column);
+}
+
+fn get_resolved_column(d: &mut Dec<'_>) -> Result<ResolvedColumn, DecodeError> {
+    let table = get_ident(d)?;
+    let column = get_ident(d)?;
+    Ok(ResolvedColumn { table, column })
+}
+
+/// Encodes a touch-index [`QueryFootprint`].
+pub fn put_footprint(e: &mut Enc, fp: &QueryFootprint) {
+    e.u64(fp.id.0);
+    e.u32(fp.bases.len() as u32);
+    for b in &fp.bases {
+        put_ident(e, b);
+    }
+    e.u32(fp.covered.len() as u32);
+    for bc in &fp.covered {
+        put_base_column(e, bc);
+    }
+    e.u32(fp.combos.len() as u32);
+    for combo in &fp.combos {
+        e.u32(combo.len() as u32);
+        for (table, tids) in combo {
+            put_ident(e, table);
+            e.u32(tids.len() as u32);
+            for t in tids {
+                e.u64(t.0);
+            }
+        }
+    }
+    e.u32(fp.value_rows.len() as u32);
+    for row in &fp.value_rows {
+        e.u32(row.len() as u32);
+        for (bc, v) in row {
+            put_base_column(e, bc);
+            put_value(e, v);
+        }
+    }
+}
+
+/// Decodes a touch-index [`QueryFootprint`].
+pub fn get_footprint(d: &mut Dec<'_>) -> Result<QueryFootprint, DecodeError> {
+    let id = QueryId(d.u64()?);
+    let mut bases = BTreeSet::new();
+    for _ in 0..d.seq_len()? {
+        bases.insert(get_ident(d)?);
+    }
+    let mut covered = BTreeSet::new();
+    for _ in 0..d.seq_len()? {
+        covered.insert(get_base_column(d)?);
+    }
+    let n_combos = d.seq_len()?;
+    let mut combos = Vec::with_capacity(n_combos);
+    for _ in 0..n_combos {
+        let mut m: BTreeMap<Ident, BTreeSet<Tid>> = BTreeMap::new();
+        for _ in 0..d.seq_len()? {
+            let table = get_ident(d)?;
+            let mut tids = BTreeSet::new();
+            for _ in 0..d.seq_len()? {
+                tids.insert(Tid(d.u64()?));
+            }
+            m.insert(table, tids);
+        }
+        combos.push(m);
+    }
+    let n_rows = d.seq_len()?;
+    let mut value_rows = Vec::with_capacity(n_rows);
+    for _ in 0..n_rows {
+        let n = d.seq_len()?;
+        let mut row = Vec::with_capacity(n);
+        for _ in 0..n {
+            let bc = get_base_column(d)?;
+            let v = get_value(d)?;
+            row.push((bc, v));
+        }
+        value_rows.push(row);
+    }
+    Ok(QueryFootprint { id, bases, covered, combos, value_rows })
+}
+
+/// Encodes an online-auditor [`AuditBatchState`].
+pub fn put_audit_state(e: &mut Enc, s: &AuditBatchState) {
+    e.u32(s.touched.len() as u32);
+    for fi in &s.touched {
+        e.u64(*fi as u64);
+    }
+    e.u32(s.covered.len() as u32);
+    for bc in &s.covered {
+        put_base_column(e, bc);
+    }
+    e.u32(s.exposure.len() as u32);
+    for (fi, cols) in &s.exposure {
+        e.u64(*fi as u64);
+        e.u32(cols.len() as u32);
+        for c in cols {
+            put_resolved_column(e, c);
+        }
+    }
+    e.u32(s.contributing.len() as u32);
+    for id in &s.contributing {
+        e.u64(id.0);
+    }
+}
+
+/// Decodes an online-auditor [`AuditBatchState`].
+pub fn get_audit_state(d: &mut Dec<'_>) -> Result<AuditBatchState, DecodeError> {
+    let mut touched = BTreeSet::new();
+    for _ in 0..d.seq_len()? {
+        touched.insert(d.u64()? as usize);
+    }
+    let mut covered = BTreeSet::new();
+    for _ in 0..d.seq_len()? {
+        covered.insert(get_base_column(d)?);
+    }
+    let mut exposure: BTreeMap<usize, BTreeSet<ResolvedColumn>> = BTreeMap::new();
+    for _ in 0..d.seq_len()? {
+        let fi = d.u64()? as usize;
+        let mut cols = BTreeSet::new();
+        for _ in 0..d.seq_len()? {
+            cols.insert(get_resolved_column(d)?);
+        }
+        exposure.insert(fi, cols);
+    }
+    let mut contributing = Vec::new();
+    for _ in 0..d.seq_len()? {
+        contributing.push(QueryId(d.u64()?));
+    }
+    Ok(AuditBatchState { touched, covered, exposure, contributing })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_ne!(crc32(b"a"), crc32(b"b"));
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut e = Enc::new();
+        e.u8(7);
+        e.u32(0xDEAD_BEEF);
+        e.u64(u64::MAX);
+        e.i64(-42);
+        e.f64(-0.0);
+        e.bool(true);
+        e.str("héllo\u{1F600}");
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        assert_eq!(d.u8().unwrap(), 7);
+        assert_eq!(d.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(d.u64().unwrap(), u64::MAX);
+        assert_eq!(d.i64().unwrap(), -42);
+        assert_eq!(d.f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert!(d.bool().unwrap());
+        assert_eq!(d.str().unwrap(), "héllo\u{1F600}");
+        assert!(d.is_exhausted());
+    }
+
+    #[test]
+    fn truncated_reads_error_instead_of_panicking() {
+        let mut e = Enc::new();
+        e.str("hello");
+        let bytes = e.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut d = Dec::new(&bytes[..cut]);
+            assert!(d.str().is_err(), "cut at {cut} must fail");
+        }
+        // A corrupt length prefix larger than the buffer errors cleanly too.
+        let mut d = Dec::new(&[0xFF, 0xFF, 0xFF, 0xFF, b'x']);
+        assert!(d.str().is_err());
+    }
+
+    #[test]
+    fn values_round_trip_including_edge_floats() {
+        let vals = [
+            Value::Null,
+            Value::Bool(false),
+            Value::Int(i64::MIN),
+            Value::Float(f64::NAN),
+            Value::Float(f64::NEG_INFINITY),
+            Value::Float(1.5e308),
+            Value::Str("with \"quotes\" and \\ and \u{0}".into()),
+            Value::Ts(Timestamp(-1)),
+        ];
+        let mut e = Enc::new();
+        for v in &vals {
+            put_value(&mut e, v);
+        }
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        for v in &vals {
+            let got = get_value(&mut d).unwrap();
+            match (v, &got) {
+                // NaN != NaN; compare bit patterns.
+                (Value::Float(a), Value::Float(b)) => assert_eq!(a.to_bits(), b.to_bits()),
+                _ => assert_eq!(format!("{v:?}"), format!("{got:?}")),
+            }
+        }
+        assert!(d.is_exhausted());
+    }
+
+    #[test]
+    fn schema_and_change_round_trip() {
+        let schema = Schema::new(vec![
+            (Ident::new("a"), TypeName::Int),
+            (Ident { value: "Quoted Col".into(), quoted: true }, TypeName::Text),
+            (Ident::new("t"), TypeName::Timestamp),
+        ])
+        .unwrap();
+        let mut e = Enc::new();
+        put_schema(&mut e, &schema);
+        let rec = ChangeRecord {
+            ts: Timestamp(99),
+            op: ChangeOp::Update,
+            tid: Tid(7),
+            after: Some(vec![Value::Int(1), Value::Str("x".into()), Value::Ts(Timestamp(5))]),
+        };
+        put_change(&mut e, &rec);
+        let del =
+            ChangeRecord { ts: Timestamp(100), op: ChangeOp::Delete, tid: Tid(7), after: None };
+        put_change(&mut e, &del);
+
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        let schema2 = get_schema(&mut d).unwrap();
+        assert_eq!(schema, schema2);
+        assert_eq!(get_change(&mut d).unwrap(), rec);
+        assert_eq!(get_change(&mut d).unwrap(), del);
+        assert!(d.is_exhausted());
+    }
+
+    #[test]
+    fn footprint_and_state_round_trip() {
+        let fp = QueryFootprint {
+            id: QueryId(3),
+            bases: [Ident::new("t"), Ident::new("u")].into(),
+            covered: [(Ident::new("t"), Ident::new("a"))].into(),
+            combos: vec![[(Ident::new("t"), [Tid(1), Tid(2)].into())].into()],
+            value_rows: vec![vec![((Ident::new("t"), Ident::new("a")), Value::Int(9))]],
+        };
+        let st = AuditBatchState {
+            touched: [0usize, 3].into(),
+            covered: [(Ident::new("t"), Ident::new("a"))].into(),
+            exposure: [(1usize, [ResolvedColumn::new("t", "a")].into())].into(),
+            contributing: vec![QueryId(3), QueryId(5)],
+        };
+        let mut e = Enc::new();
+        put_footprint(&mut e, &fp);
+        put_audit_state(&mut e, &st);
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        assert_eq!(get_footprint(&mut d).unwrap(), fp);
+        assert_eq!(get_audit_state(&mut d).unwrap(), st);
+        assert!(d.is_exhausted());
+    }
+}

@@ -1,0 +1,67 @@
+//! Structured durability errors.
+
+use std::fmt;
+use std::io;
+use std::path::Path;
+
+/// Why a durability operation failed.
+#[derive(Debug)]
+pub enum PersistError {
+    /// An operating-system I/O error, with the operation that hit it.
+    Io {
+        /// What the journal was doing (e.g. `append to wal-…0000.log`).
+        context: String,
+        /// The underlying error.
+        source: io::Error,
+    },
+    /// On-disk bytes do not decode — and not in a position the torn-tail
+    /// rule may repair (a non-final segment, a checkpoint body, a gap
+    /// between checkpoint coverage and the oldest surviving segment).
+    Corrupt {
+        /// Where the corruption was found.
+        site: String,
+    },
+    /// Recovered records do not replay cleanly (e.g. a journaled register
+    /// whose expression no longer parses) — the store and the code
+    /// disagree about history.
+    Replay {
+        /// What failed to replay.
+        site: String,
+    },
+}
+
+impl PersistError {
+    /// Builds an [`PersistError::Io`] closure for `map_err`, tagging the
+    /// failed operation and path.
+    pub(crate) fn io_at(op: &str, path: &Path) -> impl FnOnce(io::Error) -> PersistError {
+        let context = format!("{op} {}", path.display());
+        move |source| PersistError::Io { context, source }
+    }
+
+    /// Builds a [`PersistError::Corrupt`] at a path-qualified site.
+    pub(crate) fn corrupt_at(path: &Path, what: impl fmt::Display) -> PersistError {
+        PersistError::Corrupt { site: format!("{}: {what}", path.display()) }
+    }
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io { context, source } => write!(f, "i/o error: {context}: {source}"),
+            PersistError::Corrupt { site } => write!(f, "corrupt store: {site}"),
+            PersistError::Replay { site } => write!(f, "recovery replay failed: {site}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, PersistError>;

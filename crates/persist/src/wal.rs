@@ -1,0 +1,755 @@
+//! The segmented write-ahead log.
+//!
+//! On disk, a WAL directory holds segments named `wal-<first_seq>.log`
+//! (20-digit zero-padded global sequence number of the segment's first
+//! record, so lexicographic order is sequence order). Each segment starts
+//! with an 8-byte magic header and then packs frames:
+//!
+//! ```text
+//! +----------------+----------------+------------------+
+//! | len: u32 LE    | crc32: u32 LE  | payload (len B)  |
+//! +----------------+----------------+------------------+
+//! ```
+//!
+//! `crc32` covers the payload only; the payload is a [`WalRecord`] encoding.
+//! Appends never rewrite earlier bytes, so the only corruption a crash can
+//! produce is at the tail of the **final** segment — the torn-tail rule:
+//! scan to the last frame whose length fits and whose CRC matches, truncate
+//! there, continue. Invalid frames anywhere else (an earlier segment, or a
+//! CRC-valid frame that does not decode) are hard errors: append-only files
+//! do not tear in the middle.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use audex_storage::{IoAppendFault, IoFaultState};
+
+use crate::codec::crc32;
+use crate::error::{PersistError, Result};
+use crate::record::WalRecord;
+
+/// Segment header: magic + format version.
+const SEGMENT_MAGIC: &[u8; 8] = b"AXWAL\x01\0\0";
+
+/// Frame header size: u32 length + u32 CRC.
+const FRAME_HEADER: u64 = 8;
+
+/// How many appends a `batch` fsync policy groups per fsync.
+pub const BATCH_FSYNC_INTERVAL: u64 = 64;
+
+/// When the journal flushes appended records to stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// fsync after every record — an acknowledged request is durable.
+    Always,
+    /// fsync every [`BATCH_FSYNC_INTERVAL`] records, plus at rotation,
+    /// checkpoint, and shutdown — bounded loss window, much higher
+    /// throughput.
+    Batch,
+    /// Never fsync (the OS flushes when it likes) — benchmark baseline and
+    /// "I trust the kernel" mode.
+    Never,
+}
+
+impl std::str::FromStr for FsyncPolicy {
+    type Err = String;
+    fn from_str(s: &str) -> std::result::Result<Self, String> {
+        match s {
+            "always" => Ok(FsyncPolicy::Always),
+            "batch" => Ok(FsyncPolicy::Batch),
+            "never" => Ok(FsyncPolicy::Never),
+            other => Err(format!("unknown fsync policy '{other}' (use always|batch|never)")),
+        }
+    }
+}
+
+impl std::fmt::Display for FsyncPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            FsyncPolicy::Always => "always",
+            FsyncPolicy::Batch => "batch",
+            FsyncPolicy::Never => "never",
+        })
+    }
+}
+
+/// Tunables for a [`Wal`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalOptions {
+    /// Flush discipline.
+    pub fsync: FsyncPolicy,
+    /// Rotate to a new segment once the current one reaches this size.
+    pub segment_max_bytes: u64,
+}
+
+impl Default for WalOptions {
+    fn default() -> Self {
+        WalOptions { fsync: FsyncPolicy::Batch, segment_max_bytes: 4 * 1024 * 1024 }
+    }
+}
+
+/// One scanned segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentMeta {
+    /// Segment file path.
+    pub path: PathBuf,
+    /// Global sequence number of its first record.
+    pub first_seq: u64,
+    /// Number of valid records it holds.
+    pub records: u64,
+    /// Valid bytes (header + frames).
+    pub bytes: u64,
+}
+
+/// A torn tail found (and possibly repaired) in the final segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TornTail {
+    /// The final segment's path.
+    pub path: PathBuf,
+    /// Bytes up to and including the last valid frame.
+    pub valid_bytes: u64,
+    /// Garbage bytes past it that were (or would be) dropped.
+    pub dropped_bytes: u64,
+    /// True once the file has actually been truncated.
+    pub repaired: bool,
+}
+
+/// Result of scanning a WAL directory.
+#[derive(Debug)]
+pub struct WalScan {
+    /// All valid records, in sequence order.
+    pub records: Vec<WalRecord>,
+    /// Global sequence number of `records[0]` (equals `next_seq` when
+    /// empty).
+    pub first_seq: u64,
+    /// The sequence number the next append will get.
+    pub next_seq: u64,
+    /// Scanned segments, oldest first.
+    pub segments: Vec<SegmentMeta>,
+    /// The torn tail, if one was found.
+    pub torn: Option<TornTail>,
+}
+
+/// Monotonic WAL I/O counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalCounters {
+    /// Records appended by this process.
+    pub records_appended: u64,
+    /// fsync calls issued (and survived).
+    pub fsyncs: u64,
+    /// Payload + framing bytes written.
+    pub bytes_written: u64,
+    /// Segments created by this process.
+    pub segments_created: u64,
+}
+
+/// An open, append-position WAL.
+#[derive(Debug)]
+pub struct Wal {
+    dir: PathBuf,
+    options: WalOptions,
+    file: File,
+    path: PathBuf,
+    segment_first_seq: u64,
+    segment_bytes: u64,
+    segment_records: u64,
+    next_seq: u64,
+    /// Appends since the last fsync (drives the `batch` policy).
+    unsynced: u64,
+    counters: WalCounters,
+    closed: Vec<SegmentMeta>,
+    faults: Option<Arc<IoFaultState>>,
+}
+
+fn segment_name(first_seq: u64) -> String {
+    format!("wal-{first_seq:020}.log")
+}
+
+fn parse_segment_name(name: &str) -> Option<u64> {
+    let digits = name.strip_prefix("wal-")?.strip_suffix(".log")?;
+    if digits.len() != 20 || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// Best-effort directory fsync, so renames/creates survive power loss on
+/// filesystems that need it. Failure is ignored: not all platforms support
+/// opening directories for sync.
+pub(crate) fn sync_dir(dir: &Path) {
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+}
+
+/// Scans one segment file. `is_final` selects the torn-tail rule; when
+/// false, any invalid tail is a hard corruption error.
+fn scan_segment(
+    path: &Path,
+    is_final: bool,
+    records: &mut Vec<WalRecord>,
+) -> Result<(u64, u64, Option<TornTail>)> {
+    let mut bytes = Vec::new();
+    File::open(path)
+        .and_then(|mut f| f.read_to_end(&mut bytes))
+        .map_err(PersistError::io_at("read segment", path))?;
+
+    if bytes.len() < SEGMENT_MAGIC.len() || &bytes[..SEGMENT_MAGIC.len()] != SEGMENT_MAGIC {
+        return Err(PersistError::corrupt_at(path, "bad or missing segment magic"));
+    }
+
+    let mut pos = SEGMENT_MAGIC.len();
+    let mut count = 0u64;
+    let torn = loop {
+        if pos == bytes.len() {
+            break None;
+        }
+        let frame_start = pos;
+        let tear = |what: &str| -> Result<Option<TornTail>> {
+            if is_final {
+                Ok(Some(TornTail {
+                    path: path.to_path_buf(),
+                    valid_bytes: frame_start as u64,
+                    dropped_bytes: (bytes.len() - frame_start) as u64,
+                    repaired: false,
+                }))
+            } else {
+                Err(PersistError::corrupt_at(
+                    path,
+                    format!("{what} at byte {frame_start} of a non-final segment"),
+                ))
+            }
+        };
+        if bytes.len() - pos < FRAME_HEADER as usize {
+            break tear("partial frame header")?;
+        }
+        let len = u32::from_le_bytes([bytes[pos], bytes[pos + 1], bytes[pos + 2], bytes[pos + 3]])
+            as usize;
+        let crc =
+            u32::from_le_bytes([bytes[pos + 4], bytes[pos + 5], bytes[pos + 6], bytes[pos + 7]]);
+        pos += FRAME_HEADER as usize;
+        if bytes.len() - pos < len {
+            break tear("frame length overruns the file")?;
+        }
+        let payload = &bytes[pos..pos + len];
+        if crc32(payload) != crc {
+            break tear("frame CRC mismatch")?;
+        }
+        // A CRC-valid frame that does not decode is not a torn write (a
+        // partial write cannot forge a matching checksum): hard error.
+        let rec = WalRecord::decode(payload).map_err(|e| {
+            PersistError::corrupt_at(path, format!("CRC-valid frame fails to decode: {e}"))
+        })?;
+        records.push(rec);
+        count += 1;
+        pos += len;
+    };
+    let valid_bytes = torn.as_ref().map_or(pos as u64, |t| t.valid_bytes);
+    Ok((count, valid_bytes, torn))
+}
+
+/// Scans a WAL directory **read-only**: no truncation, no repair. `base_seq`
+/// names the first sequence number when the directory holds no segments
+/// (i.e. everything so far is covered by a checkpoint).
+pub fn scan_dir(dir: &Path, base_seq: u64) -> Result<WalScan> {
+    let mut names: Vec<(u64, PathBuf)> = Vec::new();
+    let entries = fs::read_dir(dir).map_err(PersistError::io_at("read WAL directory", dir))?;
+    for entry in entries {
+        let entry = entry.map_err(PersistError::io_at("read WAL directory", dir))?;
+        let fname = entry.file_name();
+        if let Some(first_seq) = fname.to_str().and_then(parse_segment_name) {
+            names.push((first_seq, entry.path()));
+        }
+    }
+    names.sort();
+
+    if names.is_empty() {
+        return Ok(WalScan {
+            records: Vec::new(),
+            first_seq: base_seq,
+            next_seq: base_seq,
+            segments: Vec::new(),
+            torn: None,
+        });
+    }
+
+    let first_seq = names[0].0;
+    let mut records = Vec::new();
+    let mut segments = Vec::new();
+    let mut torn = None;
+    let mut expected = first_seq;
+    let last_idx = names.len() - 1;
+    for (i, (seg_seq, path)) in names.iter().enumerate() {
+        if *seg_seq != expected {
+            return Err(PersistError::corrupt_at(
+                path,
+                format!("segment starts at seq {seg_seq}, expected {expected} (missing segment?)"),
+            ));
+        }
+        let (count, bytes, t) = scan_segment(path, i == last_idx, &mut records)?;
+        segments.push(SegmentMeta {
+            path: path.clone(),
+            first_seq: *seg_seq,
+            records: count,
+            bytes,
+        });
+        expected += count;
+        torn = t;
+    }
+    Ok(WalScan { records, first_seq, next_seq: expected, segments, torn })
+}
+
+impl Wal {
+    /// Opens (creating if necessary) the WAL in `dir` for appending:
+    /// scans existing segments, truncates a torn tail, and positions at the
+    /// end. `base_seq` seeds the sequence numbering when no segments exist.
+    pub fn open(dir: &Path, options: WalOptions, base_seq: u64) -> Result<(Wal, WalScan)> {
+        fs::create_dir_all(dir).map_err(PersistError::io_at("create WAL directory", dir))?;
+        let mut scan = scan_dir(dir, base_seq)?;
+
+        // Repair the torn tail: truncate to the last valid frame.
+        if let Some(t) = &mut scan.torn {
+            let f = OpenOptions::new()
+                .write(true)
+                .open(&t.path)
+                .map_err(PersistError::io_at("open segment for repair", &t.path))?;
+            f.set_len(t.valid_bytes).map_err(PersistError::io_at("truncate torn tail", &t.path))?;
+            f.sync_data().map_err(PersistError::io_at("sync repaired segment", &t.path))?;
+            t.repaired = true;
+        }
+
+        let (file, path, segment_first_seq, segment_bytes, segment_records, closed) =
+            match scan.segments.last() {
+                Some(last) => {
+                    let mut f = OpenOptions::new()
+                        .write(true)
+                        .open(&last.path)
+                        .map_err(PersistError::io_at("open segment for append", &last.path))?;
+                    f.seek(SeekFrom::Start(last.bytes))
+                        .map_err(PersistError::io_at("seek to append position", &last.path))?;
+                    let closed = scan.segments[..scan.segments.len() - 1].to_vec();
+                    (f, last.path.clone(), last.first_seq, last.bytes, last.records, closed)
+                }
+                None => {
+                    let (f, path) = create_segment(dir, base_seq)?;
+                    (f, path, base_seq, SEGMENT_MAGIC.len() as u64, 0, Vec::new())
+                }
+            };
+
+        let wal = Wal {
+            dir: dir.to_path_buf(),
+            options,
+            file,
+            path,
+            segment_first_seq,
+            segment_bytes,
+            segment_records,
+            next_seq: scan.next_seq,
+            unsynced: 0,
+            counters: WalCounters::default(),
+            closed,
+            faults: None,
+        };
+        Ok((wal, scan))
+    }
+
+    /// Arms deterministic I/O fault injection (tests only in spirit, but
+    /// harmless in production: `None` is the default).
+    pub fn set_io_faults(&mut self, faults: Arc<IoFaultState>) {
+        self.faults = Some(faults);
+    }
+
+    /// The sequence number the next append will get.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// I/O counters for this process's lifetime.
+    pub fn counters(&self) -> WalCounters {
+        self.counters
+    }
+
+    /// `(segment count, total valid bytes)` across closed + current
+    /// segments.
+    pub fn segment_stats(&self) -> (u64, u64) {
+        let closed_bytes: u64 = self.closed.iter().map(|s| s.bytes).sum();
+        (self.closed.len() as u64 + 1, closed_bytes + self.segment_bytes)
+    }
+
+    fn fsync(&mut self) -> Result<()> {
+        if let Some(f) = &self.faults {
+            f.on_fsync().map_err(|source| PersistError::Io {
+                context: format!("fsync {}", self.path.display()),
+                source,
+            })?;
+        }
+        self.file.sync_data().map_err(PersistError::io_at("fsync", &self.path))?;
+        self.counters.fsyncs += 1;
+        self.unsynced = 0;
+        Ok(())
+    }
+
+    /// Flushes pending appends to stable storage (no-op when nothing is
+    /// pending or the policy is `never`).
+    pub fn sync(&mut self) -> Result<()> {
+        if self.unsynced > 0 && self.options.fsync != FsyncPolicy::Never {
+            self.fsync()?;
+        }
+        Ok(())
+    }
+
+    fn rotate(&mut self) -> Result<()> {
+        // Seal the old segment: flush it down before the new one exists.
+        if self.options.fsync != FsyncPolicy::Never {
+            self.fsync()?;
+        }
+        self.closed.push(SegmentMeta {
+            path: self.path.clone(),
+            first_seq: self.segment_first_seq,
+            records: self.segment_records,
+            bytes: self.segment_bytes,
+        });
+        let (file, path) = create_segment(&self.dir, self.next_seq)?;
+        self.file = file;
+        self.path = path;
+        self.segment_first_seq = self.next_seq;
+        self.segment_bytes = SEGMENT_MAGIC.len() as u64;
+        self.segment_records = 0;
+        self.counters.segments_created += 1;
+        Ok(())
+    }
+
+    /// Appends one record; returns its global sequence number. Under
+    /// `FsyncPolicy::Always` the record is on stable storage when this
+    /// returns.
+    pub fn append(&mut self, rec: &WalRecord) -> Result<u64> {
+        let payload = rec.encode();
+        let frame_len = FRAME_HEADER + payload.len() as u64;
+        if self.segment_records > 0
+            && self.segment_bytes + frame_len > self.options.segment_max_bytes
+        {
+            self.rotate()?;
+        }
+
+        let mut frame = Vec::with_capacity(frame_len as usize);
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+
+        let injected = self.faults.as_ref().map_or(IoAppendFault::None, |f| f.on_append());
+        match injected {
+            IoAppendFault::None => {}
+            IoAppendFault::CorruptCrc => {
+                // Silent media corruption: flip one CRC bit, report success.
+                frame[4] ^= 0x01;
+            }
+            IoAppendFault::ShortWrite(keep) => {
+                let keep = keep.min(frame.len());
+                self.file
+                    .write_all(&frame[..keep])
+                    .map_err(PersistError::io_at("append (short)", &self.path))?;
+                let _ = self.file.flush();
+                self.segment_bytes += keep as u64;
+                return Err(PersistError::Io {
+                    context: format!("append to {}", self.path.display()),
+                    source: std::io::Error::other(format!(
+                        "injected: short write ({keep} of {} bytes)",
+                        frame.len()
+                    )),
+                });
+            }
+        }
+
+        self.file.write_all(&frame).map_err(PersistError::io_at("append to", &self.path))?;
+        self.segment_bytes += frame.len() as u64;
+        self.segment_records += 1;
+        self.counters.records_appended += 1;
+        self.counters.bytes_written += frame.len() as u64;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+
+        match self.options.fsync {
+            FsyncPolicy::Always => self.fsync()?,
+            FsyncPolicy::Batch => {
+                self.unsynced += 1;
+                if self.unsynced >= BATCH_FSYNC_INTERVAL {
+                    self.fsync()?;
+                }
+            }
+            FsyncPolicy::Never => {}
+        }
+        Ok(seq)
+    }
+
+    /// Deletes every segment fully covered by `covers_seq` (records with
+    /// seq < `covers_seq` are checkpointed). If the *current* segment is
+    /// fully covered it is rotated out first, so the WAL always keeps an
+    /// open segment. Returns the deleted paths.
+    pub fn prune_through(&mut self, covers_seq: u64) -> Result<Vec<PathBuf>> {
+        if self.segment_records > 0 && self.next_seq <= covers_seq {
+            self.rotate()?;
+        }
+        let mut deleted = Vec::new();
+        let mut kept = Vec::new();
+        for seg in self.closed.drain(..) {
+            if seg.first_seq + seg.records <= covers_seq {
+                fs::remove_file(&seg.path)
+                    .map_err(PersistError::io_at("delete covered segment", &seg.path))?;
+                deleted.push(seg.path);
+            } else {
+                kept.push(seg);
+            }
+        }
+        self.closed = kept;
+        if !deleted.is_empty() {
+            sync_dir(&self.dir);
+        }
+        Ok(deleted)
+    }
+}
+
+fn create_segment(dir: &Path, first_seq: u64) -> Result<(File, PathBuf)> {
+    let path = dir.join(segment_name(first_seq));
+    let mut f = OpenOptions::new()
+        .create_new(true)
+        .write(true)
+        .open(&path)
+        .map_err(PersistError::io_at("create segment", &path))?;
+    f.write_all(SEGMENT_MAGIC).map_err(PersistError::io_at("write segment header", &path))?;
+    sync_dir(dir);
+    Ok((f, path))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use audex_sql::{Ident, Timestamp};
+    use audex_storage::IoFaultPlan;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("audex-wal-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn rec(i: u64) -> WalRecord {
+        WalRecord::LogAppend {
+            ts: Timestamp(i as i64),
+            user: Ident::new("u"),
+            role: Ident::new("r"),
+            purpose: Ident::new("p"),
+            sql: format!("SELECT c{i} FROM t"),
+        }
+    }
+
+    fn opts() -> WalOptions {
+        WalOptions { fsync: FsyncPolicy::Batch, segment_max_bytes: 4 * 1024 * 1024 }
+    }
+
+    #[test]
+    fn append_and_reopen_round_trips() {
+        let dir = tmp("roundtrip");
+        let (mut wal, scan) = Wal::open(&dir, opts(), 0).unwrap();
+        assert_eq!(scan.next_seq, 0);
+        for i in 0..10 {
+            assert_eq!(wal.append(&rec(i)).unwrap(), i);
+        }
+        wal.sync().unwrap();
+        drop(wal);
+
+        let (wal2, scan2) = Wal::open(&dir, opts(), 0).unwrap();
+        assert_eq!(scan2.next_seq, 10);
+        assert_eq!(scan2.records.len(), 10);
+        for (i, r) in scan2.records.iter().enumerate() {
+            assert_eq!(*r, rec(i as u64));
+        }
+        assert!(scan2.torn.is_none());
+        assert_eq!(wal2.next_seq(), 10);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rotation_splits_segments_and_scan_reassembles() {
+        let dir = tmp("rotate");
+        let small = WalOptions { fsync: FsyncPolicy::Never, segment_max_bytes: 200 };
+        let (mut wal, _) = Wal::open(&dir, small, 0).unwrap();
+        for i in 0..20 {
+            wal.append(&rec(i)).unwrap();
+        }
+        let (segs, _) = wal.segment_stats();
+        assert!(segs > 1, "tiny segment_max must force rotation, got {segs}");
+        drop(wal);
+        let scan = scan_dir(&dir, 0).unwrap();
+        assert_eq!(scan.records.len(), 20);
+        assert_eq!(scan.next_seq, 20);
+        assert_eq!(scan.segments.len() as u64, segs);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_log_continues() {
+        let dir = tmp("torn");
+        let (mut wal, _) = Wal::open(&dir, opts(), 0).unwrap();
+        for i in 0..5 {
+            wal.append(&rec(i)).unwrap();
+        }
+        wal.sync().unwrap();
+        let path = wal.path.clone();
+        drop(wal);
+
+        // Simulate a crash mid-append: garbage half-frame at the tail.
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(&[0x55, 0x01, 0x00, 0x00, 0xAA]).unwrap();
+        drop(f);
+
+        let (mut wal2, scan) = Wal::open(&dir, opts(), 0).unwrap();
+        let torn = scan.torn.expect("torn tail detected");
+        assert!(torn.repaired);
+        assert_eq!(torn.dropped_bytes, 5);
+        assert_eq!(scan.records.len(), 5);
+        // The log keeps working after repair, and a fresh scan is clean.
+        assert_eq!(wal2.append(&rec(5)).unwrap(), 5);
+        wal2.sync().unwrap();
+        drop(wal2);
+        let scan3 = scan_dir(&dir, 0).unwrap();
+        assert!(scan3.torn.is_none());
+        assert_eq!(scan3.records.len(), 6);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_crc_in_tail_drops_from_that_record() {
+        let dir = tmp("crc");
+        let plan = IoFaultPlan::new().corrupt_crc(4);
+        let (mut wal, _) = Wal::open(&dir, opts(), 0).unwrap();
+        wal.set_io_faults(Arc::new(IoFaultState::new(plan)));
+        for i in 0..6 {
+            wal.append(&rec(i)).unwrap(); // corruption is silent
+        }
+        wal.sync().unwrap();
+        drop(wal);
+
+        let (_, scan) = Wal::open(&dir, opts(), 0).unwrap();
+        // Records 0..3 survive; the corrupt frame and everything after it
+        // fall to the torn-tail rule.
+        assert_eq!(scan.records.len(), 3);
+        let torn = scan.torn.expect("CRC mismatch at tail treated as torn");
+        assert!(torn.dropped_bytes > 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corruption_in_non_final_segment_is_a_hard_error() {
+        let dir = tmp("midcorrupt");
+        let small = WalOptions { fsync: FsyncPolicy::Never, segment_max_bytes: 200 };
+        let (mut wal, _) = Wal::open(&dir, small, 0).unwrap();
+        for i in 0..20 {
+            wal.append(&rec(i)).unwrap();
+        }
+        drop(wal);
+        let scan = scan_dir(&dir, 0).unwrap();
+        assert!(scan.segments.len() >= 2);
+        // Flip a payload byte in the FIRST segment.
+        let victim = &scan.segments[0].path;
+        let mut bytes = fs::read(victim).unwrap();
+        let n = bytes.len();
+        bytes[n - 1] ^= 0xFF;
+        fs::write(victim, bytes).unwrap();
+        let err = scan_dir(&dir, 0).unwrap_err();
+        assert!(matches!(err, PersistError::Corrupt { .. }), "{err:?}");
+        assert!(err.to_string().contains("non-final"), "{err}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn short_write_fault_fails_append_and_recovery_truncates() {
+        let dir = tmp("short");
+        let plan = IoFaultPlan::new().short_write(3, 6);
+        let (mut wal, _) = Wal::open(&dir, opts(), 0).unwrap();
+        wal.set_io_faults(Arc::new(IoFaultState::new(plan)));
+        wal.append(&rec(0)).unwrap();
+        wal.append(&rec(1)).unwrap();
+        let err = wal.append(&rec(2)).unwrap_err();
+        assert!(err.to_string().contains("short write"), "{err}");
+        wal.sync().unwrap();
+        drop(wal);
+
+        let (_, scan) = Wal::open(&dir, opts(), 0).unwrap();
+        assert_eq!(scan.records.len(), 2, "torn frame dropped");
+        assert!(scan.torn.is_some());
+        assert_eq!(scan.next_seq, 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fsync_fault_surfaces_as_io_error() {
+        let dir = tmp("fsync");
+        let plan = IoFaultPlan::new().fail_fsync(1);
+        let always = WalOptions { fsync: FsyncPolicy::Always, segment_max_bytes: 1 << 20 };
+        let (mut wal, _) = Wal::open(&dir, always, 0).unwrap();
+        wal.set_io_faults(Arc::new(IoFaultState::new(plan)));
+        let err = wal.append(&rec(0)).unwrap_err();
+        assert!(err.to_string().contains("fsync #1"), "{err}");
+        // The next fsync succeeds; the record itself was written.
+        wal.append(&rec(1)).unwrap();
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn prune_through_deletes_covered_segments_only() {
+        let dir = tmp("prune");
+        let small = WalOptions { fsync: FsyncPolicy::Never, segment_max_bytes: 200 };
+        let (mut wal, _) = Wal::open(&dir, small, 0).unwrap();
+        for i in 0..20 {
+            wal.append(&rec(i)).unwrap();
+        }
+        let scan_before = scan_dir(&dir, 0).unwrap();
+        let first_seg_records = scan_before.segments[0].records;
+
+        // Covering only part of the first segment deletes nothing.
+        assert!(wal.prune_through(first_seg_records - 1).unwrap().is_empty());
+        // Covering it exactly deletes exactly it.
+        let deleted = wal.prune_through(first_seg_records).unwrap();
+        assert_eq!(deleted.len(), 1);
+        let scan = scan_dir(&dir, 0).unwrap();
+        assert_eq!(scan.first_seq, first_seg_records);
+        assert_eq!(scan.next_seq, 20);
+
+        // Covering everything rotates the open segment out and deletes all
+        // closed ones; the log continues at seq 20 from a fresh segment.
+        wal.prune_through(20).unwrap();
+        let scan = scan_dir(&dir, 0).unwrap();
+        assert_eq!(scan.records.len(), 0);
+        assert_eq!(scan.first_seq, 20);
+        wal.append(&rec(20)).unwrap();
+        drop(wal);
+        let scan = scan_dir(&dir, 0).unwrap();
+        assert_eq!(scan.records.len(), 1);
+        assert_eq!(scan.next_seq, 21);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_dir_with_base_seq_starts_there() {
+        let dir = tmp("base");
+        let (mut wal, scan) = Wal::open(&dir, opts(), 42).unwrap();
+        assert_eq!(scan.next_seq, 42);
+        assert_eq!(wal.append(&rec(0)).unwrap(), 42);
+        drop(wal);
+        let scan = scan_dir(&dir, 0).unwrap();
+        assert_eq!(scan.first_seq, 42);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn policy_parsing() {
+        assert_eq!("always".parse::<FsyncPolicy>().unwrap(), FsyncPolicy::Always);
+        assert_eq!("batch".parse::<FsyncPolicy>().unwrap(), FsyncPolicy::Batch);
+        assert_eq!("never".parse::<FsyncPolicy>().unwrap(), FsyncPolicy::Never);
+        assert!("sometimes".parse::<FsyncPolicy>().is_err());
+        assert_eq!(FsyncPolicy::Batch.to_string(), "batch");
+    }
+}

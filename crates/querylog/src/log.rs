@@ -3,9 +3,19 @@
 use audex_sql::ast::Query;
 use audex_sql::{ParseError, Timestamp};
 use std::fmt;
-use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use crate::entry::{AccessContext, LoggedQuery, QueryId};
+
+/// Observer of successful log appends, called synchronously under the log's
+/// write lock so a journal sees entries exactly once, in id order.
+///
+/// Infallible by design: a sink that cannot persist stashes the error and
+/// surfaces it through its own diagnostics (the entry is already appended).
+pub trait LogSink: Send + Sync {
+    /// `entry` was appended to the log.
+    fn on_append(&self, entry: &LoggedQuery);
+}
 
 /// Why a validated append was refused (see [`QueryLog::record_text_validated`]).
 #[derive(Debug)]
@@ -45,15 +55,45 @@ impl From<ParseError> for AppendError {
 
 /// An append-only, thread-safe log of executed queries with their
 /// annotations — the "User Accesses Log" the paper audits.
-#[derive(Debug, Default)]
+#[derive(Default)]
 pub struct QueryLog {
     inner: RwLock<Vec<Arc<LoggedQuery>>>,
+    /// Append observer (see [`LogSink`]); invisible to everything else.
+    sink: Mutex<Option<Arc<dyn LogSink>>>,
+}
+
+impl fmt::Debug for QueryLog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sink = self.sink.lock().unwrap_or_else(|e| e.into_inner());
+        f.debug_struct("QueryLog")
+            .field("inner", &self.read())
+            .field("sink", &sink.as_ref().map(|_| "attached"))
+            .finish()
+    }
 }
 
 impl QueryLog {
     /// An empty log.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Attaches a [`LogSink`] observing every subsequent successful append.
+    /// Replaces any previous sink.
+    pub fn set_sink(&self, sink: Arc<dyn LogSink>) {
+        *self.sink.lock().unwrap_or_else(|e| e.into_inner()) = Some(sink);
+    }
+
+    /// Detaches the append sink, if any.
+    pub fn clear_sink(&self) {
+        *self.sink.lock().unwrap_or_else(|e| e.into_inner()) = None;
+    }
+
+    fn notify(&self, entry: &LoggedQuery) {
+        let sink = self.sink.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(s) = sink.as_ref() {
+            s.on_append(entry);
+        }
     }
 
     // The log's invariants (dense ids, append-only vector) hold even when a
@@ -105,13 +145,10 @@ impl QueryLog {
             }
         }
         let id = QueryId(guard.len() as u64 + 1);
-        guard.push(Arc::new(LoggedQuery {
-            id,
-            query,
-            text: sql.to_string(),
-            executed_at,
-            context,
-        }));
+        let entry =
+            Arc::new(LoggedQuery { id, query, text: sql.to_string(), executed_at, context });
+        self.notify(&entry);
+        guard.push(entry);
         Ok(id)
     }
 
@@ -124,7 +161,9 @@ impl QueryLog {
     ) -> QueryId {
         let mut guard = self.write();
         let id = QueryId(guard.len() as u64 + 1);
-        guard.push(Arc::new(LoggedQuery { id, query, text, executed_at, context }));
+        let entry = Arc::new(LoggedQuery { id, query, text, executed_at, context });
+        self.notify(&entry);
+        guard.push(entry);
         id
     }
 

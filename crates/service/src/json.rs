@@ -9,6 +9,11 @@
 
 use std::fmt;
 
+/// Maximum container nesting the parser accepts. The parser is recursive
+/// descent, so unbounded nesting on a network-facing input would overflow
+/// the thread stack; 64 levels is far beyond anything the protocol emits.
+pub const MAX_NESTING_DEPTH: usize = 64;
+
 /// A JSON value.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Json {
@@ -82,7 +87,7 @@ impl Json {
 
     /// Parses one JSON value and requires only whitespace after it.
     pub fn parse(text: &str) -> Result<Json, String> {
-        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        let mut p = Parser { bytes: text.as_bytes(), pos: 0, depth: 0 };
         p.skip_ws();
         let v = p.value()?;
         p.skip_ws();
@@ -143,6 +148,7 @@ impl From<f64> for Json {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -195,11 +201,21 @@ impl<'a> Parser<'a> {
         }
     }
 
+    fn enter(&mut self) -> Result<(), String> {
+        self.depth += 1;
+        if self.depth > MAX_NESTING_DEPTH {
+            return Err(self.err(&format!("nesting deeper than {MAX_NESTING_DEPTH}")));
+        }
+        Ok(())
+    }
+
     fn object(&mut self) -> Result<Json, String> {
         self.expect(b'{')?;
+        self.enter()?;
         let mut fields = Vec::new();
         self.skip_ws();
         if self.eat(b'}') {
+            self.depth -= 1;
             return Ok(Json::Obj(fields));
         }
         loop {
@@ -215,15 +231,18 @@ impl<'a> Parser<'a> {
                 continue;
             }
             self.expect(b'}')?;
+            self.depth -= 1;
             return Ok(Json::Obj(fields));
         }
     }
 
     fn array(&mut self) -> Result<Json, String> {
         self.expect(b'[')?;
+        self.enter()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.eat(b']') {
+            self.depth -= 1;
             return Ok(Json::Arr(items));
         }
         loop {
@@ -234,6 +253,7 @@ impl<'a> Parser<'a> {
                 continue;
             }
             self.expect(b']')?;
+            self.depth -= 1;
             return Ok(Json::Arr(items));
         }
     }
@@ -432,6 +452,22 @@ mod tests {
             let err = Json::parse(bad).unwrap_err();
             assert!(err.contains("byte"), "{bad} -> {err}");
         }
+    }
+
+    #[test]
+    fn nesting_depth_is_bounded() {
+        // At the limit: fine. One past: clean error, not a stack overflow.
+        let ok = format!("{}{}", "[".repeat(MAX_NESTING_DEPTH), "]".repeat(MAX_NESTING_DEPTH));
+        assert!(Json::parse(&ok).is_ok());
+        for deep in [MAX_NESTING_DEPTH + 1, 100_000] {
+            let bad = format!("{}{}", "[".repeat(deep), "]".repeat(deep));
+            let err = Json::parse(&bad).unwrap_err();
+            assert!(err.contains("nesting"), "{err}");
+        }
+        // Mixed object/array nesting counts the same.
+        let mixed = format!(r#"{}"x"{}"#, r#"{"k":["#.repeat(40), "]}".repeat(40));
+        let err = Json::parse(&mixed).unwrap_err();
+        assert!(err.contains("nesting"), "{err}");
     }
 
     #[test]

@@ -36,4 +36,4 @@ pub mod state;
 pub use json::Json;
 pub use proto::{parse_request, Request};
 pub use server::{serve_stdio, Server};
-pub use state::{Outcome, ServiceConfig, ServiceCore, ServiceCounters};
+pub use state::{journal_stats_fields, Outcome, ServiceConfig, ServiceCore, ServiceCounters};

@@ -1,0 +1,60 @@
+//! Property test: the hand-rolled wire JSON round-trips through its own
+//! printer and parser, and printing is a fixed point (render → parse →
+//! render is byte-identical). The wire protocol and the durable-store
+//! tooling both compare response lines byte-for-byte, so this is the
+//! invariant everything else leans on.
+
+use audex_service::Json;
+use proptest::prelude::*;
+
+/// Characters that exercise every printer path: escapes, control bytes,
+/// multi-byte UTF-8, and a surrogate-pair scalar.
+const CHARS: [char; 14] =
+    ['a', 'Z', '0', ' ', '"', '\\', '/', '\n', '\r', '\t', '\u{1}', 'é', '\u{2603}', '\u{1f914}'];
+
+fn string_strategy() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0usize..CHARS.len(), 0..12)
+        .prop_map(|ix| ix.into_iter().map(|i| CHARS[i]).collect())
+}
+
+/// Finite floats with a guaranteed fractional part. A float that prints
+/// without a `.` (e.g. `3`) reparses as `Json::Int`, which is a faithful
+/// value round-trip but not a *variant* round-trip; excluding it keeps the
+/// assertion exact. `k/1024` is dyadic, so the sum is exact in binary and
+/// Rust's shortest-round-trip `Display` reproduces the same bits.
+fn float_strategy() -> impl Strategy<Value = f64> {
+    (-1_000_000i64..1_000_000, 1u32..1024)
+        .prop_map(|(whole, frac)| whole as f64 + f64::from(frac) / 1024.0)
+}
+
+fn json_strategy() -> BoxedStrategy<Json> {
+    let leaf = prop_oneof![
+        Just(Json::Null),
+        any::<bool>().prop_map(Json::Bool),
+        any::<i64>().prop_map(Json::Int),
+        float_strategy().prop_map(Json::Float),
+        string_strategy().prop_map(Json::Str),
+    ];
+    leaf.prop_recursive(4, 32, 4, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..5).prop_map(Json::Arr),
+            proptest::collection::vec((string_strategy(), inner), 0..5).prop_map(Json::Obj),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn display_then_parse_is_identity(v in json_strategy()) {
+        let text = v.to_string();
+        let back = match Json::parse(&text) {
+            Ok(back) => back,
+            Err(e) => return Err(format!("reparse of {text:?} failed: {e}")),
+        };
+        prop_assert_eq!(&back, &v, "value drifted through {}", text);
+        // Printing is canonical: a second round produces the same bytes.
+        prop_assert_eq!(back.to_string(), text);
+    }
+}

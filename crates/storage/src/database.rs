@@ -15,13 +15,28 @@ use crate::snapshot::{SnapshotCache, SnapshotKind, SnapshotStats};
 use crate::table::{Relation, Row, Table, Tid};
 use crate::value::Value;
 
+/// Observer of committed mutations, called synchronously from inside every
+/// successful [`Database`] write — the choke point a write-ahead journal
+/// hooks to see each change exactly once, in commit order.
+///
+/// Implementations must not call back into the database. They are infallible
+/// by design: a sink that cannot persist a record stashes the error and
+/// surfaces it through its own diagnostics (the database has already
+/// committed and cannot un-apply).
+pub trait ChangeSink: Send + Sync {
+    /// A table was created at `ts`.
+    fn on_create_table(&self, name: &Ident, schema: &Schema, ts: Timestamp);
+    /// A row-level change was committed to `table`.
+    fn on_change(&self, table: &Ident, rec: &ChangeRecord);
+}
+
 /// An in-memory, versioned relational database.
 ///
 /// Every mutation is stamped with a (non-decreasing) [`Timestamp`] and
 /// recorded in per-table [`TableHistory`] backlogs, so any past instant can
 /// be reconstructed — the substrate the paper's `DATA-INTERVAL` clause and
 /// the Agrawal et al. backlog methodology require.
-#[derive(Debug, Default)]
+#[derive(Default)]
 pub struct Database {
     tables: BTreeMap<Ident, Table>,
     histories: BTreeMap<Ident, TableHistory>,
@@ -32,13 +47,30 @@ pub struct Database {
     /// Memoized version snapshots (see [`crate::snapshot`]). Derived data:
     /// invisible to equality, and never shared with clones.
     snapshots: SnapshotCache,
+    /// Mutation observer (see [`ChangeSink`]); never cloned, never compared.
+    sink: Option<Arc<dyn ChangeSink>>,
+}
+
+impl std::fmt::Debug for Database {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Database")
+            .field("tables", &self.tables)
+            .field("histories", &self.histories)
+            .field("last_ts", &self.last_ts)
+            .field("faults", &self.faults)
+            .field("snapshots", &self.snapshots)
+            .field("sink", &self.sink.as_ref().map(|_| "attached"))
+            .finish()
+    }
 }
 
 impl Clone for Database {
     /// Clones data and the armed fault plan (shared, so scan ordinals keep
     /// counting across clones — tests rely on that), but hands the clone a
     /// **fresh** snapshot cache: clones may diverge, and change-prefix keys
-    /// are only self-validating within one mutation lineage.
+    /// are only self-validating within one mutation lineage. The change sink
+    /// is likewise not inherited: a journal records one lineage, and a
+    /// diverging clone writing the same journal would corrupt it.
     fn clone(&self) -> Self {
         Database {
             tables: self.tables.clone(),
@@ -46,6 +78,7 @@ impl Clone for Database {
             last_ts: self.last_ts,
             faults: self.faults.clone(),
             snapshots: SnapshotCache::default(),
+            sink: None,
         }
     }
 }
@@ -95,9 +128,23 @@ impl Database {
             return Err(StorageError::DuplicateTable(name));
         }
         self.tables.insert(name.clone(), Table::new(name.clone(), schema.clone()));
-        self.histories.insert(name.clone(), TableHistory::new(name, schema, ts));
+        self.histories.insert(name.clone(), TableHistory::new(name.clone(), schema.clone(), ts));
         self.last_ts = ts;
+        if let Some(s) = &self.sink {
+            s.on_create_table(&name, &schema, ts);
+        }
         Ok(())
+    }
+
+    /// Attaches a [`ChangeSink`] observing every subsequent committed
+    /// mutation. Replaces any previous sink. Clones do not inherit it.
+    pub fn set_change_sink(&mut self, sink: Arc<dyn ChangeSink>) {
+        self.sink = Some(sink);
+    }
+
+    /// Detaches the change sink, if any.
+    pub fn clear_change_sink(&mut self) {
+        self.sink = None;
     }
 
     /// The current state of a table.
@@ -235,7 +282,28 @@ impl Database {
         Ok(())
     }
 
+    /// Re-applies a previously recorded change (crash-recovery replay).
+    /// The record flows through the normal mutation paths, so histories,
+    /// tid allocation, and any attached sink behave exactly as at original
+    /// execution time.
+    pub fn apply_change(&mut self, name: &Ident, rec: &ChangeRecord) -> Result<(), StorageError> {
+        match (rec.op, &rec.after) {
+            (ChangeOp::Insert, Some(row)) => {
+                self.insert_with_tid(name, rec.tid, row.clone(), rec.ts)
+            }
+            (ChangeOp::Update, Some(row)) => self.update_row(name, rec.tid, row.clone(), rec.ts),
+            (ChangeOp::Delete, None) => self.delete_row(name, rec.tid, rec.ts),
+            (op, _) => Err(StorageError::Unsupported(format!(
+                "malformed change record: {op:?} with{} after-image",
+                if rec.after.is_some() { "" } else { "out" }
+            ))),
+        }
+    }
+
     fn record(&mut self, name: &Ident, rec: ChangeRecord) {
+        if let Some(s) = &self.sink {
+            s.on_change(name, &rec);
+        }
         // Every table has a history (created together) and `check_ts` ran
         // before the mutation, so neither step can fail; assert in debug
         // builds rather than panic in release.

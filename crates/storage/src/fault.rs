@@ -147,6 +147,119 @@ impl FaultState {
     }
 }
 
+/// What an armed [`IoFaultPlan`] injects into one journal append.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoAppendFault {
+    /// Write the frame normally.
+    None,
+    /// Write only the first `keep` bytes of the frame, then fail the append
+    /// — the on-disk result is a torn tail, exactly what a crash mid-write
+    /// leaves behind.
+    ShortWrite(usize),
+    /// Write the whole frame but with a corrupted checksum, and report
+    /// success — silent media corruption, caught only by recovery's CRC
+    /// scan.
+    CorruptCrc,
+}
+
+/// A deterministic plan of journal I/O faults (short write, fsync error,
+/// corrupt CRC), the durability counterpart of [`FaultPlan`]'s scan faults.
+///
+/// Ordinals are 1-based and counted per armed state, so a test can address
+/// "the 3rd record ever written" or "the 2nd fsync" exactly. The plan lives
+/// here (not in the persistence crate) so the whole workspace shares one
+/// fault-injection vocabulary.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IoFaultPlan {
+    /// `(nth append, bytes kept)`.
+    short_write: Option<(u64, usize)>,
+    /// Which fsync call fails.
+    fsync_fail: Option<u64>,
+    /// Which append's checksum is silently corrupted.
+    corrupt_crc: Option<u64>,
+}
+
+impl IoFaultPlan {
+    /// An empty plan (no faults).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The `nth` (1-based) append writes only `keep` bytes and then fails.
+    pub fn short_write(mut self, nth: u64, keep: usize) -> Self {
+        assert!(nth > 0, "append ordinals are 1-based");
+        self.short_write = Some((nth, keep));
+        self
+    }
+
+    /// The `nth` (1-based) fsync fails.
+    pub fn fail_fsync(mut self, nth: u64) -> Self {
+        assert!(nth > 0, "fsync ordinals are 1-based");
+        self.fsync_fail = Some(nth);
+        self
+    }
+
+    /// The `nth` (1-based) append is written with a corrupted CRC but
+    /// reported as successful.
+    pub fn corrupt_crc(mut self, nth: u64) -> Self {
+        assert!(nth > 0, "append ordinals are 1-based");
+        self.corrupt_crc = Some(nth);
+        self
+    }
+
+    /// True when the plan contains no faults.
+    pub fn is_empty(&self) -> bool {
+        self.short_write.is_none() && self.fsync_fail.is_none() && self.corrupt_crc.is_none()
+    }
+}
+
+/// An armed [`IoFaultPlan`] with its append/fsync counters. Shared via
+/// `Arc` with the journal under test.
+#[derive(Debug, Default)]
+pub struct IoFaultState {
+    plan: IoFaultPlan,
+    appends: Mutex<u64>,
+    fsyncs: Mutex<u64>,
+}
+
+impl IoFaultState {
+    /// Arms a plan.
+    pub fn new(plan: IoFaultPlan) -> Self {
+        IoFaultState { plan, appends: Mutex::new(0), fsyncs: Mutex::new(0) }
+    }
+
+    /// Records one append and says what to inject into it.
+    pub fn on_append(&self) -> IoAppendFault {
+        let ordinal = {
+            let mut n = self.appends.lock().unwrap_or_else(|e| e.into_inner());
+            *n += 1;
+            *n
+        };
+        if let Some((nth, keep)) = self.plan.short_write {
+            if nth == ordinal {
+                return IoAppendFault::ShortWrite(keep);
+            }
+        }
+        if self.plan.corrupt_crc == Some(ordinal) {
+            return IoAppendFault::CorruptCrc;
+        }
+        IoAppendFault::None
+    }
+
+    /// Records one fsync and fails it if the plan says so.
+    pub fn on_fsync(&self) -> Result<(), std::io::Error> {
+        let ordinal = {
+            let mut n = self.fsyncs.lock().unwrap_or_else(|e| e.into_inner());
+            *n += 1;
+            *n
+        };
+        if self.plan.fsync_fail == Some(ordinal) {
+            return Err(std::io::Error::other(format!("injected: fsync #{ordinal} failed")));
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -54,12 +54,13 @@ pub mod snapshot;
 pub mod table;
 pub mod value;
 
-pub use database::{Database, DatabaseAt, ExecOutcome};
+pub use backlog::{ChangeOp, ChangeRecord, TableHistory};
+pub use database::{ChangeSink, Database, DatabaseAt, ExecOutcome};
 pub use error::StorageError;
 pub use exec::{
     execute_query, JoinStrategy, LineageEntry, LineageRow, RelationProvider, ResultSet,
 };
-pub use fault::FaultPlan;
+pub use fault::{FaultPlan, IoAppendFault, IoFaultPlan, IoFaultState};
 pub use schema::Schema;
 pub use snapshot::{SnapshotKind, SnapshotStats};
 pub use table::{Relation, Row, Table, Tid};

@@ -15,9 +15,11 @@
 //! wire protocol in [`audex::service::proto`].
 
 use audex::core::{AuditEngine, AuditMode, EngineOptions, Governor};
+use audex::persist::{FsyncPolicy, Journal, Recovered, WalOptions};
 use audex::service::{ServiceConfig, ServiceCore};
 use audex::session::{load_database_script, load_log_script};
 use audex::Timestamp;
+use std::path::Path;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -26,6 +28,8 @@ fn main() -> ExitCode {
         Some("audit") => cmd_audit(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("send") => cmd_send(&args[1..]),
+        Some("recover") => cmd_recover(&args[1..]),
+        Some("compact") => cmd_compact(&args[1..]),
         Some("paper") => cmd_paper(),
         Some("demo") => cmd_demo(),
         Some("help") | Some("--help") | Some("-h") | None => {
@@ -48,14 +52,18 @@ audex — audit SQL query logs for privacy violations
        (Goyal, Gupta & Gupta, ICDE 2008, implemented in Rust)
 
 USAGE:
-  audex audit --db <FILE> --log <FILE> (--expr <TEXT> | --expr-file <FILE>)
+  audex audit (--db <FILE> --log <FILE> | --data-dir <DIR>)
+              (--expr <TEXT> | --expr-file <FILE>)
               [--now <TIMESTAMP>] [--csv] [--per-query] [--no-static-filter]
               [--granules <LIMIT>] [--stats] [--deadline-ms <MS>]
               [--max-steps <N>] [--max-granules <N>] [--threads <N>]
   audex serve (--stdio | --listen <ADDR>) [--db <FILE>] [--log <FILE>]
-              [--deadline-ms <MS>] [--max-steps <N>] [--max-granules <N>]
-              [--threads <N>]
+              [--data-dir <DIR>] [--fsync always|batch|never]
+              [--checkpoint-every <N>] [--deadline-ms <MS>] [--max-steps <N>]
+              [--max-granules <N>] [--threads <N>]
   audex send  --addr <ADDR> [REQUEST...]
+  audex recover --data-dir <DIR>   repair a crashed store and report its state
+  audex compact --data-dir <DIR>   checkpoint + prune a store offline
   audex paper     regenerate the paper's worked artifacts (Figs. 4-6)
   audex demo      synthetic hospital with planted snooping, audited end to end
   audex help      this text
@@ -64,6 +72,18 @@ FILES:
   --db    a timestamped SQL script ('@<ts>' lines set the clock)
   --log   a query log ('@<ts> user=<id> role=<id> purpose=<id>' headers)
   See the audex::session module docs for the exact formats.
+
+DURABILITY (--data-dir, the durable audit store):
+  `audex serve --data-dir DIR` journals every committed DML change, log
+  append, and audit (un)registration to a segmented write-ahead log in DIR,
+  recovering any existing state first (checkpoint + WAL tail, torn tails
+  truncated). --fsync picks the flush discipline: `always` (acknowledged =>
+  durable), `batch` (group fsync, bounded loss window; default), `never`.
+  --checkpoint-every N snapshots derived state every N records so recovery
+  and the WAL stay short. `audex recover` repairs and summarizes a store
+  without serving. `audex compact` forces a checkpoint and prunes covered
+  segments. `audex audit --data-dir` audits recovered state read-only; with
+  --stats it also reports the store's journal counters.
 
 OPTIONS:
   --now          reference time for now() and clause defaults
@@ -104,6 +124,7 @@ fn take_value(args: &[String], i: &mut usize, flag: &str) -> Result<String, Stri
 fn cmd_audit(args: &[String]) -> Result<(), String> {
     let mut db_path = None;
     let mut log_path = None;
+    let mut data_dir: Option<String> = None;
     let mut expr_text: Option<String> = None;
     let mut now: Option<Timestamp> = None;
     let mut csv = false;
@@ -119,6 +140,7 @@ fn cmd_audit(args: &[String]) -> Result<(), String> {
         match args[i].as_str() {
             "--db" => db_path = Some(take_value(args, &mut i, "--db")?),
             "--log" => log_path = Some(take_value(args, &mut i, "--log")?),
+            "--data-dir" => data_dir = Some(take_value(args, &mut i, "--data-dir")?),
             "--expr" => expr_text = Some(take_value(args, &mut i, "--expr")?),
             "--expr-file" => {
                 let path = take_value(args, &mut i, "--expr-file")?;
@@ -172,14 +194,32 @@ fn cmd_audit(args: &[String]) -> Result<(), String> {
         i += 1;
     }
 
-    let db_path = db_path.ok_or("--db is required")?;
-    let log_path = log_path.ok_or("--log is required")?;
     let expr_text = expr_text.ok_or("--expr or --expr-file is required")?;
 
-    let db_text = std::fs::read_to_string(&db_path).map_err(|e| format!("{db_path}: {e}"))?;
-    let log_text = std::fs::read_to_string(&log_path).map_err(|e| format!("{log_path}: {e}"))?;
-    let db = load_database_script(&db_text).map_err(|e| format!("{db_path}: {e}"))?;
-    let log = load_log_script(&log_text).map_err(|e| format!("{log_path}: {e}"))?;
+    // A durable store captures the database *and* the log, so --data-dir
+    // replaces both file flags; mixing them would be ambiguous about which
+    // source wins.
+    let (db, log, store) = if let Some(dir) = data_dir {
+        if db_path.is_some() || log_path.is_some() {
+            return Err("--data-dir is mutually exclusive with --db/--log".into());
+        }
+        let recovered =
+            audex::persist::read_store(Path::new(&dir)).map_err(|e| format!("{dir}: {e}"))?;
+        report_recovery(&dir, &recovered);
+        let core = ServiceCore::recovered(&recovered, ServiceConfig::default())
+            .map_err(|e| format!("replaying {dir}: {e}"))?;
+        let (db, log) = core.into_parts();
+        (db, log, Some(recovered))
+    } else {
+        let db_path = db_path.ok_or("--db is required (or --data-dir)")?;
+        let log_path = log_path.ok_or("--log is required (or --data-dir)")?;
+        let db_text = std::fs::read_to_string(&db_path).map_err(|e| format!("{db_path}: {e}"))?;
+        let log_text =
+            std::fs::read_to_string(&log_path).map_err(|e| format!("{log_path}: {e}"))?;
+        let db = load_database_script(&db_text).map_err(|e| format!("{db_path}: {e}"))?;
+        let log = load_log_script(&log_text).map_err(|e| format!("{log_path}: {e}"))?;
+        (db, log, None)
+    };
     let expr = audex::parse_audit(&expr_text).map_err(|e| format!("audit expression: {e}"))?;
     let now = now.unwrap_or_else(|| db.last_ts());
 
@@ -229,6 +269,20 @@ fn cmd_audit(args: &[String]) -> Result<(), String> {
             snap.misses,
             db.snapshot_cache_len()
         );
+        if let Some(recovered) = &store {
+            // Read-only open: no Journal counters exist, so report the
+            // store's shape from the recovery scan instead.
+            let covers = recovered.checkpoint.as_ref().map_or(0, |c| c.covers_seq);
+            println!(
+                "durable store: {} record(s) ({covers} via checkpoint, lag {}), torn tail: {}",
+                recovered.total_records(),
+                recovered.next_seq.saturating_sub(covers),
+                match &recovered.torn {
+                    Some(t) => format!("{} byte(s) at {}", t.dropped_bytes, t.path.display()),
+                    None => "none".into(),
+                },
+            );
+        }
     }
     Ok(())
 }
@@ -238,6 +292,9 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let mut listen: Option<String> = None;
     let mut db_path: Option<String> = None;
     let mut log_path: Option<String> = None;
+    let mut data_dir: Option<String> = None;
+    let mut fsync = FsyncPolicy::Batch;
+    let mut checkpoint_every: Option<u64> = None;
     let mut limits = audex::core::ResourceLimits::unlimited();
     let mut threads: Option<usize> = None;
 
@@ -248,6 +305,21 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             "--listen" => listen = Some(take_value(args, &mut i, "--listen")?),
             "--db" => db_path = Some(take_value(args, &mut i, "--db")?),
             "--log" => log_path = Some(take_value(args, &mut i, "--log")?),
+            "--data-dir" => data_dir = Some(take_value(args, &mut i, "--data-dir")?),
+            "--fsync" => {
+                let text = take_value(args, &mut i, "--fsync")?;
+                fsync = text.parse()?;
+            }
+            "--checkpoint-every" => {
+                let text = take_value(args, &mut i, "--checkpoint-every")?;
+                let n: u64 = text
+                    .parse()
+                    .map_err(|_| format!("invalid --checkpoint-every value {text:?}"))?;
+                if n == 0 {
+                    return Err("--checkpoint-every must be at least 1".into());
+                }
+                checkpoint_every = Some(n);
+            }
             "--deadline-ms" => {
                 let text = take_value(args, &mut i, "--deadline-ms")?;
                 let ms: u64 =
@@ -281,27 +353,49 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     if stdio && listen.is_some() {
         return Err("--stdio and --listen are mutually exclusive".into());
     }
+    if data_dir.is_some() && (db_path.is_some() || log_path.is_some()) {
+        return Err("--data-dir recovers its own state; it is mutually exclusive with \
+                    --db/--log preloading"
+            .into());
+    }
+    if data_dir.is_none() && checkpoint_every.is_some() {
+        return Err("--checkpoint-every requires --data-dir".into());
+    }
 
-    let db = match db_path {
-        Some(path) => {
-            let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
-            load_database_script(&text).map_err(|e| format!("{path}: {e}"))?
-        }
-        None => audex::Database::new(),
-    };
     let config = ServiceConfig {
         limits,
         parallelism: threads.unwrap_or_else(audex::core::default_parallelism),
+        checkpoint_every,
         ..Default::default()
     };
-    let core = match log_path {
-        Some(path) => {
-            let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
-            let log = load_log_script(&text).map_err(|e| format!("{path}: {e}"))?;
-            ServiceCore::preloaded(db, log, config)
-                .map_err(|e| format!("preloading the index from {path}: {e}"))?
+
+    let core = if let Some(dir) = data_dir {
+        let options = WalOptions { fsync, ..Default::default() };
+        let (journal, recovered) = Journal::open(Path::new(&dir), options)
+            .map_err(|e| format!("opening durable store {dir}: {e}"))?;
+        // Stderr, like the listening banner: protocol output stays clean.
+        report_recovery(&dir, &recovered);
+        let mut core = ServiceCore::recovered(&recovered, config)
+            .map_err(|e| format!("recovering service state from {dir}: {e}"))?;
+        core.attach_journal(journal);
+        core
+    } else {
+        let db = match db_path {
+            Some(path) => {
+                let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+                load_database_script(&text).map_err(|e| format!("{path}: {e}"))?
+            }
+            None => audex::Database::new(),
+        };
+        match log_path {
+            Some(path) => {
+                let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+                let log = load_log_script(&text).map_err(|e| format!("{path}: {e}"))?;
+                ServiceCore::preloaded(db, log, config)
+                    .map_err(|e| format!("preloading the index from {path}: {e}"))?
+            }
+            None => ServiceCore::new(db, config),
         }
-        None => ServiceCore::new(db, config),
     };
 
     match listen {
@@ -314,6 +408,84 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             server.run().map_err(|e| e.to_string())
         }
     }
+}
+
+/// One-line-per-fact recovery summary on stderr.
+fn report_recovery(dir: &str, recovered: &Recovered) {
+    match &recovered.checkpoint {
+        Some(c) => eprintln!(
+            "audex: {dir}: checkpoint covers {} record(s), WAL tail has {}",
+            c.covers_seq,
+            recovered.tail.len()
+        ),
+        None => {
+            eprintln!("audex: {dir}: no checkpoint, WAL has {} record(s)", recovered.tail.len())
+        }
+    }
+    for note in &recovered.notes {
+        eprintln!("audex: {dir}: {note}");
+    }
+}
+
+fn take_data_dir(args: &[String]) -> Result<String, String> {
+    let mut data_dir: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--data-dir" => data_dir = Some(take_value(args, &mut i, "--data-dir")?),
+            other => return Err(format!("unknown option {other:?}")),
+        }
+        i += 1;
+    }
+    data_dir.ok_or_else(|| "--data-dir is required".into())
+}
+
+fn cmd_recover(args: &[String]) -> Result<(), String> {
+    let dir = take_data_dir(args)?;
+    // Opening for append repairs the torn tail and reconciles checkpoint vs
+    // WAL; recovering the service proves the records replay cleanly.
+    let (_journal, recovered) =
+        Journal::open(Path::new(&dir), WalOptions::default()).map_err(|e| format!("{dir}: {e}"))?;
+    report_recovery(&dir, &recovered);
+    let core = ServiceCore::recovered(&recovered, ServiceConfig::default())
+        .map_err(|e| format!("replaying {dir}: {e}"))?;
+    println!(
+        "recovered: {} record(s) ({} via checkpoint), {} logged quer{}, backlog at ts {}",
+        recovered.total_records(),
+        recovered.checkpoint.as_ref().map_or(0, |c| c.covers_seq),
+        core.log().len(),
+        if core.log().len() == 1 { "y" } else { "ies" },
+        core.db().last_ts().0,
+    );
+    match &recovered.torn {
+        Some(t) => println!(
+            "repaired: torn tail in {} ({} byte(s) dropped)",
+            t.path.display(),
+            t.dropped_bytes
+        ),
+        None => println!("clean: no torn tail"),
+    }
+    Ok(())
+}
+
+fn cmd_compact(args: &[String]) -> Result<(), String> {
+    let dir = take_data_dir(args)?;
+    let (journal, recovered) =
+        Journal::open(Path::new(&dir), WalOptions::default()).map_err(|e| format!("{dir}: {e}"))?;
+    report_recovery(&dir, &recovered);
+    let mut core = ServiceCore::recovered(&recovered, ServiceConfig::default())
+        .map_err(|e| format!("replaying {dir}: {e}"))?;
+    core.attach_journal(journal);
+    let path = core.checkpoint().map_err(|e| format!("checkpointing {dir}: {e}"))?;
+    let jc = core.journal().map(|j| j.counters()).unwrap_or_default();
+    println!(
+        "compacted: checkpoint {} covers {} record(s); {} live segment(s), {} byte(s)",
+        path.display(),
+        jc.last_checkpoint_seq,
+        jc.segments,
+        jc.segment_bytes,
+    );
+    Ok(())
 }
 
 fn cmd_send(args: &[String]) -> Result<(), String> {

@@ -23,6 +23,7 @@
 
 pub use audex_core as core;
 pub use audex_log as log;
+pub use audex_persist as persist;
 pub use audex_policy as policy;
 pub use audex_service as service;
 pub use audex_sql as sql;

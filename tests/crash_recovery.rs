@@ -1,0 +1,224 @@
+//! Differential crash-recovery test of the durable store.
+//!
+//! A reference `audex serve --stdio` child runs a workload uninterrupted in
+//! memory. A second child runs the same workload against `--data-dir`
+//! with `--fsync always`, is SIGKILLed mid-ingest after a known number of
+//! acknowledged requests, and is restarted from the same directory to
+//! finish the workload. The final full-audit response must be
+//! **byte-identical** to the in-memory run — and must stay byte-identical
+//! when the crash leaves a torn tail (garbage appended to the live WAL
+//! segment) or a corrupt-CRC final record (last byte flipped; the dropped
+//! record's request is re-sent after restart, exactly what a client that
+//! never saw the ack would do).
+
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+
+struct Serve {
+    child: Child,
+    stdin: ChildStdin,
+    reader: BufReader<ChildStdout>,
+}
+
+impl Serve {
+    fn spawn(extra: &[&str]) -> Serve {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_audex"))
+            .args(["serve", "--stdio"])
+            .args(extra)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn audex serve --stdio");
+        let stdin = child.stdin.take().expect("child stdin");
+        let reader = BufReader::new(child.stdout.take().expect("child stdout"));
+        Serve { child, stdin, reader }
+    }
+
+    /// Sends one request and reads its one response line (the protocol is
+    /// strictly one line back per line in, absent subscriptions).
+    fn request(&mut self, line: &str) -> String {
+        writeln!(self.stdin, "{line}").expect("write request");
+        self.stdin.flush().expect("flush request");
+        let mut resp = String::new();
+        self.reader.read_line(&mut resp).expect("read response");
+        assert!(resp.ends_with('\n'), "truncated response for {line}");
+        resp.pop();
+        assert!(resp.contains("\"ok\":true"), "request {line} failed: {resp}");
+        resp
+    }
+
+    /// Simulates a crash: SIGKILL, no drain, no flush.
+    fn kill(mut self) {
+        self.child.kill().expect("kill child");
+        let _ = self.child.wait();
+    }
+
+    fn finish(mut self) {
+        drop(self.stdin);
+        let status = self.child.wait().expect("child exits");
+        assert!(status.success(), "serve exited with {status}");
+    }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("audex-crash-recovery-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The workload: schema + seed rows, a standing audit, queries streaming
+/// in around a mid-stream DML write. `KILL_AFTER` requests get acked
+/// before the crash; the tail (including the final audit) runs after
+/// restart.
+fn workload() -> Vec<String> {
+    vec![
+        r#"{"cmd":"dml","ts":100,"sql":"CREATE TABLE p (name CHAR, zipcode CHAR, disease CHAR); INSERT INTO p VALUES ('jane','145568','flu'), ('reku','145568','diabetic'), ('lucy','188888','malaria');"}"#.into(),
+        r#"{"cmd":"register","name":"snoop","expr":"AUDIT disease FROM p WHERE zipcode='145568'","now":10000}"#.into(),
+        r#"{"cmd":"log","ts":200,"user":"u-7","role":"doctor","purpose":"treatment","sql":"SELECT disease FROM p WHERE zipcode = '145568'"}"#.into(),
+        r#"{"cmd":"log","ts":300,"user":"u-13","role":"nurse","purpose":"treatment","sql":"SELECT name FROM p WHERE zipcode = '188888'"}"#.into(),
+        // Single-row insert: exactly one WAL record, so the corrupt-CRC
+        // variant below drops precisely this request's effect.
+        r#"{"cmd":"dml","ts":400,"sql":"INSERT INTO p VALUES ('rob','145568','diabetic');"}"#.into(),
+        r#"{"cmd":"log","ts":500,"user":"u-21","role":"clerk","purpose":"marketing","sql":"SELECT disease, name FROM p WHERE zipcode = '145568'"}"#.into(),
+        r#"{"cmd":"audit","name":"snoop"}"#.into(),
+        r#"{"cmd":"shutdown"}"#.into(),
+    ]
+}
+
+/// Requests acked before the simulated crash (indices 0..KILL_AFTER).
+const KILL_AFTER: usize = 5;
+
+/// Runs the full workload uninterrupted and returns every response line.
+fn run_uninterrupted(extra: &[&str]) -> Vec<String> {
+    let mut serve = Serve::spawn(extra);
+    let responses: Vec<String> = workload().iter().map(|r| serve.request(r)).collect();
+    serve.finish();
+    responses
+}
+
+/// Runs the prefix against `dir`, crashes, optionally mutates the store,
+/// restarts from `dir`, and finishes the workload from `resume_from`.
+fn run_with_crash(dir: &Path, mutate: impl FnOnce(&Path), resume_from: usize) -> Vec<String> {
+    let requests = workload();
+    let dir_arg = dir.to_str().expect("utf-8 temp path");
+
+    let mut serve = Serve::spawn(&["--data-dir", dir_arg, "--fsync", "always"]);
+    for req in &requests[..KILL_AFTER] {
+        serve.request(req);
+    }
+    serve.kill();
+
+    mutate(dir);
+
+    let mut serve = Serve::spawn(&["--data-dir", dir_arg, "--fsync", "always"]);
+    let responses: Vec<String> = requests[resume_from..].iter().map(|r| serve.request(r)).collect();
+    serve.finish();
+    responses
+}
+
+fn last_wal_segment(dir: &Path) -> PathBuf {
+    let mut segments: Vec<PathBuf> = std::fs::read_dir(dir)
+        .expect("read data dir")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("wal-") && n.ends_with(".log"))
+        })
+        .collect();
+    segments.sort();
+    segments.pop().expect("at least one WAL segment")
+}
+
+#[test]
+fn crash_recovery_report_is_byte_identical() {
+    let reference = run_uninterrupted(&[]);
+    let audit_ref = &reference[6];
+    assert!(audit_ref.contains("\"suspicious\":true"), "workload not suspicious: {audit_ref}");
+
+    // Clean crash: the acked prefix is durable, the tail is re-driven.
+    let dir = temp_dir("clean");
+    let recovered = run_with_crash(&dir, |_| {}, KILL_AFTER);
+    assert_eq!(&recovered[1], audit_ref, "audit drifted through crash recovery");
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+
+    // Torn tail: the crash additionally left a half-written frame. Recovery
+    // truncates it and the replayed state is unchanged.
+    let dir = temp_dir("torn");
+    let recovered = run_with_crash(
+        &dir,
+        |d| {
+            use std::io::Write as _;
+            let seg = last_wal_segment(d);
+            let mut f = std::fs::OpenOptions::new().append(true).open(seg).expect("open segment");
+            f.write_all(&[0x13, 0x37, 0xde, 0xad, 0xbe]).expect("append garbage");
+        },
+        KILL_AFTER,
+    );
+    assert_eq!(&recovered[1], audit_ref, "audit drifted through torn-tail recovery");
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+
+    // Corrupt CRC: the final durable record (the single-row INSERT) is
+    // damaged in place, so recovery drops it; re-sending that request —
+    // what a client without the ack does — restores identical state.
+    let dir = temp_dir("crc");
+    let recovered = run_with_crash(
+        &dir,
+        |d| {
+            let seg = last_wal_segment(d);
+            let mut bytes = std::fs::read(&seg).expect("read segment");
+            let last = bytes.len() - 1;
+            bytes[last] ^= 0x01;
+            std::fs::write(&seg, bytes).expect("rewrite segment");
+        },
+        KILL_AFTER - 1,
+    );
+    assert_eq!(&recovered[2], audit_ref, "audit drifted through corrupt-CRC recovery");
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
+fn recovered_stats_match_in_memory_counters() {
+    // Drive the workload durably with a crash, then compare the service
+    // counters the stats command reports against the in-memory run.
+    // Journal/snapshot internals are store-specific, so compare the
+    // counter fields the protocol has always exposed.
+    let dir = temp_dir("stats");
+    let requests = workload();
+    let body = requests.len() - 1; // everything but the final shutdown
+    let dir_arg = dir.to_str().expect("utf-8 temp path");
+    let mut serve = Serve::spawn(&["--data-dir", dir_arg, "--fsync", "always"]);
+    for req in &requests[..KILL_AFTER] {
+        serve.request(req);
+    }
+    serve.kill();
+    let mut serve = Serve::spawn(&["--data-dir", dir_arg, "--fsync", "always"]);
+    for req in &requests[KILL_AFTER..body] {
+        serve.request(req);
+    }
+    let stats = serve.request(r#"{"cmd":"stats"}"#);
+    let reference_stats = {
+        let mut s = Serve::spawn(&[]);
+        for req in &requests[..body] {
+            s.request(req);
+        }
+        let line = s.request(r#"{"cmd":"stats"}"#);
+        s.finish();
+        line
+    };
+    for field in ["\"log_len\":", "\"index_len\":", "\"index_skipped\":", "\"registered_audits\":"]
+    {
+        let pick = |line: &str| {
+            let at = line.find(field).unwrap_or_else(|| panic!("{field} missing in {line}"));
+            line[at..].chars().take_while(|c| *c != ',' && *c != '}').collect::<String>()
+        };
+        assert_eq!(pick(&stats), pick(&reference_stats), "{field} drifted");
+    }
+    // The durable run reports its journal in the same stats response.
+    assert!(stats.contains("\"journal_records_appended\":"), "{stats}");
+    serve.finish();
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}

@@ -4,8 +4,9 @@
 //! `paper_artifacts` (E3–E8 as microbenches), `granules` (B1),
 //! `audit_scaling` (B2), `versioning` (B3), `notions` (B4), `batch` (B5),
 //! `join_ablation` (B6), `ranking` (B7), `multi_audit` (B8),
-//! `selectivity` (B9), `bench2` (B10, → `BENCH_2.json`), and `ingest`
-//! (B11, → `BENCH_3.json`).
+//! `selectivity` (B9), `bench2` (B10, → `BENCH_2.json`), `ingest`
+//! (B11, → `BENCH_3.json`), `durability` (B12, → `BENCH_4.json`), and
+//! `obs` (B13, telemetry overhead, → `BENCH_5.json`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

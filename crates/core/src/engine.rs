@@ -154,11 +154,62 @@ fn is_governor_error(e: &AuditError) -> bool {
     )
 }
 
+/// Telemetry handles for the audit pipeline: a metrics registry (per-phase
+/// duration histograms, governor step counter) and a phase tracer.
+///
+/// The default is fully disconnected — every span and histogram is a no-op
+/// — so [`EngineOptions`] stays `Copy` and un-instrumented callers pay
+/// nothing. Attach with [`AuditEngine::with_obs`].
+#[derive(Debug, Clone, Default)]
+pub struct EngineObs {
+    registry: Option<Arc<audex_obs::Registry>>,
+    tracer: Option<Arc<audex_obs::Tracer>>,
+}
+
+impl EngineObs {
+    /// Telemetry wired to `registry` and `tracer`.
+    pub fn new(registry: Arc<audex_obs::Registry>, tracer: Arc<audex_obs::Tracer>) -> EngineObs {
+        EngineObs { registry: Some(registry), tracer: Some(tracer) }
+    }
+
+    /// Opens a guard for one pipeline phase: a trace span plus a sample in
+    /// the `audex_audit_phase_seconds{phase=...}` histogram, both recorded
+    /// when the guard drops — on success *and* on error paths.
+    pub fn phase(&self, name: &str) -> audex_obs::TimedSpan {
+        let span = match &self.tracer {
+            Some(t) => t.span(name),
+            None => audex_obs::Span::noop(),
+        };
+        let hist = match &self.registry {
+            Some(r) => r.latency_histogram(
+                "audex_audit_phase_seconds",
+                "Wall-clock per audit pipeline phase.",
+                &[("phase", name)],
+            ),
+            None => audex_obs::Histogram::noop(),
+        };
+        audex_obs::TimedSpan::new(span, hist)
+    }
+
+    /// Adds one audit's governor step count to `audex_governor_steps_total`.
+    fn record_governor_steps(&self, steps: u64) {
+        if let Some(r) = &self.registry {
+            r.counter(
+                "audex_governor_steps_total",
+                "Governor-metered work steps across all audits.",
+                &[],
+            )
+            .add(steps);
+        }
+    }
+}
+
 /// The audit engine: a database (with backlog), a query log, and options.
 pub struct AuditEngine<'a> {
     db: &'a Database,
     log: &'a QueryLog,
     options: EngineOptions,
+    obs: EngineObs,
     /// Shared cancellation flag, armed into every governor this engine
     /// creates — so one handle cancels whatever audit the engine is running.
     cancel: Arc<AtomicBool>,
@@ -172,7 +223,21 @@ impl<'a> AuditEngine<'a> {
 
     /// Creates an engine with explicit options.
     pub fn with_options(db: &'a Database, log: &'a QueryLog, options: EngineOptions) -> Self {
-        AuditEngine { db, log, options, cancel: Arc::new(AtomicBool::new(false)) }
+        AuditEngine {
+            db,
+            log,
+            options,
+            obs: EngineObs::default(),
+            cancel: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    /// Attaches telemetry: per-phase duration histograms and trace spans
+    /// for every subsequent audit. (A builder rather than an
+    /// [`EngineOptions`] field so the options stay `Copy`.)
+    pub fn with_obs(mut self, obs: EngineObs) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// The options in effect.
@@ -204,8 +269,16 @@ impl<'a> AuditEngine<'a> {
     /// the whole call.
     pub fn audit_at(&self, expr: &AuditExpr, now: Timestamp) -> Result<AuditReport, AuditError> {
         let governor = self.governor();
-        let prepared = self.prepare_governed(expr, now, &governor)?;
-        self.run_governed(&prepared, &governor)
+        let span = self.obs.phase("audit");
+        let result = self
+            .prepare_governed(expr, now, &governor)
+            .and_then(|prepared| self.run_governed(&prepared, &governor));
+        if result.is_err() {
+            span.mark_truncated();
+        }
+        drop(span);
+        self.obs.record_governor_steps(governor.steps());
+        result
     }
 
     /// Resolves an expression against the database: scope, schemes, target
@@ -230,7 +303,8 @@ impl<'a> AuditEngine<'a> {
 
         let (ds, de) = resolve_interval(expr.data_interval.as_ref(), now)?;
         let versions = self.db.versions_in(&scope.bases(), ds, de);
-        let view = compute_target_view_governed(
+        let span = self.obs.phase("target-view");
+        let view = match compute_target_view_governed(
             self.db,
             expr,
             &scope,
@@ -238,7 +312,14 @@ impl<'a> AuditEngine<'a> {
             &versions,
             self.options.strategy,
             governor,
-        )?;
+        ) {
+            Ok(view) => view,
+            Err(e) => {
+                span.mark_truncated();
+                return Err(e);
+            }
+        };
+        drop(span);
         let model = GranuleModel {
             spec: spec.clone(),
             threshold: expr.threshold,
@@ -269,13 +350,21 @@ impl<'a> AuditEngine<'a> {
     ) -> Result<Vec<Result<AuditReport, AuditError>>, AuditError> {
         let governor = self.governor();
         let entries = self.log.snapshot();
-        let index = crate::index::TouchIndex::build_governed_with(
+        let span = self.obs.phase("index-build");
+        let index = match crate::index::TouchIndex::build_governed_with(
             self.db,
             &entries,
             self.options.strategy,
             &governor,
             self.options.parallelism,
-        )?;
+        ) {
+            Ok(index) => index,
+            Err(e) => {
+                span.mark_truncated();
+                return Err(e);
+            }
+        };
+        drop(span);
         // Fan the expressions out across workers; results come back in
         // expression order either way, and each entry keeps its own Result
         // (failure isolation is unchanged by the parallel path).
@@ -290,6 +379,7 @@ impl<'a> AuditEngine<'a> {
                 self.audit_one_indexed(&index, &entries, expr, now, &governor)
             })
         };
+        self.obs.record_governor_steps(governor.steps());
         Ok(out)
     }
 
@@ -307,7 +397,15 @@ impl<'a> AuditEngine<'a> {
         let admitted: Vec<QueryId> =
             entries.iter().filter(|e| prepared.filter.admits(e)).map(|e| e.id).collect();
         let admitted_set: std::collections::BTreeSet<QueryId> = admitted.iter().copied().collect();
-        let verdict = index.evaluate_governed(&prepared, &admitted_set, governor)?;
+        let span = self.obs.phase("index-audit");
+        let verdict = match index.evaluate_governed(&prepared, &admitted_set, governor) {
+            Ok(verdict) => verdict,
+            Err(e) => {
+                span.mark_truncated();
+                return Err(e);
+            }
+        };
+        drop(span);
         Ok(AuditReport {
             expr_text: prepared.expr.to_string(),
             candidates: admitted.clone(),
@@ -351,8 +449,16 @@ impl<'a> AuditEngine<'a> {
             &prepared.spec,
             prepared.expr.selection.as_ref(),
         )?;
+        let span = self.obs.phase("candidate-filter");
         let (candidates, pruned) =
-            checker.partition(self.db, admitted, self.options.static_filter, governor)?;
+            match checker.partition(self.db, admitted, self.options.static_filter, governor) {
+                Ok(parts) => parts,
+                Err(e) => {
+                    span.mark_truncated();
+                    return Err(e);
+                }
+            };
+        drop(span);
         let candidate_ids: Vec<QueryId> = candidates.iter().map(|e| e.id).collect();
         phases.push(AuditPhase::CandidateFilter);
 
@@ -365,9 +471,21 @@ impl<'a> AuditEngine<'a> {
         )
         .with_governor(governor.clone())
         .with_parallelism(self.options.parallelism);
-        let verdict = evaluator.evaluate(&candidates)?;
+        let span = self.obs.phase("batch-suspicion");
+        let verdict = match evaluator.evaluate(&candidates) {
+            Ok(verdict) => verdict,
+            Err(e) => {
+                span.mark_truncated();
+                return Err(e);
+            }
+        };
+        drop(span);
         phases.push(AuditPhase::Suspicion);
 
+        let refine_span = match self.options.mode {
+            AuditMode::PerQuery => Some(self.obs.phase("refinement")),
+            AuditMode::Batch => None,
+        };
         let mut truncation = None;
         let per_query_suspicious = match self.options.mode {
             AuditMode::PerQuery if self.options.parallelism > 1 && candidates.len() > 1 => {
@@ -392,7 +510,12 @@ impl<'a> AuditEngine<'a> {
                             truncation = Some(err);
                             break;
                         }
-                        Err(err) => return Err(err),
+                        Err(err) => {
+                            if let Some(s) = &refine_span {
+                                s.mark_truncated();
+                            }
+                            return Err(err);
+                        }
                     }
                 }
                 if truncation.is_none() {
@@ -413,7 +536,12 @@ impl<'a> AuditEngine<'a> {
                             truncation = Some(e);
                             break;
                         }
-                        Err(e) => return Err(e),
+                        Err(e) => {
+                            if let Some(s) = &refine_span {
+                                s.mark_truncated();
+                            }
+                            return Err(e);
+                        }
                     }
                 }
                 if truncation.is_none() {
@@ -423,6 +551,14 @@ impl<'a> AuditEngine<'a> {
             }
             AuditMode::Batch => Vec::new(),
         };
+        if let Some(s) = &refine_span {
+            // A governor trip mid-refinement leaves a partial result; the
+            // span closes either way, flagged so traces show the cut.
+            if truncation.is_some() {
+                s.mark_truncated();
+            }
+        }
+        drop(refine_span);
 
         Ok(AuditReport {
             expr_text: prepared.expr.to_string(),

@@ -68,7 +68,7 @@ pub use candidate::BaseColumn;
 pub use candidate::CandidateChecker;
 pub use catalog::{base_name, AuditScope};
 pub use compliance::{assess, suggest_limits, AccessClass, Assessment};
-pub use engine::{AuditEngine, AuditMode, AuditReport, EngineOptions, PreparedAudit};
+pub use engine::{AuditEngine, AuditMode, AuditReport, EngineObs, EngineOptions, PreparedAudit};
 pub use error::AuditError;
 pub use governor::{AuditPhase, Governor, ResourceLimits};
 pub use granule::{binomial, Granule, GranuleModel};

@@ -1,0 +1,98 @@
+//! `audex-obs` — telemetry for the audit stack: a lock-sharded metrics
+//! registry, a span-based phase tracer, and Prometheus text exposition.
+//!
+//! The crate is std-only and sits below every other audex crate so that
+//! storage, persist, querylog, core, and service can all instrument
+//! through one path. Everything is built around cheap disablement:
+//! a [`Registry::disabled`] hands out no-op [`Counter`]/[`Gauge`]/
+//! [`Histogram`] handles and a [`Tracer::disabled`] hands out no-op
+//! [`Span`]s, so instrumented code never branches on whether telemetry
+//! is on.
+//!
+//! * [`metrics`] — counters, gauges, fixed-bucket histograms; sharded
+//!   locks for registration, relaxed atomics for updates, a hard
+//!   per-family cardinality cap ([`MAX_SERIES_PER_FAMILY`]).
+//! * [`trace`] — RAII [`Span`]s in per-thread ring buffers, exported as
+//!   Chrome-trace-event JSON (`audex audit --trace-out`).
+//! * [`prom`] — deterministic Prometheus text rendering of a registry
+//!   snapshot (the `metrics` wire request and broadcast event).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
+pub mod metrics;
+pub mod prom;
+pub mod trace;
+
+pub use metrics::{
+    Counter, FamilySnapshot, Gauge, Histogram, MetricKind, Registry, SeriesSnapshot, SnapshotValue,
+    DURATION_BUCKETS, MAX_SERIES_PER_FAMILY,
+};
+pub use prom::{escape_help, escape_label_value, render};
+pub use trace::{Span, SpanEvent, Tracer, RING_CAPACITY};
+
+use std::time::Instant;
+
+/// A phase guard that both traces and times: it opens a [`Span`] and, on
+/// drop, records the elapsed wall-clock into a latency [`Histogram`].
+///
+/// This is the one-liner the pipeline uses at each phase boundary:
+///
+/// ```
+/// use audex_obs::{Registry, Tracer, TimedSpan, DURATION_BUCKETS};
+/// let registry = Registry::new();
+/// let tracer = Tracer::new();
+/// let hist = registry.latency_histogram(
+///     "audex_audit_phase_seconds",
+///     "Wall-clock per audit pipeline phase.",
+///     &[("phase", "target-view")],
+/// );
+/// {
+///     let _phase = TimedSpan::new(tracer.span("target-view"), hist);
+///     // ... do the phase work ...
+/// }
+/// assert_eq!(registry.snapshot()[0].series.len(), 1);
+/// ```
+pub struct TimedSpan {
+    span: Span,
+    histogram: Histogram,
+    start: Instant,
+}
+
+impl TimedSpan {
+    /// Starts timing now; `span` and `histogram` both complete on drop.
+    pub fn new(span: Span, histogram: Histogram) -> TimedSpan {
+        TimedSpan { span, histogram, start: Instant::now() }
+    }
+
+    /// Flags the underlying span as cut short (governor trip, worker
+    /// failure). The duration is still recorded in the histogram — a
+    /// truncated phase consumed real wall-clock.
+    pub fn mark_truncated(&self) {
+        self.span.mark_truncated();
+    }
+}
+
+impl Drop for TimedSpan {
+    fn drop(&mut self) {
+        self.histogram.observe_duration(self.start.elapsed());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timed_span_records_histogram_and_trace_event() {
+        let registry = Registry::new();
+        let tracer = Tracer::new();
+        let hist = registry.latency_histogram("phase_seconds", "test", &[("phase", "x")]);
+        drop(TimedSpan::new(tracer.span("x"), hist.clone()));
+        assert_eq!(hist.count(), 1);
+        let events = tracer.take_events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, "x");
+    }
+}

@@ -1,0 +1,581 @@
+//! The lock-sharded metrics registry: counters, gauges, and fixed-bucket
+//! histograms behind cheap clonable handles.
+//!
+//! # Design
+//!
+//! The registry is a name → family map sharded across [`SHARD_COUNT`]
+//! mutexes (hashed by family name), so handle *creation* from concurrent
+//! `par_map` workers contends only within a shard. Handle *updates* never
+//! touch a lock at all: every cell is a plain atomic, and handles are
+//! `Arc`s straight to the cell — call sites are expected to create a handle
+//! once and hold it, paying one relaxed atomic op per update thereafter.
+//!
+//! # Cardinality cap
+//!
+//! Each family holds at most [`MAX_SERIES_PER_FAMILY`] distinct label sets.
+//! Past the cap, new label sets are *clamped*: the returned handle routes to
+//! the family's shared overflow series (exposed with the single label
+//! `overflow="true"`), and the registry-wide
+//! [`series_dropped`](Registry::series_dropped) counter (exposed as
+//! `obs_series_dropped_total`) counts each clamp. Updates are therefore
+//! never lost to a hostile label flood — only their attribution is.
+//!
+//! # Disabled mode
+//!
+//! [`Registry::disabled`] hands out no-op handles (`Option::None` inside),
+//! making an instrumented call site cost one branch — the baseline the B13
+//! overhead bench compares against.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+/// Shards of the family map (see the module docs).
+const SHARD_COUNT: usize = 8;
+
+/// Hard cap on distinct label sets per family; see the module docs for the
+/// clamping discipline past it.
+pub const MAX_SERIES_PER_FAMILY: usize = 256;
+
+/// Default latency buckets (seconds) for duration histograms: 10µs to 2.5s
+/// in roughly half-decade steps, wide enough for a parse and a full audit.
+pub const DURATION_BUCKETS: [f64; 10] =
+    [1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 5e-3, 2.5e-2, 1e-1, 5e-1, 2.5];
+
+/// Micro-units per histogram value unit: sums accumulate atomically in
+/// fixed-point micros (1e-6 resolution — ample for latencies in seconds).
+const MICROS_PER_UNIT: f64 = 1e6;
+
+#[derive(Debug, Default)]
+struct CounterCell {
+    value: AtomicU64,
+}
+
+#[derive(Debug, Default)]
+struct GaugeCell {
+    value: AtomicI64,
+}
+
+#[derive(Debug)]
+struct HistogramCell {
+    /// Upper bounds of the finite buckets, strictly increasing; an implicit
+    /// `+Inf` bucket follows.
+    bounds: Arc<[f64]>,
+    /// Per-bucket (non-cumulative) counts; `buckets.len() == bounds.len()+1`.
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum_micros: AtomicU64,
+}
+
+impl HistogramCell {
+    fn new(bounds: Arc<[f64]>) -> HistogramCell {
+        let buckets = (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect();
+        HistogramCell { bounds, buckets, count: AtomicU64::new(0), sum_micros: AtomicU64::new(0) }
+    }
+
+    fn observe(&self, v: f64) {
+        let idx = self.bounds.partition_point(|b| v > *b);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let micros = (v.max(0.0) * MICROS_PER_UNIT).round() as u64;
+        self.sum_micros.fetch_add(micros, Ordering::Relaxed);
+    }
+}
+
+/// A monotonic counter handle. Cloning shares the underlying cell; the
+/// default handle is a no-op (used by uninstrumented components).
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    cell: Option<Arc<CounterCell>>,
+}
+
+impl Counter {
+    /// A handle that ignores updates and reads as zero.
+    pub fn noop() -> Counter {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        if let Some(c) = &self.cell {
+            c.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Overwrites the value. Counters are monotonic by convention; `store`
+    /// exists for two legitimate non-monotonic moments — restoring
+    /// checkpointed counters on recovery, and mirroring an authoritative
+    /// external counter (the WAL's own) onto the registry.
+    pub fn store(&self, v: u64) {
+        if let Some(c) = &self.cell {
+            c.value.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// The current value (zero for a no-op handle).
+    pub fn get(&self) -> u64 {
+        self.cell.as_ref().map_or(0, |c| c.value.load(Ordering::Relaxed))
+    }
+}
+
+/// A gauge handle: a settable signed value (cache sizes, lags).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge {
+    cell: Option<Arc<GaugeCell>>,
+}
+
+impl Gauge {
+    /// A handle that ignores updates and reads as zero.
+    pub fn noop() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Sets the value.
+    pub fn set(&self, v: i64) {
+        if let Some(c) = &self.cell {
+            c.value.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds a (possibly negative) delta.
+    pub fn add(&self, delta: i64) {
+        if let Some(c) = &self.cell {
+            c.value.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// The current value (zero for a no-op handle).
+    pub fn get(&self) -> i64 {
+        self.cell.as_ref().map_or(0, |c| c.value.load(Ordering::Relaxed))
+    }
+}
+
+/// A fixed-bucket histogram handle.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    cell: Option<Arc<HistogramCell>>,
+}
+
+impl Histogram {
+    /// A handle that ignores updates.
+    pub fn noop() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, v: f64) {
+        if let Some(c) = &self.cell {
+            c.observe(v);
+        }
+    }
+
+    /// Records a duration in seconds.
+    pub fn observe_duration(&self, d: Duration) {
+        if self.cell.is_some() {
+            self.observe(d.as_secs_f64());
+        }
+    }
+
+    /// Total observations so far (zero for a no-op handle).
+    pub fn count(&self) -> u64 {
+        self.cell.as_ref().map_or(0, |c| c.count.load(Ordering::Relaxed))
+    }
+
+    /// Sum of observations so far.
+    pub fn sum(&self) -> f64 {
+        self.cell
+            .as_ref()
+            .map_or(0.0, |c| c.sum_micros.load(Ordering::Relaxed) as f64 / MICROS_PER_UNIT)
+    }
+}
+
+/// What kind of metric a family holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonic counter.
+    Counter,
+    /// Settable signed value.
+    Gauge,
+    /// Fixed-bucket histogram.
+    Histogram,
+}
+
+impl MetricKind {
+    /// The Prometheus `# TYPE` keyword.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Cell {
+    Counter(Arc<CounterCell>),
+    Gauge(Arc<GaugeCell>),
+    Histogram(Arc<HistogramCell>),
+}
+
+/// Sorted, owned label pairs — the series key within a family.
+type LabelSet = Vec<(String, String)>;
+
+#[derive(Debug)]
+struct Family {
+    help: String,
+    kind: MetricKind,
+    /// Bucket bounds shared by every histogram series of the family.
+    bounds: Option<Arc<[f64]>>,
+    series: HashMap<LabelSet, Cell>,
+    /// The clamp target once `series` is full (exposed as
+    /// `overflow="true"`). Created on first clamp.
+    overflow: Option<Cell>,
+}
+
+/// One series in a [`Registry::snapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesSnapshot {
+    /// Sorted label pairs (empty for an unlabelled series).
+    pub labels: Vec<(String, String)>,
+    /// The value at snapshot time.
+    pub value: SnapshotValue,
+}
+
+/// A snapshotted metric value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SnapshotValue {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(i64),
+    /// Histogram state: finite bucket bounds, per-bucket (non-cumulative)
+    /// counts with the `+Inf` bucket last, total count, and value sum.
+    Histogram {
+        /// Finite upper bounds.
+        bounds: Vec<f64>,
+        /// `bounds.len() + 1` counts, `+Inf` last.
+        bucket_counts: Vec<u64>,
+        /// Total observations.
+        count: u64,
+        /// Sum of observed values.
+        sum: f64,
+    },
+}
+
+/// One family in a [`Registry::snapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FamilySnapshot {
+    /// Family (metric) name.
+    pub name: String,
+    /// Help text.
+    pub help: String,
+    /// Metric kind.
+    pub kind: MetricKind,
+    /// Series, sorted by label set.
+    pub series: Vec<SeriesSnapshot>,
+}
+
+/// The lock-sharded metrics registry. See the module docs.
+#[derive(Debug)]
+pub struct Registry {
+    enabled: bool,
+    shards: Vec<Mutex<HashMap<String, Family>>>,
+    /// Label sets clamped to an overflow series (see the module docs).
+    dropped: AtomicU64,
+}
+
+impl Registry {
+    /// A live registry.
+    pub fn new() -> Arc<Registry> {
+        Arc::new(Registry {
+            enabled: true,
+            shards: (0..SHARD_COUNT).map(|_| Mutex::new(HashMap::new())).collect(),
+            dropped: AtomicU64::new(0),
+        })
+    }
+
+    /// A registry whose handles are all no-ops — the zero-cost baseline.
+    pub fn disabled() -> Arc<Registry> {
+        Arc::new(Registry { enabled: false, shards: Vec::new(), dropped: AtomicU64::new(0) })
+    }
+
+    /// False when this registry hands out no-op handles.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Label sets clamped into overflow series so far.
+    pub fn series_dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    fn shard(&self, name: &str) -> MutexGuard<'_, HashMap<String, Family>> {
+        // FNV-1a over the name: stable, no hasher state to thread through.
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in name.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        // Cells are atomics; a poisoned map still holds only complete
+        // entries, so keep going.
+        self.shards[(h as usize) % self.shards.len()].lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Looks up (or creates) the cell for `name{labels}`, enforcing kind
+    /// agreement and the cardinality cap. Returns `None` for a disabled
+    /// registry or a kind mismatch (the latter also counts as dropped:
+    /// silently merging a counter into a histogram would corrupt both).
+    fn cell(
+        &self,
+        name: &str,
+        help: &str,
+        kind: MetricKind,
+        bounds: Option<&[f64]>,
+        labels: &[(&str, &str)],
+    ) -> Option<Cell> {
+        if !self.enabled {
+            return None;
+        }
+        let mut shard = self.shard(name);
+        let family = shard.entry(name.to_string()).or_insert_with(|| Family {
+            help: help.to_string(),
+            kind,
+            bounds: bounds.map(Arc::from),
+            series: HashMap::new(),
+            overflow: None,
+        });
+        if family.kind != kind {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let mut key: LabelSet =
+            labels.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect();
+        key.sort();
+        if let Some(cell) = family.series.get(&key) {
+            return Some(cell.clone());
+        }
+        if family.series.len() >= MAX_SERIES_PER_FAMILY {
+            // Clamp: route this label set to the shared overflow series.
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            let bounds = family.bounds.clone();
+            let overflow = family.overflow.get_or_insert_with(|| new_cell(kind, bounds));
+            return Some(overflow.clone());
+        }
+        let cell = new_cell(kind, family.bounds.clone());
+        family.series.insert(key, cell.clone());
+        Some(cell)
+    }
+
+    /// A counter handle for `name{labels}`, creating the series on first
+    /// use. `help` is recorded on the family's first registration.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        match self.cell(name, help, MetricKind::Counter, None, labels) {
+            Some(Cell::Counter(c)) => Counter { cell: Some(c) },
+            _ => Counter::noop(),
+        }
+    }
+
+    /// A gauge handle for `name{labels}`.
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        match self.cell(name, help, MetricKind::Gauge, None, labels) {
+            Some(Cell::Gauge(c)) => Gauge { cell: Some(c) },
+            _ => Gauge::noop(),
+        }
+    }
+
+    /// A histogram handle for `name{labels}` with the given finite bucket
+    /// bounds (strictly increasing; `+Inf` is implicit). The first
+    /// registration of a family fixes its bounds; later calls share them.
+    pub fn histogram(
+        &self,
+        name: &str,
+        help: &str,
+        bounds: &[f64],
+        labels: &[(&str, &str)],
+    ) -> Histogram {
+        match self.cell(name, help, MetricKind::Histogram, Some(bounds), labels) {
+            Some(Cell::Histogram(c)) => Histogram { cell: Some(c) },
+            _ => Histogram::noop(),
+        }
+    }
+
+    /// A duration histogram with the standard [`DURATION_BUCKETS`].
+    pub fn latency_histogram(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Histogram {
+        self.histogram(name, help, &DURATION_BUCKETS, labels)
+    }
+
+    /// A deterministic snapshot of every family: families sorted by name,
+    /// series by label set. The registry's own `obs_series_dropped_total`
+    /// self-counter is appended so exposition always carries it.
+    pub fn snapshot(&self) -> Vec<FamilySnapshot> {
+        if !self.enabled {
+            return Vec::new();
+        }
+        let mut out: Vec<FamilySnapshot> = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock().unwrap_or_else(PoisonError::into_inner);
+            for (name, family) in shard.iter() {
+                let mut series: Vec<SeriesSnapshot> = family
+                    .series
+                    .iter()
+                    .map(|(labels, cell)| SeriesSnapshot {
+                        labels: labels.clone(),
+                        value: snapshot_cell(cell),
+                    })
+                    .collect();
+                if let Some(cell) = &family.overflow {
+                    series.push(SeriesSnapshot {
+                        labels: vec![("overflow".to_string(), "true".to_string())],
+                        value: snapshot_cell(cell),
+                    });
+                }
+                series.sort_by(|a, b| a.labels.cmp(&b.labels));
+                out.push(FamilySnapshot {
+                    name: name.clone(),
+                    help: family.help.clone(),
+                    kind: family.kind,
+                    series,
+                });
+            }
+        }
+        out.push(FamilySnapshot {
+            name: "obs_series_dropped_total".to_string(),
+            help: "Label sets clamped by the per-family cardinality cap".to_string(),
+            kind: MetricKind::Counter,
+            series: vec![SeriesSnapshot {
+                labels: Vec::new(),
+                value: SnapshotValue::Counter(self.series_dropped()),
+            }],
+        });
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        out
+    }
+
+    /// Renders the registry in the Prometheus text exposition format (see
+    /// [`crate::prom`]).
+    pub fn render_prometheus(&self) -> String {
+        crate::prom::render(&self.snapshot())
+    }
+}
+
+fn new_cell(kind: MetricKind, bounds: Option<Arc<[f64]>>) -> Cell {
+    match kind {
+        MetricKind::Counter => Cell::Counter(Arc::new(CounterCell::default())),
+        MetricKind::Gauge => Cell::Gauge(Arc::new(GaugeCell::default())),
+        MetricKind::Histogram => {
+            let bounds = bounds.unwrap_or_else(|| Arc::from(&DURATION_BUCKETS[..]));
+            Cell::Histogram(Arc::new(HistogramCell::new(bounds)))
+        }
+    }
+}
+
+fn snapshot_cell(cell: &Cell) -> SnapshotValue {
+    match cell {
+        Cell::Counter(c) => SnapshotValue::Counter(c.value.load(Ordering::Relaxed)),
+        Cell::Gauge(c) => SnapshotValue::Gauge(c.value.load(Ordering::Relaxed)),
+        Cell::Histogram(c) => SnapshotValue::Histogram {
+            bounds: c.bounds.to_vec(),
+            bucket_counts: c.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            count: c.count.load(Ordering::Relaxed),
+            sum: c.sum_micros.load(Ordering::Relaxed) as f64 / MICROS_PER_UNIT,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_round_trip() {
+        let r = Registry::new();
+        let c = r.counter("audex_test_total", "test", &[]);
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // A second handle to the same series shares the cell.
+        assert_eq!(r.counter("audex_test_total", "test", &[]).get(), 5);
+        let g = r.gauge("audex_test_gauge", "test", &[("shard", "a")]);
+        g.set(7);
+        g.add(-2);
+        assert_eq!(g.get(), 5);
+        c.store(42);
+        assert_eq!(c.get(), 42);
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_at_snapshot() {
+        let r = Registry::new();
+        let h = r.histogram("audex_test_seconds", "test", &[0.1, 1.0], &[]);
+        for v in [0.05, 0.5, 0.5, 5.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert!((h.sum() - 6.05).abs() < 1e-9, "{}", h.sum());
+        let snap = r.snapshot();
+        let fam = snap.iter().find(|f| f.name == "audex_test_seconds").unwrap();
+        match &fam.series[0].value {
+            SnapshotValue::Histogram { bucket_counts, count, .. } => {
+                assert_eq!(bucket_counts, &[1, 2, 1]);
+                assert_eq!(*count, 4);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn cardinality_cap_clamps_to_overflow() {
+        let r = Registry::new();
+        for i in 0..MAX_SERIES_PER_FAMILY {
+            r.counter("audex_flood_total", "test", &[("id", &i.to_string())]).inc();
+        }
+        assert_eq!(r.series_dropped(), 0);
+        // Past the cap: clamped, counted, but never lost.
+        let over_a = r.counter("audex_flood_total", "test", &[("id", "overflow-a")]);
+        let over_b = r.counter("audex_flood_total", "test", &[("id", "overflow-b")]);
+        over_a.inc();
+        over_b.inc();
+        assert_eq!(r.series_dropped(), 2);
+        assert_eq!(over_a.get(), 2, "both clamped handles share the overflow series");
+        let snap = r.snapshot();
+        let fam = snap.iter().find(|f| f.name == "audex_flood_total").unwrap();
+        assert_eq!(fam.series.len(), MAX_SERIES_PER_FAMILY + 1);
+        let overflow = fam
+            .series
+            .iter()
+            .find(|s| s.labels == vec![("overflow".to_string(), "true".to_string())])
+            .unwrap();
+        assert_eq!(overflow.value, SnapshotValue::Counter(2));
+        // Existing series are still reachable at the cap.
+        r.counter("audex_flood_total", "test", &[("id", "0")]).inc();
+        assert_eq!(r.series_dropped(), 2);
+    }
+
+    #[test]
+    fn kind_mismatch_returns_noop_not_corruption() {
+        let r = Registry::new();
+        r.counter("audex_thing_total", "test", &[]).inc();
+        let h = r.histogram("audex_thing_total", "test", &DURATION_BUCKETS, &[]);
+        h.observe(1.0);
+        assert_eq!(h.count(), 0, "mismatched handle is a no-op");
+        assert_eq!(r.series_dropped(), 1);
+        assert_eq!(r.counter("audex_thing_total", "test", &[]).get(), 1);
+    }
+
+    #[test]
+    fn disabled_registry_is_a_no_op() {
+        let r = Registry::disabled();
+        let c = r.counter("audex_test_total", "test", &[]);
+        c.inc();
+        assert_eq!(c.get(), 0);
+        assert!(r.snapshot().is_empty());
+        assert!(!r.is_enabled());
+    }
+}

@@ -1,0 +1,159 @@
+//! Prometheus text exposition (version 0.0.4) for registry snapshots.
+//!
+//! Output is deterministic: families sorted by name, series by label set
+//! (both guaranteed by [`Registry::snapshot`](crate::Registry::snapshot)),
+//! and every family carries `# HELP` / `# TYPE` lines. Histograms render
+//! the conventional `_bucket{le=...}` cumulative series plus `_sum` and
+//! `_count`.
+
+use std::fmt::Write as _;
+
+use crate::metrics::{FamilySnapshot, MetricKind, SnapshotValue};
+
+/// Escapes a label value: `\` → `\\`, `"` → `\"`, newline → `\n`.
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for ch in v.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Escapes HELP text: `\` → `\\`, newline → `\n`.
+pub fn escape_help(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for ch in v.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Formats a float the way Prometheus expects (shortest round-trip form;
+/// `+Inf` for the infinite bucket bound).
+fn fmt_f64(v: f64) -> String {
+    if v.is_infinite() {
+        if v > 0.0 {
+            "+Inf".to_string()
+        } else {
+            "-Inf".to_string()
+        }
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Renders one label set as `{k="v",...}`, with `extra` appended last
+/// (used for the histogram `le` label). Empty sets render as nothing.
+fn fmt_labels(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    let mut parts: Vec<String> =
+        labels.iter().map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v))).collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{}\"", escape_label_value(v)));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+/// Renders a snapshot in the text exposition format.
+pub fn render(families: &[FamilySnapshot]) -> String {
+    let mut out = String::new();
+    for fam in families {
+        let _ = writeln!(out, "# HELP {} {}", fam.name, escape_help(&fam.help));
+        let _ = writeln!(out, "# TYPE {} {}", fam.name, fam.kind.as_str());
+        for series in &fam.series {
+            match &series.value {
+                SnapshotValue::Counter(v) => {
+                    let _ = writeln!(out, "{}{} {v}", fam.name, fmt_labels(&series.labels, None));
+                }
+                SnapshotValue::Gauge(v) => {
+                    let _ = writeln!(out, "{}{} {v}", fam.name, fmt_labels(&series.labels, None));
+                }
+                SnapshotValue::Histogram { bounds, bucket_counts, count, sum } => {
+                    debug_assert_eq!(fam.kind, MetricKind::Histogram);
+                    let mut cumulative = 0u64;
+                    for (i, c) in bucket_counts.iter().enumerate() {
+                        cumulative += c;
+                        let le = bounds.get(i).copied().unwrap_or(f64::INFINITY);
+                        let _ = writeln!(
+                            out,
+                            "{}_bucket{} {cumulative}",
+                            fam.name,
+                            fmt_labels(&series.labels, Some(("le", &fmt_f64(le))))
+                        );
+                    }
+                    let _ = writeln!(
+                        out,
+                        "{}_sum{} {}",
+                        fam.name,
+                        fmt_labels(&series.labels, None),
+                        fmt_f64(*sum)
+                    );
+                    let _ = writeln!(
+                        out,
+                        "{}_count{} {count}",
+                        fam.name,
+                        fmt_labels(&series.labels, None)
+                    );
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::metrics::Registry;
+
+    #[test]
+    fn renders_help_type_and_sorted_series() {
+        let r = Registry::new();
+        r.counter("b_total", "second", &[("x", "2")]).add(2);
+        r.counter("b_total", "second", &[("x", "1")]).inc();
+        r.counter("a_total", "first", &[]).inc();
+        let text = r.render_prometheus();
+        let a = text.find("a_total 1").expect("a_total rendered");
+        let b1 = text.find("b_total{x=\"1\"} 1").expect("b_total x=1 rendered");
+        let b2 = text.find("b_total{x=\"2\"} 2").expect("b_total x=2 rendered");
+        assert!(a < b1 && b1 < b2, "families and series sorted:\n{text}");
+        assert!(text.contains("# HELP a_total first"));
+        assert!(text.contains("# TYPE a_total counter"));
+        assert!(text.contains("obs_series_dropped_total 0"));
+    }
+
+    #[test]
+    fn histogram_renders_cumulative_buckets() {
+        let r = Registry::new();
+        let h = r.histogram("lat_seconds", "latency", &[0.1, 1.0], &[]);
+        h.observe(0.05);
+        h.observe(0.5);
+        h.observe(5.0);
+        let text = r.render_prometheus();
+        assert!(text.contains("lat_seconds_bucket{le=\"0.1\"} 1"), "{text}");
+        assert!(text.contains("lat_seconds_bucket{le=\"1\"} 2"), "{text}");
+        assert!(text.contains("lat_seconds_bucket{le=\"+Inf\"} 3"), "{text}");
+        assert!(text.contains("lat_seconds_count 3"), "{text}");
+        assert!(text.contains("lat_seconds_sum 5.55"), "{text}");
+        assert!(text.contains("# TYPE lat_seconds histogram"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let r = Registry::new();
+        r.counter("esc_total", "test", &[("v", "a\\b\"c\nd")]).inc();
+        let text = r.render_prometheus();
+        assert!(text.contains(r#"esc_total{v="a\\b\"c\nd"} 1"#), "{text}");
+    }
+}

@@ -1,0 +1,317 @@
+//! Span-based phase tracer with Chrome-trace-event export.
+//!
+//! A [`Tracer`] records timed spans — pipeline phases, WAL appends and
+//! fsyncs, checkpoints, recovery replay — into sharded ring buffers so
+//! `par_map` worker threads never contend on a single lock. Each span is
+//! an RAII guard: it closes (records its event) when dropped, which is
+//! exactly what makes the error path safe — an early `return Err(..)` or
+//! a governor trip still unwinds through `Drop`, so no span is left open.
+//! Spans interrupted by a governor trip can additionally be flagged with
+//! [`Span::mark_truncated`], which surfaces as `"truncated": true` in the
+//! exported trace.
+//!
+//! Export is the Chrome trace-event format (`chrome://tracing`, Perfetto):
+//! a JSON object with a `traceEvents` array of `"ph": "X"` complete
+//! events carrying microsecond `ts`/`dur`. Nesting is implied by time
+//! containment per thread, matching how the viewers stack spans.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Instant;
+
+/// Ring-buffer capacity per shard; oldest events are dropped (and counted)
+/// once a shard fills, bounding tracer memory on long-running services.
+pub const RING_CAPACITY: usize = 4096;
+
+const SHARD_COUNT: usize = 16;
+
+/// One completed span, in microseconds relative to the tracer's epoch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Phase name, e.g. `"batch-suspicion"` or `"wal-fsync"`.
+    pub name: String,
+    /// Start offset from the tracer epoch, in microseconds.
+    pub start_us: u64,
+    /// Span duration in microseconds.
+    pub dur_us: u64,
+    /// Small stable per-thread id (1, 2, ...).
+    pub tid: u64,
+    /// Whether the span was cut short (governor trip, worker failure).
+    pub truncated: bool,
+}
+
+struct TracerInner {
+    epoch: Instant,
+    shards: Vec<Mutex<VecDeque<SpanEvent>>>,
+    dropped: AtomicU64,
+}
+
+impl TracerInner {
+    fn push(&self, event: SpanEvent) {
+        let shard = (event.tid as usize) % SHARD_COUNT;
+        let mut ring = self.shards[shard].lock().unwrap_or_else(PoisonError::into_inner);
+        if ring.len() >= RING_CAPACITY {
+            ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(event);
+    }
+}
+
+/// Collects [`SpanEvent`]s from every thread of the process.
+///
+/// A disabled tracer ([`Tracer::disabled`]) hands out no-op spans and
+/// records nothing; instrumentation sites keep a `Tracer` handle
+/// unconditionally and never branch on enablement themselves.
+pub struct Tracer {
+    inner: Option<TracerInner>,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer").field("enabled", &self.is_enabled()).finish()
+    }
+}
+
+impl Tracer {
+    /// Creates an enabled tracer. The epoch (time zero for all exported
+    /// events) is the moment of creation.
+    pub fn new() -> Arc<Tracer> {
+        let mut shards = Vec::with_capacity(SHARD_COUNT);
+        for _ in 0..SHARD_COUNT {
+            shards.push(Mutex::new(VecDeque::new()));
+        }
+        Arc::new(Tracer {
+            inner: Some(TracerInner { epoch: Instant::now(), shards, dropped: AtomicU64::new(0) }),
+        })
+    }
+
+    /// Creates a disabled tracer: every span is a no-op and nothing is
+    /// recorded.
+    pub fn disabled() -> Arc<Tracer> {
+        Arc::new(Tracer { inner: None })
+    }
+
+    /// Whether this tracer records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Opens a span named `name` on the calling thread. The span records
+    /// its event when dropped.
+    pub fn span(self: &Arc<Self>, name: &str) -> Span {
+        if self.inner.is_none() {
+            return Span::noop();
+        }
+        Span {
+            state: Some(SpanState {
+                tracer: Arc::clone(self),
+                name: name.to_string(),
+                start: Instant::now(),
+                tid: current_tid(),
+                truncated: AtomicBool::new(false),
+            }),
+        }
+    }
+
+    /// Number of events discarded because a ring buffer was full.
+    pub fn dropped(&self) -> u64 {
+        match &self.inner {
+            Some(inner) => inner.dropped.load(Ordering::Relaxed),
+            None => 0,
+        }
+    }
+
+    /// Drains and returns all recorded events, sorted by start time then
+    /// thread id. Subsequent spans keep recording against the same epoch.
+    pub fn take_events(&self) -> Vec<SpanEvent> {
+        let Some(inner) = &self.inner else {
+            return Vec::new();
+        };
+        let mut events = Vec::new();
+        for shard in &inner.shards {
+            let mut ring = shard.lock().unwrap_or_else(PoisonError::into_inner);
+            events.extend(ring.drain(..));
+        }
+        events.sort_by(|a, b| (a.start_us, a.tid, &a.name).cmp(&(b.start_us, b.tid, &b.name)));
+        events
+    }
+
+    /// Drains all events and renders them as Chrome trace-event JSON.
+    pub fn export_chrome_json(&self) -> String {
+        let events = self.take_events();
+        let mut out = String::from("{\"displayTimeUnit\": \"ms\", \"traceEvents\": [");
+        for (i, ev) in events.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"ph\": \"X\", \"pid\": 1, \"tid\": {}, \"ts\": {}, \"dur\": {}, \
+                 \"name\": \"{}\"",
+                ev.tid,
+                ev.start_us,
+                ev.dur_us,
+                escape_json(&ev.name)
+            ));
+            if ev.truncated {
+                out.push_str(", \"args\": {\"truncated\": true}");
+            }
+            out.push('}');
+        }
+        out.push_str("]}\n");
+        out
+    }
+}
+
+struct SpanState {
+    tracer: Arc<Tracer>,
+    name: String,
+    start: Instant,
+    tid: u64,
+    truncated: AtomicBool,
+}
+
+/// RAII guard for one timed span; records its [`SpanEvent`] on drop.
+///
+/// Dropping is infallible and happens on every exit path, so spans close
+/// even when the enclosing phase errors or a governor trip unwinds the
+/// pipeline early.
+pub struct Span {
+    state: Option<SpanState>,
+}
+
+impl Span {
+    /// A span that records nothing (from a disabled tracer, or for call
+    /// sites that are not wired to one).
+    pub fn noop() -> Span {
+        Span { state: None }
+    }
+
+    /// Flags the span as cut short — a governor trip or a failed worker.
+    /// The exported event carries `"truncated": true`.
+    pub fn mark_truncated(&self) {
+        if let Some(state) = &self.state {
+            state.truncated.store(true, Ordering::Relaxed);
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(state) = self.state.take() else { return };
+        let Some(inner) = &state.tracer.inner else { return };
+        let start_us = state.start.saturating_duration_since(inner.epoch).as_micros() as u64;
+        let dur_us = state.start.elapsed().as_micros() as u64;
+        inner.push(SpanEvent {
+            name: state.name,
+            start_us,
+            dur_us,
+            tid: state.tid,
+            truncated: state.truncated.load(Ordering::Relaxed),
+        });
+    }
+}
+
+/// Assigns each OS thread a small stable id (1, 2, ...) so exported
+/// traces group spans per worker without leaking opaque `ThreadId`s.
+fn current_tid() -> u64 {
+    static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+    }
+    TID.with(|t| *t)
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn spans_record_on_drop_and_nest_by_time() {
+        let tracer = Tracer::new();
+        {
+            let _outer = tracer.span("outer");
+            std::thread::sleep(Duration::from_millis(2));
+            {
+                let _inner = tracer.span("inner");
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+        let events = tracer.take_events();
+        assert_eq!(events.len(), 2);
+        // Sorted by start: outer opens first; inner is contained in it.
+        assert_eq!(events[0].name, "outer");
+        assert_eq!(events[1].name, "inner");
+        assert!(events[0].start_us <= events[1].start_us);
+        assert!(
+            events[0].start_us + events[0].dur_us >= events[1].start_us + events[1].dur_us,
+            "outer must contain inner"
+        );
+        assert!(!events[0].truncated);
+    }
+
+    #[test]
+    fn span_closes_on_error_path_and_can_be_truncated() {
+        let tracer = Tracer::new();
+        let attempt = || -> Result<(), String> {
+            let span = tracer.span("doomed");
+            span.mark_truncated();
+            Err("budget exhausted".into())
+        };
+        assert!(attempt().is_err());
+        let events = tracer.take_events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, "doomed");
+        assert!(events[0].truncated);
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let tracer = Tracer::disabled();
+        assert!(!tracer.is_enabled());
+        drop(tracer.span("ignored"));
+        assert!(tracer.take_events().is_empty());
+        assert_eq!(
+            tracer.export_chrome_json(),
+            "{\"displayTimeUnit\": \"ms\", \"traceEvents\": []}\n"
+        );
+    }
+
+    #[test]
+    fn ring_buffer_drops_oldest_past_capacity() {
+        let tracer = Tracer::new();
+        for i in 0..(RING_CAPACITY + 10) {
+            drop(tracer.span(&format!("s{i}")));
+        }
+        assert_eq!(tracer.dropped(), 10);
+        assert_eq!(tracer.take_events().len(), RING_CAPACITY);
+    }
+
+    #[test]
+    fn chrome_export_escapes_and_shapes_events() {
+        let tracer = Tracer::new();
+        drop(tracer.span("with \"quotes\""));
+        let json = tracer.export_chrome_json();
+        assert!(json.contains("\"ph\": \"X\""), "{json}");
+        assert!(json.contains("\"pid\": 1"), "{json}");
+        assert!(json.contains("with \\\"quotes\\\""), "{json}");
+    }
+}

@@ -1,0 +1,149 @@
+//! Property tests for the telemetry crate: Prometheus label escaping
+//! round-trips through a minimal exposition parser, registry snapshots are
+//! deterministic whatever the number of writer threads, and the
+//! per-family cardinality cap holds under arbitrary label workloads
+//! without losing counts.
+
+use audex_obs::{Registry, SnapshotValue, MAX_SERIES_PER_FAMILY};
+use proptest::prelude::*;
+use std::thread;
+
+/// Characters that exercise every escaping path: the three escaped bytes
+/// (`\`, `"`, newline), plain ASCII, and multi-byte UTF-8.
+const CHARS: [char; 10] = ['a', 'Z', '0', ' ', '"', '\\', '\n', ',', 'é', '\u{2603}'];
+
+fn label_value_strategy() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0usize..CHARS.len(), 0..16)
+        .prop_map(|ix| ix.into_iter().map(|i| CHARS[i]).collect())
+}
+
+/// The minimal exposition parser: given one sample line
+/// (`name{k="v",...} value`), returns the label pairs with escapes
+/// resolved. This is deliberately independent of the crate's renderer —
+/// it implements the Prometheus text-format rules from scratch so the
+/// round-trip test cannot share a bug with `escape_label_value`.
+fn parse_labels(line: &str) -> Result<Vec<(String, String)>, String> {
+    let open = line.find('{').ok_or("no label block")?;
+    let mut labels = Vec::new();
+    let mut chars = line[open + 1..].chars();
+    loop {
+        let mut key = String::new();
+        for c in chars.by_ref() {
+            match c {
+                '=' => break,
+                '}' if key.is_empty() => return Ok(labels),
+                c => key.push(c),
+            }
+        }
+        if chars.next() != Some('"') {
+            return Err(format!("label {key:?}: expected opening quote"));
+        }
+        let mut value = String::new();
+        loop {
+            match chars.next().ok_or("unterminated label value")? {
+                '\\' => match chars.next().ok_or("dangling backslash")? {
+                    '\\' => value.push('\\'),
+                    '"' => value.push('"'),
+                    'n' => value.push('\n'),
+                    other => return Err(format!("unknown escape \\{other}")),
+                },
+                '"' => break,
+                c => value.push(c),
+            }
+        }
+        labels.push((key, value));
+        match chars.next() {
+            Some(',') => continue,
+            Some('}') => return Ok(labels),
+            other => return Err(format!("expected , or }} after value, got {other:?}")),
+        }
+    }
+}
+
+/// Spreads `updates` across `threads` writer threads (contiguous chunks,
+/// like `par_map`) and applies each to the same registry: a counter inc
+/// keyed by a small label and a histogram observation.
+fn apply_concurrently(registry: &Registry, updates: &[u8], threads: usize) {
+    let chunk = updates.len().div_ceil(threads).max(1);
+    thread::scope(|scope| {
+        for part in updates.chunks(chunk) {
+            scope.spawn(move || {
+                for &u in part {
+                    let worker = format!("{}", u % 3);
+                    registry.counter("work_total", "Work items.", &[("worker", &worker)]).inc();
+                    // Dyadic values (u/64) keep every partial sum exact in
+                    // binary, so the histogram sum is identical whatever
+                    // order the threads' additions land in.
+                    registry
+                        .histogram("work_seconds", "Work latency.", &[0.5, 1.0, 2.0], &[])
+                        .observe(f64::from(u) * 0.015625);
+                }
+            });
+        }
+    });
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any label value — including `\n`, `"`, `\\` — survives rendering
+    /// and re-parsing byte-for-byte.
+    #[test]
+    fn label_escaping_round_trips(value in label_value_strategy()) {
+        let registry = Registry::new();
+        registry.counter("esc_total", "Escaping probe.", &[("v", &value)]).inc();
+        let text = registry.render_prometheus();
+        let line = text
+            .lines()
+            .find(|l| l.starts_with("esc_total{"))
+            .ok_or("sample line missing")?;
+        let labels = parse_labels(line).map_err(|e| format!("{line:?}: {e}"))?;
+        prop_assert_eq!(&labels, &vec![("v".to_string(), value)], "line {}", line);
+    }
+
+    /// The same multiset of updates produces byte-identical snapshots and
+    /// exposition whether applied from 1 thread or from 4 — series order,
+    /// sums, and bucket counts cannot depend on interleaving.
+    #[test]
+    fn snapshot_is_thread_count_deterministic(updates in proptest::collection::vec(any::<u8>(), 1..200)) {
+        let sequential = Registry::new();
+        apply_concurrently(&sequential, &updates, 1);
+        let parallel = Registry::new();
+        apply_concurrently(&parallel, &updates, 4);
+        prop_assert_eq!(sequential.snapshot(), parallel.snapshot());
+        prop_assert_eq!(sequential.render_prometheus(), parallel.render_prometheus());
+    }
+
+    /// However many distinct label sets a hostile workload throws at one
+    /// family, the registry keeps at most `MAX_SERIES_PER_FAMILY` of them
+    /// plus the overflow cell — and no increment is lost: the family's
+    /// series sum to exactly the number of incs.
+    #[test]
+    fn cardinality_cap_holds_and_counts_are_conserved(
+        values in proptest::collection::vec(label_value_strategy(), 1..400),
+    ) {
+        let registry = Registry::new();
+        for v in &values {
+            registry.counter("cap_total", "Cap probe.", &[("v", v)]).inc();
+        }
+        let snapshot = registry.snapshot();
+        let family = snapshot
+            .iter()
+            .find(|f| f.name == "cap_total")
+            .ok_or("cap_total family missing")?;
+        prop_assert!(
+            family.series.len() <= MAX_SERIES_PER_FAMILY + 1,
+            "{} series escaped the cap",
+            family.series.len()
+        );
+        let total: u64 = family
+            .series
+            .iter()
+            .map(|s| match s.value {
+                SnapshotValue::Counter(n) => n,
+                ref other => panic!("counter family holds {other:?}"),
+            })
+            .sum();
+        prop_assert_eq!(total, values.len() as u64, "increments lost by the cap");
+    }
+}

@@ -87,6 +87,29 @@ pub struct JournalCounters {
     pub wedged: Option<String>,
 }
 
+/// Registry/tracer handles mirroring the journal's counters. All handles
+/// default to no-ops; [`Journal::set_obs`] swaps in live ones. Counter
+/// values are published as absolutes (`Counter::store`) after each
+/// operation, so the registry always equals [`Journal::counters`] without
+/// double-accounting.
+#[derive(Debug, Default)]
+struct JournalObs {
+    tracer: Option<Arc<audex_obs::Tracer>>,
+    appends: audex_obs::Counter,
+    fsyncs: audex_obs::Counter,
+    bytes: audex_obs::Counter,
+    checkpoints: audex_obs::Counter,
+}
+
+impl JournalObs {
+    fn span(&self, name: &str) -> audex_obs::Span {
+        match &self.tracer {
+            Some(t) => t.span(name),
+            None => audex_obs::Span::noop(),
+        }
+    }
+}
+
 #[derive(Debug)]
 struct Inner {
     wal: Wal,
@@ -95,6 +118,17 @@ struct Inner {
     checkpoints_written: u64,
     last_checkpoint_seq: u64,
     wedged: Option<String>,
+    obs: JournalObs,
+}
+
+impl Inner {
+    fn publish_obs(&self) {
+        let wc = self.wal.counters();
+        self.obs.appends.store(wc.records_appended);
+        self.obs.fsyncs.store(wc.fsyncs);
+        self.obs.bytes.store(wc.bytes_written);
+        self.obs.checkpoints.store(self.checkpoints_written);
+    }
 }
 
 /// A shared, thread-safe handle to the durable store.
@@ -181,6 +215,7 @@ impl Journal {
                 checkpoints_written: 0,
                 last_checkpoint_seq: covers,
                 wedged: None,
+                obs: JournalObs::default(),
             }),
         });
         Ok((journal, recovered))
@@ -195,6 +230,38 @@ impl Journal {
         self.lock().wal.set_io_faults(faults);
     }
 
+    /// Mirrors the journal's counters into `registry` (as
+    /// `audex_wal_appends_total`, `audex_wal_fsyncs_total`,
+    /// `audex_wal_bytes_written_total`, `audex_checkpoints_total`) and
+    /// records `wal-append` / `wal-fsync` / `checkpoint` spans on `tracer`.
+    pub fn set_obs(&self, registry: &audex_obs::Registry, tracer: Arc<audex_obs::Tracer>) {
+        let mut g = self.lock();
+        g.obs = JournalObs {
+            tracer: Some(tracer),
+            appends: registry.counter(
+                "audex_wal_appends_total",
+                "Records appended to the write-ahead log.",
+                &[],
+            ),
+            fsyncs: registry.counter(
+                "audex_wal_fsyncs_total",
+                "fsyncs issued by the write-ahead log.",
+                &[],
+            ),
+            bytes: registry.counter(
+                "audex_wal_bytes_written_total",
+                "Framing plus payload bytes written to the write-ahead log.",
+                &[],
+            ),
+            checkpoints: registry.counter(
+                "audex_checkpoints_total",
+                "Checkpoints written by this process.",
+                &[],
+            ),
+        };
+        g.publish_obs();
+    }
+
     /// Appends one logical record. Infallible by contract (sinks observe
     /// mutations that already happened): on I/O error the journal wedges —
     /// it stops appending and reports the error via [`Journal::wedged`].
@@ -203,10 +270,16 @@ impl Journal {
         if g.wedged.is_some() {
             return;
         }
+        let span = g.obs.span("wal-append");
         match g.wal.append(&rec) {
             Ok(_) => g.history.push(rec),
-            Err(e) => g.wedged = Some(e.to_string()),
+            Err(e) => {
+                span.mark_truncated();
+                g.wedged = Some(e.to_string());
+            }
         }
+        drop(span);
+        g.publish_obs();
     }
 
     /// Journals an audit registration.
@@ -221,7 +294,15 @@ impl Journal {
 
     /// Flushes pending appends to stable storage.
     pub fn sync(&self) -> Result<()> {
-        self.lock().wal.sync()
+        let mut g = self.lock();
+        let span = g.obs.span("wal-fsync");
+        let result = g.wal.sync();
+        if result.is_err() {
+            span.mark_truncated();
+        }
+        drop(span);
+        g.publish_obs();
+        result
     }
 
     /// The wedge error, if durability has been lost.
@@ -271,6 +352,21 @@ impl Journal {
                 source: std::io::Error::other(e.clone()),
             });
         }
+        let span = g.obs.span("checkpoint");
+        let result = Self::write_checkpoint_locked(&self.dir, &mut g, derived);
+        if result.is_err() {
+            span.mark_truncated();
+        }
+        drop(span);
+        g.publish_obs();
+        result
+    }
+
+    fn write_checkpoint_locked(
+        dir: &Path,
+        g: &mut Inner,
+        derived: CheckpointDerived,
+    ) -> Result<PathBuf> {
         g.wal.sync()?;
         let state = CheckpointState {
             covers_seq: g.history.len() as u64,
@@ -280,10 +376,10 @@ impl Journal {
             audit_states: derived.audit_states,
             counters: derived.counters,
         };
-        let path = state.write(&self.dir)?;
+        let path = state.write(dir)?;
         g.checkpoints_written += 1;
         g.last_checkpoint_seq = state.covers_seq;
-        checkpoint::prune_old(&self.dir)?;
+        checkpoint::prune_old(dir)?;
         g.wal.prune_through(state.covers_seq)?;
         Ok(path)
     }

@@ -60,6 +60,9 @@ pub struct QueryLog {
     inner: RwLock<Vec<Arc<LoggedQuery>>>,
     /// Append observer (see [`LogSink`]); invisible to everything else.
     sink: Mutex<Option<Arc<dyn LogSink>>>,
+    /// Telemetry mirror of the append count (no-op unless wired via
+    /// [`QueryLog::set_obs`]); invisible to equality like the sink.
+    appends: Mutex<audex_obs::Counter>,
 }
 
 impl fmt::Debug for QueryLog {
@@ -89,7 +92,18 @@ impl QueryLog {
         *self.sink.lock().unwrap_or_else(|e| e.into_inner()) = None;
     }
 
+    /// Counts every subsequent successful append into `registry` as
+    /// `audex_querylog_appends_total`.
+    pub fn set_obs(&self, registry: &audex_obs::Registry) {
+        *self.appends.lock().unwrap_or_else(|e| e.into_inner()) = registry.counter(
+            "audex_querylog_appends_total",
+            "Queries appended to the user-accesses log.",
+            &[],
+        );
+    }
+
     fn notify(&self, entry: &LoggedQuery) {
+        self.appends.lock().unwrap_or_else(|e| e.into_inner()).inc();
         let sink = self.sink.lock().unwrap_or_else(|e| e.into_inner());
         if let Some(s) = sink.as_ref() {
             s.on_append(entry);

@@ -20,6 +20,14 @@
 //!   the index,
 //! * [`server`] — stdin/stdout and TCP front ends (`audex serve`).
 //!
+//! Telemetry rides on [`audex_obs`]: every [`state::ServiceCore`] owns a
+//! metrics registry (counters, per-phase and per-request latency
+//! histograms) answered over the wire by the `metrics` request as
+//! Prometheus text, broadcast periodically to subscribers with
+//! [`state::ServiceConfig::metrics_every`], and traced span-by-span when a
+//! [`audex_obs::Tracer`] is attached via
+//! [`state::ServiceCore::set_tracer`].
+//!
 //! The versioned backlog, snapshot cache and governor all come from the
 //! batch system unchanged; the service is a thin stateful shell that keeps
 //! them hot across requests.

@@ -15,6 +15,7 @@
 //! {"cmd":"audit","name":"fig4"}
 //! {"cmd":"subscribe"}
 //! {"cmd":"stats"}
+//! {"cmd":"metrics"}
 //! {"cmd":"shutdown"}
 //! ```
 //!
@@ -80,8 +81,28 @@ pub enum Request {
     Subscribe,
     /// Service counters.
     Stats,
+    /// The metrics registry as Prometheus text exposition.
+    Metrics,
     /// Stop the service.
     Shutdown,
+}
+
+impl Request {
+    /// The wire command name, as the `cmd` label of the per-request
+    /// latency histogram.
+    pub fn cmd_name(&self) -> &'static str {
+        match self {
+            Request::Dml { .. } => "dml",
+            Request::Log { .. } => "log",
+            Request::Register { .. } => "register",
+            Request::Unregister { .. } => "unregister",
+            Request::Audit { .. } => "audit",
+            Request::Subscribe => "subscribe",
+            Request::Stats => "stats",
+            Request::Metrics => "metrics",
+            Request::Shutdown => "shutdown",
+        }
+    }
 }
 
 /// Parses one request line.
@@ -116,6 +137,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "audit" => Ok(Request::Audit { name: need("name")? }),
         "subscribe" => Ok(Request::Subscribe),
         "stats" => Ok(Request::Stats),
+        "metrics" => Ok(Request::Metrics),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(format!("unknown command {other:?}")),
     }
@@ -162,6 +184,8 @@ mod tests {
             Request::Register { name: "a".into(), expr: "AUDIT x FROM t".into(), now: None }
         );
         assert_eq!(parse_request(r#"{"cmd":"stats"}"#).unwrap(), Request::Stats);
+        assert_eq!(parse_request(r#"{"cmd":"metrics"}"#).unwrap(), Request::Metrics);
+        assert_eq!(Request::Metrics.cmd_name(), "metrics");
         assert_eq!(parse_request(r#"{"cmd":"subscribe"}"#).unwrap(), Request::Subscribe);
         assert_eq!(parse_request(r#"{"cmd":"shutdown"}"#).unwrap(), Request::Shutdown);
     }

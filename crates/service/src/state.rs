@@ -30,10 +30,11 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 use audex_core::{
-    AuditEngine, AuditError, EngineOptions, Governor, OnlineAuditor, PreparedAudit, ResourceLimits,
-    TouchIndex,
+    AuditEngine, AuditError, EngineObs, EngineOptions, Governor, OnlineAuditor, PreparedAudit,
+    ResourceLimits, TouchIndex,
 };
 use audex_log::{AccessContext, LoggedQuery, QueryId, QueryLog};
+use audex_obs::{Counter, Histogram, Registry, Tracer};
 use audex_persist::{CheckpointDerived, Journal, PersistError, Recovered, WalRecord};
 use audex_sql::Timestamp;
 use audex_storage::{ChangeSink, Database, JoinStrategy};
@@ -55,9 +56,15 @@ pub struct ServiceConfig {
     /// accumulate past the newest one. `None` disables auto-checkpointing
     /// (explicit `compact` still works).
     pub checkpoint_every: Option<u64>,
+    /// Broadcast a `metrics` event to subscribers once every N ingested
+    /// queries. `None` disables periodic metrics events (the `metrics`
+    /// request still answers on demand).
+    pub metrics_every: Option<u64>,
 }
 
-/// Monotonic counters surfaced by the `stats` command.
+/// Monotonic counters surfaced by the `stats` command. A point-in-time
+/// read of the registry-backed counters ([`ServiceCore::counters`]); the
+/// registry itself ([`ServiceCore::registry`]) is the live telemetry path.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ServiceCounters {
     /// Log entries accepted, scored and indexed.
@@ -68,8 +75,60 @@ pub struct ServiceCounters {
     pub dml_statements: u64,
     /// Requests that hit a governor limit (deadline/step budget).
     pub governor_trips: u64,
-    /// Score/verdict events produced for subscribers.
+    /// Score/verdict events produced for subscribers. Periodic `metrics`
+    /// events are *not* counted: recovery replay does not re-emit them, and
+    /// the counter must rebuild byte-identically from the journal.
     pub events_emitted: u64,
+}
+
+/// The service's registry-backed counter/histogram handles — the single
+/// telemetry path behind both `stats` and the Prometheus `metrics`
+/// exposition. Handles are created once at construction; updates are
+/// lock-free atomics.
+struct CoreMetrics {
+    ingested: Counter,
+    rejected: Counter,
+    dml: Counter,
+    governor_rejections: Counter,
+    events: Counter,
+    ingest_seconds: Histogram,
+}
+
+impl CoreMetrics {
+    fn new(registry: &Registry) -> CoreMetrics {
+        CoreMetrics {
+            ingested: registry.counter(
+                "audex_queries_ingested_total",
+                "Log entries accepted, scored and indexed.",
+                &[],
+            ),
+            rejected: registry.counter(
+                "audex_queries_rejected_total",
+                "Requests refused (parse errors, order violations, governor trips).",
+                &[],
+            ),
+            dml: registry.counter(
+                "audex_dml_statements_total",
+                "DML statements applied to the backlog.",
+                &[],
+            ),
+            governor_rejections: registry.counter(
+                "audex_governor_rejections_total",
+                "Requests rejected by a governor limit (backpressure).",
+                &[],
+            ),
+            events: registry.counter(
+                "audex_events_emitted_total",
+                "Score/verdict events produced for subscribers.",
+                &[],
+            ),
+            ingest_seconds: registry.latency_histogram(
+                "audex_ingest_seconds",
+                "Wall-clock to admit, score, and index one log append.",
+                &[],
+            ),
+        }
+    }
 }
 
 /// What one request produced.
@@ -105,23 +164,55 @@ pub struct ServiceCore {
     online: OnlineAuditor,
     registered: Vec<RegisteredAudit>,
     config: ServiceConfig,
-    counters: ServiceCounters,
     journal: Option<Arc<Journal>>,
+    /// Per-instance metrics registry (not process-global, so concurrent
+    /// services — and tests — never share counters).
+    registry: Arc<Registry>,
+    tracer: Arc<Tracer>,
+    metrics: CoreMetrics,
+    engine_obs: EngineObs,
 }
 
 impl ServiceCore {
     /// A service over a starting database (possibly empty) and an empty
     /// log.
     pub fn new(db: Database, config: ServiceConfig) -> ServiceCore {
+        let mut db = db;
+        let registry = Registry::new();
+        let tracer = Tracer::disabled();
+        db.set_obs(&registry);
+        let log = QueryLog::new();
+        log.set_obs(&registry);
+        let metrics = CoreMetrics::new(&registry);
+        let engine_obs = EngineObs::new(Arc::clone(&registry), Arc::clone(&tracer));
         ServiceCore {
             db,
-            log: QueryLog::new(),
+            log,
             index: TouchIndex::new(),
             online: OnlineAuditor::new(Vec::new()),
             registered: Vec::new(),
             config,
-            counters: ServiceCounters::default(),
             journal: None,
+            registry,
+            tracer,
+            metrics,
+            engine_obs,
+        }
+    }
+
+    /// The service's metrics registry (for exposition outside the request
+    /// path — e.g. a final scrape at shutdown).
+    pub fn registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.registry)
+    }
+
+    /// Attaches a phase tracer: pipeline spans (target-view, index-audit,
+    /// WAL append/fsync, checkpoint) are recorded from here on.
+    pub fn set_tracer(&mut self, tracer: Arc<Tracer>) {
+        self.tracer = Arc::clone(&tracer);
+        self.engine_obs = EngineObs::new(Arc::clone(&self.registry), Arc::clone(&tracer));
+        if let Some(j) = &self.journal {
+            j.set_obs(&self.registry, tracer);
         }
     }
 
@@ -137,15 +228,22 @@ impl ServiceCore {
         let governor = Governor::unlimited();
         for entry in log.snapshot() {
             core.index.extend(&core.db, &entry, config.strategy, &governor)?;
-            core.counters.queries_ingested += 1;
+            core.metrics.ingested.inc();
         }
+        log.set_obs(&core.registry);
         core.log = log;
         Ok(core)
     }
 
-    /// Current counters.
+    /// Current counters (a point-in-time read of the registry).
     pub fn counters(&self) -> ServiceCounters {
-        self.counters
+        ServiceCounters {
+            queries_ingested: self.metrics.ingested.get(),
+            queries_rejected: self.metrics.rejected.get(),
+            dml_statements: self.metrics.dml.get(),
+            governor_trips: self.metrics.governor_rejections.get(),
+            events_emitted: self.metrics.events.get(),
+        }
     }
 
     /// The versioned database (read-only view for batch tooling).
@@ -176,6 +274,7 @@ impl ServiceCore {
     pub fn attach_journal(&mut self, journal: Arc<Journal>) {
         self.db.set_change_sink(Arc::clone(&journal) as Arc<dyn ChangeSink>);
         self.log.set_sink(Arc::clone(&journal) as Arc<dyn audex_log::LogSink>);
+        journal.set_obs(&self.registry, Arc::clone(&self.tracer));
         self.journal = Some(journal);
     }
 
@@ -188,7 +287,7 @@ impl ServiceCore {
             site: "checkpoint requested but no journal is attached".into(),
         })?;
         let (footprints, skipped) = self.index.export();
-        let c = &self.counters;
+        let c = self.counters();
         journal.write_checkpoint(CheckpointDerived {
             footprints,
             skipped,
@@ -236,11 +335,11 @@ impl ServiceCore {
             core.online.restore_states(ck.audit_states.clone()).map_err(|e| {
                 PersistError::Replay { site: format!("checkpoint audit states: {e}") }
             })?;
-            core.counters.queries_ingested = ck.counters[0];
-            core.counters.queries_rejected = ck.counters[1];
-            core.counters.dml_statements = ck.counters[2];
-            core.counters.governor_trips = ck.counters[3];
-            core.counters.events_emitted = ck.counters[4];
+            core.metrics.ingested.store(ck.counters[0]);
+            core.metrics.rejected.store(ck.counters[1]);
+            core.metrics.dml.store(ck.counters[2]);
+            core.metrics.governor_rejections.store(ck.counters[3]);
+            core.metrics.events.store(ck.counters[4]);
         }
 
         // Phase B: the tail goes through the full ingest path.
@@ -268,7 +367,7 @@ impl ServiceCore {
             WalRecord::CreateTable { name, schema, ts } => {
                 self.db.create_table(name.clone(), schema.clone(), *ts).map_err(|e| fail(&e))?;
                 if derive {
-                    self.counters.dml_statements += 1;
+                    self.metrics.dml.inc();
                 }
             }
             WalRecord::Change { table, rec } => {
@@ -277,7 +376,7 @@ impl ServiceCore {
                     // Statement boundaries are not journaled (one statement
                     // may emit many change records), so tail replay counts
                     // records; checkpoint-covered counters restore exactly.
-                    self.counters.dml_statements += 1;
+                    self.metrics.dml.inc();
                 }
             }
             WalRecord::LogAppend { ts, user, role, purpose, sql } => {
@@ -296,8 +395,8 @@ impl ServiceCore {
                         .extend(&self.db, &entry, self.config.strategy, &governor)
                         .map_err(|e| fail(&e))?;
                     let scores = self.online.observe(&self.db, &entry).unwrap_or_default();
-                    self.counters.events_emitted += events_for_scores(&scores) as u64;
-                    self.counters.queries_ingested += 1;
+                    self.metrics.events.add(events_for_scores(&scores) as u64);
+                    self.metrics.ingested.inc();
                 }
                 self.log.record_text(sql, *ts, context).map_err(|e| fail(&e))?;
             }
@@ -309,7 +408,8 @@ impl ServiceCore {
                         &self.db,
                         &self.log,
                         EngineOptions { strategy: self.config.strategy, ..Default::default() },
-                    );
+                    )
+                    .with_obs(self.engine_obs.clone());
                     engine.prepare_governed(&parsed, *now, &governor).map_err(|e| fail(&e))?
                 };
                 self.online.push(prepared);
@@ -337,7 +437,10 @@ impl ServiceCore {
 
     /// Handles one request.
     pub fn handle(&mut self, req: Request) -> Outcome {
-        let outcome = match req {
+        let started = std::time::Instant::now();
+        let cmd = req.cmd_name();
+        let is_log = matches!(req, Request::Log { .. });
+        let mut outcome = match req {
             Request::Dml { ts, sql } => self.handle_dml(ts, &sql),
             Request::Log { ts, user, role, purpose, sql } => {
                 self.handle_log(ts, AccessContext::new(user, role, purpose), &sql)
@@ -346,6 +449,10 @@ impl ServiceCore {
             Request::Unregister { name } => self.handle_unregister(&name),
             Request::Audit { name } => self.handle_audit(&name),
             Request::Stats => Outcome::reply(self.stats_json()),
+            Request::Metrics => Outcome::reply(obj([
+                ("ok", Json::Bool(true)),
+                ("metrics", Json::Str(self.registry.render_prometheus())),
+            ])),
             Request::Subscribe => Outcome::reply(obj([("ok", Json::Bool(true))])),
             Request::Shutdown => {
                 // Flush the WAL so everything acknowledged is durable
@@ -361,6 +468,31 @@ impl ServiceCore {
             }
         };
         self.maybe_auto_checkpoint();
+        let elapsed = started.elapsed();
+        self.registry
+            .latency_histogram(
+                "audex_request_seconds",
+                "Wall-clock per wire request, by command.",
+                &[("cmd", cmd)],
+            )
+            .observe_duration(elapsed);
+        if is_log {
+            self.metrics.ingest_seconds.observe_duration(elapsed);
+            // Periodic metrics broadcast. Not counted in events_emitted:
+            // recovery replay does not re-emit metrics events, and that
+            // counter must rebuild byte-identically from the journal.
+            if let Some(every) = self.config.metrics_every {
+                let ingested = self.metrics.ingested.get();
+                let accepted = outcome.response.get("ok") == Some(&Json::Bool(true));
+                if accepted && every > 0 && ingested > 0 && ingested.is_multiple_of(every) {
+                    outcome.events.push(obj([
+                        ("event", Json::from("metrics")),
+                        ("queries_ingested", Json::from(ingested)),
+                        ("prometheus", Json::Str(self.registry.render_prometheus())),
+                    ]));
+                }
+            }
+        }
         outcome
     }
 
@@ -378,15 +510,15 @@ impl ServiceCore {
     }
 
     fn reject(&mut self, message: String) -> Outcome {
-        self.counters.queries_rejected += 1;
+        self.metrics.rejected.inc();
         Outcome::reply(obj([("ok", Json::Bool(false)), ("error", Json::Str(message))]))
     }
 
     /// A governor trip: the request was refused for capacity, not
     /// validity — `"busy":true` tells the client to back off and retry.
     fn backpressure(&mut self, e: &AuditError) -> Outcome {
-        self.counters.governor_trips += 1;
-        self.counters.queries_rejected += 1;
+        self.metrics.governor_rejections.inc();
+        self.metrics.rejected.inc();
         Outcome::reply(obj([
             ("ok", Json::Bool(false)),
             ("busy", Json::Bool(true)),
@@ -406,14 +538,14 @@ impl ServiceCore {
             if let Err(e) = self.db.execute(stmt, clock) {
                 // Statements before `i` are already applied (the backlog is
                 // append-only); say so instead of pretending atomicity.
-                self.counters.queries_rejected += 1;
+                self.metrics.rejected.inc();
                 return Outcome::reply(obj([
                     ("ok", Json::Bool(false)),
                     ("error", Json::Str(format!("statement {}: {e}", i + 1))),
                     ("applied", Json::from(i)),
                 ]));
             }
-            self.counters.dml_statements += 1;
+            self.metrics.dml.inc();
             clock = clock.plus_seconds(1);
         }
         Outcome::reply(obj([
@@ -466,7 +598,7 @@ impl ServiceCore {
             Ok(id) => id,
             Err(e) => return self.reject(format!("log append failed: {e}")),
         };
-        self.counters.queries_ingested += 1;
+        self.metrics.ingested.inc();
 
         let mut events = Vec::new();
         let mut score_rows = Vec::new();
@@ -499,7 +631,7 @@ impl ServiceCore {
         for idx in touched_audits {
             events.push(self.verdict_event(idx));
         }
-        self.counters.events_emitted += events.len() as u64;
+        self.metrics.events.add(events.len() as u64);
 
         Outcome {
             response: obj([
@@ -544,7 +676,8 @@ impl ServiceCore {
                 &self.db,
                 &self.log,
                 EngineOptions { strategy: self.config.strategy, ..Default::default() },
-            );
+            )
+            .with_obs(self.engine_obs.clone());
             match engine.prepare_governed(&parsed, now, &governor) {
                 Ok(p) => p,
                 Err(e) if is_governor_trip(&e) => return self.backpressure(&e),
@@ -595,10 +728,17 @@ impl ServiceCore {
                 .filter(|e| prepared.filter.admits(e))
                 .map(|e| e.id)
                 .collect();
+            let span = self.engine_obs.phase("index-audit");
             match self.index.evaluate_governed(prepared, &admitted, &governor) {
                 Ok(v) => v,
-                Err(e) if is_governor_trip(&e) => return self.backpressure(&e),
-                Err(e) => return self.reject(format!("audit failed: {e}")),
+                Err(e) => {
+                    span.mark_truncated();
+                    drop(span);
+                    if is_governor_trip(&e) {
+                        return self.backpressure(&e);
+                    }
+                    return self.reject(format!("audit failed: {e}"));
+                }
             }
         };
         Outcome::reply(obj([
@@ -624,7 +764,7 @@ impl ServiceCore {
         let stats = self.db.snapshot_stats();
         let total_reads = stats.hits + stats.misses;
         let hit_rate = if total_reads == 0 { 0.0 } else { stats.hits as f64 / total_reads as f64 };
-        let c = &self.counters;
+        let c = self.counters();
         let mut fields: Vec<(String, Json)> = [
             ("ok", Json::Bool(true)),
             ("queries_ingested", Json::from(c.queries_ingested)),

@@ -190,6 +190,13 @@ impl Database {
         self.faults.is_some()
     }
 
+    /// Mirrors snapshot-cache hit/miss counts into `registry`
+    /// (`audex_snapshot_cache_{hits,misses}_total`). Clones do not inherit
+    /// the wiring — like the change sink, telemetry follows the instance.
+    pub fn set_obs(&mut self, registry: &audex_obs::Registry) {
+        self.snapshots.set_obs(registry);
+    }
+
     /// Hit/miss counters of the version-snapshot cache (diagnostics and
     /// regression tests for replay deduplication).
     pub fn snapshot_stats(&self) -> SnapshotStats {

@@ -84,9 +84,29 @@ pub struct SnapshotCache {
     entries: Mutex<HashMap<SnapshotKey, Arc<Relation>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Registry mirrors of `hits`/`misses` (no-op unless wired up via
+    /// [`crate::database::Database::set_obs`]).
+    obs_hits: audex_obs::Counter,
+    obs_misses: audex_obs::Counter,
 }
 
 impl SnapshotCache {
+    /// Mirrors hit/miss counts into `registry` as
+    /// `audex_snapshot_cache_hits_total` / `audex_snapshot_cache_misses_total`.
+    /// Takes `&mut self` so it can only happen while the owning database is
+    /// exclusively held — readers never race the handle swap.
+    pub(crate) fn set_obs(&mut self, registry: &audex_obs::Registry) {
+        self.obs_hits = registry.counter(
+            "audex_snapshot_cache_hits_total",
+            "Versioned reads served from the snapshot cache.",
+            &[],
+        );
+        self.obs_misses = registry.counter(
+            "audex_snapshot_cache_misses_total",
+            "Versioned reads that had to reconstruct the relation.",
+            &[],
+        );
+    }
     /// Returns the cached relation for `key`, building and inserting it on
     /// a miss. The build runs outside the lock so concurrent readers of
     /// *different* versions reconstruct in parallel; two racing readers of
@@ -100,9 +120,11 @@ impl SnapshotCache {
     ) -> Arc<Relation> {
         if let Some(hit) = self.lock().get(&key).cloned() {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            self.obs_hits.inc();
             return hit;
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        self.obs_misses.inc();
         let built = Arc::new(build());
         Arc::clone(self.lock().entry(key).or_insert(built))
     }

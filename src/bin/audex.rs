@@ -14,13 +14,15 @@
 //! File formats are documented in [`audex::session`]; the `serve`/`send`
 //! wire protocol in [`audex::service::proto`].
 
-use audex::core::{AuditEngine, AuditMode, EngineOptions, Governor};
+use audex::core::{AuditEngine, AuditMode, EngineObs, EngineOptions, Governor};
+use audex::obs::{Registry, Tracer};
 use audex::persist::{FsyncPolicy, Journal, Recovered, WalOptions};
 use audex::service::{ServiceConfig, ServiceCore};
 use audex::session::{load_database_script, load_log_script};
 use audex::Timestamp;
 use std::path::Path;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -57,10 +59,12 @@ USAGE:
               [--now <TIMESTAMP>] [--csv] [--per-query] [--no-static-filter]
               [--granules <LIMIT>] [--stats] [--deadline-ms <MS>]
               [--max-steps <N>] [--max-granules <N>] [--threads <N>]
+              [--trace-out <FILE>]
   audex serve (--stdio | --listen <ADDR>) [--db <FILE>] [--log <FILE>]
               [--data-dir <DIR>] [--fsync always|batch|never]
               [--checkpoint-every <N>] [--deadline-ms <MS>] [--max-steps <N>]
-              [--max-granules <N>] [--threads <N>]
+              [--max-granules <N>] [--threads <N>] [--metrics-every <N>]
+              [--trace-out <FILE>]
   audex send  --addr <ADDR> [REQUEST...]
   audex recover --data-dir <DIR>   repair a crashed store and report its state
   audex compact --data-dir <DIR>   checkpoint + prune a store offline
@@ -97,6 +101,18 @@ OPTIONS:
   --threads N    worker threads for the evaluation phases (default: available
                  cores; 1 = sequential). Reports are identical at any setting.
 
+TELEMETRY:
+  --trace-out FILE   record every pipeline phase (parse, recovery replay,
+                     target-view, candidate filter, batch suspicion,
+                     refinement; for serve also WAL appends/fsyncs and
+                     checkpoints) as a Chrome-trace-event JSON file —
+                     open it at chrome://tracing or in Perfetto. Written
+                     on error paths too, with interrupted spans marked.
+  --metrics-every N  (serve) broadcast a `metrics` event carrying the
+                     Prometheus text exposition to subscribers every N
+                     ingested queries. Any client can also poll with a
+                     {\"cmd\":\"metrics\"} request at any time.
+
 RESOURCE LIMITS (the audit stops with a structured error instead of hanging;
 for `serve`, the same limits act per request as admission control):
   --deadline-ms MS   wall-clock budget for the whole audit
@@ -107,7 +123,8 @@ for `serve`, the same limits act per request as admission control):
 SERVE / SEND (audexd, the streaming audit service):
   audex serve speaks a line-delimited JSON protocol: one request object per
   line, one response line back, plus event lines after `subscribe`. Commands:
-  dml, log, register, unregister, audit, subscribe, stats, shutdown — see
+  dml, log, register, unregister, audit, subscribe, stats, metrics,
+  shutdown — see
   the audex::service::proto module docs for the wire format. `--db`/`--log`
   preload a session-script database and query log (the log is folded into
   the incremental touch index exactly as if streamed). `audex send` posts
@@ -134,6 +151,7 @@ fn cmd_audit(args: &[String]) -> Result<(), String> {
     let mut stats = false;
     let mut limits = audex::core::ResourceLimits::unlimited();
     let mut threads: Option<usize> = None;
+    let mut trace_out: Option<String> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -141,6 +159,7 @@ fn cmd_audit(args: &[String]) -> Result<(), String> {
             "--db" => db_path = Some(take_value(args, &mut i, "--db")?),
             "--log" => log_path = Some(take_value(args, &mut i, "--log")?),
             "--data-dir" => data_dir = Some(take_value(args, &mut i, "--data-dir")?),
+            "--trace-out" => trace_out = Some(take_value(args, &mut i, "--trace-out")?),
             "--expr" => expr_text = Some(take_value(args, &mut i, "--expr")?),
             "--expr-file" => {
                 let path = take_value(args, &mut i, "--expr-file")?;
@@ -196,6 +215,11 @@ fn cmd_audit(args: &[String]) -> Result<(), String> {
 
     let expr_text = expr_text.ok_or("--expr or --expr-file is required")?;
 
+    // Telemetry is armed only when asked for: with no --trace-out both
+    // handles are disabled and every span/histogram below is a no-op.
+    let tracer = if trace_out.is_some() { Tracer::new() } else { Tracer::disabled() };
+    let registry = if trace_out.is_some() { Registry::new() } else { Registry::disabled() };
+
     // A durable store captures the database *and* the log, so --data-dir
     // replaces both file flags; mixing them would be ambiguous about which
     // source wins.
@@ -206,8 +230,11 @@ fn cmd_audit(args: &[String]) -> Result<(), String> {
         let recovered =
             audex::persist::read_store(Path::new(&dir)).map_err(|e| format!("{dir}: {e}"))?;
         report_recovery(&dir, &recovered);
-        let core = ServiceCore::recovered(&recovered, ServiceConfig::default())
-            .map_err(|e| format!("replaying {dir}: {e}"))?;
+        let core = {
+            let _span = tracer.span("recovery-replay");
+            ServiceCore::recovered(&recovered, ServiceConfig::default())
+                .map_err(|e| format!("replaying {dir}: {e}"))?
+        };
         let (db, log) = core.into_parts();
         (db, log, Some(recovered))
     } else {
@@ -220,7 +247,10 @@ fn cmd_audit(args: &[String]) -> Result<(), String> {
         let log = load_log_script(&log_text).map_err(|e| format!("{log_path}: {e}"))?;
         (db, log, None)
     };
-    let expr = audex::parse_audit(&expr_text).map_err(|e| format!("audit expression: {e}"))?;
+    let expr = {
+        let _span = tracer.span("parse");
+        audex::parse_audit(&expr_text).map_err(|e| format!("audit expression: {e}"))?
+    };
     let now = now.unwrap_or_else(|| db.last_ts());
 
     let engine = AuditEngine::with_options(
@@ -233,23 +263,50 @@ fn cmd_audit(args: &[String]) -> Result<(), String> {
             parallelism: threads.unwrap_or_else(audex::core::default_parallelism),
             ..Default::default()
         },
-    );
+    )
+    .with_obs(EngineObs::new(Arc::clone(&registry), Arc::clone(&tracer)));
     // Arm the governor here (rather than letting the engine arm its own per
     // call) so --stats can report how much governed work the run consumed.
     let governor = Governor::arm(&limits);
-    let prepared = engine.prepare_governed(&expr, now, &governor).map_err(|e| e.to_string())?;
-    let report = engine.run_governed(&prepared, &governor).map_err(|e| e.to_string())?;
+    let run = {
+        // One enclosing span so the exported trace nests the engine's
+        // phase spans (target-view, candidate-filter, batch-suspicion,
+        // refinement) under a single "audit" parent.
+        let span = tracer.span("audit");
+        let run = engine
+            .prepare_governed(&expr, now, &governor)
+            .and_then(|prepared| engine.run_governed(&prepared, &governor).map(|r| (prepared, r)));
+        if run.is_err() {
+            span.mark_truncated();
+        }
+        run
+    };
+    // A governor trip or evaluation error still leaves a useful trace of
+    // the phases that did run; flush it before surfacing the error.
+    if let (Some(path), Err(e)) = (&trace_out, &run) {
+        std::fs::write(path, tracer.export_chrome_json()).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("audex: wrote phase trace to {path}");
+        return Err(e.to_string());
+    }
+    let (prepared, report) = run.map_err(|e| e.to_string())?;
 
-    if csv {
-        print!("{}", report.render_csv(&log));
-    } else {
-        print!("{}", report.render_text(&log));
-        if let Some(limit) = granules {
-            match prepared.render_granules(limit) {
-                Ok(g) => println!("granule set G = {g}"),
-                Err(e) => println!("granule set not printed: {e}"),
+    {
+        let _span = tracer.span("report");
+        if csv {
+            print!("{}", report.render_csv(&log));
+        } else {
+            print!("{}", report.render_text(&log));
+            if let Some(limit) = granules {
+                match prepared.render_granules(limit) {
+                    Ok(g) => println!("granule set G = {g}"),
+                    Err(e) => println!("granule set not printed: {e}"),
+                }
             }
         }
+    }
+    if let Some(path) = &trace_out {
+        std::fs::write(path, tracer.export_chrome_json()).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("audex: wrote phase trace to {path}");
     }
     if stats {
         let snap = db.snapshot_stats();
@@ -295,6 +352,8 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let mut data_dir: Option<String> = None;
     let mut fsync = FsyncPolicy::Batch;
     let mut checkpoint_every: Option<u64> = None;
+    let mut metrics_every: Option<u64> = None;
+    let mut trace_out: Option<String> = None;
     let mut limits = audex::core::ResourceLimits::unlimited();
     let mut threads: Option<usize> = None;
 
@@ -320,6 +379,16 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 }
                 checkpoint_every = Some(n);
             }
+            "--metrics-every" => {
+                let text = take_value(args, &mut i, "--metrics-every")?;
+                let n: u64 =
+                    text.parse().map_err(|_| format!("invalid --metrics-every value {text:?}"))?;
+                if n == 0 {
+                    return Err("--metrics-every must be at least 1".into());
+                }
+                metrics_every = Some(n);
+            }
+            "--trace-out" => trace_out = Some(take_value(args, &mut i, "--trace-out")?),
             "--deadline-ms" => {
                 let text = take_value(args, &mut i, "--deadline-ms")?;
                 let ms: u64 =
@@ -366,10 +435,11 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         limits,
         parallelism: threads.unwrap_or_else(audex::core::default_parallelism),
         checkpoint_every,
+        metrics_every,
         ..Default::default()
     };
 
-    let core = if let Some(dir) = data_dir {
+    let mut core = if let Some(dir) = data_dir {
         let options = WalOptions { fsync, ..Default::default() };
         let (journal, recovered) = Journal::open(Path::new(&dir), options)
             .map_err(|e| format!("opening durable store {dir}: {e}"))?;
@@ -398,7 +468,18 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         }
     };
 
-    match listen {
+    // The tracer outlives the core (which serve consumes): holding our own
+    // Arc lets the trace be exported after the serve loop returns.
+    let tracer = match &trace_out {
+        Some(_) => {
+            let tracer = Tracer::new();
+            core.set_tracer(Arc::clone(&tracer));
+            tracer
+        }
+        None => Tracer::disabled(),
+    };
+
+    let run = match listen {
         None => audex::service::serve_stdio(core).map_err(|e| e.to_string()),
         Some(addr) => {
             let server = audex::service::Server::bind(core, &addr)
@@ -407,7 +488,14 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             eprintln!("audexd listening on {}", server.local_addr().map_err(|e| e.to_string())?);
             server.run().map_err(|e| e.to_string())
         }
+    };
+    // Written even when the serve loop failed: the spans up to the failure
+    // are exactly what a post-mortem wants.
+    if let Some(path) = &trace_out {
+        std::fs::write(path, tracer.export_chrome_json()).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("audex: wrote phase trace to {path}");
     }
+    run
 }
 
 /// One-line-per-fact recovery summary on stderr.
@@ -530,7 +618,10 @@ fn cmd_send(args: &[String]) -> Result<(), String> {
         print!("{line}");
     }
     // After `subscribe`, keep printing event lines until the server goes
-    // away (shutdown or ^C on our side).
+    // away (shutdown or ^C on our side). The follower is a tap, not a
+    // filter: every event line is forwarded verbatim whatever its "event"
+    // tag, so kinds added after this client was built (`metrics`, say)
+    // flow through instead of being silently dropped.
     if follow {
         loop {
             let mut line = String::new();

@@ -14,6 +14,7 @@
 //! | [`core`] | the paper: target views, granule model, suspicion notions, audit engine, online ranking |
 //! | [`workload`] | the paper's running example + seeded generators |
 //! | [`service`] | `audexd`: the streaming audit service (`audex serve`) with incremental index maintenance |
+//! | [`obs`] | telemetry: lock-sharded metrics registry, phase tracer, Prometheus exposition |
 //!
 //! See `examples/quickstart.rs` for a five-minute tour and
 //! `examples/paper_artifacts.rs` for a regeneration of every table and
@@ -23,6 +24,7 @@
 
 pub use audex_core as core;
 pub use audex_log as log;
+pub use audex_obs as obs;
 pub use audex_persist as persist;
 pub use audex_policy as policy;
 pub use audex_service as service;

@@ -1,0 +1,333 @@
+//! End-to-end telemetry: the `metrics` wire request answers Prometheus
+//! text with the full series set (phase histograms, ingest latency,
+//! snapshot-cache and WAL counters, governor rejections), `--metrics-every`
+//! broadcasts periodic `metrics` events to subscribers, `audex send`
+//! follow-mode forwards event kinds it was never taught, `--trace-out`
+//! produces a Chrome-trace file matching the pipeline phases, and the
+//! registry snapshot is deterministic under `par_map` concurrency.
+
+use audex::service::Json;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("audex-metrics-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Sends every request line to a fresh `audex serve --stdio [extra]` child;
+/// returns (responses-in-request-order, events-in-emission-order).
+fn drive(extra: &[&str], requests: &[String]) -> (Vec<Json>, Vec<Json>) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_audex"))
+        .args(["serve", "--stdio"])
+        .args(extra)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn audex serve --stdio");
+    {
+        let mut stdin = child.stdin.take().expect("child stdin");
+        for req in requests {
+            writeln!(stdin, "{req}").expect("write request");
+        }
+    }
+    let stdout = child.stdout.take().expect("child stdout");
+    let mut responses = Vec::new();
+    let mut events = Vec::new();
+    for line in BufReader::new(stdout).lines() {
+        let line = line.expect("read response line");
+        let v = Json::parse(&line).unwrap_or_else(|e| panic!("bad JSON {line:?}: {e}"));
+        if v.get("event").is_some() {
+            events.push(v);
+        } else {
+            responses.push(v);
+        }
+    }
+    assert!(child.wait().expect("child exits").success());
+    assert_eq!(responses.len(), requests.len(), "one response line per request");
+    (responses, events)
+}
+
+const SCHEMA_DML: &str = r#"{"cmd":"dml","ts":100,"sql":"CREATE TABLE p (name CHAR, zipcode CHAR, disease CHAR); INSERT INTO p VALUES ('jane','145568','flu'), ('reku','145568','diabetic'), ('lucy','188888','malaria');"}"#;
+
+fn log_entry(ts: i64, sql: &str) -> String {
+    format!(
+        r#"{{"cmd":"log","ts":{ts},"user":"u-7","role":"doctor","purpose":"treatment","sql":"{sql}"}}"#
+    )
+}
+
+/// The exposition text out of a `metrics` response.
+fn metrics_text(response: &Json) -> &str {
+    response.get("metrics").and_then(Json::as_str).unwrap_or_else(|| panic!("{response}"))
+}
+
+/// The value of the first sample line starting with `prefix` (series name
+/// plus any label block), parsed as f64.
+fn series_value(text: &str, prefix: &str) -> f64 {
+    let line = text
+        .lines()
+        .find(|l| l.starts_with(prefix) && !l.starts_with("# "))
+        .unwrap_or_else(|| panic!("no sample line starts with {prefix:?}"));
+    let value = line.rsplit(' ').next().unwrap_or_else(|| panic!("bare line {line:?}"));
+    value.parse().unwrap_or_else(|e| panic!("{line:?}: {e}"))
+}
+
+#[test]
+fn metrics_request_covers_every_required_series() {
+    let dir = temp_dir("series");
+    let requests = vec![
+        SCHEMA_DML.to_string(),
+        r#"{"cmd":"register","name":"snoop","expr":"AUDIT disease FROM p WHERE zipcode='145568'","now":10000}"#.to_string(),
+        log_entry(200, "SELECT disease FROM p WHERE zipcode = '145568'"),
+        log_entry(300, "SELECT name FROM p WHERE zipcode = '188888'"),
+        r#"{"cmd":"audit","name":"snoop"}"#.to_string(),
+        r#"{"cmd":"metrics"}"#.to_string(),
+        r#"{"cmd":"shutdown"}"#.to_string(),
+    ];
+    let (responses, _) =
+        drive(&["--data-dir", dir.to_str().unwrap(), "--fsync", "always"], &requests);
+    for (req, resp) in requests.iter().zip(&responses) {
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "request {req} failed: {resp}");
+    }
+    let text = metrics_text(&responses[5]);
+
+    // The acceptance set: per-phase audit histograms, ingest latency,
+    // snapshot cache, WAL, governor rejections — all on one page.
+    assert!(
+        text.contains(r#"audex_audit_phase_seconds_bucket{phase="target-view",le="#),
+        "phase histogram missing:\n{text}"
+    );
+    assert!(
+        text.contains(r#"audex_audit_phase_seconds_bucket{phase="index-audit",le="#),
+        "index-audit phase missing:\n{text}"
+    );
+    assert_eq!(series_value(text, "audex_ingest_seconds_count"), 2.0, "{text}");
+    assert_eq!(series_value(text, "audex_queries_ingested_total"), 2.0, "{text}");
+    assert!(series_value(text, "audex_snapshot_cache_misses_total") >= 1.0, "{text}");
+    assert!(text.contains("audex_snapshot_cache_hits_total"), "{text}");
+    assert!(series_value(text, "audex_wal_appends_total") >= 4.0, "{text}");
+    assert!(series_value(text, "audex_wal_fsyncs_total") >= 1.0, "{text}");
+    assert_eq!(series_value(text, "audex_governor_rejections_total"), 0.0, "{text}");
+    // Per-request latency carries the wire command as a label.
+    assert!(text.contains(r#"audex_request_seconds_bucket{cmd="log",le="#), "{text}");
+    // Every family documents itself.
+    assert!(text.contains("# HELP audex_wal_fsyncs_total"), "{text}");
+    assert!(text.contains("# TYPE audex_audit_phase_seconds histogram"), "{text}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn governor_rejections_land_on_the_registry() {
+    let requests = vec![
+        SCHEMA_DML.to_string(),
+        // A 1-step budget cannot even prepare the target view: the
+        // register request is refused whole with busy backpressure.
+        r#"{"cmd":"register","name":"snoop","expr":"AUDIT disease FROM p WHERE zipcode='145568'","now":10000}"#.to_string(),
+        r#"{"cmd":"metrics"}"#.to_string(),
+    ];
+    let (responses, _) = drive(&["--max-steps", "1"], &requests);
+    assert_eq!(responses[1].get("ok"), Some(&Json::Bool(false)), "{}", responses[1]);
+    assert_eq!(responses[1].get("busy"), Some(&Json::Bool(true)), "{}", responses[1]);
+    let text = metrics_text(&responses[2]);
+    assert!(series_value(text, "audex_governor_rejections_total") >= 1.0, "{text}");
+}
+
+#[test]
+fn metrics_events_broadcast_every_n_ingests() {
+    let requests = vec![
+        SCHEMA_DML.to_string(),
+        r#"{"cmd":"subscribe"}"#.to_string(),
+        log_entry(200, "SELECT disease FROM p WHERE zipcode = '145568'"),
+        log_entry(300, "SELECT name FROM p WHERE zipcode = '188888'"),
+        log_entry(400, "SELECT name FROM p"),
+        log_entry(500, "SELECT zipcode FROM p"),
+        r#"{"cmd":"shutdown"}"#.to_string(),
+    ];
+    let (responses, events) = drive(&["--metrics-every", "2"], &requests);
+    for resp in &responses {
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "{resp}");
+    }
+    // No audits are registered, so the only events are the periodic
+    // metrics broadcasts: after the 2nd and 4th ingest.
+    assert_eq!(events.len(), 2, "{events:?}");
+    for (event, ingested) in events.iter().zip([2, 4]) {
+        assert_eq!(event.get("event").and_then(Json::as_str), Some("metrics"), "{event}");
+        assert_eq!(event.get("queries_ingested").and_then(Json::as_int), Some(ingested));
+        let prom = event.get("prometheus").and_then(Json::as_str).expect("prometheus payload");
+        assert_eq!(series_value(prom, "audex_queries_ingested_total"), ingested as f64);
+    }
+}
+
+/// Regression: `audex send` follow-mode is a tap, not a filter — event
+/// kinds the client predates (here `metrics`) must be forwarded, not
+/// silently dropped.
+#[test]
+fn send_follow_forwards_new_event_kinds() {
+    let mut server = Command::new(env!("CARGO_BIN_EXE_audex"))
+        .args(["serve", "--listen", "127.0.0.1:0", "--metrics-every", "1"])
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn audex serve --listen");
+    // The listening banner on stderr carries the bound address.
+    let mut banner = String::new();
+    let mut server_err = BufReader::new(server.stderr.take().expect("server stderr"));
+    server_err.read_line(&mut banner).expect("read banner");
+    let addr = banner.trim().rsplit(' ').next().expect("address in banner").to_string();
+
+    let mut follower = Command::new(env!("CARGO_BIN_EXE_audex"))
+        .args(["send", "--addr", &addr, r#"{"cmd":"subscribe"}"#])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn audex send");
+    let mut follower_out = BufReader::new(follower.stdout.take().expect("follower stdout"));
+    let mut line = String::new();
+    follower_out.read_line(&mut line).expect("subscribe response");
+    assert!(line.contains(r#""ok":true"#), "{line}");
+
+    // A second connection ingests one query, which triggers a `metrics`
+    // broadcast to the subscribed follower.
+    let mut driver = TcpStream::connect(&addr).expect("connect driver");
+    let mut driver_in = BufReader::new(driver.try_clone().expect("clone driver"));
+    for req in [SCHEMA_DML, &log_entry(200, "SELECT disease FROM p WHERE zipcode = '145568'")] {
+        writeln!(driver, "{req}").expect("send request");
+        let mut resp = String::new();
+        driver_in.read_line(&mut resp).expect("read response");
+        assert!(resp.contains(r#""ok":true"#), "{resp}");
+    }
+
+    line.clear();
+    follower_out.read_line(&mut line).expect("follow line");
+    let event = Json::parse(&line).unwrap_or_else(|e| panic!("bad event {line:?}: {e}"));
+    assert_eq!(event.get("event").and_then(Json::as_str), Some("metrics"), "{event}");
+    assert!(
+        event
+            .get("prometheus")
+            .and_then(Json::as_str)
+            .is_some_and(|p| p.contains("audex_queries_ingested_total 1")),
+        "{event}"
+    );
+
+    writeln!(driver, r#"{{"cmd":"shutdown"}}"#).expect("send shutdown");
+    assert!(server.wait().expect("server exits").success());
+    assert!(follower.wait().expect("follower exits").success());
+}
+
+/// `audex audit --trace-out` writes Chrome-trace JSON whose span names are
+/// the pipeline phases.
+#[test]
+fn audit_trace_out_matches_pipeline_phases() {
+    let dir = temp_dir("trace");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let db = dir.join("db.sql");
+    let log = dir.join("log.txt");
+    let trace = dir.join("trace.json");
+    std::fs::write(
+        &db,
+        "@1/1/2008\nCREATE TABLE p (name CHAR, zipcode CHAR, disease CHAR);\n\
+         INSERT INTO p VALUES ('jane','145568','flu');\n\
+         INSERT INTO p VALUES ('reku','145568','diabetic');\n",
+    )
+    .expect("write db");
+    std::fs::write(
+        &log,
+        "@2/1/2008 user=u-7 role=doctor purpose=treatment\n\
+         SELECT disease FROM p WHERE zipcode = '145568'\n",
+    )
+    .expect("write log");
+    let status = Command::new(env!("CARGO_BIN_EXE_audex"))
+        .args(["audit", "--db"])
+        .arg(&db)
+        .arg("--log")
+        .arg(&log)
+        .args(["--expr", "AUDIT disease FROM p WHERE zipcode='145568'", "--trace-out"])
+        .arg(&trace)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .status()
+        .expect("run audex audit");
+    assert!(status.success());
+
+    let text = std::fs::read_to_string(&trace).expect("trace file written");
+    let v = Json::parse(&text).unwrap_or_else(|e| panic!("trace is not JSON: {e}\n{text}"));
+    assert_eq!(v.get("displayTimeUnit").and_then(Json::as_str), Some("ms"));
+    let events = v.get("traceEvents").and_then(Json::as_arr).expect("traceEvents array");
+    assert!(!events.is_empty(), "{text}");
+    let names: Vec<&str> =
+        events.iter().filter_map(|e| e.get("name").and_then(Json::as_str)).collect();
+    for phase in ["parse", "audit", "target-view", "candidate-filter", "batch-suspicion", "report"]
+    {
+        assert!(names.contains(&phase), "phase {phase} missing from {names:?}");
+    }
+    for e in events {
+        assert_eq!(e.get("ph").and_then(Json::as_str), Some("X"), "{e}");
+        assert!(e.get("ts").and_then(Json::as_int).is_some(), "{e}");
+        assert!(e.get("dur").and_then(Json::as_int).is_some(), "{e}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `audex serve --trace-out` additionally records the durability spans.
+#[test]
+fn serve_trace_out_records_wal_spans() {
+    let dir = temp_dir("serve-trace");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let store = dir.join("store");
+    let trace = dir.join("trace.json");
+    let requests = vec![
+        SCHEMA_DML.to_string(),
+        log_entry(200, "SELECT disease FROM p WHERE zipcode = '145568'"),
+        r#"{"cmd":"shutdown"}"#.to_string(),
+    ];
+    let (responses, _) = drive(
+        &[
+            "--data-dir",
+            store.to_str().unwrap(),
+            "--fsync",
+            "always",
+            "--trace-out",
+            trace.to_str().unwrap(),
+        ],
+        &requests,
+    );
+    for resp in &responses {
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "{resp}");
+    }
+    let text = std::fs::read_to_string(&trace).expect("trace file written");
+    let v = Json::parse(&text).unwrap_or_else(|e| panic!("trace is not JSON: {e}\n{text}"));
+    let events = v.get("traceEvents").and_then(Json::as_arr).expect("traceEvents array");
+    let names: Vec<&str> =
+        events.iter().filter_map(|e| e.get("name").and_then(Json::as_str)).collect();
+    assert!(names.contains(&"wal-append"), "{names:?}");
+    assert!(names.contains(&"wal-fsync"), "{names:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The registry answer is identical whether updates arrive from 1 worker
+/// or 4: `par_map` instrumentation cannot make telemetry nondeterministic.
+#[test]
+fn registry_snapshot_is_deterministic_across_par_map_widths() {
+    let run = |parallelism: usize| {
+        let registry = audex::obs::Registry::new();
+        let items: Vec<u64> = (0..97).collect();
+        audex::core::par_map(parallelism, &items, |_, &i| {
+            let shard = format!("{}", i % 5);
+            registry.counter("pm_total", "Items processed.", &[("shard", &shard)]).inc();
+            // Dyadic values keep float sums exact under any add order.
+            registry
+                .latency_histogram("pm_seconds", "Per-item latency.", &[])
+                .observe(i as f64 * 0.0078125);
+        });
+        (registry.snapshot(), registry.render_prometheus())
+    };
+    let (snap1, text1) = run(1);
+    let (snap4, text4) = run(4);
+    assert_eq!(snap1, snap4);
+    assert_eq!(text1, text4);
+    assert!(text1.contains(r#"pm_total{shard="3"} 19"#), "{text1}");
+}

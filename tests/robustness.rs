@@ -436,3 +436,120 @@ fn binary_reports_structured_errors_with_nonzero_exit() {
     std::fs::remove_file(db).ok();
     std::fs::remove_file(log).ok();
 }
+
+// ---------------------------------------------------------------------------
+// Telemetry on the error path: every span that opened must close — present
+// in the trace with a duration — and the interrupted ones must say so.
+// ---------------------------------------------------------------------------
+
+mod telemetry {
+    use super::*;
+    use audex::core::EngineObs;
+    use audex::obs::{Registry, Tracer};
+    use std::sync::Arc;
+
+    #[test]
+    fn spans_close_truncated_when_the_governor_trips() {
+        let (db, log) = hospital();
+        let registry = Registry::new();
+        let tracer = Tracer::new();
+        let engine = AuditEngine::with_options(
+            &db,
+            &log,
+            EngineOptions {
+                parallelism: 4,
+                limits: ResourceLimits { max_steps: Some(5), ..ResourceLimits::unlimited() },
+                ..Default::default()
+            },
+        )
+        .with_obs(EngineObs::new(Arc::clone(&registry), Arc::clone(&tracer)));
+        let expr = all_time(parse_audit(&standard_audit_text()).unwrap());
+        let err = engine.audit_at(&expr, Timestamp(1_000_000)).unwrap_err();
+        assert!(matches!(err, AuditError::BudgetExhausted { .. }), "{err:?}");
+
+        // `take_events` returns only *closed* spans: the enclosing audit
+        // span survived the error path and is flagged, as is whichever
+        // inner phase the governor interrupted.
+        let events = tracer.take_events();
+        let audit: Vec<_> = events.iter().filter(|e| e.name == "audit").collect();
+        assert_eq!(audit.len(), 1, "{events:?}");
+        assert!(audit[0].truncated, "{events:?}");
+        assert!(events.iter().any(|e| e.name != "audit" && e.truncated), "{events:?}");
+
+        // The phase histogram recorded the interrupted run too.
+        let text = registry.render_prometheus();
+        assert!(text.contains(r#"audex_audit_phase_seconds_bucket{phase="audit""#), "{text}");
+    }
+
+    #[test]
+    fn spans_close_truncated_on_injected_storage_faults() {
+        let (mut db, log) = hospital();
+        db.arm_faults(FaultPlan::new().fail_all_scans("Patients"));
+        let registry = Registry::new();
+        let tracer = Tracer::new();
+        let engine = AuditEngine::new(&db, &log)
+            .with_obs(EngineObs::new(Arc::clone(&registry), Arc::clone(&tracer)));
+        let expr = all_time(parse_audit(&standard_audit_text()).unwrap());
+        let err = engine.audit_at(&expr, Timestamp(1_000_000)).unwrap_err();
+        assert!(matches!(err, AuditError::Storage(StorageError::Injected { .. })), "{err:?}");
+
+        let events = tracer.take_events();
+        assert!(events.iter().any(|e| e.name == "audit" && e.truncated), "{events:?}");
+        assert!(events.iter().any(|e| e.name == "target-view" && e.truncated), "{events:?}");
+    }
+
+    #[test]
+    fn one_failing_worker_truncates_only_its_own_span() {
+        use audex::sql::ast::TypeName;
+        use audex::sql::Ident;
+        use audex::storage::Schema;
+
+        // A second table that only the second expression touches; take it
+        // down so that worker fails mid-phase while the others succeed.
+        let (mut db, log) = hospital();
+        let last = db.last_ts();
+        db.create_table(
+            Ident::new("Billing"),
+            Schema::of(&[("pid", TypeName::Text), ("amount", TypeName::Int)]),
+            last,
+        )
+        .unwrap();
+        db.insert(&Ident::new("Billing"), vec!["p1".into(), audex::storage::Value::Int(10)], last)
+            .unwrap();
+        db.arm_faults(FaultPlan::new().fail_all_scans("Billing"));
+
+        let registry = Registry::new();
+        let tracer = Tracer::new();
+        let engine = AuditEngine::with_options(
+            &db,
+            &log,
+            EngineOptions { parallelism: 4, ..Default::default() },
+        )
+        .with_obs(EngineObs::new(Arc::clone(&registry), Arc::clone(&tracer)));
+        let exprs = vec![
+            all_time(parse_audit(&standard_audit_text()).unwrap()),
+            all_time(parse_audit("AUDIT amount FROM Billing").unwrap()),
+            all_time(parse_audit("AUDIT age FROM Patients WHERE age > 60").unwrap()),
+        ];
+        let many = engine.audit_many(&exprs, Timestamp(1_000_000)).unwrap();
+        assert!(many[0].is_ok() && many[2].is_ok(), "{many:?}");
+        assert!(
+            matches!(many[1], Err(AuditError::Storage(StorageError::Injected { .. }))),
+            "{:?}",
+            many[1]
+        );
+
+        // The shared index build finished clean; the healthy expressions
+        // closed their evaluation spans untruncated; the faulted worker
+        // closed its target-view span with the truncated mark — failure
+        // isolation holds for the trace as well.
+        let events = tracer.take_events();
+        assert!(events.iter().any(|e| e.name == "index-build" && !e.truncated), "{events:?}");
+        let per_expr: Vec<_> = events.iter().filter(|e| e.name == "index-audit").collect();
+        assert_eq!(per_expr.len(), 2, "{events:?}");
+        assert!(per_expr.iter().all(|e| !e.truncated), "{events:?}");
+        let truncated: Vec<_> = events.iter().filter(|e| e.truncated).collect();
+        assert_eq!(truncated.len(), 1, "{events:?}");
+        assert_eq!(truncated[0].name, "target-view", "{events:?}");
+    }
+}

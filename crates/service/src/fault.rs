@@ -1,0 +1,328 @@
+//! Deterministic network fault injection for the `audexd` front door.
+//!
+//! The front-door robustness claims ("one stalled subscriber never blocks
+//! ingest", "a torn frame never kills the connection loop") are only worth
+//! anything if they are *tested* — this module is the network counterpart
+//! of [`audex_storage::fault`]'s scan and I/O fault plans. A
+//! [`NetFaultPlan`] is armed on a [`crate::Server`] (via
+//! [`crate::FrontDoorConfig::faults`] or the CLI's repeatable
+//! `--net-fault` flag) and injects faults at the server's own network I/O
+//! boundary, addressed by **accept ordinal** (the Nth accepted connection,
+//! 1-based; 0 means every connection):
+//!
+//! * **torn frames** — reads from the connection are delivered in
+//!   fragments of at most `chunk` bytes, so request lines arrive split at
+//!   arbitrary byte boundaries;
+//! * **mid-request disconnect** — the connection signals EOF after the
+//!   server has read `bytes` bytes from it, modelling a client dying
+//!   halfway through a request line;
+//! * **stalled reader** — writes *to* the connection absorb only `bytes`
+//!   bytes and then time out, exactly what a full kernel send buffer looks
+//!   like when the peer never drains its socket (deterministic, no kernel
+//!   buffer tuning required);
+//! * **slow writer** — every read from the connection first sleeps
+//!   `pause_ms`, modelling a client that trickles its bytes out.
+//!
+//! The plan is deterministic — no randomness, no time dependence beyond
+//! the explicit pauses — so a failing test reproduces exactly. Byte
+//! counters are per connection and shared between the connection's reader
+//! and writer halves.
+
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Which connection a fault addresses: the Nth accepted connection
+/// (1-based), or every connection when 0.
+type ConnOrdinal = u64;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum FaultKind {
+    /// Reads delivered in fragments of at most this many bytes.
+    Torn { chunk: usize },
+    /// EOF after this many bytes have been read from the connection.
+    DisconnectAfter { bytes: u64 },
+    /// Writes absorb this many bytes, then time out.
+    StallWrites { absorb: u64 },
+    /// Every read pauses this long first.
+    SlowReads { pause_ms: u64 },
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ConnFault {
+    conn: ConnOrdinal,
+    kind: FaultKind,
+}
+
+/// A deterministic, connection-addressed plan of network faults.
+///
+/// Build one with the fluent constructors or parse the CLI's
+/// `kind:conn:arg` spec strings with [`NetFaultPlan::with_spec`], then arm
+/// it through [`crate::FrontDoorConfig::faults`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NetFaultPlan {
+    faults: Vec<ConnFault>,
+}
+
+impl NetFaultPlan {
+    /// An empty plan (no faults).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reads from connection `conn` arrive in fragments of at most
+    /// `chunk` bytes (torn frames).
+    pub fn torn_frames(mut self, conn: ConnOrdinal, chunk: usize) -> Self {
+        assert!(chunk > 0, "torn-frame chunks must be at least 1 byte");
+        self.faults.push(ConnFault { conn, kind: FaultKind::Torn { chunk } });
+        self
+    }
+
+    /// Connection `conn` signals EOF after the server has read `bytes`
+    /// bytes from it (mid-request disconnect).
+    pub fn disconnect_after(mut self, conn: ConnOrdinal, bytes: u64) -> Self {
+        self.faults.push(ConnFault { conn, kind: FaultKind::DisconnectAfter { bytes } });
+        self
+    }
+
+    /// Writes to connection `conn` absorb only `absorb` bytes and then
+    /// time out (a stalled reader that never drains its socket).
+    pub fn stall_writes(mut self, conn: ConnOrdinal, absorb: u64) -> Self {
+        self.faults.push(ConnFault { conn, kind: FaultKind::StallWrites { absorb } });
+        self
+    }
+
+    /// Every read from connection `conn` sleeps `pause_ms` first (a slow
+    /// writer trickling bytes).
+    pub fn slow_reads(mut self, conn: ConnOrdinal, pause_ms: u64) -> Self {
+        self.faults.push(ConnFault { conn, kind: FaultKind::SlowReads { pause_ms } });
+        self
+    }
+
+    /// Parses and adds one CLI spec of the form `kind:conn:arg` where
+    /// `kind` is `torn` (arg: chunk bytes), `eof` (arg: bytes read),
+    /// `stall` (arg: bytes absorbed) or `slow` (arg: pause ms), and `conn`
+    /// is the 1-based accept ordinal (0 = every connection).
+    pub fn with_spec(self, spec: &str) -> Result<Self, String> {
+        let parts: Vec<&str> = spec.split(':').collect();
+        let [kind, conn, arg] = parts.as_slice() else {
+            return Err(format!(
+                "net-fault spec {spec:?}: expected kind:conn:arg (e.g. torn:0:7, stall:2:512)"
+            ));
+        };
+        let conn: u64 =
+            conn.parse().map_err(|_| format!("net-fault spec {spec:?}: bad conn ordinal"))?;
+        let arg: u64 = arg.parse().map_err(|_| format!("net-fault spec {spec:?}: bad argument"))?;
+        match *kind {
+            "torn" => {
+                if arg == 0 {
+                    return Err(format!("net-fault spec {spec:?}: chunk must be at least 1"));
+                }
+                Ok(self.torn_frames(conn, arg as usize))
+            }
+            "eof" => Ok(self.disconnect_after(conn, arg)),
+            "stall" => Ok(self.stall_writes(conn, arg)),
+            "slow" => Ok(self.slow_reads(conn, arg)),
+            other => Err(format!(
+                "net-fault spec {spec:?}: unknown kind {other:?} (torn|eof|stall|slow)"
+            )),
+        }
+    }
+
+    /// True when the plan contains no faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Arms the plan for one accepted connection: `None` when no fault
+    /// addresses it (the fast path wraps nothing).
+    pub(crate) fn arm(&self, ordinal: ConnOrdinal) -> Option<Arc<ConnFaultState>> {
+        let mut state = ConnFaultState::default();
+        let mut any = false;
+        for f in &self.faults {
+            if f.conn != 0 && f.conn != ordinal {
+                continue;
+            }
+            any = true;
+            match f.kind {
+                FaultKind::Torn { chunk } => {
+                    state.chunk =
+                        Some(state.chunk.map_or(chunk, |existing: usize| existing.min(chunk)));
+                }
+                FaultKind::DisconnectAfter { bytes } => {
+                    state.eof_after =
+                        Some(state.eof_after.map_or(bytes, |existing: u64| existing.min(bytes)));
+                }
+                FaultKind::StallWrites { absorb } => {
+                    state.absorb =
+                        Some(state.absorb.map_or(absorb, |existing: u64| existing.min(absorb)));
+                }
+                FaultKind::SlowReads { pause_ms } => {
+                    state.pause_ms = Some(
+                        state.pause_ms.map_or(pause_ms, |existing: u64| existing.max(pause_ms)),
+                    );
+                }
+            }
+        }
+        any.then(|| Arc::new(state))
+    }
+}
+
+/// An armed per-connection fault: the merged effective limits plus the
+/// connection's running byte counters (shared by both stream halves).
+#[derive(Debug, Default)]
+pub(crate) struct ConnFaultState {
+    chunk: Option<usize>,
+    eof_after: Option<u64>,
+    absorb: Option<u64>,
+    pause_ms: Option<u64>,
+    read_bytes: AtomicU64,
+    written_bytes: AtomicU64,
+}
+
+/// A server-side connection stream: the accepted [`TcpStream`] plus the
+/// armed fault shim, if any. All front-door I/O goes through this type so
+/// fault-injected and production connections share one code path.
+#[derive(Debug)]
+pub(crate) struct NetStream {
+    inner: TcpStream,
+    fault: Option<Arc<ConnFaultState>>,
+}
+
+impl NetStream {
+    pub(crate) fn new(inner: TcpStream, fault: Option<Arc<ConnFaultState>>) -> NetStream {
+        NetStream { inner, fault }
+    }
+
+    /// A second handle on the same connection sharing the fault counters
+    /// (reader and writer halves count against one budget).
+    pub(crate) fn try_clone(&self) -> io::Result<NetStream> {
+        Ok(NetStream { inner: self.inner.try_clone()?, fault: self.fault.clone() })
+    }
+
+    pub(crate) fn shutdown(&self, how: Shutdown) {
+        let _ = self.inner.shutdown(how);
+    }
+
+    pub(crate) fn set_read_timeout(&self, dur: Option<Duration>) -> io::Result<()> {
+        self.inner.set_read_timeout(dur)
+    }
+
+    pub(crate) fn set_write_timeout(&self, dur: Option<Duration>) -> io::Result<()> {
+        self.inner.set_write_timeout(dur)
+    }
+}
+
+impl Read for NetStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let Some(fault) = &self.fault else {
+            return self.inner.read(buf);
+        };
+        if let Some(ms) = fault.pause_ms {
+            std::thread::sleep(Duration::from_millis(ms));
+        }
+        let mut want = buf.len();
+        if let Some(chunk) = fault.chunk {
+            want = want.min(chunk);
+        }
+        if let Some(cap) = fault.eof_after {
+            let done = fault.read_bytes.load(Ordering::Relaxed);
+            let remaining = cap.saturating_sub(done);
+            if remaining == 0 {
+                return Ok(0); // injected mid-request disconnect
+            }
+            want = want.min(remaining as usize);
+        }
+        let want = want.max(1).min(buf.len());
+        let n = self.inner.read(&mut buf[..want])?;
+        fault.read_bytes.fetch_add(n as u64, Ordering::Relaxed);
+        Ok(n)
+    }
+}
+
+impl Write for NetStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let Some(fault) = &self.fault else {
+            return self.inner.write(buf);
+        };
+        let mut len = buf.len();
+        if let Some(absorb) = fault.absorb {
+            let done = fault.written_bytes.load(Ordering::Relaxed);
+            let remaining = absorb.saturating_sub(done);
+            if remaining == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    format!("injected: peer stopped reading after absorbing {absorb} byte(s)"),
+                ));
+            }
+            len = len.min(remaining as usize);
+        }
+        let n = self.inner.write(&buf[..len])?;
+        fault.written_bytes.fetch_add(n as u64, Ordering::Relaxed);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_round_trip_to_builders() {
+        let parsed = NetFaultPlan::new()
+            .with_spec("torn:0:7")
+            .unwrap()
+            .with_spec("eof:3:64")
+            .unwrap()
+            .with_spec("stall:2:512")
+            .unwrap()
+            .with_spec("slow:4:2")
+            .unwrap();
+        let built = NetFaultPlan::new()
+            .torn_frames(0, 7)
+            .disconnect_after(3, 64)
+            .stall_writes(2, 512)
+            .slow_reads(4, 2);
+        assert_eq!(parsed, built);
+    }
+
+    #[test]
+    fn bad_specs_name_the_problem() {
+        for (spec, what) in [
+            ("torn:0", "kind:conn:arg"),
+            ("torn:x:7", "conn ordinal"),
+            ("torn:1:zero", "argument"),
+            ("torn:1:0", "chunk"),
+            ("fly:1:1", "unknown kind"),
+        ] {
+            let err = NetFaultPlan::new().with_spec(spec).unwrap_err();
+            assert!(err.contains(what), "{spec}: {err}");
+        }
+    }
+
+    #[test]
+    fn arming_addresses_the_right_ordinal() {
+        let plan = NetFaultPlan::new().torn_frames(0, 8).stall_writes(2, 100);
+        let one = plan.arm(1).expect("conn 1 gets the every-conn torn fault");
+        assert_eq!(one.chunk, Some(8));
+        assert_eq!(one.absorb, None);
+        let two = plan.arm(2).expect("conn 2 gets both");
+        assert_eq!(two.chunk, Some(8));
+        assert_eq!(two.absorb, Some(100));
+        assert!(NetFaultPlan::new().arm(1).is_none(), "empty plan arms nothing");
+    }
+
+    #[test]
+    fn overlapping_faults_merge_to_the_strictest() {
+        let plan = NetFaultPlan::new().torn_frames(0, 8).torn_frames(1, 3).stall_writes(1, 50);
+        let armed = plan.arm(1).expect("armed");
+        assert_eq!(armed.chunk, Some(3), "smaller chunk wins");
+        assert_eq!(armed.absorb, Some(50));
+    }
+}

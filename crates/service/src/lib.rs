@@ -18,7 +18,16 @@
 //!   [`audex_core::ResourceLimits`], and a tripped budget rejects the
 //!   request whole with `"busy":true` backpressure instead of degrading
 //!   the index,
-//! * [`server`] — stdin/stdout and TCP front ends (`audex serve`).
+//! * [`server`] — stdin/stdout and TCP front ends (`audex serve`). The
+//!   TCP front door is overload-safe: per-connection handler threads
+//!   behind a hard cap (excess accepts shed with a structured error),
+//!   bounded per-subscriber broadcast queues with slow-subscriber
+//!   eviction, per-connection read/frame budgets, and a graceful drain
+//!   that flushes subscribers and fsyncs the journal,
+//! * [`fault`] — deterministic network fault injection
+//!   ([`fault::NetFaultPlan`], the network sibling of
+//!   `audex_storage::fault`) for proving those properties under torn
+//!   frames, mid-request disconnects, stalled readers and slow writers.
 //!
 //! Telemetry rides on [`audex_obs`]: every [`state::ServiceCore`] owns a
 //! metrics registry (counters, per-phase and per-request latency
@@ -36,12 +45,14 @@
 #![warn(missing_docs)]
 #![warn(clippy::unwrap_used, clippy::expect_used)]
 
+pub mod fault;
 pub mod json;
 pub mod proto;
 pub mod server;
 pub mod state;
 
+pub use fault::NetFaultPlan;
 pub use json::Json;
 pub use proto::{parse_request, Request};
-pub use server::{serve_stdio, Server};
+pub use server::{serve_stdio, FrontDoorConfig, Server};
 pub use state::{journal_stats_fields, Outcome, ServiceConfig, ServiceCore, ServiceCounters};

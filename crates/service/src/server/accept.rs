@@ -1,0 +1,212 @@
+//! The TCP acceptor: per-connection handler threads behind a hard
+//! connection cap, and the graceful drain sequence.
+//!
+//! Overload policy is *shed, don't queue*: an accept beyond
+//! [`FrontDoorConfig::max_conns`] is answered with one structured
+//! `{"ok":false,"error":"overloaded"}` line and closed immediately, so a
+//! flood degrades into fast, explicit rejections instead of an unbounded
+//! backlog of half-served sockets.
+//!
+//! The drain (a `shutdown` request or, via [`Server::run_watching`], a
+//! SIGTERM observed by the binary) runs in strict order to guarantee a
+//! clean WAL tail: stop accepting → unwedge blocked readers by shutting
+//! their read halves → wait (bounded) for handler threads to finish →
+//! take and hold the core lock → flush subscriber queues with the same
+//! deadline → fsync the journal → exit. The conn loop re-checks the stop
+//! flag after acquiring the core lock, so no straggler can append to the
+//! journal once the drain owns it.
+
+use std::io::{self, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+use super::broadcast::SubscriberHub;
+use super::{conn, protocol_error, FrontDoorConfig, FrontMetrics};
+use crate::fault::NetStream;
+use crate::state::ServiceCore;
+
+/// State shared by the acceptor, every connection handler, and the
+/// subscriber writer threads.
+pub(crate) struct Shared {
+    core: Mutex<ServiceCore>,
+    pub(crate) hub: SubscriberHub,
+    pub(crate) stop: AtomicBool,
+    pub(crate) cfg: FrontDoorConfig,
+    pub(crate) metrics: FrontMetrics,
+    conn_count: AtomicUsize,
+    /// Read-half handles of live connections, keyed by accept ordinal, so
+    /// the drain can unwedge handlers blocked in a read.
+    conns: Mutex<Vec<(u64, NetStream)>>,
+}
+
+impl Shared {
+    pub(crate) fn lock_core(&self) -> MutexGuard<'_, ServiceCore> {
+        // A handler panicking mid-request cannot leave the core with broken
+        // invariants worse than a dropped request; keep serving.
+        self.core.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Flags the server to drain; the acceptor notices within one poll.
+    pub(crate) fn request_stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+    }
+}
+
+/// Decrements the connection accounting even if the handler panics, so
+/// the cap and the drain's straggler wait stay truthful.
+struct ConnGuard {
+    shared: Arc<Shared>,
+    ordinal: u64,
+}
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        let mut conns = self.shared.conns.lock().unwrap_or_else(PoisonError::into_inner);
+        conns.retain(|(id, _)| *id != self.ordinal);
+        drop(conns);
+        self.shared.conn_count.fetch_sub(1, Ordering::SeqCst);
+        self.shared.metrics.connections.add(-1);
+    }
+}
+
+/// A bound TCP server, not yet accepting. Splitting bind from
+/// [`Server::run`] lets callers bind port 0 and learn the real address.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds the listener with default front-door tuning; the service
+    /// starts on [`Server::run`].
+    pub fn bind(core: ServiceCore, addr: &str) -> io::Result<Server> {
+        Server::bind_with(core, addr, FrontDoorConfig::default())
+    }
+
+    /// Binds the listener with explicit front-door tuning.
+    pub fn bind_with(core: ServiceCore, addr: &str, cfg: FrontDoorConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let metrics = FrontMetrics::new(&core.registry());
+        let hub = SubscriberHub::new(
+            cfg.sub_queue,
+            cfg.write_timeout,
+            metrics.subscribers.clone(),
+            metrics.subscribers_evicted.clone(),
+            metrics.subscriber_disconnects.clone(),
+        );
+        Ok(Server {
+            listener,
+            shared: Arc::new(Shared {
+                core: Mutex::new(core),
+                hub,
+                stop: AtomicBool::new(false),
+                cfg,
+                metrics,
+                conn_count: AtomicUsize::new(0),
+                conns: Mutex::new(Vec::new()),
+            }),
+        })
+    }
+
+    /// The bound address (useful after binding port 0).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Accepts and serves connections until a `shutdown` request arrives,
+    /// then drains gracefully.
+    pub fn run(self) -> io::Result<()> {
+        self.run_inner(None)
+    }
+
+    /// Like [`Server::run`], additionally draining when `term` becomes
+    /// true — the hook the binary's SIGTERM/SIGINT handler sets.
+    pub fn run_watching(self, term: &AtomicBool) -> io::Result<()> {
+        self.run_inner(Some(term))
+    }
+
+    fn run_inner(self, term: Option<&AtomicBool>) -> io::Result<()> {
+        // Non-blocking accept so the loop can observe the stop flag a
+        // handler thread (or signal) sets; 10ms keeps shutdown prompt
+        // without busy-spin.
+        self.listener.set_nonblocking(true)?;
+        let mut ordinal: u64 = 0;
+        loop {
+            if term.is_some_and(|t| t.load(Ordering::SeqCst)) {
+                self.shared.request_stop();
+            }
+            if self.shared.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    ordinal += 1;
+                    if self.shared.conn_count.load(Ordering::SeqCst) >= self.shared.cfg.max_conns {
+                        self.shared.metrics.connections_shed.inc();
+                        shed(stream);
+                        continue;
+                    }
+                    self.shared.conn_count.fetch_add(1, Ordering::SeqCst);
+                    self.shared.metrics.connections.add(1);
+                    self.shared.metrics.connections_total.inc();
+                    // One response/event line per flush: Nagle would hold
+                    // each behind the previous ACK, costing ~40ms per
+                    // round trip on loopback.
+                    let _ = stream.set_nodelay(true);
+                    let stream = NetStream::new(stream, self.shared.cfg.faults.arm(ordinal));
+                    if let Ok(handle) = stream.try_clone() {
+                        let mut conns =
+                            self.shared.conns.lock().unwrap_or_else(PoisonError::into_inner);
+                        conns.push((ordinal, handle));
+                    }
+                    let shared = Arc::clone(&self.shared);
+                    std::thread::spawn(move || {
+                        let guard = ConnGuard { shared, ordinal };
+                        let _ = conn::serve_connection(&guard.shared, stream);
+                        drop(guard);
+                    });
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        self.drain();
+        Ok(())
+    }
+
+    /// The graceful drain; see the module docs for the ordering argument.
+    fn drain(&self) {
+        let deadline = Instant::now() + self.shared.cfg.drain;
+        {
+            let conns = self.shared.conns.lock().unwrap_or_else(PoisonError::into_inner);
+            for (_, stream) in conns.iter() {
+                stream.shutdown(Shutdown::Read);
+            }
+        }
+        while self.shared.conn_count.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        // Hold the core lock across flush + fsync: together with the conn
+        // loop's stop re-check this guarantees no append races the final
+        // sync, so the WAL tail is clean on exit.
+        let core = self.shared.lock_core();
+        self.shared.hub.drain(deadline.max(Instant::now() + Duration::from_millis(50)));
+        if let Some(journal) = core.journal() {
+            let _ = journal.sync();
+        }
+        drop(core);
+    }
+}
+
+/// Answers an over-cap accept with one structured line and closes it. A
+/// short write timeout bounds even this courtesy write.
+fn shed(mut stream: TcpStream) {
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+    let _ = writeln!(stream, "{}", protocol_error("overloaded".into()));
+    let _ = stream.flush();
+}

@@ -1,0 +1,277 @@
+//! The subscriber hub: bounded per-subscriber queues drained by dedicated
+//! writer threads, so event delivery never happens under the core lock.
+//!
+//! Events are *sequenced* by publishing under the core lock — every
+//! subscriber observes ingestion order — but each line is only
+//! `try_send`-ed into the subscriber's bounded queue, which cannot block.
+//! A subscriber whose queue is full (it stopped reading, or reads slower
+//! than ingest for long enough to fall a full queue behind) is **evicted**:
+//! its socket is shut down, its writer thread unwound, and
+//! `audex_service_subscribers_evicted_total` incremented. A subscriber
+//! that goes away on its own is counted as a disconnect instead. Either
+//! way, ingest latency is independent of the slowest client.
+//!
+//! Lifecycle accounting runs through one compare-and-swap on
+//! [`SubSlot::gone`]: whichever side notices first — the publisher on a
+//! full queue, the writer thread on a write error, the connection loop on
+//! reader EOF, the drain on shutdown — wins the CAS and does the counting
+//! exactly once; everyone else stands down.
+
+use std::io::Write;
+use std::net::Shutdown;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+use audex_obs::{Counter, Gauge};
+
+use crate::fault::NetStream;
+use crate::json::Json;
+
+/// What a subscriber's writer thread receives: an event/response line to
+/// deliver, or the drain sentinel asking it to flush and exit.
+enum Msg {
+    Line(Arc<str>),
+    Close,
+}
+
+/// Why a slot left service; decides which counter the CAS winner bumps.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Retire {
+    /// Fell behind: queue full or write timed out. Counted as an eviction.
+    Evicted,
+    /// Went away on its own (EOF, reset). Counted as a disconnect.
+    Disconnected,
+    /// Flushed and closed by the graceful drain. Not an error; no counter.
+    Drained,
+}
+
+/// Metric handles shared by the hub and every writer thread.
+#[derive(Clone)]
+struct HubCounters {
+    subscribers: Gauge,
+    evicted: Counter,
+    disconnects: Counter,
+}
+
+/// One attached subscriber: the bounded queue's sender, a handle on the
+/// socket (for shutdown), and the exactly-once lifecycle flags.
+pub(crate) struct SubSlot {
+    tx: SyncSender<Msg>,
+    stream: NetStream,
+    /// CAS target: first mover retires the slot and does the accounting.
+    gone: AtomicBool,
+    /// Set by the writer thread on exit; the drain polls it.
+    done: AtomicBool,
+}
+
+impl SubSlot {
+    /// True once the slot has been retired (evicted, disconnected or
+    /// drained); enqueues to it are pointless.
+    pub(crate) fn is_gone(&self) -> bool {
+        self.gone.load(Ordering::SeqCst)
+    }
+
+    /// Retires the slot: the CAS winner counts the reason, drops the
+    /// subscriber gauge, and shuts the socket down (which also unwedges a
+    /// writer thread blocked mid-write and the connection's reader loop).
+    /// Returns whether this call won the race.
+    fn retire(&self, counters: &HubCounters, reason: Retire) -> bool {
+        if self.gone.compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst).is_err() {
+            return false;
+        }
+        match reason {
+            Retire::Evicted => counters.evicted.inc(),
+            Retire::Disconnected => counters.disconnects.inc(),
+            Retire::Drained => {}
+        }
+        counters.subscribers.add(-1);
+        self.stream.shutdown(Shutdown::Both);
+        true
+    }
+}
+
+/// The set of live subscribers and the policy knobs their queues run
+/// under. Publishing requires the caller to hold the core lock (that is
+/// what sequences events); the hub's own mutex only guards the slot list.
+pub(crate) struct SubscriberHub {
+    subs: Mutex<Vec<Arc<SubSlot>>>,
+    queue_depth: usize,
+    write_timeout: Duration,
+    counters: HubCounters,
+}
+
+impl SubscriberHub {
+    pub(crate) fn new(
+        queue_depth: usize,
+        write_timeout: Duration,
+        subscribers: Gauge,
+        evicted: Counter,
+        disconnects: Counter,
+    ) -> SubscriberHub {
+        SubscriberHub {
+            subs: Mutex::new(Vec::new()),
+            queue_depth: queue_depth.max(1),
+            write_timeout,
+            counters: HubCounters { subscribers, evicted, disconnects },
+        }
+    }
+
+    fn lock_subs(&self) -> std::sync::MutexGuard<'_, Vec<Arc<SubSlot>>> {
+        self.subs.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Attaches a subscriber: bounds its queue, spawns its writer thread,
+    /// and returns the slot the owning connection routes lines through.
+    /// Call under the core lock so the subscription is ordered against
+    /// concurrent publishes.
+    pub(crate) fn attach(&self, stream: NetStream) -> std::io::Result<Arc<SubSlot>> {
+        let writer = stream.try_clone()?;
+        writer.set_write_timeout(Some(self.write_timeout))?;
+        let (tx, rx) = std::sync::mpsc::sync_channel(self.queue_depth);
+        let slot = Arc::new(SubSlot {
+            tx,
+            stream,
+            gone: AtomicBool::new(false),
+            done: AtomicBool::new(false),
+        });
+        self.counters.subscribers.add(1);
+        let thread_slot = Arc::clone(&slot);
+        let thread_counters = self.counters.clone();
+        std::thread::spawn(move || writer_loop(thread_slot, rx, writer, thread_counters));
+        self.lock_subs().push(Arc::clone(&slot));
+        Ok(slot)
+    }
+
+    /// Enqueues one line for a single subscriber (its own response).
+    /// Never blocks: a full queue evicts the subscriber instead. Call
+    /// under the core lock. Returns false when the slot is gone.
+    pub(crate) fn send_to(&self, slot: &Arc<SubSlot>, line: &Json) -> bool {
+        if slot.is_gone() {
+            return false;
+        }
+        self.offer(slot, Arc::from(line.to_string().as_str()))
+    }
+
+    /// Fans events out to every live subscriber. Each line is rendered
+    /// once and `try_send`-ed; full queues evict. Call under the core
+    /// lock — that lock, not the hub, is what sequences events.
+    pub(crate) fn publish(&self, events: &[Json]) {
+        if events.is_empty() {
+            return;
+        }
+        let mut subs = self.lock_subs();
+        subs.retain(|s| !s.is_gone());
+        if subs.is_empty() {
+            return;
+        }
+        for event in events {
+            let line: Arc<str> = Arc::from(event.to_string().as_str());
+            for slot in subs.iter() {
+                self.offer(slot, Arc::clone(&line));
+            }
+        }
+    }
+
+    /// `try_send` one line; a full queue or a hung-up writer retires the
+    /// slot. Returns whether the line was enqueued.
+    fn offer(&self, slot: &Arc<SubSlot>, line: Arc<str>) -> bool {
+        match slot.tx.try_send(Msg::Line(line)) {
+            Ok(()) => true,
+            Err(TrySendError::Full(_)) => {
+                slot.retire(&self.counters, Retire::Evicted);
+                false
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                slot.retire(&self.counters, Retire::Disconnected);
+                false
+            }
+        }
+    }
+
+    /// The owning connection's reader saw EOF or died: the subscriber is
+    /// gone. Counts a disconnect (unless already retired) and asks the
+    /// writer thread to exit.
+    pub(crate) fn detach(&self, slot: &Arc<SubSlot>, reason: Retire) {
+        slot.retire(&self.counters, reason);
+        // Wake a writer idling in recv(); if the queue is full the socket
+        // shutdown above already unwedged it.
+        let _ = slot.tx.try_send(Msg::Close);
+        self.lock_subs().retain(|s| !Arc::ptr_eq(s, slot));
+    }
+
+    /// Graceful drain: sends every live subscriber the flush-then-exit
+    /// sentinel and waits (bounded by `deadline`) for the writer threads
+    /// to finish delivering their queues. A subscriber that cannot take
+    /// even the sentinel, or cannot flush in time, is evicted — the drain
+    /// never waits on a stalled client.
+    pub(crate) fn drain(&self, deadline: Instant) {
+        let slots: Vec<Arc<SubSlot>> = {
+            let mut subs = self.lock_subs();
+            std::mem::take(&mut *subs)
+        };
+        for slot in &slots {
+            if slot.is_gone() {
+                continue;
+            }
+            if slot.tx.try_send(Msg::Close).is_err() {
+                // Queue full at drain time: this subscriber was already a
+                // full queue behind — evict rather than wait.
+                slot.retire(&self.counters, Retire::Evicted);
+            }
+        }
+        loop {
+            let pending = slots.iter().any(|s| !s.done.load(Ordering::SeqCst));
+            if !pending {
+                return;
+            }
+            if Instant::now() >= deadline {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        // Out of time: cut the stragglers loose so their writers error out.
+        for slot in &slots {
+            if !slot.done.load(Ordering::SeqCst) {
+                slot.retire(&self.counters, Retire::Evicted);
+            }
+        }
+    }
+}
+
+/// One subscriber's dedicated writer: drains the bounded queue onto the
+/// socket. A write error or timeout retires the slot (timeout ⇒ evicted,
+/// hangup ⇒ disconnected); the `Close` sentinel means flush done, exit
+/// clean.
+fn writer_loop(
+    slot: Arc<SubSlot>,
+    rx: Receiver<Msg>,
+    mut stream: NetStream,
+    counters: HubCounters,
+) {
+    while let Ok(msg) = rx.recv() {
+        let line = match msg {
+            Msg::Line(line) => line,
+            Msg::Close => {
+                slot.retire(&counters, Retire::Drained);
+                break;
+            }
+        };
+        let wrote = stream
+            .write_all(line.as_bytes())
+            .and_then(|()| stream.write_all(b"\n"))
+            .and_then(|()| stream.flush());
+        if let Err(e) = wrote {
+            let reason = match e.kind() {
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => Retire::Evicted,
+                _ => Retire::Disconnected,
+            };
+            slot.retire(&counters, reason);
+            break;
+        }
+    }
+    // Sender gone without a sentinel counts as a disconnect too.
+    slot.retire(&counters, Retire::Disconnected);
+    slot.done.store(true, Ordering::SeqCst);
+}

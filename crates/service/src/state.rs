@@ -789,6 +789,25 @@ impl ServiceCore {
             let jc = j.counters();
             fields.extend(journal_stats_fields(&jc));
         }
+        // Registry handles are get-or-create, so these are the same cells
+        // the TCP front door counts into (all zero under --stdio).
+        let fm = crate::server::FrontMetrics::new(&self.registry);
+        fields.extend(
+            [
+                ("connections", fm.connections.get()),
+                ("connections_total", fm.connections_total.get() as i64),
+                ("connections_shed", fm.connections_shed.get() as i64),
+                ("subscribers", fm.subscribers.get()),
+                ("subscribers_evicted", fm.subscribers_evicted.get() as i64),
+                ("subscriber_disconnects", fm.subscriber_disconnects.get() as i64),
+                ("frames_malformed", fm.frames_malformed.get() as i64),
+                ("frames_oversized", fm.frames_oversized.get() as i64),
+                ("frames_truncated", fm.frames_truncated.get() as i64),
+                ("conn_idle_timeouts", fm.conn_idle_timeouts.get() as i64),
+            ]
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), Json::Int(v))),
+        );
         Json::Obj(fields)
     }
 }

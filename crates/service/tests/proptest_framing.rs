@@ -1,0 +1,132 @@
+//! Property test: the front door's line framing survives adversarial byte
+//! noise. Random sessions — valid requests, printable garbage, truncated
+//! UTF-8, interleaved carriage returns, oversized lines — are written to a
+//! live server in randomly split chunks. The invariant under all of it:
+//! every newline-terminated frame with non-whitespace content gets exactly
+//! one response line, whitespace-only frames get none, the connection
+//! stays usable afterwards, and the server never panics or wedges
+//! (enforced with a hard read deadline on the client side).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::OnceLock;
+use std::time::Duration;
+
+use audex_service::state::{ServiceConfig, ServiceCore};
+use audex_service::{FrontDoorConfig, Json, Server};
+use proptest::prelude::*;
+
+const MAX_LINE: usize = 512;
+
+/// One shared in-process server for every proptest case; each case opens
+/// its own connection.
+fn server_addr() -> &'static str {
+    static ADDR: OnceLock<String> = OnceLock::new();
+    ADDR.get_or_init(|| {
+        let core = ServiceCore::new(audex_storage::Database::new(), ServiceConfig::default());
+        let cfg = FrontDoorConfig { max_line_bytes: MAX_LINE, ..Default::default() };
+        let server = Server::bind_with(core, "127.0.0.1:0", cfg).expect("bind");
+        let addr = server.local_addr().expect("local addr").to_string();
+        std::thread::spawn(move || {
+            let _ = server.run();
+        });
+        addr
+    })
+}
+
+/// One frame of a hostile session: the payload bytes (newline appended by
+/// the harness) and whether the server owes a response line for it.
+#[derive(Debug, Clone)]
+struct Frame {
+    payload: Vec<u8>,
+    answered: bool,
+}
+
+fn frame_strategy() -> impl Strategy<Value = Frame> {
+    // Building blocks for garbage payloads: printable noise, JSON-ish
+    // punctuation, carriage returns, and truncated multi-byte UTF-8.
+    let garbage_byte = prop_oneof![
+        b'a'..=b'z',
+        Just(b'{'),
+        Just(b'}'),
+        Just(b'"'),
+        Just(b':'),
+        Just(b' '),
+        Just(b'\r'),
+        Just(0xC3u8), // lead byte of a 2-byte sequence, often left dangling
+        Just(0xE2u8), // lead byte of a 3-byte sequence
+        Just(0x98u8), // bare continuation byte
+    ];
+    prop_oneof![
+        // A valid request, possibly about to be delivered torn.
+        Just(Frame { payload: br#"{"cmd":"stats"}"#.to_vec(), answered: true }),
+        Just(Frame { payload: br#"{"cmd":"metrics"}"#.to_vec(), answered: true }),
+        // Garbage: answered with a structured error unless it trims to
+        // nothing (whitespace-only frames are skipped by design).
+        proptest::collection::vec(garbage_byte, 0..24).prop_map(|payload| {
+            let text = String::from_utf8_lossy(&payload).into_owned();
+            Frame { answered: !text.trim().is_empty(), payload }
+        }),
+        // Oversized: rejected with a structured error, stream resynced.
+        (MAX_LINE + 1..MAX_LINE + 64)
+            .prop_map(|n| Frame { payload: vec![b'x'; n], answered: true }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn hostile_sessions_always_get_answers(
+        frames in proptest::collection::vec(frame_strategy(), 0..12),
+        chunk in 1usize..16,
+    ) {
+        let stream = TcpStream::connect(server_addr()).expect("connect");
+        stream.set_read_timeout(Some(Duration::from_secs(10))).expect("deadline");
+        let mut writer = stream.try_clone().expect("clone");
+        let mut reader = BufReader::new(stream);
+
+        let mut session: Vec<u8> = Vec::new();
+        for frame in &frames {
+            session.extend_from_slice(&frame.payload);
+            session.push(b'\n');
+        }
+        // Split writes: the bytes arrive in arbitrary fragments, never
+        // aligned with frame boundaries.
+        for piece in session.chunks(chunk) {
+            writer.write_all(piece).expect("write chunk");
+            writer.flush().expect("flush chunk");
+        }
+
+        let expected = frames.iter().filter(|f| f.answered).count();
+        for i in 0..expected {
+            let mut line = String::new();
+            let n = reader.read_line(&mut line).expect("read response");
+            prop_assert!(n > 0, "connection closed after {i} of {expected} responses");
+            prop_assert!(
+                Json::parse(line.trim()).is_ok(),
+                "response {i} is not JSON: {line:?}"
+            );
+        }
+
+        // The connection survived the abuse: a clean request still works.
+        writer.write_all(b"{\"cmd\":\"stats\"}\n").expect("write probe");
+        writer.flush().expect("flush probe");
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read probe response");
+        let v = match Json::parse(line.trim()) {
+            Ok(v) => v,
+            Err(e) => return Err(format!("probe response not JSON: {line:?}: {e}")),
+        };
+        prop_assert_eq!(v.get("ok"), Some(&Json::Bool(true)), "probe failed: {}", v);
+    }
+
+    /// The wire parser itself never panics on arbitrary input, complete
+    /// with invalid UTF-8 replacement characters.
+    #[test]
+    fn parse_request_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = audex_service::parse_request(text.trim());
+        let _ = Json::parse(&text);
+    }
+}

@@ -17,12 +17,54 @@
 use audex::core::{AuditEngine, AuditMode, EngineObs, EngineOptions, Governor};
 use audex::obs::{Registry, Tracer};
 use audex::persist::{FsyncPolicy, Journal, Recovered, WalOptions};
-use audex::service::{ServiceConfig, ServiceCore};
+use audex::service::{FrontDoorConfig, ServiceConfig, ServiceCore};
 use audex::session::{load_database_script, load_log_script};
 use audex::Timestamp;
 use std::path::Path;
 use std::process::ExitCode;
 use std::sync::Arc;
+
+/// SIGTERM/SIGINT → graceful drain, for the TCP serve path. The workspace
+/// stays dependency-free, so instead of a signal crate this declares libc's
+/// `signal(2)` directly — the one `unsafe` in the binary, confined here.
+/// Installed only for `serve --listen`: in `--stdio` mode the default
+/// terminate action is correct (the child is driven over pipes and drains
+/// on EOF).
+#[cfg(unix)]
+mod sig {
+    use std::sync::atomic::AtomicBool;
+
+    /// Set by the handler; `Server::run_watching` polls it.
+    pub static DRAIN: AtomicBool = AtomicBool::new(false);
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Only async-signal-safe work here: a store on a static atomic.
+        DRAIN.store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGTERM, on_signal);
+            signal(SIGINT, on_signal);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod sig {
+    use std::sync::atomic::AtomicBool;
+
+    pub static DRAIN: AtomicBool = AtomicBool::new(false);
+
+    pub fn install() {}
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -64,8 +106,10 @@ USAGE:
               [--data-dir <DIR>] [--fsync always|batch|never]
               [--checkpoint-every <N>] [--deadline-ms <MS>] [--max-steps <N>]
               [--max-granules <N>] [--threads <N>] [--metrics-every <N>]
-              [--trace-out <FILE>]
-  audex send  --addr <ADDR> [REQUEST...]
+              [--trace-out <FILE>] [--max-conns <N>] [--sub-queue <N>]
+              [--conn-idle-ms <MS>] [--max-line-bytes <N>] [--drain-ms <MS>]
+              [--net-fault <SPEC>]...
+  audex send  --addr <ADDR> [--connect-retries <N>] [REQUEST...]
   audex recover --data-dir <DIR>   repair a crashed store and report its state
   audex compact --data-dir <DIR>   checkpoint + prune a store offline
   audex paper     regenerate the paper's worked artifacts (Figs. 4-6)
@@ -130,7 +174,33 @@ SERVE / SEND (audexd, the streaming audit service):
   the incremental touch index exactly as if streamed). `audex send` posts
   request lines (arguments, or stdin when none) to a serving address and
   prints the responses; with a `subscribe` request it follows the event
-  stream until the connection closes.
+  stream until the connection closes. --connect-retries N (default 5)
+  retries the initial connect every 100 ms while the server is starting.
+
+FRONT DOOR (TCP serve only; overload-safety knobs):
+  --max-conns N      concurrent connection cap (default 1024). Accepts over
+                     the cap are shed with {\"ok\":false,\"error\":\"overloaded\"}
+                     instead of queueing.
+  --sub-queue N      bounded per-subscriber event queue depth (default 256).
+                     A subscriber that falls a full queue behind is evicted
+                     (audex_service_subscribers_evicted_total) so ingest
+                     never waits on the slowest client.
+  --conn-idle-ms MS  read-idle deadline for non-subscriber connections
+                     (default: none). Idle connections are answered with a
+                     structured error and closed.
+  --max-line-bytes N longest accepted request line (default 1 MiB); longer
+                     frames are rejected and the stream resynchronised at
+                     the next newline.
+  --drain-ms MS      graceful-drain deadline (default 2000). On `shutdown`
+                     or SIGTERM/SIGINT the server stops accepting, flushes
+                     subscriber queues within this budget, fsyncs the
+                     journal, and exits 0.
+  --net-fault SPEC   deterministic fault injection for testing, repeatable.
+                     SPEC is kind:conn:arg with conn the 1-based accept
+                     ordinal (0 = every connection): torn:C:CHUNK (reads
+                     fragmented to CHUNK bytes), eof:C:BYTES (EOF after
+                     BYTES read), stall:C:BYTES (writes absorb BYTES then
+                     time out), slow:C:MS (each read pauses MS ms).
 ";
 
 fn take_value(args: &[String], i: &mut usize, flag: &str) -> Result<String, String> {
@@ -356,12 +426,66 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let mut trace_out: Option<String> = None;
     let mut limits = audex::core::ResourceLimits::unlimited();
     let mut threads: Option<usize> = None;
+    let mut front = FrontDoorConfig::default();
+    let mut front_tuned = false;
 
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--stdio" => stdio = true,
             "--listen" => listen = Some(take_value(args, &mut i, "--listen")?),
+            "--max-conns" => {
+                let text = take_value(args, &mut i, "--max-conns")?;
+                let n: usize =
+                    text.parse().map_err(|_| format!("invalid --max-conns value {text:?}"))?;
+                if n == 0 {
+                    return Err("--max-conns must be at least 1".into());
+                }
+                front.max_conns = n;
+                front_tuned = true;
+            }
+            "--sub-queue" => {
+                let text = take_value(args, &mut i, "--sub-queue")?;
+                let n: usize =
+                    text.parse().map_err(|_| format!("invalid --sub-queue value {text:?}"))?;
+                if n == 0 {
+                    return Err("--sub-queue must be at least 1".into());
+                }
+                front.sub_queue = n;
+                front_tuned = true;
+            }
+            "--conn-idle-ms" => {
+                let text = take_value(args, &mut i, "--conn-idle-ms")?;
+                let ms: u64 =
+                    text.parse().map_err(|_| format!("invalid --conn-idle-ms value {text:?}"))?;
+                if ms == 0 {
+                    return Err("--conn-idle-ms must be at least 1".into());
+                }
+                front.conn_idle = Some(std::time::Duration::from_millis(ms));
+                front_tuned = true;
+            }
+            "--max-line-bytes" => {
+                let text = take_value(args, &mut i, "--max-line-bytes")?;
+                let n: usize =
+                    text.parse().map_err(|_| format!("invalid --max-line-bytes value {text:?}"))?;
+                if n < 2 {
+                    return Err("--max-line-bytes must be at least 2".into());
+                }
+                front.max_line_bytes = n;
+                front_tuned = true;
+            }
+            "--drain-ms" => {
+                let text = take_value(args, &mut i, "--drain-ms")?;
+                let ms: u64 =
+                    text.parse().map_err(|_| format!("invalid --drain-ms value {text:?}"))?;
+                front.drain = std::time::Duration::from_millis(ms);
+                front_tuned = true;
+            }
+            "--net-fault" => {
+                let spec = take_value(args, &mut i, "--net-fault")?;
+                front.faults = std::mem::take(&mut front.faults).with_spec(&spec)?;
+                front_tuned = true;
+            }
             "--db" => db_path = Some(take_value(args, &mut i, "--db")?),
             "--log" => log_path = Some(take_value(args, &mut i, "--log")?),
             "--data-dir" => data_dir = Some(take_value(args, &mut i, "--data-dir")?),
@@ -421,6 +545,11 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     }
     if stdio && listen.is_some() {
         return Err("--stdio and --listen are mutually exclusive".into());
+    }
+    if front_tuned && listen.is_none() {
+        return Err("--max-conns/--sub-queue/--conn-idle-ms/--max-line-bytes/--drain-ms/\
+                    --net-fault tune the TCP front door and require --listen"
+            .into());
     }
     if data_dir.is_some() && (db_path.is_some() || log_path.is_some()) {
         return Err("--data-dir recovers its own state; it is mutually exclusive with \
@@ -482,11 +611,14 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let run = match listen {
         None => audex::service::serve_stdio(core).map_err(|e| e.to_string()),
         Some(addr) => {
-            let server = audex::service::Server::bind(core, &addr)
+            let server = audex::service::Server::bind_with(core, &addr, front)
                 .map_err(|e| format!("cannot listen on {addr}: {e}"))?;
             // Stderr, so scripts scraping protocol output are not confused.
             eprintln!("audexd listening on {}", server.local_addr().map_err(|e| e.to_string())?);
-            server.run().map_err(|e| e.to_string())
+            // From here SIGTERM/SIGINT means drain (flush subscribers,
+            // fsync the journal) and exit 0 instead of dying mid-write.
+            sig::install();
+            server.run_watching(&sig::DRAIN).map_err(|e| e.to_string())
         }
     };
     // Written even when the serve loop failed: the spans up to the failure
@@ -580,11 +712,18 @@ fn cmd_send(args: &[String]) -> Result<(), String> {
     use std::io::{BufRead, BufReader, Read, Write};
 
     let mut addr: Option<String> = None;
+    let mut connect_retries: u32 = 5;
     let mut requests: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--addr" => addr = Some(take_value(args, &mut i, "--addr")?),
+            "--connect-retries" => {
+                let text = take_value(args, &mut i, "--connect-retries")?;
+                connect_retries = text
+                    .parse()
+                    .map_err(|_| format!("invalid --connect-retries value {text:?}"))?;
+            }
             other if other.starts_with("--") => return Err(format!("unknown option {other:?}")),
             req => requests.push(req.to_string()),
         }
@@ -599,8 +738,27 @@ fn cmd_send(args: &[String]) -> Result<(), String> {
         requests.extend(text.lines().filter(|l| !l.trim().is_empty()).map(String::from));
     }
 
-    let stream = std::net::TcpStream::connect(&addr)
-        .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    // The server may still be binding (tests race `serve` startup; so do
+    // process supervisors): retry the connect a bounded number of times
+    // with a fixed backoff before giving up.
+    let stream = {
+        let mut attempt = 0;
+        loop {
+            match std::net::TcpStream::connect(&addr) {
+                Ok(stream) => break stream,
+                Err(_) if attempt < connect_retries => {
+                    attempt += 1;
+                    std::thread::sleep(std::time::Duration::from_millis(100));
+                }
+                Err(e) => {
+                    return Err(format!(
+                        "cannot connect to {addr} after {} attempt(s): {e}",
+                        attempt + 1
+                    ))
+                }
+            }
+        }
+    };
     let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
     let mut reader = BufReader::new(stream);
     let mut follow = false;

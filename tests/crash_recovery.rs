@@ -222,3 +222,100 @@ fn recovered_stats_match_in_memory_counters() {
     serve.finish();
     std::fs::remove_dir_all(&dir).expect("cleanup");
 }
+
+/// The drain path: SIGTERM mid-ingest (TCP serve, live subscriber) must
+/// exit 0, flush the subscriber, leave **no torn WAL tail**, and recover
+/// byte-identical — the graceful counterpart of the SIGKILL cases above.
+#[test]
+fn sigterm_drain_leaves_clean_tail_and_identical_recovery() {
+    let reference = run_uninterrupted(&[]);
+    let audit_ref = &reference[6];
+
+    let dir = temp_dir("drain");
+    let dir_arg = dir.to_str().expect("utf-8 temp path");
+    let requests = workload();
+
+    let mut server = Command::new(env!("CARGO_BIN_EXE_audex"))
+        .args(["serve", "--listen", "127.0.0.1:0"])
+        .args(["--data-dir", dir_arg, "--fsync", "always", "--metrics-every", "1"])
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn audex serve --listen");
+    // With --data-dir the recovery report precedes the listening banner on
+    // stderr; scan for the banner line.
+    let mut server_err = BufReader::new(server.stderr.take().expect("server stderr"));
+    let mut banner = String::new();
+    loop {
+        banner.clear();
+        assert!(server_err.read_line(&mut banner).expect("read banner") > 0, "stderr closed");
+        if banner.contains("audexd listening on") {
+            break;
+        }
+    }
+    std::thread::spawn(move || for _ in server_err.lines() {});
+    let addr = banner.trim().rsplit(' ').next().expect("address in banner").to_string();
+
+    // A live subscriber follows the event stream throughout the drain.
+    let subscriber = std::net::TcpStream::connect(&addr).expect("connect subscriber");
+    let mut sub_writer = subscriber.try_clone().expect("clone subscriber");
+    let sub_thread = std::thread::spawn(move || {
+        let mut lines = Vec::new();
+        for line in BufReader::new(subscriber).lines() {
+            match line {
+                Ok(l) => lines.push(l),
+                Err(_) => break,
+            }
+        }
+        lines // EOF reached: the server closed us cleanly
+    });
+    writeln!(sub_writer, r#"{{"cmd":"subscribe"}}"#).expect("send subscribe");
+    sub_writer.flush().expect("flush subscribe");
+
+    let driver = std::net::TcpStream::connect(&addr).expect("connect driver");
+    let mut driver_writer = driver.try_clone().expect("clone driver");
+    let mut driver_reader = BufReader::new(driver);
+    for req in &requests[..KILL_AFTER] {
+        writeln!(driver_writer, "{req}").expect("send request");
+        driver_writer.flush().expect("flush request");
+        let mut resp = String::new();
+        driver_reader.read_line(&mut resp).expect("read response");
+        assert!(resp.contains("\"ok\":true"), "request {req} failed: {resp}");
+    }
+
+    // SIGTERM mid-session (std's kill() is SIGKILL, so shell out).
+    let pid = server.id().to_string();
+    let status = Command::new("kill").args(["-TERM", &pid]).status().expect("send SIGTERM");
+    assert!(status.success(), "kill -TERM failed");
+    let status = server.wait().expect("server exits");
+    assert!(status.success(), "drain must exit 0, got {status}");
+
+    // The subscriber was flushed (subscribe ack + two ingest broadcasts)
+    // and closed cleanly, not reset.
+    let sub_lines = sub_thread.join().expect("subscriber thread");
+    assert!(
+        sub_lines.iter().any(|l| l.contains("\"ok\":true")),
+        "subscribe never acknowledged: {sub_lines:?}"
+    );
+    assert!(
+        sub_lines.iter().filter(|l| l.contains("\"event\"")).count() >= 2,
+        "drain dropped queued events: {sub_lines:?}"
+    );
+
+    // No torn tail: `audex recover` must certify the store clean.
+    let recover = Command::new(env!("CARGO_BIN_EXE_audex"))
+        .args(["recover", "--data-dir", dir_arg])
+        .stderr(Stdio::null())
+        .output()
+        .expect("run audex recover");
+    assert!(recover.status.success());
+    let report = String::from_utf8_lossy(&recover.stdout);
+    assert!(report.contains("clean: no torn tail"), "recover found damage:\n{report}");
+
+    // Restart and finish the workload: byte-identical audit.
+    let mut serve = Serve::spawn(&["--data-dir", dir_arg, "--fsync", "always"]);
+    let responses: Vec<String> = requests[KILL_AFTER..].iter().map(|r| serve.request(r)).collect();
+    serve.finish();
+    assert_eq!(&responses[1], audit_ref, "audit drifted through SIGTERM drain");
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}

@@ -1,43 +1,72 @@
-//! B11: streaming-ingest cost — the PR-3 service tentpole.
+//! B11/B15: streaming-ingest cost — the PR-3 service tentpole, extended
+//! with the PR-7 standing-audit dispatch index.
 //!
-//! Two experiments, results written to `BENCH_3.json` at the workspace root:
+//! Experiments 1–2 write `BENCH_3.json`, experiment 3 writes
+//! `BENCH_7.json`, both at the workspace root:
 //!
 //! * `ingest_throughput` — sustained `log`-request throughput through a
 //!   [`ServiceCore`] as the number of standing (registered) audit
-//!   expressions grows. Every ingested query is scored online against each
-//!   standing audit and folded into the touch index, so throughput decays
-//!   roughly linearly in the audit count.
+//!   expressions grows (small counts; the historical B11 rows).
 //! * `maintenance_cost` — the incremental-index claim: the amortized cost
 //!   of folding one more query with [`TouchIndex::extend`] stays flat as
 //!   the log grows, while answering the same arrival by rebuilding the
 //!   index from scratch costs time linear in the log length. Before any
 //!   timing, the extended index is checked equivalent to the from-scratch
 //!   build (same length, same verdict on the standard audit).
+//! * `dispatch_scaling` (B15) — throughput at 64/256/1024 standing audits
+//!   through the dispatch index, with the probe/prune/shortlist counters
+//!   per row, against a `scan_all` contrast row at the smallest count.
+//!   Before any timing, two differential gates assert the indexed path is
+//!   byte-identical to scan-all: on the paper's Tables 1–3 workload and
+//!   (full mode) on the generated hospital workload.
 //!
 //! Run `cargo bench -p audex-bench --bench ingest` for real measurements or
-//! `-- --test` for the CI smoke variant (tiny sizes, one pass).
+//! `-- --test` for the CI smoke variant (256 standing audits, one pass,
+//! asserting a throughput floor and nonzero prune counters).
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use audex_bench::{all_time, scenario};
+use audex_bench::{all_time, scenario, scenario_with_zones, Scenario};
 use audex_core::{Governor, TouchIndex};
 use audex_service::{Json, Request, ServiceConfig, ServiceCore};
 use audex_sql::parse_audit;
 use audex_storage::JoinStrategy;
 use audex_workload::datagen::zip_of_zone;
+use audex_workload::paper::{paper_database, paper_query_log};
 
 struct Config {
     patients: usize,
     queries: usize,
     audit_counts: Vec<usize>,
+    dispatch_zones: usize,
+    dispatch_queries: usize,
+    dispatch_audit_counts: Vec<usize>,
+    /// CI floor on indexed q/s at the largest dispatch count (0 = no gate).
+    dispatch_qps_floor: f64,
 }
 
 fn config(quick: bool) -> Config {
     if quick {
-        Config { patients: 100, queries: 80, audit_counts: vec![0, 2] }
+        Config {
+            patients: 100,
+            queries: 80,
+            audit_counts: vec![0, 2],
+            dispatch_zones: 256,
+            dispatch_queries: 120,
+            dispatch_audit_counts: vec![256],
+            dispatch_qps_floor: 300.0,
+        }
     } else {
-        Config { patients: 400, queries: 800, audit_counts: vec![0, 1, 2, 4, 8] }
+        Config {
+            patients: 400,
+            queries: 800,
+            audit_counts: vec![0, 1, 2, 4, 8],
+            dispatch_zones: 1024,
+            dispatch_queries: 800,
+            dispatch_audit_counts: vec![64, 256, 1024],
+            dispatch_qps_floor: 0.0,
+        }
     }
 }
 
@@ -51,6 +80,114 @@ fn standing_audit(k: usize) -> String {
     ))
     .expect("standing audit parses");
     all_time(expr).to_string()
+}
+
+/// A core over the scenario's database with `audits` standing audits, in
+/// either dispatch mode.
+fn dispatch_core(s: Scenario, audits: usize, scan_all: bool) -> ServiceCore {
+    let config = ServiceConfig { scan_all_audits: scan_all, ..Default::default() };
+    let mut core = ServiceCore::new(s.db, config);
+    for k in 0..audits {
+        let resp = core
+            .handle(Request::Register {
+                name: format!("zone-{k}"),
+                expr: standing_audit(k),
+                now: Some(s.now),
+            })
+            .response;
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "register zone-{k}: {resp}");
+    }
+    core
+}
+
+fn log_request(e: &audex_log::LoggedQuery) -> Request {
+    Request::Log {
+        ts: e.executed_at,
+        user: e.context.user.to_string(),
+        role: e.context.role.to_string(),
+        purpose: e.context.purpose.to_string(),
+        sql: e.text.clone(),
+    }
+}
+
+/// Times a full ingest of the log through the core, returning (secs, qps).
+fn timed_ingest(
+    core: &mut ServiceCore,
+    entries: &[std::sync::Arc<audex_log::LoggedQuery>],
+) -> (f64, f64) {
+    let t = Instant::now();
+    for e in entries {
+        let resp = core.handle(log_request(e)).response;
+        debug_assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "{resp}");
+        std::hint::black_box(&resp);
+    }
+    let secs = t.elapsed().as_secs_f64();
+    let qps = if secs > 0.0 { entries.len() as f64 / secs } else { 0.0 };
+    (secs, qps)
+}
+
+/// Differential gate: ingest the same entries through an indexed and a
+/// scan-all core; every `log` response (scores included) and every final
+/// `audit` report must be byte-identical.
+fn assert_byte_identical(
+    indexed: &mut ServiceCore,
+    oracle: &mut ServiceCore,
+    entries: &[std::sync::Arc<audex_log::LoggedQuery>],
+    audit_names: &[String],
+    label: &str,
+) {
+    for e in entries {
+        let a = indexed.handle(log_request(e)).response.to_string();
+        let b = oracle.handle(log_request(e)).response.to_string();
+        assert_eq!(a, b, "{label}: indexed vs scan-all diverge on {:?}", e.text);
+    }
+    for name in audit_names {
+        let a = indexed.handle(Request::Audit { name: name.clone() }).response.to_string();
+        let b = oracle.handle(Request::Audit { name: name.clone() }).response.to_string();
+        assert_eq!(a, b, "{label}: audit report for {name:?} diverges");
+    }
+    println!(
+        "differential gate [{label}]: {} log responses and {} audit reports byte-identical",
+        entries.len(),
+        audit_names.len()
+    );
+}
+
+/// The Tables 1–3 gate: the paper's running example (its three relations,
+/// its Figure audits — context filters, user identities, value and
+/// indispensable modes — and its example log) through both dispatch modes.
+fn paper_differential_gate() {
+    use audex_workload::paper::{
+        FIG1_AGRAWAL, FIG2_AUDIT_EXPRESSION_1, FIG3_AUDIT_EXPRESSION_2, FIG6_SEMANTIC,
+        FIG7_FULL_GRAMMAR,
+    };
+    let figures = [
+        ("fig1", FIG1_AGRAWAL),
+        ("fig2", FIG2_AUDIT_EXPRESSION_1),
+        ("fig3", FIG3_AUDIT_EXPRESSION_2),
+        ("fig6", FIG6_SEMANTIC),
+        ("fig7", FIG7_FULL_GRAMMAR),
+    ];
+    let now = audex_workload::paper::paper_now();
+    let mut cores: Vec<ServiceCore> = [false, true]
+        .iter()
+        .map(|&scan_all| {
+            let config = ServiceConfig { scan_all_audits: scan_all, ..Default::default() };
+            let mut core = ServiceCore::new(paper_database(), config);
+            for (name, text) in &figures {
+                let expr = all_time(parse_audit(text).expect("figure audit parses")).to_string();
+                let resp = core
+                    .handle(Request::Register { name: (*name).into(), expr, now: Some(now) })
+                    .response;
+                assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "register {name}: {resp}");
+            }
+            core
+        })
+        .collect();
+    let entries = paper_query_log().snapshot();
+    let names: Vec<String> = figures.iter().map(|(n, _)| (*n).to_string()).collect();
+    let (mut oracle, mut indexed) = (cores.pop().expect("oracle"), cores.pop().expect("indexed"));
+    assert_byte_identical(&mut indexed, &mut oracle, &entries, &names, "paper Tables 1-3");
 }
 
 fn main() {
@@ -190,4 +327,112 @@ fn main() {
         "per-query maintenance over a 4x log growth: incremental {inc_growth:.2}x, \
          from-scratch rebuild {reb_growth:.2}x"
     );
+
+    // --- Experiment 3 (B15): dispatch-index scaling. --------------------
+    // Correctness gates first: both workloads byte-identical across modes.
+    paper_differential_gate();
+    {
+        let audits = cfg.dispatch_audit_counts[0];
+        let build = || {
+            scenario_with_zones(
+                cfg.dispatch_zones,
+                cfg.dispatch_queries.min(200),
+                0.08,
+                42,
+                cfg.dispatch_zones,
+            )
+        };
+        let entries = build().log.snapshot();
+        let names: Vec<String> = (0..audits).map(|k| format!("zone-{k}")).collect();
+        let mut indexed = dispatch_core(build(), audits, false);
+        let mut oracle = dispatch_core(build(), audits, true);
+        assert_byte_identical(
+            &mut indexed,
+            &mut oracle,
+            &entries,
+            &names,
+            &format!("hospital workload, {audits} audits"),
+        );
+    }
+
+    let mut rows7 = String::new();
+    let mut largest_qps = 0.0f64;
+    for &audits in &cfg.dispatch_audit_counts {
+        let s = scenario_with_zones(
+            cfg.dispatch_zones,
+            cfg.dispatch_queries,
+            0.08,
+            42,
+            cfg.dispatch_zones,
+        );
+        let entries = s.log.snapshot();
+        let mut core = dispatch_core(s, audits, false);
+        let (secs, qps) = timed_ingest(&mut core, &entries);
+        largest_qps = qps;
+        let stats = core.handle(Request::Stats).response;
+        let stat = |k: &str| stats.get(k).and_then(Json::as_int).unwrap_or(0);
+        let (probes, pruned, shortlisted, rebuilds) = (
+            stat("dispatch_probes"),
+            stat("dispatch_pruned"),
+            stat("dispatch_shortlisted"),
+            stat("dispatch_rebuilds"),
+        );
+        println!(
+            "dispatch_scaling audits={audits} queries={} secs={secs:.4} qps={qps:.0} \
+             probes={probes} pruned={pruned} shortlisted={shortlisted} rebuilds={rebuilds}",
+            entries.len()
+        );
+        let _ = writeln!(
+            rows7,
+            "    {{\"experiment\": \"dispatch_scaling\", \"audits\": {audits}, \
+             \"queries\": {}, \"secs\": {secs:.6}, \"qps\": {qps:.1}, \
+             \"probes\": {probes}, \"pruned\": {pruned}, \"shortlisted\": {shortlisted}, \
+             \"rebuilds\": {rebuilds}}},",
+            entries.len()
+        );
+        assert!(probes as usize >= entries.len(), "every ingested query must be probed");
+        assert!(pruned > 0, "at {audits} standing audits the index must prune something");
+    }
+    if cfg.dispatch_qps_floor > 0.0 {
+        assert!(
+            largest_qps >= cfg.dispatch_qps_floor,
+            "dispatch ingest smoke below the throughput floor: {largest_qps:.0} q/s < {} q/s",
+            cfg.dispatch_qps_floor
+        );
+    }
+
+    // Scan-all contrast at the smallest count — the linear baseline the
+    // index is measured against (kept small: the oracle is the slow path).
+    {
+        let audits = cfg.dispatch_audit_counts[0];
+        let s = scenario_with_zones(
+            cfg.dispatch_zones,
+            cfg.dispatch_queries,
+            0.08,
+            42,
+            cfg.dispatch_zones,
+        );
+        let entries = s.log.snapshot();
+        let mut core = dispatch_core(s, audits, true);
+        let (secs, qps) = timed_ingest(&mut core, &entries);
+        println!(
+            "dispatch_scan_all audits={audits} queries={} secs={secs:.4} qps={qps:.0}",
+            entries.len()
+        );
+        let _ = writeln!(
+            rows7,
+            "    {{\"experiment\": \"dispatch_scan_all\", \"audits\": {audits}, \
+             \"queries\": {}, \"secs\": {secs:.6}, \"qps\": {qps:.1}}},",
+            entries.len()
+        );
+    }
+
+    let rows7 = rows7.trim_end().trim_end_matches(',');
+    let json7 = format!(
+        "{{\n  \"bench\": \"dispatch\",\n  \"mode\": \"{}\",\n  \"rows\": [\n{rows7}\n  ]\n}}\n",
+        if quick { "quick" } else { "full" }
+    );
+    let path7 = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_7.json");
+    std::fs::write(path7, &json7).expect("write BENCH_7.json");
+    println!("wrote {path7}");
 }

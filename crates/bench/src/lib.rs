@@ -44,7 +44,20 @@ pub fn all_time(mut expr: AuditExpr) -> AuditExpr {
 
 /// Builds a scenario of the given size, deterministic in its parameters.
 pub fn scenario(patients: usize, queries: usize, suspicious_rate: f64, seed: u64) -> Scenario {
-    let hospital = HospitalConfig { patients, zip_zones: 20, diseases: 12, seed };
+    scenario_with_zones(patients, queries, suspicious_rate, seed, 20)
+}
+
+/// [`scenario`] with an explicit zip-zone count — the dispatch-scaling
+/// benches register one standing audit per zone, so they need as many
+/// distinct (and populated) zones as audits for the workload to be honest.
+pub fn scenario_with_zones(
+    patients: usize,
+    queries: usize,
+    suspicious_rate: f64,
+    seed: u64,
+    zip_zones: usize,
+) -> Scenario {
+    let hospital = HospitalConfig { patients, zip_zones, diseases: 12, seed };
     let db = generate_hospital(&hospital, Timestamp(0));
     let mix =
         QueryMixConfig { queries, suspicious_rate, start: Timestamp(1_000), seed: seed ^ 0x5eed };

@@ -16,7 +16,7 @@
 //! (asserted in tests and in the B8 benchmark).
 
 use audex_sql::Ident;
-use audex_storage::{Database, JoinStrategy, Tid};
+use audex_storage::{Database, JoinStrategy, ResultSet, Tid};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
@@ -49,6 +49,82 @@ pub struct QueryFootprint {
     /// value-mode (INDISPENSABLE false) audits. Only plain-column
     /// projections are recorded.
     pub value_rows: Vec<Vec<(BaseColumn, audex_storage::Value)>>,
+}
+
+/// Builds a [`QueryFootprint`] from an already-resolved scope and an
+/// already-executed result set. Split out of [`TouchIndex`]'s private
+/// `footprint` so the online auditor can derive the footprint from its
+/// *shared* execution ([`crate::suspicion::SharedQueryState`]) instead of
+/// running the query a second time — both paths produce byte-identical
+/// footprints because this is the only constructor.
+pub(crate) fn footprint_from_parts(
+    q: &LoggedQuery,
+    q_scope: &AuditScope,
+    rs: &ResultSet,
+) -> QueryFootprint {
+    let combos = rs
+        .lineage
+        .iter()
+        .map(|lin| {
+            let mut m: BTreeMap<Ident, BTreeSet<Tid>> = BTreeMap::new();
+            for e in lin {
+                m.entry(base_name(&e.table)).or_default().insert(e.tid);
+            }
+            m
+        })
+        .collect();
+
+    // Record plain-column output positions for value-mode matching.
+    let mut out_cols: Vec<(usize, BaseColumn)> = Vec::new();
+    let mut idx = 0usize;
+    for item in &q.query.projection {
+        match item {
+            audex_sql::ast::SelectItem::Wildcard => {
+                for e in q_scope.entries() {
+                    for (name, _) in e.schema.iter() {
+                        out_cols.push((idx, (e.base.clone(), name.clone())));
+                        idx += 1;
+                    }
+                }
+            }
+            audex_sql::ast::SelectItem::QualifiedWildcard(t) => {
+                if let Some(e) = q_scope.entry(t) {
+                    for (name, _) in e.schema.iter() {
+                        out_cols.push((idx, (e.base.clone(), name.clone())));
+                        idx += 1;
+                    }
+                }
+            }
+            audex_sql::ast::SelectItem::Expr { expr, .. } => {
+                if let audex_sql::ast::Expr::Column(c) = expr {
+                    if let Ok(rc) = crate::attrspec::ColumnResolver::resolve(q_scope, c) {
+                        if let Some(e) = q_scope.entry(&rc.table) {
+                            out_cols.push((idx, (e.base.clone(), rc.column.clone())));
+                        }
+                    }
+                }
+                idx += 1;
+            }
+        }
+    }
+    let value_rows = rs
+        .rows
+        .iter()
+        .map(|row| {
+            out_cols
+                .iter()
+                .filter_map(|(ri, bc)| row.get(*ri).map(|v| (bc.clone(), v.clone())))
+                .collect()
+        })
+        .collect();
+
+    QueryFootprint {
+        id: q.id,
+        bases: q_scope.entries().iter().map(|e| e.base.clone()).collect(),
+        covered: accessed_base_columns(q, q_scope),
+        combos,
+        value_rows,
+    }
 }
 
 /// An index of every logged query's data footprint.
@@ -151,6 +227,19 @@ impl TouchIndex {
         Ok(())
     }
 
+    /// Appends a footprint computed elsewhere (`None` records a skip) —
+    /// the zero-execution sibling of [`TouchIndex::extend`]. The streaming
+    /// service shares one query execution between online scoring and index
+    /// maintenance: [`crate::OnlineAuditor::observe_with_footprint`]
+    /// produces the footprint from its own execution and this call folds
+    /// it in, so the per-ingest cost is one execution, not two.
+    pub fn extend_prepared(&mut self, id: QueryId, fp: Option<QueryFootprint>) {
+        match fp {
+            Some(fp) => self.footprints.push(fp),
+            None => self.skipped.push(id),
+        }
+    }
+
     /// Ids of queries that could not be executed and were skipped (the
     /// streaming counterpart of the batch build's skip list).
     pub fn skipped_ids(&self) -> &[QueryId] {
@@ -176,70 +265,7 @@ impl TouchIndex {
     fn footprint(db: &Database, q: &LoggedQuery, strategy: JoinStrategy) -> Option<QueryFootprint> {
         let q_scope = AuditScope::resolve(db, &q.query.from).ok()?;
         let rs = db.at(q.executed_at).query_with(&q.query, strategy).ok()?;
-
-        let combos = rs
-            .lineage
-            .iter()
-            .map(|lin| {
-                let mut m: BTreeMap<Ident, BTreeSet<Tid>> = BTreeMap::new();
-                for e in lin {
-                    m.entry(base_name(&e.table)).or_default().insert(e.tid);
-                }
-                m
-            })
-            .collect();
-
-        // Record plain-column output positions for value-mode matching.
-        let mut out_cols: Vec<(usize, BaseColumn)> = Vec::new();
-        let mut idx = 0usize;
-        for item in &q.query.projection {
-            match item {
-                audex_sql::ast::SelectItem::Wildcard => {
-                    for e in q_scope.entries() {
-                        for (name, _) in e.schema.iter() {
-                            out_cols.push((idx, (e.base.clone(), name.clone())));
-                            idx += 1;
-                        }
-                    }
-                }
-                audex_sql::ast::SelectItem::QualifiedWildcard(t) => {
-                    if let Some(e) = q_scope.entry(t) {
-                        for (name, _) in e.schema.iter() {
-                            out_cols.push((idx, (e.base.clone(), name.clone())));
-                            idx += 1;
-                        }
-                    }
-                }
-                audex_sql::ast::SelectItem::Expr { expr, .. } => {
-                    if let audex_sql::ast::Expr::Column(c) = expr {
-                        if let Ok(rc) = crate::attrspec::ColumnResolver::resolve(&q_scope, c) {
-                            if let Some(e) = q_scope.entry(&rc.table) {
-                                out_cols.push((idx, (e.base.clone(), rc.column.clone())));
-                            }
-                        }
-                    }
-                    idx += 1;
-                }
-            }
-        }
-        let value_rows = rs
-            .rows
-            .iter()
-            .map(|row| {
-                out_cols
-                    .iter()
-                    .filter_map(|(ri, bc)| row.get(*ri).map(|v| (bc.clone(), v.clone())))
-                    .collect()
-            })
-            .collect();
-
-        Some(QueryFootprint {
-            id: q.id,
-            bases: q_scope.entries().iter().map(|e| e.base.clone()).collect(),
-            covered: accessed_base_columns(q, &q_scope),
-            combos,
-            value_rows,
-        })
+        Some(footprint_from_parts(q, &q_scope, &rs))
     }
 
     /// Number of indexed queries.

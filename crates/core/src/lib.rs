@@ -49,6 +49,7 @@ pub mod attrspec;
 pub mod candidate;
 pub mod catalog;
 pub mod compliance;
+pub mod dispatch;
 pub mod engine;
 pub mod error;
 pub mod governor;
@@ -68,6 +69,7 @@ pub use candidate::BaseColumn;
 pub use candidate::CandidateChecker;
 pub use catalog::{base_name, AuditScope};
 pub use compliance::{assess, suggest_limits, AccessClass, Assessment};
+pub use dispatch::{AuditId, DispatchIndex, DispatchMode, DispatchStats};
 pub use engine::{AuditEngine, AuditMode, AuditReport, EngineObs, EngineOptions, PreparedAudit};
 pub use error::AuditError;
 pub use governor::{AuditPhase, Governor, ResourceLimits};

@@ -6,6 +6,15 @@
 //! expressions; every incoming query is scored against each of them without
 //! re-deriving the target views, and running batch state is maintained so
 //! the *batch* degree is always current.
+//!
+//! Audits are addressed by **stable ids** ([`AuditId`]): ids survive
+//! [`OnlineAuditor::remove`], so holders (service registrations,
+//! checkpoints, verdict events) never mis-address state when an earlier
+//! audit is unregistered. Scoring runs in one of two modes
+//! ([`DispatchMode`]): the default probes the [`crate::dispatch`] index and
+//! evaluates only the shortlisted audits; `ScanAll` evaluates every audit
+//! and serves as the differential oracle — both produce bit-identical
+//! scores and batch state.
 
 use audex_storage::{Database, JoinStrategy};
 use std::collections::{BTreeMap, BTreeSet};
@@ -13,17 +22,21 @@ use std::sync::Arc;
 
 use crate::attrspec::ResolvedColumn;
 use crate::candidate::BaseColumn;
+use crate::dispatch::{AuditId, DispatchIndex, DispatchMode, DispatchStats};
 use crate::engine::PreparedAudit;
 use crate::error::AuditError;
 use crate::granule::binomial;
-use crate::suspicion::BatchEvaluator;
+use crate::index::QueryFootprint;
+use crate::suspicion::{
+    projected_base_columns, BatchEvaluator, QueryContribution, SharedQueryState,
+};
 use audex_log::{LoggedQuery, QueryId};
 
 /// A per-query, per-audit score.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QueryScore {
     /// Which prepared audit this score is against.
-    pub audit_idx: usize,
+    pub audit: AuditId,
     /// Fraction of `U`'s facts the query shares a tuple with (0..=1).
     pub fact_coverage: f64,
     /// Fraction of the audit's relevant columns the query accessed (0..=1).
@@ -49,6 +62,11 @@ pub struct AuditBatchState {
     pub contributing: Vec<QueryId>,
 }
 
+struct AuditEntry {
+    prepared: PreparedAudit,
+    state: AuditBatchState,
+}
+
 /// Scores queries online against a set of prepared audits.
 ///
 /// The auditor does not borrow the database: every observation takes it as
@@ -57,137 +75,262 @@ pub struct AuditBatchState {
 /// target view computed when it was prepared — re-prepare and
 /// [`OnlineAuditor::push`] again to pick up later data.
 pub struct OnlineAuditor {
-    audits: Vec<PreparedAudit>,
-    states: Vec<AuditBatchState>,
+    /// Keyed by stable id; iteration order is registration order.
+    entries: BTreeMap<AuditId, AuditEntry>,
+    next_id: u64,
     strategy: JoinStrategy,
+    dispatch: DispatchIndex,
+    mode: DispatchMode,
 }
 
 impl OnlineAuditor {
     /// Builds an online auditor over prepared audits.
     pub fn new(audits: Vec<PreparedAudit>) -> Self {
-        let mut oa =
-            OnlineAuditor { audits: Vec::new(), states: Vec::new(), strategy: JoinStrategy::Auto };
+        let mut oa = OnlineAuditor {
+            entries: BTreeMap::new(),
+            next_id: 0,
+            strategy: JoinStrategy::Auto,
+            dispatch: DispatchIndex::default(),
+            mode: DispatchMode::default(),
+        };
         for a in audits {
             oa.push(a);
         }
         oa
     }
 
-    /// Adds a prepared audit with fresh batch state; returns its index.
-    pub fn push(&mut self, audit: PreparedAudit) -> usize {
-        self.audits.push(audit);
-        self.states.push(AuditBatchState::default());
-        self.audits.len() - 1
+    /// Adds a prepared audit with fresh batch state; returns its stable id.
+    /// Ids are assigned monotonically and never reused.
+    pub fn push(&mut self, audit: PreparedAudit) -> AuditId {
+        let id = AuditId(self.next_id);
+        self.next_id += 1;
+        self.dispatch.insert(id, &audit);
+        self.entries.insert(id, AuditEntry { prepared: audit, state: AuditBatchState::default() });
+        id
     }
 
-    /// A clone of audit `i`'s accumulated batch state, for checkpointing.
-    pub fn export_state(&self, i: usize) -> AuditBatchState {
-        self.states[i].clone()
+    /// Removes an audit and its state; every other id stays valid. Returns
+    /// `None` for an unknown id.
+    pub fn remove(&mut self, id: AuditId) -> Option<PreparedAudit> {
+        let entry = self.entries.remove(&id)?;
+        self.dispatch.remove(id);
+        if self.dispatch.needs_compaction() {
+            self.dispatch.rebuild(self.entries.iter().map(|(i, e)| (*i, &e.prepared)));
+        }
+        Some(entry.prepared)
     }
 
-    /// Clones of all batch states, in audit order.
+    /// A clone of an audit's accumulated batch state, for checkpointing.
+    pub fn export_state(&self, id: AuditId) -> Option<AuditBatchState> {
+        self.entries.get(&id).map(|e| e.state.clone())
+    }
+
+    /// Clones of all batch states, in ascending-id (registration) order.
     pub fn export_states(&self) -> Vec<AuditBatchState> {
-        self.states.clone()
+        self.entries.values().map(|e| e.state.clone()).collect()
     }
 
-    /// Replaces every audit's batch state with checkpointed ones — the
-    /// inverse of [`OnlineAuditor::export_states`]. Fails (leaving the
-    /// auditor untouched) when the count does not match the audits held.
+    /// Replaces every audit's batch state with checkpointed ones, in
+    /// ascending-id order — the inverse of [`OnlineAuditor::export_states`].
+    /// Fails (leaving the auditor untouched) when the count does not match
+    /// the audits held.
     pub fn restore_states(&mut self, states: Vec<AuditBatchState>) -> Result<(), AuditError> {
-        if states.len() != self.audits.len() {
+        if states.len() != self.entries.len() {
             return Err(AuditError::Internal(format!(
                 "cannot restore {} batch states onto {} audits",
                 states.len(),
-                self.audits.len()
+                self.entries.len()
             )));
         }
-        self.states = states;
+        for (entry, state) in self.entries.values_mut().zip(states) {
+            entry.state = state;
+        }
         Ok(())
     }
 
-    /// Removes audit `i` and its state; later indices shift down by one.
-    pub fn remove(&mut self, i: usize) -> PreparedAudit {
-        self.states.remove(i);
-        self.audits.remove(i)
+    /// The prepared audit registered under `id`.
+    pub fn audit(&self, id: AuditId) -> Option<&PreparedAudit> {
+        self.entries.get(&id).map(|e| &e.prepared)
     }
 
-    /// The prepared audit at index `i`.
-    pub fn audit(&self, i: usize) -> &PreparedAudit {
-        &self.audits[i]
+    /// Registered ids in ascending (registration) order.
+    pub fn ids(&self) -> Vec<AuditId> {
+        self.entries.keys().copied().collect()
     }
 
     /// Number of audits being watched.
     pub fn audit_count(&self) -> usize {
-        self.audits.len()
+        self.entries.len()
+    }
+
+    /// Selects how [`OnlineAuditor::observe`] finds candidate audits.
+    pub fn set_mode(&mut self, mode: DispatchMode) {
+        self.mode = mode;
+    }
+
+    /// Sets the join strategy used for query executions. An owner that
+    /// also maintains a [`crate::TouchIndex`] must pass the same strategy
+    /// it indexes with, so the shared execution behind
+    /// [`OnlineAuditor::observe_with_footprint`] yields the footprint the
+    /// index would have computed itself.
+    pub fn set_strategy(&mut self, strategy: JoinStrategy) {
+        self.strategy = strategy;
+    }
+
+    /// The active dispatch mode.
+    pub fn mode(&self) -> DispatchMode {
+        self.mode
+    }
+
+    /// A copy of the dispatch index's pruning counters.
+    pub fn dispatch_stats(&self) -> DispatchStats {
+        self.dispatch.stats()
+    }
+
+    /// Wires the `audex_dispatch_*` metric series into `registry`.
+    pub fn set_obs(&mut self, registry: &audex_obs::Registry) {
+        self.dispatch.set_obs(registry);
     }
 
     /// Observes one query: updates batch state and returns its scores
-    /// against every audit (only audits it contributed to are listed).
+    /// against every audit (only audits it contributed to are listed),
+    /// ascending by audit id.
     pub fn observe(
         &mut self,
         db: &Database,
         q: &Arc<LoggedQuery>,
     ) -> Result<Vec<QueryScore>, AuditError> {
+        match self.mode {
+            DispatchMode::ScanAll => self.observe_scan_all(db, q),
+            DispatchMode::Indexed => Ok(self.observe_indexed(db, q, false).0),
+        }
+    }
+
+    /// [`OnlineAuditor::observe`] that additionally returns the query's
+    /// [`QueryFootprint`] **from the same execution** the scoring used.
+    /// This is the streaming-ingest fast path: the service needs both the
+    /// scores and the touch-index footprint for every logged query, and
+    /// executing the query once instead of twice roughly doubles sustained
+    /// ingest throughput. In `ScanAll` mode (the differential oracle) the
+    /// footprint is computed by a separate execution, exactly like the
+    /// pre-dispatch service loop, so the oracle stays a faithful baseline.
+    /// `None` marks a query the touch index would skip (unresolvable scope
+    /// or failed execution).
+    pub fn observe_with_footprint(
+        &mut self,
+        db: &Database,
+        q: &Arc<LoggedQuery>,
+    ) -> Result<(Vec<QueryScore>, Option<QueryFootprint>), AuditError> {
+        match self.mode {
+            DispatchMode::ScanAll => {
+                let scores = self.observe_scan_all(db, q)?;
+                let mut shared = SharedQueryState::new(db, q);
+                let fp = shared.footprint(db, q, self.strategy);
+                Ok((scores, fp))
+            }
+            DispatchMode::Indexed => Ok(self.observe_indexed(db, q, true)),
+        }
+    }
+
+    /// The differential oracle: evaluates every registered audit.
+    fn observe_scan_all(
+        &mut self,
+        db: &Database,
+        q: &Arc<LoggedQuery>,
+    ) -> Result<Vec<QueryScore>, AuditError> {
+        let strategy = self.strategy;
         let mut scores = Vec::new();
-        for (i, prepared) in self.audits.iter().enumerate() {
+        for (id, entry) in self.entries.iter_mut() {
+            let AuditEntry { prepared, state } = entry;
             if !prepared.filter.admits(q) {
                 continue;
             }
-            let evaluator = BatchEvaluator::new(
-                db,
-                &prepared.scope,
-                &prepared.model,
-                &prepared.view,
-                self.strategy,
-            );
+            let evaluator =
+                BatchEvaluator::new(db, &prepared.scope, &prepared.model, &prepared.view, strategy);
             let Some(contrib) = evaluator.contribution(q) else { continue };
             if contrib.is_empty() {
                 continue;
             }
-
-            let n = prepared.view.len().max(1);
-            let relevant: BTreeSet<BaseColumn> = prepared
-                .spec
-                .all_columns()
-                .iter()
-                .filter_map(|c| prepared.scope.base_of_column(c))
-                .collect();
-            let covered_relevant = contrib.covered_columns.intersection(&relevant).count() as f64;
-            let fact_coverage = if prepared.model.indispensable {
-                contrib.touched_facts.len() as f64 / n as f64
-            } else {
-                contrib.exposed.len() as f64 / n as f64
-            };
-            let column_coverage =
-                if relevant.is_empty() { 0.0 } else { covered_relevant / relevant.len() as f64 };
-
-            let state = &mut self.states[i];
-            state.touched.extend(contrib.touched_facts.iter().copied());
-            state.covered.extend(contrib.covered_columns.iter().cloned());
-            for (fi, cols) in &contrib.exposed {
-                state.exposure.entry(*fi).or_default().extend(cols.iter().cloned());
-            }
-            // Pure tuple-witnesses (no audited column) still feed the batch
-            // state above but are not listed as contributors.
-            if covered_relevant > 0.0 || !contrib.exposed.is_empty() {
-                state.contributing.push(q.id);
-            }
-
-            scores.push(QueryScore {
-                audit_idx: i,
-                fact_coverage,
-                column_coverage,
-                closeness: fact_coverage * column_coverage,
-            });
+            scores.push(score_and_update(*id, prepared, state, &contrib, q));
         }
         Ok(scores)
     }
 
-    /// The current batch degree for audit `i` (same counting rule as
-    /// [`BatchEvaluator::evaluate`]).
-    pub fn degree(&self, i: usize) -> f64 {
-        let prepared = &self.audits[i];
-        let state = &self.states[i];
+    /// Probe → shortlist → evaluate-shortlist-only. Every prune is sound
+    /// (the skipped audit's contribution is provably empty, so the scan-all
+    /// path would skip it too without touching state), and shortlisted
+    /// audits share one query execution via [`SharedQueryState`] — the
+    /// scores and state mutations are bit-identical to the scan-all path.
+    /// With `want_footprint` the same shared execution also yields the
+    /// query's touch-index footprint (forcing the execution if no audit
+    /// needed it — the index wants every query's footprint regardless).
+    fn observe_indexed(
+        &mut self,
+        db: &Database,
+        q: &Arc<LoggedQuery>,
+        want_footprint: bool,
+    ) -> (Vec<QueryScore>, Option<QueryFootprint>) {
+        let live = self.entries.len();
+        let strategy = self.strategy;
+        let mut shared = SharedQueryState::new(db, q);
+
+        let Some(q_scope) = shared.q_scope() else {
+            // The query itself does not resolve: every contribution would
+            // be `None`, so nothing can score or mutate state — and the
+            // touch index would skip it for the same reason.
+            self.dispatch.note_probe();
+            self.dispatch.record_shortlist(0, live);
+            return (Vec::new(), None);
+        };
+        let q_bases: BTreeSet<audex_sql::Ident> =
+            q_scope.entries().iter().map(|e| e.base.clone()).collect();
+        let projected = projected_base_columns(q, q_scope);
+
+        let mut probe = self.dispatch.probe(q, &q_bases, &projected);
+        if !probe.indisp.is_empty() {
+            match shared.lineage_pairs(db, q, strategy) {
+                Some(pairs) => self.dispatch.narrow_by_tids(&mut probe.indisp, &pairs),
+                None => {
+                    // Execution failed: every shortlisted audit would skip.
+                    probe.indisp.clear();
+                    probe.value.clear();
+                }
+            }
+        }
+
+        let mut shortlist = probe.value;
+        shortlist.union(&probe.indisp);
+        self.dispatch.record_shortlist(shortlist.count(), live);
+
+        let mut scores = Vec::new();
+        for slot in shortlist.iter() {
+            let Some(id) = self.dispatch.id_at(slot) else { continue };
+            let Some(entry) = self.entries.get_mut(&id) else { continue };
+            let AuditEntry { prepared, state } = entry;
+            if !prepared.filter.admits(q) {
+                continue;
+            }
+            let evaluator =
+                BatchEvaluator::new(db, &prepared.scope, &prepared.model, &prepared.view, strategy);
+            let contrib = match evaluator.try_contribution_with(q, &mut shared) {
+                Ok(Some(c)) => c,
+                _ => continue,
+            };
+            if contrib.is_empty() {
+                continue;
+            }
+            scores.push(score_and_update(id, prepared, state, &contrib, q));
+        }
+        let fp = if want_footprint { shared.footprint(db, q, strategy) } else { None };
+        (scores, fp)
+    }
+
+    /// The current batch degree for an audit (same counting rule as
+    /// [`BatchEvaluator::evaluate`]); `0.0` for an unknown id.
+    pub fn degree(&self, id: AuditId) -> f64 {
+        let Some(entry) = self.entries.get(&id) else { return 0.0 };
+        let prepared = &entry.prepared;
+        let state = &entry.state;
         let n = prepared.view.len();
         let k = prepared.model.k_for(n);
         let mut accessed: u128 = 0;
@@ -225,14 +368,14 @@ impl OnlineAuditor {
         }
     }
 
-    /// True when audit `i`'s batch has turned suspicious.
-    pub fn is_suspicious(&self, i: usize) -> bool {
-        self.degree(i) > 0.0
+    /// True when an audit's batch has turned suspicious.
+    pub fn is_suspicious(&self, id: AuditId) -> bool {
+        self.degree(id) > 0.0
     }
 
-    /// Ids that contributed to audit `i`, in arrival order.
-    pub fn contributing(&self, i: usize) -> &[QueryId] {
-        &self.states[i].contributing
+    /// Ids that contributed to an audit, in arrival order.
+    pub fn contributing(&self, id: AuditId) -> &[QueryId] {
+        self.entries.get(&id).map(|e| e.state.contributing.as_slice()).unwrap_or(&[])
     }
 
     /// Queries ranked by total closeness across all audits (descending):
@@ -253,6 +396,50 @@ impl OnlineAuditor {
             b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
         });
         Ok(out)
+    }
+}
+
+/// Scores one non-empty contribution and folds it into the batch state —
+/// the single scoring rule both dispatch modes share.
+fn score_and_update(
+    id: AuditId,
+    prepared: &PreparedAudit,
+    state: &mut AuditBatchState,
+    contrib: &QueryContribution,
+    q: &LoggedQuery,
+) -> QueryScore {
+    let n = prepared.view.len().max(1);
+    let relevant: BTreeSet<BaseColumn> = prepared
+        .spec
+        .all_columns()
+        .iter()
+        .filter_map(|c| prepared.scope.base_of_column(c))
+        .collect();
+    let covered_relevant = contrib.covered_columns.intersection(&relevant).count() as f64;
+    let fact_coverage = if prepared.model.indispensable {
+        contrib.touched_facts.len() as f64 / n as f64
+    } else {
+        contrib.exposed.len() as f64 / n as f64
+    };
+    let column_coverage =
+        if relevant.is_empty() { 0.0 } else { covered_relevant / relevant.len() as f64 };
+
+    state.touched.extend(contrib.touched_facts.iter().copied());
+    state.covered.extend(contrib.covered_columns.iter().cloned());
+    for (fi, cols) in &contrib.exposed {
+        state.exposure.entry(*fi).or_default().extend(cols.iter().cloned());
+    }
+    // Pure tuple-witnesses (no audited column) still feed the batch state
+    // above but are not listed as contributors.
+    if covered_relevant > 0.0 || !contrib.exposed.is_empty() {
+        state.contributing.push(q.id);
+    }
+
+    QueryScore {
+        audit: id,
+        fact_coverage,
+        column_coverage,
+        closeness: fact_coverage * column_coverage,
     }
 }
 
@@ -300,22 +487,20 @@ mod tests {
         })
     }
 
-    fn auditor(db: &Database, exprs: &[&str]) -> OnlineAuditor {
+    fn prepare(db: &Database, text: &str) -> PreparedAudit {
         let log = QueryLog::new();
         let engine = AuditEngine::new(db, &log);
-        let prepared: Vec<PreparedAudit> = exprs
-            .iter()
-            .map(|t| {
-                let mut e = parse_audit(t).unwrap();
-                // Watch all times.
-                e.during = Some(audex_sql::ast::TimeInterval {
-                    start: audex_sql::ast::TsSpec::At(Timestamp(0)),
-                    end: audex_sql::ast::TsSpec::At(Timestamp(10_000)),
-                });
-                engine.prepare(&e, Timestamp(1000)).unwrap()
-            })
-            .collect();
-        OnlineAuditor::new(prepared)
+        let mut e = parse_audit(text).unwrap();
+        // Watch all times.
+        e.during = Some(audex_sql::ast::TimeInterval {
+            start: audex_sql::ast::TsSpec::At(Timestamp(0)),
+            end: audex_sql::ast::TsSpec::At(Timestamp(10_000)),
+        });
+        engine.prepare(&e, Timestamp(1000)).unwrap()
+    }
+
+    fn auditor(db: &Database, exprs: &[&str]) -> OnlineAuditor {
+        OnlineAuditor::new(exprs.iter().map(|t| prepare(db, t)).collect())
     }
 
     #[test]
@@ -327,7 +512,7 @@ mod tests {
         assert_eq!(scores.len(), 1);
         assert!((scores[0].fact_coverage - 1.0).abs() < 1e-9);
         assert!(scores[0].closeness > 0.9);
-        assert!(oa.is_suspicious(0));
+        assert!(oa.is_suspicious(AuditId(0)));
     }
 
     #[test]
@@ -337,7 +522,7 @@ mod tests {
         let scores =
             oa.observe(&db, &q(1, "SELECT name FROM Patients WHERE zipcode='145568'")).unwrap();
         assert!(scores.is_empty());
-        assert!(!oa.is_suspicious(0));
+        assert!(!oa.is_suspicious(AuditId(0)));
     }
 
     #[test]
@@ -345,10 +530,10 @@ mod tests {
         let db = db();
         let mut oa = auditor(&db, &["AUDIT (name, disease) FROM Patients WHERE zipcode='120016'"]);
         oa.observe(&db, &q(1, "SELECT name FROM Patients WHERE zipcode='120016'")).unwrap();
-        assert!(!oa.is_suspicious(0), "name alone is not enough");
+        assert!(!oa.is_suspicious(AuditId(0)), "name alone is not enough");
         oa.observe(&db, &q(2, "SELECT disease FROM Patients WHERE zipcode='120016'")).unwrap();
-        assert!(oa.is_suspicious(0), "together they cover the scheme");
-        assert_eq!(oa.contributing(0), &[QueryId(1), QueryId(2)]);
+        assert!(oa.is_suspicious(AuditId(0)), "together they cover the scheme");
+        assert_eq!(oa.contributing(AuditId(0)), &[QueryId(1), QueryId(2)]);
     }
 
     #[test]
@@ -384,9 +569,9 @@ mod tests {
         assert_eq!(oa.audit_count(), 2);
         let s = oa.observe(&db, &q(1, "SELECT name FROM Patients WHERE zipcode='145568'")).unwrap();
         assert_eq!(s.len(), 1);
-        assert_eq!(s[0].audit_idx, 1);
-        assert!(!oa.is_suspicious(0));
-        assert!(oa.is_suspicious(1));
+        assert_eq!(s[0].audit, AuditId(1));
+        assert!(!oa.is_suspicious(AuditId(0)));
+        assert!(oa.is_suspicious(AuditId(1)));
     }
 
     #[test]
@@ -400,5 +585,64 @@ mod tests {
         // Query executed outside DURING: ignored.
         let s = oa.observe(&db, &q(1, "SELECT disease FROM Patients")).unwrap();
         assert!(s.is_empty());
+    }
+
+    #[test]
+    fn ids_stay_stable_across_remove() {
+        let db = db();
+        let mut oa = auditor(
+            &db,
+            &[
+                "AUDIT disease FROM Patients WHERE zipcode='120016'",
+                "AUDIT name FROM Patients WHERE zipcode='145568'",
+                "AUDIT name FROM Patients WHERE zipcode='120016'",
+            ],
+        );
+        assert_eq!(oa.ids(), vec![AuditId(0), AuditId(1), AuditId(2)]);
+        let removed = oa.remove(AuditId(0)).unwrap();
+        assert_eq!(removed.scope.bases(), vec![Ident::new("Patients")]);
+        assert_eq!(oa.ids(), vec![AuditId(1), AuditId(2)]);
+        assert!(oa.remove(AuditId(0)).is_none(), "ids are never reused");
+
+        // AuditId(1) still addresses the 145568 audit after the removal.
+        let s = oa.observe(&db, &q(1, "SELECT name FROM Patients WHERE zipcode='145568'")).unwrap();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].audit, AuditId(1));
+        assert!(oa.is_suspicious(AuditId(1)));
+        assert!(!oa.is_suspicious(AuditId(2)));
+
+        // A new registration gets a fresh id, not a recycled one.
+        let id = oa.push(prepare(&db, "AUDIT zipcode FROM Patients"));
+        assert_eq!(id, AuditId(3));
+    }
+
+    #[test]
+    fn dispatch_matches_scan_all() {
+        let db = db();
+        let exprs = [
+            "AUDIT disease FROM Patients WHERE zipcode='120016'",
+            "AUDIT (name, disease) FROM Patients WHERE zipcode='120016'",
+            "INDISPENSABLE false AUDIT name FROM Patients WHERE zipcode='120016'",
+            "AUDIT name FROM Patients WHERE zipcode='999999'", // empty view
+        ];
+        let queries = [
+            q(1, "SELECT zipcode FROM Patients WHERE disease='cancer'"),
+            q(2, "SELECT name FROM Patients WHERE disease='cancer'"),
+            q(3, "SELECT pid FROM Patients WHERE zipcode='120016'"),
+            q(4, "SELECT name FROM Patients"),
+            q(5, "SELECT nope FROM NoTable"),
+        ];
+        let mut indexed = auditor(&db, &exprs);
+        let mut scan = auditor(&db, &exprs);
+        scan.set_mode(DispatchMode::ScanAll);
+        for lq in &queries {
+            let a = indexed.observe(&db, lq).unwrap();
+            let b = scan.observe(&db, lq).unwrap();
+            assert_eq!(a, b, "scores diverge on {}", lq.text);
+        }
+        assert_eq!(indexed.export_states(), scan.export_states());
+        let stats = indexed.dispatch_stats();
+        assert_eq!(stats.probes, queries.len() as u64);
+        assert!(stats.pruned > 0, "the empty-view audit at least must be pruned");
     }
 }

@@ -21,8 +21,8 @@
 //! qualifying facts `m` and adds `C(m, k)` accessed granules.
 
 use audex_sql::Ident;
-use audex_storage::{Database, JoinStrategy, Tid};
-use std::collections::{BTreeMap, BTreeSet, HashSet};
+use audex_storage::{Database, JoinStrategy, ResultSet, Tid};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::sync::Arc;
 
 use crate::attrspec::ResolvedColumn;
@@ -151,106 +151,69 @@ impl<'a> BatchEvaluator<'a> {
         &self,
         q: &LoggedQuery,
     ) -> Result<Option<QueryContribution>, AuditError> {
-        let Ok(q_scope) = AuditScope::resolve(self.db, &q.query.from) else {
+        let mut shared = SharedQueryState::new(self.db, q);
+        self.try_contribution_with(q, &mut shared)
+    }
+
+    /// [`BatchEvaluator::try_contribution`] with the per-query work hoisted
+    /// into `shared`: scope resolution, accessed columns, the executed
+    /// result set, and its lineage products are computed once and reused by
+    /// every audit evaluated against the same logged query. Produces
+    /// bit-identical contributions to the unshared path.
+    pub(crate) fn try_contribution_with(
+        &self,
+        q: &LoggedQuery,
+        shared: &mut SharedQueryState,
+    ) -> Result<Option<QueryContribution>, AuditError> {
+        let Some(q_scope) = shared.q_scope.as_ref() else {
             return Ok(None);
         };
         let mut contrib = QueryContribution {
-            covered_columns: accessed_base_columns(q, &q_scope),
+            covered_columns: shared.covered_columns.clone(),
             ..Default::default()
         };
 
         // Which audit bindings can this query's tables witness?
-        let q_bases: BTreeSet<Ident> = q_scope.entries().iter().map(|e| e.base.clone()).collect();
-        let shared_bindings: Vec<&Ident> = self
+        let q_bases: BTreeSet<&Ident> = q_scope.entries().iter().map(|e| &e.base).collect();
+        let shared_bindings: Vec<Ident> = self
             .scope
             .entries()
             .iter()
             .filter(|e| q_bases.contains(&e.base))
-            .map(|e| &e.binding)
+            .map(|e| e.binding.clone())
             .collect();
         if shared_bindings.is_empty() {
             return Ok(Some(contrib)); // no tuples can be shared
         }
+        let out_cols =
+            if self.model.indispensable { Vec::new() } else { self.out_cols(q, q_scope) };
 
-        let Ok(rs) = self.db.at(q.executed_at).query_with(&q.query, self.strategy) else {
+        let Some(exec) = shared.ensure_exec(self.db, q, self.strategy) else {
             return Ok(None);
         };
 
         if self.model.indispensable {
-            // Per satisfying combination: tids grouped by base table.
-            let combos: Vec<BTreeMap<Ident, BTreeSet<Tid>>> = rs
-                .lineage
-                .iter()
-                .map(|lin| {
-                    let mut m: BTreeMap<Ident, BTreeSet<Tid>> = BTreeMap::new();
-                    for e in lin {
-                        let base = crate::catalog::base_name(&e.table);
-                        m.entry(base).or_default().insert(e.tid);
-                    }
-                    m
-                })
-                .collect();
-
-            // Materialize the covered tid-tuples over the shared bindings
-            // so each fact probes a hash set in O(1) instead of rescanning
-            // every combination. A combination missing a shared base (or a
-            // binding outside the scope) contributes nothing — exactly the
-            // cases where the former per-fact `all(..)` returned false.
-            let covered = covered_tuples(&combos, &shared_bindings, self.scope);
+            let binding_refs: Vec<&Ident> = shared_bindings.iter().collect();
+            // The covered tid-tuples over the shared bindings, so each fact
+            // probes a hash set in O(1); shared across audits with the same
+            // base-table signature.
+            let covered = exec.covered_for(&binding_refs, self.scope);
             for (fi, fact) in self.view.facts.iter().enumerate() {
                 self.governor.tick(AuditPhase::Suspicion)?;
-                let key: Option<Vec<Tid>> =
-                    shared_bindings.iter().map(|b| fact.tid_of(b)).collect();
+                let key: Option<Vec<Tid>> = binding_refs.iter().map(|b| fact.tid_of(b)).collect();
                 if key.is_some_and(|k| covered.contains(&k)) {
                     contrib.touched_facts.insert(fi);
                 }
             }
-        } else {
-            // Value mode: resolve plain-column projection items to audit
-            // view columns, then match result rows against fact values.
-            let mut out_cols: Vec<(usize, Vec<ResolvedColumn>)> = Vec::new();
-            let mut out_idx = 0usize;
-            for item in &q.query.projection {
-                match item {
-                    audex_sql::ast::SelectItem::Wildcard => {
-                        for e in q_scope.entries() {
-                            for (name, _) in e.schema.iter() {
-                                self.push_out_col(&mut out_cols, out_idx, e, name);
-                                out_idx += 1;
-                            }
-                        }
-                    }
-                    audex_sql::ast::SelectItem::QualifiedWildcard(t) => {
-                        if let Some(e) = q_scope.entry(t) {
-                            for (name, _) in e.schema.iter() {
-                                self.push_out_col(&mut out_cols, out_idx, e, name);
-                                out_idx += 1;
-                            }
-                        }
-                    }
-                    audex_sql::ast::SelectItem::Expr { expr, .. } => {
-                        if let audex_sql::ast::Expr::Column(c) = expr {
-                            if let Ok(rc) = crate::attrspec::ColumnResolver::resolve(&q_scope, c) {
-                                if let Some(e) = q_scope.entry(&rc.table) {
-                                    self.push_out_col(&mut out_cols, out_idx, e, &rc.column);
-                                }
-                            }
-                        }
-                        out_idx += 1;
-                    }
-                }
-            }
-
-            if !out_cols.is_empty() {
-                for row in &rs.rows {
-                    self.governor.bump(AuditPhase::Suspicion, self.view.facts.len() as u64)?;
-                    for (fi, fact) in self.view.facts.iter().enumerate() {
-                        for (ri, audit_cols) in &out_cols {
-                            for ac in audit_cols {
-                                if let Some(fv) = fact.values.get(ac) {
-                                    if row.get(*ri).is_some_and(|v| v.grouping_eq(fv)) {
-                                        contrib.exposed.entry(fi).or_default().insert(ac.clone());
-                                    }
+        } else if !out_cols.is_empty() {
+            for row in &exec.rs.rows {
+                self.governor.bump(AuditPhase::Suspicion, self.view.facts.len() as u64)?;
+                for (fi, fact) in self.view.facts.iter().enumerate() {
+                    for (ri, audit_cols) in &out_cols {
+                        for ac in audit_cols {
+                            if let Some(fv) = fact.values.get(ac) {
+                                if row.get(*ri).is_some_and(|v| v.grouping_eq(fv)) {
+                                    contrib.exposed.entry(fi).or_default().insert(ac.clone());
                                 }
                             }
                         }
@@ -259,6 +222,44 @@ impl<'a> BatchEvaluator<'a> {
             }
         }
         Ok(Some(contrib))
+    }
+
+    /// Value mode: resolves plain-column projection items to audit view
+    /// columns (position `ri` in the result row → audited columns).
+    fn out_cols(&self, q: &LoggedQuery, q_scope: &AuditScope) -> Vec<(usize, Vec<ResolvedColumn>)> {
+        let mut out_cols: Vec<(usize, Vec<ResolvedColumn>)> = Vec::new();
+        let mut out_idx = 0usize;
+        for item in &q.query.projection {
+            match item {
+                audex_sql::ast::SelectItem::Wildcard => {
+                    for e in q_scope.entries() {
+                        for (name, _) in e.schema.iter() {
+                            self.push_out_col(&mut out_cols, out_idx, e, name);
+                            out_idx += 1;
+                        }
+                    }
+                }
+                audex_sql::ast::SelectItem::QualifiedWildcard(t) => {
+                    if let Some(e) = q_scope.entry(t) {
+                        for (name, _) in e.schema.iter() {
+                            self.push_out_col(&mut out_cols, out_idx, e, name);
+                            out_idx += 1;
+                        }
+                    }
+                }
+                audex_sql::ast::SelectItem::Expr { expr, .. } => {
+                    if let audex_sql::ast::Expr::Column(c) = expr {
+                        if let Ok(rc) = crate::attrspec::ColumnResolver::resolve(q_scope, c) {
+                            if let Some(e) = q_scope.entry(&rc.table) {
+                                self.push_out_col(&mut out_cols, out_idx, e, &rc.column);
+                            }
+                        }
+                    }
+                    out_idx += 1;
+                }
+            }
+        }
+        out_cols
     }
 
     fn push_out_col(
@@ -391,6 +392,197 @@ impl<'a> BatchEvaluator<'a> {
     }
 }
 
+/// Per-query artifacts shared across every audit evaluated against the
+/// same logged query: the resolved scope, the accessed base columns, and
+/// (lazily, on first need) the executed result set with its
+/// lineage-derived products. The dispatch-indexed `observe` threads one
+/// `SharedQueryState` through the whole shortlist so the expensive
+/// `db.at(..).query_with(..)` runs once per query instead of once per
+/// audit.
+pub(crate) struct SharedQueryState {
+    q_scope: Option<AuditScope>,
+    covered_columns: BTreeSet<BaseColumn>,
+    exec: ExecState,
+}
+
+enum ExecState {
+    NotRun,
+    Failed,
+    Ready(ExecShared),
+}
+
+/// The executed result set plus caches over its lineage.
+pub(crate) struct ExecShared {
+    rs: ResultSet,
+    /// Per satisfying combination: tids grouped by base table (lazy).
+    combos: Option<Vec<BTreeMap<Ident, BTreeSet<Tid>>>>,
+    /// Covered tid-tuples keyed by the ordered base-table signature of the
+    /// shared bindings — audits with the same signature cover the same
+    /// tuples regardless of binding names.
+    covered_cache: HashMap<Vec<Ident>, Arc<HashSet<Vec<Tid>>>>,
+}
+
+impl SharedQueryState {
+    /// Resolves the query's scope and accessed columns once.
+    pub(crate) fn new(db: &Database, q: &LoggedQuery) -> SharedQueryState {
+        match AuditScope::resolve(db, &q.query.from) {
+            Ok(qs) => {
+                let covered_columns = accessed_base_columns(q, &qs);
+                SharedQueryState { q_scope: Some(qs), covered_columns, exec: ExecState::NotRun }
+            }
+            Err(_) => SharedQueryState {
+                q_scope: None,
+                covered_columns: BTreeSet::new(),
+                exec: ExecState::NotRun,
+            },
+        }
+    }
+
+    /// The query's resolved scope; `None` when resolution failed (every
+    /// audit then reports the query as skipped).
+    pub(crate) fn q_scope(&self) -> Option<&AuditScope> {
+        self.q_scope.as_ref()
+    }
+
+    fn ensure_exec(
+        &mut self,
+        db: &Database,
+        q: &LoggedQuery,
+        strategy: JoinStrategy,
+    ) -> Option<&mut ExecShared> {
+        if matches!(self.exec, ExecState::NotRun) {
+            self.exec = match db.at(q.executed_at).query_with(&q.query, strategy) {
+                Ok(rs) => {
+                    ExecState::Ready(ExecShared { rs, combos: None, covered_cache: HashMap::new() })
+                }
+                Err(_) => ExecState::Failed,
+            };
+        }
+        match &mut self.exec {
+            ExecState::Ready(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// The query's [`crate::index::QueryFootprint`] built from the shared
+    /// execution (running it first if nothing forced it yet), so the
+    /// streaming service maintains its touch index without a second
+    /// `query_with` call. `None` exactly when `TouchIndex`'s own footprint
+    /// path would skip the query: unresolvable scope or failed execution.
+    pub(crate) fn footprint(
+        &mut self,
+        db: &Database,
+        q: &LoggedQuery,
+        strategy: JoinStrategy,
+    ) -> Option<crate::index::QueryFootprint> {
+        self.q_scope.as_ref()?;
+        self.ensure_exec(db, q, strategy)?;
+        let (Some(q_scope), ExecState::Ready(exec)) = (&self.q_scope, &self.exec) else {
+            return None;
+        };
+        Some(crate::index::footprint_from_parts(q, q_scope, &exec.rs))
+    }
+
+    /// Distinct `(base table, Tid)` pairs across the executed lineage, for
+    /// the dispatch index's tuple-id layer. `None` when execution fails.
+    pub(crate) fn lineage_pairs(
+        &mut self,
+        db: &Database,
+        q: &LoggedQuery,
+        strategy: JoinStrategy,
+    ) -> Option<BTreeSet<(Ident, Tid)>> {
+        let exec = self.ensure_exec(db, q, strategy)?;
+        let mut pairs = BTreeSet::new();
+        for lin in &exec.rs.lineage {
+            for e in lin {
+                pairs.insert((crate::catalog::base_name(&e.table), e.tid));
+            }
+        }
+        Some(pairs)
+    }
+}
+
+impl ExecShared {
+    fn combos(&mut self) -> &[BTreeMap<Ident, BTreeSet<Tid>>] {
+        if self.combos.is_none() {
+            self.combos = Some(
+                self.rs
+                    .lineage
+                    .iter()
+                    .map(|lin| {
+                        let mut m: BTreeMap<Ident, BTreeSet<Tid>> = BTreeMap::new();
+                        for e in lin {
+                            let base = crate::catalog::base_name(&e.table);
+                            m.entry(base).or_default().insert(e.tid);
+                        }
+                        m
+                    })
+                    .collect(),
+            );
+        }
+        self.combos.as_deref().unwrap_or(&[])
+    }
+
+    fn covered_for(
+        &mut self,
+        shared_bindings: &[&Ident],
+        scope: &AuditScope,
+    ) -> Arc<HashSet<Vec<Tid>>> {
+        let key: Option<Vec<Ident>> =
+            shared_bindings.iter().map(|b| scope.entry(b).map(|e| e.base.clone())).collect();
+        let Some(key) = key else {
+            // A binding outside the scope covers nothing (the unshared path
+            // cleared every combination in that case).
+            return Arc::new(HashSet::new());
+        };
+        if let Some(c) = self.covered_cache.get(&key) {
+            return Arc::clone(c);
+        }
+        let covered = Arc::new(covered_tuples_by_base(self.combos(), &key));
+        self.covered_cache.insert(key, Arc::clone(&covered));
+        covered
+    }
+}
+
+/// Base columns the query's *projection* resolves to, in base identity —
+/// the positions value-mode exposure can possibly flow through. Mirrors
+/// [`BatchEvaluator::out_cols`] without an audit in hand, so the dispatch
+/// index can prune value-mode audits whose view columns are disjoint.
+pub(crate) fn projected_base_columns(
+    q: &LoggedQuery,
+    q_scope: &AuditScope,
+) -> BTreeSet<BaseColumn> {
+    let mut out = BTreeSet::new();
+    for item in &q.query.projection {
+        match item {
+            audex_sql::ast::SelectItem::Wildcard => {
+                for e in q_scope.entries() {
+                    for (name, _) in e.schema.iter() {
+                        out.insert((e.base.clone(), name.clone()));
+                    }
+                }
+            }
+            audex_sql::ast::SelectItem::QualifiedWildcard(t) => {
+                if let Some(e) = q_scope.entry(t) {
+                    for (name, _) in e.schema.iter() {
+                        out.insert((e.base.clone(), name.clone()));
+                    }
+                }
+            }
+            audex_sql::ast::SelectItem::Expr { expr, .. } => {
+                if let audex_sql::ast::Expr::Column(c) = expr {
+                    if let Ok(rc) = crate::attrspec::ColumnResolver::resolve(q_scope, c) {
+                        if let Some(e) = q_scope.entry(&rc.table) {
+                            out.insert((e.base.clone(), rc.column.clone()));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
 /// Expands satisfying combinations into the set of tid-tuples they cover
 /// over `shared_bindings` (in binding order). A fact is touched by a query
 /// iff its own tid-tuple over those bindings is in this set — the hash-set
@@ -404,12 +596,25 @@ pub(crate) fn covered_tuples(
     shared_bindings: &[&Ident],
     scope: &AuditScope,
 ) -> HashSet<Vec<Tid>> {
+    let bases: Option<Vec<Ident>> =
+        shared_bindings.iter().map(|b| scope.entry(b).map(|e| e.base.clone())).collect();
+    match bases {
+        Some(bases) => covered_tuples_by_base(combos, &bases),
+        // A binding outside the scope clears every combination.
+        None => HashSet::new(),
+    }
+}
+
+/// [`covered_tuples`] with the bindings already mapped to base tables.
+pub(crate) fn covered_tuples_by_base(
+    combos: &[BTreeMap<Ident, BTreeSet<Tid>>],
+    bases: &[Ident],
+) -> HashSet<Vec<Tid>> {
     let mut covered: HashSet<Vec<Tid>> = HashSet::new();
     for combo in combos {
-        let mut tuples: Vec<Vec<Tid>> = vec![Vec::with_capacity(shared_bindings.len())];
-        for b in shared_bindings {
-            let tids = scope.entry(b).and_then(|entry| combo.get(&entry.base));
-            let Some(tids) = tids else {
+        let mut tuples: Vec<Vec<Tid>> = vec![Vec::with_capacity(bases.len())];
+        for base in bases {
+            let Some(tids) = combo.get(base) else {
                 tuples.clear();
                 break;
             };

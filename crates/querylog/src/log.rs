@@ -196,6 +196,13 @@ impl QueryLog {
         self.read().clone()
     }
 
+    /// The newest entry's execution timestamp. O(1) — the streaming
+    /// service's per-ingest ordering check must not clone the whole log
+    /// (that would make sustained ingest quadratic in log length).
+    pub fn last_ts(&self) -> Option<Timestamp> {
+        self.read().last().map(|e| e.executed_at)
+    }
+
     /// Looks up a single entry.
     pub fn get(&self, id: QueryId) -> Option<Arc<LoggedQuery>> {
         let guard = self.read();

@@ -30,8 +30,8 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 use audex_core::{
-    AuditEngine, AuditError, EngineObs, EngineOptions, Governor, OnlineAuditor, PreparedAudit,
-    ResourceLimits, TouchIndex,
+    AuditEngine, AuditError, AuditId, AuditPhase, DispatchMode, EngineObs, EngineOptions, Governor,
+    OnlineAuditor, ResourceLimits, TouchIndex,
 };
 use audex_log::{AccessContext, LoggedQuery, QueryId, QueryLog};
 use audex_obs::{Counter, Histogram, Registry, Tracer};
@@ -60,6 +60,9 @@ pub struct ServiceConfig {
     /// queries. `None` disables periodic metrics events (the `metrics`
     /// request still answers on demand).
     pub metrics_every: Option<u64>,
+    /// Score every standing audit on every logged query instead of probing
+    /// the dispatch index — the differential oracle (`--scan-all-audits`).
+    pub scan_all_audits: bool,
 }
 
 /// Monotonic counters surfaced by the `stats` command. A point-in-time
@@ -147,13 +150,14 @@ impl Outcome {
     }
 }
 
-/// A standing audit, mirrored index-for-index with the online auditor
-/// (indices shift on unregister). The expression text and preparation
-/// instant are not kept here: the journal's Register records carry them,
-/// and recovery re-prepares from those.
+/// A standing audit, addressed in the online auditor by its stable
+/// [`AuditId`] (ids survive unregistration — no index-shift hazard). The
+/// expression text and preparation instant are not kept here: the journal's
+/// Register records carry them, and recovery re-prepares from those.
 #[derive(Debug, Clone)]
 struct RegisteredAudit {
     name: String,
+    id: AuditId,
 }
 
 /// The streaming audit service state machine.
@@ -185,11 +189,19 @@ impl ServiceCore {
         log.set_obs(&registry);
         let metrics = CoreMetrics::new(&registry);
         let engine_obs = EngineObs::new(Arc::clone(&registry), Arc::clone(&tracer));
+        let mut online = OnlineAuditor::new(Vec::new());
+        online.set_obs(&registry);
+        // The auditor's shared execution doubles as the touch-index
+        // footprint, so it must run with the index's join strategy.
+        online.set_strategy(config.strategy);
+        if config.scan_all_audits {
+            online.set_mode(DispatchMode::ScanAll);
+        }
         ServiceCore {
             db,
             log,
             index: TouchIndex::new(),
-            online: OnlineAuditor::new(Vec::new()),
+            online,
             registered: Vec::new(),
             config,
             journal: None,
@@ -259,6 +271,13 @@ impl ServiceCore {
     /// The attached journal, if the service is durable.
     pub fn journal(&self) -> Option<&Arc<Journal>> {
         self.journal.as_ref()
+    }
+
+    /// Dispatch-index counters accumulated so far (probes, prunes,
+    /// shortlist totals, rebuilds) — e.g. by recovery replay, for tooling
+    /// that dismantles the core afterwards via [`ServiceCore::into_parts`].
+    pub fn dispatch_stats(&self) -> audex_core::DispatchStats {
+        self.online.dispatch_stats()
     }
 
     /// Dismantles the service into its database and log — the batch
@@ -390,11 +409,13 @@ impl ServiceCore {
                         executed_at: *ts,
                         context: context.clone(),
                     });
-                    let governor = Governor::unlimited();
-                    self.index
-                        .extend(&self.db, &entry, self.config.strategy, &governor)
-                        .map_err(|e| fail(&e))?;
-                    let scores = self.online.observe(&self.db, &entry).unwrap_or_default();
+                    // Replay shares one execution between scoring and the
+                    // index exactly like the live `handle_log`, so the
+                    // rebuilt index is byte-identical to the one the live
+                    // run maintained.
+                    let (scores, footprint) =
+                        self.online.observe_with_footprint(&self.db, &entry).unwrap_or_default();
+                    self.index.extend_prepared(entry.id, footprint);
                     self.metrics.events.add(events_for_scores(&scores) as u64);
                     self.metrics.ingested.inc();
                 }
@@ -412,8 +433,11 @@ impl ServiceCore {
                     .with_obs(self.engine_obs.clone());
                     engine.prepare_governed(&parsed, *now, &governor).map_err(|e| fail(&e))?
                 };
-                self.online.push(prepared);
-                self.registered.push(RegisteredAudit { name: name.clone() });
+                // Every successful registration (and only those) is
+                // journaled, so replay walks the same push sequence and
+                // assigns the same stable ids as the live run.
+                let id = self.online.push(prepared);
+                self.registered.push(RegisteredAudit { name: name.clone(), id });
             }
             WalRecord::Unregister { name } => {
                 let idx = self
@@ -421,8 +445,8 @@ impl ServiceCore {
                     .iter()
                     .position(|r| &r.name == name)
                     .ok_or_else(|| fail(&format!("unregister of unknown audit {name:?}")))?;
-                self.registered.remove(idx);
-                self.online.remove(idx);
+                let reg = self.registered.remove(idx);
+                self.online.remove(reg.id);
             }
         }
         Ok(())
@@ -431,7 +455,7 @@ impl ServiceCore {
     /// The latest instant the service has seen (backlog or log), used as
     /// the default `now` for registrations.
     pub fn latest_instant(&self) -> Timestamp {
-        let log_ts = self.log.snapshot().last().map(|e| e.executed_at).unwrap_or(Timestamp(0));
+        let log_ts = self.log.last_ts().unwrap_or(Timestamp(0));
         self.db.last_ts().max(log_ts)
     }
 
@@ -563,11 +587,10 @@ impl ServiceCore {
             Ok(q) => q,
             Err(e) => return self.reject(format!("query does not parse: {e}")),
         };
-        if let Some(last) = self.log.snapshot().last() {
-            if ts < last.executed_at {
+        if let Some(last) = self.log.last_ts() {
+            if ts < last {
                 return self.reject(format!(
-                    "out-of-order log append: offered {ts}, log is already at {}",
-                    last.executed_at
+                    "out-of-order log append: offered {ts}, log is already at {last}"
                 ));
             }
         }
@@ -579,18 +602,22 @@ impl ServiceCore {
             context,
         });
 
-        // Admission control: fold the footprint under this request's
-        // governor. A trip rejects the whole request with nothing mutated
-        // (extend appends only after the footprint completes).
+        // Admission control: the indexing step ticks this request's
+        // governor before any state is touched, so a trip rejects the
+        // whole request with nothing mutated.
         let governor = Governor::arm(&self.config.limits);
-        if let Err(e) = self.index.extend(&self.db, &entry, self.config.strategy, &governor) {
+        if let Err(e) = governor.tick(AuditPhase::Indexing) {
             return self.backpressure(&e);
         }
 
-        // Score online. `observe` is pure w.r.t. the log; an error here
-        // (none are currently reachable) downgrades to "no scores" so the
+        // Score online and fold the touch-index footprint in from the
+        // *same* execution — one `query_with` per ingested query instead
+        // of two. `observe` is pure w.r.t. the log; an error here (none
+        // are currently reachable) downgrades to "no scores, skip" so the
         // log and index never diverge.
-        let scores = self.online.observe(&self.db, &entry).unwrap_or_default();
+        let (scores, footprint) =
+            self.online.observe_with_footprint(&self.db, &entry).unwrap_or_default();
+        self.index.extend_prepared(entry.id, footprint);
 
         // Commit. The validated append re-checks ordering under the log's
         // own lock; it cannot fail after the checks above.
@@ -604,12 +631,8 @@ impl ServiceCore {
         let mut score_rows = Vec::new();
         let mut touched_audits = BTreeSet::new();
         for s in &scores {
-            touched_audits.insert(s.audit_idx);
-            let name = self
-                .registered
-                .get(s.audit_idx)
-                .map(|r| r.name.clone())
-                .unwrap_or_else(|| s.audit_idx.to_string());
+            touched_audits.insert(s.audit);
+            let name = self.audit_name(s.audit);
             let row = obj([
                 ("audit", Json::Str(name)),
                 ("fact_coverage", Json::Float(s.fact_coverage)),
@@ -628,8 +651,8 @@ impl ServiceCore {
         }
         // A verdict event per audit this query contributed to, so
         // subscribers track the running batch state without polling.
-        for idx in touched_audits {
-            events.push(self.verdict_event(idx));
+        for id in touched_audits {
+            events.push(self.verdict_event(id));
         }
         self.metrics.events.add(events.len() as u64);
 
@@ -644,18 +667,30 @@ impl ServiceCore {
         }
     }
 
-    fn verdict_event(&self, idx: usize) -> Json {
-        let name =
-            self.registered.get(idx).map(|r| r.name.clone()).unwrap_or_else(|| idx.to_string());
+    /// The registered name behind a stable audit id (the raw id when the
+    /// registration is gone — can only happen for in-flight scores).
+    /// `registered` stays ascending in id (ids are assigned monotonically
+    /// at push and removal preserves order), so this is a binary search —
+    /// it runs once per score row, and a busy ingest path at 1000+
+    /// standing audits cannot afford a linear scan per score.
+    fn audit_name(&self, id: AuditId) -> String {
+        self.registered
+            .binary_search_by_key(&id, |r| r.id)
+            .ok()
+            .map(|i| self.registered[i].name.clone())
+            .unwrap_or_else(|| id.to_string())
+    }
+
+    fn verdict_event(&self, id: AuditId) -> Json {
         obj([
             ("event", Json::from("verdict")),
-            ("audit", Json::Str(name)),
-            ("suspicious", Json::Bool(self.online.is_suspicious(idx))),
-            ("degree", Json::Float(self.online.degree(idx))),
+            ("audit", Json::Str(self.audit_name(id))),
+            ("suspicious", Json::Bool(self.online.is_suspicious(id))),
+            ("degree", Json::Float(self.online.degree(id))),
             (
                 "contributing",
                 Json::Arr(
-                    self.online.contributing(idx).iter().map(|q| Json::Int(q.0 as i64)).collect(),
+                    self.online.contributing(id).iter().map(|q| Json::Int(q.0 as i64)).collect(),
                 ),
             ),
         ])
@@ -686,8 +721,8 @@ impl ServiceCore {
         };
         let target_size = prepared.view.len();
         let total = prepared.model.count(target_size);
-        self.online.push(prepared);
-        self.registered.push(RegisteredAudit { name: name.clone() });
+        let id = self.online.push(prepared);
+        self.registered.push(RegisteredAudit { name: name.clone(), id });
         if let Some(j) = &self.journal {
             j.record_register(&name, expr, now);
         }
@@ -703,8 +738,8 @@ impl ServiceCore {
     fn handle_unregister(&mut self, name: &str) -> Outcome {
         match self.registered.iter().position(|r| r.name == name) {
             Some(idx) => {
-                self.registered.remove(idx);
-                self.online.remove(idx);
+                let reg = self.registered.remove(idx);
+                self.online.remove(reg.id);
                 if let Some(j) = &self.journal {
                     j.record_unregister(name);
                 }
@@ -715,12 +750,14 @@ impl ServiceCore {
     }
 
     fn handle_audit(&mut self, name: &str) -> Outcome {
-        let Some(idx) = self.registered.iter().position(|r| r.name == name) else {
+        let Some(id) = self.registered.iter().find(|r| r.name == name).map(|r| r.id) else {
             return self.reject(format!("no registered audit named {name:?}"));
         };
         let governor = Governor::arm(&self.config.limits);
         let verdict = {
-            let prepared: &PreparedAudit = self.online.audit(idx);
+            let Some(prepared) = self.online.audit(id) else {
+                return self.reject(format!("audit {name:?} has no online state"));
+            };
             let admitted: BTreeSet<QueryId> = self
                 .log
                 .snapshot()
@@ -776,6 +813,17 @@ impl ServiceCore {
             ("index_len", Json::from(self.index.len())),
             ("index_skipped", Json::from(self.index.skipped_ids().len())),
             ("registered_audits", Json::from(self.registered.len())),
+            (
+                "dispatch_mode",
+                Json::from(match self.online.mode() {
+                    DispatchMode::Indexed => "indexed",
+                    DispatchMode::ScanAll => "scan_all",
+                }),
+            ),
+            ("dispatch_probes", Json::from(self.online.dispatch_stats().probes)),
+            ("dispatch_pruned", Json::from(self.online.dispatch_stats().pruned)),
+            ("dispatch_shortlisted", Json::from(self.online.dispatch_stats().shortlisted)),
+            ("dispatch_rebuilds", Json::from(self.online.dispatch_stats().rebuilds)),
             ("backlog_ts", Json::Int(self.db.last_ts().0)),
             ("snapshot_cache_hits", Json::from(stats.hits)),
             ("snapshot_cache_misses", Json::from(stats.misses)),
@@ -839,7 +887,7 @@ pub fn journal_stats_fields(jc: &audex_persist::JournalCounters) -> Vec<(String,
 /// verdict per distinct audit touched (mirrored by recovery replay so the
 /// `events_emitted` counter survives a crash exactly).
 fn events_for_scores(scores: &[audex_core::QueryScore]) -> usize {
-    let touched: BTreeSet<usize> = scores.iter().map(|s| s.audit_idx).collect();
+    let touched: BTreeSet<AuditId> = scores.iter().map(|s| s.audit).collect();
     scores.len() + touched.len()
 }
 
@@ -947,6 +995,67 @@ mod tests {
         assert_eq!(r.response.get("ok"), Some(&Json::Bool(true)));
         let r = c.handle(Request::Audit { name: "cancer".into() });
         assert_eq!(r.response.get("ok"), Some(&Json::Bool(false)));
+    }
+
+    /// Regression for the index-shift hazard: unregistering an audit used to
+    /// shift every later audit down one slot, so subsequent ingests scored
+    /// under the wrong registration. Stable ids must survive removal, both
+    /// live and across crash recovery of a journal with unregister holes.
+    #[test]
+    fn unregister_then_ingest_scores_the_surviving_audit() {
+        use audex_persist::{FsyncPolicy, WalOptions};
+
+        let reg = |name: &str, zip: &str| Request::Register {
+            name: name.into(),
+            expr: format!(
+                "DURING 1/1/1970 TO 1/1/2100 DATA-INTERVAL 1/1/1970 TO 1/1/2100 \
+                 AUDIT disease FROM Patients WHERE zipcode = '{zip}'"
+            ),
+            now: Some(Timestamp(5000)),
+        };
+        let requests = |c: &mut ServiceCore| {
+            c.handle(Request::Dml {
+                ts: Timestamp(100),
+                sql: "CREATE TABLE Patients (pid TEXT, zipcode TEXT, disease TEXT); \
+                      INSERT INTO Patients VALUES ('p1', '120016', 'cancer'), \
+                      ('p2', '145568', 'flu');"
+                    .into(),
+            });
+            c.handle(reg("cancer", "120016"));
+            c.handle(reg("flu", "145568"));
+            c.handle(Request::Unregister { name: "cancer".into() });
+        };
+
+        let mut c = ServiceCore::new(Database::new(), ServiceConfig::default());
+        requests(&mut c);
+        let r = c.handle(log_req(200, "SELECT disease FROM Patients WHERE zipcode = '145568'"));
+        let scores = r.response.get("scores").and_then(Json::as_arr).unwrap();
+        assert_eq!(scores.len(), 1, "{}", r.response);
+        assert_eq!(scores[0].get("audit"), Some(&Json::Str("flu".into())), "{}", r.response);
+        assert_eq!(r.events[1].get("audit"), Some(&Json::Str("flu".into())));
+        assert_eq!(r.events[1].get("suspicious"), Some(&Json::Bool(true)));
+        let r = c.handle(Request::Audit { name: "flu".into() });
+        assert_eq!(r.response.get("suspicious"), Some(&Json::Bool(true)), "{}", r.response);
+
+        // Recovery replays register/unregister in journal order, so the
+        // surviving audit keeps its id and the post-crash ingest scores it.
+        let dir = std::env::temp_dir().join(format!("audex-unreg-recover-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let options = WalOptions { fsync: FsyncPolicy::Always, segment_max_bytes: 4 * 1024 * 1024 };
+        let (journal, _) = Journal::open(&dir, options).unwrap();
+        let mut live = ServiceCore::new(Database::new(), ServiceConfig::default());
+        live.attach_journal(journal);
+        requests(&mut live);
+        drop(live);
+
+        let (journal, recovered) = Journal::open(&dir, WalOptions::default()).unwrap();
+        let mut after = ServiceCore::recovered(&recovered, ServiceConfig::default()).unwrap();
+        after.attach_journal(journal);
+        let r = after.handle(log_req(200, "SELECT disease FROM Patients WHERE zipcode = '145568'"));
+        let scores = r.response.get("scores").and_then(Json::as_arr).unwrap();
+        assert_eq!(scores.len(), 1, "{}", r.response);
+        assert_eq!(scores[0].get("audit"), Some(&Json::Str("flu".into())), "{}", r.response);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
@@ -1095,8 +1204,13 @@ mod tests {
                     fields
                         .iter()
                         .filter(|(k, _)| {
+                            // dispatch_* counters are telemetry: checkpoint
+                            // recovery restores audit states without
+                            // re-observing pre-checkpoint queries, so probe
+                            // counts legitimately differ.
                             !k.starts_with("journal_")
                                 && !k.starts_with("snapshot_")
+                                && !k.starts_with("dispatch_")
                                 && (checkpoint_mid_stream || k != "dml_statements")
                         })
                         .cloned()

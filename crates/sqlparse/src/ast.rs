@@ -47,7 +47,14 @@ impl PartialOrd for Ident {
 
 impl Ord for Ident {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.normalized().cmp(&other.normalized())
+        // Byte-wise case-folded comparison — identical ordering to
+        // comparing `normalized()` strings (both are lexicographic over
+        // ASCII-lowercased bytes) without allocating two `String`s per
+        // comparison. `Ident` keys most of the engine's B-tree maps and
+        // sets, so this runs on every tree descent of the hot path.
+        let a = self.value.bytes().map(|b| b.to_ascii_lowercase());
+        let b = other.value.bytes().map(|b| b.to_ascii_lowercase());
+        a.cmp(b)
     }
 }
 

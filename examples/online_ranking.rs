@@ -5,7 +5,7 @@
 //!
 //! Run with: `cargo run --example online_ranking`
 
-use audex::core::{AuditEngine, OnlineAuditor};
+use audex::core::{AuditEngine, AuditId, OnlineAuditor};
 use audex::sql::ast::{TimeInterval, TsSpec};
 use audex::sql::parse_audit;
 use audex::workload::paper::{paper_database, paper_now};
@@ -68,10 +68,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for s in &scores {
             println!(
                 "   audit#{}: fact coverage {:.2}, column coverage {:.2}, closeness {:.2}",
-                s.audit_idx, s.fact_coverage, s.column_coverage, s.closeness
+                s.audit, s.fact_coverage, s.column_coverage, s.closeness
             );
         }
-        for a in 0..online.audit_count() {
+        for a in online.ids() {
             if online.is_suspicious(a) {
                 println!(
                     "   !! audit#{a} batch degree now {:.2} — SUSPICIOUS (contributors {:?})",
@@ -87,9 +87,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // patient surfaced; the first needed the two complementary queries by
     // u-8 (q3 merely *witnessed* Lucy's tuple for audit 0 — it accessed no
     // audited column, so it is not listed as a contributor).
-    assert!(online.is_suspicious(0));
-    assert!(online.is_suspicious(1));
-    assert_eq!(online.contributing(0).len(), 2);
+    assert!(online.is_suspicious(AuditId(0)));
+    assert!(online.is_suspicious(AuditId(1)));
+    assert_eq!(online.contributing(AuditId(0)).len(), 2);
     println!("both audits converged to suspicious as expected.");
     Ok(())
 }

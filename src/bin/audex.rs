@@ -108,7 +108,7 @@ USAGE:
               [--max-granules <N>] [--threads <N>] [--metrics-every <N>]
               [--trace-out <FILE>] [--max-conns <N>] [--sub-queue <N>]
               [--conn-idle-ms <MS>] [--max-line-bytes <N>] [--drain-ms <MS>]
-              [--net-fault <SPEC>]...
+              [--net-fault <SPEC>]... [--scan-all-audits]
   audex send  --addr <ADDR> [--connect-retries <N>] [REQUEST...]
   audex recover --data-dir <DIR>   repair a crashed store and report its state
   audex compact --data-dir <DIR>   checkpoint + prune a store offline
@@ -141,7 +141,8 @@ OPTIONS:
   --no-static-filter   skip the static candidate analysis
   --granules N   also print the granule set G when it has at most N granules
   --stats        after the audit, print resource-governor progress (work
-                 steps) and the snapshot-cache hit statistics
+                 steps), the snapshot-cache hit statistics, and (with
+                 --data-dir) the dispatch-index counters from replay
   --threads N    worker threads for the evaluation phases (default: available
                  cores; 1 = sequential). Reports are identical at any setting.
 
@@ -176,6 +177,10 @@ SERVE / SEND (audexd, the streaming audit service):
   prints the responses; with a `subscribe` request it follows the event
   stream until the connection closes. --connect-retries N (default 5)
   retries the initial connect every 100 ms while the server is starting.
+  Registered (standing) audits are scored through a dispatch index that
+  prunes audits which provably cannot match an incoming query;
+  --scan-all-audits disables it (every audit evaluated on every query) as
+  the differential oracle for the indexed path.
 
 FRONT DOOR (TCP serve only; overload-safety knobs):
   --max-conns N      concurrent connection cap (default 1024). Accepts over
@@ -293,7 +298,7 @@ fn cmd_audit(args: &[String]) -> Result<(), String> {
     // A durable store captures the database *and* the log, so --data-dir
     // replaces both file flags; mixing them would be ambiguous about which
     // source wins.
-    let (db, log, store) = if let Some(dir) = data_dir {
+    let (db, log, store, dispatch) = if let Some(dir) = data_dir {
         if db_path.is_some() || log_path.is_some() {
             return Err("--data-dir is mutually exclusive with --db/--log".into());
         }
@@ -305,8 +310,12 @@ fn cmd_audit(args: &[String]) -> Result<(), String> {
             ServiceCore::recovered(&recovered, ServiceConfig::default())
                 .map_err(|e| format!("replaying {dir}: {e}"))?
         };
+        // Capture before the core is dismantled: replaying a store with
+        // standing audits routes every journaled query through the
+        // dispatch index, and --stats reports that work.
+        let dispatch = core.dispatch_stats();
         let (db, log) = core.into_parts();
-        (db, log, Some(recovered))
+        (db, log, Some(recovered), Some(dispatch))
     } else {
         let db_path = db_path.ok_or("--db is required (or --data-dir)")?;
         let log_path = log_path.ok_or("--log is required (or --data-dir)")?;
@@ -315,7 +324,7 @@ fn cmd_audit(args: &[String]) -> Result<(), String> {
             std::fs::read_to_string(&log_path).map_err(|e| format!("{log_path}: {e}"))?;
         let db = load_database_script(&db_text).map_err(|e| format!("{db_path}: {e}"))?;
         let log = load_log_script(&log_text).map_err(|e| format!("{log_path}: {e}"))?;
-        (db, log, None)
+        (db, log, None, None)
     };
     let expr = {
         let _span = tracer.span("parse");
@@ -396,6 +405,13 @@ fn cmd_audit(args: &[String]) -> Result<(), String> {
             snap.misses,
             db.snapshot_cache_len()
         );
+        if let Some(d) = &dispatch {
+            println!(
+                "dispatch index (recovery replay): {} probes, {} audits pruned, \
+                 {} shortlisted, {} rebuild(s)",
+                d.probes, d.pruned, d.shortlisted, d.rebuilds
+            );
+        }
         if let Some(recovered) = &store {
             // Read-only open: no Journal counters exist, so report the
             // store's shape from the recovery scan instead.
@@ -426,6 +442,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let mut trace_out: Option<String> = None;
     let mut limits = audex::core::ResourceLimits::unlimited();
     let mut threads: Option<usize> = None;
+    let mut scan_all_audits = false;
     let mut front = FrontDoorConfig::default();
     let mut front_tuned = false;
 
@@ -539,6 +556,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 }
                 threads = Some(n);
             }
+            "--scan-all-audits" => scan_all_audits = true,
             other => return Err(format!("unknown option {other:?}")),
         }
         i += 1;
@@ -565,6 +583,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         parallelism: threads.unwrap_or_else(audex::core::default_parallelism),
         checkpoint_every,
         metrics_every,
+        scan_all_audits,
         ..Default::default()
     };
 

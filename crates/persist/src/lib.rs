@@ -12,7 +12,11 @@
 //!   footprints, per-audit batch states), so recovery does not re-execute
 //!   every logged query's footprint;
 //! - **crash recovery** ([`journal`]) that tolerates a torn or truncated
-//!   tail: scan to the last valid record, truncate, continue.
+//!   tail: scan to the last valid record, truncate, continue;
+//! - the **multi-tenant layout contract** ([`tenants`]): the default
+//!   tenant's store stays at the data-dir root (no migration), named
+//!   tenants get independent stores under `tenants/<name>/`, and dropped
+//!   tenants are retired by rename, never deleted.
 //!
 //! The [`journal::Journal`] is the only handle the service needs: it is an
 //! [`audex_storage::ChangeSink`] and an [`audex_log::LogSink`], so once
@@ -32,6 +36,7 @@ pub mod codec;
 pub mod error;
 pub mod journal;
 pub mod record;
+pub mod tenants;
 pub mod wal;
 
 pub use checkpoint::{CheckpointState, CHECKPOINTS_KEPT};

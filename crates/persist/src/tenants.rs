@@ -1,0 +1,158 @@
+//! The on-disk layout contract for multi-tenant stores.
+//!
+//! A single-tenant store *is* a data directory: WAL segments and
+//! checkpoints live at its root, and that never changes — the default
+//! tenant of a fleet keeps journaling to `<data-dir>/` exactly as every
+//! pre-tenancy store did, so existing stores need no migration. Named
+//! tenants each get an independent store under
+//! `<data-dir>/tenants/<name>/`. The WAL scanner matches segment
+//! *filenames*, so the `tenants/` subtree is invisible to the root
+//! store's recovery and vice versa.
+//!
+//! Dropping a tenant never deletes audit data: the store directory is
+//! renamed to `<name>.dropped-<k>` (the first free `k`), which
+//! [`discover`] skips — the journal stays on disk for forensics but the
+//! tenant cannot silently resurrect at the next recovery.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The subdirectory of a data dir that holds named tenant stores.
+pub const TENANTS_SUBDIR: &str = "tenants";
+
+/// Marker infix of a retired tenant store directory; names containing it
+/// are rejected at creation and skipped at discovery.
+pub const DROPPED_INFIX: &str = ".dropped-";
+
+/// Validates a tenant name as a safe, portable path component: 1–64
+/// characters from `[A-Za-z0-9._-]`, not starting with `.` or `-`, and
+/// not claiming the retired-store namespace.
+pub fn valid_name(name: &str) -> Result<(), String> {
+    if name.is_empty() {
+        return Err("tenant name must not be empty".into());
+    }
+    if name.len() > 64 {
+        return Err(format!("tenant name {name:?} exceeds 64 characters"));
+    }
+    if name.starts_with('.') || name.starts_with('-') {
+        return Err(format!("tenant name {name:?} must not start with '.' or '-'"));
+    }
+    if let Some(bad) =
+        name.chars().find(|c| !(c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-')))
+    {
+        return Err(format!(
+            "tenant name {name:?} contains {bad:?}; allowed: letters, digits, '.', '_', '-'"
+        ));
+    }
+    if name.contains(DROPPED_INFIX) {
+        return Err(format!("tenant name {name:?} collides with the retired-store namespace"));
+    }
+    Ok(())
+}
+
+/// The store directory of a named tenant under `root`.
+pub fn tenant_dir(root: &Path, name: &str) -> PathBuf {
+    root.join(TENANTS_SUBDIR).join(name)
+}
+
+/// Enumerates the named tenant stores under `root`, sorted by name.
+/// Retired (`*.dropped-*`) directories, plain files, and directories
+/// whose names fail [`valid_name`] are skipped — a foreign directory
+/// someone drops into `tenants/` must not take down fleet recovery.
+pub fn discover(root: &Path) -> io::Result<Vec<(String, PathBuf)>> {
+    let dir = root.join(TENANTS_SUBDIR);
+    let mut found = Vec::new();
+    let entries = match std::fs::read_dir(&dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(found),
+        Err(e) => return Err(e),
+    };
+    for entry in entries {
+        let entry = entry?;
+        if !entry.file_type()?.is_dir() {
+            continue;
+        }
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if valid_name(name).is_err() {
+            continue;
+        }
+        found.push((name.to_string(), entry.path()));
+    }
+    found.sort();
+    Ok(found)
+}
+
+/// Retires a tenant's store directory by renaming it to the first free
+/// `<name>.dropped-<k>`; returns the new path. A tenant that never wrote
+/// anything has no directory — that's success, not an error.
+pub fn retire_dir(root: &Path, name: &str) -> io::Result<Option<PathBuf>> {
+    let dir = tenant_dir(root, name);
+    if !dir.exists() {
+        return Ok(None);
+    }
+    for k in 1u32.. {
+        let target = root.join(TENANTS_SUBDIR).join(format!("{name}{DROPPED_INFIX}{k}"));
+        if target.exists() {
+            continue;
+        }
+        std::fs::rename(&dir, &target)?;
+        return Ok(Some(target));
+    }
+    unreachable!("u32 retirement ordinals exhausted")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_vetted() {
+        assert!(valid_name("acme").is_ok());
+        assert!(valid_name("Mercy-West.2").is_ok());
+        assert!(valid_name("a_b-c.d").is_ok());
+        assert!(valid_name("").is_err());
+        assert!(valid_name(".hidden").is_err());
+        assert!(valid_name("-flag").is_err());
+        assert!(valid_name("a/b").is_err());
+        assert!(valid_name("a b").is_err());
+        assert!(valid_name("x.dropped-1").is_err());
+        assert!(valid_name(&"x".repeat(65)).is_err());
+    }
+
+    #[test]
+    fn discover_skips_retired_and_foreign_entries() {
+        let root = std::env::temp_dir().join(format!("audex-tenants-disc-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let tdir = root.join(TENANTS_SUBDIR);
+        std::fs::create_dir_all(tdir.join("beta")).unwrap();
+        std::fs::create_dir_all(tdir.join("alpha")).unwrap();
+        std::fs::create_dir_all(tdir.join("gone.dropped-1")).unwrap();
+        std::fs::create_dir_all(tdir.join(".hidden")).unwrap();
+        std::fs::write(tdir.join("not-a-dir"), b"x").unwrap();
+        let found = discover(&root).unwrap();
+        let names: Vec<&str> = found.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["alpha", "beta"]);
+        assert_eq!(found[0].1, tenant_dir(&root, "alpha"));
+
+        // Retiring renames out of discovery; a second drop of a recreated
+        // tenant picks the next ordinal instead of clobbering.
+        assert!(retire_dir(&root, "alpha").unwrap().is_some());
+        std::fs::create_dir_all(tdir.join("alpha")).unwrap();
+        let second = retire_dir(&root, "alpha").unwrap().unwrap();
+        assert!(second.file_name().unwrap().to_str().unwrap().ends_with(".dropped-2"));
+        assert!(retire_dir(&root, "alpha").unwrap().is_none());
+        let names: Vec<String> = discover(&root).unwrap().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, ["beta"]);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn missing_tenants_subdir_is_empty_not_an_error() {
+        let root = std::env::temp_dir().join(format!("audex-tenants-none-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(&root).unwrap();
+        assert!(discover(&root).unwrap().is_empty());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

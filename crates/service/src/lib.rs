@@ -18,6 +18,15 @@
 //!   [`audex_core::ResourceLimits`], and a tripped budget rejects the
 //!   request whole with `"busy":true` backpressure instead of degrading
 //!   the index,
+//! * [`tenant`] — multi-tenant sharding: a [`tenant::ShardMap`] of
+//!   org-scoped cores, each with its own database, log, audits, governor
+//!   and journal (`<data-dir>/tenants/<name>/`), so independent tenants
+//!   ingest, audit and checkpoint in parallel with **no shared lock on
+//!   the hot path**. Requests address a tenant with a `"tenant"` field
+//!   (absent ⇒ the default tenant — full wire compatibility);
+//!   `create-tenant` / `drop-tenant` / `list-tenants` manage the fleet,
+//!   and `stats`/`metrics`/`audit` accept `"all_tenants":true` for
+//!   snapshot-then-aggregate fan-outs that never block on a stuck shard,
 //! * [`server`] — stdin/stdout and TCP front ends (`audex serve`). The
 //!   TCP front door is overload-safe: per-connection handler threads
 //!   behind a hard cap (excess accepts shed with a structured error),
@@ -50,9 +59,14 @@ pub mod json;
 pub mod proto;
 pub mod server;
 pub mod state;
+pub mod tenant;
 
 pub use fault::NetFaultPlan;
 pub use json::Json;
-pub use proto::{parse_request, Request};
-pub use server::{serve_stdio, FrontDoorConfig, Server};
+pub use proto::{parse_envelope, parse_request, Envelope, Request};
+pub use server::{serve_fleet_stdio, serve_stdio, FrontDoorConfig, Server};
 pub use state::{journal_stats_fields, Outcome, ServiceConfig, ServiceCore, ServiceCounters};
+pub use tenant::{
+    render_tenant_table, FleetConfig, FleetRecovery, Routed, Shard, ShardMap, TenantId,
+    TenantRecovery, DEFAULT_TENANT,
+};

@@ -19,6 +19,29 @@
 //! {"cmd":"shutdown"}
 //! ```
 //!
+//! # Tenancy
+//!
+//! Every request may additionally carry a `"tenant"` field naming the
+//! org-scoped shard it addresses (see [`crate::tenant`]); requests without
+//! one go to the service's default tenant, which is what keeps every
+//! pre-tenancy client working unchanged. Tenant administration and
+//! fleet-wide operations are their own commands:
+//!
+//! ```text
+//! {"cmd":"log","tenant":"mercy-west","ts":200,"user":"u-4","role":"nurse","purpose":"treatment","sql":"SELECT ..."}
+//! {"cmd":"create-tenant","name":"mercy-west"}
+//! {"cmd":"drop-tenant","name":"mercy-west"}
+//! {"cmd":"list-tenants"}
+//! {"cmd":"audit","name":"fig4","all_tenants":true}
+//! {"cmd":"stats","all_tenants":true}
+//! {"cmd":"metrics","all_tenants":true}
+//! ```
+//!
+//! `"all_tenants":true` turns `audit`/`stats`/`metrics` into a fleet
+//! fan-out (per-tenant rows, one response line); on those three the
+//! `"tenant"` field is ignored. `subscribe` attaches the connection to the
+//! event stream of the tenant it names (default tenant when absent).
+//!
 //! # Responses and events
 //!
 //! Every request gets exactly one response line with an `"ok"` field.
@@ -31,6 +54,19 @@
 use audex_sql::Timestamp;
 
 use crate::json::Json;
+
+/// One parsed request line: the tenant it addresses (`None` = the default
+/// tenant) plus the request itself. The tenant rides outside [`Request`]
+/// so the per-shard state machine stays tenant-blind — a shard handles
+/// exactly what a single-tenant service would.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    /// The `"tenant"` field, if the line carried one (unvalidated text;
+    /// the shard map validates and resolves it).
+    pub tenant: Option<String>,
+    /// The request proper.
+    pub req: Request,
+}
 
 /// A parsed protocol request.
 #[derive(Debug, Clone, PartialEq)]
@@ -85,6 +121,27 @@ pub enum Request {
     Metrics,
     /// Stop the service.
     Shutdown,
+    /// Create a new tenant shard (fleet control plane).
+    CreateTenant {
+        /// Tenant name; becomes the `tenants/<name>/` journal directory.
+        name: String,
+    },
+    /// Detach a tenant shard and retire its journal directory.
+    DropTenant {
+        /// The tenant to drop.
+        name: String,
+    },
+    /// Enumerate tenant shards with per-shard summaries.
+    ListTenants,
+    /// `stats` fanned out across every tenant shard.
+    StatsAll,
+    /// `metrics` aggregated across every tenant shard.
+    MetricsAll,
+    /// Evaluate one named standing audit on every tenant that has it.
+    AuditAll {
+        /// The audit name to look up per tenant.
+        name: String,
+    },
 }
 
 impl Request {
@@ -101,12 +158,39 @@ impl Request {
             Request::Stats => "stats",
             Request::Metrics => "metrics",
             Request::Shutdown => "shutdown",
+            Request::CreateTenant { .. } => "create-tenant",
+            Request::DropTenant { .. } => "drop-tenant",
+            Request::ListTenants => "list-tenants",
+            Request::StatsAll => "stats-all",
+            Request::MetricsAll => "metrics-all",
+            Request::AuditAll { .. } => "audit-all",
         }
+    }
+
+    /// True for the fleet-scoped commands a single-tenant
+    /// [`crate::ServiceCore`] cannot answer by itself.
+    pub fn is_fleet_op(&self) -> bool {
+        matches!(
+            self,
+            Request::CreateTenant { .. }
+                | Request::DropTenant { .. }
+                | Request::ListTenants
+                | Request::StatsAll
+                | Request::MetricsAll
+                | Request::AuditAll { .. }
+        )
     }
 }
 
-/// Parses one request line.
+/// Parses one request line, ignoring any tenant addressing. Single-tenant
+/// embedders (and most tests) use this; transports that route between
+/// shards use [`parse_envelope`].
 pub fn parse_request(line: &str) -> Result<Request, String> {
+    parse_envelope(line).map(|env| env.req)
+}
+
+/// Parses one request line into its tenant address and request.
+pub fn parse_envelope(line: &str) -> Result<Envelope, String> {
     let v = Json::parse(line)?;
     let cmd =
         v.get("cmd").and_then(Json::as_str).ok_or_else(|| "missing \"cmd\" field".to_string())?;
@@ -116,31 +200,48 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             .map(str::to_string)
             .ok_or_else(|| format!("{cmd}: missing string field {key:?}"))
     };
-    match cmd {
-        "dml" => Ok(Request::Dml { ts: need_ts(&v, "ts")?, sql: need("sql")? }),
-        "log" => Ok(Request::Log {
+    let tenant = match v.get("tenant") {
+        None | Some(Json::Null) => None,
+        Some(Json::Str(s)) => Some(s.clone()),
+        Some(_) => return Err(format!("{cmd}: \"tenant\" must be a string")),
+    };
+    let all_tenants = match v.get("all_tenants") {
+        None | Some(Json::Null) | Some(Json::Bool(false)) => false,
+        Some(Json::Bool(true)) => true,
+        Some(_) => return Err(format!("{cmd}: \"all_tenants\" must be a boolean")),
+    };
+    let req = match cmd {
+        "dml" => Request::Dml { ts: need_ts(&v, "ts")?, sql: need("sql")? },
+        "log" => Request::Log {
             ts: need_ts(&v, "ts")?,
             user: need("user")?,
             role: need("role")?,
             purpose: need("purpose")?,
             sql: need("sql")?,
-        }),
-        "register" => Ok(Request::Register {
+        },
+        "register" => Request::Register {
             name: need("name")?,
             expr: need("expr")?,
             now: match v.get("now") {
                 None | Some(Json::Null) => None,
                 Some(_) => Some(need_ts(&v, "now")?),
             },
-        }),
-        "unregister" => Ok(Request::Unregister { name: need("name")? }),
-        "audit" => Ok(Request::Audit { name: need("name")? }),
-        "subscribe" => Ok(Request::Subscribe),
-        "stats" => Ok(Request::Stats),
-        "metrics" => Ok(Request::Metrics),
-        "shutdown" => Ok(Request::Shutdown),
-        other => Err(format!("unknown command {other:?}")),
-    }
+        },
+        "unregister" => Request::Unregister { name: need("name")? },
+        "audit" if all_tenants => Request::AuditAll { name: need("name")? },
+        "audit" => Request::Audit { name: need("name")? },
+        "subscribe" => Request::Subscribe,
+        "stats" if all_tenants => Request::StatsAll,
+        "stats" => Request::Stats,
+        "metrics" if all_tenants => Request::MetricsAll,
+        "metrics" => Request::Metrics,
+        "shutdown" => Request::Shutdown,
+        "create-tenant" => Request::CreateTenant { name: need("name")? },
+        "drop-tenant" => Request::DropTenant { name: need("name")? },
+        "list-tenants" => Request::ListTenants,
+        other => return Err(format!("unknown command {other:?}")),
+    };
+    Ok(Envelope { tenant, req })
 }
 
 /// Reads a timestamp field: raw seconds, or any string form the session
@@ -188,6 +289,51 @@ mod tests {
         assert_eq!(Request::Metrics.cmd_name(), "metrics");
         assert_eq!(parse_request(r#"{"cmd":"subscribe"}"#).unwrap(), Request::Subscribe);
         assert_eq!(parse_request(r#"{"cmd":"shutdown"}"#).unwrap(), Request::Shutdown);
+    }
+
+    #[test]
+    fn envelopes_carry_tenant_and_fleet_flags() {
+        let env = parse_envelope(r#"{"cmd":"stats","tenant":"acme"}"#).unwrap();
+        assert_eq!(env.tenant.as_deref(), Some("acme"));
+        assert_eq!(env.req, Request::Stats);
+        // Absent / null tenant means the default shard.
+        assert_eq!(parse_envelope(r#"{"cmd":"stats"}"#).unwrap().tenant, None);
+        assert_eq!(parse_envelope(r#"{"cmd":"stats","tenant":null}"#).unwrap().tenant, None);
+        // all_tenants lifts audit/stats/metrics to their fleet forms.
+        assert_eq!(
+            parse_envelope(r#"{"cmd":"audit","name":"a","all_tenants":true}"#).unwrap().req,
+            Request::AuditAll { name: "a".into() }
+        );
+        assert_eq!(
+            parse_envelope(r#"{"cmd":"stats","all_tenants":true}"#).unwrap().req,
+            Request::StatsAll
+        );
+        assert_eq!(
+            parse_envelope(r#"{"cmd":"metrics","all_tenants":true}"#).unwrap().req,
+            Request::MetricsAll
+        );
+        assert_eq!(
+            parse_envelope(r#"{"cmd":"metrics","all_tenants":false}"#).unwrap().req,
+            Request::Metrics
+        );
+        // Tenant administration commands.
+        assert_eq!(
+            parse_envelope(r#"{"cmd":"create-tenant","name":"acme"}"#).unwrap().req,
+            Request::CreateTenant { name: "acme".into() }
+        );
+        assert_eq!(
+            parse_envelope(r#"{"cmd":"drop-tenant","name":"acme"}"#).unwrap().req,
+            Request::DropTenant { name: "acme".into() }
+        );
+        assert_eq!(parse_envelope(r#"{"cmd":"list-tenants"}"#).unwrap().req, Request::ListTenants);
+        assert!(Request::ListTenants.is_fleet_op());
+        assert!(!Request::Stats.is_fleet_op());
+        assert_eq!(Request::StatsAll.cmd_name(), "stats-all");
+        // Malformed addressing is rejected with the offending field named.
+        assert!(parse_envelope(r#"{"cmd":"stats","tenant":7}"#).unwrap_err().contains("tenant"));
+        assert!(parse_envelope(r#"{"cmd":"stats","all_tenants":"yes"}"#)
+            .unwrap_err()
+            .contains("all_tenants"));
     }
 
     #[test]

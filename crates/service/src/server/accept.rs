@@ -9,28 +9,31 @@
 //!
 //! The drain (a `shutdown` request or, via [`Server::run_watching`], a
 //! SIGTERM observed by the binary) runs in strict order to guarantee a
-//! clean WAL tail: stop accepting → unwedge blocked readers by shutting
-//! their read halves → wait (bounded) for handler threads to finish →
-//! take and hold the core lock → flush subscriber queues with the same
-//! deadline → fsync the journal → exit. The conn loop re-checks the stop
-//! flag after acquiring the core lock, so no straggler can append to the
-//! journal once the drain owns it.
+//! clean WAL tail on every tenant: stop accepting → freeze the fleet's
+//! control plane → unwedge blocked readers by shutting their read halves
+//! → wait (bounded) for handler threads to finish → take and hold every
+//! shard lock (in name order — the only multi-shard lock hold in the
+//! system) → flush subscriber queues with the same deadline → fsync every
+//! tenant's journal → exit. The conn loop re-checks the stop flag after
+//! acquiring its shard lock, so no straggler can append to a journal
+//! once the drain owns it.
 
 use std::io::{self, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use super::broadcast::SubscriberHub;
 use super::{conn, protocol_error, FrontDoorConfig, FrontMetrics};
 use crate::fault::NetStream;
 use crate::state::ServiceCore;
+use crate::tenant::ShardMap;
 
 /// State shared by the acceptor, every connection handler, and the
 /// subscriber writer threads.
 pub(crate) struct Shared {
-    core: Mutex<ServiceCore>,
+    pub(crate) fleet: ShardMap,
     pub(crate) hub: SubscriberHub,
     pub(crate) stop: AtomicBool,
     pub(crate) cfg: FrontDoorConfig,
@@ -42,12 +45,6 @@ pub(crate) struct Shared {
 }
 
 impl Shared {
-    pub(crate) fn lock_core(&self) -> MutexGuard<'_, ServiceCore> {
-        // A handler panicking mid-request cannot leave the core with broken
-        // invariants worse than a dropped request; keep serving.
-        self.core.lock().unwrap_or_else(PoisonError::into_inner)
-    }
-
     /// Flags the server to drain; the acceptor notices within one poll.
     pub(crate) fn request_stop(&self) {
         self.stop.store(true, Ordering::SeqCst);
@@ -79,16 +76,23 @@ pub struct Server {
 }
 
 impl Server {
-    /// Binds the listener with default front-door tuning; the service
-    /// starts on [`Server::run`].
+    /// Binds the listener with default front-door tuning around a
+    /// single-tenant core; the service starts on [`Server::run`].
     pub fn bind(core: ServiceCore, addr: &str) -> io::Result<Server> {
         Server::bind_with(core, addr, FrontDoorConfig::default())
     }
 
-    /// Binds the listener with explicit front-door tuning.
+    /// Binds the listener with explicit front-door tuning around a
+    /// single-tenant core (wrapped as the fleet's default tenant).
     pub fn bind_with(core: ServiceCore, addr: &str, cfg: FrontDoorConfig) -> io::Result<Server> {
+        Server::bind_fleet(ShardMap::single(core), addr, cfg)
+    }
+
+    /// Binds the listener in front of a tenant fleet. The front-door
+    /// metric series live in the fleet registry (the default shard's).
+    pub fn bind_fleet(fleet: ShardMap, addr: &str, cfg: FrontDoorConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
-        let metrics = FrontMetrics::new(&core.registry());
+        let metrics = FrontMetrics::new(&fleet.registry());
         let hub = SubscriberHub::new(
             cfg.sub_queue,
             cfg.write_timeout,
@@ -99,7 +103,7 @@ impl Server {
         Ok(Server {
             listener,
             shared: Arc::new(Shared {
-                core: Mutex::new(core),
+                fleet,
                 hub,
                 stop: AtomicBool::new(false),
                 cfg,
@@ -182,6 +186,9 @@ impl Server {
     /// The graceful drain; see the module docs for the ordering argument.
     fn drain(&self) {
         let deadline = Instant::now() + self.shared.cfg.drain;
+        // No shard may be created or dropped once the drain starts: the
+        // lock set collected below must be the whole fleet.
+        self.shared.fleet.freeze();
         {
             let conns = self.shared.conns.lock().unwrap_or_else(PoisonError::into_inner);
             for (_, stream) in conns.iter() {
@@ -191,15 +198,19 @@ impl Server {
         while self.shared.conn_count.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
             std::thread::sleep(Duration::from_millis(2));
         }
-        // Hold the core lock across flush + fsync: together with the conn
-        // loop's stop re-check this guarantees no append races the final
-        // sync, so the WAL tail is clean on exit.
-        let core = self.shared.lock_core();
+        // Hold every shard lock (name order; the frozen fleet cannot grow)
+        // across flush + fsync: together with the conn loop's stop
+        // re-check this guarantees no append races the final sync, so
+        // every tenant's WAL tail is clean on exit.
+        let shards = self.shared.fleet.shards();
+        let guards: Vec<_> = shards.iter().map(|s| s.lock()).collect();
         self.shared.hub.drain(deadline.max(Instant::now() + Duration::from_millis(50)));
-        if let Some(journal) = core.journal() {
-            let _ = journal.sync();
+        for core in &guards {
+            if let Some(journal) = core.journal() {
+                let _ = journal.sync();
+            }
         }
-        drop(core);
+        drop(guards);
     }
 }
 

@@ -28,6 +28,7 @@ use audex_obs::{Counter, Gauge};
 
 use crate::fault::NetStream;
 use crate::json::Json;
+use crate::tenant::TenantId;
 
 /// What a subscriber's writer thread receives: an event/response line to
 /// deliver, or the drain sentinel asking it to flush and exit.
@@ -60,6 +61,9 @@ struct HubCounters {
 pub(crate) struct SubSlot {
     tx: SyncSender<Msg>,
     stream: NetStream,
+    /// The tenant this subscriber listens to; publishes from other
+    /// tenants' shards never reach it (cross-tenant isolation).
+    tenant: TenantId,
     /// CAS target: first mover retires the slot and does the accounting.
     gone: AtomicBool,
     /// Set by the writer thread on exit; the drain polls it.
@@ -122,17 +126,22 @@ impl SubscriberHub {
         self.subs.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
-    /// Attaches a subscriber: bounds its queue, spawns its writer thread,
-    /// and returns the slot the owning connection routes lines through.
-    /// Call under the core lock so the subscription is ordered against
-    /// concurrent publishes.
-    pub(crate) fn attach(&self, stream: NetStream) -> std::io::Result<Arc<SubSlot>> {
+    /// Attaches a subscriber to one tenant's event stream: bounds its
+    /// queue, spawns its writer thread, and returns the slot the owning
+    /// connection routes lines through. Call under that tenant's shard
+    /// lock so the subscription is ordered against concurrent publishes.
+    pub(crate) fn attach(
+        &self,
+        stream: NetStream,
+        tenant: TenantId,
+    ) -> std::io::Result<Arc<SubSlot>> {
         let writer = stream.try_clone()?;
         writer.set_write_timeout(Some(self.write_timeout))?;
         let (tx, rx) = std::sync::mpsc::sync_channel(self.queue_depth);
         let slot = Arc::new(SubSlot {
             tx,
             stream,
+            tenant,
             gone: AtomicBool::new(false),
             done: AtomicBool::new(false),
         });
@@ -154,21 +163,23 @@ impl SubscriberHub {
         self.offer(slot, Arc::from(line.to_string().as_str()))
     }
 
-    /// Fans events out to every live subscriber. Each line is rendered
-    /// once and `try_send`-ed; full queues evict. Call under the core
-    /// lock — that lock, not the hub, is what sequences events.
-    pub(crate) fn publish(&self, events: &[Json]) {
+    /// Fans events out to every live subscriber **of the publishing
+    /// tenant** — slots attached to other tenants never see them. Each
+    /// line is rendered once and `try_send`-ed; full queues evict. Call
+    /// under the publishing shard's lock — that lock, not the hub, is
+    /// what sequences one tenant's events.
+    pub(crate) fn publish(&self, tenant: &TenantId, events: &[Json]) {
         if events.is_empty() {
             return;
         }
         let mut subs = self.lock_subs();
         subs.retain(|s| !s.is_gone());
-        if subs.is_empty() {
+        if subs.iter().all(|s| s.tenant != *tenant) {
             return;
         }
         for event in events {
             let line: Arc<str> = Arc::from(event.to_string().as_str());
-            for slot in subs.iter() {
+            for slot in subs.iter().filter(|s| s.tenant == *tenant) {
                 self.offer(slot, Arc::clone(&line));
             }
         }

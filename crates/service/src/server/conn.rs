@@ -12,8 +12,9 @@ use super::accept::Shared;
 use super::broadcast::{Retire, SubSlot};
 use super::protocol_error;
 use crate::fault::NetStream;
-use crate::proto::{parse_request, Request};
+use crate::proto::{parse_envelope, Request};
 use crate::state::Outcome;
+use crate::tenant::Routed;
 
 /// One framing step's result.
 enum Frame {
@@ -140,46 +141,58 @@ pub(crate) fn serve_connection(shared: &Arc<Shared>, stream: NetStream) -> io::R
         if trimmed.is_empty() {
             continue;
         }
-        match parse_request(trimmed) {
+        match parse_envelope(trimmed) {
             Err(e) => {
                 shared.metrics.frames_malformed.inc();
                 respond(&mut writer, &slot, protocol_error(e))?;
             }
-            Ok(req) => {
-                let wants_sub = req == Request::Subscribe && slot.is_none();
-                let mut core = shared.lock_core();
-                // Re-check under the lock: once the drain owns the core,
-                // no straggler may touch the journal behind its back.
-                if shared.stop.load(Ordering::SeqCst) {
-                    drop(core);
-                    let _ = respond(&mut writer, &slot, protocol_error("shutting down".into()));
-                    break;
+            Ok(env) => match shared.fleet.route(env.tenant.as_deref(), env.req) {
+                Routed::Reply(response) => {
+                    respond(&mut writer, &slot, response)?;
                 }
-                let Outcome { response, events, shutdown } = core.handle(req);
-                if wants_sub {
-                    if let Ok(sub_stream) = writer.try_clone() {
-                        if let Ok(new_slot) = shared.hub.attach(sub_stream) {
-                            slot = Some(new_slot);
-                        }
-                    }
-                }
-                // Under the lock: the subscriber's own response first,
-                // then the fan-out, so its queue sees response → events
-                // in ingestion order.
-                if let Some(slot) = &slot {
-                    shared.hub.send_to(slot, &response);
-                }
-                shared.hub.publish(&events);
-                drop(core);
-                if slot.is_none() {
-                    writeln!(writer, "{response}")?;
-                    writer.flush()?;
-                }
-                if shutdown {
+                Routed::Shutdown(response) => {
+                    respond(&mut writer, &slot, response)?;
                     shared.request_stop();
                     break;
                 }
-            }
+                Routed::Shard(shard, req) => {
+                    let wants_sub = req == Request::Subscribe && slot.is_none();
+                    let mut core = shard.lock();
+                    // Re-check under the lock: once the drain owns the
+                    // shards, no straggler may touch a journal behind its
+                    // back.
+                    if shared.stop.load(Ordering::SeqCst) {
+                        drop(core);
+                        let _ = respond(&mut writer, &slot, protocol_error("shutting down".into()));
+                        break;
+                    }
+                    let Outcome { response, events, shutdown } = core.handle(req);
+                    if wants_sub {
+                        if let Ok(sub_stream) = writer.try_clone() {
+                            if let Ok(new_slot) = shared.hub.attach(sub_stream, shard.id().clone())
+                            {
+                                slot = Some(new_slot);
+                            }
+                        }
+                    }
+                    // Under the shard lock: the subscriber's own response
+                    // first, then the fan-out, so its queue sees
+                    // response → events in ingestion order.
+                    if let Some(slot) = &slot {
+                        shared.hub.send_to(slot, &response);
+                    }
+                    shared.hub.publish(shard.id(), &events);
+                    drop(core);
+                    if slot.is_none() {
+                        writeln!(writer, "{response}")?;
+                        writer.flush()?;
+                    }
+                    if shutdown {
+                        shared.request_stop();
+                        break;
+                    }
+                }
+            },
         }
     }
     if let Some(slot) = &slot {

@@ -42,8 +42,9 @@ use audex_obs::{Counter, Gauge, Registry};
 
 use crate::fault::NetFaultPlan;
 use crate::json::{obj, Json};
-use crate::proto::{parse_request, Request};
+use crate::proto::{parse_envelope, Request};
 use crate::state::{Outcome, ServiceCore};
+use crate::tenant::{Routed, ShardMap, TenantId};
 
 pub use accept::Server;
 
@@ -184,35 +185,55 @@ pub(crate) fn protocol_error(message: String) -> Json {
 }
 
 /// Serves one session over stdin/stdout: the `audex serve --stdio` mode,
-/// also the harness the end-to-end tests drive as a child process. Returns
-/// when stdin closes or a `shutdown` request arrives. Single-connection by
+/// also the harness the end-to-end tests drive as a child process. Wraps
+/// the core as a single-tenant fleet — the wire behaviour is unchanged.
+/// Returns when stdin closes or a `shutdown` request arrives.
+pub fn serve_stdio(core: ServiceCore) -> io::Result<()> {
+    serve_fleet_stdio(&ShardMap::single(core))
+}
+
+/// Serves a whole tenant fleet over stdin/stdout. One session can
+/// subscribe to at most one tenant (the one its `subscribe` addressed);
+/// only that shard's events are printed. Single-connection by
 /// construction, so the TCP front door's caps and queues don't apply;
 /// drain here is simply EOF.
-pub fn serve_stdio(mut core: ServiceCore) -> io::Result<()> {
+pub fn serve_fleet_stdio(fleet: &ShardMap) -> io::Result<()> {
     let stdin = io::stdin();
     let stdout = io::stdout();
     let mut out = stdout.lock();
-    let mut subscribed = false;
+    let mut subscribed_to: Option<TenantId> = None;
     for line in stdin.lock().lines() {
         let line = line?;
         let trimmed = line.trim();
         if trimmed.is_empty() {
             continue;
         }
-        let (response, events, stop) = match parse_request(trimmed) {
-            Err(e) => (protocol_error(e), Vec::new(), false),
-            Ok(req) => {
-                let is_sub = req == Request::Subscribe;
-                let Outcome { response, events, shutdown } = core.handle(req);
-                subscribed |= is_sub;
-                (response, events, shutdown)
-            }
+        let mut stop = false;
+        let (response, events) = match parse_envelope(trimmed) {
+            Err(e) => (protocol_error(e), Vec::new()),
+            Ok(env) => match fleet.route(env.tenant.as_deref(), env.req) {
+                Routed::Reply(response) => (response, Vec::new()),
+                Routed::Shutdown(response) => {
+                    stop = true;
+                    (response, Vec::new())
+                }
+                Routed::Shard(shard, req) => {
+                    let wants_sub = req == Request::Subscribe && subscribed_to.is_none();
+                    let mut core = shard.lock();
+                    let Outcome { response, events, shutdown } = core.handle(req);
+                    drop(core);
+                    stop = shutdown;
+                    if wants_sub {
+                        subscribed_to = Some(shard.id().clone());
+                    }
+                    let audible = subscribed_to.as_ref() == Some(shard.id());
+                    (response, if audible { events } else { Vec::new() })
+                }
+            },
         };
         writeln!(out, "{response}")?;
-        if subscribed {
-            for e in events {
-                writeln!(out, "{e}")?;
-            }
+        for e in events {
+            writeln!(out, "{e}")?;
         }
         out.flush()?;
         if stop {

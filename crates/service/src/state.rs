@@ -172,6 +172,11 @@ pub struct ServiceCore {
     /// Per-instance metrics registry (not process-global, so concurrent
     /// services — and tests — never share counters).
     registry: Arc<Registry>,
+    /// Where the front-door counters live. Defaults to this core's own
+    /// registry; a multi-tenant fleet points every shard at the shared
+    /// fleet registry so each tenant's `stats` shows the one real front
+    /// door instead of ten zeros.
+    front_registry: Arc<Registry>,
     tracer: Arc<Tracer>,
     metrics: CoreMetrics,
     engine_obs: EngineObs,
@@ -205,6 +210,7 @@ impl ServiceCore {
             registered: Vec::new(),
             config,
             journal: None,
+            front_registry: Arc::clone(&registry),
             registry,
             tracer,
             metrics,
@@ -212,10 +218,22 @@ impl ServiceCore {
         }
     }
 
+    /// Points the front-door fields of `stats` at a shared registry (the
+    /// fleet registry, for tenant shards that don't own the TCP listener).
+    pub fn set_front_registry(&mut self, registry: Arc<Registry>) {
+        self.front_registry = registry;
+    }
+
     /// The service's metrics registry (for exposition outside the request
     /// path — e.g. a final scrape at shutdown).
     pub fn registry(&self) -> Arc<Registry> {
         Arc::clone(&self.registry)
+    }
+
+    /// The configuration this core was built with (tenant shards are
+    /// spawned with the same knobs as the default core).
+    pub fn config(&self) -> ServiceConfig {
+        self.config
     }
 
     /// Attaches a phase tracer: pipeline spans (target-view, index-audit,
@@ -271,6 +289,18 @@ impl ServiceCore {
     /// The attached journal, if the service is durable.
     pub fn journal(&self) -> Option<&Arc<Journal>> {
         self.journal.as_ref()
+    }
+
+    /// How many standing audits are currently registered (`list-tenants`
+    /// summaries).
+    pub fn registered_audits(&self) -> usize {
+        self.registered.len()
+    }
+
+    /// Whether a standing audit is registered under `name` (the fleet's
+    /// `audit --all-tenants` fan-out skips tenants without it).
+    pub fn has_audit(&self, name: &str) -> bool {
+        self.registered.iter().any(|r| r.name == name)
     }
 
     /// Dispatch-index counters accumulated so far (probes, prunes,
@@ -490,6 +520,23 @@ impl ServiceCore {
                     shutdown: true,
                 }
             }
+            // Fleet-scoped commands need the shard map; a bare single-tenant
+            // core (stdio embedders, tests) answers with a structured error
+            // rather than counting it as a rejected *ingest*.
+            other if other.is_fleet_op() => Outcome::reply(obj([
+                ("ok", Json::Bool(false)),
+                (
+                    "error",
+                    Json::Str(format!(
+                        "{}: tenant operations need a multi-tenant service",
+                        other.cmd_name()
+                    )),
+                ),
+            ])),
+            other => Outcome::reply(obj([
+                ("ok", Json::Bool(false)),
+                ("error", Json::Str(format!("unhandled command {:?}", other.cmd_name()))),
+            ])),
         };
         self.maybe_auto_checkpoint();
         let elapsed = started.elapsed();
@@ -838,8 +885,10 @@ impl ServiceCore {
             fields.extend(journal_stats_fields(&jc));
         }
         // Registry handles are get-or-create, so these are the same cells
-        // the TCP front door counts into (all zero under --stdio).
-        let fm = crate::server::FrontMetrics::new(&self.registry);
+        // the TCP front door counts into (all zero under --stdio). In a
+        // fleet this is the shared fleet registry — one front door serves
+        // every tenant.
+        let fm = crate::server::FrontMetrics::new(&self.front_registry);
         fields.extend(
             [
                 ("connections", fm.connections.get()),

@@ -6,6 +6,8 @@
 //! audex serve --stdio --db db.sql              # audexd over stdin/stdout
 //! audex serve --listen 127.0.0.1:7007          # audexd over TCP
 //! audex send --addr 127.0.0.1:7007 '{"cmd":"stats"}'
+//! audex send --addr 127.0.0.1:7007 '{"cmd":"create-tenant","name":"acme"}'
+//! audex send --addr 127.0.0.1:7007 --tenant acme '{"cmd":"stats"}'
 //! audex paper        # regenerate the paper's granule sets
 //! audex demo         # synthetic hospital + planted snooping, end to end
 //! audex help
@@ -17,10 +19,12 @@
 use audex::core::{AuditEngine, AuditMode, EngineObs, EngineOptions, Governor};
 use audex::obs::{Registry, Tracer};
 use audex::persist::{FsyncPolicy, Journal, Recovered, WalOptions};
-use audex::service::{FrontDoorConfig, ServiceConfig, ServiceCore};
+use audex::service::{
+    FleetConfig, FleetRecovery, FrontDoorConfig, ServiceConfig, ServiceCore, ShardMap,
+};
 use audex::session::{load_database_script, load_log_script};
 use audex::Timestamp;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::Arc;
 
@@ -103,15 +107,18 @@ USAGE:
               [--max-steps <N>] [--max-granules <N>] [--threads <N>]
               [--trace-out <FILE>]
   audex serve (--stdio | --listen <ADDR>) [--db <FILE>] [--log <FILE>]
-              [--data-dir <DIR>] [--fsync always|batch|never]
+              [--data-dir <DIR>] [--default-tenant <NAME>]
+              [--fsync always|batch|never]
               [--checkpoint-every <N>] [--deadline-ms <MS>] [--max-steps <N>]
               [--max-granules <N>] [--threads <N>] [--metrics-every <N>]
               [--trace-out <FILE>] [--max-conns <N>] [--sub-queue <N>]
               [--conn-idle-ms <MS>] [--max-line-bytes <N>] [--drain-ms <MS>]
               [--net-fault <SPEC>]... [--scan-all-audits]
-  audex send  --addr <ADDR> [--connect-retries <N>] [REQUEST...]
-  audex recover --data-dir <DIR>   repair a crashed store and report its state
+  audex send  --addr <ADDR> [--tenant <NAME>] [--connect-retries <N>]
+              [REQUEST...]
+  audex recover --data-dir <DIR>   repair a crashed store (all tenants)
   audex compact --data-dir <DIR>   checkpoint + prune a store offline
+                                   (all tenants)
   audex paper     regenerate the paper's worked artifacts (Figs. 4-6)
   audex demo      synthetic hospital with planted snooping, audited end to end
   audex help      this text
@@ -169,7 +176,7 @@ SERVE / SEND (audexd, the streaming audit service):
   audex serve speaks a line-delimited JSON protocol: one request object per
   line, one response line back, plus event lines after `subscribe`. Commands:
   dml, log, register, unregister, audit, subscribe, stats, metrics,
-  shutdown — see
+  create-tenant, drop-tenant, list-tenants, shutdown — see
   the audex::service::proto module docs for the wire format. `--db`/`--log`
   preload a session-script database and query log (the log is folded into
   the incremental touch index exactly as if streamed). `audex send` posts
@@ -181,6 +188,29 @@ SERVE / SEND (audexd, the streaming audit service):
   prunes audits which provably cannot match an incoming query;
   --scan-all-audits disables it (every audit evaluated on every query) as
   the differential oracle for the indexed path.
+
+TENANCY (multi-tenant audexd; org-scoped shards):
+  One daemon serves many isolated tenants. Each tenant owns an independent
+  database, query log, standing audits, governor and (with --data-dir)
+  journal under DIR/tenants/<NAME>/, so tenants ingest, audit and
+  checkpoint in parallel with no shared lock on the hot path. Requests
+  address a tenant with a \"tenant\" field; without one they go to the
+  default tenant, which keeps the pre-tenancy layout (DIR root) and wire
+  behaviour — existing clients and stores work unchanged.
+  --default-tenant NAME  (serve) rename the default tenant (default:
+                         \"default\")
+  --tenant NAME          (send) stamp \"tenant\":NAME into every request
+                         line that doesn't already address one
+  {\"cmd\":\"create-tenant\",\"name\":N}  make a tenant (and its store)
+  {\"cmd\":\"drop-tenant\",\"name\":N}    detach it; its store directory is
+                                      retired by rename, never deleted
+  {\"cmd\":\"list-tenants\"}             per-tenant summary rows (rendered
+                                      as a table on a terminal)
+  stats/metrics/audit take \"all_tenants\":true for fleet-wide fan-outs:
+  stats and metrics snapshot one shard at a time (a stuck tenant shows as
+  busy instead of blocking the rest); audit evaluates one standing audit
+  on every tenant that registered it, in parallel. A tenant whose store
+  fails recovery is reported as degraded and skipped, never fatal.
 
 FRONT DOOR (TCP serve only; overload-safety knobs):
   --max-conns N      concurrent connection cap (default 1024). Accepts over
@@ -436,6 +466,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let mut db_path: Option<String> = None;
     let mut log_path: Option<String> = None;
     let mut data_dir: Option<String> = None;
+    let mut default_tenant: Option<String> = None;
     let mut fsync = FsyncPolicy::Batch;
     let mut checkpoint_every: Option<u64> = None;
     let mut metrics_every: Option<u64> = None;
@@ -506,6 +537,9 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             "--db" => db_path = Some(take_value(args, &mut i, "--db")?),
             "--log" => log_path = Some(take_value(args, &mut i, "--log")?),
             "--data-dir" => data_dir = Some(take_value(args, &mut i, "--data-dir")?),
+            "--default-tenant" => {
+                default_tenant = Some(take_value(args, &mut i, "--default-tenant")?)
+            }
             "--fsync" => {
                 let text = take_value(args, &mut i, "--fsync")?;
                 fsync = text.parse()?;
@@ -587,16 +621,22 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         ..Default::default()
     };
 
-    let mut core = if let Some(dir) = data_dir {
-        let options = WalOptions { fsync, ..Default::default() };
-        let (journal, recovered) = Journal::open(Path::new(&dir), options)
-            .map_err(|e| format!("opening durable store {dir}: {e}"))?;
+    let default_tenant =
+        default_tenant.unwrap_or_else(|| audex::service::DEFAULT_TENANT.to_string());
+    let fleet = if let Some(dir) = data_dir {
+        // A durable fleet: the default tenant recovers from the data-dir
+        // root (exactly the pre-tenancy layout), every `tenants/<name>/`
+        // store is reopened alongside it, and a corrupt named tenant is
+        // reported as degraded instead of failing the fleet.
+        let (fleet, recovery) = ShardMap::open(&FleetConfig {
+            service: config,
+            default_tenant,
+            data_dir: PathBuf::from(&dir),
+            wal: WalOptions { fsync, ..Default::default() },
+        })?;
         // Stderr, like the listening banner: protocol output stays clean.
-        report_recovery(&dir, &recovered);
-        let mut core = ServiceCore::recovered(&recovered, config)
-            .map_err(|e| format!("recovering service state from {dir}: {e}"))?;
-        core.attach_journal(journal);
-        core
+        report_fleet_recovery(&dir, &recovery);
+        fleet
     } else {
         let db = match db_path {
             Some(path) => {
@@ -605,7 +645,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             }
             None => audex::Database::new(),
         };
-        match log_path {
+        let core = match log_path {
             Some(path) => {
                 let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
                 let log = load_log_script(&text).map_err(|e| format!("{path}: {e}"))?;
@@ -613,29 +653,34 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                     .map_err(|e| format!("preloading the index from {path}: {e}"))?
             }
             None => ServiceCore::new(db, config),
-        }
+        };
+        ShardMap::with_default(core, &default_tenant)?
     };
 
-    // The tracer outlives the core (which serve consumes): holding our own
+    // The tracer outlives the fleet (which serve consumes): holding our own
     // Arc lets the trace be exported after the serve loop returns.
     let tracer = match &trace_out {
         Some(_) => {
             let tracer = Tracer::new();
-            core.set_tracer(Arc::clone(&tracer));
+            fleet.with_default_core(|core| core.set_tracer(Arc::clone(&tracer)));
             tracer
         }
         None => Tracer::disabled(),
     };
 
     let run = match listen {
-        None => audex::service::serve_stdio(core).map_err(|e| e.to_string()),
+        None => audex::service::serve_fleet_stdio(&fleet).map_err(|e| e.to_string()),
         Some(addr) => {
-            let server = audex::service::Server::bind_with(core, &addr, front)
+            let tenants = fleet.tenant_count();
+            let default = fleet.default_tenant().to_string();
+            let server = audex::service::Server::bind_fleet(fleet, &addr, front)
                 .map_err(|e| format!("cannot listen on {addr}: {e}"))?;
             // Stderr, so scripts scraping protocol output are not confused.
             eprintln!("audexd listening on {}", server.local_addr().map_err(|e| e.to_string())?);
+            eprintln!("audexd serving {tenants} tenant(s), default {default:?}");
             // From here SIGTERM/SIGINT means drain (flush subscribers,
-            // fsync the journal) and exit 0 instead of dying mid-write.
+            // fsync every tenant's journal) and exit 0 instead of dying
+            // mid-write.
             sig::install();
             server.run_watching(&sig::DRAIN).map_err(|e| e.to_string())
         }
@@ -663,6 +708,39 @@ fn report_recovery(dir: &str, recovered: &Recovered) {
     }
     for note in &recovered.notes {
         eprintln!("audex: {dir}: {note}");
+    }
+}
+
+/// Per-tenant recovery summary on stderr. The default tenant (first row)
+/// keeps the single-store wording; named tenants and degraded ones get
+/// one line each.
+fn report_fleet_recovery(dir: &str, recovery: &FleetRecovery) {
+    for (idx, t) in recovery.tenants.iter().enumerate() {
+        if let Some(why) = &t.error {
+            eprintln!("audex: {dir}: tenant {}: DEGRADED (not serving): {why}", t.tenant);
+            continue;
+        }
+        if idx == 0 {
+            match t.via_checkpoint {
+                0 => eprintln!("audex: {dir}: no checkpoint, WAL has {} record(s)", t.tail),
+                covers => eprintln!(
+                    "audex: {dir}: checkpoint covers {covers} record(s), WAL tail has {}",
+                    t.tail
+                ),
+            }
+        } else {
+            eprintln!(
+                "audex: {dir}: tenant {}: {} record(s) ({} via checkpoint, tail {})",
+                t.tenant, t.records, t.via_checkpoint, t.tail
+            );
+        }
+        for note in &t.notes {
+            if idx == 0 {
+                eprintln!("audex: {dir}: {note}");
+            } else {
+                eprintln!("audex: {dir}: tenant {}: {note}", t.tenant);
+            }
+        }
     }
 }
 
@@ -704,7 +782,49 @@ fn cmd_recover(args: &[String]) -> Result<(), String> {
         ),
         None => println!("clean: no torn tail"),
     }
-    Ok(())
+    // Named tenant stores are repaired the same way, one by one; a corrupt
+    // tenant is reported and the rest keep going, exactly like fleet
+    // recovery in `serve`.
+    let mut failed = Vec::new();
+    for (name, tdir) in audex::persist::tenants::discover(Path::new(&dir))
+        .map_err(|e| format!("{dir}/tenants: {e}"))?
+    {
+        match recover_tenant_store(&tdir) {
+            Ok(line) => println!("tenant {name}: {line}"),
+            Err(e) => {
+                println!("tenant {name}: FAILED: {e}");
+                failed.push(name);
+            }
+        }
+    }
+    if failed.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{} tenant store(s) could not be recovered: {}",
+            failed.len(),
+            failed.join(", ")
+        ))
+    }
+}
+
+/// Repairs and replays one named tenant's store; returns its summary line.
+fn recover_tenant_store(dir: &Path) -> Result<String, String> {
+    let (_journal, recovered) =
+        Journal::open(dir, WalOptions::default()).map_err(|e| e.to_string())?;
+    let core = ServiceCore::recovered(&recovered, ServiceConfig::default())
+        .map_err(|e| format!("replay: {e}"))?;
+    Ok(format!(
+        "{} record(s) ({} via checkpoint), {} logged quer{}, {}",
+        recovered.total_records(),
+        recovered.checkpoint.as_ref().map_or(0, |c| c.covers_seq),
+        core.log().len(),
+        if core.log().len() == 1 { "y" } else { "ies" },
+        match &recovered.torn {
+            Some(t) => format!("torn tail repaired ({} byte(s) dropped)", t.dropped_bytes),
+            None => "clean".to_string(),
+        },
+    ))
 }
 
 fn cmd_compact(args: &[String]) -> Result<(), String> {
@@ -724,19 +844,75 @@ fn cmd_compact(args: &[String]) -> Result<(), String> {
         jc.segments,
         jc.segment_bytes,
     );
-    Ok(())
+    // Compact every named tenant store too; failures are reported but do
+    // not abort the remaining tenants.
+    let mut failed = Vec::new();
+    for (name, tdir) in audex::persist::tenants::discover(Path::new(&dir))
+        .map_err(|e| format!("{dir}/tenants: {e}"))?
+    {
+        match compact_tenant_store(&tdir) {
+            Ok(line) => println!("tenant {name}: {line}"),
+            Err(e) => {
+                println!("tenant {name}: FAILED: {e}");
+                failed.push(name);
+            }
+        }
+    }
+    if failed.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{} tenant store(s) could not be compacted: {}",
+            failed.len(),
+            failed.join(", ")
+        ))
+    }
+}
+
+/// Checkpoints and prunes one named tenant's store; returns its summary.
+fn compact_tenant_store(dir: &Path) -> Result<String, String> {
+    let (journal, recovered) =
+        Journal::open(dir, WalOptions::default()).map_err(|e| e.to_string())?;
+    let mut core = ServiceCore::recovered(&recovered, ServiceConfig::default())
+        .map_err(|e| format!("replay: {e}"))?;
+    core.attach_journal(journal);
+    core.checkpoint().map_err(|e| format!("checkpoint: {e}"))?;
+    let jc = core.journal().map(|j| j.counters()).unwrap_or_default();
+    Ok(format!(
+        "checkpoint covers {} record(s); {} live segment(s), {} byte(s)",
+        jc.last_checkpoint_seq, jc.segments, jc.segment_bytes,
+    ))
+}
+
+/// Stamps `"tenant":NAME` into a request line for `send --tenant`. Lines
+/// that don't parse as a JSON object, or that already address a tenant,
+/// go through verbatim (the server answers with its own structured error
+/// if they're bad).
+fn stamp_tenant(line: &str, tenant: &str) -> String {
+    match audex::service::Json::parse(line) {
+        Ok(audex::service::Json::Obj(mut fields)) => {
+            if fields.iter().any(|(k, _)| k == "tenant") {
+                return line.to_string();
+            }
+            fields.push(("tenant".to_string(), audex::service::Json::from(tenant)));
+            audex::service::Json::Obj(fields).to_string()
+        }
+        _ => line.to_string(),
+    }
 }
 
 fn cmd_send(args: &[String]) -> Result<(), String> {
-    use std::io::{BufRead, BufReader, Read, Write};
+    use std::io::{BufRead, BufReader, IsTerminal, Read, Write};
 
     let mut addr: Option<String> = None;
     let mut connect_retries: u32 = 5;
+    let mut tenant: Option<String> = None;
     let mut requests: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--addr" => addr = Some(take_value(args, &mut i, "--addr")?),
+            "--tenant" => tenant = Some(take_value(args, &mut i, "--tenant")?),
             "--connect-retries" => {
                 let text = take_value(args, &mut i, "--connect-retries")?;
                 connect_retries = text
@@ -755,6 +931,9 @@ fn cmd_send(args: &[String]) -> Result<(), String> {
             .read_to_string(&mut text)
             .map_err(|e| format!("reading requests from stdin: {e}"))?;
         requests.extend(text.lines().filter(|l| !l.trim().is_empty()).map(String::from));
+    }
+    if let Some(tenant) = &tenant {
+        requests = requests.iter().map(|r| stamp_tenant(r, tenant)).collect();
     }
 
     // The server may still be binding (tests race `serve` startup; so do
@@ -783,14 +962,26 @@ fn cmd_send(args: &[String]) -> Result<(), String> {
     let mut follow = false;
     for req in &requests {
         // Known-bad requests still go to the server (it answers with a
-        // structured error); parsing here only detects `subscribe`.
-        follow |=
-            matches!(audex::service::parse_request(req), Ok(audex::service::Request::Subscribe));
+        // structured error); parsing here only detects `subscribe` (to
+        // follow the event stream) and `list-tenants` (pretty-printed on
+        // a terminal).
+        let parsed = audex::service::parse_request(req);
+        follow |= matches!(parsed, Ok(audex::service::Request::Subscribe));
+        let tenant_listing = matches!(parsed, Ok(audex::service::Request::ListTenants));
         writeln!(writer, "{req}").map_err(|e| format!("sending to {addr}: {e}"))?;
         writer.flush().map_err(|e| e.to_string())?;
         let mut line = String::new();
         if reader.read_line(&mut line).map_err(|e| e.to_string())? == 0 {
             return Err(format!("{addr} closed the connection early"));
+        }
+        if tenant_listing && std::io::stdout().is_terminal() {
+            match audex::service::Json::parse(line.trim()) {
+                Ok(resp) if resp.get("ok") == Some(&audex::service::Json::Bool(true)) => {
+                    print!("{}", audex::service::render_tenant_table(&resp));
+                    continue;
+                }
+                _ => {}
+            }
         }
         print!("{line}");
     }

@@ -377,9 +377,12 @@ fn main() {
             stat("dispatch_shortlisted"),
             stat("dispatch_rebuilds"),
         );
+        let (probe_builds, probe_hits) =
+            (stat("dispatch_fact_probe_builds"), stat("dispatch_fact_probe_hits"));
         println!(
             "dispatch_scaling audits={audits} queries={} secs={secs:.4} qps={qps:.0} \
-             probes={probes} pruned={pruned} shortlisted={shortlisted} rebuilds={rebuilds}",
+             probes={probes} pruned={pruned} shortlisted={shortlisted} rebuilds={rebuilds} \
+             fact_probe_builds={probe_builds} fact_probe_hits={probe_hits}",
             entries.len()
         );
         let _ = writeln!(
@@ -387,11 +390,16 @@ fn main() {
             "    {{\"experiment\": \"dispatch_scaling\", \"audits\": {audits}, \
              \"queries\": {}, \"secs\": {secs:.6}, \"qps\": {qps:.1}, \
              \"probes\": {probes}, \"pruned\": {pruned}, \"shortlisted\": {shortlisted}, \
-             \"rebuilds\": {rebuilds}}},",
+             \"rebuilds\": {rebuilds}, \"fact_probe_builds\": {probe_builds}, \
+             \"fact_probe_hits\": {probe_hits}}},",
             entries.len()
         );
         assert!(probes as usize >= entries.len(), "every ingested query must be probed");
         assert!(pruned > 0, "at {audits} standing audits the index must prune something");
+        assert!(
+            probe_hits > 0,
+            "at {audits} standing audits the per-audit fact-probe cache must get hits"
+        );
     }
     if cfg.dispatch_qps_floor > 0.0 {
         assert!(

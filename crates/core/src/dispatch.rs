@@ -96,6 +96,12 @@ pub struct DispatchStats {
     pub shortlisted: u64,
     /// Interval-tree rebuilds plus full compactions.
     pub rebuilds: u64,
+    /// Fact-probe maps built by the per-audit contribution cache (one per
+    /// new base-table signature per audit).
+    pub fact_probe_builds: u64,
+    /// Contribution probes answered from an already-built fact-probe map —
+    /// observations that skipped the per-fact target-view scan entirely.
+    pub fact_probe_hits: u64,
 }
 
 /// A set of dense audit slots, stored as a bitset.

@@ -76,7 +76,7 @@ pub use governor::{AuditPhase, Governor, ResourceLimits};
 pub use granule::{binomial, Granule, GranuleModel};
 pub use index::{QueryFootprint, TouchIndex};
 pub use parallel::{default_parallelism, par_map};
-pub use rank::{AuditBatchState, OnlineAuditor, QueryScore};
+pub use rank::{AuditBatchState, OnlineAuditor, QueryScore, ScoreEvidence};
 pub use static_batch::{static_semantic_bound, static_weak_syntactic, StaticVerdict};
 pub use suspicion::{BatchEvaluator, BatchVerdict, QueryContribution};
 pub use target::{compute_target_view, TargetView, UFact};

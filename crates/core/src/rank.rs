@@ -28,9 +28,36 @@ use crate::error::AuditError;
 use crate::granule::binomial;
 use crate::index::QueryFootprint;
 use crate::suspicion::{
-    projected_base_columns, BatchEvaluator, QueryContribution, SharedQueryState,
+    projected_base_columns, BatchEvaluator, FactProbeCache, QueryContribution, SharedQueryState,
 };
 use audex_log::{LoggedQuery, QueryId};
+
+/// Fact indices and columns carried in [`ScoreEvidence`] are capped at this
+/// many entries so evidence stays cheap to clone, journal, and render.
+const EVIDENCE_SAMPLE: usize = 16;
+
+/// Structured evidence behind one [`QueryScore`] — which target-view facts
+/// the query touched or exposed and which audit-relevant columns it
+/// accessed. Extracted from the same [`QueryContribution`] (and therefore
+/// the same shared execution) that produced the score, so carrying it costs
+/// no extra query run. Deterministic: identical across dispatch modes and
+/// thread counts, because it is derived purely from the contribution's
+/// ordered sets.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ScoreEvidence {
+    /// Facts of `U` the query shared an indispensable tuple with.
+    pub touched: u64,
+    /// Facts whose protected values the query's result set exposed.
+    pub exposed: u64,
+    /// The first [`EVIDENCE_SAMPLE`] touched fact indices, ascending.
+    pub touched_sample: Vec<usize>,
+    /// The first [`EVIDENCE_SAMPLE`] exposed fact indices, ascending.
+    pub exposed_sample: Vec<usize>,
+    /// Audit-relevant columns the query accessed, in base identity
+    /// (ascending; the intersection of `C_Q` with the audit's scheme
+    /// columns).
+    pub covered_columns: Vec<BaseColumn>,
+}
 
 /// A per-query, per-audit score.
 #[derive(Debug, Clone, PartialEq)]
@@ -43,6 +70,8 @@ pub struct QueryScore {
     pub column_coverage: f64,
     /// The combined closeness value: `fact_coverage · column_coverage`.
     pub closeness: f64,
+    /// Why: the facts and columns behind the numbers.
+    pub evidence: ScoreEvidence,
 }
 
 /// Running batch state for one audit.
@@ -65,6 +94,11 @@ pub struct AuditBatchState {
 struct AuditEntry {
     prepared: PreparedAudit,
     state: AuditBatchState,
+    /// Per-audit fact-probe maps (see [`FactProbeCache`]): built on the
+    /// first query sharing a base-table signature, reused by every later
+    /// one, so full-scan queries that legitimately shortlist this audit
+    /// stop paying a per-fact scan on every observation.
+    probe: FactProbeCache,
 }
 
 /// Scores queries online against a set of prepared audits.
@@ -105,7 +139,14 @@ impl OnlineAuditor {
         let id = AuditId(self.next_id);
         self.next_id += 1;
         self.dispatch.insert(id, &audit);
-        self.entries.insert(id, AuditEntry { prepared: audit, state: AuditBatchState::default() });
+        self.entries.insert(
+            id,
+            AuditEntry {
+                prepared: audit,
+                state: AuditBatchState::default(),
+                probe: FactProbeCache::default(),
+            },
+        );
         id
     }
 
@@ -182,9 +223,15 @@ impl OnlineAuditor {
         self.mode
     }
 
-    /// A copy of the dispatch index's pruning counters.
+    /// A copy of the dispatch index's pruning counters, with the per-audit
+    /// fact-probe cache counters summed in.
     pub fn dispatch_stats(&self) -> DispatchStats {
-        self.dispatch.stats()
+        let mut stats = self.dispatch.stats();
+        for e in self.entries.values() {
+            stats.fact_probe_builds += e.probe.builds;
+            stats.fact_probe_hits += e.probe.hits;
+        }
+        stats
     }
 
     /// Wires the `audex_dispatch_*` metric series into `registry`.
@@ -241,13 +288,20 @@ impl OnlineAuditor {
         let strategy = self.strategy;
         let mut scores = Vec::new();
         for (id, entry) in self.entries.iter_mut() {
-            let AuditEntry { prepared, state } = entry;
+            let AuditEntry { prepared, state, probe } = entry;
             if !prepared.filter.admits(q) {
                 continue;
             }
             let evaluator =
                 BatchEvaluator::new(db, &prepared.scope, &prepared.model, &prepared.view, strategy);
-            let Some(contrib) = evaluator.contribution(q) else { continue };
+            // One fresh execution per audit (the oracle stays the faithful
+            // slow baseline), but the fact-probe maps are per-audit and
+            // query-independent, so both modes share the entry's cache.
+            let mut shared = SharedQueryState::new(db, q);
+            let contrib = match evaluator.try_contribution_with(q, &mut shared, probe) {
+                Ok(Some(c)) => c,
+                _ => continue,
+            };
             if contrib.is_empty() {
                 continue;
             }
@@ -306,13 +360,13 @@ impl OnlineAuditor {
         for slot in shortlist.iter() {
             let Some(id) = self.dispatch.id_at(slot) else { continue };
             let Some(entry) = self.entries.get_mut(&id) else { continue };
-            let AuditEntry { prepared, state } = entry;
+            let AuditEntry { prepared, state, probe } = entry;
             if !prepared.filter.admits(q) {
                 continue;
             }
             let evaluator =
                 BatchEvaluator::new(db, &prepared.scope, &prepared.model, &prepared.view, strategy);
-            let contrib = match evaluator.try_contribution_with(q, &mut shared) {
+            let contrib = match evaluator.try_contribution_with(q, &mut shared, probe) {
                 Ok(Some(c)) => c,
                 _ => continue,
             };
@@ -415,7 +469,9 @@ fn score_and_update(
         .iter()
         .filter_map(|c| prepared.scope.base_of_column(c))
         .collect();
-    let covered_relevant = contrib.covered_columns.intersection(&relevant).count() as f64;
+    let covered_relevant_cols: Vec<BaseColumn> =
+        contrib.covered_columns.intersection(&relevant).cloned().collect();
+    let covered_relevant = covered_relevant_cols.len() as f64;
     let fact_coverage = if prepared.model.indispensable {
         contrib.touched_facts.len() as f64 / n as f64
     } else {
@@ -440,6 +496,13 @@ fn score_and_update(
         fact_coverage,
         column_coverage,
         closeness: fact_coverage * column_coverage,
+        evidence: ScoreEvidence {
+            touched: contrib.touched_facts.len() as u64,
+            exposed: contrib.exposed.len() as u64,
+            touched_sample: contrib.touched_facts.iter().copied().take(EVIDENCE_SAMPLE).collect(),
+            exposed_sample: contrib.exposed.keys().copied().take(EVIDENCE_SAMPLE).collect(),
+            covered_columns: covered_relevant_cols,
+        },
     }
 }
 

@@ -152,18 +152,24 @@ impl<'a> BatchEvaluator<'a> {
         q: &LoggedQuery,
     ) -> Result<Option<QueryContribution>, AuditError> {
         let mut shared = SharedQueryState::new(self.db, q);
-        self.try_contribution_with(q, &mut shared)
+        // A throwaway probe cache: building a map costs exactly what the
+        // old per-fact loop cost, so the one-shot path never regresses.
+        let mut probe = FactProbeCache::default();
+        self.try_contribution_with(q, &mut shared, &mut probe)
     }
 
     /// [`BatchEvaluator::try_contribution`] with the per-query work hoisted
     /// into `shared`: scope resolution, accessed columns, the executed
     /// result set, and its lineage products are computed once and reused by
-    /// every audit evaluated against the same logged query. Produces
+    /// every audit evaluated against the same logged query. `probe` is the
+    /// audit-side dual — fact-probe maps that outlive the query and are
+    /// reused across every observation of the same audit. Produces
     /// bit-identical contributions to the unshared path.
     pub(crate) fn try_contribution_with(
         &self,
         q: &LoggedQuery,
         shared: &mut SharedQueryState,
+        probe: &mut FactProbeCache,
     ) -> Result<Option<QueryContribution>, AuditError> {
         let Some(q_scope) = shared.q_scope.as_ref() else {
             return Ok(None);
@@ -198,11 +204,26 @@ impl<'a> BatchEvaluator<'a> {
             // probes a hash set in O(1); shared across audits with the same
             // base-table signature.
             let covered = exec.covered_for(&binding_refs, self.scope);
-            for (fi, fact) in self.view.facts.iter().enumerate() {
-                self.governor.tick(AuditPhase::Suspicion)?;
-                let key: Option<Vec<Tid>> = binding_refs.iter().map(|b| fact.tid_of(b)).collect();
-                if key.is_some_and(|k| covered.contains(&k)) {
-                    contrib.touched_facts.insert(fi);
+            // The dual map — fact tid-tuple → fact indices — is built once
+            // per (audit, signature) and cached in `probe`, so matching
+            // costs O(min(|covered|, |distinct fact tuples|)) instead of a
+            // per-fact scan on every query. Joining the smaller side keeps
+            // the innocent full-scan class (huge `covered`, small view)
+            // and the point-query class (tiny `covered`) both cheap.
+            let map = probe.map_for(&binding_refs, self.scope, self.view, &self.governor)?;
+            if covered.len() <= map.len() {
+                for key in covered.iter() {
+                    self.governor.tick(AuditPhase::Suspicion)?;
+                    if let Some(fis) = map.get(key) {
+                        contrib.touched_facts.extend(fis.iter().copied());
+                    }
+                }
+            } else {
+                for (key, fis) in map.iter() {
+                    self.governor.tick(AuditPhase::Suspicion)?;
+                    if covered.contains(key) {
+                        contrib.touched_facts.extend(fis.iter().copied());
+                    }
                 }
             }
         } else if !out_cols.is_empty() {
@@ -541,6 +562,67 @@ impl ExecShared {
         let covered = Arc::new(covered_tuples_by_base(self.combos(), &key));
         self.covered_cache.insert(key, Arc::clone(&covered));
         covered
+    }
+}
+
+/// Per-audit fact-probe maps: for each base-table signature of shared
+/// bindings, the map from a fact's tid-tuple (in binding order) to the
+/// indices of facts carrying that tuple. The audit's target view is pinned
+/// at preparation time, so a built map never invalidates; it is the dual of
+/// [`ExecShared::covered_for`]'s query-side cache — keyed the same way, so
+/// a cached map always matches the covered set it is joined against.
+///
+/// Before this cache, every observation of an audit scanned all of `U`'s
+/// facts; with it, the scan happens once per signature and each later query
+/// joins the smaller of its covered set and the map. This is what cuts the
+/// cost of innocent full-scan queries that legitimately shortlist every
+/// audit (the ROADMAP item-1 follow-up).
+/// Fact indices grouped by their tid-tuple under one binding signature.
+pub(crate) type FactProbeMap = Arc<HashMap<Vec<Tid>, Vec<usize>>>;
+
+#[derive(Default)]
+pub(crate) struct FactProbeCache {
+    by_sig: HashMap<Vec<Ident>, FactProbeMap>,
+    /// Maps built (one per new signature).
+    pub(crate) builds: u64,
+    /// Probes answered from an already-built map.
+    pub(crate) hits: u64,
+}
+
+impl FactProbeCache {
+    /// The probe map for one binding signature, building it on first use.
+    /// The build ticks the governor once per fact — exactly what the scan
+    /// it replaces cost — so step budgets keep their meaning.
+    pub(crate) fn map_for(
+        &mut self,
+        shared_bindings: &[&Ident],
+        scope: &AuditScope,
+        view: &TargetView,
+        governor: &Governor,
+    ) -> Result<FactProbeMap, AuditError> {
+        let key: Option<Vec<Ident>> =
+            shared_bindings.iter().map(|b| scope.entry(b).map(|e| e.base.clone())).collect();
+        let Some(key) = key else {
+            // A binding outside the scope covers nothing; mirror
+            // `covered_for`, which returns the empty set for this key.
+            return Ok(Arc::new(HashMap::new()));
+        };
+        if let Some(m) = self.by_sig.get(&key) {
+            self.hits += 1;
+            return Ok(Arc::clone(m));
+        }
+        let mut map: HashMap<Vec<Tid>, Vec<usize>> = HashMap::new();
+        for (fi, fact) in view.facts.iter().enumerate() {
+            governor.tick(AuditPhase::Suspicion)?;
+            let tuple: Option<Vec<Tid>> = shared_bindings.iter().map(|b| fact.tid_of(b)).collect();
+            if let Some(tuple) = tuple {
+                map.entry(tuple).or_default().push(fi);
+            }
+        }
+        self.builds += 1;
+        let map = Arc::new(map);
+        self.by_sig.insert(key, Arc::clone(&map));
+        Ok(map)
     }
 }
 

@@ -21,6 +21,7 @@ use std::path::{Path, PathBuf};
 
 use audex_core::{AuditBatchState, QueryFootprint};
 use audex_log::QueryId;
+use audex_triage::TriageItem;
 
 use crate::codec::{self, crc32, Dec, DecodeError, Enc};
 use crate::error::{PersistError, Result};
@@ -50,6 +51,9 @@ pub struct CheckpointState {
     /// (queries_ingested, queries_rejected, dml_statements,
     /// governor_trips, events_emitted).
     pub counters: [u64; 5],
+    /// Review-queue items (with their ack/dismiss states), in ascending
+    /// query-id order.
+    pub triage: Vec<TriageItem>,
 }
 
 fn checkpoint_name(covers_seq: u64) -> String {
@@ -91,6 +95,10 @@ impl CheckpointState {
         for c in self.counters {
             e.u64(c);
         }
+        e.u32(self.triage.len() as u32);
+        for it in &self.triage {
+            codec::put_triage_item(&mut e, it);
+        }
         e.into_bytes()
     }
 
@@ -126,10 +134,23 @@ impl CheckpointState {
         for c in &mut counters {
             *c = d.u64()?;
         }
+        let n = d.seq_len()?;
+        let mut triage = Vec::with_capacity(n);
+        for _ in 0..n {
+            triage.push(codec::get_triage_item(&mut d)?);
+        }
         if !d.is_exhausted() {
             return Err(DecodeError { expected: "end of checkpoint", offset: d.offset() });
         }
-        Ok(CheckpointState { covers_seq, records, footprints, skipped, audit_states, counters })
+        Ok(CheckpointState {
+            covers_seq,
+            records,
+            footprints,
+            skipped,
+            audit_states,
+            counters,
+            triage,
+        })
     }
 
     /// Writes this checkpoint atomically into `dir` (temp file + fsync +
@@ -281,6 +302,19 @@ mod tests {
                 contributing: vec![QueryId(0)],
             }],
             counters: [1, 2, 3, 4, 5],
+            triage: vec![TriageItem {
+                query: QueryId(0),
+                ts: Timestamp(1),
+                user: Ident::new("u"),
+                role: Ident::new("r"),
+                purpose: Ident::new("p"),
+                suspicion: 0.5,
+                audits: [audex_core::AuditId(0)].into(),
+                covered: [(Ident::new("t"), Ident::new("a"))].into(),
+                touched: 1,
+                exposed: 0,
+                state: audex_triage::ReviewState::Acked,
+            }],
         }
     }
 

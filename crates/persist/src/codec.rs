@@ -8,11 +8,12 @@
 //! panicking, because the input is whatever survived a crash.
 
 use audex_core::attrspec::ResolvedColumn;
-use audex_core::{AuditBatchState, BaseColumn, QueryFootprint};
+use audex_core::{AuditBatchState, AuditId, BaseColumn, QueryFootprint};
 use audex_log::QueryId;
 use audex_sql::ast::TypeName;
 use audex_sql::{Ident, Timestamp};
 use audex_storage::{ChangeOp, ChangeRecord, Schema, Tid, Value};
+use audex_triage::{RedactedScore, ReviewState, TriageItem};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the checksum
@@ -461,6 +462,116 @@ pub fn get_footprint(d: &mut Dec<'_>) -> Result<QueryFootprint, DecodeError> {
     Ok(QueryFootprint { id, bases, covered, combos, value_rows })
 }
 
+/// Encodes a triage [`RedactedScore`].
+pub fn put_redacted_score(e: &mut Enc, s: &RedactedScore) {
+    e.u64(s.audit.0);
+    e.f64(s.fact_coverage);
+    e.f64(s.column_coverage);
+    e.f64(s.closeness);
+    e.u64(s.touched);
+    e.u64(s.exposed);
+    e.u32(s.covered.len() as u32);
+    for bc in &s.covered {
+        put_base_column(e, bc);
+    }
+}
+
+/// Decodes a triage [`RedactedScore`].
+pub fn get_redacted_score(d: &mut Dec<'_>) -> Result<RedactedScore, DecodeError> {
+    let audit = AuditId(d.u64()?);
+    let fact_coverage = d.f64()?;
+    let column_coverage = d.f64()?;
+    let closeness = d.f64()?;
+    let touched = d.u64()?;
+    let exposed = d.u64()?;
+    let mut covered = Vec::new();
+    for _ in 0..d.seq_len()? {
+        covered.push(get_base_column(d)?);
+    }
+    Ok(RedactedScore {
+        audit,
+        fact_coverage,
+        column_coverage,
+        closeness,
+        touched,
+        exposed,
+        covered,
+    })
+}
+
+fn state_tag(s: ReviewState) -> u8 {
+    match s {
+        ReviewState::Open => 0,
+        ReviewState::Acked => 1,
+        ReviewState::Dismissed => 2,
+    }
+}
+
+fn state_from_tag(tag: u8, offset: usize) -> Result<ReviewState, DecodeError> {
+    match tag {
+        0 => Ok(ReviewState::Open),
+        1 => Ok(ReviewState::Acked),
+        2 => Ok(ReviewState::Dismissed),
+        _ => Err(DecodeError { expected: "review-state tag", offset }),
+    }
+}
+
+/// Encodes a review-queue [`TriageItem`].
+pub fn put_triage_item(e: &mut Enc, it: &TriageItem) {
+    e.u64(it.query.0);
+    e.i64(it.ts.0);
+    put_ident(e, &it.user);
+    put_ident(e, &it.role);
+    put_ident(e, &it.purpose);
+    e.f64(it.suspicion);
+    e.u32(it.audits.len() as u32);
+    for a in &it.audits {
+        e.u64(a.0);
+    }
+    e.u32(it.covered.len() as u32);
+    for bc in &it.covered {
+        put_base_column(e, bc);
+    }
+    e.u64(it.touched);
+    e.u64(it.exposed);
+    e.u8(state_tag(it.state));
+}
+
+/// Decodes a review-queue [`TriageItem`].
+pub fn get_triage_item(d: &mut Dec<'_>) -> Result<TriageItem, DecodeError> {
+    let query = QueryId(d.u64()?);
+    let ts = Timestamp(d.i64()?);
+    let user = get_ident(d)?;
+    let role = get_ident(d)?;
+    let purpose = get_ident(d)?;
+    let suspicion = d.f64()?;
+    let mut audits = BTreeSet::new();
+    for _ in 0..d.seq_len()? {
+        audits.insert(AuditId(d.u64()?));
+    }
+    let mut covered = BTreeSet::new();
+    for _ in 0..d.seq_len()? {
+        covered.insert(get_base_column(d)?);
+    }
+    let touched = d.u64()?;
+    let exposed = d.u64()?;
+    let off = d.offset();
+    let state = state_from_tag(d.u8()?, off)?;
+    Ok(TriageItem {
+        query,
+        ts,
+        user,
+        role,
+        purpose,
+        suspicion,
+        audits,
+        covered,
+        touched,
+        exposed,
+        state,
+    })
+}
+
 /// Encodes an online-auditor [`AuditBatchState`].
 pub fn put_audit_state(e: &mut Enc, s: &AuditBatchState) {
     e.u32(s.touched.len() as u32);
@@ -616,6 +727,44 @@ mod tests {
         assert_eq!(get_change(&mut d).unwrap(), rec);
         assert_eq!(get_change(&mut d).unwrap(), del);
         assert!(d.is_exhausted());
+    }
+
+    #[test]
+    fn triage_types_round_trip() {
+        let score = RedactedScore {
+            audit: AuditId(3),
+            fact_coverage: 0.25,
+            column_coverage: 0.5,
+            closeness: 0.125,
+            touched: 7,
+            exposed: 2,
+            covered: vec![(Ident::new("t"), Ident::new("a"))],
+        };
+        let item = TriageItem {
+            query: QueryId(9),
+            ts: Timestamp(-4),
+            user: Ident::new("u"),
+            role: Ident { value: "Head Nurse".into(), quoted: true },
+            purpose: Ident::new("treatment"),
+            suspicion: 0.75,
+            audits: [AuditId(1), AuditId(3)].into(),
+            covered: [(Ident::new("t"), Ident::new("a"))].into(),
+            touched: 7,
+            exposed: 2,
+            state: ReviewState::Dismissed,
+        };
+        let mut e = Enc::new();
+        put_redacted_score(&mut e, &score);
+        put_triage_item(&mut e, &item);
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        assert_eq!(get_redacted_score(&mut d).unwrap(), score);
+        assert_eq!(get_triage_item(&mut d).unwrap(), item);
+        assert!(d.is_exhausted());
+        // Out-of-range state tags are structured errors, not panics.
+        let mut bad = Enc::new();
+        bad.u8(9);
+        assert!(state_from_tag(Dec::new(&bad.into_bytes()).u8().unwrap(), 0).is_err());
     }
 
     #[test]

@@ -17,10 +17,11 @@
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, MutexGuard};
 
-use audex_core::{AuditBatchState, QueryFootprint};
+use audex_core::{AuditBatchState, BaseColumn, QueryFootprint};
 use audex_log::{LogSink, LoggedQuery, QueryId};
 use audex_sql::{Ident, Timestamp};
 use audex_storage::{ChangeRecord, ChangeSink, IoFaultState, Schema};
+use audex_triage::{RedactedScore, TriageItem};
 
 use crate::checkpoint::{self, CheckpointState};
 use crate::error::{PersistError, Result};
@@ -62,6 +63,8 @@ pub struct CheckpointDerived {
     pub audit_states: Vec<AuditBatchState>,
     /// Service counters.
     pub counters: [u64; 5],
+    /// Review-queue items, in ascending query-id order.
+    pub triage: Vec<TriageItem>,
 }
 
 /// Journal health/throughput counters, surfaced in `stats`.
@@ -118,6 +121,10 @@ struct Inner {
     checkpoints_written: u64,
     last_checkpoint_seq: u64,
     wedged: Option<String>,
+    /// Under `--redact-log` the [`LogSink`] callback is suppressed: the
+    /// service journals a [`WalRecord::LogAppendRedacted`] itself after
+    /// scoring, so raw SQL never reaches the WAL.
+    redacted: bool,
     obs: JournalObs,
 }
 
@@ -215,6 +222,7 @@ impl Journal {
                 checkpoints_written: 0,
                 last_checkpoint_seq: covers,
                 wedged: None,
+                redacted: false,
                 obs: JournalObs::default(),
             }),
         });
@@ -290,6 +298,51 @@ impl Journal {
     /// Journals an audit unregistration.
     pub fn record_unregister(&self, name: &str) {
         self.append(WalRecord::Unregister { name: name.to_string() });
+    }
+
+    /// Switches raw-SQL suppression on or off. While on, the [`LogSink`]
+    /// callback journals nothing — the service must journal the redacted
+    /// form via [`Journal::record_log_redacted`] instead.
+    pub fn set_redacted(&self, redacted: bool) {
+        self.lock().redacted = redacted;
+    }
+
+    /// Journals a review-queue acknowledgement.
+    pub fn record_review_ack(&self, query: QueryId) {
+        self.append(WalRecord::ReviewAck { query });
+    }
+
+    /// Journals a review-queue dismissal.
+    pub fn record_review_dismiss(&self, query: QueryId) {
+        self.append(WalRecord::ReviewDismiss { query });
+    }
+
+    /// Journals a triage sensitivity weight.
+    pub fn record_weight(&self, table: Ident, column: Option<Ident>, weight: f64) {
+        self.append(WalRecord::SetWeight { table, column, weight });
+    }
+
+    /// Journals the redacted form of a log append: structural metadata, a
+    /// hash of the text, and the redacted scores — never the raw SQL.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_log_redacted(
+        &self,
+        entry: &LoggedQuery,
+        sql_hash: u64,
+        tables: Vec<Ident>,
+        accessed: Vec<BaseColumn>,
+        scores: Vec<RedactedScore>,
+    ) {
+        self.append(WalRecord::LogAppendRedacted {
+            ts: entry.executed_at,
+            user: entry.context.user.clone(),
+            role: entry.context.role.clone(),
+            purpose: entry.context.purpose.clone(),
+            sql_hash,
+            tables,
+            accessed,
+            scores,
+        });
     }
 
     /// Flushes pending appends to stable storage.
@@ -375,6 +428,7 @@ impl Journal {
             skipped: derived.skipped,
             audit_states: derived.audit_states,
             counters: derived.counters,
+            triage: derived.triage,
         };
         let path = state.write(dir)?;
         g.checkpoints_written += 1;
@@ -397,6 +451,9 @@ impl ChangeSink for Journal {
 
 impl LogSink for Journal {
     fn on_append(&self, entry: &LoggedQuery) {
+        if self.lock().redacted {
+            return;
+        }
         self.append(WalRecord::LogAppend {
             ts: entry.executed_at,
             user: entry.context.user.clone(),
@@ -500,7 +557,12 @@ mod tests {
                     )
                     .unwrap();
                 }
-                WalRecord::Register { .. } | WalRecord::Unregister { .. } => {}
+                WalRecord::Register { .. }
+                | WalRecord::Unregister { .. }
+                | WalRecord::ReviewAck { .. }
+                | WalRecord::ReviewDismiss { .. }
+                | WalRecord::LogAppendRedacted { .. }
+                | WalRecord::SetWeight { .. } => {}
             }
         }
         (db, log)
@@ -575,6 +637,7 @@ mod tests {
             skipped: vec![],
             audit_states: vec![],
             counters: [1, 4, 0, 1, 1],
+            triage: vec![],
         };
         journal.write_checkpoint(derived.clone()).unwrap();
         assert_eq!(journal.checkpoint_lag(), 0);
@@ -623,6 +686,7 @@ mod tests {
                 skipped: vec![],
                 audit_states: vec![],
                 counters: [0; 5],
+                triage: vec![],
             })
             .is_err());
         drop(journal);
@@ -631,6 +695,47 @@ mod tests {
         let (_, recovered) = Journal::open(&dir, opts()).unwrap();
         assert_eq!(recovered.tail.len(), 1);
         assert!(recovered.torn.is_some());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn redacted_mode_keeps_raw_sql_out_of_the_wal() {
+        let dir = tmp("redact");
+        let (journal, _) = Journal::open(&dir, opts()).unwrap();
+        journal.set_redacted(true);
+        let log = QueryLog::new();
+        log.set_sink(Arc::clone(&journal) as Arc<dyn LogSink>);
+        let sql = "SELECT disease FROM patients WHERE name = 'alice'";
+        log.record_text(sql, Timestamp(1), AccessContext::new("u", "nurse", "care")).unwrap();
+        // The sink journaled nothing; the service-side redacted record does.
+        assert_eq!(journal.counters().records_appended, 0);
+        let entry = log.snapshot().pop().unwrap();
+        journal.record_log_redacted(
+            &entry,
+            audex_triage::fnv1a64(sql.as_bytes()),
+            vec![Ident::new("patients")],
+            vec![(Ident::new("patients"), Ident::new("disease"))],
+            vec![],
+        );
+        journal.sync().unwrap();
+        assert_eq!(journal.counters().records_appended, 1);
+        drop(journal);
+
+        // Nothing on disk contains the query text.
+        for f in std::fs::read_dir(&dir).unwrap() {
+            let bytes = std::fs::read(f.unwrap().path()).unwrap();
+            let hay = String::from_utf8_lossy(&bytes);
+            assert!(!hay.contains("SELECT"), "raw SQL leaked into the store");
+            assert!(!hay.contains("alice"), "literal leaked into the store");
+        }
+        let (_, recovered) = Journal::open(&dir, opts()).unwrap();
+        match &recovered.tail[..] {
+            [WalRecord::LogAppendRedacted { sql_hash, tables, .. }] => {
+                assert_eq!(*sql_hash, audex_triage::fnv1a64(sql.as_bytes()));
+                assert_eq!(tables, &vec![Ident::new("patients")]);
+            }
+            other => panic!("expected one redacted append, got {other:?}"),
+        }
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

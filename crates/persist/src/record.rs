@@ -1,15 +1,19 @@
 //! Logical WAL records — everything the service must remember to rebuild
 //! its state after a crash.
 //!
-//! The five variants mirror the five state-bearing events of the streaming
-//! service: table creation, row-level change, query-log append (with its
-//! policy annotations), audit registration, audit unregistration. Replaying
-//! them in sequence order through the same code paths that produced them
-//! reconstructs the exact in-memory state (asserted by the differential
-//! crash-recovery tests).
+//! The variants mirror the state-bearing events of the streaming service:
+//! table creation, row-level change, query-log append (with its policy
+//! annotations, or its redacted no-raw-SQL form), audit registration and
+//! unregistration, review-queue acknowledgements/dismissals, and
+//! sensitivity-weight changes. Replaying them in sequence order through the
+//! same code paths that produced them reconstructs the exact in-memory
+//! state (asserted by the differential crash-recovery tests).
 
+use audex_core::BaseColumn;
+use audex_log::QueryId;
 use audex_sql::{Ident, Timestamp};
 use audex_storage::{ChangeRecord, Schema};
+use audex_triage::RedactedScore;
 
 use crate::codec::{self, Dec, DecodeError, Enc};
 
@@ -18,6 +22,10 @@ const TAG_CHANGE: u8 = 2;
 const TAG_LOG_APPEND: u8 = 3;
 const TAG_REGISTER: u8 = 4;
 const TAG_UNREGISTER: u8 = 5;
+const TAG_REVIEW_ACK: u8 = 6;
+const TAG_REVIEW_DISMISS: u8 = 7;
+const TAG_LOG_APPEND_REDACTED: u8 = 8;
+const TAG_SET_WEIGHT: u8 = 9;
 
 /// One durable event.
 #[derive(Debug, Clone, PartialEq)]
@@ -67,6 +75,46 @@ pub enum WalRecord {
         /// The audit's service-level name.
         name: String,
     },
+    /// A flagged query was acknowledged in the review queue.
+    ReviewAck {
+        /// The reviewed query.
+        query: QueryId,
+    },
+    /// A flagged query was dismissed from the review queue.
+    ReviewDismiss {
+        /// The reviewed query.
+        query: QueryId,
+    },
+    /// A query was appended under `--redact-log`: structural metadata and a
+    /// hash of the text, never the raw SQL itself.
+    LogAppendRedacted {
+        /// Execution timestamp.
+        ts: Timestamp,
+        /// Submitting user.
+        user: Ident,
+        /// Role acted under.
+        role: Ident,
+        /// Declared purpose.
+        purpose: Ident,
+        /// FNV-1a 64-bit hash of the raw SQL text (correlation without
+        /// disclosure).
+        sql_hash: u64,
+        /// Base tables the query referenced.
+        tables: Vec<Ident>,
+        /// Base columns the query accessed.
+        accessed: Vec<BaseColumn>,
+        /// Its redacted per-audit scores at append time.
+        scores: Vec<RedactedScore>,
+    },
+    /// A triage sensitivity weight was set.
+    SetWeight {
+        /// The weighted table.
+        table: Ident,
+        /// The weighted column, or `None` for a whole-table weight.
+        column: Option<Ident>,
+        /// The weight value.
+        weight: f64,
+    },
 }
 
 impl WalRecord {
@@ -103,6 +151,56 @@ impl WalRecord {
                 e.u8(TAG_UNREGISTER);
                 e.str(name);
             }
+            WalRecord::ReviewAck { query } => {
+                e.u8(TAG_REVIEW_ACK);
+                e.u64(query.0);
+            }
+            WalRecord::ReviewDismiss { query } => {
+                e.u8(TAG_REVIEW_DISMISS);
+                e.u64(query.0);
+            }
+            WalRecord::LogAppendRedacted {
+                ts,
+                user,
+                role,
+                purpose,
+                sql_hash,
+                tables,
+                accessed,
+                scores,
+            } => {
+                e.u8(TAG_LOG_APPEND_REDACTED);
+                e.i64(ts.0);
+                codec::put_ident(&mut e, user);
+                codec::put_ident(&mut e, role);
+                codec::put_ident(&mut e, purpose);
+                e.u64(*sql_hash);
+                e.u32(tables.len() as u32);
+                for t in tables {
+                    codec::put_ident(&mut e, t);
+                }
+                e.u32(accessed.len() as u32);
+                for bc in accessed {
+                    codec::put_ident(&mut e, &bc.0);
+                    codec::put_ident(&mut e, &bc.1);
+                }
+                e.u32(scores.len() as u32);
+                for s in scores {
+                    codec::put_redacted_score(&mut e, s);
+                }
+            }
+            WalRecord::SetWeight { table, column, weight } => {
+                e.u8(TAG_SET_WEIGHT);
+                codec::put_ident(&mut e, table);
+                match column {
+                    Some(c) => {
+                        e.bool(true);
+                        codec::put_ident(&mut e, c);
+                    }
+                    None => e.bool(false),
+                }
+                e.f64(*weight);
+            }
         }
         e.into_bytes()
     }
@@ -137,6 +235,45 @@ impl WalRecord {
                 WalRecord::Register { name, expr, now }
             }
             TAG_UNREGISTER => WalRecord::Unregister { name: d.str()? },
+            TAG_REVIEW_ACK => WalRecord::ReviewAck { query: QueryId(d.u64()?) },
+            TAG_REVIEW_DISMISS => WalRecord::ReviewDismiss { query: QueryId(d.u64()?) },
+            TAG_LOG_APPEND_REDACTED => {
+                let ts = Timestamp(d.i64()?);
+                let user = codec::get_ident(&mut d)?;
+                let role = codec::get_ident(&mut d)?;
+                let purpose = codec::get_ident(&mut d)?;
+                let sql_hash = d.u64()?;
+                let mut tables = Vec::new();
+                for _ in 0..d.seq_len()? {
+                    tables.push(codec::get_ident(&mut d)?);
+                }
+                let mut accessed = Vec::new();
+                for _ in 0..d.seq_len()? {
+                    let t = codec::get_ident(&mut d)?;
+                    let c = codec::get_ident(&mut d)?;
+                    accessed.push((t, c));
+                }
+                let mut scores = Vec::new();
+                for _ in 0..d.seq_len()? {
+                    scores.push(codec::get_redacted_score(&mut d)?);
+                }
+                WalRecord::LogAppendRedacted {
+                    ts,
+                    user,
+                    role,
+                    purpose,
+                    sql_hash,
+                    tables,
+                    accessed,
+                    scores,
+                }
+            }
+            TAG_SET_WEIGHT => {
+                let table = codec::get_ident(&mut d)?;
+                let column = if d.bool()? { Some(codec::get_ident(&mut d)?) } else { None };
+                let weight = d.f64()?;
+                WalRecord::SetWeight { table, column, weight }
+            }
             _ => return Err(DecodeError { expected: "record tag", offset: 0 }),
         };
         if !d.is_exhausted() {
@@ -194,6 +331,42 @@ mod tests {
                 now: Timestamp(1000),
             },
             WalRecord::Unregister { name: "a1".into() },
+            WalRecord::ReviewAck { query: QueryId(3) },
+            WalRecord::ReviewDismiss { query: QueryId(4) },
+            WalRecord::LogAppendRedacted {
+                ts: Timestamp(60),
+                user: Ident::new("u1"),
+                role: Ident::new("nurse"),
+                purpose: Ident::new("treatment"),
+                sql_hash: 0xDEAD_BEEF_CAFE_F00D,
+                tables: vec![Ident::new("Patients")],
+                accessed: vec![(Ident::new("Patients"), Ident::new("disease"))],
+                scores: vec![audex_triage::RedactedScore {
+                    audit: audex_core::AuditId(1),
+                    fact_coverage: 0.5,
+                    column_coverage: 1.0,
+                    closeness: 0.5,
+                    touched: 3,
+                    exposed: 0,
+                    covered: vec![(Ident::new("Patients"), Ident::new("disease"))],
+                }],
+            },
+            WalRecord::LogAppendRedacted {
+                ts: Timestamp(61),
+                user: Ident::new("u2"),
+                role: Ident::new("admin"),
+                purpose: Ident::new("ops"),
+                sql_hash: 0,
+                tables: vec![],
+                accessed: vec![],
+                scores: vec![],
+            },
+            WalRecord::SetWeight {
+                table: Ident::new("Patients"),
+                column: Some(Ident::new("disease")),
+                weight: 5.0,
+            },
+            WalRecord::SetWeight { table: Ident::new("Patients"), column: None, weight: 2.5 },
         ]
     }
 

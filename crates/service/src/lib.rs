@@ -57,6 +57,7 @@
 pub mod fault;
 pub mod json;
 pub mod proto;
+pub mod render;
 pub mod server;
 pub mod state;
 pub mod tenant;
@@ -64,6 +65,7 @@ pub mod tenant;
 pub use fault::NetFaultPlan;
 pub use json::Json;
 pub use proto::{parse_envelope, parse_request, Envelope, Request};
+pub use render::render_queue_table;
 pub use server::{serve_fleet_stdio, serve_stdio, FrontDoorConfig, Server};
 pub use state::{journal_stats_fields, Outcome, ServiceConfig, ServiceCore, ServiceCounters};
 pub use tenant::{

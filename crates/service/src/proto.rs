@@ -19,6 +19,24 @@
 //! {"cmd":"shutdown"}
 //! ```
 //!
+//! # Triage
+//!
+//! The review-queue workflow over flagged queries (see `audex_triage`):
+//!
+//! ```text
+//! {"cmd":"triage"}
+//! {"cmd":"queue","top":5,"offset":0}
+//! {"cmd":"ack","query":12}
+//! {"cmd":"dismiss","query":9}
+//! {"cmd":"weight","table":"Patients","column":"disease","weight":5.0}
+//! ```
+//!
+//! `triage` summarizes the queue (state counts, mined explanation
+//! templates, compression ratio); `queue` pages the ranked open items
+//! (`top` defaults to the server's `--review-budget`, then 10); `ack` /
+//! `dismiss` journal a review decision; `weight` sets a per-table (omit
+//! `column`) or per-column sensitivity weight used in ranking.
+//!
 //! # Tenancy
 //!
 //! Every request may additionally carry a `"tenant"` field naming the
@@ -142,6 +160,35 @@ pub enum Request {
         /// The audit name to look up per tenant.
         name: String,
     },
+    /// Summarize the review queue: state counts, mined explanation
+    /// templates, compression ratio.
+    Triage,
+    /// One page of the ranked review queue.
+    Queue {
+        /// Page size; defaults to the server's review budget, then 10.
+        top: Option<u64>,
+        /// Ranked items to skip before the page starts.
+        offset: u64,
+    },
+    /// Acknowledge a flagged query as a real concern.
+    Ack {
+        /// The flagged query's id.
+        query: u64,
+    },
+    /// Dismiss a flagged query as benign.
+    Dismiss {
+        /// The flagged query's id.
+        query: u64,
+    },
+    /// Set a triage sensitivity weight for ranking.
+    Weight {
+        /// The weighted table.
+        table: String,
+        /// The weighted column; `None` weights the whole table.
+        column: Option<String>,
+        /// The weight value (default sensitivity is 1.0).
+        weight: f64,
+    },
 }
 
 impl Request {
@@ -164,6 +211,11 @@ impl Request {
             Request::StatsAll => "stats-all",
             Request::MetricsAll => "metrics-all",
             Request::AuditAll { .. } => "audit-all",
+            Request::Triage => "triage",
+            Request::Queue { .. } => "queue",
+            Request::Ack { .. } => "ack",
+            Request::Dismiss { .. } => "dismiss",
+            Request::Weight { .. } => "weight",
         }
     }
 
@@ -239,9 +291,54 @@ pub fn parse_envelope(line: &str) -> Result<Envelope, String> {
         "create-tenant" => Request::CreateTenant { name: need("name")? },
         "drop-tenant" => Request::DropTenant { name: need("name")? },
         "list-tenants" => Request::ListTenants,
+        "triage" => Request::Triage,
+        "queue" => Request::Queue {
+            top: match v.get("top") {
+                None | Some(Json::Null) => None,
+                Some(t) => Some(
+                    t.as_int()
+                        .filter(|n| *n >= 0)
+                        .map(|n| n as u64)
+                        .ok_or_else(|| format!("{cmd}: \"top\" must be a non-negative integer"))?,
+                ),
+            },
+            offset: match v.get("offset") {
+                None | Some(Json::Null) => 0,
+                Some(o) => {
+                    o.as_int().filter(|n| *n >= 0).map(|n| n as u64).ok_or_else(|| {
+                        format!("{cmd}: \"offset\" must be a non-negative integer")
+                    })?
+                }
+            },
+        },
+        "ack" => Request::Ack { query: need_query(&v, cmd)? },
+        "dismiss" => Request::Dismiss { query: need_query(&v, cmd)? },
+        "weight" => Request::Weight {
+            table: need("table")?,
+            column: match v.get("column") {
+                None | Some(Json::Null) => None,
+                Some(Json::Str(s)) => Some(s.clone()),
+                Some(_) => return Err(format!("{cmd}: \"column\" must be a string")),
+            },
+            weight: v
+                .get("weight")
+                .and_then(Json::as_f64)
+                .filter(|w| w.is_finite() && *w >= 0.0)
+                .ok_or_else(|| format!("{cmd}: \"weight\" must be a non-negative number"))?,
+        },
         other => return Err(format!("unknown command {other:?}")),
     };
     Ok(Envelope { tenant, req })
+}
+
+/// Reads the `"query"` field of a review decision: a non-negative integer
+/// query id.
+fn need_query(v: &Json, cmd: &str) -> Result<u64, String> {
+    v.get("query")
+        .and_then(Json::as_int)
+        .filter(|n| *n >= 0)
+        .map(|n| n as u64)
+        .ok_or_else(|| format!("{cmd}: \"query\" must be a non-negative integer"))
 }
 
 /// Reads a timestamp field: raw seconds, or any string form the session
@@ -334,6 +431,53 @@ mod tests {
         assert!(parse_envelope(r#"{"cmd":"stats","all_tenants":"yes"}"#)
             .unwrap_err()
             .contains("all_tenants"));
+    }
+
+    #[test]
+    fn parses_triage_commands() {
+        assert_eq!(parse_request(r#"{"cmd":"triage"}"#).unwrap(), Request::Triage);
+        assert_eq!(
+            parse_request(r#"{"cmd":"queue"}"#).unwrap(),
+            Request::Queue { top: None, offset: 0 }
+        );
+        assert_eq!(
+            parse_request(r#"{"cmd":"queue","top":5,"offset":10}"#).unwrap(),
+            Request::Queue { top: Some(5), offset: 10 }
+        );
+        assert_eq!(
+            parse_request(r#"{"cmd":"ack","query":12}"#).unwrap(),
+            Request::Ack { query: 12 }
+        );
+        assert_eq!(
+            parse_request(r#"{"cmd":"dismiss","query":9}"#).unwrap(),
+            Request::Dismiss { query: 9 }
+        );
+        assert_eq!(
+            parse_request(r#"{"cmd":"weight","table":"Patients","column":"disease","weight":5}"#)
+                .unwrap(),
+            Request::Weight {
+                table: "Patients".into(),
+                column: Some("disease".into()),
+                weight: 5.0
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"cmd":"weight","table":"Patients","weight":2.5}"#).unwrap(),
+            Request::Weight { table: "Patients".into(), column: None, weight: 2.5 }
+        );
+        // Triage commands are per-tenant data-plane ops, not fleet ops.
+        assert!(!Request::Triage.is_fleet_op());
+        assert!(!Request::Queue { top: None, offset: 0 }.is_fleet_op());
+        assert_eq!(Request::Ack { query: 1 }.cmd_name(), "ack");
+        // Malformed fields are named.
+        assert!(parse_request(r#"{"cmd":"ack","query":-1}"#).unwrap_err().contains("query"));
+        assert!(parse_request(r#"{"cmd":"queue","top":-2}"#).unwrap_err().contains("top"));
+        assert!(parse_request(r#"{"cmd":"weight","table":"t","weight":-1}"#)
+            .unwrap_err()
+            .contains("weight"));
+        assert!(parse_request(r#"{"cmd":"weight","table":"t","column":3,"weight":1}"#)
+            .unwrap_err()
+            .contains("column"));
     }
 
     #[test]

@@ -1,0 +1,115 @@
+//! Terminal rendering for triage responses.
+//!
+//! `audex send` prints a `queue` response as an aligned table when stdout
+//! is a TTY (the raw JSON line otherwise), mirroring the `list-tenants`
+//! table in [`crate::tenant::render_tenant_table`]. The renderer is pure
+//! string work over the wire JSON so the CLI and tests share one code
+//! path.
+
+use crate::json::Json;
+
+/// Renders a `queue` response as the aligned top-K table `audex send`
+/// prints on a terminal. Non-queue shapes (including errors) fall back to
+/// the JSON line itself.
+pub fn render_queue_table(response: &Json) -> String {
+    let Some(rows) = response.get("items").and_then(Json::as_arr) else {
+        return format!("{response}\n");
+    };
+    let offset = response.get("offset").and_then(Json::as_int).unwrap_or(0);
+    let total = response.get("total_open").and_then(Json::as_int).unwrap_or(0);
+    let mut table: Vec<[String; 7]> = vec![[
+        "#".into(),
+        "QUERY".into(),
+        "PRIORITY".into(),
+        "SUSPICION".into(),
+        "USER".into(),
+        "AUDITS".into(),
+        "COLUMNS".into(),
+    ]];
+    for (i, row) in rows.iter().enumerate() {
+        let query = row
+            .get("query")
+            .and_then(Json::as_int)
+            .map_or_else(|| "?".to_string(), |q| format!("q{q}"));
+        let score = |key: &str| match row.get(key) {
+            Some(Json::Float(v)) => format!("{v:.4}"),
+            Some(Json::Int(v)) => format!("{v}.0000"),
+            _ => "-".to_string(),
+        };
+        let names = |key: &str| {
+            row.get(key)
+                .and_then(Json::as_arr)
+                .map(|a| a.iter().filter_map(Json::as_str).collect::<Vec<_>>().join(","))
+                .unwrap_or_default()
+        };
+        table.push([
+            (offset + i as i64 + 1).to_string(),
+            query,
+            score("priority"),
+            score("suspicion"),
+            row.get("user").and_then(Json::as_str).unwrap_or("?").to_string(),
+            names("audits"),
+            names("columns"),
+        ]);
+    }
+    let mut widths = [0usize; 7];
+    for row in &table {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    for row in &table {
+        let mut line = String::new();
+        for (i, (cell, width)) in row.iter().zip(widths).enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(cell);
+            if i + 1 < row.len() {
+                line.push_str(&" ".repeat(width - cell.len()));
+            }
+        }
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    let shown = rows.len();
+    out.push_str(&format!("{shown} shown (offset {offset}) of {total} open\n"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_rows_with_footer() {
+        let response = Json::parse(
+            r#"{"ok":true,"total_open":3,"offset":1,"items":[
+                {"query":7,"priority":1.5,"suspicion":0.75,"user":"mallory",
+                 "audits":["cancer","hiv"],"columns":["Patients.disease"]},
+                {"query":12,"priority":0.25,"suspicion":0.25,"user":"bob",
+                 "audits":["cancer"],"columns":[]}]}"#,
+        )
+        .unwrap();
+        let table = render_queue_table(&response);
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 4, "{table}");
+        assert!(lines[0].starts_with("#  QUERY  PRIORITY  SUSPICION  USER"), "{table}");
+        assert!(lines[1].contains("q7") && lines[1].contains("1.5000"), "{table}");
+        assert!(lines[2].contains("q12") && lines[2].contains("0.2500"), "{table}");
+        // Ranks continue from the page offset.
+        assert!(lines[1].starts_with('2') && lines[2].starts_with('3'), "{table}");
+        assert_eq!(lines[3], "2 shown (offset 1) of 3 open");
+        // Every data row's USER column starts at the same byte offset.
+        let col = lines[0].find("USER").unwrap();
+        assert_eq!(&lines[1][col..col + 7], "mallory");
+        assert_eq!(&lines[2][col..col + 3], "bob");
+    }
+
+    #[test]
+    fn non_queue_shapes_fall_back_to_json() {
+        let err = Json::parse(r#"{"ok":false,"error":"nope"}"#).unwrap();
+        assert_eq!(render_queue_table(&err), format!("{err}\n"));
+    }
+}

@@ -1,0 +1,105 @@
+//! Differential property test: the review queue and its mined templates
+//! are a pure function of the ingested stream — byte-identical whatever
+//! the execution strategy. Each random workload is driven through four
+//! service configurations (1 vs 4 worker threads × indexed vs scan-all
+//! dispatch) and the `triage`/`queue` wire responses must match exactly.
+//!
+//! This is the triage sibling of the engine's thread-count and
+//! dispatch-mode differential tests: ranking floats are summed in one
+//! fixed order and ties break on query id, so nothing about scheduling or
+//! audit shortlisting may leak into what the auditor sees.
+
+use audex_service::{Json, Request, ServiceConfig, ServiceCore};
+use audex_sql::Timestamp;
+use audex_storage::Database;
+use proptest::prelude::*;
+
+const ZONES: usize = 6;
+
+/// One random query: which zip zone it probes, what shape it takes, and
+/// which of three user/role identities issued it.
+#[derive(Debug, Clone, Copy)]
+struct Q {
+    zone: usize,
+    kind: usize,
+    who: usize,
+}
+
+fn q() -> impl Strategy<Value = Q> {
+    (0..ZONES, 0usize..4, 0usize..3).prop_map(|(zone, kind, who)| Q { zone, kind, who })
+}
+
+fn drive(audits: &[usize], queries: &[Q], parallelism: usize, scan_all: bool) -> (String, String) {
+    let config = ServiceConfig { parallelism, scan_all_audits: scan_all, ..Default::default() };
+    let mut core = ServiceCore::new(Database::new(), config);
+    let mut sql = String::from("CREATE TABLE Patients (pid TEXT, zipcode TEXT, disease TEXT);");
+    for z in 0..ZONES {
+        sql.push_str(&format!(" INSERT INTO Patients VALUES ('p{z}', 'z{z}', 'd{}');", z % 3));
+    }
+    let r = core.handle(Request::Dml { ts: Timestamp(100), sql }).response;
+    assert_eq!(r.get("ok"), Some(&Json::Bool(true)), "{r}");
+    for &z in audits {
+        let column = if z.is_multiple_of(2) { "disease" } else { "pid" };
+        let r = core
+            .handle(Request::Register {
+                name: format!("audit-{z}"),
+                expr: format!(
+                    "DURING 1/1/1970 TO 1/1/2100 DATA-INTERVAL 1/1/1970 TO 1/1/2100 \
+                     AUDIT {column} FROM Patients WHERE zipcode = 'z{z}'"
+                ),
+                now: Some(Timestamp(500)),
+            })
+            .response;
+        assert_eq!(r.get("ok"), Some(&Json::Bool(true)), "{r}");
+    }
+    for (i, q) in queries.iter().enumerate() {
+        let sql = match q.kind {
+            0 => format!("SELECT disease FROM Patients WHERE zipcode = 'z{}'", q.zone),
+            1 => format!("SELECT pid FROM Patients WHERE zipcode = 'z{}'", q.zone),
+            2 => "SELECT disease FROM Patients".to_string(),
+            _ => format!("SELECT zipcode FROM Patients WHERE zipcode = 'z{}'", q.zone),
+        };
+        let r = core
+            .handle(Request::Log {
+                ts: Timestamp(1_000 + i as i64),
+                user: format!("u{}", q.who),
+                role: format!("r{}", q.who),
+                purpose: "care".into(),
+                sql,
+            })
+            .response;
+        assert_eq!(r.get("ok"), Some(&Json::Bool(true)), "{r}");
+    }
+    // A weight so the sensitivity multiplier is exercised too.
+    core.handle(Request::Weight {
+        table: "Patients".into(),
+        column: Some("pid".into()),
+        weight: 3.0,
+    });
+    let triage = core.handle(Request::Triage).response.to_string();
+    let queue = core.handle(Request::Queue { top: Some(10_000), offset: 0 }).response.to_string();
+    (triage, queue)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn queue_and_templates_are_execution_invariant(
+        audit_zones in proptest::collection::btree_set(0..ZONES, 1..ZONES),
+        queries in proptest::collection::vec(q(), 1..40),
+    ) {
+        let audits: Vec<usize> = audit_zones.into_iter().collect();
+        let reference = drive(&audits, &queries, 1, false);
+        for (parallelism, scan_all) in [(1, true), (4, false), (4, true)] {
+            let got = drive(&audits, &queries, parallelism, scan_all);
+            prop_assert_eq!(
+                &reference,
+                &got,
+                "triage/queue drifted at parallelism={} scan_all={}",
+                parallelism,
+                scan_all
+            );
+        }
+    }
+}

@@ -78,6 +78,7 @@ fn main() -> ExitCode {
         Some("send") => cmd_send(&args[1..]),
         Some("recover") => cmd_recover(&args[1..]),
         Some("compact") => cmd_compact(&args[1..]),
+        Some("triage") => cmd_triage(&args[1..]),
         Some("paper") => cmd_paper(),
         Some("demo") => cmd_demo(),
         Some("help") | Some("--help") | Some("-h") | None => {
@@ -114,8 +115,11 @@ USAGE:
               [--trace-out <FILE>] [--max-conns <N>] [--sub-queue <N>]
               [--conn-idle-ms <MS>] [--max-line-bytes <N>] [--drain-ms <MS>]
               [--net-fault <SPEC>]... [--scan-all-audits]
+              [--redact-log] [--review-budget <N>]
   audex send  --addr <ADDR> [--tenant <NAME>] [--connect-retries <N>]
               [REQUEST...]
+  audex triage --data-dir <DIR> [--tenant <NAME>] [--top <N>] [--offset <N>]
+                                   offline review queue from a store
   audex recover --data-dir <DIR>   repair a crashed store (all tenants)
   audex compact --data-dir <DIR>   checkpoint + prune a store offline
                                    (all tenants)
@@ -176,6 +180,7 @@ SERVE / SEND (audexd, the streaming audit service):
   audex serve speaks a line-delimited JSON protocol: one request object per
   line, one response line back, plus event lines after `subscribe`. Commands:
   dml, log, register, unregister, audit, subscribe, stats, metrics,
+  triage, queue, ack, dismiss, weight,
   create-tenant, drop-tenant, list-tenants, shutdown — see
   the audex::service::proto module docs for the wire format. `--db`/`--log`
   preload a session-script database and query log (the log is folded into
@@ -211,6 +216,30 @@ TENANCY (multi-tenant audexd; org-scoped shards):
   busy instead of blocking the rest); audit evaluates one standing audit
   on every tenant that registered it, in parallel. A tenant whose store
   fails recovery is reported as degraded and skipped, never fatal.
+
+TRIAGE (evidence-backed review of flagged queries):
+  Every suspicious verdict carries evidence (indispensable-tuple counts, the
+  sensitive columns covered, the audits triggered) and enters a ranked
+  review queue: priority = suspicion x sensitivity, where per-table and
+  per-column sensitivity weights are set with {\"cmd\":\"weight\",
+  \"table\":T,\"column\":C,\"weight\":W} (journaled, so they survive
+  restarts). Recurring patterns are mined into templates so one auditor
+  decision covers many similar queries.
+  {\"cmd\":\"triage\"}                   queue counts, templates, compression
+  {\"cmd\":\"queue\",\"top\":K,\"offset\":O} one page of the ranked queue
+                                      (rendered as a table on a terminal;
+                                      top defaults to --review-budget)
+  {\"cmd\":\"ack\",\"query\":N}           mark reviewed (journaled)
+  {\"cmd\":\"dismiss\",\"query\":N}       mark a false positive (journaled)
+  --review-budget N  (serve) default page size for `queue`, i.e. how many
+                     reviews the auditor can afford per sitting
+  --redact-log       (serve) never write raw query SQL to the durable
+                     store: the journal keeps structural metadata (tables,
+                     columns, hash, scores) instead. Tuple-level suspicion
+                     scoring, the review queue, and templates survive
+                     redaction and recovery unchanged; batch re-audits of
+                     the redacted span are honestly reported as skipped.
+  `audex triage --data-dir DIR` prints the same report offline.
 
 FRONT DOOR (TCP serve only; overload-safety knobs):
   --max-conns N      concurrent connection cap (default 1024). Accepts over
@@ -474,6 +503,8 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let mut limits = audex::core::ResourceLimits::unlimited();
     let mut threads: Option<usize> = None;
     let mut scan_all_audits = false;
+    let mut redact_log = false;
+    let mut review_budget: Option<u64> = None;
     let mut front = FrontDoorConfig::default();
     let mut front_tuned = false;
 
@@ -591,6 +622,16 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 threads = Some(n);
             }
             "--scan-all-audits" => scan_all_audits = true,
+            "--redact-log" => redact_log = true,
+            "--review-budget" => {
+                let text = take_value(args, &mut i, "--review-budget")?;
+                let n: u64 =
+                    text.parse().map_err(|_| format!("invalid --review-budget value {text:?}"))?;
+                if n == 0 {
+                    return Err("--review-budget must be at least 1".into());
+                }
+                review_budget = Some(n);
+            }
             other => return Err(format!("unknown option {other:?}")),
         }
         i += 1;
@@ -618,6 +659,8 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         checkpoint_every,
         metrics_every,
         scan_all_audits,
+        redact_log,
+        review_budget,
         ..Default::default()
     };
 
@@ -884,6 +927,67 @@ fn compact_tenant_store(dir: &Path) -> Result<String, String> {
     ))
 }
 
+/// Offline triage report: recover a store read-only and print the review
+/// queue the daemon would serve, ranked and paged the same way (the
+/// rendering and ranking code paths are shared with `serve`).
+fn cmd_triage(args: &[String]) -> Result<(), String> {
+    use std::io::IsTerminal;
+
+    let mut data_dir: Option<String> = None;
+    let mut tenant: Option<String> = None;
+    let mut top: Option<u64> = None;
+    let mut offset: u64 = 0;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--data-dir" => data_dir = Some(take_value(args, &mut i, "--data-dir")?),
+            "--tenant" => tenant = Some(take_value(args, &mut i, "--tenant")?),
+            "--top" => {
+                let text = take_value(args, &mut i, "--top")?;
+                top = Some(text.parse().map_err(|_| format!("invalid --top value {text:?}"))?);
+            }
+            "--offset" => {
+                let text = take_value(args, &mut i, "--offset")?;
+                offset = text.parse().map_err(|_| format!("invalid --offset value {text:?}"))?;
+            }
+            other => return Err(format!("unknown option {other:?}")),
+        }
+        i += 1;
+    }
+    let dir = data_dir.ok_or("--data-dir is required")?;
+    let mut path = PathBuf::from(&dir);
+    if let Some(t) = &tenant {
+        path = path.join("tenants").join(t);
+    }
+    let recovered =
+        audex::persist::read_store(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut core = ServiceCore::recovered(&recovered, ServiceConfig::default())
+        .map_err(|e| format!("replaying {}: {e}", path.display()))?;
+    let triage = core.handle(audex::service::Request::Triage).response;
+    let queue = core.handle(audex::service::Request::Queue { top, offset }).response;
+    if std::io::stdout().is_terminal() {
+        let count = |key: &str| triage.get(key).and_then(audex::service::Json::as_int).unwrap_or(0);
+        println!(
+            "review queue: {} open, {} acked, {} dismissed",
+            count("open"),
+            count("acked"),
+            count("dismissed"),
+        );
+        let templates = triage
+            .get("templates")
+            .and_then(audex::service::Json::as_arr)
+            .map_or(0, <[audex::service::Json]>::len);
+        let compression =
+            triage.get("compression").and_then(audex::service::Json::as_f64).unwrap_or(0.0);
+        println!("templates: {templates} recurring pattern(s), compression {compression:.2}");
+        print!("{}", audex::service::render_queue_table(&queue));
+    } else {
+        println!("{triage}");
+        println!("{queue}");
+    }
+    Ok(())
+}
+
 /// Stamps `"tenant":NAME` into a request line for `send --tenant`. Lines
 /// that don't parse as a JSON object, or that already address a tenant,
 /// go through verbatim (the server answers with its own structured error
@@ -968,16 +1072,21 @@ fn cmd_send(args: &[String]) -> Result<(), String> {
         let parsed = audex::service::parse_request(req);
         follow |= matches!(parsed, Ok(audex::service::Request::Subscribe));
         let tenant_listing = matches!(parsed, Ok(audex::service::Request::ListTenants));
+        let queue_listing = matches!(parsed, Ok(audex::service::Request::Queue { .. }));
         writeln!(writer, "{req}").map_err(|e| format!("sending to {addr}: {e}"))?;
         writer.flush().map_err(|e| e.to_string())?;
         let mut line = String::new();
         if reader.read_line(&mut line).map_err(|e| e.to_string())? == 0 {
             return Err(format!("{addr} closed the connection early"));
         }
-        if tenant_listing && std::io::stdout().is_terminal() {
+        if (tenant_listing || queue_listing) && std::io::stdout().is_terminal() {
             match audex::service::Json::parse(line.trim()) {
                 Ok(resp) if resp.get("ok") == Some(&audex::service::Json::Bool(true)) => {
-                    print!("{}", audex::service::render_tenant_table(&resp));
+                    if tenant_listing {
+                        print!("{}", audex::service::render_tenant_table(&resp));
+                    } else {
+                        print!("{}", audex::service::render_queue_table(&resp));
+                    }
                     continue;
                 }
                 _ => {}

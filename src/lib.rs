@@ -14,6 +14,7 @@
 //! | [`core`] | the paper: target views, granule model, suspicion notions, audit engine, online ranking |
 //! | [`workload`] | the paper's running example + seeded generators |
 //! | [`service`] | `audexd`: the streaming audit service (`audex serve`) with incremental index maintenance |
+//! | [`triage`] | evidence-backed explanations, the ranked review queue, recurring-pattern templates |
 //! | [`obs`] | telemetry: lock-sharded metrics registry, phase tracer, Prometheus exposition |
 //!
 //! See `examples/quickstart.rs` for a five-minute tour and
@@ -30,6 +31,7 @@ pub use audex_policy as policy;
 pub use audex_service as service;
 pub use audex_sql as sql;
 pub use audex_storage as storage;
+pub use audex_triage as triage;
 pub use audex_workload as workload;
 
 pub mod session;

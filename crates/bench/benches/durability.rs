@@ -60,11 +60,11 @@ fn log_record(i: usize) -> WalRecord {
 /// Builds a durable store with a standing audit and `log_len` ingested
 /// queries, every one flowing through the journal.
 fn build_store(dir: &Path, log_len: usize) -> ServiceCore {
-    let (journal, recovered) =
+    let (journal, mut recovered) =
         Journal::open(dir, WalOptions { fsync: FsyncPolicy::Never, ..Default::default() })
             .expect("open journal");
-    let mut core =
-        ServiceCore::recovered(&recovered, ServiceConfig::default()).expect("fresh store recovers");
+    let mut core = ServiceCore::recovered(&mut recovered, ServiceConfig::default())
+        .expect("fresh store recovers");
     core.attach_journal(journal);
     let ok = |resp: &Json| assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "{resp}");
     ok(&core
@@ -99,8 +99,9 @@ fn build_store(dir: &Path, log_len: usize) -> ServiceCore {
 
 fn time_recovery(dir: &Path) -> (f64, u64) {
     let t = Instant::now();
-    let (journal, recovered) = Journal::open(dir, WalOptions::default()).expect("reopen journal");
-    let core = ServiceCore::recovered(&recovered, ServiceConfig::default()).expect("recover");
+    let (journal, mut recovered) =
+        Journal::open(dir, WalOptions::default()).expect("reopen journal");
+    let core = ServiceCore::recovered(&mut recovered, ServiceConfig::default()).expect("recover");
     let secs = t.elapsed().as_secs_f64();
     std::hint::black_box(core.counters().queries_ingested);
     (secs, journal.next_seq())

@@ -1,0 +1,339 @@
+//! B18: MVCC versioned storage — the PR-10 tentpole.
+//!
+//! Two experiments, results written to `BENCH_10.json` at the workspace root:
+//!
+//! * `as_of_reconstruction` — historical reads (`as_of`) against growing
+//!   change histories over a fixed tuple population. The replay engine
+//!   re-applies the change prefix per instant, so its cost grows with the
+//!   log until its interval checkpoints (one full-table clone every
+//!   `CHECKPOINT_INTERVAL` = 1024 changes) cap a read at ~1024 applies —
+//!   the measured range stays inside one era, where the growth is the
+//!   per-read cost; past it replay plateaus at the era bound while paying
+//!   a table clone per 1024 changes in memory. The MVCC version store
+//!   answers the same read with a per-tuple visibility probe (binary
+//!   search down each tuple's version chain), so its cost tracks the live
+//!   population, not the history, at any depth. Every sampled instant is
+//!   gated in-bench: the two modes must return **byte-identical** result
+//!   sets.
+//! * `recovery` — wall-clock to reopen a checkpointed 2000-query store
+//!   ([`Journal::open`] + [`ServiceCore::recovered`]) when the checkpoint
+//!   carries an MVCC version-store snapshot (`--storage mvcc`, the default)
+//!   versus the replay engine's record-by-record prefix reconstruction
+//!   (`--storage replay`). The recovered stores must answer the standing
+//!   audit byte-identically to their uninterrupted selves and to each
+//!   other, and the mvcc path must beat the 8.184 ms BENCH_4 (PR 4)
+//!   checkpointed-recovery baseline for the same 2000-query store by ≥ 2x.
+//!   (Both modes now recover the checkpointed log prefix with lazy-parsed
+//!   entries, so the in-bench replay column is itself far below PR 4's
+//!   number; the snapshot additionally skips DML re-execution.)
+//!
+//! Run `cargo bench -p audex-bench --bench mvcc` for real measurements or
+//! `-- --test` for the CI smoke variant (smaller sizes, same identity
+//! gates).
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use audex_persist::{FsyncPolicy, Journal, WalOptions};
+use audex_service::{Json, Request, ServiceConfig, ServiceCore};
+use audex_sql::{parse_query, parse_statement, Timestamp};
+use audex_storage::{Database, StorageMode};
+
+struct Config {
+    history_lens: Vec<usize>,
+    sample_reads: usize,
+    log_lens: Vec<usize>,
+    /// Repeat timed sections and keep the fastest, to de-noise CI boxes.
+    passes: usize,
+}
+
+fn config(quick: bool) -> Config {
+    if quick {
+        Config { history_lens: vec![50, 100], sample_reads: 16, log_lens: vec![50, 100], passes: 2 }
+    } else {
+        Config {
+            // An 8x range inside one replay checkpoint era (< 1024
+            // changes): here every replay miss pays the full change
+            // prefix, which is the regime the growth claim measures.
+            history_lens: vec![96, 192, 384, 768],
+            sample_reads: 64,
+            log_lens: vec![250, 500, 1_000, 2_000],
+            passes: 5,
+        }
+    }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("audex-bench-mvcc-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A fixed 64-tuple population under `history_len` cycling UPDATEs: the
+/// live set never grows, only the version history does.
+fn build_history(mode: StorageMode, history_len: usize) -> Database {
+    let mut db = Database::with_mode(mode);
+    db.execute(
+        &parse_statement("CREATE TABLE p (pid CHAR, zipcode CHAR, disease CHAR)").unwrap(),
+        Timestamp(0),
+    )
+    .unwrap();
+    for i in 0..64 {
+        db.execute(
+            &parse_statement(&format!("INSERT INTO p VALUES ('p{i}', 'z{}', 'flu')", i % 8))
+                .unwrap(),
+            Timestamp(1 + i),
+        )
+        .unwrap();
+    }
+    for i in 0..history_len {
+        db.execute(
+            &parse_statement(&format!(
+                "UPDATE p SET zipcode = 'z{}' WHERE pid = 'p{}'",
+                i % 8,
+                i % 64
+            ))
+            .unwrap(),
+            Timestamp(100 + i as i64),
+        )
+        .unwrap();
+    }
+    db
+}
+
+/// Times `reads` historical reconstructions at distinct mid-history
+/// instants (distinct instants, so the snapshot cache cannot answer; every
+/// read pays reconstruction). Returns `(secs, result digests)`.
+fn time_as_of(db: &Database, history_len: usize, reads: usize) -> (f64, Vec<String>) {
+    let query = parse_query("SELECT pid, zipcode FROM p WHERE zipcode = 'z3'").unwrap();
+    let mut results = Vec::with_capacity(reads);
+    let t = Instant::now();
+    for k in 0..reads {
+        // Spread over the back half of the history: deep enough that the
+        // replay engine must re-apply a long prefix.
+        let ts = Timestamp(100 + (history_len / 2 + k * (history_len / 2) / reads) as i64);
+        results.push(db.at(ts).query(&query).expect("historical read"));
+    }
+    let secs = t.elapsed().as_secs_f64();
+    // Digesting (Debug-formatting result sets with lineage) costs more than
+    // the reads themselves — keep it out of the timed section.
+    (secs, results.iter().map(|rs| format!("{rs:?}")).collect())
+}
+
+/// Builds a durable store in `mode` with a standing audit and `log_len`
+/// ingested queries over a 200-change table history, checkpoints it, and
+/// returns the live audit response (the identity baseline).
+fn build_store(dir: &Path, mode: StorageMode, log_len: usize) -> String {
+    let (journal, mut recovered) =
+        Journal::open(dir, WalOptions { fsync: FsyncPolicy::Never, ..Default::default() })
+            .expect("open journal");
+    let config = ServiceConfig { storage: mode, ..Default::default() };
+    let mut core = ServiceCore::recovered(&mut recovered, config).expect("fresh store recovers");
+    core.attach_journal(journal);
+    let ok = |resp: &Json| assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "{resp}");
+    ok(&core
+        .handle(Request::Dml {
+            ts: Timestamp(100),
+            sql: "CREATE TABLE p (name CHAR, zipcode CHAR, disease CHAR); \
+                  INSERT INTO p VALUES ('jane','z1','flu'), ('reku','z2','diabetic'), \
+                  ('lucy','z3','malaria'), ('rob','z4','flu'), ('mira','z0','diabetic');"
+                .into(),
+        })
+        .response);
+    // A real change history, so the snapshot restores more than seed rows.
+    for i in 0..200 {
+        ok(&core
+            .handle(Request::Dml {
+                ts: Timestamp(200 + i),
+                sql: format!("UPDATE p SET disease = 'd{}' WHERE zipcode = 'z{}'", i % 7, i % 5),
+            })
+            .response);
+    }
+    ok(&core
+        .handle(Request::Register {
+            name: "snoop".into(),
+            expr: "AUDIT disease FROM p WHERE zipcode='z1'".into(),
+            now: Some(Timestamp(1_000_000)),
+        })
+        .response);
+    for i in 0..log_len {
+        ok(&core
+            .handle(Request::Log {
+                ts: Timestamp(1_000 + i as i64),
+                user: format!("u-{}", i % 17),
+                role: "doctor".into(),
+                purpose: "treatment".into(),
+                sql: format!("SELECT disease FROM p WHERE zipcode = 'z{}'", i % 5),
+            })
+            .response);
+    }
+    core.checkpoint().expect("checkpoint");
+    core.handle(Request::Audit { name: "snoop".into() }).response.to_string()
+}
+
+/// Reopens `dir` in `mode` and returns `(recovery secs, audit response)`.
+fn time_recovery(dir: &Path, mode: StorageMode) -> (f64, String) {
+    let config = ServiceConfig { storage: mode, ..Default::default() };
+    let t = Instant::now();
+    let (journal, mut recovered) =
+        Journal::open(dir, WalOptions::default()).expect("reopen journal");
+    let mut core = ServiceCore::recovered(&mut recovered, config).expect("recover");
+    let secs = t.elapsed().as_secs_f64();
+    drop(journal);
+    (secs, core.handle(Request::Audit { name: "snoop".into() }).response.to_string())
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--test");
+    let cfg = config(quick);
+    let mut rows = String::new();
+
+    // --- Experiment 1: as_of reconstruction vs history length. ----------
+    let mut mvcc_secs = Vec::new();
+    let mut replay_secs = Vec::new();
+    for &n in &cfg.history_lens {
+        // Short histories support fewer distinct mid-history instants; the
+        // metric is per-read, so the counts stay comparable across sizes.
+        let reads = cfg.sample_reads.min(n / 2);
+        let (mut mvcc, mut replay) = (f64::MAX, f64::MAX);
+        for _ in 0..cfg.passes {
+            // Fresh stores every pass: the shared snapshot cache would
+            // otherwise answer a repeated pass for free and flatten both
+            // curves into cache-hit time.
+            let mvcc_db = build_history(StorageMode::Mvcc, n);
+            let replay_db = build_history(StorageMode::Replay, n);
+            let (m_secs, m_digests) = time_as_of(&mvcc_db, n, reads);
+            let (r_secs, r_digests) = time_as_of(&replay_db, n, reads);
+            // Byte-identity gate: every sampled instant, both modes.
+            assert_eq!(m_digests, r_digests, "as_of diverged at history {n}");
+            mvcc = mvcc.min(m_secs / reads as f64);
+            replay = replay.min(r_secs / reads as f64);
+        }
+        mvcc_secs.push(mvcc);
+        replay_secs.push(replay);
+        println!(
+            "as_of_reconstruction history={n} reads={reads} \
+             mvcc_us_per_read={:.2} replay_us_per_read={:.2}",
+            mvcc * 1e6,
+            replay * 1e6
+        );
+        let _ = writeln!(
+            rows,
+            "    {{\"experiment\": \"as_of_reconstruction\", \"history\": {n}, \
+             \"reads\": {reads}, \"mvcc_us_per_read\": {:.3}, \"replay_us_per_read\": {:.3}}},",
+            mvcc * 1e6,
+            replay * 1e6
+        );
+    }
+    let growth = |v: &[f64]| match (v.first(), v.last()) {
+        (Some(&a), Some(&b)) if a > 0.0 => b / a,
+        _ => 0.0,
+    };
+    let mvcc_growth = growth(&mvcc_secs);
+    let replay_growth = growth(&replay_secs);
+    // Both modes pay the same query-evaluation cost on the same data; the
+    // mvcc column doubles as that fixed-cost control, so the growth claim
+    // is judged on the *reconstruction overhead* (replay minus mvcc),
+    // which is the term the paper's argument concerns. The raw replay
+    // ratio dilutes it at small histories, where fixed cost dominates.
+    let overhead: Vec<f64> =
+        replay_secs.iter().zip(&mvcc_secs).map(|(r, m)| (r - m).max(0.0)).collect();
+    let overhead_growth = growth(&overhead);
+    println!(
+        "as_of growth over a {}x history range: mvcc {mvcc_growth:.2}x, \
+         replay {replay_growth:.2}x (reconstruction overhead {overhead_growth:.2}x)",
+        cfg.history_lens.last().unwrap_or(&1) / cfg.history_lens.first().unwrap_or(&1)
+    );
+    if !quick {
+        // The headline claim: the version store's as_of stays flat while
+        // replay's reconstruction grows with the log. Thresholds are loose
+        // enough for noisy CI boxes and still unambiguous (8x history
+        // range).
+        assert!(
+            overhead_growth > 2.0,
+            "replay's reconstruction overhead should grow with history, \
+             measured {overhead_growth:.2}x (raw replay {replay_growth:.2}x)"
+        );
+        assert!(
+            mvcc_growth < 1.5,
+            "mvcc as_of should stay flat over an 8x history range, \
+             measured {mvcc_growth:.2}x (replay grew {replay_growth:.2}x)"
+        );
+    }
+
+    // --- Experiment 2: checkpointed recovery, snapshot vs replay. -------
+    let mut mvcc_rec = Vec::new();
+    let mut replay_rec = Vec::new();
+    for &log_len in &cfg.log_lens {
+        let dir_m = temp_dir(&format!("recover-mvcc-{log_len}"));
+        let live_m = build_store(&dir_m, StorageMode::Mvcc, log_len);
+        let dir_r = temp_dir(&format!("recover-replay-{log_len}"));
+        let live_r = build_store(&dir_r, StorageMode::Replay, log_len);
+        assert_eq!(live_m, live_r, "live audit diverged across modes at {log_len}");
+
+        let (mut m_best, mut r_best) = (f64::MAX, f64::MAX);
+        for _ in 0..cfg.passes {
+            let (m_secs, m_audit) = time_recovery(&dir_m, StorageMode::Mvcc);
+            let (r_secs, r_audit) = time_recovery(&dir_r, StorageMode::Replay);
+            assert_eq!(m_audit, live_m, "mvcc recovery drifted at {log_len}");
+            assert_eq!(r_audit, live_r, "replay recovery drifted at {log_len}");
+            m_best = m_best.min(m_secs);
+            r_best = r_best.min(r_secs);
+        }
+        let _ = std::fs::remove_dir_all(&dir_m);
+        let _ = std::fs::remove_dir_all(&dir_r);
+        mvcc_rec.push(m_best);
+        replay_rec.push(r_best);
+        println!(
+            "recovery log_len={log_len} mvcc_ms={:.3} replay_ms={:.3}",
+            m_best * 1e3,
+            r_best * 1e3
+        );
+        let _ = writeln!(
+            rows,
+            "    {{\"experiment\": \"recovery\", \"log_len\": {log_len}, \
+             \"mvcc_ms\": {:.4}, \"replay_ms\": {:.4}}},",
+            m_best * 1e3,
+            r_best * 1e3
+        );
+    }
+    // BENCH_4 (PR 4) measured checkpointed replay recovery of the same
+    // 2000-query store at 8.184 ms on this class of box — the baseline the
+    // acceptance criterion is stated against.
+    const PR4_CHECKPOINTED_MS: f64 = 8.184;
+    let mvcc_at_max = mvcc_rec.last().copied().unwrap_or(0.0) * 1e3;
+    let replay_at_max = replay_rec.last().copied().unwrap_or(0.0) * 1e3;
+    let speedup = if mvcc_at_max > 0.0 { PR4_CHECKPOINTED_MS / mvcc_at_max } else { 0.0 };
+    println!(
+        "recovery at {} queries: mvcc {mvcc_at_max:.3} ms, replay {replay_at_max:.3} ms, \
+         {speedup:.2}x vs the {PR4_CHECKPOINTED_MS} ms PR-4 checkpointed baseline",
+        cfg.log_lens.last().unwrap_or(&0),
+    );
+    if !quick {
+        assert!(
+            speedup >= 2.0,
+            "recovery at the largest store must beat the {PR4_CHECKPOINTED_MS} ms \
+             checkpointed-replay baseline by >=2x, measured {mvcc_at_max:.3} ms \
+             ({speedup:.2}x)"
+        );
+        assert!(
+            mvcc_at_max <= replay_at_max * 1.25,
+            "snapshot recovery must not run behind record-by-record prefix \
+             reconstruction: mvcc {mvcc_at_max:.3} ms vs replay {replay_at_max:.3} ms"
+        );
+    }
+
+    let rows = rows.trim_end().trim_end_matches(',');
+    let json = format!(
+        "{{\n  \"bench\": \"mvcc\",\n  \"mode\": \"{}\",\n  \
+         \"as_of_growth_mvcc\": {mvcc_growth:.3},\n  \
+         \"as_of_growth_replay\": {replay_growth:.3},\n  \
+         \"as_of_overhead_growth\": {overhead_growth:.3},\n  \
+         \"recovery_speedup_at_max\": {speedup:.3},\n  \"rows\": [\n{rows}\n  ]\n}}\n",
+        if quick { "quick" } else { "full" }
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_10.json");
+    std::fs::write(path, &json).expect("write BENCH_10.json");
+    println!("wrote {path}");
+}

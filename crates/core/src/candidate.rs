@@ -106,7 +106,7 @@ impl CandidateChecker {
         }
         // (2) P_Q ∧ P_A must be satisfiable.
         let mut constraints = self.audit_constraints.clone();
-        if let Some(p) = &q.query.selection {
+        if let Some(p) = &q.query().selection {
             constraints.extend(extract_constraints(p, q_scope));
         }
         satisfiable(&constraints)
@@ -128,7 +128,7 @@ impl CandidateChecker {
         for e in entries {
             governor.tick(AuditPhase::CandidateFilter)?;
             let keep = if static_filter {
-                match AuditScope::resolve(db, &e.query.from) {
+                match AuditScope::resolve(db, &e.query().from) {
                     Ok(q_scope) => self.is_candidate(&e, &q_scope),
                     Err(_) => false, // references unknown tables: cannot match
                 }
@@ -418,13 +418,13 @@ mod tests {
     fn logged(db: &Database, sql: &str) -> (LoggedQuery, AuditScope) {
         let query = parse_query(sql).unwrap();
         let scope = AuditScope::resolve(db, &query.from).unwrap();
-        let q = LoggedQuery {
-            id: QueryId(1),
+        let q = LoggedQuery::new(
+            QueryId(1),
             query,
-            text: sql.into(),
-            executed_at: Timestamp(1),
-            context: AccessContext::new("u", "r", "p"),
-        };
+            sql.into(),
+            Timestamp(1),
+            AccessContext::new("u", "r", "p"),
+        );
         (q, scope)
     }
 

@@ -45,8 +45,8 @@ impl AuditScope {
         let mut entries = Vec::with_capacity(from.len());
         for tref in from {
             let base = base_name(&tref.name);
-            let history =
-                db.history(&base).ok_or_else(|| AuditError::UnknownTable(tref.name.clone()))?;
+            let table =
+                db.table(&base).ok_or_else(|| AuditError::UnknownTable(tref.name.clone()))?;
             let binding = tref.binding().clone();
             if entries.iter().any(|e: &ScopeEntry| e.binding == binding) {
                 return Err(AuditError::Storage(audex_storage::StorageError::DuplicateBinding(
@@ -57,7 +57,7 @@ impl AuditScope {
                 binding,
                 relation: tref.name.clone(),
                 base,
-                schema: history.schema().clone(),
+                schema: table.schema().clone(),
             });
         }
         Ok(AuditScope { entries })

@@ -72,7 +72,7 @@ pub fn assess(
 }
 
 fn classify(entry: &LoggedQuery, db: &Database, policy: &PrivacyPolicy) -> AccessClass {
-    let Ok(scope) = AuditScope::resolve(db, &entry.query.from) else {
+    let Ok(scope) = AuditScope::resolve(db, &entry.query().from) else {
         return AccessClass::Unresolvable;
     };
     let reads: Vec<(Ident, Ident)> = accessed_base_columns(entry, &scope).into_iter().collect();

@@ -77,7 +77,7 @@ pub(crate) fn footprint_from_parts(
     // Record plain-column output positions for value-mode matching.
     let mut out_cols: Vec<(usize, BaseColumn)> = Vec::new();
     let mut idx = 0usize;
-    for item in &q.query.projection {
+    for item in &q.query().projection {
         match item {
             audex_sql::ast::SelectItem::Wildcard => {
                 for e in q_scope.entries() {
@@ -263,8 +263,8 @@ impl TouchIndex {
     }
 
     fn footprint(db: &Database, q: &LoggedQuery, strategy: JoinStrategy) -> Option<QueryFootprint> {
-        let q_scope = AuditScope::resolve(db, &q.query.from).ok()?;
-        let rs = db.at(q.executed_at).query_with(&q.query, strategy).ok()?;
+        let q_scope = AuditScope::resolve(db, &q.query().from).ok()?;
+        let rs = db.at(q.executed_at).query_with(q.query(), strategy).ok()?;
         Some(footprint_from_parts(q, &q_scope, &rs))
     }
 

@@ -112,13 +112,13 @@ pub fn shares_indispensable_tuple(
     view: &crate::target::TargetView,
 ) -> Result<bool, AuditError> {
     let q_bases: BTreeSet<audex_sql::Ident> =
-        q.query.from.iter().map(|t| base_name(&t.name)).collect();
+        q.query().from.iter().map(|t| base_name(&t.name)).collect();
     let shared: Vec<&crate::catalog::ScopeEntry> =
         audit_scope.entries().iter().filter(|e| q_bases.contains(&e.base)).collect();
     if shared.is_empty() {
         return Ok(false);
     }
-    let rs = match db.at(q.executed_at).query_with(&q.query, JoinStrategy::Auto) {
+    let rs = match db.at(q.executed_at).query_with(q.query(), JoinStrategy::Auto) {
         Ok(rs) => rs,
         Err(_) => return Ok(false),
     };
@@ -146,7 +146,7 @@ pub fn direct_semantic_single(
 ) -> Result<bool, AuditError> {
     let audit_scope = AuditScope::resolve(db, &audit.from)?;
     let spec = normalize_with(&audit.audit, &audit_scope)?;
-    let q_scope = match AuditScope::resolve(db, &q.query.from) {
+    let q_scope = match AuditScope::resolve(db, &q.query().from) {
         Ok(s) => s,
         Err(_) => return Ok(false),
     };
@@ -196,7 +196,7 @@ pub fn direct_semantic_batch(
     let mut covered: BTreeSet<(audex_sql::Ident, audex_sql::Ident)> = BTreeSet::new();
     for q in batch {
         if shares_indispensable_tuple(db, q, &audit_scope, &view)? {
-            if let Ok(q_scope) = AuditScope::resolve(db, &q.query.from) {
+            if let Ok(q_scope) = AuditScope::resolve(db, &q.query().from) {
                 covered.extend(accessed_base_columns(q, &q_scope));
             }
         }
@@ -232,7 +232,7 @@ pub fn direct_weak_syntactic(
         spec.all_columns().iter().filter_map(|c| audit_scope.base_of_column(c)).collect();
     for q in batch {
         if shares_indispensable_tuple(db, q, &audit_scope, &view)? {
-            if let Ok(q_scope) = AuditScope::resolve(db, &q.query.from) {
+            if let Ok(q_scope) = AuditScope::resolve(db, &q.query().from) {
                 let accessed = accessed_base_columns(q, &q_scope);
                 if accessed.iter().any(|c| needed.contains(c)) {
                     return Ok(true);

@@ -541,13 +541,13 @@ mod tests {
     }
 
     fn q(id: u64, sql: &str) -> Arc<LoggedQuery> {
-        Arc::new(LoggedQuery {
-            id: QueryId(id),
-            query: parse_query(sql).unwrap(),
-            text: sql.into(),
-            executed_at: Timestamp(100),
-            context: AccessContext::new("u", "r", "p"),
-        })
+        Arc::new(LoggedQuery::new(
+            QueryId(id),
+            parse_query(sql).unwrap(),
+            sql.into(),
+            Timestamp(100),
+            AccessContext::new("u", "r", "p"),
+        ))
     }
 
     fn prepare(db: &Database, text: &str) -> PreparedAudit {

@@ -343,7 +343,7 @@ pub fn static_weak_syntactic_governed(
     let mut saw_unknown = false;
     for q in batch {
         governor.tick(AuditPhase::StaticAnalysis)?;
-        let Ok(q_scope) = AuditScope::resolve(db, &q.query.from) else {
+        let Ok(q_scope) = AuditScope::resolve(db, &q.query().from) else {
             continue; // unknown tables: can never be suspicious
         };
         // Must share a table and access a relevant column — purely schematic.
@@ -353,7 +353,7 @@ pub fn static_weak_syntactic_governed(
         if accessed_base_columns(q, &q_scope).is_disjoint(&relevant) {
             continue;
         }
-        let q_constraints = match &q.query.selection {
+        let q_constraints = match &q.query().selection {
             Some(p) => match extract_strict(p, &q_scope) {
                 Some(cs) => cs,
                 None => {
@@ -407,11 +407,11 @@ fn build_witness(
     // Create every table first: the database clock is monotonic, so all
     // creations happen at t=0 and all row insertions at t=1.
     for base in &bases {
-        let history = db.history(base)?;
-        witness.create_table(base.clone(), history.schema().clone(), Timestamp(0)).ok()?;
+        let schema = db.table(base)?.schema().clone();
+        witness.create_table(base.clone(), schema, Timestamp(0)).ok()?;
     }
     for base in &bases {
-        let schema: Schema = db.history(base)?.schema().clone();
+        let schema: Schema = db.table(base)?.schema().clone();
         let row: Vec<Value> = schema
             .iter()
             .map(|(name, ty)| {
@@ -481,7 +481,7 @@ pub fn static_semantic_bound_governed(
     let checker = CandidateChecker::new(&audit_scope, &spec, audit.selection.as_ref())?;
     for q in batch {
         governor.tick(AuditPhase::StaticAnalysis)?;
-        if let Ok(q_scope) = AuditScope::resolve(db, &q.query.from) {
+        if let Ok(q_scope) = AuditScope::resolve(db, &q.query().from) {
             if checker.is_candidate(q, &q_scope) {
                 return Ok(StaticVerdict::Unknown);
             }
@@ -514,13 +514,13 @@ mod tests {
     }
 
     fn q(id: u64, sql: &str) -> Arc<LoggedQuery> {
-        Arc::new(LoggedQuery {
-            id: QueryId(id),
-            query: parse_query(sql).unwrap(),
-            text: sql.into(),
-            executed_at: Timestamp(5),
-            context: AccessContext::new("u", "r", "p"),
-        })
+        Arc::new(LoggedQuery::new(
+            QueryId(id),
+            parse_query(sql).unwrap(),
+            sql.into(),
+            Timestamp(5),
+            AccessContext::new("u", "r", "p"),
+        ))
     }
 
     #[test]

@@ -250,7 +250,7 @@ impl<'a> BatchEvaluator<'a> {
     fn out_cols(&self, q: &LoggedQuery, q_scope: &AuditScope) -> Vec<(usize, Vec<ResolvedColumn>)> {
         let mut out_cols: Vec<(usize, Vec<ResolvedColumn>)> = Vec::new();
         let mut out_idx = 0usize;
-        for item in &q.query.projection {
+        for item in &q.query().projection {
             match item {
                 audex_sql::ast::SelectItem::Wildcard => {
                     for e in q_scope.entries() {
@@ -446,7 +446,7 @@ pub(crate) struct ExecShared {
 impl SharedQueryState {
     /// Resolves the query's scope and accessed columns once.
     pub(crate) fn new(db: &Database, q: &LoggedQuery) -> SharedQueryState {
-        match AuditScope::resolve(db, &q.query.from) {
+        match AuditScope::resolve(db, &q.query().from) {
             Ok(qs) => {
                 let covered_columns = accessed_base_columns(q, &qs);
                 SharedQueryState { q_scope: Some(qs), covered_columns, exec: ExecState::NotRun }
@@ -472,7 +472,7 @@ impl SharedQueryState {
         strategy: JoinStrategy,
     ) -> Option<&mut ExecShared> {
         if matches!(self.exec, ExecState::NotRun) {
-            self.exec = match db.at(q.executed_at).query_with(&q.query, strategy) {
+            self.exec = match db.at(q.executed_at).query_with(q.query(), strategy) {
                 Ok(rs) => {
                     ExecState::Ready(ExecShared { rs, combos: None, covered_cache: HashMap::new() })
                 }
@@ -635,7 +635,7 @@ pub(crate) fn projected_base_columns(
     q_scope: &AuditScope,
 ) -> BTreeSet<BaseColumn> {
     let mut out = BTreeSet::new();
-    for item in &q.query.projection {
+    for item in &q.query().projection {
         match item {
             audex_sql::ast::SelectItem::Wildcard => {
                 for e in q_scope.entries() {
@@ -776,13 +776,13 @@ mod tests {
     }
 
     fn logged(sql: &str, id: u64) -> Arc<LoggedQuery> {
-        Arc::new(LoggedQuery {
-            id: QueryId(id),
-            query: parse_query(sql).unwrap(),
-            text: sql.into(),
-            executed_at: Timestamp(5),
-            context: AccessContext::new("u", "r", "p"),
-        })
+        Arc::new(LoggedQuery::new(
+            QueryId(id),
+            parse_query(sql).unwrap(),
+            sql.into(),
+            Timestamp(5),
+            AccessContext::new("u", "r", "p"),
+        ))
     }
 
     fn verdict(s: &Setup, queries: &[Arc<LoggedQuery>]) -> BatchVerdict {
@@ -946,14 +946,13 @@ mod tests {
     fn query_evaluated_at_its_own_execution_time() {
         // A query executed before the data existed cannot have touched it.
         let s = setup("AUDIT name FROM Patients");
-        let mut early = LoggedQuery {
-            id: QueryId(1),
-            query: parse_query("SELECT name FROM Patients").unwrap(),
-            text: String::new(),
-            executed_at: Timestamp(0),
-            context: AccessContext::new("u", "r", "p"),
-        };
-        early.executed_at = Timestamp(0);
+        let early = LoggedQuery::new(
+            QueryId(1),
+            parse_query("SELECT name FROM Patients").unwrap(),
+            String::new(),
+            Timestamp(0),
+            AccessContext::new("u", "r", "p"),
+        );
         let v = verdict(&s, &[Arc::new(early)]);
         assert!(!v.suspicious);
     }

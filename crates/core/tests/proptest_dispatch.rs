@@ -119,13 +119,13 @@ fn prepare(db: &Database, template: u8) -> PreparedAudit {
 
 fn logged(i: usize, text: &str) -> Arc<LoggedQuery> {
     let purpose = if i.is_multiple_of(2) { "treatment" } else { "marketing" };
-    Arc::new(LoggedQuery {
-        id: QueryId(i as u64),
-        query: parse_query(text).unwrap(),
-        text: text.into(),
-        executed_at: Timestamp(1_000 + i as i64),
-        context: AccessContext::new(format!("u{i}"), "nurse", purpose),
-    })
+    Arc::new(LoggedQuery::new(
+        QueryId(i as u64),
+        parse_query(text).unwrap(),
+        text.into(),
+        Timestamp(1_000 + i as i64),
+        AccessContext::new(format!("u{i}"), "nurse", purpose),
+    ))
 }
 
 proptest! {

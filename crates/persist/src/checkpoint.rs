@@ -21,6 +21,8 @@ use std::path::{Path, PathBuf};
 
 use audex_core::{AuditBatchState, QueryFootprint};
 use audex_log::QueryId;
+use audex_sql::Timestamp;
+use audex_storage::VersionStore;
 use audex_triage::TriageItem;
 
 use crate::codec::{self, crc32, Dec, DecodeError, Enc};
@@ -33,6 +35,21 @@ const CHECKPOINT_MAGIC: &[u8; 8] = b"AXCKP\x01\0\0";
 
 /// How many checkpoint files to keep on disk (newest-first fallback).
 pub const CHECKPOINTS_KEPT: usize = 2;
+
+/// A wholesale snapshot of the MVCC database at checkpoint time: the
+/// version stores plus the clock. Recovery restores it directly
+/// (`Database::from_mvcc_stores`) instead of re-applying the covered
+/// prefix's DML record by record, so recovery cost stops scaling with the
+/// change history. Absent for replay-mode services and for checkpoints
+/// written before this field existed — both fall back to record-by-record
+/// rebuild.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DbSnapshot {
+    /// The database clock (latest committed instant) at checkpoint time.
+    pub last_ts: Timestamp,
+    /// One version store per table, sorted by table name.
+    pub stores: Vec<VersionStore>,
+}
 
 /// A materialized snapshot of service state after `covers_seq` records.
 #[derive(Debug, Clone, PartialEq)]
@@ -54,6 +71,8 @@ pub struct CheckpointState {
     /// Review-queue items (with their ack/dismiss states), in ascending
     /// query-id order.
     pub triage: Vec<TriageItem>,
+    /// The MVCC database snapshot, when the service runs in MVCC mode.
+    pub db: Option<DbSnapshot>,
 }
 
 fn checkpoint_name(covers_seq: u64) -> String {
@@ -76,9 +95,7 @@ impl CheckpointState {
         for rec in &self.records {
             let payload = rec.encode();
             e.u32(payload.len() as u32);
-            for b in payload {
-                e.u8(b);
-            }
+            e.bytes(&payload);
         }
         e.u32(self.footprints.len() as u32);
         for fp in &self.footprints {
@@ -99,6 +116,17 @@ impl CheckpointState {
         for it in &self.triage {
             codec::put_triage_item(&mut e, it);
         }
+        match &self.db {
+            Some(snap) => {
+                e.bool(true);
+                e.i64(snap.last_ts.0);
+                e.u32(snap.stores.len() as u32);
+                for s in &snap.stores {
+                    codec::put_version_store(&mut e, s);
+                }
+            }
+            None => e.bool(false),
+        }
         e.into_bytes()
     }
 
@@ -109,11 +137,7 @@ impl CheckpointState {
         let mut records = Vec::with_capacity(n);
         for _ in 0..n {
             let len = d.seq_len()?;
-            let mut payload = Vec::with_capacity(len);
-            for _ in 0..len {
-                payload.push(d.u8()?);
-            }
-            records.push(WalRecord::decode(&payload)?);
+            records.push(WalRecord::decode(d.bytes(len)?)?);
         }
         let n = d.seq_len()?;
         let mut footprints = Vec::with_capacity(n);
@@ -139,6 +163,21 @@ impl CheckpointState {
         for _ in 0..n {
             triage.push(codec::get_triage_item(&mut d)?);
         }
+        // Checkpoints written before the MVCC snapshot existed end here;
+        // they decode with no snapshot and recover record by record.
+        let db = if d.is_exhausted() {
+            None
+        } else if d.bool()? {
+            let last_ts = Timestamp(d.i64()?);
+            let n = d.seq_len()?;
+            let mut stores = Vec::with_capacity(n);
+            for _ in 0..n {
+                stores.push(codec::get_version_store(&mut d)?);
+            }
+            Some(DbSnapshot { last_ts, stores })
+        } else {
+            None
+        };
         if !d.is_exhausted() {
             return Err(DecodeError { expected: "end of checkpoint", offset: d.offset() });
         }
@@ -150,6 +189,7 @@ impl CheckpointState {
             audit_states,
             counters,
             triage,
+            db,
         })
     }
 
@@ -315,6 +355,29 @@ mod tests {
                 exposed: 0,
                 state: audex_triage::ReviewState::Acked,
             }],
+            db: None,
+        }
+    }
+
+    fn sample_with_snapshot(covers_seq: u64) -> CheckpointState {
+        use audex_sql::ast::TypeName;
+        use audex_storage::{ChangeOp, ChangeRecord, Schema, Tid, Value};
+        let mut store = VersionStore::new(
+            Ident::new("t"),
+            Schema::new(vec![(Ident::new("a"), TypeName::Int)]).unwrap(),
+            Timestamp(0),
+        );
+        store
+            .record(ChangeRecord {
+                ts: Timestamp(5),
+                op: ChangeOp::Insert,
+                tid: Tid(1),
+                after: Some(vec![Value::Int(7)]),
+            })
+            .unwrap();
+        CheckpointState {
+            db: Some(DbSnapshot { last_ts: Timestamp(5), stores: vec![store] }),
+            ..sample(covers_seq)
         }
     }
 
@@ -330,6 +393,31 @@ mod tests {
         assert_eq!(latest.unwrap(), state);
         assert!(notes.is_empty());
         fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_checkpoint_round_trips() {
+        let dir = tmp("snapshot");
+        let state = sample_with_snapshot(2);
+        let path = state.write(&dir).unwrap();
+        let loaded = CheckpointState::load(&path).unwrap();
+        assert_eq!(loaded, state);
+        let snap = loaded.db.unwrap();
+        assert_eq!(snap.last_ts, Timestamp(5));
+        assert_eq!(snap.stores.len(), 1);
+        assert_eq!(snap.stores[0].versions().len(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn pre_snapshot_checkpoint_body_still_decodes() {
+        // A body that simply ends after the triage section (the layout
+        // before the snapshot field existed) must decode as `db: None`.
+        let state = sample(2);
+        let mut body = state.encode_body();
+        assert_eq!(body.pop(), Some(0), "trailing byte is the absent-snapshot marker");
+        let decoded = CheckpointState::decode_body(&body).unwrap();
+        assert_eq!(decoded, state);
     }
 
     #[test]

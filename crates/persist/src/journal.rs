@@ -23,7 +23,7 @@ use audex_sql::{Ident, Timestamp};
 use audex_storage::{ChangeRecord, ChangeSink, IoFaultState, Schema};
 use audex_triage::{RedactedScore, TriageItem};
 
-use crate::checkpoint::{self, CheckpointState};
+use crate::checkpoint::{self, CheckpointState, DbSnapshot};
 use crate::error::{PersistError, Result};
 use crate::record::WalRecord;
 use crate::wal::{self, TornTail, Wal, WalOptions};
@@ -65,6 +65,9 @@ pub struct CheckpointDerived {
     pub counters: [u64; 5],
     /// Review-queue items, in ascending query-id order.
     pub triage: Vec<TriageItem>,
+    /// The MVCC database snapshot (`None` for replay-mode services, which
+    /// recover their database record by record).
+    pub db: Option<DbSnapshot>,
 }
 
 /// Journal health/throughput counters, surfaced in `stats`.
@@ -171,7 +174,7 @@ impl Journal {
         // synced-into-checkpoint-but-not-into-WAL records), the surviving
         // segments are stale. The checkpoint holds those records, so drop
         // the segments and restart the log at the checkpoint boundary.
-        let peek = wal::scan_dir(dir, covers)?;
+        let mut peek = wal::scan_dir(dir, covers)?;
         if peek.next_seq < covers {
             for seg in &peek.segments {
                 std::fs::remove_file(&seg.path)
@@ -183,9 +186,13 @@ impl Journal {
                 peek.next_seq,
                 peek.segments.len()
             ));
+            // The directory changed; rescan (now empty of stale segments).
+            peek = wal::scan_dir(dir, covers)?;
         }
 
-        let (wal, scan) = Wal::open(dir, options, covers)?;
+        // The appender reuses the peek scan — a second full decode of every
+        // segment would double the recovery cost of large stores.
+        let (wal, scan) = Wal::open_scanned(dir, options, covers, peek)?;
         if scan.first_seq > covers {
             return Err(PersistError::Corrupt {
                 site: format!(
@@ -317,6 +324,11 @@ impl Journal {
         self.append(WalRecord::ReviewDismiss { query });
     }
 
+    /// Journals a template-wide bulk acknowledgement as one record.
+    pub fn record_review_ack_bulk(&self, queries: Vec<QueryId>) {
+        self.append(WalRecord::ReviewAckBulk { queries });
+    }
+
     /// Journals a triage sensitivity weight.
     pub fn record_weight(&self, table: Ident, column: Option<Ident>, weight: f64) {
         self.append(WalRecord::SetWeight { table, column, weight });
@@ -429,6 +441,7 @@ impl Journal {
             audit_states: derived.audit_states,
             counters: derived.counters,
             triage: derived.triage,
+            db: derived.db,
         };
         let path = state.write(dir)?;
         g.checkpoints_written += 1;
@@ -561,6 +574,7 @@ mod tests {
                 | WalRecord::Unregister { .. }
                 | WalRecord::ReviewAck { .. }
                 | WalRecord::ReviewDismiss { .. }
+                | WalRecord::ReviewAckBulk { .. }
                 | WalRecord::LogAppendRedacted { .. }
                 | WalRecord::SetWeight { .. } => {}
             }
@@ -638,6 +652,10 @@ mod tests {
             audit_states: vec![],
             counters: [1, 4, 0, 1, 1],
             triage: vec![],
+            db: db.mvcc_stores().map(|stores| DbSnapshot {
+                last_ts: db.last_ts(),
+                stores: stores.into_iter().cloned().collect(),
+            }),
         };
         journal.write_checkpoint(derived.clone()).unwrap();
         assert_eq!(journal.checkpoint_lag(), 0);
@@ -687,6 +705,7 @@ mod tests {
                 audit_states: vec![],
                 counters: [0; 5],
                 triage: vec![],
+                db: None,
             })
             .is_err());
         drop(journal);

@@ -39,7 +39,7 @@ pub mod record;
 pub mod tenants;
 pub mod wal;
 
-pub use checkpoint::{CheckpointState, CHECKPOINTS_KEPT};
+pub use checkpoint::{CheckpointState, DbSnapshot, CHECKPOINTS_KEPT};
 pub use error::{PersistError, Result};
 pub use journal::{read_store, CheckpointDerived, Journal, JournalCounters, Recovered};
 pub use record::WalRecord;

@@ -26,6 +26,7 @@ const TAG_REVIEW_ACK: u8 = 6;
 const TAG_REVIEW_DISMISS: u8 = 7;
 const TAG_LOG_APPEND_REDACTED: u8 = 8;
 const TAG_SET_WEIGHT: u8 = 9;
+const TAG_REVIEW_ACK_BULK: u8 = 10;
 
 /// One durable event.
 #[derive(Debug, Clone, PartialEq)]
@@ -106,6 +107,14 @@ pub enum WalRecord {
         /// Its redacted per-audit scores at append time.
         scores: Vec<RedactedScore>,
     },
+    /// Every open review-queue item matching one mined template was
+    /// acknowledged in a single decision. The resolved query ids are
+    /// journaled explicitly (not the template index): template mining is
+    /// derived state, and replaying ids keeps recovery independent of it.
+    ReviewAckBulk {
+        /// The acknowledged queries, in ascending id order.
+        queries: Vec<QueryId>,
+    },
     /// A triage sensitivity weight was set.
     SetWeight {
         /// The weighted table.
@@ -158,6 +167,13 @@ impl WalRecord {
             WalRecord::ReviewDismiss { query } => {
                 e.u8(TAG_REVIEW_DISMISS);
                 e.u64(query.0);
+            }
+            WalRecord::ReviewAckBulk { queries } => {
+                e.u8(TAG_REVIEW_ACK_BULK);
+                e.u32(queries.len() as u32);
+                for q in queries {
+                    e.u64(q.0);
+                }
             }
             WalRecord::LogAppendRedacted {
                 ts,
@@ -237,6 +253,13 @@ impl WalRecord {
             TAG_UNREGISTER => WalRecord::Unregister { name: d.str()? },
             TAG_REVIEW_ACK => WalRecord::ReviewAck { query: QueryId(d.u64()?) },
             TAG_REVIEW_DISMISS => WalRecord::ReviewDismiss { query: QueryId(d.u64()?) },
+            TAG_REVIEW_ACK_BULK => {
+                let mut queries = Vec::new();
+                for _ in 0..d.seq_len()? {
+                    queries.push(QueryId(d.u64()?));
+                }
+                WalRecord::ReviewAckBulk { queries }
+            }
             TAG_LOG_APPEND_REDACTED => {
                 let ts = Timestamp(d.i64()?);
                 let user = codec::get_ident(&mut d)?;
@@ -333,6 +356,8 @@ mod tests {
             WalRecord::Unregister { name: "a1".into() },
             WalRecord::ReviewAck { query: QueryId(3) },
             WalRecord::ReviewDismiss { query: QueryId(4) },
+            WalRecord::ReviewAckBulk { queries: vec![QueryId(2), QueryId(5), QueryId(9)] },
+            WalRecord::ReviewAckBulk { queries: vec![] },
             WalRecord::LogAppendRedacted {
                 ts: Timestamp(60),
                 user: Ident::new("u1"),

@@ -307,8 +307,20 @@ impl Wal {
     /// end. `base_seq` seeds the sequence numbering when no segments exist.
     pub fn open(dir: &Path, options: WalOptions, base_seq: u64) -> Result<(Wal, WalScan)> {
         fs::create_dir_all(dir).map_err(PersistError::io_at("create WAL directory", dir))?;
-        let mut scan = scan_dir(dir, base_seq)?;
+        let scan = scan_dir(dir, base_seq)?;
+        Self::open_scanned(dir, options, base_seq, scan)
+    }
 
+    /// [`Wal::open`] with the directory scan already done — callers that
+    /// must inspect the scan before committing to an appender (the journal
+    /// peeks for stale-segment detection) pass it in rather than paying a
+    /// second full decode of every segment.
+    pub fn open_scanned(
+        dir: &Path,
+        options: WalOptions,
+        base_seq: u64,
+        mut scan: WalScan,
+    ) -> Result<(Wal, WalScan)> {
         // Repair the torn tail: truncate to the last valid frame.
         if let Some(t) = &mut scan.torn {
             let f = OpenOptions::new()

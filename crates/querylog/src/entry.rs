@@ -3,6 +3,7 @@
 use audex_sql::ast::Query;
 use audex_sql::{Ident, Timestamp};
 use std::fmt;
+use std::sync::OnceLock;
 
 /// A stable identifier for a logged query.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -35,28 +36,80 @@ impl AccessContext {
 }
 
 /// One logged query execution.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct LoggedQuery {
     /// Log-assigned id.
     pub id: QueryId,
-    /// The parsed query.
-    pub query: Query,
     /// The original text as submitted.
     pub text: String,
     /// Execution time.
     pub executed_at: Timestamp,
     /// Who / as-what / why.
     pub context: AccessContext,
+    /// Parsed form of `text`, materialized on first AST access. Live
+    /// appends pre-fill it (the text was parsed to validate it anyway);
+    /// entries rebuilt from a journal defer the parse so recovery cost
+    /// stays independent of how many logged queries an audit store holds.
+    parsed: OnceLock<Query>,
+}
+
+// `parsed` is derived from `text`, so it carries no identity of its own;
+// two entries are equal iff the durable fields agree.
+impl PartialEq for LoggedQuery {
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id
+            && self.text == other.text
+            && self.executed_at == other.executed_at
+            && self.context == other.context
+    }
 }
 
 impl LoggedQuery {
+    /// An entry whose text has already been parsed (the live append path).
+    pub fn new(
+        id: QueryId,
+        query: Query,
+        text: String,
+        executed_at: Timestamp,
+        context: AccessContext,
+    ) -> Self {
+        let parsed = OnceLock::new();
+        let _ = parsed.set(query);
+        LoggedQuery { id, text, executed_at, context, parsed }
+    }
+
+    /// An entry whose text was validated when it was first accepted — a
+    /// journaled append being replayed — so the parse can be deferred
+    /// until the AST is actually needed.
+    pub fn prevalidated(
+        id: QueryId,
+        text: String,
+        executed_at: Timestamp,
+        context: AccessContext,
+    ) -> Self {
+        LoggedQuery { id, text, executed_at, context, parsed: OnceLock::new() }
+    }
+
+    /// The parsed query, materializing it from `text` on first access.
+    pub fn query(&self) -> &Query {
+        self.parsed.get_or_init(|| match audex_sql::parse_query(&self.text) {
+            Ok(q) => q,
+            // Only reachable through [`LoggedQuery::prevalidated`], whose
+            // contract is that the text parsed when first accepted; a
+            // failure here means the journal was edited out-of-band, and
+            // auditing against a silently dropped query would be worse
+            // than stopping.
+            Err(e) => panic!("previously-validated query {} no longer parses: {e}", self.id),
+        })
+    }
+
     /// The columns this query *accessed*: everything in its projection plus
     /// everything referenced by its predicate — the paper's
     /// `C_Q = C_OQ ∪ columns(P_Q)`. Wildcards are returned as `*` markers
     /// for the audit layer to expand against the schema.
     pub fn accessed_columns(&self) -> Vec<AccessedColumn> {
         let mut out = Vec::new();
-        for item in &self.query.projection {
+        for item in &self.query().projection {
             match item {
                 audex_sql::ast::SelectItem::Wildcard => out.push(AccessedColumn::AllColumns),
                 audex_sql::ast::SelectItem::QualifiedWildcard(t) => {
@@ -67,11 +120,11 @@ impl LoggedQuery {
                 }
             }
         }
-        if let Some(pred) = &self.query.selection {
+        if let Some(pred) = &self.query().selection {
             pred.walk_columns(&mut |c| out.push(AccessedColumn::Column(c.clone())));
         }
         // ORDER BY keys are read too (their values leak through ordering).
-        for o in &self.query.order_by {
+        for o in &self.query().order_by {
             o.expr.walk_columns(&mut |c| out.push(AccessedColumn::Column(c.clone())));
         }
         out
@@ -95,13 +148,29 @@ mod tests {
     use audex_sql::parse_query;
 
     fn logged(sql: &str) -> LoggedQuery {
-        LoggedQuery {
-            id: QueryId(1),
-            query: parse_query(sql).unwrap(),
-            text: sql.to_string(),
-            executed_at: Timestamp(100),
-            context: AccessContext::new("u1", "nurse", "treatment"),
-        }
+        LoggedQuery::new(
+            QueryId(1),
+            parse_query(sql).unwrap(),
+            sql.to_string(),
+            Timestamp(100),
+            AccessContext::new("u1", "nurse", "treatment"),
+        )
+    }
+
+    #[test]
+    fn prevalidated_parses_lazily_and_compares_equal() {
+        let sql = "SELECT zipcode FROM Patients WHERE disease = 'cancer'";
+        let lazy = LoggedQuery::prevalidated(
+            QueryId(1),
+            sql.to_string(),
+            Timestamp(100),
+            AccessContext::new("u1", "nurse", "treatment"),
+        );
+        let eager = logged(sql);
+        // Equality ignores whether the AST has been materialized yet.
+        assert_eq!(lazy, eager);
+        assert_eq!(lazy.query(), eager.query());
+        assert_eq!(lazy.accessed_columns(), eager.accessed_columns());
     }
 
     #[test]

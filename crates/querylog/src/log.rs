@@ -159,11 +159,29 @@ impl QueryLog {
             }
         }
         let id = QueryId(guard.len() as u64 + 1);
-        let entry =
-            Arc::new(LoggedQuery { id, query, text: sql.to_string(), executed_at, context });
+        let entry = Arc::new(LoggedQuery::new(id, query, sql.to_string(), executed_at, context));
         self.notify(&entry);
         guard.push(entry);
         Ok(id)
+    }
+
+    /// Appends text that an earlier run already validated — a journaled
+    /// append being replayed during recovery. No parse, no ordering check:
+    /// the journal replays in exactly the order the live run accepted, and
+    /// the AST materializes lazily on first audit use, keeping recovery
+    /// time independent of per-entry SQL complexity.
+    pub fn record_prevalidated(
+        &self,
+        sql: &str,
+        executed_at: Timestamp,
+        context: AccessContext,
+    ) -> QueryId {
+        let mut guard = self.write();
+        let id = QueryId(guard.len() as u64 + 1);
+        let entry = Arc::new(LoggedQuery::prevalidated(id, sql.to_string(), executed_at, context));
+        self.notify(&entry);
+        guard.push(entry);
+        id
     }
 
     fn record_with_text(
@@ -175,7 +193,7 @@ impl QueryLog {
     ) -> QueryId {
         let mut guard = self.write();
         let id = QueryId(guard.len() as u64 + 1);
-        let entry = Arc::new(LoggedQuery { id, query, text, executed_at, context });
+        let entry = Arc::new(LoggedQuery::new(id, query, text, executed_at, context));
         self.notify(&entry);
         guard.push(entry);
         id

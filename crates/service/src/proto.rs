@@ -175,6 +175,12 @@ pub enum Request {
         /// The flagged query's id.
         query: u64,
     },
+    /// Acknowledge every open item matching one mined template (by its
+    /// index in the `triage` listing) in a single journaled decision.
+    AckTemplate {
+        /// Zero-based index into the current template ordering.
+        template: u64,
+    },
     /// Dismiss a flagged query as benign.
     Dismiss {
         /// The flagged query's id.
@@ -214,6 +220,7 @@ impl Request {
             Request::Triage => "triage",
             Request::Queue { .. } => "queue",
             Request::Ack { .. } => "ack",
+            Request::AckTemplate { .. } => "ack",
             Request::Dismiss { .. } => "dismiss",
             Request::Weight { .. } => "weight",
         }
@@ -311,7 +318,13 @@ pub fn parse_envelope(line: &str) -> Result<Envelope, String> {
                 }
             },
         },
-        "ack" => Request::Ack { query: need_query(&v, cmd)? },
+        "ack" => match (v.get("query"), v.get("template")) {
+            (Some(_), Some(_)) => {
+                return Err(format!("{cmd}: \"query\" and \"template\" are mutually exclusive"))
+            }
+            (None, Some(_)) => Request::AckTemplate { template: need_index(&v, cmd, "template")? },
+            _ => Request::Ack { query: need_query(&v, cmd)? },
+        },
         "dismiss" => Request::Dismiss { query: need_query(&v, cmd)? },
         "weight" => Request::Weight {
             table: need("table")?,
@@ -329,6 +342,15 @@ pub fn parse_envelope(line: &str) -> Result<Envelope, String> {
         other => return Err(format!("unknown command {other:?}")),
     };
     Ok(Envelope { tenant, req })
+}
+
+/// Reads a non-negative integer field (a template index).
+fn need_index(v: &Json, cmd: &str, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Json::as_int)
+        .filter(|n| *n >= 0)
+        .map(|n| n as u64)
+        .ok_or_else(|| format!("{cmd}: {key:?} must be a non-negative integer"))
 }
 
 /// Reads the `"query"` field of a review decision: a non-negative integer
@@ -452,6 +474,16 @@ mod tests {
             parse_request(r#"{"cmd":"dismiss","query":9}"#).unwrap(),
             Request::Dismiss { query: 9 }
         );
+        assert_eq!(
+            parse_request(r#"{"cmd":"ack","template":0}"#).unwrap(),
+            Request::AckTemplate { template: 0 }
+        );
+        assert!(parse_request(r#"{"cmd":"ack","template":-1}"#).unwrap_err().contains("template"));
+        assert!(parse_request(r#"{"cmd":"ack","query":1,"template":0}"#)
+            .unwrap_err()
+            .contains("mutually exclusive"));
+        assert_eq!(Request::AckTemplate { template: 0 }.cmd_name(), "ack");
+        assert!(!Request::AckTemplate { template: 0 }.is_fleet_op());
         assert_eq!(
             parse_request(r#"{"cmd":"weight","table":"Patients","column":"disease","weight":5}"#)
                 .unwrap(),

@@ -25,7 +25,7 @@
 //! statement. `audit` answers for the pinned view straight from the index;
 //! re-register to pick up later DML.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -35,9 +35,9 @@ use audex_core::{
 };
 use audex_log::{AccessContext, LoggedQuery, QueryId, QueryLog};
 use audex_obs::{Counter, Gauge, Histogram, Registry, Tracer};
-use audex_persist::{CheckpointDerived, Journal, PersistError, Recovered, WalRecord};
+use audex_persist::{CheckpointDerived, DbSnapshot, Journal, PersistError, Recovered, WalRecord};
 use audex_sql::{Ident, Timestamp};
-use audex_storage::{ChangeSink, Database, JoinStrategy};
+use audex_storage::{ChangeSink, Database, JoinStrategy, StorageMode};
 use audex_triage::{fnv1a64, RedactedScore, ReviewQueue, ReviewState};
 
 use crate::json::{obj, Json};
@@ -71,6 +71,9 @@ pub struct ServiceConfig {
     /// Auditor review budget: the default page size of the `queue` command
     /// (`--review-budget`). `None` falls back to 10.
     pub review_budget: Option<u64>,
+    /// Version-history representation: MVCC tuple store by default, backlog
+    /// replay as the differential oracle (`--storage replay`).
+    pub storage: StorageMode,
 }
 
 /// Monotonic counters surfaced by the `stats` command. A point-in-time
@@ -221,7 +224,15 @@ impl ServiceCore {
     /// A service over a starting database (possibly empty) and an empty
     /// log.
     pub fn new(db: Database, config: ServiceConfig) -> ServiceCore {
-        let mut db = db;
+        // An empty starting database takes the configured storage mode, so
+        // every `ServiceCore::new(Database::new(), config)` call site —
+        // including tenant shards — honors `--storage` without plumbing.
+        // A non-empty database keeps whatever mode built it.
+        let mut db = if db.table_names().is_empty() && db.storage_mode() != config.storage {
+            Database::with_mode(config.storage)
+        } else {
+            db
+        };
         let registry = Registry::new();
         let tracer = Tracer::disabled();
         db.set_obs(&registry);
@@ -391,6 +402,10 @@ impl ServiceCore {
                 c.events_emitted,
             ],
             triage: self.triage.export(),
+            db: self.db.mvcc_stores().map(|stores| DbSnapshot {
+                last_ts: self.db.last_ts(),
+                stores: stores.into_iter().cloned().collect(),
+            }),
         })
     }
 
@@ -412,19 +427,41 @@ impl ServiceCore {
     ///
     /// The journal is *not* attached here; attach it after this returns so
     /// replay is not re-journaled.
+    ///
+    /// Takes `recovered` mutably because the checkpoint's derived state —
+    /// footprints, batch states, triage items, and the MVCC snapshot — is
+    /// *moved* into the new core rather than deep-copied (for a large store
+    /// those clones dominate recovery time). The summary fields every
+    /// caller reports afterwards (`covers_seq`, record counts, `notes`,
+    /// `torn`, `next_seq`) are left intact.
     pub fn recovered(
-        recovered: &Recovered,
+        recovered: &mut Recovered,
         config: ServiceConfig,
     ) -> Result<ServiceCore, PersistError> {
         let mut core = ServiceCore::new(Database::new(), config);
 
-        if let Some(ck) = &recovered.checkpoint {
+        if let Some(ck) = &mut recovered.checkpoint {
             // Phase A: rebuild raw state; skip all derived computation.
-            for (seq, rec) in ck.records.iter().enumerate() {
-                core.replay_record(rec, seq as u64, false)?;
+            // With an MVCC snapshot the covered DML is never re-applied —
+            // the version stores restore wholesale and only the log/audit
+            // records are walked — so this phase stops scaling with the
+            // length of the change history.
+            match (ck.db.take(), config.storage) {
+                (Some(snap), StorageMode::Mvcc) => {
+                    core.restore_snapshot_prefix(snap, &ck.records)?;
+                }
+                (snap, _) => {
+                    ck.db = snap; // replay mode leaves the snapshot in place
+                    for (seq, rec) in ck.records.iter().enumerate() {
+                        core.replay_record(rec, seq as u64, false)?;
+                    }
+                }
             }
-            core.index = TouchIndex::from_parts(ck.footprints.clone(), ck.skipped.clone());
-            core.online.restore_states(ck.audit_states.clone()).map_err(|e| {
+            core.index = TouchIndex::from_parts(
+                std::mem::take(&mut ck.footprints),
+                std::mem::take(&mut ck.skipped),
+            );
+            core.online.restore_states(std::mem::take(&mut ck.audit_states)).map_err(|e| {
                 PersistError::Replay { site: format!("checkpoint audit states: {e}") }
             })?;
             core.metrics.ingested.store(ck.counters[0]);
@@ -432,7 +469,7 @@ impl ServiceCore {
             core.metrics.dml.store(ck.counters[2]);
             core.metrics.governor_rejections.store(ck.counters[3]);
             core.metrics.events.store(ck.counters[4]);
-            core.triage.restore(ck.triage.clone());
+            core.triage.restore(std::mem::take(&mut ck.triage));
         }
 
         // Phase B: the tail goes through the full ingest path.
@@ -442,6 +479,85 @@ impl ServiceCore {
         }
         core.metrics.publish_triage(&core.triage);
         Ok(core)
+    }
+
+    /// Phase A against a checkpointed MVCC snapshot: the version stores
+    /// restore wholesale ([`Database::from_mvcc_stores`]), so the covered
+    /// prefix's `CreateTable`/`Change` records are only *counted* — to know
+    /// the exact per-table prefix each mid-stream registration originally
+    /// saw — never re-applied. Log appends still repopulate the query log
+    /// in order, and each registration re-prepares at its recorded `now`
+    /// against an O(prefix) [`Database::fork_prefix`] fork of the restored
+    /// stores (or the restored database itself when no DML follows it):
+    /// identical inputs, so an identical prepared audit.
+    fn restore_snapshot_prefix(
+        &mut self,
+        snap: DbSnapshot,
+        records: &[WalRecord],
+    ) -> Result<(), PersistError> {
+        let mut db = Database::from_mvcc_stores(snap.stores, snap.last_ts)
+            .map_err(|e| PersistError::Replay { site: format!("checkpoint db snapshot: {e}") })?;
+        db.set_obs(&self.registry);
+        self.db = db;
+
+        // Whether any DML record occurs at or after index i — when none
+        // does, a registration at i saw exactly the restored database and
+        // needs no fork.
+        let mut dml_after = vec![false; records.len() + 1];
+        for i in (0..records.len()).rev() {
+            let is_dml =
+                matches!(records[i], WalRecord::CreateTable { .. } | WalRecord::Change { .. });
+            dml_after[i] = dml_after[i + 1] || is_dml;
+        }
+
+        let mut counts: BTreeMap<Ident, usize> = BTreeMap::new();
+        let mut clock = Timestamp(0); // a fresh database's last_ts
+        for (seq, rec) in records.iter().enumerate() {
+            let fail = |what: &dyn std::fmt::Display| PersistError::Replay {
+                site: format!("record seq {seq}: {what}"),
+            };
+            match rec {
+                WalRecord::CreateTable { name, ts, .. } => {
+                    counts.entry(name.clone()).or_insert(0);
+                    clock = clock.max(*ts);
+                }
+                WalRecord::Change { table, rec } => {
+                    *counts.entry(table.clone()).or_insert(0) += 1;
+                    clock = clock.max(rec.ts);
+                }
+                WalRecord::Register { name, expr, now } => {
+                    let parsed = audex_sql::parse_audit(expr).map_err(|e| fail(&e))?;
+                    let governor = Governor::unlimited();
+                    let fork;
+                    let db = if dml_after[seq] {
+                        fork = self.db.fork_prefix(&counts, clock).map_err(|e| fail(&e))?;
+                        &fork
+                    } else {
+                        &self.db
+                    };
+                    let prepared = {
+                        let engine = AuditEngine::with_options(
+                            db,
+                            &self.log,
+                            EngineOptions { strategy: self.config.strategy, ..Default::default() },
+                        )
+                        .with_obs(self.engine_obs.clone());
+                        engine.prepare_governed(&parsed, *now, &governor).map_err(|e| fail(&e))?
+                    };
+                    if dml_after[seq] {
+                        // The fork's reads are the ones the live run charged
+                        // to the primary database.
+                        self.db.absorb_scan(db.mvcc_scan_stats());
+                    }
+                    let id = self.online.push(prepared);
+                    self.registered.push(RegisteredAudit { name: name.clone(), id });
+                }
+                // Everything else behaves exactly as checkpointed-prefix
+                // replay always has (derived state restores separately).
+                other => self.replay_record(other, seq as u64, false)?,
+            }
+        }
+        Ok(())
     }
 
     /// Applies one journaled record during recovery. With `derive` set the
@@ -477,13 +593,13 @@ impl ServiceCore {
                 let context = AccessContext::new(user.clone(), role.clone(), purpose.clone());
                 if derive {
                     let query = audex_sql::parse_query(sql).map_err(|e| fail(&e))?;
-                    let entry = Arc::new(LoggedQuery {
-                        id: QueryId(self.log.len() as u64 + 1),
+                    let entry = Arc::new(LoggedQuery::new(
+                        QueryId(self.log.len() as u64 + 1),
                         query,
-                        text: sql.clone(),
-                        executed_at: *ts,
-                        context: context.clone(),
-                    });
+                        sql.clone(),
+                        *ts,
+                        context.clone(),
+                    ));
                     // Replay shares one execution between scoring and the
                     // index exactly like the live `handle_log`, so the
                     // rebuilt index is byte-identical to the one the live
@@ -504,7 +620,12 @@ impl ServiceCore {
                     self.metrics.events.add(events_for_scores(&scores) as u64);
                     self.metrics.ingested.inc();
                 }
-                self.log.record_text(sql, *ts, context).map_err(|e| fail(&e))?;
+                // The text was parse-validated when the live run accepted
+                // it, so recovery appends without re-parsing — the AST
+                // materializes lazily if an audit ever needs this entry.
+                // This keeps checkpointed recovery time proportional to the
+                // WAL tail, not to how many queries the store has logged.
+                self.log.record_prevalidated(sql, *ts, context);
             }
             WalRecord::Register { name, expr, now } => {
                 let parsed = audex_sql::parse_audit(expr).map_err(|e| fail(&e))?;
@@ -544,6 +665,13 @@ impl ServiceCore {
             WalRecord::ReviewDismiss { query } => {
                 if derive {
                     self.triage.set_state(*query, ReviewState::Dismissed);
+                }
+            }
+            WalRecord::ReviewAckBulk { queries } => {
+                if derive {
+                    for query in queries {
+                        self.triage.set_state(*query, ReviewState::Acked);
+                    }
                 }
             }
             // Weights are configuration, not checkpoint-derived state, so
@@ -616,15 +744,19 @@ impl ServiceCore {
             Request::Triage => Outcome::reply(self.triage_json()),
             Request::Queue { top, offset } => Outcome::reply(self.queue_json(top, offset)),
             Request::Ack { query } => self.handle_review(QueryId(query), ReviewState::Acked),
+            Request::AckTemplate { template } => self.handle_ack_template(template),
             Request::Dismiss { query } => {
                 self.handle_review(QueryId(query), ReviewState::Dismissed)
             }
             Request::Weight { table, column, weight } => self.handle_weight(&table, column, weight),
             Request::Stats => Outcome::reply(self.stats_json()),
-            Request::Metrics => Outcome::reply(obj([
-                ("ok", Json::Bool(true)),
-                ("metrics", Json::Str(self.registry.render_prometheus())),
-            ])),
+            Request::Metrics => {
+                self.db.refresh_mvcc_gauges();
+                Outcome::reply(obj([
+                    ("ok", Json::Bool(true)),
+                    ("metrics", Json::Str(self.registry.render_prometheus())),
+                ]))
+            }
             Request::Subscribe => Outcome::reply(obj([("ok", Json::Bool(true))])),
             Request::Shutdown => {
                 // Flush the WAL so everything acknowledged is durable
@@ -759,13 +891,13 @@ impl ServiceCore {
                 ));
             }
         }
-        let entry = Arc::new(LoggedQuery {
-            id: QueryId(self.log.len() as u64 + 1),
+        let entry = Arc::new(LoggedQuery::new(
+            QueryId(self.log.len() as u64 + 1),
             query,
-            text: sql.to_string(),
-            executed_at: ts,
+            sql.to_string(),
+            ts,
             context,
-        });
+        ));
 
         // Admission control: the indexing step ticks this request's
         // governor before any state is touched, so a trip rejects the
@@ -1119,6 +1251,34 @@ impl ServiceCore {
         ]))
     }
 
+    /// `ack` with a `template` index: acknowledge every open item matching
+    /// one mined template as a single decision. The resolved query ids are
+    /// journaled in one [`WalRecord::ReviewAckBulk`] record — template
+    /// mining is derived state, so replay never re-mines.
+    fn handle_ack_template(&mut self, template: u64) -> Outcome {
+        let queries = self.triage.template_queries(template as usize);
+        if queries.is_empty() {
+            return self.reject(format!(
+                "template {template} has no open items (templates are mined live; \
+                 run triage for the current listing)"
+            ));
+        }
+        for q in &queries {
+            self.triage.set_state(*q, ReviewState::Acked);
+        }
+        if let Some(j) = &self.journal {
+            j.record_review_ack_bulk(queries.clone());
+        }
+        self.metrics.publish_triage(&self.triage);
+        Outcome::reply(obj([
+            ("ok", Json::Bool(true)),
+            ("template", Json::Int(template as i64)),
+            ("acked", Json::Int(queries.len() as i64)),
+            ("queries", Json::Arr(queries.iter().map(|q| Json::Int(q.0 as i64)).collect())),
+            ("state", Json::from(ReviewState::Acked.as_str())),
+        ]))
+    }
+
     /// `weight`: set a per-table or per-column sensitivity multiplier.
     /// Weights are configuration, not derived state — they journal
     /// unconditionally and replay unconditionally.
@@ -1147,6 +1307,7 @@ impl ServiceCore {
         let stats = self.db.snapshot_stats();
         let total_reads = stats.hits + stats.misses;
         let hit_rate = if total_reads == 0 { 0.0 } else { stats.hits as f64 / total_reads as f64 };
+        self.db.refresh_mvcc_gauges();
         let c = self.counters();
         let mut fields: Vec<(String, Json)> = [
             ("ok", Json::Bool(true)),
@@ -1183,10 +1344,31 @@ impl ServiceCore {
             ("snapshot_cache_misses", Json::from(stats.misses)),
             ("snapshot_cache_hit_rate", Json::Float(hit_rate)),
             ("snapshot_cache_entries", Json::from(self.db.snapshot_cache_len())),
+            (
+                "storage_mode",
+                Json::from(match self.db.storage_mode() {
+                    StorageMode::Mvcc => "mvcc",
+                    StorageMode::Replay => "replay",
+                }),
+            ),
         ]
         .into_iter()
         .map(|(k, v)| (k.to_string(), v))
         .collect();
+        if let Some(m) = self.db.mvcc_stats() {
+            let scan = self.db.mvcc_scan_stats();
+            fields.extend(
+                [
+                    ("mvcc_live_versions", m.live_versions),
+                    ("mvcc_dead_versions", m.dead_versions),
+                    ("mvcc_store_bytes", m.approx_bytes),
+                    ("mvcc_visibility_probes", scan.probes),
+                    ("mvcc_versions_examined", scan.versions_examined),
+                ]
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), Json::from(v))),
+            );
+        }
         if let Some(j) = &self.journal {
             let jc = j.counters();
             fields.extend(journal_stats_fields(&jc));
@@ -1423,8 +1605,8 @@ mod tests {
         requests(&mut live);
         drop(live);
 
-        let (journal, recovered) = Journal::open(&dir, WalOptions::default()).unwrap();
-        let mut after = ServiceCore::recovered(&recovered, ServiceConfig::default()).unwrap();
+        let (journal, mut recovered) = Journal::open(&dir, WalOptions::default()).unwrap();
+        let mut after = ServiceCore::recovered(&mut recovered, ServiceConfig::default()).unwrap();
         after.attach_journal(journal);
         let r = after.handle(log_req(200, "SELECT disease FROM Patients WHERE zipcode = '145568'"));
         let scores = r.response.get("scores").and_then(Json::as_arr).unwrap();
@@ -1547,14 +1729,15 @@ mod tests {
             }
             drop(live); // "crash": no shutdown, but fsync=always covered us
 
-            let (journal, recovered) = Journal::open(&dir, WalOptions::default()).unwrap();
+            let (journal, mut recovered) = Journal::open(&dir, WalOptions::default()).unwrap();
             if checkpoint_mid_stream {
                 assert!(recovered.checkpoint.is_some());
                 assert_eq!(recovered.tail.len(), 1);
             } else {
                 assert!(recovered.checkpoint.is_none());
             }
-            let mut after = ServiceCore::recovered(&recovered, ServiceConfig::default()).unwrap();
+            let mut after =
+                ServiceCore::recovered(&mut recovered, ServiceConfig::default()).unwrap();
             after.attach_journal(journal);
 
             let audit = after.handle(Request::Audit { name: "cancer".into() }).response;
@@ -1697,6 +1880,61 @@ mod tests {
         assert_eq!(stats.get("triage_dismissed").and_then(Json::as_int), Some(1));
     }
 
+    /// Template-wide acknowledgement retires every open item sharing the
+    /// mined template in one request, journals one record, and survives
+    /// crash recovery; a template index with no open items is refused.
+    #[test]
+    fn bulk_ack_retires_template_and_survives_recovery() {
+        use audex_persist::WalOptions;
+
+        let dir = std::env::temp_dir().join(format!("audex-state-bulkack-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = ServiceConfig::default();
+        let (journal, _) = Journal::open(&dir, WalOptions::default()).unwrap();
+        let mut live = ServiceCore::new(Database::new(), config);
+        live.attach_journal(journal);
+        live.handle(Request::Dml {
+            ts: Timestamp(100),
+            sql: "CREATE TABLE Patients (pid TEXT, zipcode TEXT, disease TEXT); \
+                  INSERT INTO Patients VALUES ('p1', '120016', 'cancer'), \
+                  ('p2', '145568', 'flu');"
+                .into(),
+        });
+        register(&mut live, "cancer", "disease FROM Patients WHERE zipcode = '120016'");
+        register(&mut live, "zipfind", "pid FROM Patients WHERE zipcode = '145568'");
+        // Two queries share the cancer template; one lands in zipfind's.
+        live.handle(log_req(200, "SELECT disease FROM Patients WHERE zipcode = '120016'"));
+        live.handle(log_req(300, "SELECT disease FROM Patients WHERE zipcode = '120016'"));
+        live.handle(log_req(400, "SELECT pid FROM Patients WHERE zipcode = '145568'"));
+        assert_eq!(queue_ids(&mut live).len(), 3);
+
+        // Templates rank by open count, so the two-query template is 0.
+        let r = live.handle(Request::AckTemplate { template: 0 }).response;
+        assert_eq!(r.get("ok"), Some(&Json::Bool(true)), "{r}");
+        assert_eq!(r.get("acked").and_then(Json::as_int), Some(2), "{r}");
+        assert_eq!(r.get("queries"), Some(&Json::Arr(vec![Json::Int(1), Json::Int(2)])), "{r}");
+        assert_eq!(queue_ids(&mut live), vec![3]);
+
+        // Indexes are mined from the *open* listing; a stale or absent one
+        // is refused rather than acking whatever now sits at that slot.
+        let r = live.handle(Request::AckTemplate { template: 7 }).response;
+        assert!(r.get("error").and_then(Json::as_str).unwrap().contains("no open items"), "{r}");
+
+        let live_queue = live.handle(Request::Queue { top: None, offset: 0 }).response.to_string();
+        let live_triage = live.handle(Request::Triage).response.to_string();
+        drop(live); // crash
+
+        let (journal, mut recovered) = Journal::open(&dir, WalOptions::default()).unwrap();
+        let mut after = ServiceCore::recovered(&mut recovered, config).unwrap();
+        after.attach_journal(journal);
+        assert_eq!(
+            after.handle(Request::Queue { top: None, offset: 0 }).response.to_string(),
+            live_queue
+        );
+        assert_eq!(after.handle(Request::Triage).response.to_string(), live_triage);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
     /// Does any file under `dir` contain `needle`? Used to prove the WAL
     /// holds no raw SQL under `--redact-log`.
     fn dir_contains(dir: &std::path::Path, needle: &[u8]) -> bool {
@@ -1751,8 +1989,8 @@ mod tests {
         // No query text on disk (DML and audit expressions are not SELECTs).
         assert!(!dir_contains(&dir, b"SELECT"), "raw SQL leaked into the WAL");
 
-        let (journal, recovered) = Journal::open(&dir, WalOptions::default()).unwrap();
-        let mut after = ServiceCore::recovered(&recovered, config).unwrap();
+        let (journal, mut recovered) = Journal::open(&dir, WalOptions::default()).unwrap();
+        let mut after = ServiceCore::recovered(&mut recovered, config).unwrap();
         after.attach_journal(journal);
         assert_eq!(
             after.handle(Request::Queue { top: None, offset: 0 }).response.to_string(),

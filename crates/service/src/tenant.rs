@@ -275,9 +275,9 @@ impl ShardMap {
     pub fn open(cfg: &FleetConfig) -> Result<(ShardMap, FleetRecovery), String> {
         let id = TenantId::new(&cfg.default_tenant)?;
         let dir = &cfg.data_dir;
-        let (journal, recovered) = Journal::open(dir, cfg.wal)
+        let (journal, mut recovered) = Journal::open(dir, cfg.wal)
             .map_err(|e| format!("opening durable store {}: {e}", dir.display()))?;
-        let mut core = ServiceCore::recovered(&recovered, cfg.service)
+        let mut core = ServiceCore::recovered(&mut recovered, cfg.service)
             .map_err(|e| format!("recovering service state from {}: {e}", dir.display()))?;
         core.attach_journal(journal);
         let map =
@@ -316,9 +316,9 @@ impl ShardMap {
             Some(d) => d.wal,
             None => return Err("fleet has no data directory".into()),
         };
-        let (journal, recovered) =
+        let (journal, mut recovered) =
             Journal::open(dir, wal).map_err(|e| format!("opening {}: {e}", dir.display()))?;
-        let mut core = ServiceCore::recovered(&recovered, self.config)
+        let mut core = ServiceCore::recovered(&mut recovered, self.config)
             .map_err(|e| format!("replaying {}: {e}", dir.display()))?;
         core.attach_journal(journal);
         core.set_front_registry(Arc::clone(&self.registry));
@@ -458,7 +458,7 @@ impl ShardMap {
         let core = match &self.durability {
             Some(d) => {
                 let dir = layout::tenant_dir(&d.data_dir, name);
-                let (journal, recovered) = match Journal::open(&dir, d.wal) {
+                let (journal, mut recovered) = match Journal::open(&dir, d.wal) {
                     Ok(opened) => opened,
                     Err(e) => {
                         return protocol_error(format!(
@@ -467,7 +467,7 @@ impl ShardMap {
                         ))
                     }
                 };
-                let mut core = match ServiceCore::recovered(&recovered, self.config) {
+                let mut core = match ServiceCore::recovered(&mut recovered, self.config) {
                     Ok(core) => core,
                     Err(e) => return protocol_error(format!("create-tenant {name:?}: {e}")),
                 };

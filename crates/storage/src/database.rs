@@ -3,6 +3,7 @@
 use audex_sql::ast::{CreateTable, Delete, Insert, Statement, Update};
 use audex_sql::{Ident, Timestamp};
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crate::backlog::{ChangeOp, ChangeRecord, TableHistory};
@@ -10,10 +11,113 @@ use crate::error::StorageError;
 use crate::eval::{compile, literal_value, Scope};
 use crate::exec::{execute_query, JoinStrategy, RelationProvider, ResultSet};
 use crate::fault::{FaultPlan, FaultState};
+use crate::mvcc::{StoreStats, VersionStore, VisibilityScan};
 use crate::schema::Schema;
 use crate::snapshot::{SnapshotCache, SnapshotKind, SnapshotStats};
 use crate::table::{Relation, Row, Table, Tid};
 use crate::value::Value;
+
+/// How the database keeps its version history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StorageMode {
+    /// MVCC versioned-tuple store ([`crate::mvcc`]): `as_of` is a
+    /// visibility filter, flat in history length. The engine default.
+    #[default]
+    Mvcc,
+    /// Backlog replay ([`crate::backlog`]): `as_of` replays the change
+    /// prefix. Retained as the differential oracle (`--storage replay`).
+    Replay,
+}
+
+/// Entries the snapshot cache holds in MVCC mode. Reconstruction is cheap
+/// there, so the cache is a small reuse buffer (repeated probes of one
+/// `DATA-INTERVAL`), not the primary defense against replay cost.
+const MVCC_SNAPSHOT_CACHE_CAP: usize = 64;
+
+/// A table's version history in whichever representation the database's
+/// [`StorageMode`] selects. Both variants consume the same [`ChangeRecord`]
+/// stream and answer the same questions; the differential tests hold them
+/// byte-identical.
+#[derive(Debug, Clone, PartialEq)]
+enum TableVersions {
+    Replay(TableHistory),
+    Mvcc(VersionStore),
+}
+
+impl TableVersions {
+    fn new(mode: StorageMode, name: Ident, schema: Schema, ts: Timestamp) -> Self {
+        match mode {
+            StorageMode::Replay => TableVersions::Replay(TableHistory::new(name, schema, ts)),
+            StorageMode::Mvcc => TableVersions::Mvcc(VersionStore::new(name, schema, ts)),
+        }
+    }
+
+    fn record(&mut self, rec: ChangeRecord) -> Result<(), StorageError> {
+        match self {
+            TableVersions::Replay(h) => h.record(rec),
+            TableVersions::Mvcc(s) => s.record(rec),
+        }
+    }
+
+    fn created_at(&self) -> Timestamp {
+        match self {
+            TableVersions::Replay(h) => h.created_at(),
+            TableVersions::Mvcc(s) => s.created_at(),
+        }
+    }
+
+    fn change_prefix_len(&self, ts: Timestamp) -> usize {
+        match self {
+            TableVersions::Replay(h) => h.change_prefix_len(ts),
+            TableVersions::Mvcc(s) => s.change_prefix_len(ts),
+        }
+    }
+
+    fn change_instants(&self, start: Timestamp, end: Timestamp) -> Vec<Timestamp> {
+        match self {
+            TableVersions::Replay(h) => h.change_instants(start, end),
+            TableVersions::Mvcc(s) => s.change_instants(start, end),
+        }
+    }
+
+    fn changes(&self) -> Vec<ChangeRecord> {
+        match self {
+            TableVersions::Replay(h) => h.changes().to_vec(),
+            TableVersions::Mvcc(s) => s.changes(),
+        }
+    }
+
+    fn backlog_relation(&self, ts: Timestamp) -> Relation {
+        match self {
+            TableVersions::Replay(h) => h.backlog_relation(ts),
+            TableVersions::Mvcc(s) => s.backlog_relation(ts),
+        }
+    }
+}
+
+/// MVCC read-path telemetry: always-on atomic counters (cheap, queryable in
+/// tests) plus registry mirrors that are no-ops until wired by
+/// [`Database::set_obs`]. Occupancy gauges are refreshed lazily via
+/// [`Database::refresh_mvcc_gauges`] rather than on every mutation.
+#[derive(Debug, Default)]
+struct MvccObs {
+    probes: AtomicU64,
+    examined: AtomicU64,
+    obs_probes: audex_obs::Counter,
+    obs_examined: audex_obs::Counter,
+    live: audex_obs::Gauge,
+    dead: audex_obs::Gauge,
+    bytes: audex_obs::Gauge,
+}
+
+impl MvccObs {
+    fn record_scan(&self, scan: VisibilityScan) {
+        self.probes.fetch_add(scan.probes, Ordering::Relaxed);
+        self.examined.fetch_add(scan.versions_examined, Ordering::Relaxed);
+        self.obs_probes.add(scan.probes);
+        self.obs_examined.add(scan.versions_examined);
+    }
+}
 
 /// Observer of committed mutations, called synchronously from inside every
 /// successful [`Database`] write — the choke point a write-ahead journal
@@ -33,29 +137,41 @@ pub trait ChangeSink: Send + Sync {
 /// An in-memory, versioned relational database.
 ///
 /// Every mutation is stamped with a (non-decreasing) [`Timestamp`] and
-/// recorded in per-table [`TableHistory`] backlogs, so any past instant can
-/// be reconstructed — the substrate the paper's `DATA-INTERVAL` clause and
-/// the Agrawal et al. backlog methodology require.
-#[derive(Default)]
+/// recorded in per-table version histories — an MVCC tuple store by default
+/// ([`crate::mvcc`]), or [`TableHistory`] backlogs under
+/// [`StorageMode::Replay`] — so any past instant can be reconstructed: the
+/// substrate the paper's `DATA-INTERVAL` clause and the Agrawal et al.
+/// backlog methodology require.
 pub struct Database {
+    mode: StorageMode,
     tables: BTreeMap<Ident, Table>,
-    histories: BTreeMap<Ident, TableHistory>,
+    versions: BTreeMap<Ident, TableVersions>,
     last_ts: Timestamp,
     /// Armed fault-injection plan, if any (see [`crate::fault`]). Shared by
     /// clones so scan ordinals keep counting across `at()` views.
     faults: Option<Arc<FaultState>>,
     /// Memoized version snapshots (see [`crate::snapshot`]). Derived data:
-    /// invisible to equality, and never shared with clones.
+    /// invisible to equality, and never shared with clones. Bounded in MVCC
+    /// mode, where it is a reuse buffer rather than a replay shield.
     snapshots: SnapshotCache,
+    /// MVCC read-path telemetry; derived state like the cache.
+    mvcc_obs: MvccObs,
     /// Mutation observer (see [`ChangeSink`]); never cloned, never compared.
     sink: Option<Arc<dyn ChangeSink>>,
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Database::with_mode(StorageMode::default())
+    }
 }
 
 impl std::fmt::Debug for Database {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Database")
+            .field("mode", &self.mode)
             .field("tables", &self.tables)
-            .field("histories", &self.histories)
+            .field("versions", &self.versions)
             .field("last_ts", &self.last_ts)
             .field("faults", &self.faults)
             .field("snapshots", &self.snapshots)
@@ -70,26 +186,32 @@ impl Clone for Database {
     /// **fresh** snapshot cache: clones may diverge, and change-prefix keys
     /// are only self-validating within one mutation lineage. The change sink
     /// is likewise not inherited: a journal records one lineage, and a
-    /// diverging clone writing the same journal would corrupt it.
+    /// diverging clone writing the same journal would corrupt it. Telemetry
+    /// wiring follows the instance too — the clone's counters start cold.
     fn clone(&self) -> Self {
         Database {
+            mode: self.mode,
             tables: self.tables.clone(),
-            histories: self.histories.clone(),
+            versions: self.versions.clone(),
             last_ts: self.last_ts,
             faults: self.faults.clone(),
-            snapshots: SnapshotCache::default(),
+            snapshots: self.snapshots.fresh(),
+            mvcc_obs: MvccObs::default(),
             sink: None,
         }
     }
 }
 
 impl PartialEq for Database {
-    /// Fault-injection state and the snapshot cache are harness/derived
-    /// state, not data: two databases are equal when their tables,
-    /// histories, and clock agree.
+    /// Fault-injection state, telemetry, and the snapshot cache are
+    /// harness/derived state, not data: two databases are equal when their
+    /// tables, version histories, and clock agree. Databases in different
+    /// storage modes never compare equal — cross-mode equivalence is a
+    /// *semantic* property the differential tests assert through reports,
+    /// not a structural one.
     fn eq(&self, other: &Self) -> bool {
         self.tables == other.tables
-            && self.histories == other.histories
+            && self.versions == other.versions
             && self.last_ts == other.last_ts
     }
 }
@@ -106,9 +228,32 @@ pub enum ExecOutcome {
 }
 
 impl Database {
-    /// An empty database.
+    /// An empty database in the default storage mode (MVCC).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty database keeping history in `mode`.
+    pub fn with_mode(mode: StorageMode) -> Self {
+        let snapshots = match mode {
+            StorageMode::Mvcc => SnapshotCache::with_cap(MVCC_SNAPSHOT_CACHE_CAP),
+            StorageMode::Replay => SnapshotCache::default(),
+        };
+        Database {
+            mode,
+            tables: BTreeMap::new(),
+            versions: BTreeMap::new(),
+            last_ts: Timestamp(0),
+            faults: None,
+            snapshots,
+            mvcc_obs: MvccObs::default(),
+            sink: None,
+        }
+    }
+
+    /// How this database keeps its version history.
+    pub fn storage_mode(&self) -> StorageMode {
+        self.mode
     }
 
     /// The timestamp of the latest change (zero for an empty database).
@@ -128,7 +273,8 @@ impl Database {
             return Err(StorageError::DuplicateTable(name));
         }
         self.tables.insert(name.clone(), Table::new(name.clone(), schema.clone()));
-        self.histories.insert(name.clone(), TableHistory::new(name.clone(), schema.clone(), ts));
+        self.versions
+            .insert(name.clone(), TableVersions::new(self.mode, name.clone(), schema.clone(), ts));
         self.last_ts = ts;
         if let Some(s) = &self.sink {
             s.on_create_table(&name, &schema, ts);
@@ -152,9 +298,26 @@ impl Database {
         self.tables.get(name)
     }
 
-    /// The full history of a table.
-    pub fn history(&self, name: &Ident) -> Option<&TableHistory> {
-        self.histories.get(name)
+    /// When `name` was created, if it exists.
+    pub fn table_created_at(&self, name: &Ident) -> Option<Timestamp> {
+        self.versions.get(name).map(|v| v.created_at())
+    }
+
+    /// The full ordered change log of a table, materialized — the
+    /// mode-agnostic export path (session scripts, oracles, benches).
+    pub fn table_changes(&self, name: &Ident) -> Option<Vec<ChangeRecord>> {
+        self.versions.get(name).map(|v| v.changes())
+    }
+
+    /// The row `tid` held in `name` as of `ts`, if it was visible then
+    /// (the replay path's `replay_to(ts).get(tid)`). `None` for unknown
+    /// tables or invisible tuples. Bypasses fault gates and the cache — a
+    /// point lookup for exporters, not the audited read path.
+    pub fn row_as_of(&self, name: &Ident, tid: Tid, ts: Timestamp) -> Option<Row> {
+        match self.versions.get(name)? {
+            TableVersions::Replay(h) => h.replay_to(ts).get(tid).cloned(),
+            TableVersions::Mvcc(s) => s.row_as_of(tid, ts).cloned(),
+        }
     }
 
     /// Names of all tables, sorted.
@@ -190,11 +353,94 @@ impl Database {
         self.faults.is_some()
     }
 
-    /// Mirrors snapshot-cache hit/miss counts into `registry`
-    /// (`audex_snapshot_cache_{hits,misses}_total`). Clones do not inherit
+    /// Mirrors storage telemetry into `registry`: snapshot-cache hit/miss
+    /// counts (`audex_snapshot_cache_{hits,misses}_total`) and the MVCC
+    /// read-path/occupancy series (`audex_mvcc_*`). Clones do not inherit
     /// the wiring — like the change sink, telemetry follows the instance.
     pub fn set_obs(&mut self, registry: &audex_obs::Registry) {
         self.snapshots.set_obs(registry);
+        self.mvcc_obs.obs_probes = registry.counter(
+            "audex_mvcc_visibility_probes_total",
+            "Tuples whose version chain was probed by MVCC reconstructions.",
+            &[],
+        );
+        self.mvcc_obs.obs_examined = registry.counter(
+            "audex_mvcc_versions_examined_total",
+            "Version-chain entries examined across all MVCC visibility probes.",
+            &[],
+        );
+        self.mvcc_obs.live = registry.gauge(
+            "audex_mvcc_live_versions",
+            "Tuple versions still open (xmax unbounded) across all tables.",
+            &[],
+        );
+        self.mvcc_obs.dead = registry.gauge(
+            "audex_mvcc_dead_versions",
+            "Tuple versions closed by a later update or delete.",
+            &[],
+        );
+        self.mvcc_obs.bytes = registry.gauge(
+            "audex_mvcc_store_bytes",
+            "Approximate heap footprint of the MVCC version stores.",
+            &[],
+        );
+    }
+
+    /// Aggregate MVCC occupancy over all tables, `None` in replay mode.
+    pub fn mvcc_stats(&self) -> Option<StoreStats> {
+        if self.mode != StorageMode::Mvcc {
+            return None;
+        }
+        let mut total = StoreStats::default();
+        for v in self.versions.values() {
+            if let TableVersions::Mvcc(s) = v {
+                total.merge(s.stats());
+            }
+        }
+        Some(total)
+    }
+
+    /// Per-table MVCC occupancy, sorted by table name; empty in replay
+    /// mode. The per-tenant `audex compact` report walks this.
+    pub fn mvcc_table_stats(&self) -> Vec<(Ident, StoreStats)> {
+        self.versions
+            .iter()
+            .filter_map(|(name, v)| match v {
+                TableVersions::Mvcc(s) => Some((name.clone(), s.stats())),
+                TableVersions::Replay(_) => None,
+            })
+            .collect()
+    }
+
+    /// Cumulative visibility-scan effort of every MVCC reconstruction this
+    /// instance has served (zeros in replay mode or before any read).
+    pub fn mvcc_scan_stats(&self) -> VisibilityScan {
+        VisibilityScan {
+            probes: self.mvcc_obs.probes.load(Ordering::Relaxed),
+            versions_examined: self.mvcc_obs.examined.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Folds visibility-scan effort performed on another database handle
+    /// into this one's counters. Crash recovery re-prepares mid-stream
+    /// audit registrations against [`Database::fork_prefix`] forks; the
+    /// fork's reads are exactly the reads the live run charged to the
+    /// primary database, so absorbing them keeps recovered counters
+    /// faithful to the uninterrupted run.
+    pub fn absorb_scan(&self, scan: VisibilityScan) {
+        self.mvcc_obs.record_scan(scan);
+    }
+
+    /// Recomputes the `audex_mvcc_{live_versions,dead_versions,store_bytes}`
+    /// gauges from current occupancy. Called at stats/metrics render time
+    /// rather than on every mutation — occupancy moves with DML, but the
+    /// gauges only need to be fresh when someone is looking.
+    pub fn refresh_mvcc_gauges(&self) {
+        if let Some(stats) = self.mvcc_stats() {
+            self.mvcc_obs.live.set(stats.live_versions as i64);
+            self.mvcc_obs.dead.set(stats.dead_versions as i64);
+            self.mvcc_obs.bytes.set(stats.approx_bytes as i64);
+        }
     }
 
     /// Hit/miss counters of the version-snapshot cache (diagnostics and
@@ -311,12 +557,12 @@ impl Database {
         if let Some(s) = &self.sink {
             s.on_change(name, &rec);
         }
-        // Every table has a history (created together) and `check_ts` ran
-        // before the mutation, so neither step can fail; assert in debug
-        // builds rather than panic in release.
-        debug_assert!(self.histories.contains_key(name), "history exists for every table");
-        if let Some(h) = self.histories.get_mut(name) {
-            let recorded = h.record(rec);
+        // Every table has a version history (created together) and
+        // `check_ts` ran before the mutation, so neither step can fail;
+        // assert in debug builds rather than panic in release.
+        debug_assert!(self.versions.contains_key(name), "version history exists for every table");
+        if let Some(v) = self.versions.get_mut(name) {
+            let recorded = v.record(rec);
             debug_assert!(recorded.is_ok(), "timestamp already checked");
         }
     }
@@ -474,15 +720,120 @@ impl Database {
             return Vec::new();
         }
         let mut instants = vec![start];
-        for (name, h) in &self.histories {
+        for (name, v) in &self.versions {
             if !tables.is_empty() && !tables.contains(name) {
                 continue;
             }
-            instants.extend(h.change_instants(start, end));
+            instants.extend(v.change_instants(start, end));
         }
         instants.sort_unstable();
         instants.dedup();
         instants
+    }
+
+    /// The same data held in `mode`: tables re-created at their original
+    /// instants and every change re-applied in global timestamp order
+    /// through the normal mutation paths. The identity when `mode` already
+    /// matches would still rebuild, so callers should check
+    /// [`Database::storage_mode`] first when conversion is conditional.
+    pub fn converted(&self, mode: StorageMode) -> Result<Self, StorageError> {
+        enum Event {
+            Create(Ident, Schema),
+            Change(Ident, ChangeRecord),
+        }
+        let mut events: Vec<(Timestamp, Event)> = Vec::new();
+        for (name, v) in &self.versions {
+            let schema = match self.tables.get(name) {
+                Some(t) => t.schema().clone(),
+                None => return Err(StorageError::UnknownTable(name.clone())),
+            };
+            events.push((v.created_at(), Event::Create(name.clone(), schema)));
+            for rec in v.changes() {
+                events.push((rec.ts, Event::Change(name.clone(), rec)));
+            }
+        }
+        // Stable by timestamp: per-table order (creation first, then the
+        // change sequence) is preserved, and any cross-table interleaving
+        // at equal instants satisfies the monotonic-clock check.
+        events.sort_by_key(|(ts, _)| *ts);
+        let mut db = Database::with_mode(mode);
+        for (ts, event) in events {
+            match event {
+                Event::Create(name, schema) => db.create_table(name, schema, ts)?,
+                Event::Change(name, rec) => db.apply_change(&name, &rec)?,
+            }
+        }
+        db.last_ts = self.last_ts;
+        Ok(db)
+    }
+
+    /// The MVCC version stores, sorted by table name — what a checkpoint
+    /// persists. `None` in replay mode (replay checkpoints fall back to
+    /// record-by-record rebuild).
+    pub fn mvcc_stores(&self) -> Option<Vec<&VersionStore>> {
+        if self.mode != StorageMode::Mvcc {
+            return None;
+        }
+        Some(
+            self.versions
+                .values()
+                .filter_map(|v| match v {
+                    TableVersions::Mvcc(s) => Some(s),
+                    TableVersions::Replay(_) => None,
+                })
+                .collect(),
+        )
+    }
+
+    /// Rebuilds an MVCC database from decoded version stores (crash
+    /// recovery restoring a checkpoint). Live tables are reconstructed from
+    /// each store's visibility at `last_ts`; tid watermarks are exact
+    /// because every insert opened a version.
+    pub fn from_mvcc_stores(
+        stores: Vec<VersionStore>,
+        last_ts: Timestamp,
+    ) -> Result<Self, StorageError> {
+        let mut db = Database::with_mode(StorageMode::Mvcc);
+        for store in stores {
+            let name = store.name().clone();
+            if db.versions.contains_key(&name) {
+                return Err(StorageError::DuplicateTable(name));
+            }
+            db.tables.insert(name.clone(), store.table_as_of(last_ts));
+            db.versions.insert(name, TableVersions::Mvcc(store));
+        }
+        db.last_ts = last_ts;
+        Ok(db)
+    }
+
+    /// The database as it was after each table's first `counts[name]`
+    /// recorded changes, with the clock at `last_ts` — an O(prefix) fork
+    /// (no change-by-change replay) used by crash recovery to re-prepare a
+    /// mid-stream audit registration against the exact state it originally
+    /// saw. Tables absent from `counts` (created past the cut) are omitted.
+    /// MVCC mode only: replay-mode recovery rebuilds in record order and
+    /// never forks.
+    pub fn fork_prefix(
+        &self,
+        counts: &BTreeMap<Ident, usize>,
+        last_ts: Timestamp,
+    ) -> Result<Self, StorageError> {
+        let mut db = Database::with_mode(StorageMode::Mvcc);
+        for (name, n) in counts {
+            let store = match self.versions.get(name) {
+                Some(TableVersions::Mvcc(s)) => s.truncated(*n),
+                Some(TableVersions::Replay(_)) => {
+                    return Err(StorageError::Unsupported(
+                        "fork_prefix requires MVCC storage".into(),
+                    ))
+                }
+                None => return Err(StorageError::UnknownTable(name.clone())),
+            };
+            db.tables.insert(name.clone(), store.table_as_of(last_ts));
+            db.versions.insert(name.clone(), TableVersions::Mvcc(store));
+        }
+        db.last_ts = last_ts;
+        Ok(db)
     }
 }
 
@@ -542,34 +893,47 @@ use audex_sql::ast::Query;
 impl<'a> RelationProvider for DatabaseAt<'a> {
     fn relation(&self, name: &Ident) -> Result<Arc<Relation>, StorageError> {
         // Fault gates run before any cache consultation, so a planned fault
-        // fires even when the snapshot it addresses is already cached.
+        // fires even when the snapshot it addresses is already cached. The
+        // gate order and cache keys are identical in both storage modes —
+        // only the reconstruction behind the final closure differs.
 
         // Backlog relation `b-T`?
         let lower = name.normalized();
         if let Some(base) = lower.strip_prefix("b-") {
             let base_ident = Ident::new(base);
-            if let Some(h) = self.db.histories.get(&base_ident) {
+            if let Some(v) = self.db.versions.get(&base_ident) {
                 self.db.fault_on_scan(&base_ident)?;
                 self.db.fault_on_replay(&base_ident, self.ts)?;
-                let key = (base_ident, SnapshotKind::Backlog, h.change_prefix_len(self.ts));
-                return Ok(self.db.snapshots.get_or_build(key, || h.backlog_relation(self.ts)));
+                let key = (base_ident, SnapshotKind::Backlog, v.change_prefix_len(self.ts));
+                return Ok(self.db.snapshots.get_or_build(key, || v.backlog_relation(self.ts)));
             }
         }
-        let h =
-            self.db.histories.get(name).ok_or_else(|| StorageError::UnknownTable(name.clone()))?;
+        let v =
+            self.db.versions.get(name).ok_or_else(|| StorageError::UnknownTable(name.clone()))?;
         self.db.fault_on_scan(name)?;
-        let key = (name.clone(), SnapshotKind::Replay, h.change_prefix_len(self.ts));
+        let key = (name.clone(), SnapshotKind::Replay, v.change_prefix_len(self.ts));
         // Fast path: asking for "now or later" returns the live table. Its
-        // snapshot equals the replay of the full change prefix, so it shares
-        // a cache entry with historical reads at or past the final change.
+        // snapshot equals the reconstruction of the full change prefix, so
+        // it shares a cache entry with historical reads at or past the
+        // final change.
         if self.ts >= self.db.last_ts {
             if let Some(t) = self.db.tables.get(name) {
                 return Ok(self.db.snapshots.get_or_build(key, || t.to_relation()));
             }
         }
-        // Historical read: reconstructed from the backlog.
+        // Historical read: a visibility filter over the version store, or a
+        // backlog replay under `StorageMode::Replay`.
         self.db.fault_on_replay(name, self.ts)?;
-        Ok(self.db.snapshots.get_or_build(key, || h.replay_to(self.ts).to_relation()))
+        match v {
+            TableVersions::Mvcc(s) => Ok(self.db.snapshots.get_or_build(key, || {
+                let (rel, scan) = s.relation_as_of(self.ts);
+                self.db.mvcc_obs.record_scan(scan);
+                rel
+            })),
+            TableVersions::Replay(h) => {
+                Ok(self.db.snapshots.get_or_build(key, || h.replay_to(self.ts).to_relation()))
+            }
+        }
     }
 }
 
@@ -829,6 +1193,125 @@ mod tests {
         let cold = db.clone();
         assert_eq!(cold.snapshot_stats(), SnapshotStats::default());
         assert_eq!(db, cold);
+    }
+
+    /// Replays the same DML script into both storage modes and returns the
+    /// pair (mvcc, replay).
+    fn twin_dbs(script: &[(&str, i64)]) -> (Database, Database) {
+        let mut mvcc = Database::with_mode(StorageMode::Mvcc);
+        let mut replay = Database::with_mode(StorageMode::Replay);
+        for (sql, ts) in script {
+            let stmt = parse_statement(sql).unwrap();
+            let a = mvcc.execute(&stmt, Timestamp(*ts)).unwrap();
+            let b = replay.execute(&stmt, Timestamp(*ts)).unwrap();
+            assert_eq!(a, b, "outcome divergence on {sql}");
+        }
+        (mvcc, replay)
+    }
+
+    const SCRIPT: &[(&str, i64)] = &[
+        ("CREATE TABLE p (pid TEXT, zip TEXT)", 0),
+        ("INSERT INTO p VALUES ('p1', 'z1'), ('p2', 'z2')", 10),
+        ("UPDATE p SET zip = 'z9' WHERE pid = 'p1'", 20),
+        ("DELETE FROM p WHERE pid = 'p2'", 20),
+        ("INSERT INTO p VALUES ('p3', 'z3')", 30),
+    ];
+
+    #[test]
+    fn storage_modes_answer_versioned_reads_identically() {
+        let (mvcc, replay) = twin_dbs(SCRIPT);
+        assert_eq!(mvcc.storage_mode(), StorageMode::Mvcc);
+        assert_eq!(replay.storage_mode(), StorageMode::Replay);
+        for probe in [-1i64, 0, 5, 10, 15, 20, 25, 30, 100] {
+            let ts = Timestamp(probe);
+            for q in ["SELECT pid, zip FROM p", "SELECT pid, zip FROM b-p"] {
+                let q = parse_query(q).unwrap();
+                assert_eq!(
+                    mvcc.at(ts).query(&q).unwrap(),
+                    replay.at(ts).query(&q).unwrap(),
+                    "divergence at ts {probe}"
+                );
+            }
+        }
+        assert_eq!(
+            mvcc.versions_in(&[], Timestamp(0), Timestamp(100)),
+            replay.versions_in(&[], Timestamp(0), Timestamp(100))
+        );
+        let p = Ident::new("p");
+        assert_eq!(mvcc.table_changes(&p), replay.table_changes(&p));
+        assert_eq!(mvcc.table_created_at(&p), replay.table_created_at(&p));
+        assert_eq!(
+            mvcc.row_as_of(&p, Tid(1), Timestamp(15)),
+            replay.row_as_of(&p, Tid(1), Timestamp(15))
+        );
+        assert_eq!(mvcc.row_as_of(&p, Tid(2), Timestamp(25)), None);
+    }
+
+    #[test]
+    fn cross_mode_databases_never_compare_equal() {
+        let (mvcc, replay) = twin_dbs(SCRIPT);
+        assert_ne!(mvcc, replay, "equality is structural, not semantic");
+        assert_eq!(mvcc, mvcc.clone());
+        assert_eq!(replay, replay.clone());
+    }
+
+    #[test]
+    fn mvcc_reads_count_visibility_probes() {
+        let (mvcc, replay) = twin_dbs(SCRIPT);
+        let q = parse_query("SELECT pid FROM p").unwrap();
+        // A historical read reconstructs via the version store.
+        mvcc.at(Timestamp(15)).query(&q).unwrap();
+        let scan = mvcc.mvcc_scan_stats();
+        assert!(scan.probes >= 2, "{scan:?}");
+        assert!(scan.versions_examined >= scan.probes);
+        // Live reads bypass reconstruction entirely.
+        let before = mvcc.mvcc_scan_stats();
+        mvcc.at(Timestamp(100)).query(&q).unwrap();
+        assert_eq!(mvcc.mvcc_scan_stats(), before);
+        // The replay oracle never probes chains.
+        replay.at(Timestamp(15)).query(&q).unwrap();
+        assert_eq!(replay.mvcc_scan_stats(), VisibilityScan::default());
+        assert_eq!(replay.mvcc_stats(), None);
+        let stats = mvcc.mvcc_stats().unwrap();
+        assert_eq!(stats.live_versions, 2, "p1@z9 and p3");
+        assert_eq!(stats.dead_versions, 2, "p1@z1 and deleted p2");
+    }
+
+    #[test]
+    fn fork_prefix_reconstructs_midstream_states() {
+        let (mvcc, _) = twin_dbs(SCRIPT);
+        let p = Ident::new("p");
+        // Cut after the first three changes (2 inserts + 1 update, the
+        // DELETE and the later INSERT dropped) with the clock at 20.
+        let mut counts = BTreeMap::new();
+        counts.insert(p.clone(), 3usize);
+        let fork = mvcc.fork_prefix(&counts, Timestamp(20)).unwrap();
+        assert_eq!(fork.last_ts(), Timestamp(20));
+        let q = parse_query("SELECT pid, zip FROM p").unwrap();
+        assert_eq!(fork.at(Timestamp(20)).query(&q).unwrap().rows.len(), 2, "p2 still alive");
+        // The fork's past matches the original's past.
+        assert_eq!(
+            fork.at(Timestamp(10)).query(&q).unwrap(),
+            mvcc.at(Timestamp(10)).query(&q).unwrap()
+        );
+        // Tids continue past the cut exactly as the original did.
+        let mut fork = fork;
+        let tid = fork.insert(&p, vec!["p4".into(), "z4".into()], Timestamp(21)).unwrap();
+        assert_eq!(tid, Tid(3), "watermark preserved across the fork");
+        // Unknown tables and replay-mode sources are rejected.
+        let mut bad = BTreeMap::new();
+        bad.insert(Ident::new("nosuch"), 1usize);
+        assert!(mvcc.fork_prefix(&bad, Timestamp(20)).is_err());
+    }
+
+    #[test]
+    fn mvcc_stores_round_trip_through_from_mvcc_stores() {
+        let (mvcc, _) = twin_dbs(SCRIPT);
+        let stores: Vec<_> = mvcc.mvcc_stores().unwrap().into_iter().cloned().collect();
+        let rebuilt = Database::from_mvcc_stores(stores, mvcc.last_ts()).unwrap();
+        assert_eq!(rebuilt, mvcc, "tables, versions, and clock all restored");
+        let replay = Database::with_mode(StorageMode::Replay);
+        assert_eq!(replay.mvcc_stores(), None);
     }
 
     #[test]

@@ -13,6 +13,10 @@
 //!   ids (`t11`, `t24`, … as in the paper's Tables 1–3),
 //! * [`backlog`] — per-table change logs with time travel
 //!   ([`backlog::TableHistory::replay_to`]) and backlog relations (`b-T`),
+//! * [`mvcc`] — the default versioned-tuple store: every version carries a
+//!   `[xmin, xmax)` validity interval, so time travel is a visibility
+//!   filter instead of a replay (the backlog path remains available as the
+//!   differential oracle via [`database::StorageMode::Replay`]),
 //! * [`eval`] — compiled expression evaluation,
 //! * [`exec`] — SPJ execution with **tuple-level lineage**, the primitive
 //!   from which indispensable-tuple auditing (paper Definition 2) is built,
@@ -49,18 +53,20 @@ pub mod error;
 pub mod eval;
 pub mod exec;
 pub mod fault;
+pub mod mvcc;
 pub mod schema;
 pub mod snapshot;
 pub mod table;
 pub mod value;
 
 pub use backlog::{ChangeOp, ChangeRecord, TableHistory};
-pub use database::{ChangeSink, Database, DatabaseAt, ExecOutcome};
+pub use database::{ChangeSink, Database, DatabaseAt, ExecOutcome, StorageMode};
 pub use error::StorageError;
 pub use exec::{
     execute_query, JoinStrategy, LineageEntry, LineageRow, RelationProvider, ResultSet,
 };
 pub use fault::{FaultPlan, IoAppendFault, IoFaultPlan, IoFaultState};
+pub use mvcc::{StoreStats, VersionStore, VisibilityScan};
 pub use schema::Schema;
 pub use snapshot::{SnapshotKind, SnapshotStats};
 pub use table::{Relation, Row, Table, Tid};

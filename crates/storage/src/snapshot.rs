@@ -84,6 +84,10 @@ pub struct SnapshotCache {
     entries: Mutex<HashMap<SnapshotKey, Arc<Relation>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Maximum number of entries to hold (`None` = unbounded). When a miss
+    /// would exceed the cap the whole map is cleared — deterministic, and
+    /// correct for any eviction order because keys are self-validating.
+    cap: Option<usize>,
     /// Registry mirrors of `hits`/`misses` (no-op unless wired up via
     /// [`crate::database::Database::set_obs`]).
     obs_hits: audex_obs::Counter,
@@ -91,6 +95,21 @@ pub struct SnapshotCache {
 }
 
 impl SnapshotCache {
+    /// A cache bounded to at most `cap` entries. The MVCC engine answers
+    /// versioned reads in sublinear time, so its cache is a small reuse
+    /// buffer rather than the primary defense against replay cost; bounding
+    /// it keeps long-running services from accumulating one entry per
+    /// distinct version forever.
+    pub(crate) fn with_cap(cap: usize) -> Self {
+        SnapshotCache { cap: Some(cap), ..SnapshotCache::default() }
+    }
+
+    /// An empty cache with the same capacity policy as `self` (for clones,
+    /// which must start cold but keep the owning database's bound).
+    pub(crate) fn fresh(&self) -> Self {
+        SnapshotCache { cap: self.cap, ..SnapshotCache::default() }
+    }
+
     /// Mirrors hit/miss counts into `registry` as
     /// `audex_snapshot_cache_hits_total` / `audex_snapshot_cache_misses_total`.
     /// Takes `&mut self` so it can only happen while the owning database is
@@ -126,7 +145,13 @@ impl SnapshotCache {
         self.misses.fetch_add(1, Ordering::Relaxed);
         self.obs_misses.inc();
         let built = Arc::new(build());
-        Arc::clone(self.lock().entry(key).or_insert(built))
+        let mut entries = self.lock();
+        if let Some(cap) = self.cap {
+            if !entries.contains_key(&key) && entries.len() >= cap {
+                entries.clear();
+            }
+        }
+        Arc::clone(entries.entry(key).or_insert(built))
     }
 
     /// Hit/miss counts so far.
@@ -189,6 +214,26 @@ mod tests {
         cache.get_or_build((Ident::new("t"), SnapshotKind::Backlog, 2), || rel(3));
         assert_eq!(cache.stats(), SnapshotStats { hits: 0, misses: 3 });
         assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn capped_cache_clears_rather_than_grow_past_the_bound() {
+        let cache = SnapshotCache::with_cap(2);
+        cache.get_or_build((Ident::new("t"), SnapshotKind::Replay, 1), || rel(1));
+        cache.get_or_build((Ident::new("t"), SnapshotKind::Replay, 2), || rel(2));
+        assert_eq!(cache.len(), 2);
+        // Re-building an existing key never evicts.
+        cache.get_or_build((Ident::new("t"), SnapshotKind::Replay, 2), || rel(2));
+        assert_eq!(cache.len(), 2);
+        // A third distinct key clears the map and starts over.
+        cache.get_or_build((Ident::new("t"), SnapshotKind::Replay, 3), || rel(3));
+        assert_eq!(cache.len(), 1);
+        // A clone's fresh cache keeps the bound.
+        let fresh = cache.fresh();
+        fresh.get_or_build((Ident::new("t"), SnapshotKind::Replay, 1), || rel(1));
+        fresh.get_or_build((Ident::new("t"), SnapshotKind::Replay, 2), || rel(2));
+        fresh.get_or_build((Ident::new("t"), SnapshotKind::Replay, 3), || rel(3));
+        assert_eq!(fresh.len(), 1);
     }
 
     #[test]

@@ -103,6 +103,13 @@ impl Table {
         self.rows.iter().map(|(t, r)| (*t, r))
     }
 
+    /// Raises the auto-tid watermark to at least `next`: a reconstruction
+    /// (e.g. from a version store) must not re-issue tids that belonged to
+    /// since-deleted rows, or it would diverge from the original run.
+    pub fn reserve_tids(&mut self, next: u64) {
+        self.next_tid = self.next_tid.max(next);
+    }
+
     fn validate(&self, row: Row) -> Result<Row, StorageError> {
         if row.len() != self.schema.len() {
             return Err(StorageError::ArityMismatch {

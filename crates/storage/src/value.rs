@@ -84,6 +84,16 @@ impl Value {
         matches!(self, Value::Null)
     }
 
+    /// Approximate heap footprint in bytes (the enum itself plus any owned
+    /// buffer), for storage occupancy gauges.
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Value>()
+            + match self {
+                Value::Str(s) => s.capacity(),
+                _ => 0,
+            }
+    }
+
     /// A short type name for error messages.
     pub fn type_name(&self) -> &'static str {
         match self {

@@ -3,7 +3,7 @@
 
 use audex_sql::ast::TypeName;
 use audex_sql::{parse_query, Ident, Timestamp};
-use audex_storage::{Database, JoinStrategy, Schema, Tid, Value};
+use audex_storage::{Database, JoinStrategy, RelationProvider, Schema, StorageMode, Tid, Value};
 use proptest::prelude::*;
 
 /// One scripted mutation against a single-table database.
@@ -30,9 +30,9 @@ fn schema() -> Schema {
 
 /// Applies ops at timestamps 1, 2, 3, …; also maintains a naive model:
 /// the full table contents after each timestamp.
-fn run_ops(ops: &[Op]) -> (Database, Vec<Snapshot>) {
+fn run_ops(ops: &[Op], mode: StorageMode) -> (Database, Vec<Snapshot>) {
     let t = Ident::new("t");
-    let mut db = Database::new();
+    let mut db = Database::with_mode(mode);
     db.create_table(t.clone(), schema(), Timestamp(0)).unwrap();
     let mut snapshots = Vec::new();
     for (i, op) in ops.iter().enumerate() {
@@ -64,33 +64,61 @@ fn run_ops(ops: &[Op]) -> (Database, Vec<Snapshot>) {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
-    /// `replay_to(ts)` reconstructs exactly the state the live table had at
-    /// that timestamp — for every timestamp in the run.
+    /// Versioned reads reconstruct exactly the state the live table had at
+    /// each timestamp — in both storage modes, for every instant in the run.
     #[test]
-    fn backlog_replay_agrees_with_live_history(ops in proptest::collection::vec(op_strategy(), 1..40)) {
-        let (db, snapshots) = run_ops(&ops);
-        let history = db.history(&Ident::new("t")).unwrap();
-        for (i, expected) in snapshots.iter().enumerate() {
-            let replayed = history.replay_to(Timestamp(i as i64 + 1));
-            let got: Snapshot =
-                replayed.iter().map(|(tid, r)| (tid, r.clone())).collect();
-            prop_assert_eq!(&got, expected, "at ts {}", i + 1);
+    fn versioned_reads_agree_with_live_history(ops in proptest::collection::vec(op_strategy(), 1..40)) {
+        for mode in [StorageMode::Mvcc, StorageMode::Replay] {
+            let (db, snapshots) = run_ops(&ops, mode);
+            for (i, expected) in snapshots.iter().enumerate() {
+                let rel = db.at(Timestamp(i as i64 + 1)).relation(&Ident::new("t")).unwrap();
+                prop_assert_eq!(&rel.rows, expected, "at ts {} in {:?}", i + 1, mode);
+            }
         }
+    }
+
+    /// The MVCC store and the replay oracle answer every versioned read —
+    /// state, backlog relation, and version enumeration — byte-identically.
+    #[test]
+    fn mvcc_equals_replay_oracle(ops in proptest::collection::vec(op_strategy(), 1..40)) {
+        let (mvcc, _) = run_ops(&ops, StorageMode::Mvcc);
+        let (replay, _) = run_ops(&ops, StorageMode::Replay);
+        let t = Ident::new("t");
+        let b = Ident::new("b-t");
+        for i in 0..=ops.len() as i64 + 1 {
+            let ts = Timestamp(i);
+            prop_assert_eq!(
+                mvcc.at(ts).relation(&t).unwrap().rows.clone(),
+                replay.at(ts).relation(&t).unwrap().rows.clone(),
+                "state divergence at ts {}", i
+            );
+            prop_assert_eq!(
+                mvcc.at(ts).relation(&b).unwrap().rows.clone(),
+                replay.at(ts).relation(&b).unwrap().rows.clone(),
+                "backlog divergence at ts {}", i
+            );
+        }
+        prop_assert_eq!(
+            mvcc.versions_in(&[], Timestamp(0), Timestamp(1_000)),
+            replay.versions_in(&[], Timestamp(0), Timestamp(1_000))
+        );
+        prop_assert_eq!(mvcc.table_changes(&t), replay.table_changes(&t));
     }
 
     /// The backlog relation contains every version every surviving or
     /// deleted tuple ever had.
     #[test]
     fn backlog_relation_superset_of_every_state(ops in proptest::collection::vec(op_strategy(), 1..40)) {
-        let (db, snapshots) = run_ops(&ops);
-        let history = db.history(&Ident::new("t")).unwrap();
-        let b = history.backlog_relation(Timestamp(1_000));
-        for snap in &snapshots {
-            for (tid, row) in snap {
-                prop_assert!(
-                    b.rows.iter().any(|(bt, br)| bt == tid && br == row),
-                    "state row {tid:?} missing from backlog relation"
-                );
+        for mode in [StorageMode::Mvcc, StorageMode::Replay] {
+            let (db, snapshots) = run_ops(&ops, mode);
+            let b = db.at(Timestamp(1_000)).relation(&Ident::new("b-t")).unwrap();
+            for snap in &snapshots {
+                for (tid, row) in snap {
+                    prop_assert!(
+                        b.rows.iter().any(|(bt, br)| bt == tid && br == row),
+                        "state row {tid:?} missing from backlog relation in {mode:?}"
+                    );
+                }
             }
         }
     }
@@ -99,7 +127,7 @@ proptest! {
     /// interval start), sorted.
     #[test]
     fn versions_in_is_sorted_dedup(ops in proptest::collection::vec(op_strategy(), 1..40)) {
-        let (db, _) = run_ops(&ops);
+        let (db, _) = run_ops(&ops, StorageMode::Mvcc);
         let v = db.versions_in(&[], Timestamp(0), Timestamp(1_000));
         prop_assert!(v.windows(2).all(|w| w[0] < w[1]));
         prop_assert_eq!(v[0], Timestamp(0));

@@ -412,6 +412,28 @@ impl ReviewQueue {
         out
     }
 
+    /// The open queries matching template `index` of the current
+    /// [`ReviewQueue::templates`] ordering, in ascending query-id order —
+    /// the resolution step of a template-wide bulk acknowledgement. Empty
+    /// when the index is out of range (templates are mined live, so an
+    /// index from a stale `triage` listing can dangle).
+    pub fn template_queries(&self, index: usize) -> Vec<QueryId> {
+        let Some(t) = self.templates().into_iter().nth(index) else {
+            return Vec::new();
+        };
+        self.items
+            .values()
+            .filter(|i| {
+                i.state == ReviewState::Open
+                    && i.role == t.role
+                    && i.purpose == t.purpose
+                    && i.covered == t.covered
+                    && i.audits == t.audits
+            })
+            .map(|i| i.query)
+            .collect()
+    }
+
     /// Flagged queries per surviving template over the open items — the
     /// Fabbri–LeFevre compression claim as a number (`0.0` when no item is
     /// open).

@@ -99,8 +99,10 @@ mod tests {
         let mut db = generate_hospital(&h, Timestamp(0));
         let before = db.table(&Ident::new(PATIENTS)).unwrap().to_relation();
         apply_update_stream(&mut db, &h, &UpdateStreamConfig { updates: 25, ..Default::default() });
-        let replayed =
-            db.history(&Ident::new(PATIENTS)).unwrap().replay_to(Timestamp(0)).to_relation();
+        let replayed = {
+            use audex_storage::RelationProvider;
+            db.at(Timestamp(0)).relation(&Ident::new(PATIENTS)).unwrap()
+        };
         assert_eq!(before.rows, replayed.rows);
     }
 }

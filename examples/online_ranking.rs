@@ -53,13 +53,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
 
     for (i, (user, sql)) in stream.iter().enumerate() {
-        let q = Arc::new(audex::log::LoggedQuery {
-            id: audex::log::QueryId(i as u64 + 1),
-            query: audex::parse_query(sql)?,
-            text: sql.to_string(),
-            executed_at: t0.plus_seconds(60 * (i as i64 + 1)),
-            context: AccessContext::new(*user, "analyst", "research"),
-        });
+        let q = Arc::new(audex::log::LoggedQuery::new(
+            audex::log::QueryId(i as u64 + 1),
+            audex::parse_query(sql)?,
+            sql.to_string(),
+            t0.plus_seconds(60 * (i as i64 + 1)),
+            AccessContext::new(*user, "analyst", "research"),
+        ));
         let scores = online.observe(&db, &q)?;
         println!("q{} by {user}: {sql}", i + 1);
         if scores.is_empty() {

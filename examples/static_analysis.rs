@@ -12,13 +12,13 @@ use audex::{Database, QueryLog, Timestamp};
 use std::sync::Arc;
 
 fn q(id: u64, sql: &str) -> Arc<LoggedQuery> {
-    Arc::new(LoggedQuery {
-        id: QueryId(id),
-        query: parse_query(sql).expect("example query parses"),
-        text: sql.to_string(),
-        executed_at: Timestamp(5),
-        context: AccessContext::new("u-1", "analyst", "research"),
-    })
+    Arc::new(LoggedQuery::new(
+        QueryId(id),
+        parse_query(sql).expect("example query parses"),
+        sql.to_string(),
+        Timestamp(5),
+        AccessContext::new("u-1", "analyst", "research"),
+    ))
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

@@ -116,6 +116,7 @@ USAGE:
               [--conn-idle-ms <MS>] [--max-line-bytes <N>] [--drain-ms <MS>]
               [--net-fault <SPEC>]... [--scan-all-audits]
               [--redact-log] [--review-budget <N>]
+              [--storage mvcc|replay]
   audex send  --addr <ADDR> [--tenant <NAME>] [--connect-retries <N>]
               [REQUEST...]
   audex triage --data-dir <DIR> [--tenant <NAME>] [--top <N>] [--offset <N>]
@@ -193,6 +194,19 @@ SERVE / SEND (audexd, the streaming audit service):
   prunes audits which provably cannot match an incoming query;
   --scan-all-audits disables it (every audit evaluated on every query) as
   the differential oracle for the indexed path.
+
+STORAGE (--storage, the version-history representation):
+  mvcc (default)  every tuple carries a [xmin, xmax) validity interval, so
+                  reconstructing the state at an audit instant is a
+                  visibility filter — flat in history length. `audex audit
+                  --stats`, serve `stats` and the Prometheus exposition
+                  report live/dead version counts, visibility-probe
+                  counters and retained bytes; `audex compact` reports the
+                  dead-version occupancy per tenant (versions are retained,
+                  not reclaimed: the backlog relation b-T needs them).
+  replay          rebuild states by replaying the change prefix — the
+                  original representation, retained as the differential
+                  oracle for the MVCC path.
 
 TENANCY (multi-tenant audexd; org-scoped shards):
   One daemon serves many isolated tenants. Each tenant owns an independent
@@ -361,12 +375,12 @@ fn cmd_audit(args: &[String]) -> Result<(), String> {
         if db_path.is_some() || log_path.is_some() {
             return Err("--data-dir is mutually exclusive with --db/--log".into());
         }
-        let recovered =
+        let mut recovered =
             audex::persist::read_store(Path::new(&dir)).map_err(|e| format!("{dir}: {e}"))?;
         report_recovery(&dir, &recovered);
         let core = {
             let _span = tracer.span("recovery-replay");
-            ServiceCore::recovered(&recovered, ServiceConfig::default())
+            ServiceCore::recovered(&mut recovered, ServiceConfig::default())
                 .map_err(|e| format!("replaying {dir}: {e}"))?
         };
         // Capture before the core is dismantled: replaying a store with
@@ -464,6 +478,19 @@ fn cmd_audit(args: &[String]) -> Result<(), String> {
             snap.misses,
             db.snapshot_cache_len()
         );
+        if let Some(m) = db.mvcc_stats() {
+            let scan = db.mvcc_scan_stats();
+            println!(
+                "mvcc store: {} live / {} dead version(s), ~{} byte(s); \
+                 {} visibility probe(s), {} chain entr{} examined",
+                m.live_versions,
+                m.dead_versions,
+                m.approx_bytes,
+                scan.probes,
+                scan.versions_examined,
+                if scan.versions_examined == 1 { "y" } else { "ies" },
+            );
+        }
         if let Some(d) = &dispatch {
             println!(
                 "dispatch index (recovery replay): {} probes, {} audits pruned, \
@@ -505,6 +532,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let mut scan_all_audits = false;
     let mut redact_log = false;
     let mut review_budget: Option<u64> = None;
+    let mut storage = audex::storage::StorageMode::default();
     let mut front = FrontDoorConfig::default();
     let mut front_tuned = false;
 
@@ -622,6 +650,14 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 threads = Some(n);
             }
             "--scan-all-audits" => scan_all_audits = true,
+            "--storage" => {
+                let text = take_value(args, &mut i, "--storage")?;
+                storage = match text.as_str() {
+                    "mvcc" => audex::storage::StorageMode::Mvcc,
+                    "replay" => audex::storage::StorageMode::Replay,
+                    other => return Err(format!("invalid --storage mode {other:?}")),
+                };
+            }
             "--redact-log" => redact_log = true,
             "--review-budget" => {
                 let text = take_value(args, &mut i, "--review-budget")?;
@@ -661,6 +697,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         scan_all_audits,
         redact_log,
         review_budget,
+        storage,
         ..Default::default()
     };
 
@@ -684,7 +721,12 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         let db = match db_path {
             Some(path) => {
                 let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
-                load_database_script(&text).map_err(|e| format!("{path}: {e}"))?
+                let db = load_database_script(&text).map_err(|e| format!("{path}: {e}"))?;
+                if db.storage_mode() == storage {
+                    db
+                } else {
+                    db.converted(storage).map_err(|e| format!("{path}: {e}"))?
+                }
             }
             None => audex::Database::new(),
         };
@@ -804,10 +846,10 @@ fn cmd_recover(args: &[String]) -> Result<(), String> {
     let dir = take_data_dir(args)?;
     // Opening for append repairs the torn tail and reconciles checkpoint vs
     // WAL; recovering the service proves the records replay cleanly.
-    let (_journal, recovered) =
+    let (_journal, mut recovered) =
         Journal::open(Path::new(&dir), WalOptions::default()).map_err(|e| format!("{dir}: {e}"))?;
     report_recovery(&dir, &recovered);
-    let core = ServiceCore::recovered(&recovered, ServiceConfig::default())
+    let core = ServiceCore::recovered(&mut recovered, ServiceConfig::default())
         .map_err(|e| format!("replaying {dir}: {e}"))?;
     println!(
         "recovered: {} record(s) ({} via checkpoint), {} logged quer{}, backlog at ts {}",
@@ -853,9 +895,9 @@ fn cmd_recover(args: &[String]) -> Result<(), String> {
 
 /// Repairs and replays one named tenant's store; returns its summary line.
 fn recover_tenant_store(dir: &Path) -> Result<String, String> {
-    let (_journal, recovered) =
+    let (_journal, mut recovered) =
         Journal::open(dir, WalOptions::default()).map_err(|e| e.to_string())?;
-    let core = ServiceCore::recovered(&recovered, ServiceConfig::default())
+    let core = ServiceCore::recovered(&mut recovered, ServiceConfig::default())
         .map_err(|e| format!("replay: {e}"))?;
     Ok(format!(
         "{} record(s) ({} via checkpoint), {} logged quer{}, {}",
@@ -872,10 +914,10 @@ fn recover_tenant_store(dir: &Path) -> Result<String, String> {
 
 fn cmd_compact(args: &[String]) -> Result<(), String> {
     let dir = take_data_dir(args)?;
-    let (journal, recovered) =
+    let (journal, mut recovered) =
         Journal::open(Path::new(&dir), WalOptions::default()).map_err(|e| format!("{dir}: {e}"))?;
     report_recovery(&dir, &recovered);
-    let mut core = ServiceCore::recovered(&recovered, ServiceConfig::default())
+    let mut core = ServiceCore::recovered(&mut recovered, ServiceConfig::default())
         .map_err(|e| format!("replaying {dir}: {e}"))?;
     core.attach_journal(journal);
     let path = core.checkpoint().map_err(|e| format!("checkpointing {dir}: {e}"))?;
@@ -887,6 +929,9 @@ fn cmd_compact(args: &[String]) -> Result<(), String> {
         jc.segments,
         jc.segment_bytes,
     );
+    if let Some(line) = mvcc_gc_report(core.db()) {
+        println!("{line}");
+    }
     // Compact every named tenant store too; failures are reported but do
     // not abort the remaining tenants.
     let mut failed = Vec::new();
@@ -914,17 +959,44 @@ fn cmd_compact(args: &[String]) -> Result<(), String> {
 
 /// Checkpoints and prunes one named tenant's store; returns its summary.
 fn compact_tenant_store(dir: &Path) -> Result<String, String> {
-    let (journal, recovered) =
+    let (journal, mut recovered) =
         Journal::open(dir, WalOptions::default()).map_err(|e| e.to_string())?;
-    let mut core = ServiceCore::recovered(&recovered, ServiceConfig::default())
+    let mut core = ServiceCore::recovered(&mut recovered, ServiceConfig::default())
         .map_err(|e| format!("replay: {e}"))?;
     core.attach_journal(journal);
     core.checkpoint().map_err(|e| format!("checkpoint: {e}"))?;
     let jc = core.journal().map(|j| j.counters()).unwrap_or_default();
-    Ok(format!(
+    let mut line = format!(
         "checkpoint covers {} record(s); {} live segment(s), {} byte(s)",
         jc.last_checkpoint_seq, jc.segments, jc.segment_bytes,
-    ))
+    );
+    if let Some(mvcc) = mvcc_gc_report(core.db()) {
+        line.push_str("; ");
+        line.push_str(&mvcc);
+    }
+    Ok(line)
+}
+
+/// Dead-version occupancy of an MVCC store (`None` in replay mode). Dead
+/// versions are *reported*, never dropped: reclaiming them would truncate
+/// the backlog relations (`b-T`) audits depend on, so compaction's GC story
+/// for tuple versions is visibility, not deletion.
+fn mvcc_gc_report(db: &audex::storage::Database) -> Option<String> {
+    let stats = db.mvcc_stats()?;
+    let mut line = format!(
+        "mvcc: {} live / {} dead version(s), ~{} byte(s) retained for time travel",
+        stats.live_versions, stats.dead_versions, stats.approx_bytes,
+    );
+    let per_table: Vec<String> = db
+        .mvcc_table_stats()
+        .into_iter()
+        .filter(|(_, s)| s.dead_versions > 0)
+        .map(|(name, s)| format!("{name}={}", s.dead_versions))
+        .collect();
+    if !per_table.is_empty() {
+        line.push_str(&format!(" (dead by table: {})", per_table.join(", ")));
+    }
+    Some(line)
 }
 
 /// Offline triage report: recover a store read-only and print the review
@@ -959,9 +1031,9 @@ fn cmd_triage(args: &[String]) -> Result<(), String> {
     if let Some(t) = &tenant {
         path = path.join("tenants").join(t);
     }
-    let recovered =
+    let mut recovered =
         audex::persist::read_store(&path).map_err(|e| format!("{}: {e}", path.display()))?;
-    let mut core = ServiceCore::recovered(&recovered, ServiceConfig::default())
+    let mut core = ServiceCore::recovered(&mut recovered, ServiceConfig::default())
         .map_err(|e| format!("replaying {}: {e}", path.display()))?;
     let triage = core.handle(audex::service::Request::Triage).response;
     let queue = core.handle(audex::service::Request::Queue { top, offset }).response;
@@ -1073,19 +1145,35 @@ fn cmd_send(args: &[String]) -> Result<(), String> {
         follow |= matches!(parsed, Ok(audex::service::Request::Subscribe));
         let tenant_listing = matches!(parsed, Ok(audex::service::Request::ListTenants));
         let queue_listing = matches!(parsed, Ok(audex::service::Request::Queue { .. }));
+        let bulk_ack = matches!(parsed, Ok(audex::service::Request::AckTemplate { .. }));
         writeln!(writer, "{req}").map_err(|e| format!("sending to {addr}: {e}"))?;
         writer.flush().map_err(|e| e.to_string())?;
         let mut line = String::new();
         if reader.read_line(&mut line).map_err(|e| e.to_string())? == 0 {
             return Err(format!("{addr} closed the connection early"));
         }
-        if (tenant_listing || queue_listing) && std::io::stdout().is_terminal() {
+        if (tenant_listing || queue_listing || bulk_ack) && std::io::stdout().is_terminal() {
             match audex::service::Json::parse(line.trim()) {
                 Ok(resp) if resp.get("ok") == Some(&audex::service::Json::Bool(true)) => {
                     if tenant_listing {
                         print!("{}", audex::service::render_tenant_table(&resp));
-                    } else {
+                    } else if queue_listing {
                         print!("{}", audex::service::render_queue_table(&resp));
+                    } else {
+                        // Bulk ack: one human-readable confirmation line so a
+                        // terminal operator sees how far the template reached.
+                        let acked = match resp.get("acked") {
+                            Some(audex::service::Json::Int(n)) => *n,
+                            _ => 0,
+                        };
+                        let template = match resp.get("template") {
+                            Some(audex::service::Json::Int(n)) => *n,
+                            _ => -1,
+                        };
+                        println!(
+                            "acked {acked} quer{} matching template {template}",
+                            if acked == 1 { "y" } else { "ies" }
+                        );
                     }
                     continue;
                 }

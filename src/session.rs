@@ -281,10 +281,11 @@ pub fn render_database_script(db: &Database) -> String {
     // Gather (ts, table, statement) for every change; creations first.
     let mut events: Vec<(Timestamp, u32, String)> = Vec::new();
     for name in db.table_names() {
-        let h = db.history(&name).expect("history for every table");
-        let cols: Vec<String> = h.schema().iter().map(|(n, ty)| format!("{} {}", n, ty)).collect();
-        events.push((h.created_at(), 0, format!("CREATE TABLE {} ({});", name, cols.join(", "))));
-        for rec in h.changes() {
+        let schema = db.table(&name).expect("table for every name").schema().clone();
+        let created_at = db.table_created_at(&name).expect("creation instant for every table");
+        let cols: Vec<String> = schema.iter().map(|(n, ty)| format!("{} {}", n, ty)).collect();
+        events.push((created_at, 0, format!("CREATE TABLE {} ({});", name, cols.join(", "))));
+        for rec in &db.table_changes(&name).expect("change log for every table") {
             let stmt = match (&rec.op, &rec.after) {
                 (ChangeOp::Insert, Some(row)) | (ChangeOp::Update, Some(row)) => {
                     // Updates and inserts both re-state the full image; on
@@ -295,18 +296,17 @@ pub fn render_database_script(db: &Database) -> String {
                     if rec.op == ChangeOp::Insert {
                         format!("INSERT INTO {} VALUES ({});", name, values.join(", "))
                     } else {
-                        let sets: Vec<String> = h
-                            .schema()
+                        let sets: Vec<String> = schema
                             .iter()
                             .zip(row)
                             .map(|((n, _), v)| format!("{} = {}", n, render_value(v)))
                             .collect();
-                        let keys = key_predicate(h.schema(), rec, db, &name);
+                        let keys = key_predicate(&schema, rec, db, &name);
                         format!("UPDATE {} SET {}{};", name, sets.join(", "), keys)
                     }
                 }
                 (ChangeOp::Delete, _) => {
-                    let keys = key_predicate(h.schema(), rec, db, &name);
+                    let keys = key_predicate(&schema, rec, db, &name);
                     format!("DELETE FROM {}{};", name, keys)
                 }
                 _ => continue,
@@ -335,8 +335,7 @@ fn key_predicate(
     db: &Database,
     table: &audex_sql::Ident,
 ) -> String {
-    let before =
-        db.history(table).and_then(|h| h.replay_to(Timestamp(rec.ts.0 - 1)).get(rec.tid).cloned());
+    let before = db.row_as_of(table, rec.tid, Timestamp(rec.ts.0 - 1));
     match before {
         Some(row) => {
             let conds: Vec<String> = schema
@@ -375,7 +374,7 @@ pub fn render_log_script(log: &QueryLog) -> String {
             "@{} user={} role={} purpose={}",
             e.executed_at, e.context.user.value, e.context.role.value, e.context.purpose.value
         );
-        let _ = writeln!(out, "{};", e.query);
+        let _ = writeln!(out, "{};", e.query());
     }
     out
 }
@@ -537,7 +536,7 @@ SELECT pid FROM Patients
         for (a, b) in log.snapshot().iter().zip(log2.snapshot()) {
             assert_eq!(a.executed_at, b.executed_at);
             assert_eq!(a.context, b.context);
-            assert_eq!(a.query, b.query);
+            assert_eq!(a.query(), b.query());
         }
     }
 
